@@ -1,0 +1,158 @@
+package bulletfs_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"bulletfs"
+	"bulletfs/internal/capability"
+)
+
+func TestStackRoundTrip(t *testing.T) {
+	stack, err := bulletfs.NewStack()
+	if err != nil {
+		t.Fatalf("NewStack: %v", err)
+	}
+	defer stack.Close() //nolint:errcheck // test cleanup
+
+	data := []byte("through the facade")
+	c, err := stack.Files.Create(stack.FilePort, data, 2)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := stack.Files.Read(c)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+
+	// Directory + versioning through the facade.
+	if err := stack.Dirs.Enter(stack.Root, "f", c); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	found, err := stack.Dirs.Lookup(stack.Root, "f")
+	if err != nil || found != c {
+		t.Fatalf("Lookup = %v, %v", found, err)
+	}
+
+	// Logs through the facade.
+	lg, err := stack.Logs.CreateLog(stack.LogServer.Port())
+	if err != nil {
+		t.Fatalf("CreateLog: %v", err)
+	}
+	if _, err := stack.Logs.Append(lg, []byte("entry\n")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	// UNIX emulation through the facade.
+	fs, err := stack.FS()
+	if err != nil {
+		t.Fatalf("FS: %v", err)
+	}
+	if err := fs.WriteFile("dir/file.txt", []byte("posix-ish")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := fs.ReadFile("dir/file.txt")
+	if err != nil || string(back) != "posix-ish" {
+		t.Fatalf("ReadFile = %q, %v", back, err)
+	}
+}
+
+func TestCapabilityHelpers(t *testing.T) {
+	stack, err := bulletfs.NewStack()
+	if err != nil {
+		t.Fatalf("NewStack: %v", err)
+	}
+	defer stack.Close() //nolint:errcheck // test cleanup
+
+	c, err := stack.Files.Create(stack.FilePort, []byte("x"), 1)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ro, err := bulletfs.Restrict(c, bulletfs.RightRead)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if err := stack.Files.Delete(ro); !errors.Is(err, capability.ErrBadRights) {
+		t.Fatalf("restricted delete err = %v", err)
+	}
+	parsed, err := bulletfs.ParseCapability(c.String())
+	if err != nil || parsed != c {
+		t.Fatalf("ParseCapability round trip: %v, %v", parsed, err)
+	}
+	if bulletfs.PortFromName("a") == bulletfs.PortFromName("b") {
+		t.Fatal("distinct names share a port")
+	}
+}
+
+func TestStoreOverTCPAndFileDisks(t *testing.T) {
+	dir := t.TempDir()
+	store, err := bulletfs.NewStore(bulletfs.StoreConfig{
+		ReplicaPaths: []string{filepath.Join(dir, "r0.img"), filepath.Join(dir, "r1.img")},
+		Format:       true,
+		DiskMB:       8,
+		PortName:     "facade-test",
+	})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	addr, err := store.ServeTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+
+	cl, port, err := bulletfs.Dial(addr, "facade-test")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 100_000)
+	c, err := cl.Create(port, data, 2)
+	if err != nil {
+		t.Fatalf("Create over TCP: %v", err)
+	}
+	got, err := cl.Read(c)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Read over TCP corrupted (%d bytes), %v", len(got), err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen the same images: the file survives on disk.
+	store2, err := bulletfs.NewStore(bulletfs.StoreConfig{
+		ReplicaPaths: []string{filepath.Join(dir, "r0.img"), filepath.Join(dir, "r1.img")},
+		PortName:     "facade-test",
+	})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer store2.Close() //nolint:errcheck // test cleanup
+	addr2, err := store2.ServeTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+	cl2, port2, err := bulletfs.Dial(addr2, "facade-test")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	got, err = cl2.Read(c)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Read after restart corrupted, %v", err)
+	}
+	_ = port2
+}
+
+func ExampleStack() {
+	stack, err := bulletfs.NewStack()
+	if err != nil {
+		panic(err)
+	}
+	defer stack.Close() //nolint:errcheck // example cleanup
+
+	cap1, _ := stack.Files.Create(stack.FilePort, []byte("immutable bytes"), 2)
+	data, _ := stack.Files.Read(cap1)
+	fmt.Println(string(data))
+	// Output: immutable bytes
+}

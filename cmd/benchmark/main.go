@@ -1,0 +1,141 @@
+// Command benchmark regenerates every table and figure of the paper's
+// evaluation (§4) plus the ablations, on the virtual clock. Run with no
+// flags for everything, or select one experiment:
+//
+//	benchmark -experiment f2        # Fig. 2: Bullet delay/bandwidth
+//	benchmark -experiment f3        # Fig. 3: SUN NFS delay/bandwidth
+//	benchmark -experiment compare   # §4 comparison claims C1-C4
+//	benchmark -experiment ablation  # A1: layout ablation, same hardware
+//	benchmark -experiment pfactor   # A2: paranoia-factor sweep
+//	benchmark -experiment frag      # A3: fragmentation + compaction
+//	benchmark -experiment cache     # A4: RAM cache under pressure
+//	benchmark -experiment modern    # what-if: both designs on 2020s hardware
+//	benchmark -experiment trace     # trace replay with the paper's size mix
+//	benchmark -experiment wan       # whole-file vs per-block across a WAN link
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bulletfs/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"experiment to run: all, f2, f3, compare, ablation, pfactor, frag, cache, modern, trace, wan")
+	flag.Parse()
+	if err := run(*experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string) error {
+	var failed bool
+	note := func(checks []bench.Check) {
+		for _, c := range checks {
+			fmt.Println(c.Format())
+			if !c.Pass {
+				failed = true
+			}
+		}
+	}
+
+	wantF2 := experiment == "all" || experiment == "f2" || experiment == "compare"
+	wantF3 := experiment == "all" || experiment == "f3" || experiment == "compare"
+
+	var f2 *bench.F2Result
+	var f3 *bench.F3Result
+	var err error
+	if wantF2 {
+		if f2, err = bench.RunF2(); err != nil {
+			return err
+		}
+		if experiment != "compare" {
+			fmt.Println(f2.Delay.Format())
+			fmt.Println(f2.Bandwidth.Format())
+		}
+	}
+	if wantF3 {
+		if f3, err = bench.RunF3(); err != nil {
+			return err
+		}
+		if experiment != "compare" {
+			fmt.Println(f3.Delay.Format())
+			fmt.Println(f3.Bandwidth.Format())
+		}
+	}
+	if experiment == "all" || experiment == "compare" {
+		cmp := bench.RunCompare(f2, f3)
+		fmt.Println(cmp.Ratios.Format())
+		note(cmp.Checks)
+		fmt.Println()
+	}
+	if experiment == "all" || experiment == "ablation" {
+		t, err := bench.RunAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+	}
+	if experiment == "all" || experiment == "pfactor" {
+		t, err := bench.RunPFactor()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		note(bench.PFactorChecks(t))
+		fmt.Println()
+	}
+	if experiment == "all" || experiment == "frag" {
+		t, checks, err := bench.RunFragmentation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		note(checks)
+		fmt.Println()
+	}
+	if experiment == "all" || experiment == "cache" {
+		t, checks, err := bench.RunCacheExp()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		note(checks)
+		fmt.Println()
+	}
+	if experiment == "all" || experiment == "modern" {
+		t, checks, err := bench.RunModern()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		note(checks)
+		fmt.Println()
+	}
+	if experiment == "all" || experiment == "trace" {
+		t, checks, err := bench.RunTrace()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		note(checks)
+		fmt.Println()
+	}
+	if experiment == "all" || experiment == "wan" {
+		t, checks, err := bench.RunWAN()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		note(checks)
+		fmt.Println()
+	}
+	if failed {
+		return fmt.Errorf("one or more shape checks failed")
+	}
+	return nil
+}

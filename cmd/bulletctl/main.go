@@ -1,0 +1,215 @@
+// Command bulletctl is the command-line client of a bulletd server.
+//
+//	bulletctl -server localhost:7001 put notes.txt     # prints a capability
+//	bulletctl -server localhost:7001 get <capability>  # writes contents to stdout
+//	bulletctl -server localhost:7001 size <capability>
+//	bulletctl -server localhost:7001 append <capability> more.txt
+//	bulletctl -server localhost:7001 del <capability>
+//	bulletctl -server localhost:7001 stat
+//	bulletctl -server localhost:7001 compact
+//	bulletctl restrict <capability> read,delete        # offline, no server
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+	"bulletfs/internal/locate"
+	"bulletfs/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bulletctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: bulletctl [-server addr] [-port name] [-pfactor n] <put|get|size|append|del|stat|compact|restrict> args...")
+}
+
+func run() error {
+	var (
+		server   = flag.String("server", "localhost:7001", "bulletd TCP address")
+		port     = flag.String("port", "bullet", "service name of the server's capability port")
+		pfactor  = flag.Int("pfactor", 1, "paranoia factor for put/append (0 = reply before disk)")
+		locateAt = flag.String("locate", "", "located registry address; overrides -server by resolving ports dynamically")
+		registry = flag.String("registry", "registry", "registry service name when using -locate")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return usage()
+	}
+
+	// restrict works offline.
+	if args[0] == "restrict" {
+		if len(args) != 3 {
+			return fmt.Errorf("usage: bulletctl restrict <capability> <right,right,...>")
+		}
+		return restrict(args[1], args[2])
+	}
+
+	p := capability.PortFromString(*port)
+	var resolver rpc.Resolver
+	if *locateAt != "" {
+		regPort := capability.PortFromString(*registry)
+		regTr := rpc.NewTCPTransport(rpc.StaticResolver(map[capability.Port]string{regPort: *locateAt}), 30*time.Second)
+		defer regTr.Close() //nolint:errcheck // process exit
+		resolver = locate.NewClient(regTr, regPort).Resolve
+	} else {
+		resolver = rpc.StaticResolver(map[capability.Port]string{p: *server})
+	}
+	tr := rpc.NewTCPTransport(resolver, 30*time.Second)
+	defer tr.Close() //nolint:errcheck // process exit
+	cl := client.New(tr)
+
+	switch args[0] {
+	case "put":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: bulletctl put <file>")
+		}
+		data, err := readInput(args[1])
+		if err != nil {
+			return err
+		}
+		c, err := cl.Create(p, data, *pfactor)
+		if err != nil {
+			return err
+		}
+		fmt.Println(c)
+		return nil
+
+	case "get":
+		c, err := parseCap(args)
+		if err != nil {
+			return err
+		}
+		data, err := cl.Read(c)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+
+	case "size":
+		c, err := parseCap(args)
+		if err != nil {
+			return err
+		}
+		n, err := cl.Size(c)
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+		return nil
+
+	case "append":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: bulletctl append <capability> <file>")
+		}
+		c, err := capability.Parse(args[1])
+		if err != nil {
+			return err
+		}
+		data, err := readInput(args[2])
+		if err != nil {
+			return err
+		}
+		nc, err := cl.Append(c, data, *pfactor)
+		if err != nil {
+			return err
+		}
+		fmt.Println(nc)
+		return nil
+
+	case "del":
+		c, err := parseCap(args)
+		if err != nil {
+			return err
+		}
+		return cl.Delete(c)
+
+	case "stat":
+		st, err := cl.Stat(p)
+		if err != nil {
+			return err
+		}
+		printStats(st)
+		return nil
+
+	case "compact":
+		if err := cl.CompactDisk(p); err != nil {
+			return err
+		}
+		fmt.Println("disk compacted")
+		return nil
+
+	default:
+		return usage()
+	}
+}
+
+func parseCap(args []string) (capability.Capability, error) {
+	if len(args) != 2 {
+		return capability.Capability{}, fmt.Errorf("usage: bulletctl %s <capability>", args[0])
+	}
+	return capability.Parse(args[1])
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func restrict(capStr, rightsStr string) error {
+	c, err := capability.Parse(capStr)
+	if err != nil {
+		return err
+	}
+	var mask capability.Rights
+	for _, r := range strings.Split(rightsStr, ",") {
+		switch strings.TrimSpace(r) {
+		case "read":
+			mask |= capability.RightRead
+		case "delete":
+			mask |= capability.RightDelete
+		case "modify":
+			mask |= capability.RightModify
+		case "list":
+			mask |= capability.RightList
+		case "admin":
+			mask |= capability.RightAdmin
+		default:
+			return fmt.Errorf("unknown right %q (read, delete, modify, list, admin)", r)
+		}
+	}
+	restricted, err := capability.Restrict(c, mask)
+	if err != nil {
+		return err
+	}
+	fmt.Println(restricted)
+	return nil
+}
+
+func printStats(st bulletsvc.ServerStats) {
+	fmt.Printf("live files:     %d\n", st.LiveFiles)
+	fmt.Printf("max file size:  %d bytes\n", st.MaxFileSize)
+	fmt.Printf("creates/reads/deletes/modifies: %d/%d/%d/%d\n",
+		st.Engine.Creates, st.Engine.Reads, st.Engine.Deletes, st.Engine.Modifies)
+	fmt.Printf("cache: %d files, %d/%d bytes, %d hits, %d misses\n",
+		st.Cache.Files, st.Cache.UsedBytes, st.Cache.TotalBytes,
+		st.Engine.CacheHits, st.Engine.CacheMisses)
+	fmt.Printf("disk: %d/%d blocks used, fragmentation %.1f%%, largest hole %d blocks\n",
+		st.Disk.Used, st.Disk.Total, 100*st.Disk.Fragmentation(), st.Disk.LargestFree)
+}

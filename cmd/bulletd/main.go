@@ -1,0 +1,130 @@
+// Command bulletd runs a Bullet file server over TCP with file-backed
+// replica disks.
+//
+// First run (format two 64 MB replicas and serve):
+//
+//	bulletd -disks /var/bullet/d0.img,/var/bullet/d1.img -format -size 64 -listen :7001
+//
+// Subsequent runs reuse the images:
+//
+//	bulletd -disks /var/bullet/d0.img,/var/bullet/d1.img -listen :7001
+//
+// The server's capability port is derived from -port (a service name), so
+// clients can reconstruct it; capabilities survive restarts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/locate"
+	"bulletfs/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bulletd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		disks     = flag.String("disks", "", "comma-separated replica image paths (required)")
+		format    = flag.Bool("format", false, "create/format the images before serving")
+		blockSize = flag.Int("blocksize", 512, "sector size in bytes")
+		sizeMB    = flag.Int64("size", 64, "image size in MB when formatting")
+		inodes    = flag.Int("inodes", 10000, "inode table capacity when formatting")
+		listen    = flag.String("listen", ":7001", "TCP listen address")
+		port      = flag.String("port", "bullet", "service name the capability port derives from")
+		cacheMB   = flag.Int64("cache", 64, "RAM file cache size in MB")
+		locateAt  = flag.String("locate", "", "located registry address to announce this server at (optional)")
+		advertise = flag.String("advertise", "", "address to announce (default: the bound listen address)")
+		registry  = flag.String("registry", "registry", "registry service name when announcing")
+	)
+	flag.Parse()
+	if *disks == "" {
+		return fmt.Errorf("-disks is required")
+	}
+
+	paths := strings.Split(*disks, ",")
+	devs := make([]disk.Device, 0, len(paths))
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		var dev disk.Device
+		var err error
+		if *format {
+			dev, err = disk.CreateFile(p, *blockSize, *sizeMB<<20/int64(*blockSize))
+		} else {
+			dev, err = disk.OpenFile(p, *blockSize)
+		}
+		if err != nil {
+			return err
+		}
+		devs = append(devs, dev)
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		return err
+	}
+	if *format {
+		if err := bullet.Format(set, *inodes); err != nil {
+			return err
+		}
+		fmt.Printf("formatted %d replicas, %d inodes, %d MB each\n", len(paths), *inodes, *sizeMB)
+	}
+
+	engine, err := bullet.New(set, bullet.Options{
+		Port:       capability.PortFromString(*port),
+		CacheBytes: *cacheMB << 20,
+	})
+	if err != nil {
+		return err
+	}
+	defer engine.Close() //nolint:errcheck // drained below
+
+	mux := rpc.NewMux(0)
+	bulletsvc.New(engine).Register(mux)
+	srv := rpc.NewTCPServer(mux)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bulletd serving on %s\n", addr)
+	fmt.Printf("capability port: %x (service name %q)\n", engine.Port(), *port)
+	fmt.Printf("files: %d live, max file size %d bytes\n", engine.Live(), engine.MaxFileSize())
+
+	if *locateAt != "" {
+		announced := *advertise
+		if announced == "" {
+			announced = addr
+		}
+		regPort := capability.PortFromString(*registry)
+		regTr := rpc.NewTCPTransport(rpc.StaticResolver(map[capability.Port]string{regPort: *locateAt}), 10*time.Second)
+		defer regTr.Close() //nolint:errcheck // process exit
+		announcer := locate.NewClient(regTr, regPort)
+		if err := announcer.Announce(engine.Port(), announced); err != nil {
+			return fmt.Errorf("announcing at %s: %w", *locateAt, err)
+		}
+		fmt.Printf("announced %s at registry %s\n", announced, *locateAt)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	engine.Sync()
+	return engine.Close()
+}

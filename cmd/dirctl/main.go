@@ -1,0 +1,168 @@
+// Command dirctl is the command-line client of a dird directory server:
+// it gives Bullet capabilities human names, resolves paths, and browses
+// version history.
+//
+//	dirctl -server localhost:7002 ls /
+//	dirctl -server localhost:7002 mkdir /projects
+//	dirctl -server localhost:7002 enter /projects/report.txt <capability>
+//	dirctl -server localhost:7002 replace /projects/report.txt <capability>
+//	dirctl -server localhost:7002 lookup /projects/report.txt
+//	dirctl -server localhost:7002 history /projects/report.txt
+//	dirctl -server localhost:7002 rm /projects/report.txt
+//
+// Combined with bulletctl this is a complete shell workflow:
+//
+//	CAP=$(bulletctl put report.txt)
+//	dirctl enter /report.txt "$CAP"
+//	bulletctl get "$(dirctl lookup /report.txt)"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"strings"
+	"time"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/directory"
+	"bulletfs/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dirctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: dirctl [-server addr] [-port name] <ls|mkdir|enter|replace|lookup|history|rm> args...")
+}
+
+func run() error {
+	var (
+		server = flag.String("server", "localhost:7002", "dird TCP address")
+		port   = flag.String("port", "directory", "service name of the directory server's port")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return usage()
+	}
+
+	p := capability.PortFromString(*port)
+	tr := rpc.NewTCPTransport(rpc.StaticResolver(map[capability.Port]string{p: *server}), 30*time.Second)
+	defer tr.Close() //nolint:errcheck // process exit
+	dc := directory.NewClient(tr)
+	root, err := dc.Root(p)
+	if err != nil {
+		return fmt.Errorf("fetching root: %w", err)
+	}
+
+	// splitPath resolves everything but the last component.
+	splitPath := func(pth string, mkdirs bool) (capability.Capability, string, error) {
+		pth = path.Clean("/" + pth)
+		if pth == "/" {
+			return capability.Capability{}, "", fmt.Errorf("path %q has no final component", pth)
+		}
+		dirPart, name := path.Split(pth)
+		dirPart = strings.Trim(dirPart, "/")
+		var parent capability.Capability
+		var err error
+		if mkdirs {
+			parent, err = dc.MkdirPath(root, dirPart)
+		} else {
+			parent, err = dc.LookupPath(root, dirPart)
+		}
+		return parent, name, err
+	}
+
+	switch args[0] {
+	case "ls":
+		target := "/"
+		if len(args) > 1 {
+			target = args[1]
+		}
+		dir, err := dc.LookupPath(root, target)
+		if err != nil {
+			return err
+		}
+		rows, err := dc.List(dir)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-30s %s\n", r.Name, r.Cap)
+		}
+		return nil
+
+	case "mkdir":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dirctl mkdir <path>")
+		}
+		if _, err := dc.MkdirPath(root, args[1]); err != nil {
+			return err
+		}
+		return nil
+
+	case "enter", "replace":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: dirctl %s <path> <capability>", args[0])
+		}
+		target, err := capability.Parse(args[2])
+		if err != nil {
+			return err
+		}
+		parent, name, err := splitPath(args[1], args[0] == "enter")
+		if err != nil {
+			return err
+		}
+		if args[0] == "enter" {
+			return dc.Enter(parent, name, target)
+		}
+		return dc.Replace(parent, name, target)
+
+	case "lookup":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dirctl lookup <path>")
+		}
+		c, err := dc.LookupPath(root, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(c)
+		return nil
+
+	case "history":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dirctl history <path>")
+		}
+		parent, name, err := splitPath(args[1], false)
+		if err != nil {
+			return err
+		}
+		caps, err := dc.History(parent, name)
+		if err != nil {
+			return err
+		}
+		for i, c := range caps {
+			fmt.Printf("v%d %s\n", i+1, c)
+		}
+		return nil
+
+	case "rm":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dirctl rm <path>")
+		}
+		parent, name, err := splitPath(args[1], false)
+		if err != nil {
+			return err
+		}
+		return dc.Remove(parent, name)
+
+	default:
+		return usage()
+	}
+}

@@ -1,0 +1,107 @@
+// Command dird runs the directory server, persisting its state as
+// immutable checkpoints on a bulletd server. Only the latest checkpoint
+// capability is kept locally (in -state).
+//
+//	dird -bullet localhost:7001 -state /var/bullet/dird.state -listen :7002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+	"bulletfs/internal/directory"
+	"bulletfs/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dird:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bulletAddr = flag.String("bullet", "localhost:7001", "bulletd TCP address (checkpoint store)")
+		bulletPort = flag.String("bullet-port", "bullet", "bulletd service name")
+		statePath  = flag.String("state", "dird.state", "file holding the latest checkpoint capability")
+		listen     = flag.String("listen", ":7002", "TCP listen address")
+		port       = flag.String("port", "directory", "service name the capability port derives from")
+		pfactor    = flag.Int("pfactor", 1, "paranoia factor for checkpoint writes")
+	)
+	flag.Parse()
+
+	bp := capability.PortFromString(*bulletPort)
+	tr := rpc.NewTCPTransport(rpc.StaticResolver(map[capability.Port]string{bp: *bulletAddr}), 30*time.Second)
+	defer tr.Close() //nolint:errcheck // process exit
+	store := client.New(tr)
+
+	opts := directory.Options{
+		Port:      capability.PortFromString(*port),
+		Store:     store,
+		StorePort: bp,
+		PFactor:   *pfactor,
+	}
+	if raw, err := os.ReadFile(*statePath); err == nil {
+		state, err := capability.Parse(strings.TrimSpace(string(raw)))
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", *statePath, err)
+		}
+		opts.State = state
+		fmt.Printf("restoring from checkpoint %s\n", state)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	srv, err := directory.New(opts)
+	if err != nil {
+		return err
+	}
+	saveState := func() error {
+		return os.WriteFile(*statePath, []byte(srv.StateCap().String()+"\n"), 0o600)
+	}
+	if err := saveState(); err != nil {
+		return err
+	}
+
+	mux := rpc.NewMux(0)
+	srv.Register(mux)
+	tcp := rpc.NewTCPServer(mux)
+	addr, err := tcp.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dird serving on %s\n", addr)
+	fmt.Printf("capability port: %x (service name %q)\n", srv.Port(), *port)
+	fmt.Printf("root directory: %s\n", srv.Root())
+	fmt.Printf("%d directories\n", srv.DirCount())
+
+	// Persist the checkpoint pointer periodically and on shutdown: the
+	// directory server checkpoints to Bullet on every mutation, so the
+	// local file only needs to track the latest capability.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := saveState(); err != nil {
+				return err
+			}
+		case <-sig:
+			fmt.Println("shutting down")
+			if err := tcp.Close(); err != nil {
+				return err
+			}
+			return saveState()
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command located runs the port-location registry: servers announce
+// port → address mappings, clients resolve them (the TCP substitute for
+// Amoeba's broadcast port location).
+//
+//	located -listen :7000
+//	bulletd ... -locate localhost:7000       # announces itself
+//	bulletctl -locate localhost:7000 put f   # resolves the server
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bulletfs/internal/locate"
+	"bulletfs/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "located:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", ":7000", "TCP listen address")
+		name   = flag.String("name", "registry", "well-known service name of the registry")
+	)
+	flag.Parse()
+
+	reg := locate.NewServer(*name)
+	mux := rpc.NewMux(0)
+	reg.RegisterOn(mux)
+	srv := rpc.NewTCPServer(mux)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("located serving on %s (registry name %q, port %x)\n", addr, *name, reg.Port())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			fmt.Printf("%d registrations\n", len(reg.Entries()))
+		case <-sig:
+			fmt.Println("shutting down")
+			return srv.Close()
+		}
+	}
+}

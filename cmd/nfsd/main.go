@@ -1,0 +1,81 @@
+// Command nfsd runs the block-model baseline file server (the paper's
+// comparator) over TCP with a file-backed disk image.
+//
+//	nfsd -image /var/nfs/disk.img -format -size 128 -listen :7003
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/nfs"
+	"bulletfs/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nfsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		image   = flag.String("image", "", "disk image path (required)")
+		format  = flag.Bool("format", false, "create/format the image before serving")
+		sizeMB  = flag.Int64("size", 128, "image size in MB when formatting")
+		listen  = flag.String("listen", ":7003", "TCP listen address")
+		port    = flag.String("port", "nfs", "service name the port derives from")
+		cacheMB = flag.Int64("cache", 3, "buffer cache size in MB (the paper's server had 3)")
+		stride  = flag.Int("stride", 7, "block allocation stride (1 = fresh FS, 7 = aged)")
+	)
+	flag.Parse()
+	if *image == "" {
+		return fmt.Errorf("-image is required")
+	}
+
+	var dev disk.Device
+	var err error
+	if *format {
+		dev, err = disk.CreateFile(*image, 512, *sizeMB<<20/512)
+	} else {
+		dev, err = disk.OpenFile(*image, 512)
+	}
+	if err != nil {
+		return err
+	}
+	if *format {
+		if err := nfs.Format(dev, nfs.FormatConfig{}); err != nil {
+			return err
+		}
+		fmt.Printf("formatted %d MB block filesystem\n", *sizeMB)
+	}
+	srv, err := nfs.Mount(dev, nfs.Options{CacheBytes: *cacheMB << 20, AllocStride: *stride})
+	if err != nil {
+		return err
+	}
+
+	mux := rpc.NewMux(0)
+	svc := nfs.NewService(srv, capability.PortFromString(*port))
+	svc.Register(mux)
+	tcp := rpc.NewTCPServer(mux)
+	addr, err := tcp.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nfsd serving on %s (port name %q)\n", addr, *port)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := tcp.Close(); err != nil {
+		return err
+	}
+	return dev.Close()
+}

@@ -1,0 +1,189 @@
+// Webassets: an immutable content store for website assets — the modern
+// workload the Bullet design anticipated (object stores serve immutable
+// blobs behind content-addressed names).
+//
+// A "deploy" stores each asset as an immutable Bullet file and binds its
+// name in the directory service; redeploying replaces bindings, pushing
+// the old capability onto the version history. Edge caches hold assets by
+// capability: validation is a single directory lookup plus a capability
+// comparison — the §5 recipe ("Checking if a cached copy of a file is
+// still current is simply done by looking up its capability in the
+// directory service, and comparing it").
+//
+//	go run ./examples/webassets
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+	"bulletfs/internal/directory"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// edgeCache is a CDN node: it caches asset bytes keyed by the exact
+// capability. Immutability means a hit can never be stale.
+type edgeCache struct {
+	files  *client.Client
+	dirs   *directory.Client
+	site   capability.Capability
+	cached map[capability.Capability][]byte
+
+	hits, validations, fetches int
+}
+
+// serve returns the current bytes for an asset name.
+func (e *edgeCache) serve(name string) ([]byte, error) {
+	// One cheap lookup tells us which immutable version is current.
+	cur, err := e.dirs.Lookup(e.site, name)
+	if err != nil {
+		return nil, err
+	}
+	e.validations++
+	if data, ok := e.cached[cur]; ok {
+		e.hits++
+		return data, nil
+	}
+	data, err := e.files.Read(cur)
+	if err != nil {
+		return nil, err
+	}
+	e.fetches++
+	e.cached[cur] = data
+	return data, nil
+}
+
+func run() error {
+	// Infrastructure: Bullet store + directory service, in process.
+	d0, err := disk.NewMem(512, 32768)
+	if err != nil {
+		return err
+	}
+	d1, err := disk.NewMem(512, 32768)
+	if err != nil {
+		return err
+	}
+	replicas, err := disk.NewReplicaSet(d0, d1)
+	if err != nil {
+		return err
+	}
+	if err := bullet.Format(replicas, 2000); err != nil {
+		return err
+	}
+	engine, err := bullet.New(replicas, bullet.Options{CacheBytes: 8 << 20})
+	if err != nil {
+		return err
+	}
+	defer engine.Sync()
+	mux := rpc.NewMux(0)
+	bulletsvc.New(engine).Register(mux)
+	tr := rpc.NewLocal(mux)
+	files := client.New(tr)
+
+	dsrv, err := directory.New(directory.Options{
+		Store: files, StorePort: engine.Port(), PFactor: 2, MaxVersions: 4,
+	})
+	if err != nil {
+		return err
+	}
+	dsrv.Register(mux)
+	dirs := directory.NewClient(tr)
+	root, err := dirs.Root(dsrv.Port())
+	if err != nil {
+		return err
+	}
+	site, err := dirs.CreateDir(dsrv.Port())
+	if err != nil {
+		return err
+	}
+	if err := dirs.Enter(root, "www.example.org", site); err != nil {
+		return err
+	}
+
+	deploy := func(release string, assets map[string]string) error {
+		fmt.Printf("deploying release %s (%d assets)\n", release, len(assets))
+		for name, body := range assets {
+			c, err := files.Create(engine.Port(), []byte(body), 2)
+			if err != nil {
+				return err
+			}
+			if err := dirs.Enter(site, name, c); err == nil {
+				continue
+			}
+			if err := dirs.Replace(site, name, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := deploy("v1", map[string]string{
+		"index.html": "<h1>v1</h1>",
+		"app.js":     "console.log('v1')",
+		"style.css":  "body { color: teal }",
+	}); err != nil {
+		return err
+	}
+
+	edge := &edgeCache{
+		files:  client.New(tr),
+		dirs:   dirs,
+		site:   site,
+		cached: map[capability.Capability][]byte{},
+	}
+
+	// Traffic against v1: first request fetches, the rest validate+hit.
+	for i := 0; i < 5; i++ {
+		if _, err := edge.serve("index.html"); err != nil {
+			return err
+		}
+		if _, err := edge.serve("app.js"); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("after v1 traffic: %d validations, %d hits, %d origin fetches\n",
+		edge.validations, edge.hits, edge.fetches)
+
+	// Redeploy only app.js; index.html keeps its capability, so edge
+	// caches keep hitting it without refetching.
+	if err := deploy("v2", map[string]string{"app.js": "console.log('v2')"}); err != nil {
+		return err
+	}
+	body, err := edge.serve("app.js")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after redeploy, edge serves: %s\n", body)
+	if _, err := edge.serve("index.html"); err != nil {
+		return err
+	}
+	fmt.Printf("totals: %d validations, %d hits, %d origin fetches (only the changed asset refetched)\n",
+		edge.validations, edge.hits, edge.fetches)
+
+	// Rollback = rebind an old version from the history; the bytes never
+	// moved.
+	hist, err := dirs.History(site, "app.js")
+	if err != nil {
+		return err
+	}
+	if err := dirs.Replace(site, "app.js", hist[0]); err != nil {
+		return err
+	}
+	body, err = edge.serve("app.js")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after rollback, edge serves: %s (from its own cache: %d hits)\n", body, edge.hits)
+	return nil
+}

@@ -1,0 +1,146 @@
+// Wormarchive: the paper's §2 aside made concrete — "It also presents the
+// possibility of keeping versions on write-once storage such as optical
+// disks." A document goes through several revisions; the directory
+// service retains the version lineage; an operator burns the whole
+// lineage onto a write-once volume. The live store can then reclaim old
+// versions while the archive remains verifiable forever (every record is
+// checksummed, and the medium physically refuses rewrites).
+//
+//	go run ./examples/wormarchive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bulletfs/internal/archive"
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/client"
+	"bulletfs/internal/directory"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The live system.
+	d0, err := disk.NewMem(512, 16384)
+	if err != nil {
+		return err
+	}
+	d1, err := disk.NewMem(512, 16384)
+	if err != nil {
+		return err
+	}
+	replicas, err := disk.NewReplicaSet(d0, d1)
+	if err != nil {
+		return err
+	}
+	if err := bullet.Format(replicas, 1000); err != nil {
+		return err
+	}
+	engine, err := bullet.New(replicas, bullet.Options{CacheBytes: 4 << 20})
+	if err != nil {
+		return err
+	}
+	defer engine.Sync()
+	mux := rpc.NewMux(0)
+	bulletsvc.New(engine).Register(mux)
+	files := client.New(rpc.NewLocal(mux))
+	dsrv, err := directory.New(directory.Options{MaxVersions: 16})
+	if err != nil {
+		return err
+	}
+	root := dsrv.Root()
+
+	// An editing history.
+	revisions := []string{
+		"contract v1: parties agree in principle",
+		"contract v2: delivery in Q3, penalty clause added",
+		"contract v3: penalty clause softened, Q4 delivery",
+		"contract v4 (signed): Q4 delivery, arbitration in Geneva",
+	}
+	for i, rev := range revisions {
+		c, err := files.Create(engine.Port(), []byte(rev), 2)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			err = dsrv.Enter(root, "contract.txt", c)
+		} else {
+			err = dsrv.Replace(root, "contract.txt", c)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("live store holds %d files after %d revisions\n", engine.Live(), len(revisions))
+
+	// The write-once medium (an "optical platter").
+	platterDev, err := disk.NewMem(512, 4096)
+	if err != nil {
+		return err
+	}
+	platter := disk.NewWORM(platterDev)
+	vol, err := archive.Create(platter)
+	if err != nil {
+		return err
+	}
+
+	// Burn the whole lineage.
+	hist, err := dsrv.History(root, "contract.txt")
+	if err != nil {
+		return err
+	}
+	stored, err := vol.StoreVersions(files.Read, hist)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("burned %d versions onto the platter (%d blocks written)\n",
+		stored, platter.WrittenBlocks())
+
+	// Re-running the archiver is incremental — nothing new, nothing burned.
+	stored, err = vol.StoreVersions(files.Read, hist)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("second archive run burned %d records (already complete)\n", stored)
+
+	// The platter physically refuses tampering.
+	if err := platter.WriteAt(make([]byte, 512), 512); err != nil {
+		fmt.Printf("overwrite attempt on the platter: %v\n", err)
+	}
+
+	// The live store reclaims everything but the signed version.
+	for _, c := range hist[:len(hist)-1] {
+		if err := files.Delete(c); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("live store now holds %d file (current version only)\n", engine.Live())
+
+	// Years later: mount the platter cold and audit the lineage.
+	vol2, err := archive.Open(platterDev)
+	if err != nil {
+		return err
+	}
+	entries, err := vol2.List()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\naudit of the platter (%d records):\n", len(entries))
+	for i, e := range entries {
+		data, err := vol2.Load(e.Cap) // checksum-verified
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  record %d: %d bytes — %q\n", i+1, e.Size, data)
+	}
+	return nil
+}

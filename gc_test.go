@@ -1,0 +1,177 @@
+package bulletfs_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"bulletfs"
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/directory"
+	"bulletfs/internal/unixemu"
+)
+
+// TestGarbageCollectionReclaimsOrphans exercises the Amoeba-style
+// reconciliation between the naming layer and the store: files whose
+// capabilities fell out of every directory (trimmed version history,
+// never-bound uploads) are reclaimed; everything referenced — including
+// old versions still in history and the directory's own checkpoint —
+// survives.
+func TestGarbageCollectionReclaimsOrphans(t *testing.T) {
+	stack, err := bulletfs.NewStack()
+	if err != nil {
+		t.Fatalf("NewStack: %v", err)
+	}
+	defer stack.Close() //nolint:errcheck // test cleanup
+
+	// A bound file with three versions, all retained by the directory.
+	fs, err := unixemu.New(unixemu.Options{
+		Files: stack.Files, FilePort: stack.FilePort,
+		Dirs: stack.Dirs, Root: stack.Root,
+		PFactor: 2, KeepVersions: true,
+	})
+	if err != nil {
+		t.Fatalf("unixemu.New: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := fs.WriteFile("kept.txt", []byte(fmt.Sprintf("version %d", i+1))); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+
+	// Orphans: files created but never bound anywhere (a crashed client).
+	var orphans []bulletfs.Capability
+	for i := 0; i < 4; i++ {
+		c, err := stack.Files.Create(stack.FilePort, []byte("orphaned upload"), 2)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		orphans = append(orphans, c)
+	}
+
+	// A live log whose checkpoint must survive the sweep.
+	logCap, err := stack.Logs.CreateLog(stack.LogServer.Port())
+	if err != nil {
+		t.Fatalf("CreateLog: %v", err)
+	}
+	if _, err := stack.Logs.Append(logCap, bytes.Repeat([]byte{7}, 100)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := stack.Logs.Flush(logCap); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	liveBefore := stack.Store.Engine().Live()
+	removed, err := stack.CollectGarbage()
+	if err != nil {
+		t.Fatalf("CollectGarbage: %v", err)
+	}
+	if removed != len(orphans) {
+		t.Fatalf("removed %d, want %d orphans", removed, len(orphans))
+	}
+	if got := stack.Store.Engine().Live(); got != liveBefore-len(orphans) {
+		t.Fatalf("Live = %d, want %d", got, liveBefore-len(orphans))
+	}
+
+	// Orphans are gone.
+	for _, c := range orphans {
+		if _, err := stack.Files.Read(c); !errors.Is(err, bullet.ErrNoSuchFile) {
+			t.Fatalf("orphan survived the sweep: %v", err)
+		}
+	}
+	// All three retained versions still read.
+	versions, err := fs.Versions("kept.txt")
+	if err != nil || len(versions) != 3 {
+		t.Fatalf("Versions = %d, %v", len(versions), err)
+	}
+	for i, v := range versions {
+		got, err := stack.Files.Read(v)
+		if err != nil || string(got) != fmt.Sprintf("version %d", i+1) {
+			t.Fatalf("version %d = %q, %v", i+1, got, err)
+		}
+	}
+	// The log still reads (its checkpoint survived).
+	logData, err := stack.Logs.Read(logCap)
+	if err != nil || len(logData) != 100 {
+		t.Fatalf("log after GC = %d bytes, %v", len(logData), err)
+	}
+	// The directory service still works (its checkpoint survived):
+	// mutate and look up.
+	if err := stack.Dirs.Enter(stack.Root, "post-gc", versions[2]); err != nil {
+		t.Fatalf("Enter after GC: %v", err)
+	}
+
+	// A second collection finds nothing.
+	removed, err = stack.CollectGarbage()
+	if err != nil || removed != 0 {
+		t.Fatalf("second GC removed %d, %v", removed, err)
+	}
+}
+
+// TestGCKeepsTrimmedHistoryConsistent: when the directory trims versions
+// beyond MaxVersions, the dropped files become orphans and the collector
+// reclaims exactly those.
+func TestGCKeepsTrimmedHistoryConsistent(t *testing.T) {
+	stack, err := bulletfs.NewStack()
+	if err != nil {
+		t.Fatalf("NewStack: %v", err)
+	}
+	defer stack.Close() //nolint:errcheck // test cleanup
+
+	// A tight 2-version history directly on the directory server.
+	dsrv, err := directory.New(directory.Options{
+		Store: stack.Files, StorePort: stack.FilePort, MaxVersions: 2, PFactor: 2,
+	})
+	if err != nil {
+		t.Fatalf("directory.New: %v", err)
+	}
+	root := dsrv.Root()
+
+	var all []bulletfs.Capability
+	for i := 0; i < 5; i++ {
+		c, err := stack.Files.Create(stack.FilePort, []byte(fmt.Sprintf("rev %d", i)), 2)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		all = append(all, c)
+		if i == 0 {
+			err = dsrv.Enter(root, "doc", c)
+		} else {
+			err = dsrv.Replace(root, "doc", c)
+		}
+		if err != nil {
+			t.Fatalf("bind rev %d: %v", i, err)
+		}
+	}
+
+	// The mark phase must union every naming service using the store: the
+	// ad-hoc directory above AND the stack's own directory server (whose
+	// checkpoints also live on this Bullet store).
+	keep := dsrv.ReferencedObjects(stack.FilePort)
+	for obj := range stack.DirServer.ReferencedObjects(stack.FilePort) {
+		keep[obj] = true
+	}
+	removed, err := stack.Store.Engine().SweepExcept(keep)
+	if err != nil {
+		t.Fatalf("SweepExcept: %v", err)
+	}
+	// 5 revisions, history keeps 2 -> exactly the 3 trimmed are orphans.
+	if removed != 3 {
+		t.Fatalf("removed %d, want 3 trimmed revisions", removed)
+	}
+	hist, err := dsrv.History(root, "doc")
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("History = %v, %v", hist, err)
+	}
+	for _, c := range hist {
+		if _, err := stack.Files.Read(c); err != nil {
+			t.Fatalf("retained version unreadable after sweep: %v", err)
+		}
+	}
+	for _, c := range all[:3] {
+		if _, err := stack.Files.Read(c); !errors.Is(err, bullet.ErrNoSuchFile) {
+			t.Fatalf("trimmed version survived: %v", err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module bulletfs
+
+go 1.22

@@ -1,0 +1,258 @@
+package bulletfs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"bulletfs"
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+	"bulletfs/internal/directory"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+	"bulletfs/internal/unixemu"
+)
+
+// TestFederatedBulletServers exercises the paper's §2.1 claim that the
+// directory service's single naming space "has allowed us to link
+// multiple Bullet file servers together providing one single large file
+// service": files live on different servers; capabilities route by port;
+// one directory names them all.
+func TestFederatedBulletServers(t *testing.T) {
+	// Two independent Bullet stores, each on its own TCP endpoint.
+	mkStore := func(name string) (*bulletfs.Store, string) {
+		st, err := bulletfs.NewStore(bulletfs.StoreConfig{PortName: name, DiskMB: 8})
+		if err != nil {
+			t.Fatalf("NewStore(%s): %v", name, err)
+		}
+		t.Cleanup(func() { st.Close() }) //nolint:errcheck // test cleanup
+		addr, err := st.ServeTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ServeTCP: %v", err)
+		}
+		return st, addr
+	}
+	storeA, addrA := mkStore("amsterdam")
+	storeB, addrB := mkStore("berlin")
+
+	// One transport that can reach both (the "gateway" routing table).
+	tr := rpc.NewTCPTransport(rpc.StaticResolver(map[capability.Port]string{
+		storeA.Port(): addrA,
+		storeB.Port(): addrB,
+	}), 10*time.Second)
+	defer tr.Close() //nolint:errcheck // test cleanup
+	cl := client.New(tr)
+
+	// A directory server (in-process) naming files from both stores.
+	dsrv, err := directory.New(directory.Options{})
+	if err != nil {
+		t.Fatalf("directory.New: %v", err)
+	}
+	root := dsrv.Root()
+
+	capA, err := cl.Create(storeA.Port(), []byte("stored in amsterdam"), 2)
+	if err != nil {
+		t.Fatalf("Create on A: %v", err)
+	}
+	capB, err := cl.Create(storeB.Port(), []byte("stored in berlin"), 2)
+	if err != nil {
+		t.Fatalf("Create on B: %v", err)
+	}
+	if err := dsrv.Enter(root, "a.txt", capA); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := dsrv.Enter(root, "b.txt", capB); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+
+	// A client that only knows the directory resolves either file and the
+	// capability's port routes the read to the right machine.
+	for name, want := range map[string]string{
+		"a.txt": "stored in amsterdam",
+		"b.txt": "stored in berlin",
+	} {
+		c, err := dsrv.Lookup(root, name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		got, err := cl.Read(c)
+		if err != nil || string(got) != want {
+			t.Fatalf("Read(%s) = %q, %v", name, got, err)
+		}
+	}
+
+	// Each server only ever saw its own file.
+	if storeA.Engine().Live() != 1 || storeB.Engine().Live() != 1 {
+		t.Fatalf("Live = %d/%d, want 1/1",
+			storeA.Engine().Live(), storeB.Engine().Live())
+	}
+}
+
+// TestFullStackOverTCP runs the complete deployment — Bullet store,
+// directory service, UNIX emulation — through real TCP sockets.
+func TestFullStackOverTCP(t *testing.T) {
+	// Server process: engine + directory on one mux, one listener.
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 8192)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		devs[i] = mem
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	if err := bullet.Format(set, 500); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	eng, err := bullet.New(set, bullet.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("bullet.New: %v", err)
+	}
+	defer eng.Sync()
+	serverMux := rpc.NewMux(0)
+	bulletsvc.New(eng).Register(serverMux)
+
+	// The directory server persists through its own loopback client.
+	dsrv, err := directory.New(directory.Options{
+		Store:     client.New(rpc.NewLocal(serverMux)),
+		StorePort: eng.Port(),
+		PFactor:   2,
+	})
+	if err != nil {
+		t.Fatalf("directory.New: %v", err)
+	}
+	dsrv.Register(serverMux)
+
+	tcp := rpc.NewTCPServer(serverMux)
+	addr, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer tcp.Close() //nolint:errcheck // test cleanup
+
+	// Client process: everything over the wire.
+	tr := rpc.NewTCPTransport(rpc.StaticResolver(map[capability.Port]string{
+		eng.Port():  addr,
+		dsrv.Port(): addr,
+	}), 10*time.Second)
+	defer tr.Close() //nolint:errcheck // test cleanup
+	files := client.New(tr)
+	dirs := directory.NewClient(tr)
+	root, err := dirs.Root(dsrv.Port())
+	if err != nil {
+		t.Fatalf("Root over TCP: %v", err)
+	}
+	fs, err := unixemu.New(unixemu.Options{
+		Files: files, FilePort: eng.Port(),
+		Dirs: dirs, Root: root, PFactor: 2,
+	})
+	if err != nil {
+		t.Fatalf("unixemu.New: %v", err)
+	}
+
+	// A realistic little session.
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf("home/user/doc%d.txt", i)
+		if err := fs.WriteFile(p, bytes.Repeat([]byte{byte('a' + i)}, 2000+i*100)); err != nil {
+			t.Fatalf("WriteFile(%s): %v", p, err)
+		}
+	}
+	if err := fs.WriteFile("home/user/doc2.txt", []byte("rewritten")); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	names, err := fs.ReadDir("home/user")
+	if err != nil || len(names) != 5 {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	got, err := fs.ReadFile("home/user/doc2.txt")
+	if err != nil || string(got) != "rewritten" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := fs.Rename("home/user/doc4.txt", "archive/old4.txt"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := fs.ReadFile("archive/old4.txt"); err != nil {
+		t.Fatalf("read renamed: %v", err)
+	}
+
+	// Server-side restart of the directory from its Bullet checkpoint,
+	// still over TCP from the client's perspective.
+	state := dsrv.StateCap()
+	dsrv2, err := directory.New(directory.Options{
+		Port:      dsrv.Port(),
+		Store:     client.New(rpc.NewLocal(serverMux)),
+		StorePort: eng.Port(),
+		State:     state,
+		PFactor:   2,
+	})
+	if err != nil {
+		t.Fatalf("directory restart: %v", err)
+	}
+	dsrv2.Register(serverMux) // replaces the handler
+	got, err = fs.ReadFile("archive/old4.txt")
+	if err != nil || len(got) == 0 {
+		t.Fatalf("read after directory restart: %q, %v", got, err)
+	}
+}
+
+// TestManyClientsOneServerTCP hammers one store from several concurrent
+// TCP clients, checking isolation of their files.
+func TestManyClientsOneServerTCP(t *testing.T) {
+	store, err := bulletfs.NewStore(bulletfs.StoreConfig{DiskMB: 16, PortName: "shared"})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	defer store.Close() //nolint:errcheck // test cleanup
+	addr, err := store.ServeTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+
+	const clients = 6
+	errc := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		go func(id int) {
+			cl, port, err := bulletfs.Dial(addr, "shared")
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := 0; i < 25; i++ {
+				data := bytes.Repeat([]byte{byte(id*16 + i)}, 500+id*37)
+				c, err := cl.Create(port, data, 1)
+				if err != nil {
+					errc <- fmt.Errorf("client %d create: %w", id, err)
+					return
+				}
+				got, err := cl.Read(c)
+				if err != nil || !bytes.Equal(got, data) {
+					errc <- fmt.Errorf("client %d read corrupted", id)
+					return
+				}
+				if i%3 == 0 {
+					if err := cl.Delete(c); err != nil {
+						errc <- fmt.Errorf("client %d delete: %w", id, err)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(id)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := clients * 25 * 2 / 3 // 25 files each, every third deleted
+	if live := store.Engine().Live(); live < want-clients || live > want+clients {
+		t.Fatalf("Live = %d, want about %d", live, want)
+	}
+}

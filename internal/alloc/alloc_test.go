@@ -1,0 +1,448 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, total int64) *Allocator {
+	t.Helper()
+	a, err := New(total)
+	if err != nil {
+		t.Fatalf("New(%d): %v", total, err)
+	}
+	return a
+}
+
+func mustAlloc(t *testing.T, a *Allocator, n int64) int64 {
+	t.Helper()
+	start, err := a.Alloc(n)
+	if err != nil {
+		t.Fatalf("Alloc(%d): %v", n, err)
+	}
+	return start
+}
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+	if _, err := New(-5); err == nil {
+		t.Fatal("New(-5) succeeded")
+	}
+}
+
+func TestFirstFitOrder(t *testing.T) {
+	a := mustNew(t, 100)
+	if got := mustAlloc(t, a, 10); got != 0 {
+		t.Fatalf("first alloc at %d, want 0", got)
+	}
+	if got := mustAlloc(t, a, 10); got != 10 {
+		t.Fatalf("second alloc at %d, want 10", got)
+	}
+	// Free the first hole; a small request must land there (first fit).
+	if err := a.Free(0, 10); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if got := mustAlloc(t, a, 4); got != 0 {
+		t.Fatalf("first-fit alloc at %d, want 0", got)
+	}
+}
+
+func TestFirstFitSkipsSmallHoles(t *testing.T) {
+	a := mustNew(t, 100)
+	p0 := mustAlloc(t, a, 10) // [0,10)
+	mustAlloc(t, a, 10)       // [10,20)
+	if err := a.Free(p0, 10); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	// 10-unit hole at 0, 80-unit hole at 20. A 20-unit request must skip
+	// the first hole.
+	if got := mustAlloc(t, a, 20); got != 20 {
+		t.Fatalf("alloc at %d, want 20", got)
+	}
+}
+
+func TestAllocExactFitRemovesHole(t *testing.T) {
+	a := mustNew(t, 30)
+	mustAlloc(t, a, 10)
+	mustAlloc(t, a, 10)
+	mustAlloc(t, a, 10)
+	if _, err := a.Alloc(1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("full arena Alloc err = %v, want ErrNoSpace", err)
+	}
+	st := a.Stats()
+	if st.Free != 0 || st.FreeExtents != 0 || st.Used != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAllocRejectsNonPositive(t *testing.T) {
+	a := mustNew(t, 10)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("Alloc(0) succeeded")
+	}
+	if _, err := a.Alloc(-1); err == nil {
+		t.Fatal("Alloc(-1) succeeded")
+	}
+}
+
+func TestFreeCoalescesBothSides(t *testing.T) {
+	a := mustNew(t, 30)
+	p0 := mustAlloc(t, a, 10)
+	p1 := mustAlloc(t, a, 10)
+	p2 := mustAlloc(t, a, 10)
+	if err := a.Free(p0, 10); err != nil {
+		t.Fatalf("Free p0: %v", err)
+	}
+	if err := a.Free(p2, 10); err != nil {
+		t.Fatalf("Free p2: %v", err)
+	}
+	if st := a.Stats(); st.FreeExtents != 2 {
+		t.Fatalf("extents = %d, want 2", st.FreeExtents)
+	}
+	// Freeing the middle merges everything into one hole.
+	if err := a.Free(p1, 10); err != nil {
+		t.Fatalf("Free p1: %v", err)
+	}
+	st := a.Stats()
+	if st.FreeExtents != 1 || st.Free != 30 || st.LargestFree != 30 {
+		t.Fatalf("stats = %+v, want one 30-unit hole", st)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeDetectsDoubleFree(t *testing.T) {
+	a := mustNew(t, 30)
+	p := mustAlloc(t, a, 10)
+	if err := a.Free(p, 10); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := a.Free(p, 10); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free err = %v, want ErrBadFree", err)
+	}
+	// Partial overlap with free space is also rejected.
+	mustAlloc(t, a, 5) // occupies [0,5)
+	if err := a.Free(3, 5); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("overlapping free err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestFreeRejectsOutOfRange(t *testing.T) {
+	a := mustNew(t, 10)
+	if err := a.Free(-1, 2); !errors.Is(err, ErrBadExtent) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := a.Free(8, 5); !errors.Is(err, ErrBadExtent) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := a.Free(0, 0); !errors.Is(err, ErrBadExtent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewFromUsed(t *testing.T) {
+	used := []Extent{{Start: 10, Count: 5}, {Start: 0, Count: 5}, {Start: 20, Count: 10}}
+	a, err := NewFromUsed(30, used)
+	if err != nil {
+		t.Fatalf("NewFromUsed: %v", err)
+	}
+	st := a.Stats()
+	if st.Used != 20 || st.Free != 10 || st.FreeExtents != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The holes are [5,10) and [15,20); first fit of 5 lands at 5.
+	if got := mustAlloc(t, a, 5); got != 5 {
+		t.Fatalf("alloc at %d, want 5", got)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFromUsedFullDisk(t *testing.T) {
+	a, err := NewFromUsed(10, []Extent{{Start: 0, Count: 10}})
+	if err != nil {
+		t.Fatalf("NewFromUsed: %v", err)
+	}
+	if _, err := a.Alloc(1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestNewFromUsedRejectsOverlap(t *testing.T) {
+	if _, err := NewFromUsed(30, []Extent{{0, 10}, {5, 10}}); !errors.Is(err, ErrBadExtent) {
+		t.Fatalf("err = %v, want ErrBadExtent", err)
+	}
+	if _, err := NewFromUsed(30, []Extent{{25, 10}}); !errors.Is(err, ErrBadExtent) {
+		t.Fatalf("out-of-range err = %v, want ErrBadExtent", err)
+	}
+	if _, err := NewFromUsed(30, []Extent{{5, 0}}); !errors.Is(err, ErrBadExtent) {
+		t.Fatalf("empty extent err = %v, want ErrBadExtent", err)
+	}
+}
+
+func TestStatsFragmentation(t *testing.T) {
+	a := mustNew(t, 100)
+	if frag := a.Stats().Fragmentation(); frag != 0 {
+		t.Fatalf("empty arena fragmentation = %v, want 0", frag)
+	}
+	// Allocate everything as 10 x 10, free alternate extents: five 10-unit
+	// holes, largest 10, free 50 -> fragmentation 0.8.
+	starts := make([]int64, 10)
+	for i := range starts {
+		starts[i] = mustAlloc(t, a, 10)
+	}
+	for i := 0; i < 10; i += 2 {
+		if err := a.Free(starts[i], 10); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	st := a.Stats()
+	if st.Free != 50 || st.LargestFree != 10 || st.FreeExtents != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if frag := st.Fragmentation(); frag != 0.8 {
+		t.Fatalf("fragmentation = %v, want 0.8", frag)
+	}
+	// Full arena: fragmentation defined as 0.
+	full := Stats{Total: 10, Free: 0}
+	if full.Fragmentation() != 0 {
+		t.Fatal("full arena fragmentation != 0")
+	}
+}
+
+func TestPlanCompaction(t *testing.T) {
+	used := []Used{
+		{Extent: Extent{Start: 5, Count: 5}, Tag: "a"},
+		{Extent: Extent{Start: 20, Count: 10}, Tag: "b"},
+		{Extent: Extent{Start: 50, Count: 1}, Tag: "c"},
+	}
+	moves := Plan(used)
+	if len(moves) != 3 {
+		t.Fatalf("moves = %+v, want 3", moves)
+	}
+	want := []Move{
+		{From: 5, To: 0, Count: 5, Tag: "a"},
+		{From: 20, To: 5, Count: 10, Tag: "b"},
+		{From: 50, To: 15, Count: 1, Tag: "c"},
+	}
+	for i, m := range moves {
+		if m != want[i] {
+			t.Fatalf("move %d = %+v, want %+v", i, m, want[i])
+		}
+	}
+	// Moves must never write past their own source (left slide only).
+	for _, m := range moves {
+		if m.To >= m.From {
+			t.Fatalf("move %+v does not slide left", m)
+		}
+	}
+}
+
+func TestPlanAlreadyCompact(t *testing.T) {
+	used := []Used{
+		{Extent: Extent{Start: 0, Count: 5}},
+		{Extent: Extent{Start: 5, Count: 5}},
+	}
+	if moves := Plan(used); len(moves) != 0 {
+		t.Fatalf("moves = %+v, want none", moves)
+	}
+	if moves := Plan(nil); len(moves) != 0 {
+		t.Fatalf("Plan(nil) = %+v, want none", moves)
+	}
+}
+
+func TestResetAfterCompaction(t *testing.T) {
+	a := mustNew(t, 100)
+	mustAlloc(t, a, 10)       // [0,10) "a"
+	p1 := mustAlloc(t, a, 10) // [10,20) freed below
+	mustAlloc(t, a, 10)       // [20,30) "b"
+	if err := a.Free(p1, 10); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	// Simulate compaction: "b" moved to 10.
+	if err := a.Reset([]Extent{{0, 10}, {10, 10}}); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	st := a.Stats()
+	if st.Used != 20 || st.FreeExtents != 1 || st.LargestFree != 80 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+	if got := mustAlloc(t, a, 80); got != 20 {
+		t.Fatalf("post-compaction alloc at %d, want 20", got)
+	}
+}
+
+// Property: any interleaving of allocs and frees preserves the free-list
+// invariants and exact accounting.
+func TestQuickAllocatorInvariants(t *testing.T) {
+	type op struct {
+		Alloc bool
+		N     uint8
+	}
+	f := func(ops []op) bool {
+		a, err := New(1 << 12)
+		if err != nil {
+			return false
+		}
+		type held struct{ start, n int64 }
+		var hold []held
+		var usedUnits int64
+		for _, o := range ops {
+			if o.Alloc {
+				n := int64(o.N%64) + 1
+				start, err := a.Alloc(n)
+				if errors.Is(err, ErrNoSpace) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				hold = append(hold, held{start, n})
+				usedUnits += n
+			} else if len(hold) > 0 {
+				h := hold[len(hold)-1]
+				hold = hold[:len(hold)-1]
+				if err := a.Free(h.start, h.n); err != nil {
+					return false
+				}
+				usedUnits -= h.n
+			}
+			if err := a.CheckInvariants(); err != nil {
+				return false
+			}
+			if st := a.Stats(); st.Used != usedUnits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocations never overlap each other.
+func TestQuickNoOverlappingAllocations(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a, err := New(1 << 12)
+		if err != nil {
+			return false
+		}
+		type span struct{ s, e int64 }
+		var spans []span
+		for _, raw := range sizes {
+			n := int64(raw%100) + 1
+			start, err := a.Alloc(n)
+			if errors.Is(err, ErrNoSpace) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			for _, sp := range spans {
+				if start < sp.e && sp.s < start+n {
+					return false // overlap
+				}
+			}
+			spans = append(spans, span{start, start + n})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a compaction plan executed on a model arena leaves data intact
+// and ends with one hole at the top.
+func TestQuickPlanPreservesData(t *testing.T) {
+	f := func(sizes []uint8, frees []uint8) bool {
+		const total = 1 << 10
+		a, err := New(total)
+		if err != nil {
+			return false
+		}
+		arena := make([]byte, total)
+		type file struct {
+			start, n int64
+			fill     byte
+		}
+		files := map[int]*file{}
+		id := 0
+		for _, raw := range sizes {
+			n := int64(raw%32) + 1
+			start, err := a.Alloc(n)
+			if errors.Is(err, ErrNoSpace) {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			fill := byte(id + 1)
+			for i := int64(0); i < n; i++ {
+				arena[start+i] = fill
+			}
+			files[id] = &file{start: start, n: n, fill: fill}
+			id++
+		}
+		for _, fr := range frees {
+			if len(files) == 0 || id == 0 {
+				break
+			}
+			victim := int(fr) % id
+			f, ok := files[victim]
+			if !ok {
+				continue
+			}
+			if err := a.Free(f.start, f.n); err != nil {
+				return false
+			}
+			delete(files, victim)
+		}
+		var used []Used
+		for fid, f := range files {
+			used = append(used, Used{Extent: Extent{Start: f.start, Count: f.n}, Tag: fid})
+		}
+		moves := Plan(used)
+		for _, m := range moves {
+			copy(arena[m.To:m.To+m.Count], arena[m.From:m.From+m.Count])
+			files[m.Tag.(int)].start = m.To
+		}
+		var after []Extent
+		var usedUnits int64
+		for _, f := range files {
+			after = append(after, Extent{Start: f.start, Count: f.n})
+			usedUnits += f.n
+		}
+		if err := a.Reset(after); err != nil {
+			return false
+		}
+		st := a.Stats()
+		if st.Used != usedUnits {
+			return false
+		}
+		if st.Free > 0 && st.FreeExtents != 1 {
+			return false // compaction must leave exactly one hole
+		}
+		if st.LargestFree != st.Free {
+			return false
+		}
+		// Every file's bytes survived the moves.
+		for _, f := range files {
+			for i := int64(0); i < f.n; i++ {
+				if arena[f.start+i] != f.fill {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package alloc_test
+
+import (
+	"fmt"
+
+	"bulletfs/internal/alloc"
+)
+
+// First-fit contiguous allocation, the fragmentation it causes, and the
+// compaction that repairs it — the §3 life cycle of the Bullet disk.
+func ExampleAllocator() {
+	a, _ := alloc.New(100)
+	f1, _ := a.Alloc(30)
+	f2, _ := a.Alloc(30)
+	f3, _ := a.Alloc(30)
+	_ = a.Free(f2, 30) // delete the middle file
+
+	st := a.Stats()
+	fmt.Printf("free %d in %d holes, largest %d, fragmentation %.0f%%\n",
+		st.Free, st.FreeExtents, st.LargestFree, 100*st.Fragmentation())
+
+	// The 3 a.m. compactor: slide everything left, rebuild the free list.
+	moves := alloc.Plan([]alloc.Used{
+		{Extent: alloc.Extent{Start: f1, Count: 30}, Tag: "file1"},
+		{Extent: alloc.Extent{Start: f3, Count: 30}, Tag: "file3"},
+	})
+	for _, m := range moves {
+		fmt.Printf("move %v: %d -> %d\n", m.Tag, m.From, m.To)
+	}
+	_ = a.Reset([]alloc.Extent{{Start: 0, Count: 30}, {Start: 30, Count: 30}})
+	st = a.Stats()
+	fmt.Printf("after compaction: largest %d, fragmentation %.0f%%\n",
+		st.LargestFree, 100*st.Fragmentation())
+	// Output:
+	// free 40 in 2 holes, largest 30, fragmentation 25%
+	// move file3: 60 -> 30
+	// after compaction: largest 40, fragmentation 0%
+}

@@ -1,0 +1,4 @@
+package alloc
+
+// CheckInvariants exposes the internal invariant checker to tests.
+func (a *Allocator) CheckInvariants() error { return a.checkInvariants() }

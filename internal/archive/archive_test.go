@@ -1,0 +1,382 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+	"bulletfs/internal/directory"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+func newWORM(t *testing.T, blocks int64) *disk.WORMDisk {
+	t.Helper()
+	mem, err := disk.NewMem(512, blocks)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	return disk.NewWORM(mem)
+}
+
+func cap0(t *testing.T, obj uint32) capability.Capability {
+	t.Helper()
+	r, err := capability.NewRandom()
+	if err != nil {
+		t.Fatalf("NewRandom: %v", err)
+	}
+	return capability.Owner(capability.PortFromString("arch"), obj, r)
+}
+
+func TestWORMSemantics(t *testing.T) {
+	w := newWORM(t, 8)
+	buf := make([]byte, 512)
+	if err := w.WriteAt(buf, 0); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := w.WriteAt(buf, 0); !errors.Is(err, disk.ErrWriteOnce) {
+		t.Fatalf("rewrite err = %v, want ErrWriteOnce", err)
+	}
+	// Partial overlap with a burned block is also refused.
+	if err := w.WriteAt(make([]byte, 1024), 256); !errors.Is(err, disk.ErrWriteOnce) {
+		t.Fatalf("overlap err = %v", err)
+	}
+	// A fresh block is fine; reads always work.
+	if err := w.WriteAt(buf, 512); err != nil {
+		t.Fatalf("write to fresh block: %v", err)
+	}
+	if err := w.ReadAt(buf, 3*512); err != nil {
+		t.Fatalf("read of unwritten block: %v", err)
+	}
+	if w.WrittenBlocks() != 2 {
+		t.Fatalf("WrittenBlocks = %d, want 2", w.WrittenBlocks())
+	}
+	if err := w.WriteAt(buf, 8*512); !errors.Is(err, disk.ErrOutOfRange) {
+		t.Fatalf("out of range err = %v", err)
+	}
+	if err := w.WriteAt(nil, 0); err != nil {
+		t.Fatalf("empty write: %v", err)
+	}
+}
+
+func TestArchiveStoreLoadRoundTrip(t *testing.T) {
+	w := newWORM(t, 256)
+	a, err := Create(w)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	c1, c2 := cap0(t, 1), cap0(t, 2)
+	d1 := []byte("first version of the report")
+	d2 := bytes.Repeat([]byte{0xAB}, 2000) // multi-block
+	if err := a.Store(c1, d1); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if err := a.Store(c2, d2); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	got, err := a.Load(c1)
+	if err != nil || !bytes.Equal(got, d1) {
+		t.Fatalf("Load(c1) = %q, %v", got, err)
+	}
+	got, err = a.Load(c2)
+	if err != nil || !bytes.Equal(got, d2) {
+		t.Fatalf("Load(c2) corrupted, %v", err)
+	}
+	if _, err := a.Load(cap0(t, 99)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load(missing) err = %v", err)
+	}
+	entries, err := a.List()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("List = %v, %v", entries, err)
+	}
+	if entries[0].Cap != c1 || entries[0].Size != int64(len(d1)) {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+}
+
+func TestArchiveEmptyPayload(t *testing.T) {
+	w := newWORM(t, 64)
+	a, err := Create(w)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	c := cap0(t, 1)
+	if err := a.Store(c, nil); err != nil {
+		t.Fatalf("Store(empty): %v", err)
+	}
+	got, err := a.Load(c)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Load = %q, %v", got, err)
+	}
+}
+
+func TestArchiveReopenScansToEnd(t *testing.T) {
+	w := newWORM(t, 256)
+	a, err := Create(w)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	caps := make([]capability.Capability, 5)
+	for i := range caps {
+		caps[i] = cap0(t, uint32(i+1))
+		if err := a.Store(caps[i], bytes.Repeat([]byte{byte(i)}, 100+300*i)); err != nil {
+			t.Fatalf("Store %d: %v", i, err)
+		}
+	}
+	used := a.Used()
+
+	a2, err := Open(w)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if a2.Used() != used {
+		t.Fatalf("Used = %d after reopen, want %d", a2.Used(), used)
+	}
+	// Appending after reopen must not collide with burned blocks.
+	c := cap0(t, 77)
+	if err := a2.Store(c, []byte("appended after reopen")); err != nil {
+		t.Fatalf("Store after reopen: %v", err)
+	}
+	for i, want := range caps {
+		got, err := a2.Load(want)
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 100+300*i)) {
+			t.Fatalf("record %d lost after reopen: %v", i, err)
+		}
+	}
+}
+
+func TestArchiveOpenRejectsBlankAndGarbage(t *testing.T) {
+	if _, err := Open(newWORM(t, 16)); !errors.Is(err, ErrNotArchive) {
+		t.Fatalf("Open(blank) err = %v", err)
+	}
+	mem, err := disk.NewMem(512, 16)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	if err := mem.WriteAt([]byte("garbage!"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if _, err := Open(mem); !errors.Is(err, ErrNotArchive) {
+		t.Fatalf("Open(garbage) err = %v", err)
+	}
+}
+
+func TestArchiveFull(t *testing.T) {
+	w := newWORM(t, 8) // header + 7 blocks
+	a, err := Create(w)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// 2 records of 2 blocks each (header + 1 data) fit, then a 3-block
+	// record does not.
+	if err := a.Store(cap0(t, 1), make([]byte, 400)); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if err := a.Store(cap0(t, 2), make([]byte, 400)); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if err := a.Store(cap0(t, 3), make([]byte, 1200)); !errors.Is(err, ErrFull) {
+		t.Fatalf("Store on full volume err = %v", err)
+	}
+	// A smaller record still fits in the remainder.
+	if err := a.Store(cap0(t, 4), make([]byte, 400)); err != nil {
+		t.Fatalf("Store(small): %v", err)
+	}
+}
+
+func TestArchiveDetectsBitRot(t *testing.T) {
+	mem, err := disk.NewMem(512, 64)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	a, err := Create(mem) // plain device so we can corrupt it
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	c := cap0(t, 1)
+	if err := a.Store(c, bytes.Repeat([]byte{7}, 600)); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	// Flip a bit in the record's data area (blocks 2..3).
+	evil := []byte{0xFF}
+	if err := mem.WriteAt(evil, 2*512+100); err != nil {
+		t.Fatalf("corrupting: %v", err)
+	}
+	if _, err := a.Load(c); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of rotten record err = %v", err)
+	}
+}
+
+// TestArchiveVersionsFromDirectory is the paper's scenario end to end:
+// every version of a file, as retained by the directory service, burned
+// onto write-once storage and readable back.
+func TestArchiveVersionsFromDirectory(t *testing.T) {
+	// Live system: bullet + directory.
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 4096)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		devs[i] = mem
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	if err := bullet.Format(set, 200); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	eng, err := bullet.New(set, bullet.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("bullet.New: %v", err)
+	}
+	defer eng.Sync()
+	mux := rpc.NewMux(0)
+	bulletsvc.New(eng).Register(mux)
+	cl := client.New(rpc.NewLocal(mux))
+	dsrv, err := directory.New(directory.Options{})
+	if err != nil {
+		t.Fatalf("directory.New: %v", err)
+	}
+	root := dsrv.Root()
+
+	// Three versions of a document.
+	var want [][]byte
+	for i := 0; i < 3; i++ {
+		data := []byte(fmt.Sprintf("revision %d of the design", i+1))
+		want = append(want, data)
+		c, err := cl.Create(eng.Port(), data, 2)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		if i == 0 {
+			err = dsrv.Enter(root, "design.txt", c)
+		} else {
+			err = dsrv.Replace(root, "design.txt", c)
+		}
+		if err != nil {
+			t.Fatalf("bind version %d: %v", i, err)
+		}
+	}
+
+	// Burn the history to WORM.
+	worm := newWORM(t, 512)
+	a, err := Create(worm)
+	if err != nil {
+		t.Fatalf("Create archive: %v", err)
+	}
+	hist, err := dsrv.History(root, "design.txt")
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	stored, err := a.StoreVersions(cl.Read, hist)
+	if err != nil || stored != 3 {
+		t.Fatalf("StoreVersions = %d, %v", stored, err)
+	}
+	// Re-running is incremental: nothing new to burn.
+	stored, err = a.StoreVersions(cl.Read, hist)
+	if err != nil || stored != 0 {
+		t.Fatalf("second StoreVersions = %d, %v", stored, err)
+	}
+
+	// The live store can now drop old versions; the archive keeps them.
+	for _, c := range hist[:2] {
+		if err := cl.Delete(c); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	for i, c := range hist {
+		got, err := a.Load(c)
+		if err != nil || !bytes.Equal(got, want[i]) {
+			t.Fatalf("archived version %d = %q, %v", i, got, err)
+		}
+	}
+}
+
+// Property: any sequence of stores round-trips through a reopen.
+func TestQuickArchiveRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		mem, err := disk.NewMem(512, 4096)
+		if err != nil {
+			return false
+		}
+		a, err := Create(disk.NewWORM(mem))
+		if err != nil {
+			return false
+		}
+		type rec struct {
+			c    capability.Capability
+			data []byte
+		}
+		var recs []rec
+		for i, p := range payloads {
+			if len(p) > 4096 {
+				p = p[:4096]
+			}
+			r, err := capability.NewRandom()
+			if err != nil {
+				return false
+			}
+			c := capability.Owner(capability.PortFromString("q"), uint32(i+1), r)
+			if err := a.Store(c, p); err != nil {
+				if errors.Is(err, ErrFull) {
+					break
+				}
+				return false
+			}
+			recs = append(recs, rec{c, p})
+		}
+		a2, err := Open(mem)
+		if err != nil {
+			return false
+		}
+		for _, r := range recs {
+			got, err := a2.Load(r.c)
+			if err != nil || !bytes.Equal(got, r.data) {
+				return false
+			}
+		}
+		entries, err := a2.List()
+		return err == nil && len(entries) == len(recs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsForgedHugeRecordSize(t *testing.T) {
+	mem, err := disk.NewMem(512, 64)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	a, err := Create(mem)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := a.Store(cap0(t, 1), []byte("real record")); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	// Forge the record header's size field to near-2^63: Open and Load
+	// must fail cleanly, not overflow or panic.
+	forged := make([]byte, 8)
+	for i := range forged {
+		forged[i] = 0x7F
+	}
+	// size lives after magic(4) + capability(16) at block 1.
+	if err := mem.WriteAt(forged, 512+4+16); err != nil {
+		t.Fatalf("forging: %v", err)
+	}
+	if _, err := Open(mem); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open(forged) err = %v, want ErrCorrupt", err)
+	}
+	if _, err := a.Load(cap0(t, 1)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load(forged) err = %v, want ErrCorrupt", err)
+	}
+}

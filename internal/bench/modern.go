@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"bulletfs/internal/hwmodel"
+)
+
+// RunModern is the what-if experiment DESIGN.md's hardware model set up:
+// the paper's two designs re-run on commodity 2020s hardware (NVMe
+// latencies, gigabit Ethernet). It quantifies how much of the Bullet
+// advantage was 1989 disk physics (seek+rotation per block) and how much
+// is structural (one RPC and one positioning per file): on SSDs the read
+// gap collapses to protocol overhead, while whole-file creates keep a
+// clear structural win — which is why today's object stores still look
+// like Bullet.
+func RunModern() (*Table, []Check, error) {
+	profile := hwmodel.ModernProfile()
+
+	bw, err := NewBulletWorld(BulletConfig{Profile: profile})
+	if err != nil {
+		return nil, nil, err
+	}
+	nw, err := NewNFSWorld(NFSConfig{
+		Profile:     profile,
+		AllocStride: 1,  // fresh filesystem
+		Residency:   -1, // dedicated server
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	root, err := nw.Client.Root()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	t := &Table{
+		Title:   "What-if: both designs on modern hardware (NVMe, 1 GbE; delay)",
+		Unit:    "msec",
+		Columns: []string{"BULLET-READ", "BLOCK-READ", "BULLET-CRE", "BLOCK-CRE"},
+	}
+	type point struct{ bRead, nRead, bCre, nCre float64 }
+	var last point
+	for si, size := range PaperSizes {
+		data := pattern(size)
+		cap0, err := bw.Client.Create(bw.Port, data, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		bRead, err := Measure(bw.Clock, func() error {
+			if _, err := bw.Client.Size(cap0); err != nil {
+				return err
+			}
+			_, err := bw.Client.Read(cap0)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		bCre, err := Measure(bw.Clock, func() error {
+			c, err := bw.Client.Create(bw.Port, data, 2)
+			if err != nil {
+				return err
+			}
+			return bw.Client.Delete(c)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := bw.Client.Delete(cap0); err != nil {
+			return nil, nil, err
+		}
+
+		name := fmt.Sprintf("m-%d", si)
+		h, err := nw.Client.CreateWrite(root, name, data)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := nw.Client.ReadAll(h); err != nil { // warm
+			return nil, nil, err
+		}
+		nRead, err := Measure(nw.Clock, func() error {
+			_, err := nw.Client.ReadAll(h)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		nCre, err := Measure(nw.Clock, func() error {
+			_, err := nw.Client.CreateWrite(root, name+"x", data)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := nw.Client.Remove(root, name+"x"); err != nil {
+			return nil, nil, err
+		}
+
+		last = point{msec(bRead), msec(nRead), msec(bCre), msec(nCre)}
+		t.Rows = append(t.Rows, RowT{
+			Label:  SizeLabel(size),
+			Values: []float64{last.bRead, last.nRead, last.bCre, last.nCre},
+		})
+	}
+
+	checks := []Check{
+		{
+			ID:    "M1",
+			Claim: "whole-file transfer still wins at 1 MB on modern hardware",
+			Detail: fmt.Sprintf("read %.2f vs %.2f ms, create %.2f vs %.2f ms",
+				last.bRead, last.nRead, last.bCre, last.nCre),
+			Pass: last.bRead < last.nRead && last.bCre < last.nCre,
+		},
+		{
+			ID:    "M2",
+			Claim: "the 1989 gap was mostly disk physics: it narrows on SSDs",
+			Detail: fmt.Sprintf("1 MB create gap %.1fx on SSDs (5-6x on 1989 disks)",
+				last.nCre/last.bCre),
+			Pass: last.nCre/last.bCre < 5,
+		},
+	}
+	return t, checks, nil
+}

@@ -1,0 +1,624 @@
+// Package bullet implements the Bullet file server engine — the paper's
+// primary contribution. Files are immutable, stored contiguously on disk,
+// cached contiguously in RAM, and transferred whole. The only operations
+// are create, size, read and delete (paper §2.2), plus the "create a new
+// file from an existing file" extension of §5.
+//
+// The engine composes the substrates: the inode table and disk layout
+// (internal/layout), the first-fit contiguous allocator (internal/alloc),
+// the rnode RAM cache (internal/cache), N-way disk replication
+// (internal/disk.ReplicaSet) and capability protection
+// (internal/capability). Network transport lives one layer up, in
+// internal/bulletsvc.
+package bullet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bulletfs/internal/alloc"
+	"bulletfs/internal/cache"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/layout"
+)
+
+// Engine-level errors.
+var (
+	// ErrNoSuchFile means the capability's object number does not name a
+	// live file.
+	ErrNoSuchFile = errors.New("bullet: no such file")
+	// ErrTooLarge means a file does not fit in the server's cache memory;
+	// the Bullet model requires whole files in RAM (paper §2).
+	ErrTooLarge = errors.New("bullet: file too large for server memory")
+	// ErrDiskFull means no contiguous extent can hold the file, even after
+	// compaction.
+	ErrDiskFull = errors.New("bullet: disk full")
+	// ErrBadPFactor means the paranoia factor exceeds the number of disks
+	// ("this requires the file server to have at least N disks", §2.2).
+	ErrBadPFactor = errors.New("bullet: p-factor exceeds replica count")
+	// ErrBadOffset means a modify/read range is malformed.
+	ErrBadOffset = errors.New("bullet: bad offset or length")
+)
+
+// Rights understood by the Bullet server.
+const (
+	// RightRead covers BULLET.READ and BULLET.SIZE.
+	RightRead = capability.RightRead
+	// RightDelete covers BULLET.DELETE.
+	RightDelete = capability.RightDelete
+	// RightModify covers deriving new files from this one (§5 extension).
+	RightModify = capability.RightModify
+)
+
+// Options configures a Server.
+type Options struct {
+	// Port is the server's capability port. Zero means draw a random one.
+	Port capability.Port
+	// CacheBytes is the RAM cache arena size. The paper's server used all
+	// memory left after the inode table; default 8 MiB.
+	CacheBytes int64
+	// MaxCachedFiles bounds the rnode table; default 1024.
+	MaxCachedFiles int
+}
+
+func (o *Options) fill() error {
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 8 << 20
+	}
+	if o.MaxCachedFiles == 0 {
+		o.MaxCachedFiles = 1024
+	}
+	if (o.Port == capability.Port{}) {
+		p, err := capability.NewPort()
+		if err != nil {
+			return err
+		}
+		o.Port = p
+	}
+	return nil
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Creates      int64
+	Reads        int64
+	Deletes      int64
+	Modifies     int64
+	CacheHits    int64
+	CacheMisses  int64
+	CapCacheHits int64 // capability validations served from the §2.1 cache
+	BytesIn      int64
+	BytesOut     int64
+	Compactions  int64
+}
+
+// Server is one Bullet file server instance over a replica set.
+type Server struct {
+	port     capability.Port
+	replicas *disk.ReplicaSet
+	desc     layout.Descriptor
+
+	mu     sync.Mutex // serializes metadata operations, like the paper's single-threaded server
+	table  *layout.Table
+	dalloc *alloc.Allocator // data-area blocks
+	cache  *cache.Cache
+	stats  Stats
+
+	// capCache remembers successfully verified capabilities so repeat
+	// requests skip the check-field computation — "Capabilities can be
+	// cached to avoid decryption for each access" (paper §2.1). Entries
+	// for an object are dropped when it is deleted; the whole cache is
+	// bounded and evicted wholesale when full (verification is cheap, the
+	// cache is an optimization, simplicity wins).
+	capCache map[capability.Capability]capability.Rights
+}
+
+// maxCapCache bounds the verified-capability cache.
+const maxCapCache = 4096
+
+// Format writes a fresh Bullet filesystem onto every replica of the set.
+func Format(replicas *disk.ReplicaSet, inodes int) error {
+	return layout.Format(replicas, layout.FormatConfig{Inodes: inodes})
+}
+
+// New starts an engine over the (already formatted) replica set: it reads
+// the complete inode table into RAM, scans it for consistency, rebuilds the
+// disk free list from the inodes, and readies the cache (paper §3 startup
+// sequence). Inodes the scan had to zero are persisted back to disk.
+func New(replicas *disk.ReplicaSet, opts Options) (*Server, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	replicas.Drain() // settle any in-flight writes from a previous engine
+	table, report, err := layout.Load(replicas)
+	if err != nil {
+		return nil, fmt.Errorf("bullet: loading inode table: %w", err)
+	}
+	for _, p := range report.Problems {
+		if err := table.WriteInode(replicas, p.Inode); err != nil {
+			return nil, fmt.Errorf("bullet: persisting scan fix for inode %d: %w", p.Inode, err)
+		}
+	}
+	desc := table.Desc()
+
+	var used []alloc.Extent
+	table.ForEachUsed(func(_ uint32, ino layout.Inode) {
+		used = append(used, alloc.Extent{
+			Start: int64(ino.FirstBlock),
+			Count: ino.Blocks(desc.BlockSize),
+		})
+	})
+	dalloc, err := alloc.NewFromUsed(desc.DataSize, used)
+	if err != nil {
+		return nil, fmt.Errorf("bullet: rebuilding free list: %w", err)
+	}
+	fileCache, err := cache.New(opts.CacheBytes, opts.MaxCachedFiles)
+	if err != nil {
+		return nil, fmt.Errorf("bullet: building cache: %w", err)
+	}
+	return &Server{
+		port:     opts.Port,
+		replicas: replicas,
+		desc:     desc,
+		table:    table,
+		dalloc:   dalloc,
+		cache:    fileCache,
+		capCache: make(map[capability.Capability]capability.Rights),
+	}, nil
+}
+
+// Port returns the server's capability port.
+func (s *Server) Port() capability.Port { return s.port }
+
+// MaxFileSize returns the largest file this server accepts: it must fit in
+// the RAM cache whole.
+func (s *Server) MaxFileSize() int64 { return s.cache.Stats().TotalBytes }
+
+// verify resolves a capability to its inode, checking the check field and
+// the required rights. Successful check-field validations are remembered
+// (paper §2.1), so only the rights test runs on repeats. Must be called
+// with s.mu held.
+func (s *Server) verify(c capability.Capability, want capability.Rights) (uint32, layout.Inode, error) {
+	if c.Port != s.port {
+		return 0, layout.Inode{}, fmt.Errorf("capability for another server: %w", ErrNoSuchFile)
+	}
+	ino, err := s.table.Get(c.Object)
+	if err != nil {
+		return 0, layout.Inode{}, fmt.Errorf("object %d: %w", c.Object, ErrNoSuchFile)
+	}
+	if rights, ok := s.capCache[c]; ok {
+		s.stats.CapCacheHits++
+		if !rights.Has(want) {
+			return 0, layout.Inode{}, fmt.Errorf("need rights %08b, have %08b: %w",
+				want, rights, capability.ErrBadRights)
+		}
+		return c.Object, ino, nil
+	}
+	rights, err := capability.Verify(c, ino.Random)
+	if err != nil {
+		return 0, layout.Inode{}, err
+	}
+	if len(s.capCache) >= maxCapCache {
+		clear(s.capCache)
+	}
+	s.capCache[c] = rights
+	if !rights.Has(want) {
+		return 0, layout.Inode{}, fmt.Errorf("need rights %08b, have %08b: %w",
+			want, rights, capability.ErrBadRights)
+	}
+	return c.Object, ino, nil
+}
+
+// forgetCapsLocked drops cached capability validations for an object; its
+// random number dies with it, and the inode slot will be reused.
+func (s *Server) forgetCapsLocked(obj uint32) {
+	for c := range s.capCache {
+		if c.Object == obj {
+			delete(s.capCache, c)
+		}
+	}
+}
+
+// blocksFor returns the data-area blocks needed for a file of n bytes.
+func (s *Server) blocksFor(n int64) int64 {
+	return (layout.Inode{Size: uint32(clampUint32(n))}).Blocks(s.desc.BlockSize)
+}
+
+func clampUint32(n int64) uint32 {
+	if n < 0 {
+		return 0
+	}
+	if n > 0xFFFFFFFF {
+		return 0xFFFFFFFF
+	}
+	return uint32(n)
+}
+
+// Create implements BULLET.CREATE (paper §2.2): it stores data as a new
+// immutable file and returns its owner capability. The paranoia factor
+// selects when the call returns relative to the write-through replication:
+// 0 returns once the file is in the RAM cache, k >= 1 returns after k disks
+// hold both the file and its inode. The write-through to every disk always
+// happens (paper §3); P-FACTOR only moves the reply.
+func (s *Server) Create(data []byte, pfactor int) (capability.Capability, error) {
+	if pfactor < 0 || pfactor > s.replicas.N() {
+		return capability.Capability{}, fmt.Errorf("p-factor %d with %d disks: %w",
+			pfactor, s.replicas.N(), ErrBadPFactor)
+	}
+	size := int64(len(data))
+	if size > s.MaxFileSize() {
+		return capability.Capability{}, fmt.Errorf("%d bytes: %w", size, ErrTooLarge)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// A contiguous extent in the data area, first fit; if fragmentation
+	// defeats us but the space exists, compact the disk and retry (the
+	// paper runs this nightly; we run it on demand).
+	blocks := s.blocksFor(size)
+	start, err := s.dalloc.Alloc(blocks)
+	if errors.Is(err, alloc.ErrNoSpace) {
+		if st := s.dalloc.Stats(); st.Free >= blocks {
+			if cerr := s.compactDiskLocked(); cerr != nil {
+				return capability.Capability{}, cerr
+			}
+			start, err = s.dalloc.Alloc(blocks)
+		}
+	}
+	if err != nil {
+		return capability.Capability{}, fmt.Errorf("%d blocks: %w", blocks, ErrDiskFull)
+	}
+
+	random, err := capability.NewRandom()
+	if err != nil {
+		s.dalloc.Free(start, blocks) //nolint:errcheck // rollback of our own alloc
+		return capability.Capability{}, err
+	}
+	inode, err := s.table.Allocate(random, uint32(start), uint32(size))
+	if err != nil {
+		s.dalloc.Free(start, blocks) //nolint:errcheck // rollback of our own alloc
+		return capability.Capability{}, err
+	}
+
+	// Into the RAM cache first: BULLET.CREATE with P-FACTOR 0 returns
+	// "immediately after the file has been copied to the file server's RAM
+	// cache, but before it has been stored on disk".
+	idx, evicted, err := s.cache.Insert(inode, data)
+	if err != nil {
+		_ = s.table.Free(inode)
+		s.dalloc.Free(start, blocks) //nolint:errcheck // rollback
+		return capability.Capability{}, err
+	}
+	s.clearEvictedLocked(evicted)
+	if err := s.table.SetCacheIndex(inode, idx); err != nil {
+		return capability.Capability{}, err
+	}
+
+	// Write-through: file bytes, then the whole disk block containing the
+	// new inode, per replica. The inode block is re-encoded at write time
+	// so delayed background writes publish current (never stale) metadata.
+	padded := make([]byte, blocks*int64(s.desc.BlockSize))
+	copy(padded, data)
+	dataOff := s.desc.DataOffset(start)
+	err = s.replicas.Apply(pfactor, func(_ int, dev disk.Device) error {
+		if err := dev.WriteAt(padded, dataOff); err != nil {
+			return err
+		}
+		return s.table.WriteInode(dev, inode)
+	})
+	if err != nil {
+		// No disk accepted the file during the synchronous phase: undo.
+		if rerr := s.cache.Remove(idx, inode); rerr == nil {
+			_ = s.table.Free(inode)
+			s.dalloc.Free(start, blocks) //nolint:errcheck // rollback
+		}
+		return capability.Capability{}, fmt.Errorf("bullet: write-through failed: %w", err)
+	}
+
+	s.stats.Creates++
+	s.stats.BytesIn += size
+	return capability.Owner(s.port, inode, random), nil
+}
+
+// clearEvictedLocked clears the cache-index field of inodes whose cached
+// copies were evicted.
+func (s *Server) clearEvictedLocked(evicted []uint32) {
+	for _, n := range evicted {
+		// The inode may have been deleted already; ignore ErrBadInode.
+		_ = s.table.SetCacheIndex(n, 0)
+	}
+}
+
+// Size implements BULLET.SIZE: the byte size of the file, so the client can
+// allocate memory before BULLET.READ (paper §2.2).
+func (s *Server) Size(c capability.Capability) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ino, err := s.verify(c, RightRead)
+	if err != nil {
+		return 0, err
+	}
+	return int64(ino.Size), nil
+}
+
+// Read implements BULLET.READ: the complete file contents in one
+// operation. A cache hit serves straight from RAM; a miss loads the file
+// contiguously from disk into the cache first (paper §3). The returned
+// slice is the caller's to keep.
+func (s *Server) Read(c capability.Capability) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := s.readLocked(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	s.stats.Reads++
+	s.stats.BytesOut += int64(len(out))
+	return out, nil
+}
+
+// readLocked returns a view of the file's cached bytes, faulting it in from
+// disk if needed. The view aliases the cache; callers copy before unlocking.
+func (s *Server) readLocked(c capability.Capability) ([]byte, error) {
+	inode, ino, err := s.verify(c, RightRead)
+	if err != nil {
+		return nil, err
+	}
+	if ino.CacheIndex != 0 {
+		data, err := s.cache.Get(ino.CacheIndex, inode)
+		if err == nil {
+			s.stats.CacheHits++
+			return data, nil
+		}
+		// Stale index (should not happen; self-heal and fall through).
+		_ = s.table.SetCacheIndex(inode, 0)
+	}
+	s.stats.CacheMisses++
+
+	// Load the whole file contiguously from the main disk (§3: "the file
+	// can be read into the RAM cache" in one transfer). A P-FACTOR-0
+	// create may still have its write-through in flight (e.g. the cached
+	// copy was evicted immediately); wait it out before trusting the disk.
+	s.replicas.Drain()
+	data := make([]byte, ino.Size)
+	if ino.Size > 0 {
+		if err := s.replicas.ReadAt(data, s.desc.DataOffset(int64(ino.FirstBlock))); err != nil {
+			return nil, fmt.Errorf("bullet: reading file from disk: %w", err)
+		}
+	}
+	idx, evicted, err := s.cache.Insert(inode, data)
+	if err != nil {
+		// Cache refusal (e.g. file as big as the arena under pressure) is
+		// not fatal to the read itself.
+		return data, nil //nolint:nilerr // serve uncached
+	}
+	s.clearEvictedLocked(evicted)
+	if err := s.table.SetCacheIndex(inode, idx); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Delete implements BULLET.DELETE: verify, zero the inode and write it back
+// to all disks, free the cache copy and the disk extent (paper §3).
+func (s *Server) Delete(c capability.Capability) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inode, ino, err := s.verify(c, RightDelete)
+	if err != nil {
+		return err
+	}
+	// The freed extent becomes allocatable below; any still-pending
+	// background write-through (P-FACTOR 0) targeting it must land first,
+	// or it would clobber whatever file reuses the extent.
+	s.replicas.Drain()
+	if ino.CacheIndex != 0 {
+		_ = s.cache.Remove(ino.CacheIndex, inode)
+	}
+	s.forgetCapsLocked(inode)
+	if err := s.table.Free(inode); err != nil {
+		return err
+	}
+	// Deletion involves requests to all disks (paper §4 note under Fig. 2).
+	err = s.replicas.Apply(s.replicas.N(), func(_ int, dev disk.Device) error {
+		return s.table.WriteInode(dev, inode)
+	})
+	if err != nil {
+		return fmt.Errorf("bullet: persisting delete: %w", err)
+	}
+	if err := s.dalloc.Free(int64(ino.FirstBlock), ino.Blocks(s.desc.BlockSize)); err != nil {
+		return fmt.Errorf("bullet: freeing extent: %w", err)
+	}
+	s.stats.Deletes++
+	return nil
+}
+
+// Modify implements the §5 extension: generate a new immutable file from
+// an existing one, "such that for a small modification it is not necessary
+// any longer to transfer the whole file". The new file is the old contents
+// resized to newSize (zero-filled when growing, truncated when shrinking;
+// newSize < 0 keeps max(oldSize, offset+len(data))), with data spliced in
+// at offset. The original file is untouched; a fresh capability is
+// returned.
+func (s *Server) Modify(c capability.Capability, offset int64, data []byte, newSize int64, pfactor int) (capability.Capability, error) {
+	if offset < 0 {
+		return capability.Capability{}, fmt.Errorf("offset %d: %w", offset, ErrBadOffset)
+	}
+	s.mu.Lock()
+	old, err := func() ([]byte, error) {
+		view, err := s.readLocked(c)
+		if err != nil {
+			return nil, err
+		}
+		// Modification additionally requires the modify right.
+		if _, _, err := s.verify(c, RightModify); err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(view))
+		copy(out, view)
+		return out, nil
+	}()
+	s.mu.Unlock()
+	if err != nil {
+		return capability.Capability{}, err
+	}
+
+	size := newSize
+	if size < 0 {
+		size = int64(len(old))
+		if end := offset + int64(len(data)); end > size {
+			size = end
+		}
+	}
+	// Bound before allocating: a hostile request could name a size in the
+	// terabytes and the buffer is built here, not in Create.
+	if size > s.MaxFileSize() {
+		return capability.Capability{}, fmt.Errorf("%d bytes: %w", size, ErrTooLarge)
+	}
+	if offset+int64(len(data)) > size {
+		return capability.Capability{}, fmt.Errorf("splice [%d,%d) past size %d: %w",
+			offset, offset+int64(len(data)), size, ErrBadOffset)
+	}
+	merged := make([]byte, size)
+	copy(merged, old)
+	copy(merged[offset:], data)
+
+	nc, err := s.Create(merged, pfactor)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	s.mu.Lock()
+	s.stats.Modifies++
+	s.mu.Unlock()
+	return nc, nil
+}
+
+// Append derives a new file consisting of the old contents followed by
+// data — convenience over Modify.
+func (s *Server) Append(c capability.Capability, data []byte, pfactor int) (capability.Capability, error) {
+	size, err := s.Size(c)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	return s.Modify(c, size, data, size+int64(len(data)), pfactor)
+}
+
+// ReadRange returns n bytes of the file starting at offset — the §5
+// accommodation for "processors with small memories" handling large files.
+// The server-side path is identical to Read (the whole file is cached);
+// only the reply payload shrinks.
+func (s *Server) ReadRange(c capability.Capability, offset, n int64) ([]byte, error) {
+	if offset < 0 || n < 0 {
+		return nil, fmt.Errorf("range [%d,+%d): %w", offset, n, ErrBadOffset)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := s.readLocked(c)
+	if err != nil {
+		return nil, err
+	}
+	if offset > int64(len(data)) {
+		return nil, fmt.Errorf("offset %d past size %d: %w", offset, len(data), ErrBadOffset)
+	}
+	end := offset + n
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	out := make([]byte, end-offset)
+	copy(out, data[offset:end])
+	s.stats.Reads++
+	s.stats.BytesOut += int64(len(out))
+	return out, nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CacheStats returns the RAM cache counters.
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// DiskStats returns the data-area allocator state (fragmentation etc.).
+func (s *Server) DiskStats() alloc.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dalloc.Stats()
+}
+
+// Live returns the number of stored files.
+func (s *Server) Live() int { return s.table.Live() }
+
+// Objects lists the object numbers of all live files — an administrative
+// operation for the garbage collector (Amoeba reconciled the directory
+// service against the Bullet store with exactly such a scan).
+func (s *Server) Objects() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []uint32
+	s.table.ForEachUsed(func(n uint32, _ layout.Inode) { out = append(out, n) })
+	return out
+}
+
+// ReadObjectAdmin returns a live object's contents and its owner
+// capability without presenting a capability — an administrative
+// operation for operators of the server itself (disaster recovery scans,
+// the garbage collector). It must never be exposed over the network.
+func (s *Server) ReadObjectAdmin(obj uint32) ([]byte, capability.Capability, error) {
+	s.mu.Lock()
+	ino, err := s.table.Get(obj)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, capability.Capability{}, fmt.Errorf("object %d: %w", obj, ErrNoSuchFile)
+	}
+	owner := capability.Owner(s.port, obj, ino.Random)
+	data, err := s.Read(owner)
+	if err != nil {
+		return nil, capability.Capability{}, err
+	}
+	return data, owner, nil
+}
+
+// SweepExcept deletes every file whose object number is not in keep — the
+// sweep half of the Amoeba garbage collector. It is an administrative,
+// server-side operation (no capabilities involved) and must only run when
+// the reference set is complete and stable, i.e. during quiescence: a
+// file created after keep was collected but before the sweep would be
+// reclaimed wrongly. The paper's operational answer — do maintenance "at
+// say 3 am when the system is lightly loaded" — applies.
+func (s *Server) SweepExcept(keep map[uint32]bool) (int, error) {
+	s.mu.Lock()
+	var victims []uint32
+	var inos []layout.Inode
+	s.table.ForEachUsed(func(n uint32, ino layout.Inode) {
+		if !keep[n] {
+			victims = append(victims, n)
+			inos = append(inos, ino)
+		}
+	})
+	s.mu.Unlock()
+
+	for i, n := range victims {
+		// Build an owner capability from the stored random and run the
+		// ordinary delete path, so cache, disk free list and write-through
+		// all stay consistent.
+		c := capability.Owner(s.port, n, inos[i].Random)
+		if err := s.Delete(c); err != nil {
+			return i, fmt.Errorf("bullet: sweeping object %d: %w", n, err)
+		}
+	}
+	return len(victims), nil
+}
+
+// Sync waits for all background (post-P-FACTOR) replica writes to land.
+func (s *Server) Sync() { s.replicas.Drain() }
+
+// Close drains background writes and closes the disks.
+func (s *Server) Close() error { return s.replicas.Close() }

@@ -1,0 +1,97 @@
+package bullet
+
+import (
+	"fmt"
+
+	"bulletfs/internal/alloc"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/layout"
+)
+
+// CompactDisk slides every file toward the start of the data area, merging
+// all holes into one — the paper's "compaction every morning at 3 am when
+// the system is lightly loaded" (§3). It is also invoked automatically by
+// Create when first fit fails although enough total space is free.
+//
+// For each move the file is read whole from the main disk, written to its
+// new extent on every replica, and only then is the inode updated and
+// written through — so a crash mid-compaction leaves either the old or the
+// new inode, each pointing at intact data (the source extent is not reused
+// until the free list is rebuilt at the end).
+func (s *Server) CompactDisk() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactDiskLocked()
+}
+
+func (s *Server) compactDiskLocked() error {
+	// Compaction rearranges extents; in-flight background writes from
+	// P-FACTOR-0 creates must not land on moved ground.
+	s.replicas.Drain()
+	bs := int64(s.desc.BlockSize)
+	var used []alloc.Used
+	s.table.ForEachUsed(func(n uint32, ino layout.Inode) {
+		used = append(used, alloc.Used{
+			Extent: alloc.Extent{Start: int64(ino.FirstBlock), Count: ino.Blocks(s.desc.BlockSize)},
+			Tag:    n,
+		})
+	})
+	moves := alloc.Plan(used)
+	for _, m := range moves {
+		n := m.Tag.(uint32)
+		if _, err := s.table.Get(n); err != nil {
+			return fmt.Errorf("bullet: compaction lost inode %d: %w", n, err)
+		}
+		buf := make([]byte, m.Count*bs)
+		if err := s.replicas.ReadAt(buf, s.desc.DataOffset(m.From)); err != nil {
+			return fmt.Errorf("bullet: compaction read inode %d: %w", n, err)
+		}
+		// Data first, to all replicas, synchronously.
+		werr := s.replicas.Apply(s.replicas.N(), func(_ int, dev disk.Device) error {
+			return dev.WriteAt(buf, s.desc.DataOffset(m.To))
+		})
+		if werr != nil {
+			return fmt.Errorf("bullet: compaction write inode %d: %w", n, werr)
+		}
+		// Then the metadata: point the inode at the new extent.
+		if err := s.retarget(n, uint32(m.To)); err != nil {
+			return err
+		}
+	}
+
+	var after []alloc.Extent
+	s.table.ForEachUsed(func(_ uint32, ino layout.Inode) {
+		after = append(after, alloc.Extent{Start: int64(ino.FirstBlock), Count: ino.Blocks(s.desc.BlockSize)})
+	})
+	if err := s.dalloc.Reset(after); err != nil {
+		return fmt.Errorf("bullet: rebuilding free list after compaction: %w", err)
+	}
+	s.stats.Compactions++
+	return nil
+}
+
+// retarget rewrites inode n to point at a new first block, preserving the
+// random number, size and cache index, and writes it through to all disks.
+func (s *Server) retarget(n, firstBlock uint32) error {
+	if err := s.table.Retarget(n, firstBlock); err != nil {
+		return fmt.Errorf("bullet: retargeting inode %d: %w", n, err)
+	}
+	err := s.replicas.Apply(s.replicas.N(), func(_ int, dev disk.Device) error {
+		return s.table.WriteInode(dev, n)
+	})
+	if err != nil {
+		return fmt.Errorf("bullet: persisting retarget of inode %d: %w", n, err)
+	}
+	return nil
+}
+
+// CompactCache defragments the RAM cache arena (paper §3: "the
+// fragmentation in memory can be alleviated by compacting part or all of
+// the RAM cache from time to time"). It takes the engine lock: reads hold
+// uncopied views into the arena under that lock, and compaction slides
+// the bytes those views alias.
+func (s *Server) CompactCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.Compact()
+}

@@ -1,0 +1,171 @@
+package bullet
+
+import (
+	"bulletfs/internal/capability"
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestModifyOfDeletedFile(t *testing.T) {
+	w := newWorld(t, 2, Options{})
+	c := mustCreate(t, w.srv, []byte("short lived"), 2)
+	if err := w.srv.Delete(c); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := w.srv.Modify(c, 0, []byte("x"), -1, 2); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("Modify(deleted) err = %v", err)
+	}
+	if _, err := w.srv.Append(c, []byte("x"), 2); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("Append(deleted) err = %v", err)
+	}
+}
+
+func TestAppendToEmptyFile(t *testing.T) {
+	w := newWorld(t, 2, Options{})
+	empty := mustCreate(t, w.srv, nil, 2)
+	v2, err := w.srv.Append(empty, []byte("first bytes"), 2)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got := mustRead(t, w.srv, v2); !bytes.Equal(got, []byte("first bytes")) {
+		t.Fatalf("appended = %q", got)
+	}
+}
+
+func TestModifyToEmpty(t *testing.T) {
+	w := newWorld(t, 2, Options{})
+	c := mustCreate(t, w.srv, []byte("contents"), 2)
+	emptied, err := w.srv.Modify(c, 0, nil, 0, 2)
+	if err != nil {
+		t.Fatalf("Modify(newSize=0): %v", err)
+	}
+	if got := mustRead(t, w.srv, emptied); len(got) != 0 {
+		t.Fatalf("emptied = %q", got)
+	}
+	size, err := w.srv.Size(emptied)
+	if err != nil || size != 0 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+}
+
+func TestCreateExactlyCacheSized(t *testing.T) {
+	w := newWorld(t, 2, Options{CacheBytes: 64 << 10})
+	data := bytes.Repeat([]byte{0x5C}, 64<<10)
+	c, err := w.srv.Create(data, 2)
+	if err != nil {
+		t.Fatalf("Create(cache-sized): %v", err)
+	}
+	if got := mustRead(t, w.srv, c); !bytes.Equal(got, data) {
+		t.Fatal("cache-sized file corrupted")
+	}
+	// One byte more is rejected.
+	if _, err := w.srv.Create(append(data, 1), 2); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized err = %v", err)
+	}
+}
+
+func TestReadRangeOnUncachedFile(t *testing.T) {
+	w := newWorld(t, 2, Options{CacheBytes: 8 << 10})
+	data := bytes.Repeat([]byte{1, 2, 3, 4}, 1024) // 4 KB
+	c := mustCreate(t, w.srv, data, 2)
+	// Evict it with a bigger file.
+	mustCreate(t, w.srv, bytes.Repeat([]byte{9}, 6<<10), 2)
+	got, err := w.srv.ReadRange(c, 100, 8)
+	if err != nil {
+		t.Fatalf("ReadRange(uncached): %v", err)
+	}
+	if !bytes.Equal(got, data[100:108]) {
+		t.Fatalf("range = %v", got)
+	}
+}
+
+func TestModifySpliceExactlyAtEnd(t *testing.T) {
+	w := newWorld(t, 2, Options{})
+	c := mustCreate(t, w.srv, []byte("abc"), 2)
+	// Splicing [3,6) with natural size grows the file (same as append).
+	v2, err := w.srv.Modify(c, 3, []byte("def"), -1, 2)
+	if err != nil {
+		t.Fatalf("Modify at end: %v", err)
+	}
+	if got := mustRead(t, w.srv, v2); !bytes.Equal(got, []byte("abcdef")) {
+		t.Fatalf("got %q", got)
+	}
+	// Splicing that exactly fills an explicit newSize.
+	v3, err := w.srv.Modify(c, 1, []byte("XY"), 3, 2)
+	if err != nil {
+		t.Fatalf("Modify exact fit: %v", err)
+	}
+	if got := mustRead(t, w.srv, v3); !bytes.Equal(got, []byte("aXY")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCapabilityCacheHitsAndInvalidation(t *testing.T) {
+	w := newWorld(t, 2, Options{})
+	c := mustCreate(t, w.srv, []byte("guarded"), 2)
+	for i := 0; i < 5; i++ {
+		mustRead(t, w.srv, c)
+	}
+	st := w.srv.Stats()
+	// First read verifies and caches; the rest hit.
+	if st.CapCacheHits < 4 {
+		t.Fatalf("CapCacheHits = %d, want >= 4", st.CapCacheHits)
+	}
+	// A forged capability never enters the cache.
+	forged := c
+	forged.Check[0] ^= 1
+	for i := 0; i < 3; i++ {
+		if _, err := w.srv.Read(forged); !errors.Is(err, capability.ErrBadCheck) {
+			t.Fatalf("forged read err = %v", err)
+		}
+	}
+	// Restricted capability: cached too, but rights still enforced.
+	readOnly, err := capability.Restrict(c, RightRead)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	mustRead(t, w.srv, readOnly)
+	mustRead(t, w.srv, readOnly) // cached validation
+	if err := w.srv.Delete(readOnly); !errors.Is(err, capability.ErrBadRights) {
+		t.Fatalf("cached validation leaked rights: %v", err)
+	}
+
+	// Deletion drops the cached validations: a replay of the old
+	// capability against a reused inode slot must fail the check.
+	if err := w.srv.Delete(c); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	c2 := mustCreate(t, w.srv, []byte("new tenant"), 2)
+	if c2.Object != c.Object {
+		t.Skipf("inode %d not reused (got %d)", c.Object, c2.Object)
+	}
+	if _, err := w.srv.Read(c); !errors.Is(err, capability.ErrBadCheck) {
+		t.Fatalf("stale capability replay err = %v, want ErrBadCheck", err)
+	}
+	if _, err := w.srv.Read(readOnly); !errors.Is(err, capability.ErrBadCheck) {
+		t.Fatalf("stale restricted replay err = %v, want ErrBadCheck", err)
+	}
+}
+
+func TestDeleteWhileUncached(t *testing.T) {
+	w := newWorld(t, 2, Options{CacheBytes: 4 << 10})
+	c := mustCreate(t, w.srv, bytes.Repeat([]byte{7}, 3<<10), 2)
+	mustCreate(t, w.srv, bytes.Repeat([]byte{8}, 3<<10), 2) // evicts c
+	if err := w.srv.Delete(c); err != nil {
+		t.Fatalf("Delete(uncached): %v", err)
+	}
+	if _, err := w.srv.Read(c); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("Read after delete err = %v", err)
+	}
+}
+
+func TestModifyRejectsAbsurdNewSize(t *testing.T) {
+	w := newWorld(t, 2, Options{CacheBytes: 64 << 10})
+	c := mustCreate(t, w.srv, []byte("small"), 2)
+	// A hostile client names a terabyte-scale size: the engine must
+	// refuse before allocating anything.
+	if _, err := w.srv.Modify(c, 0, []byte("x"), 1<<40, 2); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge newSize err = %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package bulletsvc exposes the Bullet engine (internal/bullet) over the
+// Amoeba-style RPC layer (internal/rpc): the wire protocol, the server-side
+// handler, and the mapping between engine errors and transaction status
+// codes. The client stubs live in internal/client.
+//
+// The protocol mirrors paper §2.2: CREATE, SIZE, READ and DELETE, extended
+// with MODIFY/APPEND ("generating a new file based on an existing file",
+// §5), a partial read for small-memory clients, and administrative
+// operations (stat, sync, compaction).
+package bulletsvc
+
+import (
+	"encoding/json"
+	"errors"
+
+	"bulletfs/internal/alloc"
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/cache"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+// Command codes of the Bullet protocol.
+const (
+	CmdCreate       uint32 = 1  // payload=data, Arg=p-factor -> reply Cap
+	CmdSize         uint32 = 2  // Cap -> reply Arg=size
+	CmdRead         uint32 = 3  // Cap -> reply payload=data
+	CmdDelete       uint32 = 4  // Cap
+	CmdModify       uint32 = 5  // Cap, Arg=offset, Arg2=packed(newSize,pf), payload=patch -> reply Cap
+	CmdAppend       uint32 = 6  // Cap, Arg=p-factor, payload=data -> reply Cap
+	CmdReadRange    uint32 = 7  // Cap, Arg=offset, Arg2=n -> reply payload
+	CmdStat         uint32 = 8  // -> reply payload=JSON ServerStats
+	CmdSync         uint32 = 9  // wait for background write-through
+	CmdCompactDisk  uint32 = 10 // run the 3 a.m. compactor now
+	CmdCompactCache uint32 = 11 // defragment the RAM cache
+)
+
+// PackModifyArg2 packs the newSize (-1 for "natural size") and p-factor of
+// a CmdModify into the header's second argument: p-factor in the top 16
+// bits, newSize+1 in the low 48 (file sizes are < 2^32, so this is ample).
+func PackModifyArg2(newSize int64, pfactor int) uint64 {
+	return uint64(pfactor)<<48 | (uint64(newSize+1) & (1<<48 - 1))
+}
+
+// UnpackModifyArg2 reverses PackModifyArg2.
+func UnpackModifyArg2(arg2 uint64) (newSize int64, pfactor int) {
+	pfactor = int(arg2 >> 48)
+	newSize = int64(arg2&(1<<48-1)) - 1
+	return newSize, pfactor
+}
+
+// ServerStats is the JSON payload of CmdStat.
+type ServerStats struct {
+	Engine      bullet.Stats `json:"engine"`
+	Cache       cache.Stats  `json:"cache"`
+	Disk        alloc.Stats  `json:"disk"`
+	LiveFiles   int          `json:"liveFiles"`
+	MaxFileSize int64        `json:"maxFileSize"`
+}
+
+// StatusOf maps an engine/capability error onto a transaction status.
+func StatusOf(err error) rpc.Status {
+	switch {
+	case err == nil:
+		return rpc.StatusOK
+	case errors.Is(err, bullet.ErrNoSuchFile):
+		return rpc.StatusNoSuchObject
+	case errors.Is(err, capability.ErrBadCheck):
+		return rpc.StatusBadCheck
+	case errors.Is(err, capability.ErrBadRights):
+		return rpc.StatusBadRights
+	case errors.Is(err, bullet.ErrTooLarge), errors.Is(err, cache.ErrTooLarge):
+		return rpc.StatusTooLarge
+	case errors.Is(err, bullet.ErrDiskFull):
+		return rpc.StatusNoSpace
+	case errors.Is(err, bullet.ErrBadPFactor):
+		return rpc.StatusBadPFactor
+	case errors.Is(err, bullet.ErrBadOffset):
+		return rpc.StatusBadOffset
+	default:
+		return rpc.StatusInternal
+	}
+}
+
+// ErrorOf maps a reply status back onto the canonical error values, so
+// errors.Is(err, bullet.ErrNoSuchFile) works on the client side of the
+// wire.
+func ErrorOf(st rpc.Status) error {
+	switch st {
+	case rpc.StatusOK:
+		return nil
+	case rpc.StatusNoSuchObject:
+		return bullet.ErrNoSuchFile
+	case rpc.StatusBadCheck:
+		return capability.ErrBadCheck
+	case rpc.StatusBadRights:
+		return capability.ErrBadRights
+	case rpc.StatusTooLarge:
+		return bullet.ErrTooLarge
+	case rpc.StatusNoSpace:
+		return bullet.ErrDiskFull
+	case rpc.StatusBadPFactor:
+		return bullet.ErrBadPFactor
+	case rpc.StatusBadOffset:
+		return bullet.ErrBadOffset
+	default:
+		return rpc.Errf(st, "server error")
+	}
+}
+
+// Service adapts a Bullet engine to an rpc.Handler.
+type Service struct {
+	engine *bullet.Server
+}
+
+// New wraps engine.
+func New(engine *bullet.Server) *Service { return &Service{engine: engine} }
+
+// Register installs the service on mux under the engine's port.
+func (s *Service) Register(mux *rpc.Mux) {
+	mux.Register(s.engine.Port(), s.Handle)
+}
+
+// Handle processes one Bullet transaction.
+func (s *Service) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
+	switch req.Command {
+	case CmdCreate:
+		c, err := s.engine.Create(payload, int(req.Arg))
+		if err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
+		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
+
+	case CmdSize:
+		n, err := s.engine.Size(req.Cap)
+		if err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
+		return rpc.Header{Status: rpc.StatusOK, Arg: uint64(n)}, nil
+
+	case CmdRead:
+		data, err := s.engine.Read(req.Cap)
+		if err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
+		return rpc.ReplyOK(), data
+
+	case CmdDelete:
+		if err := s.engine.Delete(req.Cap); err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
+		return rpc.ReplyOK(), nil
+
+	case CmdModify:
+		newSize, pfactor := UnpackModifyArg2(req.Arg2)
+		c, err := s.engine.Modify(req.Cap, int64(req.Arg), payload, newSize, pfactor)
+		if err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
+		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
+
+	case CmdAppend:
+		c, err := s.engine.Append(req.Cap, payload, int(req.Arg))
+		if err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
+		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
+
+	case CmdReadRange:
+		data, err := s.engine.ReadRange(req.Cap, int64(req.Arg), int64(req.Arg2))
+		if err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
+		return rpc.ReplyOK(), data
+
+	case CmdStat:
+		stats := ServerStats{
+			Engine:      s.engine.Stats(),
+			Cache:       s.engine.CacheStats(),
+			Disk:        s.engine.DiskStats(),
+			LiveFiles:   s.engine.Live(),
+			MaxFileSize: s.engine.MaxFileSize(),
+		}
+		body, err := json.Marshal(stats)
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusInternal), nil
+		}
+		return rpc.ReplyOK(), body
+
+	case CmdSync:
+		s.engine.Sync()
+		return rpc.ReplyOK(), nil
+
+	case CmdCompactDisk:
+		if err := s.engine.CompactDisk(); err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
+		return rpc.ReplyOK(), nil
+
+	case CmdCompactCache:
+		s.engine.CompactCache()
+		return rpc.ReplyOK(), nil
+
+	default:
+		return rpc.ReplyErr(rpc.StatusBadCommand), nil
+	}
+}

@@ -1,0 +1,239 @@
+package bulletsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/cache"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+func newService(t *testing.T) (*Service, *bullet.Server) {
+	t.Helper()
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 4096)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		devs[i] = mem
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	if err := bullet.Format(set, 200); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	eng, err := bullet.New(set, bullet.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("bullet.New: %v", err)
+	}
+	t.Cleanup(eng.Sync)
+	return New(eng), eng
+}
+
+func TestHandleCreateSizeReadDelete(t *testing.T) {
+	svc, _ := newService(t)
+	data := []byte("protocol-level round trip")
+
+	rep, _ := svc.Handle(rpc.Header{Command: CmdCreate, Arg: 2}, data)
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("create status = %v", rep.Status)
+	}
+	c := rep.Cap
+
+	rep, _ = svc.Handle(rpc.Header{Command: CmdSize, Cap: c}, nil)
+	if rep.Status != rpc.StatusOK || rep.Arg != uint64(len(data)) {
+		t.Fatalf("size reply = %+v", rep)
+	}
+
+	rep, body := svc.Handle(rpc.Header{Command: CmdRead, Cap: c}, nil)
+	if rep.Status != rpc.StatusOK || !bytes.Equal(body, data) {
+		t.Fatalf("read reply = %+v %q", rep, body)
+	}
+
+	rep, _ = svc.Handle(rpc.Header{Command: CmdDelete, Cap: c}, nil)
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("delete status = %v", rep.Status)
+	}
+	rep, _ = svc.Handle(rpc.Header{Command: CmdRead, Cap: c}, nil)
+	if rep.Status != rpc.StatusNoSuchObject {
+		t.Fatalf("read-after-delete status = %v", rep.Status)
+	}
+}
+
+func TestHandleStatusMapping(t *testing.T) {
+	svc, eng := newService(t)
+	rep, _ := svc.Handle(rpc.Header{Command: CmdCreate, Arg: 99}, []byte("x"))
+	if rep.Status != rpc.StatusBadPFactor {
+		t.Fatalf("bad p-factor status = %v", rep.Status)
+	}
+
+	rep, _ = svc.Handle(rpc.Header{Command: CmdCreate, Arg: 2}, []byte("x"))
+	c := rep.Cap
+	forged := c
+	forged.Check[0] ^= 1
+	rep, _ = svc.Handle(rpc.Header{Command: CmdRead, Cap: forged}, nil)
+	if rep.Status != rpc.StatusBadCheck {
+		t.Fatalf("forged status = %v", rep.Status)
+	}
+
+	readOnly, err := capability.Restrict(c, capability.RightRead)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	rep, _ = svc.Handle(rpc.Header{Command: CmdDelete, Cap: readOnly}, nil)
+	if rep.Status != rpc.StatusBadRights {
+		t.Fatalf("rights status = %v", rep.Status)
+	}
+
+	rep, _ = svc.Handle(rpc.Header{Command: CmdReadRange, Cap: c, Arg: ^uint64(0)}, nil)
+	if rep.Status != rpc.StatusBadOffset {
+		t.Fatalf("offset status = %v", rep.Status)
+	}
+
+	rep, _ = svc.Handle(rpc.Header{Command: 9999}, nil)
+	if rep.Status != rpc.StatusBadCommand {
+		t.Fatalf("bad command status = %v", rep.Status)
+	}
+
+	big := make([]byte, eng.MaxFileSize()+1)
+	rep, _ = svc.Handle(rpc.Header{Command: CmdCreate, Arg: 1}, big)
+	if rep.Status != rpc.StatusTooLarge {
+		t.Fatalf("too-large status = %v", rep.Status)
+	}
+}
+
+func TestHandleModifyAppendReadRange(t *testing.T) {
+	svc, _ := newService(t)
+	rep, _ := svc.Handle(rpc.Header{Command: CmdCreate, Arg: 2}, []byte("0123456789"))
+	c := rep.Cap
+
+	rep, _ = svc.Handle(rpc.Header{
+		Command: CmdModify, Cap: c, Arg: 2, Arg2: PackModifyArg2(-1, 2),
+	}, []byte("XY"))
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("modify status = %v", rep.Status)
+	}
+	rep2, body := svc.Handle(rpc.Header{Command: CmdRead, Cap: rep.Cap}, nil)
+	if rep2.Status != rpc.StatusOK || string(body) != "01XY456789" {
+		t.Fatalf("modified = %q", body)
+	}
+
+	rep, _ = svc.Handle(rpc.Header{Command: CmdAppend, Cap: c, Arg: 2}, []byte("ab"))
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("append status = %v", rep.Status)
+	}
+	_, body = svc.Handle(rpc.Header{Command: CmdRead, Cap: rep.Cap}, nil)
+	if string(body) != "0123456789ab" {
+		t.Fatalf("appended = %q", body)
+	}
+
+	rep, body = svc.Handle(rpc.Header{Command: CmdReadRange, Cap: c, Arg: 3, Arg2: 4}, nil)
+	if rep.Status != rpc.StatusOK || string(body) != "3456" {
+		t.Fatalf("range = %v %q", rep.Status, body)
+	}
+}
+
+func TestHandleStatAndAdmin(t *testing.T) {
+	svc, _ := newService(t)
+	svc.Handle(rpc.Header{Command: CmdCreate, Arg: 0}, []byte("x")) //nolint:errcheck
+
+	rep, _ := svc.Handle(rpc.Header{Command: CmdSync}, nil)
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("sync status = %v", rep.Status)
+	}
+	rep, body := svc.Handle(rpc.Header{Command: CmdStat}, nil)
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("stat status = %v", rep.Status)
+	}
+	var st ServerStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("stat payload: %v", err)
+	}
+	if st.Engine.Creates != 1 || st.LiveFiles != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	rep, _ = svc.Handle(rpc.Header{Command: CmdCompactDisk}, nil)
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("compact-disk status = %v", rep.Status)
+	}
+	rep, _ = svc.Handle(rpc.Header{Command: CmdCompactCache}, nil)
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("compact-cache status = %v", rep.Status)
+	}
+}
+
+func TestStatusErrorRoundTrip(t *testing.T) {
+	// Every engine error must map to a status that maps back to a
+	// matching error value.
+	cases := []error{
+		bullet.ErrNoSuchFile,
+		bullet.ErrTooLarge,
+		bullet.ErrDiskFull,
+		bullet.ErrBadPFactor,
+		bullet.ErrBadOffset,
+		capability.ErrBadCheck,
+		capability.ErrBadRights,
+		cache.ErrTooLarge,
+	}
+	for _, in := range cases {
+		st := StatusOf(in)
+		if st == rpc.StatusOK || st == rpc.StatusInternal {
+			t.Errorf("StatusOf(%v) = %v", in, st)
+			continue
+		}
+		out := ErrorOf(st)
+		// cache.ErrTooLarge intentionally maps onto bullet.ErrTooLarge.
+		if errors.Is(in, cache.ErrTooLarge) {
+			if !errors.Is(out, bullet.ErrTooLarge) {
+				t.Errorf("ErrorOf(StatusOf(cache.ErrTooLarge)) = %v", out)
+			}
+			continue
+		}
+		if !errors.Is(out, in) {
+			t.Errorf("round trip %v -> %v -> %v", in, st, out)
+		}
+	}
+	if StatusOf(nil) != rpc.StatusOK || ErrorOf(rpc.StatusOK) != nil {
+		t.Error("nil/OK round trip broken")
+	}
+	if StatusOf(errors.New("mystery")) != rpc.StatusInternal {
+		t.Error("unknown error not mapped to internal")
+	}
+	if ErrorOf(rpc.StatusInternal) == nil {
+		t.Error("internal status mapped to nil error")
+	}
+}
+
+func TestPackModifyArg2Bounds(t *testing.T) {
+	// The pack format must survive the extremes the protocol allows.
+	for _, size := range []int64{-1, 0, 1, 1 << 31, 1<<47 - 2} {
+		for _, pf := range []int{0, 1, 2, 7, 65535} {
+			gs, gp := UnpackModifyArg2(PackModifyArg2(size, pf))
+			if gs != size || gp != pf {
+				t.Fatalf("pack(%d,%d) round-tripped to (%d,%d)", size, pf, gs, gp)
+			}
+		}
+	}
+}
+
+func TestRegisterRoutesByEnginePort(t *testing.T) {
+	svc, eng := newService(t)
+	mux := rpc.NewMux(0)
+	svc.Register(mux)
+	tr := rpc.NewLocal(mux)
+	rep, _, err := tr.Trans(eng.Port(), rpc.Header{Command: CmdStat}, nil)
+	if err != nil || rep.Status != rpc.StatusOK {
+		t.Fatalf("Trans = %v, %v", rep.Status, err)
+	}
+	if _, _, err := tr.Trans(capability.PortFromString("other"), rpc.Header{}, nil); !errors.Is(err, rpc.ErrNoServer) {
+		t.Fatalf("unknown port err = %v", err)
+	}
+}

@@ -1,0 +1,309 @@
+// Package cache implements the Bullet server's RAM file cache (paper §3).
+//
+// All of the server's memory that is not the inode table is one contiguous
+// arena in which whole files are cached contiguously. A separate table of
+// rnodes administers the cached files; an rnode records which inode the
+// cached copy belongs to, where the copy lives in the arena, and an age
+// field implementing LRU replacement. Free rnodes and free arena space are
+// kept on free lists.
+//
+// The inode table points back into this cache: inode.CacheIndex zero means
+// "not cached", any other value is the rnode slot number of the cached
+// copy. This package hands out those 1-based slot numbers and reports which
+// inodes it evicted so the engine can clear their index fields, exactly the
+// bookkeeping sequence the paper describes.
+//
+// Fragmentation of the arena is fought the way the paper suggests: when
+// eviction alone cannot produce a large-enough hole but total free space
+// suffices, the cache compacts itself (slides every cached file toward the
+// bottom of the arena) and retries.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bulletfs/internal/alloc"
+)
+
+// Errors returned by the cache.
+var (
+	// ErrTooLarge means a file exceeds the entire cache arena. The Bullet
+	// model requires files to fit in the server's memory (paper §2).
+	ErrTooLarge = errors.New("cache: file larger than cache arena")
+	// ErrBadSlot means an rnode slot number is stale or invalid.
+	ErrBadSlot = errors.New("cache: bad rnode slot")
+)
+
+// rnode administers one cached file (paper §3: inode index, pointer into
+// the RAM cache, age field for LRU).
+type rnode struct {
+	inode uint32
+	off   int64
+	size  int64
+	age   uint64
+	used  bool
+}
+
+// Stats reports cache behaviour since creation.
+type Stats struct {
+	Files       int   // cached files right now
+	UsedBytes   int64 // arena bytes holding cached files
+	TotalBytes  int64 // arena size
+	Insertions  int64 // successful Inserts
+	Evictions   int64 // files evicted to make room
+	Compactions int64 // arena compactions triggered by fragmentation
+}
+
+// Cache is the contiguous RAM file cache. It is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	buf      []byte
+	arena    *alloc.Allocator
+	rnodes   []rnode  // slot i at rnodes[i-1]; slots are 1-based
+	freeSlot []uint16 // free rnode slots
+	ageClock uint64
+	stats    Stats
+}
+
+// New builds a cache with an arena of the given size and at most maxFiles
+// simultaneously cached files (the rnode table size).
+func New(arenaBytes int64, maxFiles int) (*Cache, error) {
+	if arenaBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive arena %d", arenaBytes)
+	}
+	if maxFiles <= 0 || maxFiles > 0xFFFE {
+		return nil, fmt.Errorf("cache: rnode count %d out of range", maxFiles)
+	}
+	arena, err := alloc.New(arenaBytes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		buf:      make([]byte, arenaBytes),
+		arena:    arena,
+		rnodes:   make([]rnode, maxFiles),
+		freeSlot: make([]uint16, 0, maxFiles),
+	}
+	for i := maxFiles; i >= 1; i-- {
+		c.freeSlot = append(c.freeSlot, uint16(i))
+	}
+	return c, nil
+}
+
+// tick returns the next age stamp.
+func (c *Cache) tick() uint64 {
+	c.ageClock++
+	return c.ageClock
+}
+
+// slot returns the rnode for a 1-based slot number.
+func (c *Cache) slot(idx uint16) (*rnode, error) {
+	if idx == 0 || int(idx) > len(c.rnodes) {
+		return nil, fmt.Errorf("slot %d: %w", idx, ErrBadSlot)
+	}
+	rn := &c.rnodes[idx-1]
+	if !rn.used {
+		return nil, fmt.Errorf("slot %d is free: %w", idx, ErrBadSlot)
+	}
+	return rn, nil
+}
+
+// Insert caches data as the contents of the given inode, evicting
+// least-recently-used files (and compacting, if fragmentation demands) to
+// make room. It returns the rnode slot to store in the inode's cache-index
+// field and the inodes of every file evicted along the way.
+func (c *Cache) Insert(inode uint32, data []byte) (idx uint16, evicted []uint32, err error) {
+	size := int64(len(data))
+	if size > c.arena.Total() {
+		return 0, nil, fmt.Errorf("%d bytes into %d-byte arena: %w", size, c.arena.Total(), ErrTooLarge)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Claim an rnode, evicting the LRU file if the table is full.
+	if len(c.freeSlot) == 0 {
+		victim := c.lruLocked()
+		if victim == 0 {
+			return 0, nil, fmt.Errorf("no rnode and nothing to evict: %w", ErrBadSlot)
+		}
+		evicted = append(evicted, c.removeLocked(victim))
+	}
+
+	var off int64 = -1
+	if size > 0 {
+		for {
+			start, allocErr := c.arena.Alloc(size)
+			if allocErr == nil {
+				off = start
+				break
+			}
+			if !errors.Is(allocErr, alloc.ErrNoSpace) {
+				return 0, evicted, allocErr
+			}
+			victim := c.lruLocked()
+			if victim != 0 {
+				evicted = append(evicted, c.removeLocked(victim))
+				continue
+			}
+			// Nothing left to evict. If the space exists but is shattered,
+			// compact and retry once; otherwise give up (cannot happen when
+			// size <= arena, but guard anyway).
+			if st := c.arena.Stats(); st.Free >= size {
+				c.compactLocked()
+				start, allocErr = c.arena.Alloc(size)
+				if allocErr == nil {
+					off = start
+					break
+				}
+			}
+			return 0, evicted, fmt.Errorf("%d bytes: %w", size, ErrTooLarge)
+		}
+		// Eviction may have freed room without defragmenting enough; the
+		// loop above handles that by evicting more. Here we have space.
+		copy(c.buf[off:off+size], data)
+	}
+
+	slotNum := c.freeSlot[len(c.freeSlot)-1]
+	c.freeSlot = c.freeSlot[:len(c.freeSlot)-1]
+	c.rnodes[slotNum-1] = rnode{inode: inode, off: off, size: size, age: c.tick(), used: true}
+	c.stats.Insertions++
+	return slotNum, evicted, nil
+}
+
+// lruLocked returns the slot of the least recently used file, or 0 if the
+// cache is empty.
+func (c *Cache) lruLocked() uint16 {
+	best := uint16(0)
+	var bestAge uint64
+	for i := range c.rnodes {
+		rn := &c.rnodes[i]
+		if !rn.used {
+			continue
+		}
+		if best == 0 || rn.age < bestAge {
+			best = uint16(i + 1)
+			bestAge = rn.age
+		}
+	}
+	return best
+}
+
+// removeLocked frees slot idx and returns the inode it held.
+func (c *Cache) removeLocked(idx uint16) uint32 {
+	rn := &c.rnodes[idx-1]
+	inode := rn.inode
+	if rn.size > 0 {
+		// Free cannot fail: the extent came from this arena.
+		if err := c.arena.Free(rn.off, rn.size); err != nil {
+			panic(fmt.Sprintf("cache: arena corrupt: %v", err))
+		}
+	}
+	*rn = rnode{}
+	c.freeSlot = append(c.freeSlot, idx)
+	c.stats.Evictions++
+	return inode
+}
+
+// Get returns the cached contents for slot idx, checking that the slot
+// still belongs to the expected inode, and refreshes its LRU age. The
+// returned slice aliases the cache arena: callers must copy before the next
+// cache operation (the engine copies at the RPC boundary).
+func (c *Cache) Get(idx uint16, inode uint32) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rn, err := c.slot(idx)
+	if err != nil {
+		return nil, err
+	}
+	if rn.inode != inode {
+		return nil, fmt.Errorf("slot %d holds inode %d, want %d: %w", idx, rn.inode, inode, ErrBadSlot)
+	}
+	rn.age = c.tick()
+	if rn.size == 0 {
+		return []byte{}, nil
+	}
+	return c.buf[rn.off : rn.off+rn.size : rn.off+rn.size], nil
+}
+
+// Remove drops slot idx from the cache (file deleted, paper §3: "If the
+// file is in the cache, the space in the cache can be freed"). The expected
+// inode guards against stale slot numbers that were reused for another
+// file after an eviction.
+func (c *Cache) Remove(idx uint16, inode uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rn, err := c.slot(idx)
+	if err != nil {
+		return err
+	}
+	if rn.inode != inode {
+		return fmt.Errorf("slot %d holds inode %d, want %d: %w", idx, rn.inode, inode, ErrBadSlot)
+	}
+	c.removeLocked(idx)
+	c.stats.Evictions-- // explicit removal is not an eviction
+	return nil
+}
+
+// Compact slides every cached file toward the bottom of the arena, merging
+// all free space into one hole — the paper's periodic cache compaction.
+// Slot numbers are stable across compaction (only offsets change), so the
+// inode table does not need updating.
+func (c *Cache) Compact() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.compactLocked()
+}
+
+func (c *Cache) compactLocked() {
+	var used []alloc.Used
+	for i := range c.rnodes {
+		rn := &c.rnodes[i]
+		if rn.used && rn.size > 0 {
+			used = append(used, alloc.Used{
+				Extent: alloc.Extent{Start: rn.off, Count: rn.size},
+				Tag:    uint16(i + 1),
+			})
+		}
+	}
+	moves := alloc.Plan(used)
+	for _, m := range moves {
+		copy(c.buf[m.To:m.To+m.Count], c.buf[m.From:m.From+m.Count])
+		c.rnodes[m.Tag.(uint16)-1].off = m.To
+	}
+	var after []alloc.Extent
+	for i := range c.rnodes {
+		rn := &c.rnodes[i]
+		if rn.used && rn.size > 0 {
+			after = append(after, alloc.Extent{Start: rn.off, Count: rn.size})
+		}
+	}
+	if err := c.arena.Reset(after); err != nil {
+		panic(fmt.Sprintf("cache: compaction corrupted arena: %v", err))
+	}
+	c.stats.Compactions++
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.TotalBytes = c.arena.Total()
+	for i := range c.rnodes {
+		if c.rnodes[i].used {
+			s.Files++
+			s.UsedBytes += c.rnodes[i].size
+		}
+	}
+	return s
+}
+
+// Fragmentation reports the arena's current fragmentation (see
+// alloc.Stats.Fragmentation).
+func (c *Cache) Fragmentation() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.arena.Stats().Fragmentation()
+}

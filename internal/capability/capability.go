@@ -1,0 +1,319 @@
+// Package capability implements Amoeba-style sparse capabilities as used by
+// the Bullet file server (van Renesse, Tanenbaum, Wilschut, ICDCS 1989).
+//
+// A capability names and protects one object managed by one server. It has
+// four parts (paper §2.1):
+//
+//   - a 48-bit server port, a location-independent identifier chosen by the
+//     server itself;
+//   - an object number, used by the server to index its table of inodes;
+//   - a rights field, one bit per permitted operation;
+//   - a 48-bit check field that protects the capability against forging and
+//     tampering.
+//
+// The check-field scheme is the one-way-function variant described in
+// "Using Sparse Capabilities in a Distributed Operating System" (Tanenbaum,
+// Mullender, van Renesse, ICDCS 1986), which the paper cites as [12]: every
+// object carries a large random number R kept in its inode. The owner
+// capability has all rights bits set and check field R. A restricted
+// capability with rights r has check field F(R, r) for a publicly known
+// one-way function F, so holders of the owner capability can restrict it
+// locally, but nobody can amplify rights without inverting F.
+package capability
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Rights is a bitmask of operations the capability holder may invoke.
+type Rights uint8
+
+// Rights bits understood by the Bullet server and the directory server.
+// Servers are free to assign their own meanings; these are the conventional
+// assignments used throughout this repository.
+const (
+	RightRead   Rights = 1 << iota // retrieve the object's contents
+	RightCreate                    // create new objects / derive new files
+	RightDelete                    // destroy the object
+	RightModify                    // directory: enter/replace/remove rows
+	RightList                      // directory: enumerate rows
+	RightAdmin                     // administrative operations
+	rightSpare6
+	rightSpare7
+
+	// RightsAll marks an owner capability; its check field is the object's
+	// random number itself.
+	RightsAll Rights = 0xFF
+)
+
+// Has reports whether r includes every bit of want.
+func (r Rights) Has(want Rights) bool { return r&want == want }
+
+// PortLen, ObjectLen, RightsLen and CheckLen describe the wire encoding of a
+// capability: 6 + 3 + 1 + 6 = 16 bytes, exactly as in Amoeba.
+const (
+	PortLen   = 6
+	ObjectLen = 3
+	RightsLen = 1
+	CheckLen  = 6
+
+	// EncodedLen is the size of a marshalled capability in bytes.
+	EncodedLen = PortLen + ObjectLen + RightsLen + CheckLen
+
+	// MaxObject is the largest representable object number (24 bits).
+	MaxObject = 1<<24 - 1
+)
+
+// Port identifies a server. It is a 48-bit location-independent number
+// chosen by the server and advertised to its clients (paper §2.1).
+type Port [PortLen]byte
+
+// Check is the 48-bit field protecting a capability from forgery.
+type Check [CheckLen]byte
+
+// Random is the per-object secret stored in the object's inode. It is the
+// key from which all valid check fields for the object derive.
+type Random [CheckLen]byte
+
+// Capability addresses and protects one object.
+type Capability struct {
+	Port   Port
+	Object uint32 // only the low 24 bits are encoded
+	Rights Rights
+	Check  Check
+}
+
+// Errors returned by this package.
+var (
+	// ErrBadCheck means the check field does not validate against the
+	// object's random number: the capability is forged or corrupted.
+	ErrBadCheck = errors.New("capability: check field invalid")
+
+	// ErrBadRights means an operation required rights the capability does
+	// not carry.
+	ErrBadRights = errors.New("capability: insufficient rights")
+
+	// ErrObjectRange means an object number does not fit in 24 bits.
+	ErrObjectRange = errors.New("capability: object number out of range")
+)
+
+// NewPort draws a fresh random server port.
+func NewPort() (Port, error) {
+	var p Port
+	if _, err := rand.Read(p[:]); err != nil {
+		return Port{}, fmt.Errorf("capability: generating port: %w", err)
+	}
+	return p, nil
+}
+
+// NewRandom draws a fresh per-object random number. The Bullet server calls
+// this once per created file and stores the result in the file's inode.
+func NewRandom() (Random, error) {
+	var r Random
+	if _, err := rand.Read(r[:]); err != nil {
+		return Random{}, fmt.Errorf("capability: generating random: %w", err)
+	}
+	return r, nil
+}
+
+// IsZero reports whether r is the all-zero value. A zero random marks a free
+// inode on disk, so live objects must never use it; NewRandom retries.
+func (r Random) IsZero() bool { return r == Random{} }
+
+// onewayCheck computes F(R, rights): the check field of a capability with
+// restricted rights. F is SHA-256 truncated to 48 bits, keyed by the
+// object's random number. SHA-256 is preimage resistant, which is the only
+// property the scheme needs.
+func onewayCheck(r Random, rights Rights) Check {
+	var buf [CheckLen + 1]byte
+	copy(buf[:], r[:])
+	buf[CheckLen] = byte(rights)
+	sum := sha256.Sum256(buf[:])
+	var c Check
+	copy(c[:], sum[:CheckLen])
+	return c
+}
+
+// Owner constructs the owner capability for an object: all rights set and
+// the check field equal to the object's random number. Servers return this
+// from their create operations.
+func Owner(port Port, object uint32, r Random) Capability {
+	return Capability{
+		Port:   port,
+		Object: object & MaxObject,
+		Rights: RightsAll,
+		Check:  Check(r),
+	}
+}
+
+// Restrict derives a capability carrying only the rights in mask. It can be
+// computed by any holder of the owner capability without contacting the
+// server, because F is public. Restricting an already-restricted capability
+// is not possible under this scheme (the random number is not recoverable
+// from F(R, r)); such calls return ErrBadRights.
+func Restrict(c Capability, mask Rights) (Capability, error) {
+	if c.Rights != RightsAll {
+		return Capability{}, fmt.Errorf("restricting non-owner capability: %w", ErrBadRights)
+	}
+	if mask == RightsAll {
+		return c, nil
+	}
+	return Capability{
+		Port:   c.Port,
+		Object: c.Object,
+		Rights: mask,
+		Check:  onewayCheck(Random(c.Check), mask),
+	}, nil
+}
+
+// Verify checks c against the object's stored random number and returns the
+// rights it conveys. It implements the server-side validation from paper
+// §2.1: an owner capability must present R itself; a restricted capability
+// with rights r must present F(R, r).
+func Verify(c Capability, r Random) (Rights, error) {
+	if c.Rights == RightsAll {
+		if Random(c.Check) == r {
+			return RightsAll, nil
+		}
+		return 0, ErrBadCheck
+	}
+	if onewayCheck(r, c.Rights) == c.Check {
+		return c.Rights, nil
+	}
+	return 0, ErrBadCheck
+}
+
+// Require verifies c and additionally demands that it carries all rights in
+// want, returning ErrBadRights otherwise.
+func Require(c Capability, r Random, want Rights) error {
+	got, err := Verify(c, r)
+	if err != nil {
+		return err
+	}
+	if !got.Has(want) {
+		return fmt.Errorf("need rights %08b, have %08b: %w", want, got, ErrBadRights)
+	}
+	return nil
+}
+
+// MarshalBinary encodes c into the 16-byte Amoeba wire format.
+func (c Capability) MarshalBinary() ([]byte, error) {
+	if c.Object > MaxObject {
+		return nil, ErrObjectRange
+	}
+	buf := make([]byte, EncodedLen)
+	copy(buf[0:PortLen], c.Port[:])
+	buf[PortLen+0] = byte(c.Object >> 16)
+	buf[PortLen+1] = byte(c.Object >> 8)
+	buf[PortLen+2] = byte(c.Object)
+	buf[PortLen+ObjectLen] = byte(c.Rights)
+	copy(buf[PortLen+ObjectLen+RightsLen:], c.Check[:])
+	return buf, nil
+}
+
+// UnmarshalBinary decodes the 16-byte wire format into c.
+func (c *Capability) UnmarshalBinary(data []byte) error {
+	if len(data) != EncodedLen {
+		return fmt.Errorf("capability: encoded length %d, want %d", len(data), EncodedLen)
+	}
+	copy(c.Port[:], data[0:PortLen])
+	c.Object = uint32(data[PortLen])<<16 | uint32(data[PortLen+1])<<8 | uint32(data[PortLen+2])
+	c.Rights = Rights(data[PortLen+ObjectLen])
+	copy(c.Check[:], data[PortLen+ObjectLen+RightsLen:])
+	return nil
+}
+
+// String renders the capability in the conventional textual form
+// port:object:rights:check, all hex. It is parseable by Parse.
+func (c Capability) String() string {
+	return fmt.Sprintf("%s:%06x:%02x:%s",
+		hex.EncodeToString(c.Port[:]), c.Object&MaxObject, byte(c.Rights),
+		hex.EncodeToString(c.Check[:]))
+}
+
+// Parse decodes the textual form produced by String.
+func Parse(s string) (Capability, error) {
+	var c Capability
+	parts := splitN(s, ':', 4)
+	if len(parts) != 4 {
+		return Capability{}, fmt.Errorf("capability: parse %q: want 4 colon-separated fields", s)
+	}
+	pb, err := hex.DecodeString(parts[0])
+	if err != nil || len(pb) != PortLen {
+		return Capability{}, fmt.Errorf("capability: parse port %q", parts[0])
+	}
+	copy(c.Port[:], pb)
+	ob, err := hex.DecodeString(parts[1])
+	if err != nil || len(ob) != ObjectLen {
+		return Capability{}, fmt.Errorf("capability: parse object %q", parts[1])
+	}
+	c.Object = uint32(ob[0])<<16 | uint32(ob[1])<<8 | uint32(ob[2])
+	rb, err := hex.DecodeString(parts[2])
+	if err != nil || len(rb) != RightsLen {
+		return Capability{}, fmt.Errorf("capability: parse rights %q", parts[2])
+	}
+	c.Rights = Rights(rb[0])
+	cb, err := hex.DecodeString(parts[3])
+	if err != nil || len(cb) != CheckLen {
+		return Capability{}, fmt.Errorf("capability: parse check %q", parts[3])
+	}
+	copy(c.Check[:], cb)
+	return c, nil
+}
+
+func splitN(s string, sep byte, n int) []string {
+	out := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(s) && len(out) < n-1; i++ {
+		if s[i] == sep {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// Key returns a comparable identity for the object the capability names,
+// ignoring rights and check. Two capabilities for the same object map to the
+// same key; useful for client-side caches of immutable files.
+type Key struct {
+	Port   Port
+	Object uint32
+}
+
+// Key returns the object identity of c.
+func (c Capability) Key() Key { return Key{Port: c.Port, Object: c.Object} }
+
+// PortFromString derives a deterministic port from a human-readable service
+// name. Useful in examples and tests where a well-known port is convenient;
+// production servers should draw random ports with NewPort.
+func PortFromString(name string) Port {
+	sum := sha256.Sum256([]byte(name))
+	var p Port
+	copy(p[:], sum[:PortLen])
+	return p
+}
+
+// Encode appends the wire form of c to dst and returns the extended slice.
+func Encode(dst []byte, c Capability) []byte {
+	c.Object &= MaxObject
+	b, _ := c.MarshalBinary() // cannot fail: object is masked
+	return append(dst, b...)
+}
+
+// Decode reads one capability from the front of src, returning the
+// capability and the remaining bytes.
+func Decode(src []byte) (Capability, []byte, error) {
+	var c Capability
+	if len(src) < EncodedLen {
+		return c, src, fmt.Errorf("capability: short buffer (%d bytes)", len(src))
+	}
+	if err := c.UnmarshalBinary(src[:EncodedLen]); err != nil {
+		return c, src, err
+	}
+	return c, src[EncodedLen:], nil
+}

@@ -1,0 +1,365 @@
+package capability
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustRandom(t *testing.T) Random {
+	t.Helper()
+	r, err := NewRandom()
+	if err != nil {
+		t.Fatalf("NewRandom: %v", err)
+	}
+	return r
+}
+
+func mustPort(t *testing.T) Port {
+	t.Helper()
+	p, err := NewPort()
+	if err != nil {
+		t.Fatalf("NewPort: %v", err)
+	}
+	return p
+}
+
+func TestOwnerVerifies(t *testing.T) {
+	r := mustRandom(t)
+	c := Owner(mustPort(t), 42, r)
+	got, err := Verify(c, r)
+	if err != nil {
+		t.Fatalf("Verify(owner): %v", err)
+	}
+	if got != RightsAll {
+		t.Fatalf("Verify(owner) rights = %08b, want all", got)
+	}
+}
+
+func TestOwnerMasksObjectNumber(t *testing.T) {
+	r := mustRandom(t)
+	c := Owner(mustPort(t), MaxObject+5, r)
+	if c.Object != 4 {
+		t.Fatalf("Object = %d, want 4 (masked to 24 bits)", c.Object)
+	}
+}
+
+func TestRestrictVerifies(t *testing.T) {
+	r := mustRandom(t)
+	owner := Owner(mustPort(t), 7, r)
+	restricted, err := Restrict(owner, RightRead)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	got, err := Verify(restricted, r)
+	if err != nil {
+		t.Fatalf("Verify(restricted): %v", err)
+	}
+	if got != RightRead {
+		t.Fatalf("rights = %08b, want %08b", got, RightRead)
+	}
+}
+
+func TestRestrictAllRightsIsIdentity(t *testing.T) {
+	r := mustRandom(t)
+	owner := Owner(mustPort(t), 7, r)
+	same, err := Restrict(owner, RightsAll)
+	if err != nil {
+		t.Fatalf("Restrict(all): %v", err)
+	}
+	if same != owner {
+		t.Fatalf("Restrict(all) = %v, want unchanged %v", same, owner)
+	}
+}
+
+func TestRestrictOfRestrictedFails(t *testing.T) {
+	r := mustRandom(t)
+	owner := Owner(mustPort(t), 7, r)
+	restricted, err := Restrict(owner, RightRead|RightDelete)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if _, err := Restrict(restricted, RightRead); !errors.Is(err, ErrBadRights) {
+		t.Fatalf("Restrict(restricted) err = %v, want ErrBadRights", err)
+	}
+}
+
+func TestVerifyRejectsWrongRandom(t *testing.T) {
+	r1, r2 := mustRandom(t), mustRandom(t)
+	c := Owner(mustPort(t), 9, r1)
+	if _, err := Verify(c, r2); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("Verify with wrong random err = %v, want ErrBadCheck", err)
+	}
+}
+
+func TestVerifyRejectsAmplifiedRights(t *testing.T) {
+	r := mustRandom(t)
+	owner := Owner(mustPort(t), 9, r)
+	restricted, err := Restrict(owner, RightRead)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	// An attacker flips rights bits without knowing R.
+	forged := restricted
+	forged.Rights = RightRead | RightDelete
+	if _, err := Verify(forged, r); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("Verify(amplified) err = %v, want ErrBadCheck", err)
+	}
+	// Claiming owner rights with a restricted check must also fail.
+	forged.Rights = RightsAll
+	if _, err := Verify(forged, r); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("Verify(fake owner) err = %v, want ErrBadCheck", err)
+	}
+}
+
+func TestRequire(t *testing.T) {
+	r := mustRandom(t)
+	owner := Owner(mustPort(t), 3, r)
+	readOnly, err := Restrict(owner, RightRead)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if err := Require(readOnly, r, RightRead); err != nil {
+		t.Fatalf("Require(read) on read-only: %v", err)
+	}
+	if err := Require(readOnly, r, RightDelete); !errors.Is(err, ErrBadRights) {
+		t.Fatalf("Require(delete) err = %v, want ErrBadRights", err)
+	}
+	if err := Require(owner, r, RightRead|RightDelete); err != nil {
+		t.Fatalf("Require on owner: %v", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := mustRandom(t)
+	in := Owner(mustPort(t), 123456, r)
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	if len(b) != EncodedLen {
+		t.Fatalf("encoded length = %d, want %d", len(b), EncodedLen)
+	}
+	var out Capability
+	if err := out.UnmarshalBinary(b); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %v, want %v", out, in)
+	}
+}
+
+func TestMarshalRejectsOversizeObject(t *testing.T) {
+	c := Capability{Object: MaxObject + 1}
+	if _, err := c.MarshalBinary(); !errors.Is(err, ErrObjectRange) {
+		t.Fatalf("MarshalBinary err = %v, want ErrObjectRange", err)
+	}
+}
+
+func TestUnmarshalRejectsShortBuffer(t *testing.T) {
+	var c Capability
+	if err := c.UnmarshalBinary(make([]byte, EncodedLen-1)); err == nil {
+		t.Fatal("UnmarshalBinary(short) succeeded, want error")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	r := mustRandom(t)
+	in := Owner(mustPort(t), 0xABCDEF, r)
+	out, err := Parse(in.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", in.String(), err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %v, want %v", out, in)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"deadbeef",
+		"zz:00:00:00",
+		"0102030405:000001:01:010203040506",      // short port
+		"010203040506:000001:01:0102030405",      // short check
+		"010203040506:0001:01:010203040506",      // short object
+		"010203040506:000001:0q:010203040506",    // bad hex rights
+		"010203040506:000001:01:01020304050607",  // long check
+		"01020304050607:000001:01:010203040506",  // long port
+		"010203040506:000001:0102:010203040506",  // long rights
+		"010203040506:000001:01",                 // missing field
+		"010203040506:000001:01:010203040506:xx", // Parse takes the tail as check
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestEncodeDecodeStream(t *testing.T) {
+	r1, r2 := mustRandom(t), mustRandom(t)
+	c1 := Owner(mustPort(t), 1, r1)
+	c2 := Owner(mustPort(t), 2, r2)
+	var buf []byte
+	buf = Encode(buf, c1)
+	buf = Encode(buf, c2)
+	if len(buf) != 2*EncodedLen {
+		t.Fatalf("stream length = %d, want %d", len(buf), 2*EncodedLen)
+	}
+	got1, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode first: %v", err)
+	}
+	got2, rest, err := Decode(rest)
+	if err != nil {
+		t.Fatalf("Decode second: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover bytes: %d", len(rest))
+	}
+	if got1 != c1 || got2 != c2 {
+		t.Fatalf("decoded %v, %v; want %v, %v", got1, got2, c1, c2)
+	}
+	if _, _, err := Decode(rest); err == nil {
+		t.Fatal("Decode(empty) succeeded, want error")
+	}
+}
+
+func TestKeyIgnoresRights(t *testing.T) {
+	r := mustRandom(t)
+	owner := Owner(mustPort(t), 77, r)
+	restricted, err := Restrict(owner, RightRead)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if owner.Key() != restricted.Key() {
+		t.Fatal("owner and restricted capability keys differ")
+	}
+	other := Owner(owner.Port, 78, r)
+	if owner.Key() == other.Key() {
+		t.Fatal("different objects share a key")
+	}
+}
+
+func TestPortFromStringDeterministic(t *testing.T) {
+	a, b := PortFromString("bullet-0"), PortFromString("bullet-0")
+	if a != b {
+		t.Fatal("PortFromString not deterministic")
+	}
+	if a == PortFromString("bullet-1") {
+		t.Fatal("distinct names map to the same port")
+	}
+}
+
+func TestRandomIsZero(t *testing.T) {
+	var zero Random
+	if !zero.IsZero() {
+		t.Fatal("zero Random not reported as zero")
+	}
+	r := mustRandom(t)
+	if r.IsZero() {
+		t.Fatal("fresh Random reported as zero")
+	}
+}
+
+// Property: for every random number and rights mask, a correctly derived
+// capability verifies to exactly its mask, and no single-bit mutation of the
+// check field verifies.
+func TestQuickCheckFieldSoundness(t *testing.T) {
+	f := func(rb [CheckLen]byte, rights uint8) bool {
+		r := Random(rb)
+		owner := Owner(Port{1}, 5, r)
+		mask := Rights(rights)
+		var c Capability
+		if mask == RightsAll {
+			c = owner
+		} else {
+			var err error
+			c, err = Restrict(owner, mask)
+			if err != nil {
+				return false
+			}
+		}
+		got, err := Verify(c, r)
+		if err != nil || got != mask {
+			return false
+		}
+		for bit := 0; bit < CheckLen*8; bit++ {
+			mut := c
+			mut.Check[bit/8] ^= 1 << (bit % 8)
+			if _, err := Verify(mut, r); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marshalling round-trips for arbitrary field values.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(port [PortLen]byte, object uint32, rights uint8, check [CheckLen]byte) bool {
+		in := Capability{
+			Port:   Port(port),
+			Object: object & MaxObject,
+			Rights: Rights(rights),
+			Check:  Check(check),
+		}
+		b, err := in.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out Capability
+		if err := out.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: textual round trip.
+func TestQuickStringParse(t *testing.T) {
+	f := func(port [PortLen]byte, object uint32, rights uint8, check [CheckLen]byte) bool {
+		in := Capability{
+			Port:   Port(port),
+			Object: object & MaxObject,
+			Rights: Rights(rights),
+			Check:  Check(check),
+		}
+		out, err := Parse(in.String())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctRandomsDistinctChecks(t *testing.T) {
+	// Two objects with different randoms must never share restricted checks.
+	r1, r2 := mustRandom(t), mustRandom(t)
+	c1 := onewayCheck(r1, RightRead)
+	c2 := onewayCheck(r2, RightRead)
+	if bytes.Equal(c1[:], c2[:]) {
+		t.Fatal("distinct randoms produced identical checks")
+	}
+}
+
+func TestHas(t *testing.T) {
+	r := RightRead | RightDelete
+	if !r.Has(RightRead) || !r.Has(RightDelete) || !r.Has(RightRead|RightDelete) {
+		t.Fatal("Has missed present bits")
+	}
+	if r.Has(RightCreate) || r.Has(RightRead|RightCreate) {
+		t.Fatal("Has reported absent bits")
+	}
+	if !RightsAll.Has(RightAdmin | RightList) {
+		t.Fatal("RightsAll should include everything")
+	}
+}

@@ -1,0 +1,50 @@
+package capability_test
+
+import (
+	"fmt"
+
+	"bulletfs/internal/capability"
+)
+
+// A server creates an object and hands its owner capability to a client;
+// the client derives a read-only capability locally and a third party
+// fails to forge more rights.
+func ExampleRestrict() {
+	random, _ := capability.NewRandom()
+	port := capability.PortFromString("file-server")
+
+	owner := capability.Owner(port, 7, random)
+	readOnly, _ := capability.Restrict(owner, capability.RightRead)
+
+	// The server validates both.
+	rights, _ := capability.Verify(owner, random)
+	fmt.Printf("owner verifies with rights %08b\n", rights)
+	rights, _ = capability.Verify(readOnly, random)
+	fmt.Printf("read-only verifies with rights %08b\n", rights)
+
+	// An attacker flips the rights bits on the restricted capability.
+	forged := readOnly
+	forged.Rights |= capability.RightDelete
+	if _, err := capability.Verify(forged, random); err != nil {
+		fmt.Println("forged capability rejected")
+	}
+	// Output:
+	// owner verifies with rights 11111111
+	// read-only verifies with rights 00000001
+	// forged capability rejected
+}
+
+func ExampleCapability_String() {
+	c := capability.Capability{
+		Port:   capability.Port{0xab, 0xcd, 0, 0, 0, 1},
+		Object: 42,
+		Rights: capability.RightRead,
+		Check:  capability.Check{1, 2, 3, 4, 5, 6},
+	}
+	fmt.Println(c)
+	parsed, _ := capability.Parse(c.String())
+	fmt.Println(parsed == c)
+	// Output:
+	// abcd00000001:00002a:01:010203040506
+	// true
+}

@@ -1,0 +1,48 @@
+package capability
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hardens the textual capability parser against hostile input
+// (capabilities arrive on command lines and in config files).
+func FuzzParse(f *testing.F) {
+	f.Add("010203040506:000001:01:0102030405ff")
+	f.Add("010203040506:ffffff:ff:000000000000")
+	f.Add("")
+	f.Add(":::")
+	f.Add("zz:00:00:zz")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return
+		}
+		// Anything that parses must round-trip exactly.
+		again, err := Parse(c.String())
+		if err != nil || again != c {
+			t.Fatalf("round trip of %q: %v, %v", s, again, err)
+		}
+	})
+}
+
+// FuzzUnmarshalBinary hardens the wire decoder.
+func FuzzUnmarshalBinary(f *testing.F) {
+	valid, _ := Owner(Port{1, 2, 3, 4, 5, 6}, 99, Random{9, 9, 9, 9, 9, 9}).MarshalBinary()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, EncodedLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Capability
+		if err := c.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal of decoded capability: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+func TestApplySetAllOrNothing(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	a, b, c := fileCap(t, "a"), fileCap(t, "b"), fileCap(t, "c")
+	if err := s.Enter(root, "existing", a); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+
+	// A valid set: enter two names, replace one, remove none.
+	err := s.ApplySet(root, []SetOp{
+		{Kind: SetEnter, Name: "new1", Cap: b},
+		{Kind: SetEnter, Name: "new2", Cap: c},
+		{Kind: SetReplace, Name: "existing", Cap: b},
+	})
+	if err != nil {
+		t.Fatalf("ApplySet: %v", err)
+	}
+	for name, want := range map[string]capability.Capability{
+		"new1": b, "new2": c, "existing": b,
+	} {
+		got, err := s.Lookup(root, name)
+		if err != nil || got != want {
+			t.Fatalf("Lookup(%s) = %v, %v", name, got, err)
+		}
+	}
+	hist, err := s.History(root, "existing")
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("History = %v, %v", hist, err)
+	}
+
+	// An invalid set (last op enters an existing name): NOTHING applies.
+	err = s.ApplySet(root, []SetOp{
+		{Kind: SetRemove, Name: "new1"},
+		{Kind: SetReplace, Name: "new2", Cap: a},
+		{Kind: SetEnter, Name: "existing", Cap: a}, // conflict
+	})
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("conflicting set err = %v", err)
+	}
+	if _, err := s.Lookup(root, "new1"); err != nil {
+		t.Fatal("failed set removed a name anyway")
+	}
+	got, err := s.Lookup(root, "new2")
+	if err != nil || got != c {
+		t.Fatal("failed set replaced a name anyway")
+	}
+}
+
+func TestApplySetValidation(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	if err := s.ApplySet(root, nil); err != nil {
+		t.Fatalf("empty set err = %v", err)
+	}
+	if err := s.ApplySet(root, []SetOp{{Kind: SetRemove, Name: "ghost"}}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remove-missing err = %v", err)
+	}
+	if err := s.ApplySet(root, []SetOp{{Kind: SetEnter, Name: "a/b", Cap: fileCap(t, "x")}}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("bad name err = %v", err)
+	}
+	if err := s.ApplySet(root, []SetOp{{Kind: SetOpKind(99), Name: "x", Cap: fileCap(t, "x")}}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("bad kind err = %v", err)
+	}
+	// Duplicate names within a set are order-dependent: rejected.
+	err := s.ApplySet(root, []SetOp{
+		{Kind: SetEnter, Name: "dup", Cap: fileCap(t, "1")},
+		{Kind: SetReplace, Name: "dup", Cap: fileCap(t, "2")},
+	})
+	if !errors.Is(err, ErrBadName) {
+		t.Fatalf("duplicate-name set err = %v", err)
+	}
+	// Rights enforced.
+	lookupOnly, err := capability.Restrict(root, RightLookup)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	err = s.ApplySet(lookupOnly, []SetOp{{Kind: SetEnter, Name: "x", Cap: fileCap(t, "x")}})
+	if !errors.Is(err, capability.ErrBadRights) {
+		t.Fatalf("unauthorized set err = %v", err)
+	}
+}
+
+func TestApplySetSingleCheckpoint(t *testing.T) {
+	dsrv, cl, storePort, _ := bulletWorld(t)
+	root := dsrv.Root()
+	stats0, err := cl.Stat(storePort)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	ops := make([]SetOp, 10)
+	for i := range ops {
+		ops[i] = SetOp{Kind: SetEnter, Name: fmt.Sprintf("f%d", i), Cap: fileCap(t, "x")}
+	}
+	if err := dsrv.ApplySet(root, ops); err != nil {
+		t.Fatalf("ApplySet: %v", err)
+	}
+	stats1, err := cl.Stat(storePort)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	// Ten mutations, ONE checkpoint write (plus the delete of the old).
+	if got := stats1.Engine.Creates - stats0.Engine.Creates; got != 1 {
+		t.Fatalf("checkpoint creates = %d, want 1", got)
+	}
+}
+
+func TestApplySetOverRPC(t *testing.T) {
+	dsrv, _, _, mux := bulletWorld(t)
+	dsrv.Register(mux)
+	dc := NewClient(rpc.NewLocal(mux))
+	root, err := dc.Root(dsrv.Port())
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	a, b := fileCap(t, "a"), fileCap(t, "b")
+	err = dc.ApplySet(root, []SetOp{
+		{Kind: SetEnter, Name: "one", Cap: a},
+		{Kind: SetEnter, Name: "two", Cap: b},
+	})
+	if err != nil {
+		t.Fatalf("ApplySet over RPC: %v", err)
+	}
+	err = dc.ApplySet(root, []SetOp{
+		{Kind: SetReplace, Name: "one", Cap: b},
+		{Kind: SetRemove, Name: "two"},
+	})
+	if err != nil {
+		t.Fatalf("second ApplySet: %v", err)
+	}
+	got, err := dc.Lookup(root, "one")
+	if err != nil || got != b {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	if _, err := dc.Lookup(root, "two"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("removed name err = %v", err)
+	}
+	// Malformed payload straight at the handler.
+	rep, _ := dsrv.Handle(rpc.Header{Command: CmdApplySet, Cap: root}, []byte{0})
+	if rep.Status != rpc.StatusBadRequest {
+		t.Fatalf("malformed set status = %v", rep.Status)
+	}
+}
+
+func TestSetOpsCodecRoundTrip(t *testing.T) {
+	in := []SetOp{
+		{Kind: SetEnter, Name: "alpha", Cap: fileCap(t, "a")},
+		{Kind: SetReplace, Name: "beta", Cap: fileCap(t, "b")},
+		{Kind: SetRemove, Name: "gamma"},
+	}
+	out, err := decodeSetOps(encodeSetOps(in))
+	if err != nil || len(out) != 3 {
+		t.Fatalf("decode = %v, %v", out, err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("op %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+	if _, err := decodeSetOps([]byte{0, 2, 1}); err == nil {
+		t.Fatal("truncated set accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+// Client calls a directory server over any rpc.Transport, including the
+// path-walking helpers that resolve "a/b/c" through nested directories.
+type Client struct {
+	tr rpc.Transport
+}
+
+// NewClient builds a directory client.
+func NewClient(tr rpc.Transport) *Client { return &Client{tr: tr} }
+
+func (c *Client) call(port capability.Port, req rpc.Header, payload []byte) (rpc.Header, []byte, error) {
+	rep, body, err := c.tr.Trans(port, req, payload)
+	if err != nil {
+		return rpc.Header{}, nil, fmt.Errorf("directory client: transport: %w", err)
+	}
+	if rep.Status != rpc.StatusOK {
+		return rep, nil, ErrorOf(rep.Status)
+	}
+	return rep, body, nil
+}
+
+// Root fetches the root directory capability of the server at port.
+func (c *Client) Root(port capability.Port) (capability.Capability, error) {
+	rep, _, err := c.call(port, rpc.Header{Command: CmdRoot}, nil)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	return rep.Cap, nil
+}
+
+// CreateDir makes a fresh, unlinked directory.
+func (c *Client) CreateDir(port capability.Port) (capability.Capability, error) {
+	rep, _, err := c.call(port, rpc.Header{Command: CmdCreateDir}, nil)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	return rep.Cap, nil
+}
+
+// DeleteDir removes an empty directory.
+func (c *Client) DeleteDir(dir capability.Capability) error {
+	_, _, err := c.call(dir.Port, rpc.Header{Command: CmdDeleteDir, Cap: dir}, nil)
+	return err
+}
+
+// Enter binds a fresh name to cap inside dir.
+func (c *Client) Enter(dir capability.Capability, name string, target capability.Capability) error {
+	_, _, err := c.call(dir.Port, rpc.Header{Command: CmdEnter, Cap: dir}, encodeNameCap(name, target))
+	return err
+}
+
+// Replace rebinds an existing name, pushing the old binding onto the
+// version history.
+func (c *Client) Replace(dir capability.Capability, name string, target capability.Capability) error {
+	_, _, err := c.call(dir.Port, rpc.Header{Command: CmdReplace, Cap: dir}, encodeNameCap(name, target))
+	return err
+}
+
+// Remove unbinds name from dir.
+func (c *Client) Remove(dir capability.Capability, name string) error {
+	_, _, err := c.call(dir.Port, rpc.Header{Command: CmdRemove, Cap: dir}, []byte(name))
+	return err
+}
+
+// Lookup returns the current capability bound to name in dir.
+func (c *Client) Lookup(dir capability.Capability, name string) (capability.Capability, error) {
+	rep, _, err := c.call(dir.Port, rpc.Header{Command: CmdLookup, Cap: dir}, []byte(name))
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	return rep.Cap, nil
+}
+
+// List returns dir's rows sorted by name.
+func (c *Client) List(dir capability.Capability) ([]Row, error) {
+	_, body, err := c.call(dir.Port, rpc.Header{Command: CmdList, Cap: dir}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(body)
+}
+
+// History returns the retained versions of name, oldest first.
+func (c *Client) History(dir capability.Capability, name string) ([]capability.Capability, error) {
+	_, body, err := c.call(dir.Port, rpc.Header{Command: CmdHistory, Cap: dir}, []byte(name))
+	if err != nil {
+		return nil, err
+	}
+	return decodeCaps(body)
+}
+
+// ApplySet performs several mutations on one directory atomically (see
+// Server.ApplySet).
+func (c *Client) ApplySet(dir capability.Capability, ops []SetOp) error {
+	_, _, err := c.call(dir.Port, rpc.Header{Command: CmdApplySet, Cap: dir}, encodeSetOps(ops))
+	return err
+}
+
+// LookupPath resolves a slash-separated path starting at dir, walking
+// through nested directory capabilities. Empty components are ignored, so
+// "/a//b/" resolves like "a/b".
+func (c *Client) LookupPath(dir capability.Capability, path string) (capability.Capability, error) {
+	cur := dir
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		next, err := c.Lookup(cur, part)
+		if err != nil {
+			return capability.Capability{}, fmt.Errorf("%q: %w", path, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// MkdirPath creates (as needed) every directory along path under dir and
+// returns the capability of the deepest one.
+func (c *Client) MkdirPath(dir capability.Capability, path string) (capability.Capability, error) {
+	cur := dir
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		next, err := c.Lookup(cur, part)
+		switch {
+		case err == nil:
+			cur = next
+		case isNotFound(err):
+			fresh, cerr := c.CreateDir(cur.Port)
+			if cerr != nil {
+				return capability.Capability{}, cerr
+			}
+			if eerr := c.Enter(cur, part, fresh); eerr != nil {
+				return capability.Capability{}, eerr
+			}
+			cur = fresh
+		default:
+			return capability.Capability{}, err
+		}
+	}
+	return cur, nil
+}
+
+func isNotFound(err error) bool { return errors.Is(err, ErrNotFound) }

@@ -1,0 +1,177 @@
+package directory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"bulletfs/internal/capability"
+)
+
+// Checkpoint wire format (all big-endian):
+//
+//	magic      uint32 ('DIR1')
+//	generation uint64 (monotonic per mutation; highest = newest)
+//	rootObj    uint32
+//	nextObj    uint32
+//	dirCount   uint32
+//	per directory:
+//	  obj      uint32
+//	  random   6 bytes
+//	  rowCount uint32
+//	  per row (sorted by name for determinism):
+//	    nameLen  uint16, name bytes
+//	    verCount uint16, capabilities (16 bytes each)
+const checkpointMagic = 0x44495231 // "DIR1"
+
+// snapshotLocked serializes the directory table.
+func (s *Server) snapshotLocked() []byte {
+	buf := make([]byte, 0, 1024)
+	var scratch [4]byte
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(scratch[:], v)
+		buf = append(buf, scratch[:]...)
+	}
+	put16 := func(v uint16) {
+		binary.BigEndian.PutUint16(scratch[:2], v)
+		buf = append(buf, scratch[:2]...)
+	}
+
+	put32(checkpointMagic)
+	var gen [8]byte
+	binary.BigEndian.PutUint64(gen[:], s.generation)
+	buf = append(buf, gen[:]...)
+	put32(s.rootObj)
+	put32(s.nextObj)
+	put32(uint32(len(s.dirs)))
+
+	objs := make([]uint32, 0, len(s.dirs))
+	for obj := range s.dirs {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for _, obj := range objs {
+		d := s.dirs[obj]
+		put32(obj)
+		buf = append(buf, d.random[:]...)
+		put32(uint32(len(d.rows)))
+		names := make([]string, 0, len(d.rows))
+		for name := range d.rows {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rw := d.rows[name]
+			put16(uint16(len(name)))
+			buf = append(buf, name...)
+			put16(uint16(len(rw.versions)))
+			for _, c := range rw.versions {
+				buf = capability.Encode(buf, c)
+			}
+		}
+	}
+	return buf
+}
+
+// restore deserializes a checkpoint into the (empty) server.
+func (s *Server) restore(blob []byte) error {
+	r := reader{buf: blob}
+	if magic := r.u32(); magic != checkpointMagic {
+		return fmt.Errorf("directory: checkpoint magic %08x", magic)
+	}
+	s.generation = r.u64()
+	s.rootObj = r.u32()
+	s.nextObj = r.u32()
+	dirCount := int(r.u32())
+	// A forged or corrupted blob can claim absurd counts; every directory
+	// needs at least 14 bytes, every row at least 4, every version 16.
+	// Validating counts against the remaining bytes bounds both time and
+	// allocation before any looping starts.
+	if dirCount < 0 || dirCount > len(r.buf)/14 {
+		return fmt.Errorf("directory: checkpoint claims %d directories in %d bytes", dirCount, len(r.buf))
+	}
+	for i := 0; i < dirCount && r.err == nil; i++ {
+		obj := r.u32()
+		var random capability.Random
+		r.bytes(random[:])
+		rowCount := int(r.u32())
+		if rowCount < 0 || rowCount > len(r.buf)/4 {
+			return fmt.Errorf("directory: checkpoint claims %d rows in %d bytes", rowCount, len(r.buf))
+		}
+		d := &dir{random: random, rows: make(map[string]*row, rowCount)}
+		for j := 0; j < rowCount && r.err == nil; j++ {
+			name := string(r.n(int(r.u16())))
+			verCount := int(r.u16())
+			if verCount < 0 || verCount > len(r.buf)/capability.EncodedLen {
+				return fmt.Errorf("directory: checkpoint claims %d versions in %d bytes", verCount, len(r.buf))
+			}
+			rw := &row{versions: make([]capability.Capability, 0, verCount)}
+			for k := 0; k < verCount; k++ {
+				var c capability.Capability
+				if err := c.UnmarshalBinary(r.n(capability.EncodedLen)); err != nil {
+					return fmt.Errorf("directory: checkpoint capability: %w", err)
+				}
+				rw.versions = append(rw.versions, c)
+			}
+			if len(rw.versions) == 0 {
+				return fmt.Errorf("directory: checkpoint row %q with no versions", name)
+			}
+			d.rows[name] = rw
+		}
+		s.dirs[obj] = d
+	}
+	if r.err != nil {
+		return fmt.Errorf("directory: truncated checkpoint: %w", r.err)
+	}
+	if _, ok := s.dirs[s.rootObj]; !ok {
+		return fmt.Errorf("directory: checkpoint lost the root directory")
+	}
+	return nil
+}
+
+// reader is a tiny cursor with sticky error semantics.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) n(count int) []byte {
+	if r.err != nil || count < 0 || count > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("need %d bytes, have %d", count, len(r.buf))
+		}
+		return make([]byte, max(count, 0))
+	}
+	out := r.buf[:count]
+	r.buf = r.buf[count:]
+	return out
+}
+
+func (r *reader) bytes(dst []byte) { copy(dst, r.n(len(dst))) }
+
+func (r *reader) u32() uint32 {
+	b := r.n(4)
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u16() uint16 {
+	b := r.n(2)
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.n(8)
+	return binary.BigEndian.Uint64(b)
+}
+
+// CheckpointGeneration peeks a checkpoint blob's generation without a full
+// restore; recovery scans use it to pick the newest checkpoint.
+func CheckpointGeneration(blob []byte) (uint64, bool) {
+	if len(blob) < 12 {
+		return 0, false
+	}
+	if binary.BigEndian.Uint32(blob[0:4]) != checkpointMagic {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(blob[4:12]), true
+}

@@ -1,0 +1,519 @@
+// Package directory implements the Amoeba directory service the paper
+// pairs with the Bullet server (§2.1): it maps human-chosen ASCII names to
+// capabilities, handles protection, and — because Bullet files are
+// immutable — owns the version mechanism (§2.2: "Version management is not
+// part of the file server interface, since it is done by the directory
+// service").
+//
+// Directories are two-column tables (name, capability). Directories are
+// objects themselves, addressed by capabilities of this server's port, so
+// arbitrary naming graphs can be built by entering directory capabilities
+// into directories. Replacing a name pushes the previous capability onto a
+// bounded version history, which is what makes "update" of an immutable
+// file cheap and what lets clients validate cached copies by comparing
+// capabilities (§5).
+//
+// Persistence dogfoods the Bullet server: every mutation checkpoints the
+// whole directory table into a new immutable Bullet file (write-through,
+// replicated), and the previous checkpoint is deleted. Only the latest
+// checkpoint capability needs to be kept somewhere small and stable (the
+// daemon stores it in a local file).
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+)
+
+// Errors returned by the directory service.
+var (
+	// ErrNoSuchDir means the capability does not name a live directory.
+	ErrNoSuchDir = errors.New("directory: no such directory")
+	// ErrNotFound means the name is not in the directory.
+	ErrNotFound = errors.New("directory: name not found")
+	// ErrExists means Enter found the name already present.
+	ErrExists = errors.New("directory: name already exists")
+	// ErrBadName means the name is empty or contains '/'.
+	ErrBadName = errors.New("directory: bad name")
+	// ErrNotEmpty means DeleteDir was called on a non-empty directory.
+	ErrNotEmpty = errors.New("directory: directory not empty")
+)
+
+// Rights used by the directory server.
+const (
+	// RightLookup permits Lookup and resolving paths through the directory.
+	RightLookup = capability.RightRead
+	// RightList permits List and History.
+	RightList = capability.RightList
+	// RightModify permits Enter, Replace and Remove.
+	RightModify = capability.RightModify
+	// RightDelete permits deleting the directory object itself.
+	RightDelete = capability.RightDelete
+)
+
+// Row is one directory entry as returned by List.
+type Row struct {
+	Name string
+	Cap  capability.Capability // current version
+}
+
+// dir is one directory object.
+type dir struct {
+	random capability.Random
+	rows   map[string]*row
+}
+
+type row struct {
+	versions []capability.Capability // oldest first; last is current
+}
+
+// Options configures a directory server.
+type Options struct {
+	// Port is the server's capability port (zero = random).
+	Port capability.Port
+	// MaxVersions bounds each name's version history (default 8).
+	MaxVersions int
+	// Store, if non-nil, enables persistence: checkpoints are written as
+	// Bullet files on StorePort through this client.
+	Store *client.Client
+	// StorePort is the Bullet server holding the checkpoints.
+	StorePort capability.Port
+	// State is the capability of an existing checkpoint to restore from
+	// (zero value = start fresh with an empty root directory).
+	State capability.Capability
+	// PFactor is the paranoia factor used for checkpoint writes
+	// (default 1; checkpoints are the server's durability).
+	PFactor int
+}
+
+// Server is the directory server.
+type Server struct {
+	port        capability.Port
+	maxVersions int
+	store       *client.Client
+	storePort   capability.Port
+	pfactor     int
+
+	mu         sync.Mutex
+	dirs       map[uint32]*dir
+	nextObj    uint32
+	rootObj    uint32
+	generation uint64                // bumps on every checkpoint; newest wins in recovery
+	stateCap   capability.Capability // latest checkpoint (zero if none yet)
+}
+
+// New builds a directory server, restoring from opts.State if given,
+// otherwise creating a fresh root directory.
+func New(opts Options) (*Server, error) {
+	if (opts.Port == capability.Port{}) {
+		p, err := capability.NewPort()
+		if err != nil {
+			return nil, err
+		}
+		opts.Port = p
+	}
+	if opts.MaxVersions <= 0 {
+		opts.MaxVersions = 8
+	}
+	if opts.PFactor == 0 {
+		opts.PFactor = 1
+	}
+	s := &Server{
+		port:        opts.Port,
+		maxVersions: opts.MaxVersions,
+		store:       opts.Store,
+		storePort:   opts.StorePort,
+		pfactor:     opts.PFactor,
+		dirs:        make(map[uint32]*dir),
+		nextObj:     1,
+	}
+	if (opts.State != capability.Capability{}) {
+		if s.store == nil {
+			return nil, errors.New("directory: restoring state requires a store")
+		}
+		blob, err := s.store.Read(opts.State)
+		if err != nil {
+			return nil, fmt.Errorf("directory: reading checkpoint: %w", err)
+		}
+		if err := s.restore(blob); err != nil {
+			return nil, err
+		}
+		s.stateCap = opts.State
+		return s, nil
+	}
+	// Fresh server: create the root directory.
+	rootObj, _, err := s.newDirLocked()
+	if err != nil {
+		return nil, err
+	}
+	s.rootObj = rootObj
+	if err := s.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Port returns the server's capability port.
+func (s *Server) Port() capability.Port { return s.port }
+
+// Root returns the owner capability of the root directory.
+func (s *Server) Root() capability.Capability {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dirs[s.rootObj]
+	return capability.Owner(s.port, s.rootObj, d.random)
+}
+
+// StateCap returns the capability of the latest checkpoint; persist it
+// somewhere small to restore the server after a restart.
+func (s *Server) StateCap() capability.Capability {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stateCap
+}
+
+// newDirLocked allocates a fresh directory object.
+func (s *Server) newDirLocked() (uint32, capability.Random, error) {
+	r, err := capability.NewRandom()
+	if err != nil {
+		return 0, capability.Random{}, err
+	}
+	obj := s.nextObj
+	s.nextObj++
+	s.dirs[obj] = &dir{random: r, rows: make(map[string]*row)}
+	return obj, r, nil
+}
+
+// resolve verifies a directory capability and returns its object.
+func (s *Server) resolveLocked(c capability.Capability, want capability.Rights) (uint32, *dir, error) {
+	if c.Port != s.port {
+		return 0, nil, fmt.Errorf("capability for another server: %w", ErrNoSuchDir)
+	}
+	d, ok := s.dirs[c.Object]
+	if !ok {
+		return 0, nil, fmt.Errorf("object %d: %w", c.Object, ErrNoSuchDir)
+	}
+	if err := capability.Require(c, d.random, want); err != nil {
+		return 0, nil, err
+	}
+	return c.Object, d, nil
+}
+
+func validName(name string) error {
+	if name == "" || len(name) > 255 {
+		return fmt.Errorf("%q: %w", name, ErrBadName)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == 0 {
+			return fmt.Errorf("%q: %w", name, ErrBadName)
+		}
+	}
+	return nil
+}
+
+// CreateDir makes a new, empty directory object and returns its owner
+// capability. The new directory is not linked anywhere; use Enter to give
+// it a name in another directory.
+func (s *Server) CreateDir() (capability.Capability, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, r, err := s.newDirLocked()
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	if err := s.checkpointLocked(); err != nil {
+		delete(s.dirs, obj)
+		return capability.Capability{}, err
+	}
+	return capability.Owner(s.port, obj, r), nil
+}
+
+// DeleteDir removes an empty directory object.
+func (s *Server) DeleteDir(c capability.Capability) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, d, err := s.resolveLocked(c, RightDelete)
+	if err != nil {
+		return err
+	}
+	if len(d.rows) != 0 {
+		return fmt.Errorf("%d rows: %w", len(d.rows), ErrNotEmpty)
+	}
+	if obj == s.rootObj {
+		return fmt.Errorf("cannot delete the root: %w", ErrNotEmpty)
+	}
+	delete(s.dirs, obj)
+	if err := s.checkpointLocked(); err != nil {
+		s.dirs[obj] = d // roll back
+		return err
+	}
+	return nil
+}
+
+// Enter binds name to cap in the directory; the name must be fresh.
+func (s *Server) Enter(dirCap capability.Capability, name string, c capability.Capability) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, d, err := s.resolveLocked(dirCap, RightModify)
+	if err != nil {
+		return err
+	}
+	if _, exists := d.rows[name]; exists {
+		return fmt.Errorf("%q: %w", name, ErrExists)
+	}
+	d.rows[name] = &row{versions: []capability.Capability{c}}
+	if err := s.checkpointLocked(); err != nil {
+		delete(d.rows, name)
+		return err
+	}
+	return nil
+}
+
+// Replace binds name to cap, pushing the previous binding onto the
+// version history — the "store files as sequences of versions" model of
+// paper §2. The name must already exist (use Enter for fresh names).
+func (s *Server) Replace(dirCap capability.Capability, name string, c capability.Capability) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, d, err := s.resolveLocked(dirCap, RightModify)
+	if err != nil {
+		return err
+	}
+	rw, ok := d.rows[name]
+	if !ok {
+		return fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	old := rw.versions
+	rw.versions = append(rw.versions, c)
+	if len(rw.versions) > s.maxVersions {
+		rw.versions = rw.versions[len(rw.versions)-s.maxVersions:]
+	}
+	if err := s.checkpointLocked(); err != nil {
+		rw.versions = old
+		return err
+	}
+	return nil
+}
+
+// Remove unbinds name (all versions).
+func (s *Server) Remove(dirCap capability.Capability, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, d, err := s.resolveLocked(dirCap, RightModify)
+	if err != nil {
+		return err
+	}
+	rw, ok := d.rows[name]
+	if !ok {
+		return fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	delete(d.rows, name)
+	if err := s.checkpointLocked(); err != nil {
+		d.rows[name] = rw
+		return err
+	}
+	return nil
+}
+
+// SetOpKind selects what one element of an atomic set update does.
+type SetOpKind int
+
+// Atomic set-operation kinds.
+const (
+	SetEnter   SetOpKind = iota + 1 // bind a fresh name
+	SetReplace                      // rebind, pushing version history
+	SetRemove                       // unbind
+)
+
+// SetOp is one element of an atomic update.
+type SetOp struct {
+	Kind SetOpKind
+	Name string
+	Cap  capability.Capability // ignored for SetRemove
+}
+
+// ApplySet performs several mutations on one directory atomically: either
+// every operation applies and a single checkpoint makes them durable
+// together, or none does. This is the consistency primitive the paper's
+// companion work ("Consistency and Availability in the Amoeba Distributed
+// Operating System", ref [7]) builds on — e.g. republishing a multi-file
+// artifact so readers never observe a half-updated set.
+func (s *Server) ApplySet(dirCap capability.Capability, ops []SetOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	for _, op := range ops {
+		if err := validName(op.Name); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, d, err := s.resolveLocked(dirCap, RightModify)
+	if err != nil {
+		return err
+	}
+	// Validate everything against the current state before touching it;
+	// duplicate names within one set are rejected (their outcome would
+	// depend on ordering).
+	seen := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		if seen[op.Name] {
+			return fmt.Errorf("name %q repeated in set: %w", op.Name, ErrBadName)
+		}
+		seen[op.Name] = true
+		_, exists := d.rows[op.Name]
+		switch op.Kind {
+		case SetEnter:
+			if exists {
+				return fmt.Errorf("%q: %w", op.Name, ErrExists)
+			}
+		case SetReplace, SetRemove:
+			if !exists {
+				return fmt.Errorf("%q: %w", op.Name, ErrNotFound)
+			}
+		default:
+			return fmt.Errorf("set op kind %d: %w", op.Kind, ErrBadName)
+		}
+	}
+	// Apply in memory, remembering how to undo.
+	undo := make(map[string]*row, len(ops))
+	for _, op := range ops {
+		undo[op.Name] = d.rows[op.Name]
+		switch op.Kind {
+		case SetEnter:
+			d.rows[op.Name] = &row{versions: []capability.Capability{op.Cap}}
+		case SetReplace:
+			old := d.rows[op.Name]
+			versions := append(append([]capability.Capability{}, old.versions...), op.Cap)
+			if len(versions) > s.maxVersions {
+				versions = versions[len(versions)-s.maxVersions:]
+			}
+			d.rows[op.Name] = &row{versions: versions}
+		case SetRemove:
+			delete(d.rows, op.Name)
+		}
+	}
+	if err := s.checkpointLocked(); err != nil {
+		for name, old := range undo {
+			if old == nil {
+				delete(d.rows, name)
+			} else {
+				d.rows[name] = old
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// Lookup returns the current capability bound to name.
+func (s *Server) Lookup(dirCap capability.Capability, name string) (capability.Capability, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, d, err := s.resolveLocked(dirCap, RightLookup)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	rw, ok := d.rows[name]
+	if !ok {
+		return capability.Capability{}, fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	return rw.versions[len(rw.versions)-1], nil
+}
+
+// List returns the directory's rows, sorted by name.
+func (s *Server) List(dirCap capability.Capability) ([]Row, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, d, err := s.resolveLocked(dirCap, RightList)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, 0, len(d.rows))
+	for name, rw := range d.rows {
+		out = append(out, Row{Name: name, Cap: rw.versions[len(rw.versions)-1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// History returns all retained versions for name, oldest first.
+func (s *Server) History(dirCap capability.Capability, name string) ([]capability.Capability, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, d, err := s.resolveLocked(dirCap, RightList)
+	if err != nil {
+		return nil, err
+	}
+	rw, ok := d.rows[name]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	out := make([]capability.Capability, len(rw.versions))
+	copy(out, rw.versions)
+	return out, nil
+}
+
+// ReferencedObjects collects the object numbers of every capability for
+// the given server port reachable from any directory — current bindings
+// and retained history alike, plus the directory server's own checkpoint.
+// This is the mark phase of the Amoeba-style garbage collector; feed the
+// result to bullet.Server.SweepExcept during quiescence.
+func (s *Server) ReferencedObjects(port capability.Port) map[uint32]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint32]bool)
+	for _, d := range s.dirs {
+		for _, rw := range d.rows {
+			for _, c := range rw.versions {
+				if c.Port == port {
+					out[c.Object] = true
+				}
+			}
+		}
+	}
+	if s.stateCap.Port == port {
+		out[s.stateCap.Object] = true
+	}
+	return out
+}
+
+// DirCount returns the number of live directory objects.
+func (s *Server) DirCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dirs)
+}
+
+// checkpointLocked persists the whole directory table as a fresh Bullet
+// file and deletes the previous checkpoint. A nil store means in-memory
+// operation (tests, benchmarks).
+func (s *Server) checkpointLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	s.generation++
+	blob := s.snapshotLocked()
+	newCap, err := s.store.Create(s.storePort, blob, s.pfactor)
+	if err != nil {
+		return fmt.Errorf("directory: writing checkpoint: %w", err)
+	}
+	if (s.stateCap != capability.Capability{}) {
+		// Best effort: losing the delete only leaks one old checkpoint.
+		_ = s.store.Delete(s.stateCap)
+	}
+	s.stateCap = newCap
+	return nil
+}

@@ -1,0 +1,534 @@
+package directory
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+// memServer builds an in-memory (non-persistent) directory server.
+func memServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func fileCap(t *testing.T, name string) capability.Capability {
+	t.Helper()
+	r, err := capability.NewRandom()
+	if err != nil {
+		t.Fatalf("NewRandom: %v", err)
+	}
+	return capability.Owner(capability.PortFromString("files"), uint32(len(name)+1), r)
+}
+
+func TestRootExists(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	if root.Rights != capability.RightsAll {
+		t.Fatal("root capability is not an owner capability")
+	}
+	rows, err := s.List(root)
+	if err != nil {
+		t.Fatalf("List(root): %v", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("fresh root has %d rows", len(rows))
+	}
+}
+
+func TestEnterLookup(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	f := fileCap(t, "readme")
+	if err := s.Enter(root, "readme", f); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	got, err := s.Lookup(root, "readme")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if got != f {
+		t.Fatalf("Lookup = %v, want %v", got, f)
+	}
+	if _, err := s.Lookup(root, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup(missing) err = %v", err)
+	}
+}
+
+func TestEnterDuplicateRejected(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	if err := s.Enter(root, "x", fileCap(t, "a")); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := s.Enter(root, "x", fileCap(t, "b")); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Enter err = %v, want ErrExists", err)
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	for _, name := range []string{"", "a/b", string([]byte{'a', 0}), string(bytes.Repeat([]byte{'x'}, 256))} {
+		if err := s.Enter(root, name, fileCap(t, "f")); !errors.Is(err, ErrBadName) {
+			t.Errorf("Enter(%q) err = %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+func TestReplacePushesVersions(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	v1, v2, v3 := fileCap(t, "v1"), fileCap(t, "v2"), fileCap(t, "v3")
+	if err := s.Enter(root, "doc", v1); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := s.Replace(root, "doc", v2); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	if err := s.Replace(root, "doc", v3); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	cur, err := s.Lookup(root, "doc")
+	if err != nil || cur != v3 {
+		t.Fatalf("Lookup = %v, %v; want v3", cur, err)
+	}
+	hist, err := s.History(root, "doc")
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(hist) != 3 || hist[0] != v1 || hist[1] != v2 || hist[2] != v3 {
+		t.Fatalf("History = %v", hist)
+	}
+}
+
+func TestReplaceRequiresExisting(t *testing.T) {
+	s := memServer(t)
+	if err := s.Replace(s.Root(), "ghost", fileCap(t, "g")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Replace(missing) err = %v", err)
+	}
+}
+
+func TestVersionHistoryBounded(t *testing.T) {
+	s, err := New(Options{MaxVersions: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	root := s.Root()
+	if err := s.Enter(root, "f", fileCap(t, "v0")); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	var last capability.Capability
+	for i := 0; i < 10; i++ {
+		last = fileCap(t, fmt.Sprintf("v%d", i+1))
+		if err := s.Replace(root, "f", last); err != nil {
+			t.Fatalf("Replace %d: %v", i, err)
+		}
+	}
+	hist, err := s.History(root, "f")
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history length = %d, want 3", len(hist))
+	}
+	if hist[2] != last {
+		t.Fatal("newest version missing from bounded history")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	if err := s.Enter(root, "gone", fileCap(t, "g")); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := s.Remove(root, "gone"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := s.Lookup(root, "gone"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup after remove err = %v", err)
+	}
+	if err := s.Remove(root, "gone"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Remove err = %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := s.Enter(root, name, fileCap(t, name)); err != nil {
+			t.Fatalf("Enter: %v", err)
+		}
+	}
+	rows, err := s.List(root)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i, r := range rows {
+		if r.Name != want[i] {
+			t.Fatalf("rows = %v, want names %v", rows, want)
+		}
+	}
+}
+
+func TestNestedDirectories(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	sub, err := s.CreateDir()
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	if err := s.Enter(root, "src", sub); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := s.Enter(sub, "main.go", fileCap(t, "m")); err != nil {
+		t.Fatalf("Enter in subdir: %v", err)
+	}
+	got, err := s.Lookup(root, "src")
+	if err != nil || got != sub {
+		t.Fatalf("Lookup(src) = %v, %v", got, err)
+	}
+	if _, err := s.Lookup(sub, "main.go"); err != nil {
+		t.Fatalf("Lookup in subdir: %v", err)
+	}
+}
+
+func TestDeleteDir(t *testing.T) {
+	s := memServer(t)
+	sub, err := s.CreateDir()
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	if err := s.Enter(sub, "f", fileCap(t, "f")); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := s.DeleteDir(sub); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("DeleteDir(non-empty) err = %v", err)
+	}
+	if err := s.Remove(sub, "f"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := s.DeleteDir(sub); err != nil {
+		t.Fatalf("DeleteDir: %v", err)
+	}
+	if _, err := s.List(sub); !errors.Is(err, ErrNoSuchDir) {
+		t.Fatalf("List(deleted) err = %v", err)
+	}
+	if err := s.DeleteDir(s.Root()); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("DeleteDir(root) err = %v", err)
+	}
+}
+
+func TestDirectoryRights(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	if err := s.Enter(root, "f", fileCap(t, "f")); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	lookupOnly, err := capability.Restrict(root, RightLookup)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if _, err := s.Lookup(lookupOnly, "f"); err != nil {
+		t.Fatalf("Lookup with lookup-only cap: %v", err)
+	}
+	if err := s.Enter(lookupOnly, "g", fileCap(t, "g")); !errors.Is(err, capability.ErrBadRights) {
+		t.Fatalf("Enter with lookup-only cap err = %v", err)
+	}
+	if _, err := s.List(lookupOnly); !errors.Is(err, capability.ErrBadRights) {
+		t.Fatalf("List with lookup-only cap err = %v", err)
+	}
+	forged := root
+	forged.Check[5] ^= 1
+	if _, err := s.Lookup(forged, "f"); !errors.Is(err, capability.ErrBadCheck) {
+		t.Fatalf("forged cap err = %v", err)
+	}
+}
+
+// bulletWorld wires a Bullet engine + directory server with persistence
+// through the in-process transport.
+func bulletWorld(t *testing.T) (*Server, *client.Client, capability.Port, *rpc.Mux) {
+	t.Helper()
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 4096)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		devs[i] = mem
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	if err := bullet.Format(set, 300); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	eng, err := bullet.New(set, bullet.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("bullet.New: %v", err)
+	}
+	t.Cleanup(eng.Sync)
+	mux := rpc.NewMux(0)
+	bulletsvc.New(eng).Register(mux)
+	cl := client.New(rpc.NewLocal(mux))
+
+	dsrv, err := New(Options{Store: cl, StorePort: eng.Port(), PFactor: 2})
+	if err != nil {
+		t.Fatalf("New(persistent): %v", err)
+	}
+	return dsrv, cl, eng.Port(), mux
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dsrv, cl, storePort, _ := bulletWorld(t)
+	root := dsrv.Root()
+	f1, f2 := fileCap(t, "a"), fileCap(t, "b")
+	if err := dsrv.Enter(root, "a", f1); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	sub, err := dsrv.CreateDir()
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	if err := dsrv.Enter(root, "sub", sub); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := dsrv.Enter(sub, "b", f2); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := dsrv.Replace(root, "a", f2); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	state := dsrv.StateCap()
+
+	// Restart: a fresh server restored from the checkpoint, same port.
+	dsrv2, err := New(Options{
+		Port: dsrv.Port(), Store: cl, StorePort: storePort, State: state, PFactor: 2,
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if dsrv2.Root() != root {
+		t.Fatal("root capability changed across restart")
+	}
+	got, err := dsrv2.Lookup(root, "a")
+	if err != nil || got != f2 {
+		t.Fatalf("Lookup(a) = %v, %v; want f2", got, err)
+	}
+	hist, err := dsrv2.History(root, "a")
+	if err != nil || len(hist) != 2 || hist[0] != f1 {
+		t.Fatalf("History(a) = %v, %v", hist, err)
+	}
+	gotSub, err := dsrv2.Lookup(root, "sub")
+	if err != nil || gotSub != sub {
+		t.Fatalf("Lookup(sub) = %v, %v", gotSub, err)
+	}
+	if _, err := dsrv2.Lookup(sub, "b"); err != nil {
+		t.Fatalf("Lookup in restored subdir: %v", err)
+	}
+}
+
+func TestCheckpointsDoNotAccumulate(t *testing.T) {
+	dsrv, cl, storePort, _ := bulletWorld(t)
+	root := dsrv.Root()
+	for i := 0; i < 20; i++ {
+		if err := dsrv.Enter(root, fmt.Sprintf("f%d", i), fileCap(t, "x")); err != nil {
+			t.Fatalf("Enter: %v", err)
+		}
+	}
+	st, err := cl.Stat(storePort)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	// Exactly one live checkpoint file on the Bullet store.
+	if st.LiveFiles != 1 {
+		t.Fatalf("store holds %d files, want 1 (old checkpoints deleted)", st.LiveFiles)
+	}
+}
+
+func TestClientOverRPC(t *testing.T) {
+	dsrv, _, _, mux := bulletWorld(t)
+	dsrv.Register(mux)
+	dc := NewClient(rpc.NewLocal(mux))
+
+	root, err := dc.Root(dsrv.Port())
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	f := fileCap(t, "wire")
+	if err := dc.Enter(root, "wire", f); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	got, err := dc.Lookup(root, "wire")
+	if err != nil || got != f {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	f2 := fileCap(t, "wire2")
+	if err := dc.Replace(root, "wire", f2); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	hist, err := dc.History(root, "wire")
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("History = %v, %v", hist, err)
+	}
+	rows, err := dc.List(root)
+	if err != nil || len(rows) != 1 || rows[0].Name != "wire" || rows[0].Cap != f2 {
+		t.Fatalf("List = %v, %v", rows, err)
+	}
+	if err := dc.Remove(root, "wire"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := dc.Lookup(root, "wire"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup after remove err = %v", err)
+	}
+}
+
+func TestClientPathHelpers(t *testing.T) {
+	dsrv, _, _, mux := bulletWorld(t)
+	dsrv.Register(mux)
+	dc := NewClient(rpc.NewLocal(mux))
+	root, err := dc.Root(dsrv.Port())
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+
+	deep, err := dc.MkdirPath(root, "home/user/projects")
+	if err != nil {
+		t.Fatalf("MkdirPath: %v", err)
+	}
+	f := fileCap(t, "deep")
+	if err := dc.Enter(deep, "notes.txt", f); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	got, err := dc.LookupPath(root, "/home/user/projects/notes.txt")
+	if err != nil || got != f {
+		t.Fatalf("LookupPath = %v, %v", got, err)
+	}
+	// MkdirPath is idempotent.
+	again, err := dc.MkdirPath(root, "home/user/projects")
+	if err != nil || again != deep {
+		t.Fatalf("MkdirPath(again) = %v, %v", again, err)
+	}
+	if _, err := dc.LookupPath(root, "home/missing/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LookupPath(missing) err = %v", err)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := memServer(t)
+	root := s.Root()
+	sub, err := s.CreateDir()
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	if err := s.Enter(root, "sub", sub); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Enter(sub, fmt.Sprintf("f%d", i), fileCap(t, "x")); err != nil {
+			t.Fatalf("Enter: %v", err)
+		}
+	}
+	s.mu.Lock()
+	blob := s.snapshotLocked()
+	s.mu.Unlock()
+
+	s2 := &Server{port: s.port, maxVersions: 8, dirs: make(map[uint32]*dir)}
+	if err := s2.restore(blob); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if s2.Root() != root {
+		t.Fatal("root differs after restore")
+	}
+	rows, err := s2.List(sub)
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("List = %v, %v", rows, err)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s := &Server{dirs: make(map[uint32]*dir)}
+	if err := s.restore([]byte("not a checkpoint")); err == nil {
+		t.Fatal("restore(garbage) succeeded")
+	}
+	if err := s.restore(nil); err == nil {
+		t.Fatal("restore(nil) succeeded")
+	}
+}
+
+// Property: snapshot/restore round trips arbitrary directory shapes.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(names []string, versions uint8) bool {
+		s, err := New(Options{MaxVersions: int(versions%5) + 1})
+		if err != nil {
+			return false
+		}
+		root := s.Root()
+		entered := map[string]bool{}
+		for _, raw := range names {
+			name := raw
+			if len(name) == 0 || len(name) > 200 {
+				continue
+			}
+			if err := validName(name); err != nil {
+				continue
+			}
+			r, err := capability.NewRandom()
+			if err != nil {
+				return false
+			}
+			c := capability.Owner(capability.PortFromString("p"), 1, r)
+			if entered[name] {
+				if err := s.Replace(root, name, c); err != nil {
+					return false
+				}
+			} else {
+				if err := s.Enter(root, name, c); err != nil {
+					return false
+				}
+				entered[name] = true
+			}
+		}
+		s.mu.Lock()
+		blob := s.snapshotLocked()
+		s.mu.Unlock()
+		s2 := &Server{port: s.port, maxVersions: s.maxVersions, dirs: make(map[uint32]*dir)}
+		if err := s2.restore(blob); err != nil {
+			return false
+		}
+		want, err := s.List(root)
+		if err != nil {
+			return false
+		}
+		got, err := s2.List(root)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

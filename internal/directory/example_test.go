@@ -1,0 +1,40 @@
+package directory_test
+
+import (
+	"fmt"
+	"log"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/directory"
+)
+
+// The version mechanism (§2.2): Replace pushes the previous binding onto
+// a history, so "updating" an immutable file never loses the old one.
+func ExampleServer_Replace() {
+	srv, err := directory.New(directory.Options{MaxVersions: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := srv.Root()
+
+	mkcap := func(obj uint32) capability.Capability {
+		r, _ := capability.NewRandom()
+		return capability.Owner(capability.PortFromString("bullet"), obj, r)
+	}
+
+	_ = srv.Enter(root, "report.txt", mkcap(1))
+	_ = srv.Replace(root, "report.txt", mkcap(2))
+	_ = srv.Replace(root, "report.txt", mkcap(3))
+
+	current, _ := srv.Lookup(root, "report.txt")
+	history, _ := srv.History(root, "report.txt")
+	fmt.Printf("current is object %d\n", current.Object)
+	for i, v := range history {
+		fmt.Printf("version %d: object %d\n", i+1, v.Object)
+	}
+	// Output:
+	// current is object 3
+	// version 1: object 1
+	// version 2: object 2
+	// version 3: object 3
+}

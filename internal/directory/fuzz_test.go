@@ -1,0 +1,43 @@
+package directory
+
+import (
+	"testing"
+)
+
+// FuzzRestore hardens checkpoint deserialization: the bytes come from the
+// Bullet store, which other (possibly buggy) software can write to.
+func FuzzRestore(f *testing.F) {
+	// Seed with a real checkpoint.
+	s, err := New(Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Enter(s.Root(), "seed", s.Root()); err != nil {
+		f.Fatal(err)
+	}
+	s.mu.Lock()
+	blob := s.snapshotLocked()
+	s.mu.Unlock()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint"))
+	f.Add(blob[:len(blob)/2]) // truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := &Server{maxVersions: 8, dirs: make(map[uint32]*dir)}
+		if err := srv.restore(data); err != nil {
+			return
+		}
+		// A checkpoint that restores must re-serialize and restore again.
+		srv.mu.Lock()
+		again := srv.snapshotLocked()
+		srv.mu.Unlock()
+		srv2 := &Server{maxVersions: 8, dirs: make(map[uint32]*dir)}
+		if err := srv2.restore(again); err != nil {
+			t.Fatalf("re-restore: %v", err)
+		}
+		if len(srv2.dirs) != len(srv.dirs) {
+			t.Fatalf("dir count changed: %d -> %d", len(srv.dirs), len(srv2.dirs))
+		}
+	})
+}

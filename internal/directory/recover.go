@@ -1,0 +1,46 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/capability"
+)
+
+// ErrNoCheckpoint means no directory checkpoint exists on the store.
+var ErrNoCheckpoint = errors.New("directory: no checkpoint found on store")
+
+// FindLatestCheckpoint scans a Bullet engine for directory checkpoints
+// and returns the newest one's owner capability and generation. This is
+// the disaster-recovery path: the local state-pointer file is gone (or
+// the machine with it is), but the checkpoints themselves live on the
+// replicated Bullet store and are self-describing — magic plus a
+// monotonic generation. It is an administrative scan (engine access, not
+// client access); run it on the store's operator host.
+//
+// A crash between writing checkpoint N+1 and deleting checkpoint N leaves
+// both on the store; the generation picks the newer, and the older is
+// reclaimable by the garbage collector afterwards.
+func FindLatestCheckpoint(eng *bullet.Server) (capability.Capability, uint64, error) {
+	var best capability.Capability
+	var bestGen uint64
+	found := false
+	for _, obj := range eng.Objects() {
+		blob, owner, err := eng.ReadObjectAdmin(obj)
+		if err != nil {
+			return capability.Capability{}, 0, fmt.Errorf("directory: scanning object %d: %w", obj, err)
+		}
+		gen, ok := CheckpointGeneration(blob)
+		if !ok {
+			continue // some other file
+		}
+		if !found || gen > bestGen {
+			best, bestGen, found = owner, gen, true
+		}
+	}
+	if !found {
+		return capability.Capability{}, 0, ErrNoCheckpoint
+	}
+	return best, bestGen, nil
+}

@@ -1,0 +1,188 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/client"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+// recoveryWorld exposes the engine too (FindLatestCheckpoint needs admin
+// access).
+func recoveryWorld(t *testing.T) (*Server, *client.Client, *bullet.Server) {
+	t.Helper()
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 4096)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		devs[i] = mem
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	if err := bullet.Format(set, 300); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	eng, err := bullet.New(set, bullet.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("bullet.New: %v", err)
+	}
+	t.Cleanup(eng.Sync)
+	mux := rpc.NewMux(0)
+	bulletsvc.New(eng).Register(mux)
+	cl := client.New(rpc.NewLocal(mux))
+	dsrv, err := New(Options{Store: cl, StorePort: eng.Port(), PFactor: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return dsrv, cl, eng
+}
+
+func TestRecoverFromStoreWithoutStatePointer(t *testing.T) {
+	dsrv, cl, eng := recoveryWorld(t)
+	root := dsrv.Root()
+	f1, f2 := fileCap(t, "a"), fileCap(t, "b")
+	if err := dsrv.Enter(root, "a", f1); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := dsrv.Replace(root, "a", f2); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	// Also some plain user files that must not confuse the scan.
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Create(eng.Port(), []byte(fmt.Sprintf("user data %d", i)), 2); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+	}
+
+	// Disaster: the state pointer is lost. Recover by scanning the store.
+	found, gen, err := FindLatestCheckpoint(eng)
+	if err != nil {
+		t.Fatalf("FindLatestCheckpoint: %v", err)
+	}
+	if found != dsrv.StateCap() {
+		t.Fatalf("found %v, want %v", found, dsrv.StateCap())
+	}
+	if gen == 0 {
+		t.Fatal("generation not recorded")
+	}
+
+	dsrv2, err := New(Options{
+		Port: dsrv.Port(), Store: cl, StorePort: eng.Port(), State: found, PFactor: 2,
+	})
+	if err != nil {
+		t.Fatalf("restore from recovered checkpoint: %v", err)
+	}
+	if dsrv2.Root() != root {
+		t.Fatal("root changed across recovery")
+	}
+	got, err := dsrv2.Lookup(root, "a")
+	if err != nil || got != f2 {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	hist, err := dsrv2.History(root, "a")
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("History = %v, %v", hist, err)
+	}
+	// The recovered server keeps checkpointing with increasing
+	// generations.
+	if err := dsrv2.Enter(root, "post-recovery", f1); err != nil {
+		t.Fatalf("Enter after recovery: %v", err)
+	}
+	found2, gen2, err := FindLatestCheckpoint(eng)
+	if err != nil || gen2 <= gen {
+		t.Fatalf("generation did not advance: %d -> %d, %v", gen, gen2, err)
+	}
+	if found2 != dsrv2.StateCap() {
+		t.Fatal("scan found a stale checkpoint")
+	}
+}
+
+func TestRecoverPicksNewestWhenOldCheckpointLingers(t *testing.T) {
+	dsrv, cl, eng := recoveryWorld(t)
+	root := dsrv.Root()
+	if err := dsrv.Enter(root, "x", fileCap(t, "x")); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	oldState := dsrv.StateCap()
+	oldBlob, err := cl.Read(oldState)
+	if err != nil {
+		t.Fatalf("Read old checkpoint: %v", err)
+	}
+	if err := dsrv.Enter(root, "y", fileCap(t, "y")); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	// Simulate the crash-between-write-and-delete: the OLD checkpoint is
+	// still on the store alongside the new one.
+	if _, err := cl.Create(eng.Port(), oldBlob, 2); err != nil {
+		t.Fatalf("resurrecting old checkpoint: %v", err)
+	}
+	found, _, err := FindLatestCheckpoint(eng)
+	if err != nil {
+		t.Fatalf("FindLatestCheckpoint: %v", err)
+	}
+	if found != dsrv.StateCap() {
+		t.Fatal("recovery picked the stale checkpoint")
+	}
+}
+
+func TestRecoverNoCheckpoint(t *testing.T) {
+	_, cl, eng := func() (*Server, *client.Client, *bullet.Server) {
+		devs := make([]disk.Device, 1)
+		mem, err := disk.NewMem(512, 2048)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		devs[0] = mem
+		set, err := disk.NewReplicaSet(devs...)
+		if err != nil {
+			t.Fatalf("NewReplicaSet: %v", err)
+		}
+		if err := bullet.Format(set, 100); err != nil {
+			t.Fatalf("Format: %v", err)
+		}
+		eng, err := bullet.New(set, bullet.Options{CacheBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("bullet.New: %v", err)
+		}
+		mux := rpc.NewMux(0)
+		bulletsvc.New(eng).Register(mux)
+		return nil, client.New(rpc.NewLocal(mux)), eng
+	}()
+	// Only user files, no checkpoints.
+	if _, err := cl.Create(eng.Port(), []byte("just data"), 1); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, _, err := FindLatestCheckpoint(eng); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCheckpointGenerationPeek(t *testing.T) {
+	if _, ok := CheckpointGeneration(nil); ok {
+		t.Fatal("nil accepted")
+	}
+	if _, ok := CheckpointGeneration([]byte("tooshort")); ok {
+		t.Fatal("short blob accepted")
+	}
+	if _, ok := CheckpointGeneration(make([]byte, 20)); ok {
+		t.Fatal("wrong magic accepted")
+	}
+	s := memServer(t)
+	s.generation = 42
+	s.mu.Lock()
+	blob := s.snapshotLocked()
+	s.mu.Unlock()
+	gen, ok := CheckpointGeneration(blob)
+	if !ok || gen != 42 {
+		t.Fatalf("peek = %d, %v", gen, ok)
+	}
+}

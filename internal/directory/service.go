@@ -1,0 +1,296 @@
+package directory
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+// Command codes of the directory protocol.
+const (
+	CmdCreateDir uint32 = 32 // -> reply Cap
+	CmdDeleteDir uint32 = 33 // Cap
+	CmdEnter     uint32 = 34 // Cap, payload = name + cap
+	CmdReplace   uint32 = 35 // Cap, payload = name + cap
+	CmdRemove    uint32 = 36 // Cap, payload = name
+	CmdLookup    uint32 = 37 // Cap, payload = name -> reply Cap
+	CmdList      uint32 = 38 // Cap -> reply payload = rows
+	CmdHistory   uint32 = 39 // Cap, payload = name -> reply payload = caps
+	CmdRoot      uint32 = 40 // -> reply Cap (the root directory)
+	CmdApplySet  uint32 = 41 // Cap, payload = encoded SetOps (atomic)
+)
+
+// StatusOf maps directory errors to transaction statuses.
+func StatusOf(err error) rpc.Status {
+	switch {
+	case err == nil:
+		return rpc.StatusOK
+	case errors.Is(err, ErrNoSuchDir):
+		return rpc.StatusNoSuchObject
+	case errors.Is(err, ErrNotFound):
+		return rpc.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return rpc.StatusExists
+	case errors.Is(err, ErrBadName), errors.Is(err, ErrNotEmpty):
+		return rpc.StatusBadRequest
+	case errors.Is(err, capability.ErrBadCheck):
+		return rpc.StatusBadCheck
+	case errors.Is(err, capability.ErrBadRights):
+		return rpc.StatusBadRights
+	default:
+		return rpc.StatusInternal
+	}
+}
+
+// ErrorOf maps reply statuses back to directory errors on the client side.
+func ErrorOf(st rpc.Status) error {
+	switch st {
+	case rpc.StatusOK:
+		return nil
+	case rpc.StatusNoSuchObject:
+		return ErrNoSuchDir
+	case rpc.StatusNotFound:
+		return ErrNotFound
+	case rpc.StatusExists:
+		return ErrExists
+	case rpc.StatusBadRequest:
+		return ErrBadName
+	case rpc.StatusBadCheck:
+		return capability.ErrBadCheck
+	case rpc.StatusBadRights:
+		return capability.ErrBadRights
+	default:
+		return rpc.Errf(st, "directory server error")
+	}
+}
+
+// encodeNameCap encodes "name + capability" request payloads.
+func encodeNameCap(name string, c capability.Capability) []byte {
+	buf := make([]byte, 0, 2+len(name)+capability.EncodedLen)
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(name)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, name...)
+	return capability.Encode(buf, c)
+}
+
+func decodeNameCap(payload []byte) (string, capability.Capability, error) {
+	if len(payload) < 2 {
+		return "", capability.Capability{}, rpc.ErrBadFrame
+	}
+	n := int(binary.BigEndian.Uint16(payload[:2]))
+	payload = payload[2:]
+	if len(payload) < n {
+		return "", capability.Capability{}, rpc.ErrBadFrame
+	}
+	name := string(payload[:n])
+	c, _, err := capability.Decode(payload[n:])
+	if err != nil {
+		return "", capability.Capability{}, err
+	}
+	return name, c, nil
+}
+
+// encodeRows encodes a List reply.
+func encodeRows(rows []Row) []byte {
+	var buf []byte
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(rows)))
+	buf = append(buf, l[:]...)
+	for _, r := range rows {
+		binary.BigEndian.PutUint16(l[:], uint16(len(r.Name)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, r.Name...)
+		buf = capability.Encode(buf, r.Cap)
+	}
+	return buf
+}
+
+func decodeRows(payload []byte) ([]Row, error) {
+	if len(payload) < 2 {
+		return nil, rpc.ErrBadFrame
+	}
+	count := int(binary.BigEndian.Uint16(payload[:2]))
+	payload = payload[2:]
+	rows := make([]Row, 0, count)
+	for i := 0; i < count; i++ {
+		if len(payload) < 2 {
+			return nil, rpc.ErrBadFrame
+		}
+		n := int(binary.BigEndian.Uint16(payload[:2]))
+		payload = payload[2:]
+		if len(payload) < n {
+			return nil, rpc.ErrBadFrame
+		}
+		name := string(payload[:n])
+		payload = payload[n:]
+		c, rest, err := capability.Decode(payload)
+		if err != nil {
+			return nil, err
+		}
+		payload = rest
+		rows = append(rows, Row{Name: name, Cap: c})
+	}
+	return rows, nil
+}
+
+// encodeSetOps encodes an ApplySet request payload: u16 count, then per
+// op {u8 kind, u16 name length, name, capability}.
+func encodeSetOps(ops []SetOp) []byte {
+	var buf []byte
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(ops)))
+	buf = append(buf, l[:]...)
+	for _, op := range ops {
+		buf = append(buf, byte(op.Kind))
+		binary.BigEndian.PutUint16(l[:], uint16(len(op.Name)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, op.Name...)
+		buf = capability.Encode(buf, op.Cap)
+	}
+	return buf
+}
+
+func decodeSetOps(payload []byte) ([]SetOp, error) {
+	if len(payload) < 2 {
+		return nil, rpc.ErrBadFrame
+	}
+	count := int(binary.BigEndian.Uint16(payload[:2]))
+	payload = payload[2:]
+	out := make([]SetOp, 0, count)
+	for i := 0; i < count; i++ {
+		if len(payload) < 3 {
+			return nil, rpc.ErrBadFrame
+		}
+		op := SetOp{Kind: SetOpKind(payload[0])}
+		n := int(binary.BigEndian.Uint16(payload[1:3]))
+		payload = payload[3:]
+		if len(payload) < n {
+			return nil, rpc.ErrBadFrame
+		}
+		op.Name = string(payload[:n])
+		payload = payload[n:]
+		c, rest, err := capability.Decode(payload)
+		if err != nil {
+			return nil, err
+		}
+		op.Cap = c
+		payload = rest
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+// encodeCaps encodes a History reply.
+func encodeCaps(caps []capability.Capability) []byte {
+	var buf []byte
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(caps)))
+	buf = append(buf, l[:]...)
+	for _, c := range caps {
+		buf = capability.Encode(buf, c)
+	}
+	return buf
+}
+
+func decodeCaps(payload []byte) ([]capability.Capability, error) {
+	if len(payload) < 2 {
+		return nil, rpc.ErrBadFrame
+	}
+	count := int(binary.BigEndian.Uint16(payload[:2]))
+	payload = payload[2:]
+	caps := make([]capability.Capability, 0, count)
+	for i := 0; i < count; i++ {
+		c, rest, err := capability.Decode(payload)
+		if err != nil {
+			return nil, err
+		}
+		payload = rest
+		caps = append(caps, c)
+	}
+	return caps, nil
+}
+
+// Register installs the directory server's handler on mux.
+func (s *Server) Register(mux *rpc.Mux) { mux.Register(s.port, s.Handle) }
+
+// Handle processes one directory transaction.
+func (s *Server) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
+	fail := func(err error) (rpc.Header, []byte) {
+		return rpc.ReplyErr(StatusOf(err)), nil
+	}
+	switch req.Command {
+	case CmdRoot:
+		return rpc.Header{Status: rpc.StatusOK, Cap: s.Root()}, nil
+
+	case CmdCreateDir:
+		c, err := s.CreateDir()
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
+
+	case CmdDeleteDir:
+		if err := s.DeleteDir(req.Cap); err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), nil
+
+	case CmdEnter, CmdReplace:
+		name, c, err := decodeNameCap(payload)
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusBadRequest), nil
+		}
+		if req.Command == CmdEnter {
+			err = s.Enter(req.Cap, name, c)
+		} else {
+			err = s.Replace(req.Cap, name, c)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), nil
+
+	case CmdRemove:
+		if err := s.Remove(req.Cap, string(payload)); err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), nil
+
+	case CmdLookup:
+		c, err := s.Lookup(req.Cap, string(payload))
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
+
+	case CmdList:
+		rows, err := s.List(req.Cap)
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), encodeRows(rows)
+
+	case CmdHistory:
+		caps, err := s.History(req.Cap, string(payload))
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), encodeCaps(caps)
+
+	case CmdApplySet:
+		ops, err := decodeSetOps(payload)
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusBadRequest), nil
+		}
+		if err := s.ApplySet(req.Cap, ops); err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), nil
+
+	default:
+		return rpc.ReplyErr(rpc.StatusBadCommand), nil
+	}
+}

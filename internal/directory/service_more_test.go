@@ -1,0 +1,134 @@
+package directory
+
+import (
+	"errors"
+	"testing"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+func TestDirStatusErrorRoundTrip(t *testing.T) {
+	cases := []error{
+		ErrNoSuchDir, ErrNotFound, ErrExists,
+		capability.ErrBadCheck, capability.ErrBadRights,
+	}
+	for _, in := range cases {
+		st := StatusOf(in)
+		if st == rpc.StatusOK || st == rpc.StatusInternal {
+			t.Errorf("StatusOf(%v) = %v", in, st)
+			continue
+		}
+		if out := ErrorOf(st); !errors.Is(out, in) {
+			t.Errorf("round trip %v -> %v -> %v", in, st, out)
+		}
+	}
+	// ErrBadName and ErrNotEmpty collapse onto StatusBadRequest.
+	for _, in := range []error{ErrBadName, ErrNotEmpty} {
+		if StatusOf(in) != rpc.StatusBadRequest {
+			t.Errorf("StatusOf(%v) = %v", in, StatusOf(in))
+		}
+	}
+	if StatusOf(nil) != rpc.StatusOK || ErrorOf(rpc.StatusOK) != nil {
+		t.Error("nil round trip broken")
+	}
+	if StatusOf(errors.New("x")) != rpc.StatusInternal || ErrorOf(rpc.StatusInternal) == nil {
+		t.Error("internal mapping broken")
+	}
+}
+
+func TestClientDeleteDirAndErrors(t *testing.T) {
+	dsrv := memServer(t)
+	mux := rpc.NewMux(0)
+	dsrv.Register(mux)
+	dc := NewClient(rpc.NewLocal(mux))
+
+	sub, err := dc.CreateDir(dsrv.Port())
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	if err := dc.DeleteDir(sub); err != nil {
+		t.Fatalf("DeleteDir: %v", err)
+	}
+	if err := dc.DeleteDir(sub); !errors.Is(err, ErrNoSuchDir) {
+		t.Fatalf("double DeleteDir err = %v", err)
+	}
+	root, err := dc.Root(dsrv.Port())
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	if err := dc.Enter(root, "bad/name", fileCap(t, "x")); !errors.Is(err, ErrBadName) {
+		t.Fatalf("bad name err = %v", err)
+	}
+	rep, _ := dsrv.Handle(rpc.Header{Command: 999}, nil)
+	if rep.Status != rpc.StatusBadCommand {
+		t.Fatalf("bad command status = %v", rep.Status)
+	}
+	// Malformed Enter payload.
+	rep, _ = dsrv.Handle(rpc.Header{Command: CmdEnter, Cap: root}, []byte{0x00})
+	if rep.Status != rpc.StatusBadRequest {
+		t.Fatalf("truncated payload status = %v", rep.Status)
+	}
+}
+
+func TestReferencedObjectsWalksEverything(t *testing.T) {
+	dsrv := memServer(t)
+	root := dsrv.Root()
+	port := capability.PortFromString("files-here")
+	other := capability.PortFromString("files-elsewhere")
+
+	mk := func(p capability.Port, obj uint32) capability.Capability {
+		r, err := capability.NewRandom()
+		if err != nil {
+			t.Fatalf("NewRandom: %v", err)
+		}
+		return capability.Owner(p, obj, r)
+	}
+
+	// Current binding, history versions, nested directory binding, and a
+	// capability for a different server that must be ignored.
+	if err := dsrv.Enter(root, "f", mk(port, 10)); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := dsrv.Replace(root, "f", mk(port, 11)); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	sub, err := dsrv.CreateDir()
+	if err != nil {
+		t.Fatalf("CreateDir: %v", err)
+	}
+	if err := dsrv.Enter(root, "sub", sub); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := dsrv.Enter(sub, "g", mk(port, 12)); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if err := dsrv.Enter(sub, "foreign", mk(other, 99)); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+
+	refs := dsrv.ReferencedObjects(port)
+	for _, want := range []uint32{10, 11, 12} {
+		if !refs[want] {
+			t.Errorf("missing reference %d in %v", want, refs)
+		}
+	}
+	if refs[99] {
+		t.Error("foreign-port object marked")
+	}
+	if len(refs) != 3 {
+		t.Errorf("refs = %v, want exactly 3 (in-memory server has no checkpoint)", refs)
+	}
+	if dsrv.DirCount() != 2 {
+		t.Errorf("DirCount = %d, want 2", dsrv.DirCount())
+	}
+}
+
+func TestReferencedObjectsIncludesCheckpoint(t *testing.T) {
+	dsrv, _, storePort, _ := bulletWorld(t)
+	refs := dsrv.ReferencedObjects(storePort)
+	state := dsrv.StateCap()
+	if !refs[state.Object] {
+		t.Fatalf("checkpoint object %d missing from refs %v", state.Object, refs)
+	}
+}

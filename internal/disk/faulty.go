@@ -1,0 +1,112 @@
+package disk
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FaultyDisk wraps a Device with failure injection for recovery and
+// replication tests. A faulted device fails every subsequent operation with
+// ErrFaulted, like a drive that has died (paper §3: "If the main disk
+// fails, the file server can proceed uninterruptedly by using the other
+// disk").
+type FaultyDisk struct {
+	dev     Device
+	faulted atomic.Bool
+
+	mu          sync.Mutex
+	failWriteIn int64 // fail (and fault) after this many more writes; 0 = off
+	tornNext    bool  // next write stores only the first half, then faults
+}
+
+var _ Device = (*FaultyDisk)(nil)
+
+// NewFaulty wraps dev with failure injection, initially healthy.
+func NewFaulty(dev Device) *FaultyDisk { return &FaultyDisk{dev: dev} }
+
+// Fault kills the device immediately.
+func (d *FaultyDisk) Fault() { d.faulted.Store(true) }
+
+// Heal revives the device (for repair-and-recover tests). The underlying
+// contents are whatever they were when it faulted.
+func (d *FaultyDisk) Heal() {
+	d.faulted.Store(false)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failWriteIn = 0
+	d.tornNext = false
+}
+
+// Faulted reports whether the device is currently dead.
+func (d *FaultyDisk) Faulted() bool { return d.faulted.Load() }
+
+// FailAfterWrites arranges for the device to die after n more successful
+// writes (the n+1st write fails).
+func (d *FaultyDisk) FailAfterWrites(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failWriteIn = n + 1
+}
+
+// TearNextWrite makes the next write persist only its first half and then
+// fault the device, simulating a torn sector write during power loss.
+func (d *FaultyDisk) TearNextWrite() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tornNext = true
+}
+
+// BlockSize returns the wrapped device's sector size.
+func (d *FaultyDisk) BlockSize() int { return d.dev.BlockSize() }
+
+// Blocks returns the wrapped device's capacity.
+func (d *FaultyDisk) Blocks() int64 { return d.dev.Blocks() }
+
+// ReadAt implements Device.
+func (d *FaultyDisk) ReadAt(p []byte, off int64) error {
+	if d.faulted.Load() {
+		return ErrFaulted
+	}
+	return d.dev.ReadAt(p, off)
+}
+
+// WriteAt implements Device.
+func (d *FaultyDisk) WriteAt(p []byte, off int64) error {
+	if d.faulted.Load() {
+		return ErrFaulted
+	}
+	d.mu.Lock()
+	torn := d.tornNext
+	d.tornNext = false
+	if d.failWriteIn > 0 {
+		d.failWriteIn--
+		if d.failWriteIn == 0 {
+			d.mu.Unlock()
+			d.faulted.Store(true)
+			return ErrFaulted
+		}
+	}
+	d.mu.Unlock()
+
+	if torn {
+		half := p[:len(p)/2]
+		err := d.dev.WriteAt(half, off)
+		d.faulted.Store(true)
+		if err != nil {
+			return err
+		}
+		return ErrFaulted
+	}
+	return d.dev.WriteAt(p, off)
+}
+
+// Sync implements Device.
+func (d *FaultyDisk) Sync() error {
+	if d.faulted.Load() {
+		return ErrFaulted
+	}
+	return d.dev.Sync()
+}
+
+// Close implements Device.
+func (d *FaultyDisk) Close() error { return d.dev.Close() }

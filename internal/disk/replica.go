@@ -1,0 +1,283 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ReplicaSet manages N identical replica disks (the paper's hardware had
+// two). Reads go to the main disk, failing over — and permanently demoting
+// the main — when it dies. Writes are applied to every live replica;
+// the create operation's P-FACTOR chooses how many must complete before the
+// caller resumes (paper §2.2, §3). Recovery is a whole-disk copy (paper §3:
+// "Recovery is simply done by copying the complete disk").
+type ReplicaSet struct {
+	mu    sync.Mutex
+	devs  []Device
+	alive []bool
+	main  int
+	wg    sync.WaitGroup // tracks background (post-P-FACTOR) writes
+}
+
+// NewReplicaSet builds a set over devs. All devices must share a geometry.
+func NewReplicaSet(devs ...Device) (*ReplicaSet, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("disk: replica set needs at least one device")
+	}
+	bs, nb := devs[0].BlockSize(), devs[0].Blocks()
+	for i, d := range devs[1:] {
+		if d.BlockSize() != bs || d.Blocks() != nb {
+			return nil, fmt.Errorf("disk: replica %d geometry %dx%d differs from %dx%d",
+				i+1, d.BlockSize(), d.Blocks(), bs, nb)
+		}
+	}
+	alive := make([]bool, len(devs))
+	for i := range alive {
+		alive[i] = true
+	}
+	return &ReplicaSet{devs: devs, alive: alive}, nil
+}
+
+// N returns the number of replicas, dead or alive.
+func (s *ReplicaSet) N() int { return len(s.devs) }
+
+// BlockSize returns the common sector size.
+func (s *ReplicaSet) BlockSize() int { return s.devs[0].BlockSize() }
+
+// Blocks returns the common capacity.
+func (s *ReplicaSet) Blocks() int64 { return s.devs[0].Blocks() }
+
+// AliveCount returns how many replicas are currently usable.
+func (s *ReplicaSet) AliveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Main returns the index of the current main (read) disk.
+func (s *ReplicaSet) Main() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.main
+}
+
+// Alive reports whether replica i is usable.
+func (s *ReplicaSet) Alive(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alive[i]
+}
+
+// markDead demotes replica i; if it was the main, the next live replica is
+// promoted.
+func (s *ReplicaSet) markDead(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alive[i] = false
+	if s.main == i {
+		for j, a := range s.alive {
+			if a {
+				s.main = j
+				return
+			}
+		}
+	}
+}
+
+// ReadAt reads from the main disk, failing over to any other live replica.
+// It returns ErrNoReplica only when every replica has failed.
+func (s *ReplicaSet) ReadAt(p []byte, off int64) error {
+	s.mu.Lock()
+	order := make([]int, 0, len(s.devs))
+	if s.alive[s.main] {
+		order = append(order, s.main)
+	}
+	for i, a := range s.alive {
+		if a && i != s.main {
+			order = append(order, i)
+		}
+	}
+	s.mu.Unlock()
+
+	var lastErr error
+	for _, i := range order {
+		err := s.devs[i].ReadAt(p, off)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrOutOfRange) {
+			return err // caller bug, not a media failure
+		}
+		lastErr = err
+		s.markDead(i)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("all replicas failed (last: %v): %w", lastErr, ErrNoReplica)
+	}
+	return ErrNoReplica
+}
+
+// Apply runs op against every live replica in index order. After syncN
+// replicas have succeeded, Apply returns; remaining replicas are written in
+// the background (tracked; see Drain). syncN <= 0 runs the whole chain in
+// the background and returns immediately — the P-FACTOR 0 semantics of
+// paper §2.2. syncN larger than the number of live replicas means fully
+// synchronous. A replica whose op fails is marked dead; Apply fails only if
+// no replica succeeded during the synchronous phase (for syncN <= 0, it
+// never fails).
+func (s *ReplicaSet) Apply(syncN int, op func(i int, dev Device) error) error {
+	s.mu.Lock()
+	live := make([]int, 0, len(s.devs))
+	for i, a := range s.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	s.mu.Unlock()
+	if len(live) == 0 {
+		return ErrNoReplica
+	}
+
+	apply := func(idxs []int) (succeeded int) {
+		for _, i := range idxs {
+			if err := op(i, s.devs[i]); err != nil {
+				s.markDead(i)
+				continue
+			}
+			succeeded++
+		}
+		return succeeded
+	}
+
+	if syncN <= 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			apply(live)
+		}()
+		return nil
+	}
+
+	if syncN > len(live) {
+		syncN = len(live)
+	}
+	// Synchronous phase: keep going until syncN successes or we run out.
+	done := 0
+	var i int
+	for i = 0; i < len(live) && done < syncN; i++ {
+		if err := op(live[i], s.devs[live[i]]); err != nil {
+			s.markDead(live[i])
+			continue
+		}
+		done++
+	}
+	if rest := live[i:]; len(rest) > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			apply(rest)
+		}()
+	}
+	if done == 0 {
+		return fmt.Errorf("no replica accepted the write: %w", ErrNoReplica)
+	}
+	return nil
+}
+
+// Drain blocks until all background (post-P-FACTOR) writes have finished.
+// Tests and orderly shutdown use it; see paper §2.2 on the durability
+// semantics of P-FACTOR 0.
+func (s *ReplicaSet) Drain() { s.wg.Wait() }
+
+// Recover copies the complete contents of the current main disk onto
+// replica i and marks it alive again — the paper's whole-disk recovery.
+func (s *ReplicaSet) Recover(i int) error {
+	if i < 0 || i >= len(s.devs) {
+		return fmt.Errorf("disk: recover: no replica %d", i)
+	}
+	s.mu.Lock()
+	if !s.alive[s.main] || s.main == i {
+		s.mu.Unlock()
+		return fmt.Errorf("disk: recover: no live source disk: %w", ErrNoReplica)
+	}
+	src := s.devs[s.main]
+	s.mu.Unlock()
+
+	dst := s.devs[i]
+	bs := int64(s.BlockSize())
+	// Copy a track's worth at a time; big enough to be sequential, small
+	// enough not to hold a huge buffer.
+	const blocksPerCopy = 64
+	buf := make([]byte, bs*blocksPerCopy)
+	total := s.Blocks()
+	for blk := int64(0); blk < total; blk += blocksPerCopy {
+		n := blocksPerCopy
+		if rem := total - blk; rem < blocksPerCopy {
+			n = int(rem)
+		}
+		chunk := buf[:int64(n)*bs]
+		if err := src.ReadAt(chunk, blk*bs); err != nil {
+			return fmt.Errorf("disk: recover: reading source: %w", err)
+		}
+		if err := dst.WriteAt(chunk, blk*bs); err != nil {
+			return fmt.Errorf("disk: recover: writing replica %d: %w", i, err)
+		}
+	}
+	if err := dst.Sync(); err != nil {
+		return fmt.Errorf("disk: recover: sync replica %d: %w", i, err)
+	}
+	s.mu.Lock()
+	s.alive[i] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// WriteAt writes p to every live replica synchronously, making ReplicaSet
+// itself a Device (used when formatting and by layout.Load/WriteInode).
+func (s *ReplicaSet) WriteAt(p []byte, off int64) error {
+	return s.Apply(s.N(), func(_ int, dev Device) error {
+		return dev.WriteAt(p, off)
+	})
+}
+
+// Sync flushes every live replica. Like writes, it succeeds as long as at
+// least one replica remains usable.
+func (s *ReplicaSet) Sync() error {
+	s.Drain()
+	for i, dev := range s.devs {
+		if !s.Alive(i) {
+			continue
+		}
+		if err := dev.Sync(); err != nil {
+			s.markDead(i)
+		}
+	}
+	if s.AliveCount() == 0 {
+		return ErrNoReplica
+	}
+	return nil
+}
+
+var _ Device = (*ReplicaSet)(nil)
+
+// Device returns replica i's device (for tests and recovery tooling).
+func (s *ReplicaSet) Device(i int) Device { return s.devs[i] }
+
+// Close closes every replica, returning the first error.
+func (s *ReplicaSet) Close() error {
+	s.Drain()
+	var first error
+	for _, d := range s.devs {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,132 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"bulletfs/internal/hwmodel"
+)
+
+func simWorld(t *testing.T) (*SimDisk, *hwmodel.Clock) {
+	t.Helper()
+	mem, err := NewMem(512, 2048)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	clock := &hwmodel.Clock{}
+	return NewSim(mem, hwmodel.AmoebaProfile().Disk, clock), clock
+}
+
+func TestSimDiskChargesTime(t *testing.T) {
+	d, clock := simWorld(t)
+	before := clock.Now()
+	if err := d.WriteAt(make([]byte, 4096), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if clock.Now() == before {
+		t.Fatal("write did not advance the virtual clock")
+	}
+}
+
+func TestSimDiskSequentialCheaper(t *testing.T) {
+	d, clock := simWorld(t)
+	buf := make([]byte, 4096)
+
+	// First access: random positioning.
+	start := clock.Now()
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	randomCost := clock.Since(start)
+
+	// Second access continues where the head stopped: sequential.
+	start = clock.Now()
+	if err := d.WriteAt(buf, 4096); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	seqCost := clock.Since(start)
+
+	if seqCost >= randomCost {
+		t.Fatalf("sequential (%v) not cheaper than random (%v)", seqCost, randomCost)
+	}
+
+	// Third access jumps backwards: random again.
+	start = clock.Now()
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	jumpCost := clock.Since(start)
+	if jumpCost <= seqCost {
+		t.Fatalf("non-sequential read (%v) not dearer than sequential write (%v)", jumpCost, seqCost)
+	}
+}
+
+func TestSimDiskLargeTransferDominatedByBandwidth(t *testing.T) {
+	d, clock := simWorld(t)
+	buf := make([]byte, 512*1024) // 512 KB
+	start := clock.Now()
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := clock.Since(start)
+	// At ~1 MB/s the transfer alone is ~0.5 s; positioning is ~27 ms.
+	if got < 400*time.Millisecond {
+		t.Fatalf("512 KB write = %v, want >= 400ms at ~1MB/s", got)
+	}
+	if got > time.Second {
+		t.Fatalf("512 KB write = %v, want <= 1s", got)
+	}
+}
+
+func TestSimDiskStats(t *testing.T) {
+	d, _ := simWorld(t)
+	buf := make([]byte, 1024)
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if err := d.ReadAt(buf, 1024); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	st := d.Stats()
+	if st.Writes != 1 || st.Reads != 2 {
+		t.Fatalf("stats = %+v, want 1 write / 2 reads", st)
+	}
+	if st.BytesWritten != 1024 || st.BytesRead != 2048 {
+		t.Fatalf("stats = %+v, want 1024 written / 2048 read", st)
+	}
+	// Access 1 random, access 2 random (jump back), access 3 sequential.
+	if st.Seeks != 2 {
+		t.Fatalf("seeks = %d, want 2", st.Seeks)
+	}
+	d.ResetStats()
+	if st := d.Stats(); st != (SimStats{}) {
+		t.Fatalf("stats after reset = %+v, want zero", st)
+	}
+}
+
+func TestSimDiskErrorDoesNotCharge(t *testing.T) {
+	d, clock := simWorld(t)
+	before := clock.Now()
+	if err := d.ReadAt(make([]byte, 16), d.Blocks()*int64(d.BlockSize())); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	if clock.Now() != before {
+		t.Fatal("failed access advanced the clock")
+	}
+}
+
+func TestSimDiskPassesGeometry(t *testing.T) {
+	d, _ := simWorld(t)
+	if d.BlockSize() != 512 || d.Blocks() != 2048 {
+		t.Fatalf("geometry %dx%d, want 512x2048", d.BlockSize(), d.Blocks())
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrWriteOnce means a WORM block was written twice.
+var ErrWriteOnce = errors.New("disk: block already written (write-once medium)")
+
+// WORMDisk wraps a Device with write-once-read-many semantics, modelling
+// the optical disks the paper mentions as a home for immutable versions
+// (§2: "the possibility of keeping versions on write-once storage such as
+// optical disks"). Every block may be written exactly once; rewrites fail
+// with ErrWriteOnce. Reads of unwritten blocks succeed (they return the
+// medium's blank state), as on real WORM drives.
+type WORMDisk struct {
+	dev Device
+
+	mu      sync.Mutex
+	written []bool // per block
+}
+
+var _ Device = (*WORMDisk)(nil)
+
+// NewWORM wraps dev as a write-once medium. The underlying device is
+// assumed blank; all blocks start unwritten.
+func NewWORM(dev Device) *WORMDisk {
+	return &WORMDisk{dev: dev, written: make([]bool, dev.Blocks())}
+}
+
+// BlockSize returns the wrapped device's sector size.
+func (d *WORMDisk) BlockSize() int { return d.dev.BlockSize() }
+
+// Blocks returns the wrapped device's capacity.
+func (d *WORMDisk) Blocks() int64 { return d.dev.Blocks() }
+
+// ReadAt implements Device.
+func (d *WORMDisk) ReadAt(p []byte, off int64) error { return d.dev.ReadAt(p, off) }
+
+// WriteAt implements Device: the write must cover only virgin blocks, and
+// it burns them.
+func (d *WORMDisk) WriteAt(p []byte, off int64) error {
+	if len(p) == 0 {
+		return nil
+	}
+	bs := int64(d.BlockSize())
+	first := off / bs
+	last := (off + int64(len(p)) - 1) / bs
+	if off < 0 || last >= d.Blocks() {
+		return fmt.Errorf("offset %d length %d: %w", off, len(p), ErrOutOfRange)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for b := first; b <= last; b++ {
+		if d.written[b] {
+			return fmt.Errorf("block %d: %w", b, ErrWriteOnce)
+		}
+	}
+	if err := d.dev.WriteAt(p, off); err != nil {
+		return err
+	}
+	for b := first; b <= last; b++ {
+		d.written[b] = true
+	}
+	return nil
+}
+
+// Sync implements Device.
+func (d *WORMDisk) Sync() error { return d.dev.Sync() }
+
+// Close implements Device.
+func (d *WORMDisk) Close() error { return d.dev.Close() }
+
+// WrittenBlocks reports how many blocks have been burned.
+func (d *WORMDisk) WrittenBlocks() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, w := range d.written {
+		if w {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+// Package layout implements the Bullet server's on-disk structure from
+// paper §3 and Figure 1: a disk descriptor in inode 0, an inode table, and
+// a data area of contiguous files separated by holes.
+//
+// The disk is divided into two sections. The first is the inode table; the
+// second contains contiguous files and the gaps between them. Inode entry 0
+// is special and holds three integers: the physical block size, the number
+// of blocks in the inode table ("control size"), and the number of blocks
+// in the file area ("data size").
+//
+// Every other inode describes one file with four fields (paper §3):
+//
+//  1. a 6-byte random number used for access protection — the key against
+//     which capabilities are validated;
+//  2. a 2-byte index with no significance on disk, used at run time to
+//     point at the file's cache slot (rnode);
+//  3. a 4-byte first-block number of the file in the data area;
+//  4. a 4-byte file size in bytes.
+//
+// When the server starts it reads the whole inode table into RAM and keeps
+// it there permanently, scanning it to rebuild the free lists and to check
+// consistency (files in bounds, no overlaps).
+package layout
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/disk"
+)
+
+// InodeSize is the on-disk size of one inode: 6 + 2 + 4 + 4 bytes.
+const InodeSize = 16
+
+// Magic identifies a Bullet-formatted disk. It lives in the descriptor
+// block alongside the three size fields. (The paper's descriptor holds only
+// the sizes; the magic is our addition so that Load can reject a disk that
+// was never formatted, which the paper's server trusted its operator about.)
+const Magic = 0x42554c37 // "BUL7"
+
+// Descriptor is inode entry 0: the shape of the disk.
+type Descriptor struct {
+	BlockSize int   // physical sector size used by the disk hardware
+	CtrlSize  int64 // number of blocks in the inode table
+	DataSize  int64 // number of blocks in the file area
+}
+
+// Inode describes one file.
+type Inode struct {
+	Random     capability.Random // access-protection key; zero = free inode
+	CacheIndex uint16            // rnode index + 1; 0 = not cached (RAM only)
+	FirstBlock uint32            // first block of the file in the data area
+	Size       uint32            // file size in bytes
+}
+
+// InUse reports whether the inode describes a live file. A zero-filled
+// random number marks a free inode (paper §3: "unused inodes (inodes that
+// are zero-filled)").
+func (ino Inode) InUse() bool { return !ino.Random.IsZero() }
+
+// Blocks returns how many data-area blocks the file occupies on a disk with
+// the given block size. Zero-byte files still occupy one block so that they
+// have a well-defined, non-overlapping location.
+func (ino Inode) Blocks(blockSize int) int64 {
+	if ino.Size == 0 {
+		return 1
+	}
+	return (int64(ino.Size) + int64(blockSize) - 1) / int64(blockSize)
+}
+
+// encode writes the inode's disk representation into b.
+func (ino Inode) encode(b []byte) {
+	_ = b[InodeSize-1]
+	copy(b[0:6], ino.Random[:])
+	binary.BigEndian.PutUint16(b[6:8], ino.CacheIndex)
+	binary.BigEndian.PutUint32(b[8:12], ino.FirstBlock)
+	binary.BigEndian.PutUint32(b[12:16], ino.Size)
+}
+
+// decodeInode parses one on-disk inode.
+func decodeInode(b []byte) Inode {
+	var ino Inode
+	copy(ino.Random[:], b[0:6])
+	ino.CacheIndex = binary.BigEndian.Uint16(b[6:8])
+	ino.FirstBlock = binary.BigEndian.Uint32(b[8:12])
+	ino.Size = binary.BigEndian.Uint32(b[12:16])
+	return ino
+}
+
+// Errors reported by this package.
+var (
+	// ErrNotFormatted means the descriptor block is not a Bullet disk.
+	ErrNotFormatted = errors.New("layout: disk not Bullet-formatted")
+	// ErrCorrupt means the descriptor or inode table is inconsistent.
+	ErrCorrupt = errors.New("layout: on-disk structure corrupt")
+	// ErrBadInode means an inode number is out of range or free.
+	ErrBadInode = errors.New("layout: bad inode number")
+	// ErrNoFreeInode means the inode table is full.
+	ErrNoFreeInode = errors.New("layout: no free inodes")
+)
+
+// FormatConfig controls Format.
+type FormatConfig struct {
+	// Inodes is how many file slots to provision (excluding the
+	// descriptor). The control area is sized to hold them.
+	Inodes int
+}
+
+// Format writes a fresh Bullet structure onto dev: a descriptor, an empty
+// inode table, and an untouched data area filling the rest of the disk.
+func Format(dev disk.Device, cfg FormatConfig) error {
+	bs := dev.BlockSize()
+	if bs < InodeSize*2 {
+		return fmt.Errorf("layout: block size %d too small", bs)
+	}
+	if cfg.Inodes <= 0 {
+		return errors.New("layout: need at least one inode")
+	}
+	inodesPerBlock := bs / InodeSize
+	// +1 for the descriptor occupying slot 0.
+	ctrlBlocks := int64((cfg.Inodes + 1 + inodesPerBlock - 1) / inodesPerBlock)
+	dataBlocks := dev.Blocks() - ctrlBlocks
+	if dataBlocks <= 0 {
+		return fmt.Errorf("layout: disk too small: %d blocks of inode table on a %d-block disk",
+			ctrlBlocks, dev.Blocks())
+	}
+
+	// Zero the whole control area (zero inodes = free inodes).
+	zero := make([]byte, bs)
+	for b := int64(0); b < ctrlBlocks; b++ {
+		if err := dev.WriteAt(zero, b*int64(bs)); err != nil {
+			return fmt.Errorf("layout: clearing inode table: %w", err)
+		}
+	}
+
+	// Descriptor into slot 0: magic + block size + ctrl size + data size.
+	desc := make([]byte, InodeSize)
+	binary.BigEndian.PutUint32(desc[0:4], Magic)
+	binary.BigEndian.PutUint32(desc[4:8], uint32(bs))
+	binary.BigEndian.PutUint32(desc[8:12], uint32(ctrlBlocks))
+	binary.BigEndian.PutUint32(desc[12:16], uint32(dataBlocks))
+	if err := dev.WriteAt(desc, 0); err != nil {
+		return fmt.Errorf("layout: writing descriptor: %w", err)
+	}
+	return dev.Sync()
+}
+
+// ReadDescriptor parses inode 0 from dev.
+func ReadDescriptor(dev disk.Device) (Descriptor, error) {
+	buf := make([]byte, InodeSize)
+	if err := dev.ReadAt(buf, 0); err != nil {
+		return Descriptor{}, fmt.Errorf("layout: reading descriptor: %w", err)
+	}
+	if binary.BigEndian.Uint32(buf[0:4]) != Magic {
+		return Descriptor{}, ErrNotFormatted
+	}
+	d := Descriptor{
+		BlockSize: int(binary.BigEndian.Uint32(buf[4:8])),
+		CtrlSize:  int64(binary.BigEndian.Uint32(buf[8:12])),
+		DataSize:  int64(binary.BigEndian.Uint32(buf[12:16])),
+	}
+	if d.BlockSize != dev.BlockSize() {
+		return Descriptor{}, fmt.Errorf("descriptor block size %d, device %d: %w",
+			d.BlockSize, dev.BlockSize(), ErrCorrupt)
+	}
+	if d.CtrlSize <= 0 || d.DataSize <= 0 || d.CtrlSize+d.DataSize > dev.Blocks() {
+		return Descriptor{}, fmt.Errorf("descriptor sizes %d+%d on %d-block device: %w",
+			d.CtrlSize, d.DataSize, dev.Blocks(), ErrCorrupt)
+	}
+	return d, nil
+}
+
+// MaxInodes returns how many file inodes the descriptor provides.
+func (d Descriptor) MaxInodes() int {
+	return int(d.CtrlSize)*(d.BlockSize/InodeSize) - 1
+}
+
+// DataStart returns the byte offset of the data area.
+func (d Descriptor) DataStart() int64 { return d.CtrlSize * int64(d.BlockSize) }
+
+// DataOffset returns the byte offset of data-area block b.
+func (d Descriptor) DataOffset(b int64) int64 { return d.DataStart() + b*int64(d.BlockSize) }

@@ -1,0 +1,292 @@
+package layout
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/disk"
+)
+
+// Table is the in-RAM copy of the inode table. The server reads the whole
+// table at startup and keeps it in memory permanently (paper §3); every
+// mutation is written through to disk by the caller via WriteInode.
+//
+// Inode numbers are 1-based: number 0 is the descriptor and is never handed
+// out. They are also the object numbers inside Bullet capabilities.
+type Table struct {
+	mu     sync.RWMutex
+	desc   Descriptor
+	inodes []Inode  // slot i holds inode i; slot 0 unused
+	free   []uint32 // free inode numbers, ascending so allocation is stable
+	live   int
+}
+
+// ScanProblem describes one inconsistency found while scanning the table.
+type ScanProblem struct {
+	Inode  uint32
+	Reason string
+}
+
+// ScanReport summarises the startup consistency scan.
+type ScanReport struct {
+	Live     int           // inodes describing valid files
+	Free     int           // zero-filled inodes
+	Problems []ScanProblem // inodes zeroed because they were inconsistent
+}
+
+// Load reads the complete inode table from dev into RAM, performing the
+// startup consistency checks of paper §3: every file must lie inside the
+// data area and no two files may overlap. Inconsistent inodes are zeroed in
+// RAM (the caller re-persists them). Cache indexes are meaningless on disk
+// and cleared.
+func Load(dev disk.Device) (*Table, *ScanReport, error) {
+	desc, err := ReadDescriptor(dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	bs := desc.BlockSize
+	raw := make([]byte, desc.CtrlSize*int64(bs))
+	if err := dev.ReadAt(raw, 0); err != nil {
+		return nil, nil, fmt.Errorf("layout: reading inode table: %w", err)
+	}
+
+	max := desc.MaxInodes()
+	t := &Table{
+		desc:   desc,
+		inodes: make([]Inode, max+1),
+	}
+	report := &ScanReport{}
+
+	type span struct {
+		start, count int64
+		n            uint32
+	}
+	var spans []span
+	for n := 1; n <= max; n++ {
+		ino := decodeInode(raw[n*InodeSize : (n+1)*InodeSize])
+		ino.CacheIndex = 0 // no significance on disk
+		if !ino.InUse() {
+			report.Free++
+			t.free = append(t.free, uint32(n))
+			continue
+		}
+		blocks := ino.Blocks(bs)
+		if int64(ino.FirstBlock)+blocks > desc.DataSize {
+			report.Problems = append(report.Problems, ScanProblem{
+				Inode:  uint32(n),
+				Reason: fmt.Sprintf("file extends past data area (block %d + %d > %d)", ino.FirstBlock, blocks, desc.DataSize),
+			})
+			t.free = append(t.free, uint32(n))
+			report.Free++
+			continue
+		}
+		spans = append(spans, span{start: int64(ino.FirstBlock), count: blocks, n: uint32(n)})
+		t.inodes[n] = ino
+	}
+
+	// Overlap detection: sort by first block and compare neighbours. A
+	// later inode overlapping an earlier one is zeroed (the earlier file is
+	// kept; with write-through either order is defensible, this one is
+	// deterministic).
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].n < spans[j].n
+	})
+	end := int64(-1)
+	for _, s := range spans {
+		if s.start < end {
+			report.Problems = append(report.Problems, ScanProblem{
+				Inode:  s.n,
+				Reason: fmt.Sprintf("file at block %d overlaps previous file ending at %d", s.start, end),
+			})
+			t.inodes[s.n] = Inode{}
+			t.free = append(t.free, s.n)
+			report.Free++
+			continue
+		}
+		if e := s.start + s.count; e > end {
+			end = e
+		}
+		report.Live++
+		t.live++
+	}
+	sort.Slice(t.free, func(i, j int) bool { return t.free[i] < t.free[j] })
+	return t, report, nil
+}
+
+// NewEmpty builds the in-RAM table for a freshly formatted disk without
+// re-reading it.
+func NewEmpty(desc Descriptor) *Table {
+	max := desc.MaxInodes()
+	t := &Table{
+		desc:   desc,
+		inodes: make([]Inode, max+1),
+		free:   make([]uint32, 0, max),
+	}
+	for n := 1; n <= max; n++ {
+		t.free = append(t.free, uint32(n))
+	}
+	return t
+}
+
+// Desc returns the disk descriptor the table was loaded from.
+func (t *Table) Desc() Descriptor { return t.desc }
+
+// MaxInodes returns the table capacity.
+func (t *Table) MaxInodes() int { return len(t.inodes) - 1 }
+
+// Live returns the number of in-use inodes.
+func (t *Table) Live() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// FreeCount returns the number of free inodes.
+func (t *Table) FreeCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.free)
+}
+
+// Get returns inode n if it is in use.
+func (t *Table) Get(n uint32) (Inode, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if n == 0 || int(n) >= len(t.inodes) {
+		return Inode{}, fmt.Errorf("inode %d of %d: %w", n, len(t.inodes)-1, ErrBadInode)
+	}
+	ino := t.inodes[n]
+	if !ino.InUse() {
+		return Inode{}, fmt.Errorf("inode %d is free: %w", n, ErrBadInode)
+	}
+	return ino, nil
+}
+
+// Allocate claims a free inode for a new file and fills it in. The random
+// number must be non-zero (capability.NewRandom guarantees it with
+// overwhelming probability; Allocate rejects zero outright).
+func (t *Table) Allocate(r capability.Random, firstBlock uint32, size uint32) (uint32, error) {
+	if r.IsZero() {
+		return 0, fmt.Errorf("layout: zero random number marks a free inode")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.free) == 0 {
+		return 0, ErrNoFreeInode
+	}
+	n := t.free[0]
+	t.free = t.free[1:]
+	t.inodes[n] = Inode{Random: r, FirstBlock: firstBlock, Size: size}
+	t.live++
+	return n, nil
+}
+
+// Free zeroes inode n, returning it to the free list. The caller writes the
+// change through with WriteInode ("freeing an inode by zeroing it and
+// writing it back to the disk", paper §3).
+func (t *Table) Free(n uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n == 0 || int(n) >= len(t.inodes) || !t.inodes[n].InUse() {
+		return fmt.Errorf("freeing inode %d: %w", n, ErrBadInode)
+	}
+	t.inodes[n] = Inode{}
+	t.live--
+	// Keep the free list sorted so allocation order is deterministic.
+	i := sort.Search(len(t.free), func(i int) bool { return t.free[i] >= n })
+	t.free = append(t.free, 0)
+	copy(t.free[i+1:], t.free[i:])
+	t.free[i] = n
+	return nil
+}
+
+// SetCacheIndex records the rnode slot (plus one) holding inode n's file in
+// the RAM cache; 0 means not cached. The index is never written to disk
+// with meaning — it just rides along inside the inode's block.
+func (t *Table) SetCacheIndex(n uint32, idx uint16) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n == 0 || int(n) >= len(t.inodes) || !t.inodes[n].InUse() {
+		return fmt.Errorf("indexing inode %d: %w", n, ErrBadInode)
+	}
+	t.inodes[n].CacheIndex = idx
+	return nil
+}
+
+// Retarget points inode n at a new first block, preserving every other
+// field. Compaction uses it after physically moving a file's data.
+func (t *Table) Retarget(n uint32, firstBlock uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n == 0 || int(n) >= len(t.inodes) || !t.inodes[n].InUse() {
+		return fmt.Errorf("retargeting inode %d: %w", n, ErrBadInode)
+	}
+	t.inodes[n].FirstBlock = firstBlock
+	return nil
+}
+
+// ForEachUsed calls fn for every in-use inode, ascending by number.
+func (t *Table) ForEachUsed(fn func(n uint32, ino Inode)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for n := 1; n < len(t.inodes); n++ {
+		if t.inodes[n].InUse() {
+			fn(uint32(n), t.inodes[n])
+		}
+	}
+}
+
+// InodeBlock returns the control-area block number containing inode n.
+func (t *Table) InodeBlock(n uint32) int64 {
+	return int64(n) * InodeSize / int64(t.desc.BlockSize)
+}
+
+// EncodeInodeBlock renders the current contents of the control block that
+// holds inode n, ready to be written to disk. Creating or deleting a file
+// writes the whole block containing the inode (paper §3).
+func (t *Table) EncodeInodeBlock(n uint32) (blockNo int64, data []byte) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	bs := t.desc.BlockSize
+	blockNo = t.InodeBlock(n)
+	data = make([]byte, bs)
+	perBlock := bs / InodeSize
+	first := int(blockNo) * perBlock
+	for i := 0; i < perBlock; i++ {
+		slot := first + i
+		if slot == 0 {
+			// Re-encode the descriptor so block 0 round-trips.
+			descriptorBytes(t.desc, data[:InodeSize])
+			continue
+		}
+		if slot >= len(t.inodes) {
+			break
+		}
+		ino := t.inodes[slot]
+		ino.CacheIndex = 0 // keep disk copies free of run-time state
+		ino.encode(data[i*InodeSize : (i+1)*InodeSize])
+	}
+	return blockNo, data
+}
+
+// WriteInode persists the control block containing inode n to dev.
+func (t *Table) WriteInode(dev disk.Device, n uint32) error {
+	blockNo, data := t.EncodeInodeBlock(n)
+	if err := dev.WriteAt(data, blockNo*int64(t.desc.BlockSize)); err != nil {
+		return fmt.Errorf("layout: writing inode block %d: %w", blockNo, err)
+	}
+	return nil
+}
+
+func descriptorBytes(d Descriptor, b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], Magic)
+	binary.BigEndian.PutUint32(b[4:8], uint32(d.BlockSize))
+	binary.BigEndian.PutUint32(b[8:12], uint32(d.CtrlSize))
+	binary.BigEndian.PutUint32(b[12:16], uint32(d.DataSize))
+}

@@ -1,0 +1,274 @@
+// Package locate implements port location — the piece of Amoeba that let
+// clients find "the server with port P" without configuration (paper
+// §2.1: a port is "a 48-bit location-independent number ... made known to
+// the server's potential clients"; the kernel located it by broadcast).
+// On TCP there is no broadcast, so this package provides the standard
+// substitute: a small registry service where servers register
+// port → address mappings and clients resolve them, with client-side
+// caching and invalidation on connection failure.
+package locate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+// Command codes of the locate protocol.
+const (
+	CmdRegister   uint32 = 128 // payload: port + addr
+	CmdResolve    uint32 = 129 // payload: port -> reply payload: addr
+	CmdUnregister uint32 = 130 // payload: port
+	CmdList       uint32 = 131 // -> reply payload: entries
+)
+
+// ErrUnknownPort means no server has registered the port.
+var ErrUnknownPort = errors.New("locate: unknown port")
+
+// Entry is one registration.
+type Entry struct {
+	Port capability.Port
+	Addr string
+}
+
+// Server is the registry.
+type Server struct {
+	port capability.Port
+
+	mu    sync.Mutex
+	table map[capability.Port]string
+}
+
+// NewServer builds a registry. Its own port derives from the service name
+// so clients can hardcode exactly one well-known name.
+func NewServer(name string) *Server {
+	return &Server{
+		port:  capability.PortFromString(name),
+		table: make(map[capability.Port]string),
+	}
+}
+
+// Port returns the registry's own (well-known) port.
+func (s *Server) Port() capability.Port { return s.port }
+
+// Register binds a server port to a TCP address.
+func (s *Server) Register(p capability.Port, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table[p] = addr
+}
+
+// Unregister removes a binding.
+func (s *Server) Unregister(p capability.Port) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.table, p)
+}
+
+// Resolve returns the address for a port.
+func (s *Server) Resolve(p capability.Port) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr, ok := s.table[p]
+	if !ok {
+		return "", fmt.Errorf("%x: %w", p[:], ErrUnknownPort)
+	}
+	return addr, nil
+}
+
+// Entries lists all registrations.
+func (s *Server) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.table))
+	for p, a := range s.table {
+		out = append(out, Entry{Port: p, Addr: a})
+	}
+	return out
+}
+
+// RegisterOn installs the registry's RPC handler on mux.
+func (s *Server) RegisterOn(mux *rpc.Mux) { mux.Register(s.port, s.Handle) }
+
+// Handle processes one locate transaction.
+func (s *Server) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
+	switch req.Command {
+	case CmdRegister:
+		p, addr, err := decodePortAddr(payload)
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusBadRequest), nil
+		}
+		s.Register(p, addr)
+		return rpc.ReplyOK(), nil
+
+	case CmdResolve:
+		p, err := decodePort(payload)
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusBadRequest), nil
+		}
+		addr, err := s.Resolve(p)
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusNotFound), nil
+		}
+		return rpc.ReplyOK(), []byte(addr)
+
+	case CmdUnregister:
+		p, err := decodePort(payload)
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusBadRequest), nil
+		}
+		s.Unregister(p)
+		return rpc.ReplyOK(), nil
+
+	case CmdList:
+		return rpc.ReplyOK(), encodeEntries(s.Entries())
+
+	default:
+		return rpc.ReplyErr(rpc.StatusBadCommand), nil
+	}
+}
+
+func encodePortAddr(p capability.Port, addr string) []byte {
+	out := make([]byte, 0, capability.PortLen+len(addr))
+	out = append(out, p[:]...)
+	return append(out, addr...)
+}
+
+func decodePortAddr(payload []byte) (capability.Port, string, error) {
+	var p capability.Port
+	if len(payload) < capability.PortLen+1 {
+		return p, "", rpc.ErrBadFrame
+	}
+	copy(p[:], payload)
+	return p, string(payload[capability.PortLen:]), nil
+}
+
+func decodePort(payload []byte) (capability.Port, error) {
+	var p capability.Port
+	if len(payload) != capability.PortLen {
+		return p, rpc.ErrBadFrame
+	}
+	copy(p[:], payload)
+	return p, nil
+}
+
+func encodeEntries(entries []Entry) []byte {
+	var out []byte
+	out = append(out, byte(len(entries)>>8), byte(len(entries)))
+	for _, e := range entries {
+		out = append(out, e.Port[:]...)
+		out = append(out, byte(len(e.Addr)))
+		out = append(out, e.Addr...)
+	}
+	return out
+}
+
+func decodeEntries(payload []byte) ([]Entry, error) {
+	if len(payload) < 2 {
+		return nil, rpc.ErrBadFrame
+	}
+	count := int(payload[0])<<8 | int(payload[1])
+	payload = payload[2:]
+	out := make([]Entry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(payload) < capability.PortLen+1 {
+			return nil, rpc.ErrBadFrame
+		}
+		var e Entry
+		copy(e.Port[:], payload)
+		n := int(payload[capability.PortLen])
+		payload = payload[capability.PortLen+1:]
+		if len(payload) < n {
+			return nil, rpc.ErrBadFrame
+		}
+		e.Addr = string(payload[:n])
+		payload = payload[n:]
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Client talks to a registry and doubles as an rpc.Resolver with caching.
+type Client struct {
+	tr   rpc.Transport
+	port capability.Port
+
+	mu    sync.Mutex
+	cache map[capability.Port]string
+}
+
+// NewClient builds a registry client. tr must already be able to reach
+// the registry itself (usually a TCPTransport with one static entry).
+func NewClient(tr rpc.Transport, registryPort capability.Port) *Client {
+	return &Client{tr: tr, port: registryPort, cache: make(map[capability.Port]string)}
+}
+
+// Announce registers a server port at addr.
+func (c *Client) Announce(p capability.Port, addr string) error {
+	rep, _, err := c.tr.Trans(c.port, rpc.Header{Command: CmdRegister}, encodePortAddr(p, addr))
+	if err != nil {
+		return fmt.Errorf("locate: announce: %w", err)
+	}
+	if rep.Status != rpc.StatusOK {
+		return rpc.Errf(rep.Status, "announce rejected")
+	}
+	return nil
+}
+
+// Withdraw removes a registration.
+func (c *Client) Withdraw(p capability.Port) error {
+	rep, _, err := c.tr.Trans(c.port, rpc.Header{Command: CmdUnregister}, p[:])
+	if err != nil {
+		return fmt.Errorf("locate: withdraw: %w", err)
+	}
+	if rep.Status != rpc.StatusOK {
+		return rpc.Errf(rep.Status, "withdraw rejected")
+	}
+	return nil
+}
+
+// Resolve implements rpc.Resolver: registry lookup with a positive cache.
+// Call Invalidate when a cached address turns out dead.
+func (c *Client) Resolve(p capability.Port) (string, error) {
+	c.mu.Lock()
+	if addr, ok := c.cache[p]; ok {
+		c.mu.Unlock()
+		return addr, nil
+	}
+	c.mu.Unlock()
+
+	rep, body, err := c.tr.Trans(c.port, rpc.Header{Command: CmdResolve}, p[:])
+	if err != nil {
+		return "", fmt.Errorf("locate: resolve: %w", err)
+	}
+	if rep.Status != rpc.StatusOK {
+		return "", fmt.Errorf("%x: %w", p[:], ErrUnknownPort)
+	}
+	addr := string(body)
+	c.mu.Lock()
+	c.cache[p] = addr
+	c.mu.Unlock()
+	return addr, nil
+}
+
+// Invalidate drops a cached resolution (after a connection failure).
+func (c *Client) Invalidate(p capability.Port) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, p)
+}
+
+// List fetches all registrations.
+func (c *Client) List() ([]Entry, error) {
+	rep, body, err := c.tr.Trans(c.port, rpc.Header{Command: CmdList}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("locate: list: %w", err)
+	}
+	if rep.Status != rpc.StatusOK {
+		return nil, rpc.Errf(rep.Status, "list rejected")
+	}
+	return decodeEntries(body)
+}

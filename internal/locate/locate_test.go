@@ -1,0 +1,200 @@
+package locate
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	s := NewServer("registry")
+	p1 := capability.PortFromString("svc1")
+	p2 := capability.PortFromString("svc2")
+	s.Register(p1, "host1:7001")
+	s.Register(p2, "host2:7002")
+
+	addr, err := s.Resolve(p1)
+	if err != nil || addr != "host1:7001" {
+		t.Fatalf("Resolve = %q, %v", addr, err)
+	}
+	if _, err := s.Resolve(capability.PortFromString("ghost")); !errors.Is(err, ErrUnknownPort) {
+		t.Fatalf("Resolve(ghost) err = %v", err)
+	}
+	if len(s.Entries()) != 2 {
+		t.Fatalf("Entries = %v", s.Entries())
+	}
+	s.Unregister(p1)
+	if _, err := s.Resolve(p1); !errors.Is(err, ErrUnknownPort) {
+		t.Fatalf("Resolve after unregister err = %v", err)
+	}
+	// Re-registration overwrites (server moved).
+	s.Register(p2, "host3:7002")
+	addr, _ = s.Resolve(p2)
+	if addr != "host3:7002" {
+		t.Fatalf("Resolve after move = %q", addr)
+	}
+}
+
+func TestClientOverRPC(t *testing.T) {
+	s := NewServer("registry")
+	mux := rpc.NewMux(0)
+	s.RegisterOn(mux)
+	cl := NewClient(rpc.NewLocal(mux), s.Port())
+
+	p := capability.PortFromString("filesvc")
+	if err := cl.Announce(p, "10.0.0.5:7001"); err != nil {
+		t.Fatalf("Announce: %v", err)
+	}
+	addr, err := cl.Resolve(p)
+	if err != nil || addr != "10.0.0.5:7001" {
+		t.Fatalf("Resolve = %q, %v", addr, err)
+	}
+	entries, err := cl.List()
+	if err != nil || len(entries) != 1 || entries[0].Addr != "10.0.0.5:7001" {
+		t.Fatalf("List = %v, %v", entries, err)
+	}
+
+	// The client caches: a server-side change is invisible until
+	// Invalidate.
+	s.Register(p, "10.0.0.9:7001")
+	addr, _ = cl.Resolve(p)
+	if addr != "10.0.0.5:7001" {
+		t.Fatalf("cached Resolve = %q", addr)
+	}
+	cl.Invalidate(p)
+	addr, _ = cl.Resolve(p)
+	if addr != "10.0.0.9:7001" {
+		t.Fatalf("Resolve after invalidate = %q", addr)
+	}
+
+	if err := cl.Withdraw(p); err != nil {
+		t.Fatalf("Withdraw: %v", err)
+	}
+	cl.Invalidate(p)
+	if _, err := cl.Resolve(p); !errors.Is(err, ErrUnknownPort) {
+		t.Fatalf("Resolve after withdraw err = %v", err)
+	}
+}
+
+func TestHandleRejectsMalformed(t *testing.T) {
+	s := NewServer("registry")
+	for _, tc := range []struct {
+		cmd     uint32
+		payload []byte
+	}{
+		{CmdRegister, []byte{1, 2}},
+		{CmdResolve, []byte{1, 2, 3}},
+		{CmdUnregister, nil},
+	} {
+		rep, _ := s.Handle(rpc.Header{Command: tc.cmd}, tc.payload)
+		if rep.Status != rpc.StatusBadRequest {
+			t.Errorf("cmd %d status = %v", tc.cmd, rep.Status)
+		}
+	}
+	rep, _ := s.Handle(rpc.Header{Command: 9999}, nil)
+	if rep.Status != rpc.StatusBadCommand {
+		t.Errorf("unknown cmd status = %v", rep.Status)
+	}
+}
+
+func TestEntriesCodecRoundTrip(t *testing.T) {
+	in := []Entry{
+		{Port: capability.PortFromString("a"), Addr: "a:1"},
+		{Port: capability.PortFromString("b"), Addr: "some.long.host.example.org:65535"},
+	}
+	out, err := decodeEntries(encodeEntries(in))
+	if err != nil || len(out) != 2 {
+		t.Fatalf("decode = %v, %v", out, err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("entry %d: %v != %v", i, in[i], out[i])
+		}
+	}
+	if _, err := decodeEntries([]byte{0, 5, 1}); err == nil {
+		t.Fatal("truncated entries accepted")
+	}
+}
+
+// TestEndToEndDynamicResolution is the real deployment flow: a registry
+// on a well-known TCP address, a Bullet server announcing itself at
+// startup, and a client that finds it knowing only the registry.
+func TestEndToEndDynamicResolution(t *testing.T) {
+	// Registry process.
+	reg := NewServer("registry")
+	regMux := rpc.NewMux(0)
+	reg.RegisterOn(regMux)
+	regTCP := rpc.NewTCPServer(regMux)
+	regAddr, err := regTCP.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("registry Listen: %v", err)
+	}
+	defer regTCP.Close() //nolint:errcheck // test cleanup
+
+	// Bullet server process: serve, then announce.
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 4096)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		devs[i] = mem
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	if err := bullet.Format(set, 100); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	eng, err := bullet.New(set, bullet.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("bullet.New: %v", err)
+	}
+	defer eng.Sync()
+	srvMux := rpc.NewMux(0)
+	bulletsvc.New(eng).Register(srvMux)
+	srvTCP := rpc.NewTCPServer(srvMux)
+	srvAddr, err := srvTCP.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("bullet Listen: %v", err)
+	}
+	defer srvTCP.Close() //nolint:errcheck // test cleanup
+
+	regOnly := rpc.NewTCPTransport(rpc.StaticResolver(map[capability.Port]string{
+		reg.Port(): regAddr,
+	}), 5*time.Second)
+	defer regOnly.Close() //nolint:errcheck // test cleanup
+	announcer := NewClient(regOnly, reg.Port())
+	if err := announcer.Announce(eng.Port(), srvAddr); err != nil {
+		t.Fatalf("Announce: %v", err)
+	}
+
+	// Client process: knows ONLY the registry address.
+	clientRegTr := rpc.NewTCPTransport(rpc.StaticResolver(map[capability.Port]string{
+		reg.Port(): regAddr,
+	}), 5*time.Second)
+	defer clientRegTr.Close() //nolint:errcheck // test cleanup
+	resolver := NewClient(clientRegTr, reg.Port())
+	dataTr := rpc.NewTCPTransport(resolver.Resolve, 5*time.Second)
+	defer dataTr.Close() //nolint:errcheck // test cleanup
+	cl := client.New(dataTr)
+
+	payload := bytes.Repeat([]byte{0x77}, 5000)
+	c, err := cl.Create(eng.Port(), payload, 2)
+	if err != nil {
+		t.Fatalf("Create via dynamic resolution: %v", err)
+	}
+	got, err := cl.Read(c)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Read = %d bytes, %v", len(got), err)
+	}
+}

@@ -1,0 +1,177 @@
+package logsrv
+
+import (
+	"errors"
+	"fmt"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+// Command codes of the log protocol.
+const (
+	CmdCreateLog uint32 = 64 // -> reply Cap
+	CmdAppend    uint32 = 65 // Cap, payload=data -> reply Arg=new size
+	CmdRead      uint32 = 66 // Cap -> reply payload
+	CmdSize      uint32 = 67 // Cap -> reply Arg=size
+	CmdFlush     uint32 = 68 // Cap
+	CmdSeal      uint32 = 69 // Cap -> reply Cap (bullet file)
+	CmdDelete    uint32 = 70 // Cap
+)
+
+// StatusOf maps log server errors to statuses.
+func StatusOf(err error) rpc.Status {
+	switch {
+	case err == nil:
+		return rpc.StatusOK
+	case errors.Is(err, ErrNoSuchLog):
+		return rpc.StatusNoSuchObject
+	case errors.Is(err, capability.ErrBadCheck):
+		return rpc.StatusBadCheck
+	case errors.Is(err, capability.ErrBadRights):
+		return rpc.StatusBadRights
+	default:
+		return rpc.StatusInternal
+	}
+}
+
+// ErrorOf maps reply statuses back to errors on the client side.
+func ErrorOf(st rpc.Status) error {
+	switch st {
+	case rpc.StatusOK:
+		return nil
+	case rpc.StatusNoSuchObject:
+		return ErrNoSuchLog
+	case rpc.StatusBadCheck:
+		return capability.ErrBadCheck
+	case rpc.StatusBadRights:
+		return capability.ErrBadRights
+	default:
+		return rpc.Errf(st, "log server error")
+	}
+}
+
+// Register installs the handler on mux.
+func (s *Server) Register(mux *rpc.Mux) { mux.Register(s.port, s.Handle) }
+
+// Handle processes one log transaction.
+func (s *Server) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
+	fail := func(err error) (rpc.Header, []byte) { return rpc.ReplyErr(StatusOf(err)), nil }
+	switch req.Command {
+	case CmdCreateLog:
+		c, err := s.CreateLog()
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
+	case CmdAppend:
+		n, err := s.Append(req.Cap, payload)
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Header{Status: rpc.StatusOK, Arg: uint64(n)}, nil
+	case CmdRead:
+		data, err := s.Read(req.Cap)
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), data
+	case CmdSize:
+		n, err := s.Size(req.Cap)
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Header{Status: rpc.StatusOK, Arg: uint64(n)}, nil
+	case CmdFlush:
+		if err := s.Flush(req.Cap); err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), nil
+	case CmdSeal:
+		c, err := s.Seal(req.Cap)
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
+	case CmdDelete:
+		if err := s.DeleteLog(req.Cap); err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), nil
+	default:
+		return rpc.ReplyErr(rpc.StatusBadCommand), nil
+	}
+}
+
+// Client calls a log server over any rpc.Transport.
+type Client struct {
+	tr rpc.Transport
+}
+
+// NewClient builds a log client.
+func NewClient(tr rpc.Transport) *Client { return &Client{tr: tr} }
+
+func (c *Client) call(port capability.Port, req rpc.Header, payload []byte) (rpc.Header, []byte, error) {
+	rep, body, err := c.tr.Trans(port, req, payload)
+	if err != nil {
+		return rpc.Header{}, nil, fmt.Errorf("log client: transport: %w", err)
+	}
+	if rep.Status != rpc.StatusOK {
+		return rep, nil, ErrorOf(rep.Status)
+	}
+	return rep, body, nil
+}
+
+// CreateLog makes a new empty log on the server at port.
+func (c *Client) CreateLog(port capability.Port) (capability.Capability, error) {
+	rep, _, err := c.call(port, rpc.Header{Command: CmdCreateLog}, nil)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	return rep.Cap, nil
+}
+
+// Append adds data to the log, returning the new total size.
+func (c *Client) Append(logCap capability.Capability, data []byte) (int64, error) {
+	rep, _, err := c.call(logCap.Port, rpc.Header{Command: CmdAppend, Cap: logCap}, data)
+	if err != nil {
+		return 0, err
+	}
+	return int64(rep.Arg), nil
+}
+
+// Read returns the whole log.
+func (c *Client) Read(logCap capability.Capability) ([]byte, error) {
+	_, body, err := c.call(logCap.Port, rpc.Header{Command: CmdRead, Cap: logCap}, nil)
+	return body, err
+}
+
+// Size returns the log's total size.
+func (c *Client) Size(logCap capability.Capability) (int64, error) {
+	rep, _, err := c.call(logCap.Port, rpc.Header{Command: CmdSize, Cap: logCap}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int64(rep.Arg), nil
+}
+
+// Flush forces the tail into the Bullet checkpoint.
+func (c *Client) Flush(logCap capability.Capability) error {
+	_, _, err := c.call(logCap.Port, rpc.Header{Command: CmdFlush, Cap: logCap}, nil)
+	return err
+}
+
+// Seal freezes the log into an immutable Bullet file.
+func (c *Client) Seal(logCap capability.Capability) (capability.Capability, error) {
+	rep, _, err := c.call(logCap.Port, rpc.Header{Command: CmdSeal, Cap: logCap}, nil)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	return rep.Cap, nil
+}
+
+// DeleteLog discards the log.
+func (c *Client) DeleteLog(logCap capability.Capability) error {
+	_, _, err := c.call(logCap.Port, rpc.Header{Command: CmdDelete, Cap: logCap}, nil)
+	return err
+}

@@ -1,0 +1,88 @@
+package logsrv
+
+import (
+	"errors"
+	"testing"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+func TestLogStatusErrorRoundTrip(t *testing.T) {
+	for _, in := range []error{ErrNoSuchLog, capability.ErrBadCheck, capability.ErrBadRights} {
+		st := StatusOf(in)
+		if st == rpc.StatusOK || st == rpc.StatusInternal {
+			t.Errorf("StatusOf(%v) = %v", in, st)
+			continue
+		}
+		if out := ErrorOf(st); !errors.Is(out, in) {
+			t.Errorf("round trip %v -> %v -> %v", in, st, out)
+		}
+	}
+	if StatusOf(nil) != rpc.StatusOK || ErrorOf(rpc.StatusOK) != nil {
+		t.Error("nil round trip broken")
+	}
+	if StatusOf(errors.New("x")) != rpc.StatusInternal || ErrorOf(rpc.StatusInternal) == nil {
+		t.Error("internal mapping broken")
+	}
+}
+
+func TestLogServiceErrorsOverRPC(t *testing.T) {
+	w := newWorld(t, 1<<20)
+	lc := NewClient(rpc.NewLocal(w.mux))
+
+	var ghost capability.Capability
+	ghost.Port = w.logs.Port()
+	ghost.Object = 42
+	if _, err := lc.Read(ghost); !errors.Is(err, ErrNoSuchLog) {
+		t.Fatalf("Read(ghost) err = %v", err)
+	}
+	owner, err := lc.CreateLog(w.logs.Port())
+	if err != nil {
+		t.Fatalf("CreateLog: %v", err)
+	}
+	forged := owner
+	forged.Check[1] ^= 1
+	if _, err := lc.Append(forged, []byte("x")); !errors.Is(err, capability.ErrBadCheck) {
+		t.Fatalf("forged append err = %v", err)
+	}
+	readOnly, err := capability.Restrict(owner, RightRead)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if _, err := lc.Seal(readOnly); !errors.Is(err, capability.ErrBadRights) {
+		t.Fatalf("seal without right err = %v", err)
+	}
+	rep, _ := w.logs.Handle(rpc.Header{Command: 999}, nil)
+	if rep.Status != rpc.StatusBadCommand {
+		t.Fatalf("bad command status = %v", rep.Status)
+	}
+}
+
+func TestLogReferencedObjects(t *testing.T) {
+	w := newWorld(t, 10) // tiny threshold: first append checkpoints
+	lc1, err := w.logs.CreateLog()
+	if err != nil {
+		t.Fatalf("CreateLog: %v", err)
+	}
+	lc2, err := w.logs.CreateLog()
+	if err != nil {
+		t.Fatalf("CreateLog: %v", err)
+	}
+	// lc1 flushes (has a checkpoint); lc2 stays tail-only (no checkpoint).
+	if _, err := w.logs.Append(lc1, make([]byte, 100)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := w.logs.Append(lc2, []byte("x")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	refs := w.logs.ReferencedObjects(w.bullet.Port())
+	if len(refs) != 1 {
+		t.Fatalf("refs = %v, want exactly the flushed checkpoint", refs)
+	}
+	// Wrong port: nothing.
+	if refs := w.logs.ReferencedObjects(capability.PortFromString("elsewhere")); len(refs) != 0 {
+		t.Fatalf("refs for foreign port = %v", refs)
+	}
+	_ = lc2
+}

@@ -1,0 +1,80 @@
+package nfs
+
+import "container/list"
+
+// bcache is the server's buffer cache: an LRU of FS blocks, 3 MB in the
+// paper's configuration. It caches data and metadata blocks alike, exactly
+// like the era's UNIX buffer cache. Write-through is the caller's job
+// (Server.writeBlock); the cache itself never holds dirty blocks.
+type bcache struct {
+	capacity int
+	blocks   map[uint32]*list.Element
+	lru      *list.List // front = most recent
+}
+
+type bcEntry struct {
+	block uint32
+	data  []byte
+}
+
+func newBcache(capacityBlocks int) *bcache {
+	if capacityBlocks < 1 {
+		capacityBlocks = 1
+	}
+	return &bcache{
+		capacity: capacityBlocks,
+		blocks:   make(map[uint32]*list.Element, capacityBlocks),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached block and refreshes its recency.
+func (c *bcache) get(block uint32) ([]byte, bool) {
+	e, ok := c.blocks[block]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*bcEntry).data, true
+}
+
+// put inserts or refreshes a block, evicting the LRU block when full. The
+// data is copied so callers may reuse their buffer.
+func (c *bcache) put(block uint32, data []byte) {
+	if e, ok := c.blocks[block]; ok {
+		copy(e.Value.(*bcEntry).data, data)
+		c.lru.MoveToFront(e)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.blocks, oldest.Value.(*bcEntry).block)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.blocks[block] = c.lru.PushFront(&bcEntry{block: block, data: cp})
+}
+
+// drop removes a block (after freeing it on disk).
+func (c *bcache) drop(block uint32) {
+	if e, ok := c.blocks[block]; ok {
+		c.lru.Remove(e)
+		delete(c.blocks, block)
+	}
+}
+
+// len reports cached blocks (for tests).
+func (c *bcache) len() int { return c.lru.Len() }
+
+// evictN drops the n least-recently-used blocks.
+func (c *bcache) evictN(n int) {
+	for i := 0; i < n; i++ {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			return
+		}
+		c.lru.Remove(oldest)
+		delete(c.blocks, oldest.Value.(*bcEntry).block)
+	}
+}

@@ -1,0 +1,139 @@
+package nfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bulletfs/internal/disk"
+)
+
+// TestBmapBoundaries writes one block at each structural boundary of the
+// UNIX block map — last direct, first indirect, last indirect, first
+// double-indirect — and verifies contents, sparsity and cleanup.
+func TestBmapBoundaries(t *testing.T) {
+	dev, err := disk.NewMem(512, 131072) // 64 MB: room for indirect spans
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	if err := Format(dev, FormatConfig{}); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	s, err := Mount(dev, Options{})
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+
+	boundaries := []int64{
+		0,                                     // first direct
+		NDirect - 1,                           // last direct
+		NDirect,                               // first single-indirect
+		NDirect + PtrsPerBlock - 1,            // last single-indirect
+		NDirect + PtrsPerBlock,                // first double-indirect
+		NDirect + PtrsPerBlock + PtrsPerBlock, // second inner indirect block
+	}
+	h := create(t, s, s.Root(), "boundaries")
+	marks := map[int64][]byte{}
+	for i, blk := range boundaries {
+		data := bytes.Repeat([]byte{byte(i + 1)}, BlockSize)
+		if _, err := s.Write(h, blk*BlockSize, data); err != nil {
+			t.Fatalf("write at block %d: %v", blk, err)
+		}
+		marks[blk] = data
+	}
+	for blk, want := range marks {
+		got, err := s.Read(h, blk*BlockSize, BlockSize)
+		if err != nil {
+			t.Fatalf("read at block %d: %v", blk, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d corrupted", blk)
+		}
+	}
+	// A hole between boundaries reads as zeros.
+	hole, err := s.Read(h, (NDirect+5)*BlockSize, BlockSize)
+	if err != nil || !bytes.Equal(hole, make([]byte, BlockSize)) {
+		t.Fatalf("hole not zero: %v", err)
+	}
+	attr, err := s.GetAttr(h)
+	if err != nil {
+		t.Fatalf("GetAttr: %v", err)
+	}
+	wantSize := (boundaries[len(boundaries)-1] + 1) * BlockSize
+	if attr.Size != wantSize {
+		t.Fatalf("size = %d, want %d", attr.Size, wantSize)
+	}
+
+	// Removal frees every data, indirect and double-indirect block.
+	if err := s.Remove(s.Root(), "boundaries"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	used := 0
+	for b := s.sb.DataStart; b < s.sb.TotalBlocks; b++ {
+		if s.bitGet(b) {
+			used++
+		}
+	}
+	if used != 1 { // only the root directory's block
+		t.Fatalf("%d blocks leaked after removing a boundary-spanning file", used)
+	}
+}
+
+// TestSequentialGrowthThroughIndirects writes a file straight through the
+// direct/indirect transition and reads it back whole.
+func TestSequentialGrowthThroughIndirects(t *testing.T) {
+	dev, err := disk.NewMem(512, 32768)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	if err := Format(dev, FormatConfig{}); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	s, err := Mount(dev, Options{})
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	h := create(t, s, s.Root(), "grow")
+	const blocks = NDirect + 20 // crosses into single-indirect
+	data := pattern(blocks * BlockSize)
+	writeAllSrv(t, s, h, data)
+	if got := readAllSrv(t, s, h); !bytes.Equal(got, data) {
+		t.Fatal("contents corrupted across the direct/indirect transition")
+	}
+}
+
+// TestManyFilesManyInodes pushes inode allocation across several inode
+// blocks and checks generation bumps across reuse.
+func TestManyFilesManyInodes(t *testing.T) {
+	s := newFS(t, Options{})
+	type rec struct {
+		h    Handle
+		name string
+	}
+	var recs []rec
+	for i := 0; i < 150; i++ { // > one 64-inode block
+		name := fmt.Sprintf("n%03d", i)
+		recs = append(recs, rec{h: create(t, s, s.Root(), name), name: name})
+	}
+	seen := map[uint32]bool{}
+	for _, r := range recs {
+		if seen[r.h.Inode] {
+			t.Fatalf("inode %d handed out twice", r.h.Inode)
+		}
+		seen[r.h.Inode] = true
+	}
+	// Delete everything; recreate; generations must differ.
+	old := map[uint32]uint32{}
+	for _, r := range recs {
+		old[r.h.Inode] = r.h.Gen
+		if err := s.Remove(s.Root(), r.name); err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+	}
+	for i := 0; i < 150; i++ {
+		h := create(t, s, s.Root(), fmt.Sprintf("m%03d", i))
+		if gen, ok := old[h.Inode]; ok && gen == h.Gen {
+			t.Fatalf("inode %d reused without a generation bump", h.Inode)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package nfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Directory entries are fixed 64-byte slots inside directory files:
+//
+//	inode   uint32 (0 = free slot)
+//	gen     uint32
+//	nameLen uint8
+//	name    up to 55 bytes
+const (
+	direntSize    = 64
+	maxNameLen    = 55
+	direntPerBlok = BlockSize / direntSize
+)
+
+// DirEntry is one row of a directory listing.
+type DirEntry struct {
+	Name   string
+	Handle Handle
+	IsDir  bool
+}
+
+func checkName(name string) error {
+	if name == "" || len(name) > maxNameLen {
+		return fmt.Errorf("name %q: %w", name, ErrBadRange)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == 0 {
+			return fmt.Errorf("name %q: %w", name, ErrBadRange)
+		}
+	}
+	return nil
+}
+
+// dirBlockCount returns how many FS blocks a directory spans.
+func dirBlockCount(ino *inode) int64 {
+	return (ino.Size + BlockSize - 1) / BlockSize
+}
+
+// scanDir walks the directory's entries; fn returns true to stop. The
+// callback receives the entry's location for in-place updates.
+func (s *Server) scanDir(ino *inode, fn func(blockIdx int64, slot int, ent []byte) bool) error {
+	blocks := dirBlockCount(ino)
+	for bi := int64(0); bi < blocks; bi++ {
+		b, _, err := s.bmap(ino, bi, false)
+		if err != nil {
+			return err
+		}
+		if b == 0 {
+			continue
+		}
+		blk, err := s.readBlock(b)
+		if err != nil {
+			return err
+		}
+		for slot := 0; slot < direntPerBlok; slot++ {
+			ent := blk[slot*direntSize : (slot+1)*direntSize]
+			if fn(bi, slot, ent) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// findEntry locates name in the directory; returns its handle.
+func (s *Server) findEntry(ino *inode, name string) (Handle, bool, error) {
+	var found Handle
+	ok := false
+	err := s.scanDir(ino, func(_ int64, _ int, ent []byte) bool {
+		inum := binary.BigEndian.Uint32(ent[0:4])
+		if inum == 0 {
+			return false
+		}
+		n := int(ent[8])
+		if n > maxNameLen {
+			return false
+		}
+		if string(ent[9:9+n]) == name {
+			found = Handle{Inode: inum, Gen: binary.BigEndian.Uint32(ent[4:8])}
+			ok = true
+			return true
+		}
+		return false
+	})
+	return found, ok, err
+}
+
+// writeDirEntry stores an entry into (blockIdx, slot) of the directory,
+// allocating the block if the directory grows.
+func (s *Server) writeDirEntry(dirInode uint32, ino *inode, blockIdx int64, slot int, h Handle, name string) error {
+	b, fresh, err := s.bmap(ino, blockIdx, true)
+	if err != nil {
+		return err
+	}
+	blk := make([]byte, BlockSize)
+	if !fresh {
+		cur, err := s.readBlock(b)
+		if err != nil {
+			return err
+		}
+		copy(blk, cur)
+	}
+	ent := blk[slot*direntSize : (slot+1)*direntSize]
+	for i := range ent {
+		ent[i] = 0
+	}
+	binary.BigEndian.PutUint32(ent[0:4], h.Inode)
+	binary.BigEndian.PutUint32(ent[4:8], h.Gen)
+	ent[8] = byte(len(name))
+	copy(ent[9:], name)
+	if err := s.writeBlock(b, blk); err != nil {
+		return err
+	}
+	if end := (blockIdx + 1) * BlockSize; end > ino.Size {
+		ino.Size = end
+	}
+	return s.writeInode(dirInode, *ino)
+}
+
+// addEntry finds a free slot (or grows the directory) and writes an entry.
+func (s *Server) addEntry(dirH Handle, dirIno *inode, h Handle, name string) error {
+	freeBlock, freeSlot := int64(-1), -1
+	err := s.scanDir(dirIno, func(bi int64, slot int, ent []byte) bool {
+		if binary.BigEndian.Uint32(ent[0:4]) == 0 {
+			freeBlock, freeSlot = bi, slot
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	if freeSlot == -1 {
+		freeBlock = dirBlockCount(dirIno)
+		freeSlot = 0
+	}
+	return s.writeDirEntry(dirH.Inode, dirIno, freeBlock, freeSlot, h, name)
+}
+
+// removeEntry clears name's slot; returns the removed handle.
+func (s *Server) removeEntry(dirH Handle, dirIno *inode, name string) (Handle, error) {
+	var victim Handle
+	vb, vs := int64(-1), -1
+	err := s.scanDir(dirIno, func(bi int64, slot int, ent []byte) bool {
+		inum := binary.BigEndian.Uint32(ent[0:4])
+		if inum == 0 {
+			return false
+		}
+		n := int(ent[8])
+		if n <= maxNameLen && string(ent[9:9+n]) == name {
+			victim = Handle{Inode: inum, Gen: binary.BigEndian.Uint32(ent[4:8])}
+			vb, vs = bi, slot
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return Handle{}, err
+	}
+	if vs == -1 {
+		return Handle{}, fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	b, _, err := s.bmap(dirIno, vb, false)
+	if err != nil {
+		return Handle{}, err
+	}
+	blk, err := s.readBlock(b)
+	if err != nil {
+		return Handle{}, err
+	}
+	updated := make([]byte, BlockSize)
+	copy(updated, blk)
+	for i := 0; i < direntSize; i++ {
+		updated[vs*direntSize+i] = 0
+	}
+	if err := s.writeBlock(b, updated); err != nil {
+		return Handle{}, err
+	}
+	return victim, nil
+}
+
+// Lookup resolves name within the directory — the NFS LOOKUP procedure.
+func (s *Server) Lookup(dir Handle, name string) (Handle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dirIno, err := s.resolve(dir)
+	if err != nil {
+		return Handle{}, err
+	}
+	if dirIno.Mode != modeDir {
+		return Handle{}, ErrNotDir
+	}
+	h, ok, err := s.findEntry(&dirIno, name)
+	if err != nil {
+		return Handle{}, err
+	}
+	if !ok {
+		return Handle{}, fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	s.stats.Lookups++
+	return h, nil
+}
+
+// Create makes an empty file under dir — the creat() of the paper's write
+// benchmark.
+func (s *Server) Create(dir Handle, name string) (Handle, error) {
+	if err := checkName(name); err != nil {
+		return Handle{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dirIno, err := s.resolve(dir)
+	if err != nil {
+		return Handle{}, err
+	}
+	if dirIno.Mode != modeDir {
+		return Handle{}, ErrNotDir
+	}
+	if _, exists, err := s.findEntry(&dirIno, name); err != nil {
+		return Handle{}, err
+	} else if exists {
+		return Handle{}, fmt.Errorf("%q: %w", name, ErrExists)
+	}
+	n, ino, err := s.allocInode(modeFile)
+	if err != nil {
+		return Handle{}, err
+	}
+	h := Handle{Inode: n, Gen: ino.Gen}
+	if err := s.addEntry(dir, &dirIno, h, name); err != nil {
+		return Handle{}, err
+	}
+	s.stats.Creates++
+	return h, nil
+}
+
+// Mkdir makes an empty directory under dir.
+func (s *Server) Mkdir(dir Handle, name string) (Handle, error) {
+	if err := checkName(name); err != nil {
+		return Handle{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dirIno, err := s.resolve(dir)
+	if err != nil {
+		return Handle{}, err
+	}
+	if dirIno.Mode != modeDir {
+		return Handle{}, ErrNotDir
+	}
+	if _, exists, err := s.findEntry(&dirIno, name); err != nil {
+		return Handle{}, err
+	} else if exists {
+		return Handle{}, fmt.Errorf("%q: %w", name, ErrExists)
+	}
+	n, ino, err := s.allocInode(modeDir)
+	if err != nil {
+		return Handle{}, err
+	}
+	h := Handle{Inode: n, Gen: ino.Gen}
+	if err := s.addEntry(dir, &dirIno, h, name); err != nil {
+		return Handle{}, err
+	}
+	return h, nil
+}
+
+// Remove unlinks a file and frees its blocks and inode.
+func (s *Server) Remove(dir Handle, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dirIno, err := s.resolve(dir)
+	if err != nil {
+		return err
+	}
+	if dirIno.Mode != modeDir {
+		return ErrNotDir
+	}
+	// Peek at the victim before unlinking: directories need Rmdir.
+	h, ok, err := s.findEntry(&dirIno, name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	ino, err := s.readInode(h.Inode)
+	if err != nil {
+		return err
+	}
+	if ino.Mode == modeDir {
+		// Rmdir semantics: only empty directories.
+		empty := true
+		if err := s.scanDir(&ino, func(_ int64, _ int, ent []byte) bool {
+			if binary.BigEndian.Uint32(ent[0:4]) != 0 {
+				empty = false
+				return true
+			}
+			return false
+		}); err != nil {
+			return err
+		}
+		if !empty {
+			return fmt.Errorf("%q: %w", name, ErrNotEmpty)
+		}
+	}
+	if _, err := s.removeEntry(dir, &dirIno, name); err != nil {
+		return err
+	}
+	if err := s.truncateLocked(&ino); err != nil {
+		return err
+	}
+	ino.Mode = modeFree
+	if err := s.writeInode(h.Inode, ino); err != nil {
+		return err
+	}
+	s.stats.Removes++
+	return nil
+}
+
+// ReadDir lists the directory.
+func (s *Server) ReadDir(dir Handle) ([]DirEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dirIno, err := s.resolve(dir)
+	if err != nil {
+		return nil, err
+	}
+	if dirIno.Mode != modeDir {
+		return nil, ErrNotDir
+	}
+	var out []DirEntry
+	var inner error
+	err = s.scanDir(&dirIno, func(_ int64, _ int, ent []byte) bool {
+		inum := binary.BigEndian.Uint32(ent[0:4])
+		if inum == 0 {
+			return false
+		}
+		n := int(ent[8])
+		if n > maxNameLen {
+			return false
+		}
+		h := Handle{Inode: inum, Gen: binary.BigEndian.Uint32(ent[4:8])}
+		child, err := s.readInode(inum)
+		if err != nil {
+			inner = err
+			return true
+		}
+		out = append(out, DirEntry{
+			Name:   string(ent[9 : 9+n]),
+			Handle: h,
+			IsDir:  child.Mode == modeDir,
+		})
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	if inner != nil {
+		return nil, inner
+	}
+	return out, nil
+}

@@ -1,0 +1,342 @@
+package nfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// bmap resolves a file-relative block index to a disk FS block, optionally
+// allocating the block (and any indirect blocks) on the way — the classic
+// UNIX block-map walk whose cost is the whole point of the paper's
+// comparison.
+func (s *Server) bmap(ino *inode, idx int64, alloc bool) (uint32, bool, error) {
+	switch {
+	case idx < 0:
+		return 0, false, fmt.Errorf("block index %d: %w", idx, ErrBadRange)
+
+	case idx < NDirect:
+		b := ino.Direct[idx]
+		if b == 0 {
+			if !alloc {
+				return 0, false, nil
+			}
+			nb, err := s.allocBlock()
+			if err != nil {
+				return 0, false, err
+			}
+			ino.Direct[idx] = nb
+			return nb, true, nil
+		}
+		return b, false, nil
+
+	case idx < NDirect+PtrsPerBlock:
+		return s.indirectLookup(&ino.Indirect, idx-NDirect, alloc)
+
+	case idx < NDirect+PtrsPerBlock+int64(PtrsPerBlock)*PtrsPerBlock:
+		rel := idx - NDirect - PtrsPerBlock
+		outer := rel / PtrsPerBlock
+		inner := rel % PtrsPerBlock
+		// Walk (or build) the double-indirect block, then the inner one.
+		if ino.DIndirect == 0 {
+			if !alloc {
+				return 0, false, nil
+			}
+			nb, err := s.allocZeroedBlock()
+			if err != nil {
+				return 0, false, err
+			}
+			ino.DIndirect = nb
+		}
+		outerBlk, err := s.readBlock(ino.DIndirect)
+		if err != nil {
+			return 0, false, err
+		}
+		innerPtr := binary.BigEndian.Uint32(outerBlk[outer*4 : outer*4+4])
+		if innerPtr == 0 {
+			if !alloc {
+				return 0, false, nil
+			}
+			nb, err := s.allocZeroedBlock()
+			if err != nil {
+				return 0, false, err
+			}
+			if err := s.flushIndirect(ino.DIndirect, outer, nb); err != nil {
+				return 0, false, err
+			}
+			innerPtr = nb
+		}
+		return s.indirectLookupAt(innerPtr, inner, alloc)
+
+	default:
+		return 0, false, fmt.Errorf("block index %d: %w", idx, ErrTooBig)
+	}
+}
+
+// indirectLookup resolves slot idx inside the indirect block pointed to by
+// *ptr, allocating the indirect block and/or the data block when asked.
+// The indirect block pointer is written back through *ptr (the caller
+// persists the inode); slot updates are flushed to the indirect block.
+func (s *Server) indirectLookup(ptr *uint32, idx int64, alloc bool) (uint32, bool, error) {
+	if *ptr == 0 {
+		if !alloc {
+			return 0, false, nil
+		}
+		nb, err := s.allocZeroedBlock()
+		if err != nil {
+			return 0, false, err
+		}
+		*ptr = nb
+	}
+	return s.indirectLookupAt(*ptr, idx, alloc)
+}
+
+// indirectLookupAt resolves slot idx inside the (existing) indirect block.
+func (s *Server) indirectLookupAt(indirectBlock uint32, idx int64, alloc bool) (uint32, bool, error) {
+	blk, err := s.readBlock(indirectBlock)
+	if err != nil {
+		return 0, false, err
+	}
+	val := binary.BigEndian.Uint32(blk[idx*4 : idx*4+4])
+	if val != 0 {
+		return val, false, nil
+	}
+	if !alloc {
+		return 0, false, nil
+	}
+	nb, err := s.allocBlock()
+	if err != nil {
+		return 0, false, err
+	}
+	if err := s.flushIndirect(indirectBlock, idx, nb); err != nil {
+		return 0, false, err
+	}
+	return nb, true, nil
+}
+
+// allocZeroedBlock claims a block and zero-fills it on disk (fresh
+// indirect blocks must read as all-null pointers).
+func (s *Server) allocZeroedBlock() (uint32, error) {
+	nb, err := s.allocBlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := s.writeBlock(nb, make([]byte, BlockSize)); err != nil {
+		return 0, err
+	}
+	return nb, nil
+}
+
+// flushIndirect persists a new pointer value into an indirect block.
+func (s *Server) flushIndirect(indirectBlock uint32, idx int64, val uint32) error {
+	blk, err := s.readBlock(indirectBlock)
+	if err != nil {
+		return err
+	}
+	updated := make([]byte, BlockSize)
+	copy(updated, blk)
+	binary.BigEndian.PutUint32(updated[idx*4:idx*4+4], val)
+	return s.writeBlock(indirectBlock, updated)
+}
+
+// resolve validates a handle against the current inode.
+func (s *Server) resolve(h Handle) (inode, error) {
+	ino, err := s.readInode(h.Inode)
+	if err != nil {
+		return inode{}, err
+	}
+	if ino.Mode == modeFree || ino.Gen != h.Gen {
+		return inode{}, fmt.Errorf("inode %d gen %d: %w", h.Inode, h.Gen, ErrStale)
+	}
+	return ino, nil
+}
+
+// GetAttr returns the file's attributes.
+func (s *Server) GetAttr(h Handle) (Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, err := s.resolve(h)
+	if err != nil {
+		return Attr{}, err
+	}
+	return Attr{Size: ino.Size, IsDir: ino.Mode == modeDir}, nil
+}
+
+// Read returns up to count bytes from offset — at most one FS block per
+// call, like the NFS READ procedure.
+func (s *Server) Read(h Handle, offset int64, count int) ([]byte, error) {
+	if offset < 0 || count < 0 {
+		return nil, ErrBadRange
+	}
+	if count > BlockSize {
+		count = BlockSize
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, err := s.resolve(h)
+	if err != nil {
+		return nil, err
+	}
+	if ino.Mode != modeFile {
+		return nil, ErrIsDir
+	}
+	if offset >= ino.Size {
+		return nil, nil // EOF
+	}
+	end := offset + int64(count)
+	if end > ino.Size {
+		end = ino.Size
+	}
+	out := make([]byte, 0, end-offset)
+	for off := offset; off < end; {
+		idx := off / BlockSize
+		within := off % BlockSize
+		n := BlockSize - within
+		if off+n > end {
+			n = end - off
+		}
+		b, _, err := s.bmap(&ino, idx, false)
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			out = append(out, make([]byte, n)...) // hole
+		} else {
+			blk, err := s.readBlock(b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, blk[within:within+n]...)
+		}
+		off += n
+	}
+	s.stats.Reads++
+	s.stats.BytesRead += int64(len(out))
+	return out, nil
+}
+
+// Write stores data at offset, extending the file as needed — at most one
+// FS block per call, write-through to the (single) disk, like the NFS
+// WRITE procedure on the paper's server.
+func (s *Server) Write(h Handle, offset int64, data []byte) (int, error) {
+	if offset < 0 {
+		return 0, ErrBadRange
+	}
+	if len(data) > BlockSize {
+		data = data[:BlockSize]
+	}
+	if offset+int64(len(data)) > MaxFileSize {
+		return 0, ErrTooBig
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, err := s.resolve(h)
+	if err != nil {
+		return 0, err
+	}
+	if ino.Mode != modeFile {
+		return 0, ErrIsDir
+	}
+	written := 0
+	for off := offset; off < offset+int64(len(data)); {
+		idx := off / BlockSize
+		within := off % BlockSize
+		n := int64(BlockSize - within)
+		if rem := offset + int64(len(data)) - off; rem < n {
+			n = rem
+		}
+		b, fresh, err := s.bmap(&ino, idx, true)
+		if err != nil {
+			return written, err
+		}
+		var blk []byte
+		if within == 0 && n == BlockSize {
+			blk = data[written : written+int(n)]
+		} else {
+			// Partial block: read-modify-write. A freshly allocated block
+			// reads as zeros (never leak a previous file's bytes).
+			tmp := make([]byte, BlockSize)
+			if !fresh {
+				cur, err := s.readBlock(b)
+				if err != nil {
+					return written, err
+				}
+				copy(tmp, cur)
+			}
+			copy(tmp[within:], data[written:written+int(n)])
+			blk = tmp
+		}
+		if err := s.writeBlock(b, blk); err != nil {
+			return written, err
+		}
+		off += n
+		written += int(n)
+	}
+	if end := offset + int64(len(data)); end > ino.Size {
+		ino.Size = end
+	}
+	if err := s.writeInode(h.Inode, ino); err != nil {
+		return written, err
+	}
+	s.stats.Writes++
+	s.stats.BytesWrite += int64(written)
+	return written, nil
+}
+
+// truncateLocked frees every data and indirect block of the inode.
+func (s *Server) truncateLocked(ino *inode) error {
+	for i, b := range ino.Direct {
+		if b != 0 {
+			if err := s.freeBlock(b); err != nil {
+				return err
+			}
+			s.cache.drop(b)
+			ino.Direct[i] = 0
+		}
+	}
+	if ino.Indirect != 0 {
+		if err := s.freeIndirect(ino.Indirect, 1); err != nil {
+			return err
+		}
+		ino.Indirect = 0
+	}
+	if ino.DIndirect != 0 {
+		if err := s.freeIndirect(ino.DIndirect, 2); err != nil {
+			return err
+		}
+		ino.DIndirect = 0
+	}
+	ino.Size = 0
+	return nil
+}
+
+// freeIndirect frees an indirect block tree of the given depth.
+func (s *Server) freeIndirect(block uint32, depth int) error {
+	blk, err := s.readBlock(block)
+	if err != nil {
+		return err
+	}
+	ptrs := make([]uint32, PtrsPerBlock)
+	for i := range ptrs {
+		ptrs[i] = binary.BigEndian.Uint32(blk[i*4 : i*4+4])
+	}
+	for _, p := range ptrs {
+		if p == 0 {
+			continue
+		}
+		if depth > 1 {
+			if err := s.freeIndirect(p, depth-1); err != nil {
+				return err
+			}
+		} else {
+			if err := s.freeBlock(p); err != nil {
+				return err
+			}
+			s.cache.drop(p)
+		}
+	}
+	if err := s.freeBlock(block); err != nil {
+		return err
+	}
+	s.cache.drop(block)
+	return nil
+}

@@ -1,0 +1,459 @@
+// Package nfs implements the paper's comparator: a SUN-NFS-style
+// block-model file server (§1, §4). Where Bullet stores files contiguously
+// and ships them whole, this server does what 1980s UNIX file servers did:
+//
+//   - files are split into fixed 8 KB blocks scattered over the disk;
+//   - an inode holds 12 direct block pointers, one single-indirect and one
+//     double-indirect block ("the block management introduced high
+//     overhead: indirect blocks were necessary", §1);
+//   - clients read and write one block per RPC (lseek+read / creat+write+
+//     close in the paper's measurement loop);
+//   - the server has a 3 MB write-through buffer cache, writing to one
+//     disk only (§4).
+//
+// The block allocator deliberately models an *aged* production filesystem:
+// free blocks are handed out round-robin with a stride, so consecutive
+// file blocks are rarely adjacent on disk — the paper's NFS server had
+// been in service, not freshly formatted. Stride 1 gives a fresh FS for
+// ablation studies.
+package nfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"bulletfs/internal/disk"
+)
+
+// Filesystem geometry.
+const (
+	// BlockSize is the filesystem block size (and the per-RPC transfer
+	// unit), 8 KB as in SunOS-era NFS.
+	BlockSize = 8192
+	// NDirect is the number of direct block pointers per inode.
+	NDirect = 12
+	// PtrsPerBlock is how many block pointers fit in an indirect block.
+	PtrsPerBlock = BlockSize / 4
+	// InodeSize is the on-disk inode slot size.
+	InodeSize = 128
+	// MaxFileSize is the largest representable file.
+	MaxFileSize = int64(NDirect+PtrsPerBlock+PtrsPerBlock*PtrsPerBlock) * BlockSize
+
+	superMagic = 0x55465331 // "UFS1"
+)
+
+// Errors returned by the server.
+var (
+	// ErrNotFormatted means the device holds no filesystem.
+	ErrNotFormatted = errors.New("nfs: device not formatted")
+	// ErrStale means a file handle no longer names a live file.
+	ErrStale = errors.New("nfs: stale file handle")
+	// ErrNotFound means a name is absent from its directory.
+	ErrNotFound = errors.New("nfs: no such file")
+	// ErrExists means Create/Mkdir found the name taken.
+	ErrExists = errors.New("nfs: file exists")
+	// ErrNoSpace means the disk or inode table is full.
+	ErrNoSpace = errors.New("nfs: no space")
+	// ErrIsDir means a file operation hit a directory (or vice versa).
+	ErrIsDir = errors.New("nfs: is a directory")
+	// ErrNotDir means a directory operation hit a file.
+	ErrNotDir = errors.New("nfs: not a directory")
+	// ErrNotEmpty means Rmdir on a non-empty directory.
+	ErrNotEmpty = errors.New("nfs: directory not empty")
+	// ErrTooBig means a write would exceed MaxFileSize.
+	ErrTooBig = errors.New("nfs: file too large")
+	// ErrBadRange means a malformed offset/count.
+	ErrBadRange = errors.New("nfs: bad offset or count")
+)
+
+// Handle names a file or directory, like an NFS file handle: inode number
+// plus a generation count that detects reuse after deletion.
+type Handle struct {
+	Inode uint32
+	Gen   uint32
+}
+
+// Attr is the subset of file attributes the benchmarks need.
+type Attr struct {
+	Size  int64
+	IsDir bool
+}
+
+// inode modes.
+const (
+	modeFree uint32 = 0
+	modeFile uint32 = 1
+	modeDir  uint32 = 2
+)
+
+// inode is the in-memory form of an on-disk inode.
+type inode struct {
+	Mode      uint32
+	Gen       uint32
+	Size      int64
+	Direct    [NDirect]uint32
+	Indirect  uint32
+	DIndirect uint32
+}
+
+func (ino *inode) encode(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], ino.Mode)
+	binary.BigEndian.PutUint32(b[4:8], ino.Gen)
+	binary.BigEndian.PutUint64(b[8:16], uint64(ino.Size))
+	for i, p := range ino.Direct {
+		binary.BigEndian.PutUint32(b[16+i*4:20+i*4], p)
+	}
+	binary.BigEndian.PutUint32(b[64:68], ino.Indirect)
+	binary.BigEndian.PutUint32(b[68:72], ino.DIndirect)
+}
+
+func decodeInode(b []byte) inode {
+	var ino inode
+	ino.Mode = binary.BigEndian.Uint32(b[0:4])
+	ino.Gen = binary.BigEndian.Uint32(b[4:8])
+	ino.Size = int64(binary.BigEndian.Uint64(b[8:16]))
+	for i := range ino.Direct {
+		ino.Direct[i] = binary.BigEndian.Uint32(b[16+i*4 : 20+i*4])
+	}
+	ino.Indirect = binary.BigEndian.Uint32(b[64:68])
+	ino.DIndirect = binary.BigEndian.Uint32(b[68:72])
+	return ino
+}
+
+// superblock describes the on-disk layout, all units in FS blocks.
+type superblock struct {
+	InodeCount  uint32
+	InodeStart  uint32 // first FS block of the inode table
+	BitmapStart uint32
+	DataStart   uint32
+	TotalBlocks uint32
+}
+
+func (sb *superblock) encode(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], superMagic)
+	binary.BigEndian.PutUint32(b[4:8], sb.InodeCount)
+	binary.BigEndian.PutUint32(b[8:12], sb.InodeStart)
+	binary.BigEndian.PutUint32(b[12:16], sb.BitmapStart)
+	binary.BigEndian.PutUint32(b[16:20], sb.DataStart)
+	binary.BigEndian.PutUint32(b[20:24], sb.TotalBlocks)
+}
+
+func decodeSuperblock(b []byte) (superblock, error) {
+	if binary.BigEndian.Uint32(b[0:4]) != superMagic {
+		return superblock{}, ErrNotFormatted
+	}
+	sb := superblock{
+		InodeCount:  binary.BigEndian.Uint32(b[4:8]),
+		InodeStart:  binary.BigEndian.Uint32(b[8:12]),
+		BitmapStart: binary.BigEndian.Uint32(b[12:16]),
+		DataStart:   binary.BigEndian.Uint32(b[16:20]),
+		TotalBlocks: binary.BigEndian.Uint32(b[20:24]),
+	}
+	// Region ordering sanity: a corrupted superblock must not underflow
+	// the bitmap size or send region math out of range during Mount.
+	if sb.InodeStart != 1 ||
+		sb.BitmapStart <= sb.InodeStart || sb.DataStart < sb.BitmapStart ||
+		sb.DataStart >= sb.TotalBlocks || sb.InodeCount == 0 {
+		return superblock{}, fmt.Errorf("inconsistent superblock regions: %w", ErrNotFormatted)
+	}
+	return sb, nil
+}
+
+// Options configures a Server.
+type Options struct {
+	// CacheBytes is the buffer cache size (default 3 MB, the paper's SUN
+	// 3/180 configuration).
+	CacheBytes int64
+	// AllocStride scatters block allocation to model filesystem aging:
+	// the free-block search advances by this many blocks between
+	// allocations. 1 = fresh contiguous-ish filesystem; default 7.
+	AllocStride int
+}
+
+// Server is the block-model file server engine. It is safe for concurrent
+// use (one big lock, as honest to the era as the Bullet engine's).
+type Server struct {
+	dev disk.Device
+	sb  superblock
+
+	mu     sync.Mutex
+	cache  *bcache
+	bitmap []byte // in-RAM copy of the block bitmap
+	rotor  uint32 // next-allocation search position
+	stride int
+	root   Handle
+	stats  Stats
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Lookups    int64
+	Creates    int64
+	Reads      int64
+	Writes     int64
+	Removes    int64
+	BytesRead  int64
+	BytesWrite int64
+	CacheHits  int64
+	CacheMiss  int64
+}
+
+// FormatConfig controls Format.
+type FormatConfig struct {
+	// Inodes is the inode table capacity (default: 1 per 4 data blocks).
+	Inodes int
+}
+
+// Format writes a fresh filesystem onto dev and creates the root
+// directory.
+func Format(dev disk.Device, cfg FormatConfig) error {
+	devBytes := dev.Blocks() * int64(dev.BlockSize())
+	total := uint32(devBytes / BlockSize)
+	if total < 16 {
+		return fmt.Errorf("nfs: device too small (%d FS blocks)", total)
+	}
+	inodes := cfg.Inodes
+	if inodes <= 0 {
+		inodes = int(total / 4)
+	}
+	inodeBlocks := (uint32(inodes)*InodeSize + BlockSize - 1) / BlockSize
+	bitmapBlocks := (total/8 + BlockSize - 1) / BlockSize
+	sb := superblock{
+		InodeCount:  uint32(inodes),
+		InodeStart:  1,
+		BitmapStart: 1 + inodeBlocks,
+		DataStart:   1 + inodeBlocks + bitmapBlocks,
+		TotalBlocks: total,
+	}
+	if sb.DataStart >= total {
+		return fmt.Errorf("nfs: device too small for %d inodes", inodes)
+	}
+
+	zero := make([]byte, BlockSize)
+	for b := uint32(0); b < sb.DataStart; b++ {
+		if err := writeFSBlock(dev, b, zero); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, BlockSize)
+	sb.encode(buf)
+	if err := writeFSBlock(dev, 0, buf); err != nil {
+		return err
+	}
+
+	// Root directory: inode 1, an empty file of directory mode.
+	root := inode{Mode: modeDir, Gen: 1}
+	ib := make([]byte, BlockSize)
+	root.encode(ib[1*InodeSize:])
+	if err := writeFSBlock(dev, sb.InodeStart, ib); err != nil {
+		return err
+	}
+	return dev.Sync()
+}
+
+func writeFSBlock(dev disk.Device, fsBlock uint32, data []byte) error {
+	if err := dev.WriteAt(data, int64(fsBlock)*BlockSize); err != nil {
+		return fmt.Errorf("nfs: writing FS block %d: %w", fsBlock, err)
+	}
+	return nil
+}
+
+// Mount opens a formatted device.
+func Mount(dev disk.Device, opts Options) (*Server, error) {
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 3 << 20
+	}
+	if opts.AllocStride <= 0 {
+		opts.AllocStride = 7
+	}
+	buf := make([]byte, BlockSize)
+	if err := dev.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("nfs: reading superblock: %w", err)
+	}
+	sb, err := decodeSuperblock(buf)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		dev:    dev,
+		sb:     sb,
+		cache:  newBcache(int(opts.CacheBytes / BlockSize)),
+		stride: opts.AllocStride,
+		root:   Handle{Inode: 1, Gen: 1},
+		rotor:  sb.DataStart,
+	}
+	// Load the bitmap into RAM (kernels kept it cached; we are explicit).
+	bitmapBlocks := sb.DataStart - sb.BitmapStart
+	s.bitmap = make([]byte, int64(bitmapBlocks)*BlockSize)
+	for i := uint32(0); i < bitmapBlocks; i++ {
+		if err := dev.ReadAt(s.bitmap[int64(i)*BlockSize:(int64(i)+1)*BlockSize], int64(sb.BitmapStart+i)*BlockSize); err != nil {
+			return nil, fmt.Errorf("nfs: reading bitmap: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Root returns the root directory handle.
+func (s *Server) Root() Handle { return s.root }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// EvictCache drops the n least-recently-used buffer-cache blocks. The
+// experiment harness uses it to model working-set pressure from the rest
+// of a shared departmental server (the paper's SUN 3/180 was the
+// production file server; only the *client* was idle, §4).
+func (s *Server) EvictCache(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.evictN(n)
+}
+
+// CachedBlocks reports how many blocks the buffer cache currently holds.
+func (s *Server) CachedBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
+}
+
+// --- block I/O through the buffer cache -----------------------------------
+
+// readBlock returns FS block b via the cache. The returned slice aliases
+// the cache entry; do not retain across lock release.
+func (s *Server) readBlock(b uint32) ([]byte, error) {
+	if data, ok := s.cache.get(b); ok {
+		s.stats.CacheHits++
+		return data, nil
+	}
+	s.stats.CacheMiss++
+	data := make([]byte, BlockSize)
+	if err := s.dev.ReadAt(data, int64(b)*BlockSize); err != nil {
+		return nil, fmt.Errorf("nfs: reading FS block %d: %w", b, err)
+	}
+	s.cache.put(b, data)
+	return data, nil
+}
+
+// writeBlock stores FS block b write-through: disk first, then cache.
+func (s *Server) writeBlock(b uint32, data []byte) error {
+	if err := s.dev.WriteAt(data, int64(b)*BlockSize); err != nil {
+		return fmt.Errorf("nfs: writing FS block %d: %w", b, err)
+	}
+	s.cache.put(b, data)
+	return nil
+}
+
+// --- inode I/O -------------------------------------------------------------
+
+const inodesPerBlock = BlockSize / InodeSize
+
+func (s *Server) inodeBlock(n uint32) uint32 { return s.sb.InodeStart + n/inodesPerBlock }
+
+func (s *Server) readInode(n uint32) (inode, error) {
+	if n == 0 || n >= s.sb.InodeCount {
+		return inode{}, fmt.Errorf("inode %d: %w", n, ErrStale)
+	}
+	blk, err := s.readBlock(s.inodeBlock(n))
+	if err != nil {
+		return inode{}, err
+	}
+	off := (n % inodesPerBlock) * InodeSize
+	return decodeInode(blk[off : off+InodeSize]), nil
+}
+
+func (s *Server) writeInode(n uint32, ino inode) error {
+	blk, err := s.readBlock(s.inodeBlock(n))
+	if err != nil {
+		return err
+	}
+	updated := make([]byte, BlockSize)
+	copy(updated, blk)
+	off := (n % inodesPerBlock) * InodeSize
+	ino.encode(updated[off : off+InodeSize])
+	return s.writeBlock(s.inodeBlock(n), updated)
+}
+
+// allocInode claims a free inode slot.
+func (s *Server) allocInode(mode uint32) (uint32, inode, error) {
+	for n := uint32(1); n < s.sb.InodeCount; n++ {
+		ino, err := s.readInode(n)
+		if err != nil {
+			return 0, inode{}, err
+		}
+		if ino.Mode == modeFree {
+			fresh := inode{Mode: mode, Gen: ino.Gen + 1}
+			if err := s.writeInode(n, fresh); err != nil {
+				return 0, inode{}, err
+			}
+			return n, fresh, nil
+		}
+	}
+	return 0, inode{}, fmt.Errorf("inode table full: %w", ErrNoSpace)
+}
+
+// --- block allocation (the scattered kind) ---------------------------------
+
+func (s *Server) bitGet(b uint32) bool { return s.bitmap[b/8]&(1<<(b%8)) != 0 }
+func (s *Server) bitSet(b uint32, v bool) {
+	if v {
+		s.bitmap[b/8] |= 1 << (b % 8)
+	} else {
+		s.bitmap[b/8] &^= 1 << (b % 8)
+	}
+}
+
+// flushBitmapFor persists the bitmap block covering FS block b.
+func (s *Server) flushBitmapFor(b uint32) error {
+	byteIdx := int64(b / 8)
+	blockIdx := uint32(byteIdx / BlockSize)
+	start := int64(blockIdx) * BlockSize
+	blk := make([]byte, BlockSize)
+	copy(blk, s.bitmap[start:start+BlockSize])
+	return s.writeBlock(s.sb.BitmapStart+blockIdx, blk)
+}
+
+// allocBlock claims one data block. The rotor + stride walk models an aged
+// filesystem: logically consecutive allocations land on scattered blocks.
+func (s *Server) allocBlock() (uint32, error) {
+	dataBlocks := s.sb.TotalBlocks - s.sb.DataStart
+	if dataBlocks == 0 {
+		return 0, ErrNoSpace
+	}
+	pos := s.rotor
+	for scanned := uint32(0); scanned < dataBlocks; scanned++ {
+		if pos < s.sb.DataStart || pos >= s.sb.TotalBlocks {
+			pos = s.sb.DataStart
+		}
+		if !s.bitGet(pos) {
+			s.bitSet(pos, true)
+			if err := s.flushBitmapFor(pos); err != nil {
+				s.bitSet(pos, false)
+				return 0, err
+			}
+			s.rotor = pos + uint32(s.stride)
+			if s.rotor >= s.sb.TotalBlocks {
+				s.rotor = s.sb.DataStart + (s.rotor-s.sb.DataStart)%dataBlocks
+			}
+			return pos, nil
+		}
+		pos++
+		if pos >= s.sb.TotalBlocks {
+			pos = s.sb.DataStart
+		}
+	}
+	return 0, fmt.Errorf("disk full: %w", ErrNoSpace)
+}
+
+func (s *Server) freeBlock(b uint32) error {
+	if b < s.sb.DataStart || b >= s.sb.TotalBlocks {
+		return nil // pointer slot was empty
+	}
+	s.bitSet(b, false)
+	return s.flushBitmapFor(b)
+}

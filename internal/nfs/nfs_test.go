@@ -1,0 +1,599 @@
+package nfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+// newFS builds a formatted, mounted server on a RAM disk (~16 MB).
+func newFS(t *testing.T, opts Options) *Server {
+	t.Helper()
+	dev, err := disk.NewMem(512, 32768) // 16 MiB
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	if err := Format(dev, FormatConfig{}); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	s, err := Mount(dev, opts)
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	return s
+}
+
+func create(t *testing.T, s *Server, dir Handle, name string) Handle {
+	t.Helper()
+	h, err := s.Create(dir, name)
+	if err != nil {
+		t.Fatalf("Create(%q): %v", name, err)
+	}
+	return h
+}
+
+func writeAllSrv(t *testing.T, s *Server, h Handle, data []byte) {
+	t.Helper()
+	for off := 0; off < len(data); {
+		n := len(data) - off
+		if n > BlockSize {
+			n = BlockSize
+		}
+		w, err := s.Write(h, int64(off), data[off:off+n])
+		if err != nil {
+			t.Fatalf("Write at %d: %v", off, err)
+		}
+		off += w
+	}
+}
+
+func readAllSrv(t *testing.T, s *Server, h Handle) []byte {
+	t.Helper()
+	attr, err := s.GetAttr(h)
+	if err != nil {
+		t.Fatalf("GetAttr: %v", err)
+	}
+	out := make([]byte, 0, attr.Size)
+	for off := int64(0); off < attr.Size; {
+		blk, err := s.Read(h, off, BlockSize)
+		if err != nil {
+			t.Fatalf("Read at %d: %v", off, err)
+		}
+		if len(blk) == 0 {
+			break
+		}
+		out = append(out, blk...)
+		off += int64(len(blk))
+	}
+	return out
+}
+
+func pattern(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*7 + i/255)
+	}
+	return out
+}
+
+func TestFormatMountRoot(t *testing.T) {
+	s := newFS(t, Options{})
+	attr, err := s.GetAttr(s.Root())
+	if err != nil {
+		t.Fatalf("GetAttr(root): %v", err)
+	}
+	if !attr.IsDir {
+		t.Fatal("root is not a directory")
+	}
+	entries, err := s.ReadDir(s.Root())
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("fresh root = %v, %v", entries, err)
+	}
+}
+
+func TestMountUnformatted(t *testing.T) {
+	dev, err := disk.NewMem(512, 32768)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	if _, err := Mount(dev, Options{}); !errors.Is(err, ErrNotFormatted) {
+		t.Fatalf("Mount(unformatted) err = %v", err)
+	}
+}
+
+func TestCreateLookupRoundTrip(t *testing.T) {
+	s := newFS(t, Options{})
+	h := create(t, s, s.Root(), "hello.txt")
+	got, err := s.Lookup(s.Root(), "hello.txt")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if got != h {
+		t.Fatalf("Lookup = %+v, want %+v", got, h)
+	}
+	if _, err := s.Lookup(s.Root(), "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup(missing) err = %v", err)
+	}
+	if _, err := s.Create(s.Root(), "hello.txt"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Create err = %v", err)
+	}
+}
+
+func TestWriteReadSizes(t *testing.T) {
+	s := newFS(t, Options{})
+	sizes := []int{0, 1, 100, BlockSize - 1, BlockSize, BlockSize + 1,
+		3*BlockSize + 17, NDirect * BlockSize, NDirect*BlockSize + 1, // first indirect block
+		(NDirect + 3) * BlockSize,
+	}
+	for i, size := range sizes {
+		name := fmt.Sprintf("f%d", i)
+		h := create(t, s, s.Root(), name)
+		data := pattern(size)
+		writeAllSrv(t, s, h, data)
+		attr, err := s.GetAttr(h)
+		if err != nil || attr.Size != int64(size) {
+			t.Fatalf("size %d: GetAttr = %+v, %v", size, attr, err)
+		}
+		if got := readAllSrv(t, s, h); !bytes.Equal(got, data) {
+			t.Fatalf("size %d: read back %d bytes, corrupted", size, len(got))
+		}
+	}
+}
+
+func TestDoubleIndirectFile(t *testing.T) {
+	s := newFS(t, Options{})
+	h := create(t, s, s.Root(), "big")
+	// Past direct (96 KB) and single-indirect (16 MB would be too big for
+	// the disk); write a sparse file instead: one block in double-indirect
+	// territory.
+	off := int64(NDirect+PtrsPerBlock) * BlockSize // first double-indirect block
+	data := pattern(BlockSize)
+	if _, err := s.Write(h, off, data); err != nil {
+		t.Fatalf("Write(double-indirect): %v", err)
+	}
+	got, err := s.Read(h, off, BlockSize)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Read(double-indirect) corrupted: %v", err)
+	}
+	// The hole before it reads as zeros.
+	hole, err := s.Read(h, 0, BlockSize)
+	if err != nil {
+		t.Fatalf("Read(hole): %v", err)
+	}
+	if !bytes.Equal(hole, make([]byte, BlockSize)) {
+		t.Fatal("hole is not zero-filled")
+	}
+}
+
+func TestFreshBlocksDoNotLeak(t *testing.T) {
+	s := newFS(t, Options{})
+	// Write a recognizable pattern, remove the file, then create a new
+	// file with a partial-block write: old bytes must not resurface.
+	h1 := create(t, s, s.Root(), "secret")
+	writeAllSrv(t, s, h1, bytes.Repeat([]byte{0xAA}, 4*BlockSize))
+	if err := s.Remove(s.Root(), "secret"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	h2 := create(t, s, s.Root(), "fresh")
+	if _, err := s.Write(h2, 0, []byte("tiny")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// Extend so the first block is read back whole.
+	if _, err := s.Write(h2, BlockSize-1, []byte{1}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := s.Read(h2, 0, BlockSize)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if bytes.Contains(got, bytes.Repeat([]byte{0xAA}, 16)) {
+		t.Fatal("previous file's bytes leaked into a fresh block")
+	}
+}
+
+func TestRemoveFreesSpace(t *testing.T) {
+	s := newFS(t, Options{})
+	h := create(t, s, s.Root(), "victim")
+	writeAllSrv(t, s, h, pattern(20*BlockSize)) // uses indirect blocks
+	used := func() (n int) {
+		for b := s.sb.DataStart; b < s.sb.TotalBlocks; b++ {
+			if s.bitGet(b) {
+				n++
+			}
+		}
+		return n
+	}
+	usedBefore := used()
+	if usedBefore == 0 {
+		t.Fatal("no blocks allocated")
+	}
+	if err := s.Remove(s.Root(), "victim"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	// Only the root directory's own block remains in use.
+	if got := used(); got != 1 {
+		t.Fatalf("%d blocks in use after remove (was %d), want 1 (root dir)", got, usedBefore)
+	}
+	if _, err := s.GetAttr(h); !errors.Is(err, ErrStale) {
+		t.Fatalf("GetAttr(removed) err = %v", err)
+	}
+}
+
+func TestStaleHandleAfterReuse(t *testing.T) {
+	s := newFS(t, Options{})
+	h1 := create(t, s, s.Root(), "a")
+	if err := s.Remove(s.Root(), "a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	h2 := create(t, s, s.Root(), "b") // likely reuses the inode
+	if h2.Inode == h1.Inode && h2.Gen == h1.Gen {
+		t.Fatal("generation not bumped on inode reuse")
+	}
+	if _, err := s.Read(h1, 0, 10); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale read err = %v", err)
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	s := newFS(t, Options{})
+	sub, err := s.Mkdir(s.Root(), "sub")
+	if err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	hf := create(t, s, sub, "inner.txt")
+	got, err := s.Lookup(sub, "inner.txt")
+	if err != nil || got != hf {
+		t.Fatalf("Lookup(inner) = %v, %v", got, err)
+	}
+	// Remove of a non-empty directory fails.
+	if err := s.Remove(s.Root(), "sub"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("Remove(non-empty dir) err = %v", err)
+	}
+	if err := s.Remove(sub, "inner.txt"); err != nil {
+		t.Fatalf("Remove(inner): %v", err)
+	}
+	if err := s.Remove(s.Root(), "sub"); err != nil {
+		t.Fatalf("Remove(empty dir): %v", err)
+	}
+	// File/dir confusion errors.
+	f := create(t, s, s.Root(), "plain")
+	if _, err := s.Lookup(f, "x"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("Lookup in file err = %v", err)
+	}
+	if _, err := s.Read(s.Root(), 0, 10); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("Read(dir) err = %v", err)
+	}
+}
+
+func TestReadDirListsEverything(t *testing.T) {
+	s := newFS(t, Options{})
+	names := map[string]bool{}
+	for i := 0; i < 200; i++ { // spans multiple directory blocks
+		name := fmt.Sprintf("file-%03d", i)
+		create(t, s, s.Root(), name)
+		names[name] = true
+	}
+	entries, err := s.ReadDir(s.Root())
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 200 {
+		t.Fatalf("ReadDir = %d entries, want 200", len(entries))
+	}
+	for _, e := range entries {
+		if !names[e.Name] {
+			t.Fatalf("unexpected entry %q", e.Name)
+		}
+		if e.IsDir {
+			t.Fatalf("%q reported as a directory", e.Name)
+		}
+	}
+}
+
+func TestDirSlotReuse(t *testing.T) {
+	s := newFS(t, Options{})
+	create(t, s, s.Root(), "a")
+	create(t, s, s.Root(), "b")
+	if err := s.Remove(s.Root(), "a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	create(t, s, s.Root(), "c") // reuses a's slot
+	entries, err := s.ReadDir(s.Root())
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	s := newFS(t, Options{})
+	for _, name := range []string{"", "a/b", string(bytes.Repeat([]byte{'x'}, 56))} {
+		if _, err := s.Create(s.Root(), name); !errors.Is(err, ErrBadRange) {
+			t.Errorf("Create(%q) err = %v, want ErrBadRange", name, err)
+		}
+	}
+}
+
+func TestScatteredAllocation(t *testing.T) {
+	s := newFS(t, Options{AllocStride: 7})
+	h := create(t, s, s.Root(), "scattered")
+	writeAllSrv(t, s, h, pattern(8*BlockSize))
+	ino, err := s.readInode(h.Inode)
+	if err != nil {
+		t.Fatalf("readInode: %v", err)
+	}
+	adjacent := 0
+	for i := 0; i < 7; i++ {
+		if ino.Direct[i+1] == ino.Direct[i]+1 {
+			adjacent++
+		}
+	}
+	if adjacent > 2 {
+		t.Fatalf("aged allocator produced %d/7 adjacent blocks; want scatter", adjacent)
+	}
+
+	// Stride 1: near-contiguous.
+	s2 := newFS(t, Options{AllocStride: 1})
+	h2 := create(t, s2, s2.Root(), "contig")
+	writeAllSrv(t, s2, h2, pattern(8*BlockSize))
+	ino2, err := s2.readInode(h2.Inode)
+	if err != nil {
+		t.Fatalf("readInode: %v", err)
+	}
+	adjacent = 0
+	for i := 0; i < 7; i++ {
+		if ino2.Direct[i+1] == ino2.Direct[i]+1 {
+			adjacent++
+		}
+	}
+	if adjacent < 5 {
+		t.Fatalf("fresh allocator produced only %d/7 adjacent blocks", adjacent)
+	}
+}
+
+func TestBufferCacheHitsOnRepeatReads(t *testing.T) {
+	s := newFS(t, Options{})
+	h := create(t, s, s.Root(), "hot")
+	writeAllSrv(t, s, h, pattern(4*BlockSize))
+	before := s.Stats()
+	readAllSrv(t, s, h) // all blocks were cached by the write-through
+	after := s.Stats()
+	if after.CacheMiss != before.CacheMiss {
+		t.Fatalf("repeat read missed the cache %d times", after.CacheMiss-before.CacheMiss)
+	}
+}
+
+func TestBufferCacheEviction(t *testing.T) {
+	// A cache of 4 blocks cannot hold a 16-block file.
+	s := newFS(t, Options{CacheBytes: 4 * BlockSize})
+	h := create(t, s, s.Root(), "big")
+	writeAllSrv(t, s, h, pattern(16*BlockSize))
+	before := s.Stats()
+	readAllSrv(t, s, h)
+	after := s.Stats()
+	if after.CacheMiss == before.CacheMiss {
+		t.Fatal("16-block file fit in a 4-block cache?")
+	}
+	if got := readAllSrv(t, s, h); !bytes.Equal(got, pattern(16*BlockSize)) {
+		t.Fatal("data corrupted under cache pressure")
+	}
+}
+
+func TestPersistenceAcrossMount(t *testing.T) {
+	dev, err := disk.NewMem(512, 32768)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	if err := Format(dev, FormatConfig{}); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	s, err := Mount(dev, Options{})
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	h := create(t, s, s.Root(), "durable")
+	data := pattern(5*BlockSize + 123)
+	writeAllSrv(t, s, h, data)
+
+	// Remount from the same device: everything must still be there.
+	s2, err := Mount(dev, Options{})
+	if err != nil {
+		t.Fatalf("re-Mount: %v", err)
+	}
+	h2, err := s2.Lookup(s2.Root(), "durable")
+	if err != nil {
+		t.Fatalf("Lookup after remount: %v", err)
+	}
+	if got := readAllSrv(t, s2, h2); !bytes.Equal(got, data) {
+		t.Fatal("data corrupted across remount")
+	}
+}
+
+func TestServiceOverRPC(t *testing.T) {
+	s := newFS(t, Options{})
+	mux := rpc.NewMux(0)
+	port := capability.PortFromString("nfs-test")
+	NewService(s, port).Register(mux)
+	cl := NewClient(rpc.NewLocal(mux), port)
+
+	root, err := cl.Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	data := pattern(3*BlockSize + 500)
+	h, err := cl.CreateWrite(root, "wire.dat", data)
+	if err != nil {
+		t.Fatalf("CreateWrite: %v", err)
+	}
+	got, err := cl.ReadAll(h)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("ReadAll corrupted (%d bytes), %v", len(got), err)
+	}
+	attr, err := cl.GetAttr(h)
+	if err != nil || attr.Size != int64(len(data)) {
+		t.Fatalf("GetAttr = %+v, %v", attr, err)
+	}
+	lh, err := cl.Lookup(root, "wire.dat")
+	if err != nil || lh != h {
+		t.Fatalf("Lookup = %v, %v", lh, err)
+	}
+	sub, err := cl.Mkdir(root, "dir")
+	if err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	if _, err := cl.Create(sub, "nested"); err != nil {
+		t.Fatalf("Create nested: %v", err)
+	}
+	entries, err := cl.ReadDir(root)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+	if err := cl.Null(); err != nil {
+		t.Fatalf("Null: %v", err)
+	}
+	st, err := cl.Stat()
+	if err != nil || st.Creates != 2 {
+		t.Fatalf("Stat = %+v, %v", st, err)
+	}
+	if err := cl.Remove(sub, "nested"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := cl.Lookup(sub, "nested"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup(removed) err = %v", err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	s := newFS(t, Options{})
+	h := create(t, s, s.Root(), "v")
+	if _, err := s.Write(h, -1, []byte("x")); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("negative offset err = %v", err)
+	}
+	if _, err := s.Write(h, MaxFileSize, []byte("x")); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("past max size err = %v", err)
+	}
+	if _, err := s.Read(h, -1, 10); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("negative read offset err = %v", err)
+	}
+	// Read at EOF returns empty.
+	if got, err := s.Read(h, 100, 10); err != nil || len(got) != 0 {
+		t.Fatalf("Read at EOF = %v, %v", got, err)
+	}
+}
+
+// Property: arbitrary write patterns against a model byte slice.
+func TestQuickFileModelEquivalence(t *testing.T) {
+	type op struct {
+		Off  uint16
+		Size uint8
+		Fill byte
+	}
+	f := func(ops []op) bool {
+		dev, err := disk.NewMem(512, 32768)
+		if err != nil {
+			return false
+		}
+		if err := Format(dev, FormatConfig{}); err != nil {
+			return false
+		}
+		s, err := Mount(dev, Options{})
+		if err != nil {
+			return false
+		}
+		h, err := s.Create(s.Root(), "model")
+		if err != nil {
+			return false
+		}
+		model := []byte{}
+		for _, o := range ops {
+			off := int64(o.Off) % (4 * BlockSize)
+			size := int(o.Size)%512 + 1
+			data := bytes.Repeat([]byte{o.Fill}, size)
+			if _, err := s.Write(h, off, data); err != nil {
+				return false
+			}
+			if need := off + int64(size); need > int64(len(model)) {
+				model = append(model, make([]byte, need-int64(len(model)))...)
+			}
+			copy(model[off:], data)
+		}
+		attr, err := s.GetAttr(h)
+		if err != nil || attr.Size != int64(len(model)) {
+			return false
+		}
+		got := make([]byte, 0, len(model))
+		for off := int64(0); off < attr.Size; {
+			blk, err := s.Read(h, off, BlockSize)
+			if err != nil {
+				return false
+			}
+			if len(blk) == 0 {
+				break
+			}
+			got = append(got, blk...)
+			off += int64(len(blk))
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcacheUnit(t *testing.T) {
+	c := newBcache(2)
+	c.put(1, []byte{1})
+	c.put(2, []byte{2})
+	if _, ok := c.get(1); !ok {
+		t.Fatal("block 1 missing")
+	}
+	c.put(3, []byte{3}) // evicts 2 (LRU; 1 was just touched)
+	if _, ok := c.get(2); ok {
+		t.Fatal("block 2 should have been evicted")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("block 1 evicted out of order")
+	}
+	c.drop(1)
+	if _, ok := c.get(1); ok {
+		t.Fatal("dropped block still cached")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	// put of existing refreshes contents.
+	c.put(3, []byte{33})
+	if got, _ := c.get(3); got[0] != 33 {
+		t.Fatal("put did not refresh contents")
+	}
+}
+
+func TestMountRejectsInconsistentSuperblock(t *testing.T) {
+	dev, err := disk.NewMem(512, 32768)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	if err := Format(dev, FormatConfig{}); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	// Forge BitmapStart beyond DataStart: Mount must refuse instead of
+	// underflowing the bitmap length.
+	blk := make([]byte, BlockSize)
+	if err := dev.ReadAt(blk, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	forged := make([]byte, BlockSize)
+	copy(forged, blk)
+	forged[12], forged[13], forged[14], forged[15] = 0xFF, 0xFF, 0xFF, 0xFF // BitmapStart
+	if err := dev.WriteAt(forged, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if _, err := Mount(dev, Options{}); !errors.Is(err, ErrNotFormatted) {
+		t.Fatalf("Mount(forged superblock) err = %v, want ErrNotFormatted", err)
+	}
+}

@@ -1,0 +1,416 @@
+package nfs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+// Command codes of the NFS-like protocol. Each READ/WRITE carries at most
+// one 8 KB block — the per-block RPC model whose overhead the paper
+// measures against Bullet's whole-file transfer.
+const (
+	CmdNull    uint32 = 96  // round-trip only
+	CmdGetAttr uint32 = 97  // Arg2=handle -> Arg=size, Arg2=isDir
+	CmdLookup  uint32 = 98  // Arg2=dir handle, payload=name -> Arg2=handle, Arg=isDir
+	CmdCreate  uint32 = 99  // Arg2=dir handle, payload=name -> Arg2=handle
+	CmdRead    uint32 = 100 // Arg2=handle, Arg=offset<<16|count -> payload
+	CmdWrite   uint32 = 101 // Arg2=handle, Arg=offset, payload=data -> Arg=written
+	CmdRemove  uint32 = 102 // Arg2=dir handle, payload=name
+	CmdMkdir   uint32 = 103 // Arg2=dir handle, payload=name -> Arg2=handle
+	CmdReadDir uint32 = 104 // Arg2=dir handle -> payload=entries
+	CmdRoot    uint32 = 105 // -> Arg2=root handle
+	CmdStat    uint32 = 106 // -> payload=JSON Stats
+)
+
+// HandleToArg packs a handle into a header argument.
+func HandleToArg(h Handle) uint64 { return uint64(h.Inode)<<32 | uint64(h.Gen) }
+
+// ArgToHandle unpacks a handle from a header argument.
+func ArgToHandle(a uint64) Handle { return Handle{Inode: uint32(a >> 32), Gen: uint32(a)} }
+
+// StatusOf maps server errors to statuses.
+func StatusOf(err error) rpc.Status {
+	switch {
+	case err == nil:
+		return rpc.StatusOK
+	case errors.Is(err, ErrStale):
+		return rpc.StatusNoSuchObject
+	case errors.Is(err, ErrNotFound):
+		return rpc.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return rpc.StatusExists
+	case errors.Is(err, ErrNoSpace):
+		return rpc.StatusNoSpace
+	case errors.Is(err, ErrTooBig):
+		return rpc.StatusTooLarge
+	case errors.Is(err, ErrBadRange):
+		return rpc.StatusBadOffset
+	case errors.Is(err, ErrIsDir), errors.Is(err, ErrNotDir), errors.Is(err, ErrNotEmpty):
+		return rpc.StatusBadRequest
+	default:
+		return rpc.StatusInternal
+	}
+}
+
+// ErrorOf maps statuses back to errors client-side.
+func ErrorOf(st rpc.Status) error {
+	switch st {
+	case rpc.StatusOK:
+		return nil
+	case rpc.StatusNoSuchObject:
+		return ErrStale
+	case rpc.StatusNotFound:
+		return ErrNotFound
+	case rpc.StatusExists:
+		return ErrExists
+	case rpc.StatusNoSpace:
+		return ErrNoSpace
+	case rpc.StatusTooLarge:
+		return ErrTooBig
+	case rpc.StatusBadOffset:
+		return ErrBadRange
+	case rpc.StatusBadRequest:
+		return ErrNotDir
+	default:
+		return rpc.Errf(st, "nfs server error")
+	}
+}
+
+// Service exposes a Server over RPC on a port.
+type Service struct {
+	srv  *Server
+	port capability.Port
+}
+
+// NewService wraps srv for serving on port.
+func NewService(srv *Server, port capability.Port) *Service {
+	return &Service{srv: srv, port: port}
+}
+
+// Port returns the service's port.
+func (s *Service) Port() capability.Port { return s.port }
+
+// Register installs the handler on mux.
+func (s *Service) Register(mux *rpc.Mux) { mux.Register(s.port, s.Handle) }
+
+// Handle processes one NFS transaction.
+func (s *Service) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
+	fail := func(err error) (rpc.Header, []byte) { return rpc.ReplyErr(StatusOf(err)), nil }
+	switch req.Command {
+	case CmdNull:
+		return rpc.ReplyOK(), nil
+
+	case CmdRoot:
+		return rpc.Header{Status: rpc.StatusOK, Arg2: HandleToArg(s.srv.Root())}, nil
+
+	case CmdGetAttr:
+		attr, err := s.srv.GetAttr(ArgToHandle(req.Arg2))
+		if err != nil {
+			return fail(err)
+		}
+		isDir := uint64(0)
+		if attr.IsDir {
+			isDir = 1
+		}
+		return rpc.Header{Status: rpc.StatusOK, Arg: uint64(attr.Size), Arg2: isDir}, nil
+
+	case CmdLookup:
+		h, err := s.srv.Lookup(ArgToHandle(req.Arg2), string(payload))
+		if err != nil {
+			return fail(err)
+		}
+		attr, err := s.srv.GetAttr(h)
+		if err != nil {
+			return fail(err)
+		}
+		isDir := uint64(0)
+		if attr.IsDir {
+			isDir = 1
+		}
+		return rpc.Header{Status: rpc.StatusOK, Arg: isDir, Arg2: HandleToArg(h)}, nil
+
+	case CmdCreate:
+		h, err := s.srv.Create(ArgToHandle(req.Arg2), string(payload))
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Header{Status: rpc.StatusOK, Arg2: HandleToArg(h)}, nil
+
+	case CmdMkdir:
+		h, err := s.srv.Mkdir(ArgToHandle(req.Arg2), string(payload))
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Header{Status: rpc.StatusOK, Arg2: HandleToArg(h)}, nil
+
+	case CmdRead:
+		offset := int64(req.Arg >> 16)
+		count := int(req.Arg & 0xFFFF)
+		data, err := s.srv.Read(ArgToHandle(req.Arg2), offset, count)
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), data
+
+	case CmdWrite:
+		n, err := s.srv.Write(ArgToHandle(req.Arg2), int64(req.Arg), payload)
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Header{Status: rpc.StatusOK, Arg: uint64(n)}, nil
+
+	case CmdRemove:
+		if err := s.srv.Remove(ArgToHandle(req.Arg2), string(payload)); err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), nil
+
+	case CmdReadDir:
+		entries, err := s.srv.ReadDir(ArgToHandle(req.Arg2))
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), encodeEntries(entries)
+
+	case CmdStat:
+		body, err := json.Marshal(s.srv.Stats())
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusInternal), nil
+		}
+		return rpc.ReplyOK(), body
+
+	default:
+		return rpc.ReplyErr(rpc.StatusBadCommand), nil
+	}
+}
+
+func encodeEntries(entries []DirEntry) []byte {
+	var buf []byte
+	var scratch [10]byte
+	binary.BigEndian.PutUint16(scratch[:2], uint16(len(entries)))
+	buf = append(buf, scratch[:2]...)
+	for _, e := range entries {
+		binary.BigEndian.PutUint32(scratch[0:4], e.Handle.Inode)
+		binary.BigEndian.PutUint32(scratch[4:8], e.Handle.Gen)
+		scratch[8] = byte(len(e.Name))
+		scratch[9] = 0
+		if e.IsDir {
+			scratch[9] = 1
+		}
+		buf = append(buf, scratch[:10]...)
+		buf = append(buf, e.Name...)
+	}
+	return buf
+}
+
+func decodeEntries(payload []byte) ([]DirEntry, error) {
+	if len(payload) < 2 {
+		return nil, rpc.ErrBadFrame
+	}
+	count := int(binary.BigEndian.Uint16(payload[:2]))
+	payload = payload[2:]
+	out := make([]DirEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(payload) < 10 {
+			return nil, rpc.ErrBadFrame
+		}
+		e := DirEntry{
+			Handle: Handle{
+				Inode: binary.BigEndian.Uint32(payload[0:4]),
+				Gen:   binary.BigEndian.Uint32(payload[4:8]),
+			},
+			IsDir: payload[9] == 1,
+		}
+		n := int(payload[8])
+		payload = payload[10:]
+		if len(payload) < n {
+			return nil, rpc.ErrBadFrame
+		}
+		e.Name = string(payload[:n])
+		payload = payload[n:]
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Client is the NFS-style client. Per the paper's measurement setup,
+// it does no client-side caching (the paper disabled it with lockf): every
+// read and write is a transaction, one block at a time.
+type Client struct {
+	tr   rpc.Transport
+	port capability.Port
+}
+
+// NewClient builds a client of the service at port.
+func NewClient(tr rpc.Transport, port capability.Port) *Client {
+	return &Client{tr: tr, port: port}
+}
+
+func (c *Client) call(req rpc.Header, payload []byte) (rpc.Header, []byte, error) {
+	rep, body, err := c.tr.Trans(c.port, req, payload)
+	if err != nil {
+		return rpc.Header{}, nil, fmt.Errorf("nfs client: transport: %w", err)
+	}
+	if rep.Status != rpc.StatusOK {
+		return rep, nil, ErrorOf(rep.Status)
+	}
+	return rep, body, nil
+}
+
+// Root fetches the root directory handle.
+func (c *Client) Root() (Handle, error) {
+	rep, _, err := c.call(rpc.Header{Command: CmdRoot}, nil)
+	if err != nil {
+		return Handle{}, err
+	}
+	return ArgToHandle(rep.Arg2), nil
+}
+
+// Lookup resolves a name.
+func (c *Client) Lookup(dir Handle, name string) (Handle, error) {
+	rep, _, err := c.call(rpc.Header{Command: CmdLookup, Arg2: HandleToArg(dir)}, []byte(name))
+	if err != nil {
+		return Handle{}, err
+	}
+	return ArgToHandle(rep.Arg2), nil
+}
+
+// GetAttr fetches attributes.
+func (c *Client) GetAttr(h Handle) (Attr, error) {
+	rep, _, err := c.call(rpc.Header{Command: CmdGetAttr, Arg2: HandleToArg(h)}, nil)
+	if err != nil {
+		return Attr{}, err
+	}
+	return Attr{Size: int64(rep.Arg), IsDir: rep.Arg2 == 1}, nil
+}
+
+// Create makes an empty file.
+func (c *Client) Create(dir Handle, name string) (Handle, error) {
+	rep, _, err := c.call(rpc.Header{Command: CmdCreate, Arg2: HandleToArg(dir)}, []byte(name))
+	if err != nil {
+		return Handle{}, err
+	}
+	return ArgToHandle(rep.Arg2), nil
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(dir Handle, name string) (Handle, error) {
+	rep, _, err := c.call(rpc.Header{Command: CmdMkdir, Arg2: HandleToArg(dir)}, []byte(name))
+	if err != nil {
+		return Handle{}, err
+	}
+	return ArgToHandle(rep.Arg2), nil
+}
+
+// Remove unlinks a name.
+func (c *Client) Remove(dir Handle, name string) error {
+	_, _, err := c.call(rpc.Header{Command: CmdRemove, Arg2: HandleToArg(dir)}, []byte(name))
+	return err
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(dir Handle) ([]DirEntry, error) {
+	_, body, err := c.call(rpc.Header{Command: CmdReadDir, Arg2: HandleToArg(dir)}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeEntries(body)
+}
+
+// ReadBlock reads up to count (<= BlockSize) bytes at offset: one RPC.
+func (c *Client) ReadBlock(h Handle, offset int64, count int) ([]byte, error) {
+	if count > BlockSize {
+		count = BlockSize
+	}
+	req := rpc.Header{Command: CmdRead, Arg2: HandleToArg(h), Arg: uint64(offset)<<16 | uint64(count)}
+	_, body, err := c.call(req, nil)
+	return body, err
+}
+
+// WriteBlock writes up to one block at offset: one RPC.
+func (c *Client) WriteBlock(h Handle, offset int64, data []byte) (int, error) {
+	if len(data) > BlockSize {
+		data = data[:BlockSize]
+	}
+	rep, _, err := c.call(rpc.Header{Command: CmdWrite, Arg2: HandleToArg(h), Arg: uint64(offset)}, data)
+	if err != nil {
+		return 0, err
+	}
+	return int(rep.Arg), nil
+}
+
+// ReadAll performs the paper's read test for one file: an lseek (free) and
+// sequential one-block read RPCs until EOF.
+func (c *Client) ReadAll(h Handle) ([]byte, error) {
+	attr, err := c.GetAttr(h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, attr.Size)
+	for off := int64(0); off < attr.Size; {
+		blk, err := c.ReadBlock(h, off, BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		if len(blk) == 0 {
+			break
+		}
+		out = append(out, blk...)
+		off += int64(len(blk))
+	}
+	return out, nil
+}
+
+// WriteAll writes data with sequential one-block write RPCs.
+func (c *Client) WriteAll(h Handle, data []byte) error {
+	for off := 0; off < len(data); {
+		n := len(data) - off
+		if n > BlockSize {
+			n = BlockSize
+		}
+		w, err := c.WriteBlock(h, int64(off), data[off:off+n])
+		if err != nil {
+			return err
+		}
+		off += w
+	}
+	return nil
+}
+
+// CreateWrite performs the paper's write test for one file: creat, write
+// loop, close (close is free on this protocol; the server is
+// write-through, matching the paper's SunOS server).
+func (c *Client) CreateWrite(dir Handle, name string, data []byte) (Handle, error) {
+	h, err := c.Create(dir, name)
+	if err != nil {
+		return Handle{}, err
+	}
+	if err := c.WriteAll(h, data); err != nil {
+		return Handle{}, err
+	}
+	return h, nil
+}
+
+// Null performs an empty round trip (for measuring protocol overhead).
+func (c *Client) Null() error {
+	_, _, err := c.call(rpc.Header{Command: CmdNull}, nil)
+	return err
+}
+
+// Stat fetches server counters.
+func (c *Client) Stat() (Stats, error) {
+	_, body, err := c.call(rpc.Header{Command: CmdStat}, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return Stats{}, fmt.Errorf("nfs client: decoding stats: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,146 @@
+package nfs
+
+import (
+	"errors"
+	"testing"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+func TestStatusErrorRoundTrip(t *testing.T) {
+	cases := []error{
+		ErrStale, ErrNotFound, ErrExists, ErrNoSpace, ErrTooBig, ErrBadRange,
+	}
+	for _, in := range cases {
+		st := StatusOf(in)
+		if st == rpc.StatusOK || st == rpc.StatusInternal {
+			t.Errorf("StatusOf(%v) = %v", in, st)
+			continue
+		}
+		if out := ErrorOf(st); !errors.Is(out, in) {
+			t.Errorf("round trip %v -> %v -> %v", in, st, out)
+		}
+	}
+	// The directory-shape errors collapse onto one status.
+	for _, in := range []error{ErrIsDir, ErrNotDir, ErrNotEmpty} {
+		if StatusOf(in) != rpc.StatusBadRequest {
+			t.Errorf("StatusOf(%v) = %v, want StatusBadRequest", in, StatusOf(in))
+		}
+	}
+	if StatusOf(nil) != rpc.StatusOK || ErrorOf(rpc.StatusOK) != nil {
+		t.Error("nil round trip broken")
+	}
+	if StatusOf(errors.New("x")) != rpc.StatusInternal {
+		t.Error("unknown error not internal")
+	}
+	if ErrorOf(rpc.StatusInternal) == nil {
+		t.Error("internal mapped to nil")
+	}
+}
+
+func TestServiceErrorsOverRPC(t *testing.T) {
+	s := newFS(t, Options{})
+	mux := rpc.NewMux(0)
+	port := capability.PortFromString("nfs-err")
+	svc := NewService(s, port)
+	if svc.Port() != port {
+		t.Fatal("Port mismatch")
+	}
+	svc.Register(mux)
+	cl := NewClient(rpc.NewLocal(mux), port)
+	root, err := cl.Root()
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+
+	if _, err := cl.Lookup(root, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup(missing) err = %v", err)
+	}
+	if _, err := cl.GetAttr(Handle{Inode: 9999, Gen: 1}); !errors.Is(err, ErrStale) {
+		t.Fatalf("GetAttr(stale) err = %v", err)
+	}
+	h, err := cl.Create(root, "f")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := cl.Create(root, "f"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	if err := cl.Remove(root, "f"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := cl.ReadBlock(h, 0, 10); !errors.Is(err, ErrStale) {
+		t.Fatalf("read stale handle err = %v", err)
+	}
+	// Bad command straight at the handler.
+	rep, _ := svc.Handle(rpc.Header{Command: 12345}, nil)
+	if rep.Status != rpc.StatusBadCommand {
+		t.Fatalf("bad command status = %v", rep.Status)
+	}
+}
+
+func TestEvictCacheAndCachedBlocks(t *testing.T) {
+	s := newFS(t, Options{})
+	h := create(t, s, s.Root(), "evictme")
+	writeAllSrv(t, s, h, pattern(6*BlockSize))
+	n := s.CachedBlocks()
+	if n == 0 {
+		t.Fatal("nothing cached after writes")
+	}
+	s.EvictCache(2)
+	if got := s.CachedBlocks(); got != n-2 {
+		t.Fatalf("CachedBlocks = %d, want %d", got, n-2)
+	}
+	// Evicting more than exists empties it without panicking.
+	s.EvictCache(1 << 20)
+	if got := s.CachedBlocks(); got != 0 {
+		t.Fatalf("CachedBlocks = %d, want 0", got)
+	}
+	// Data still correct (cache was clean: write-through).
+	if got := readAllSrv(t, s, h); len(got) != 6*BlockSize {
+		t.Fatalf("read %d bytes", len(got))
+	}
+}
+
+func TestDiskFullSmall(t *testing.T) {
+	// 4 MB device: superblock + tables + small data area. The fill
+	// exercises the allocation rotor's wrap-around and the full-disk path.
+	s := func() *Server {
+		dev, err := disk.NewMem(512, 8192)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		if err := Format(dev, FormatConfig{Inodes: 64}); err != nil {
+			t.Fatalf("Format: %v", err)
+		}
+		srv, err := Mount(dev, Options{AllocStride: 13})
+		if err != nil {
+			t.Fatalf("Mount: %v", err)
+		}
+		return srv
+	}()
+	h := create(t, s, s.Root(), "filler")
+	data := pattern(BlockSize)
+	var werr error
+	for off := int64(0); ; off += BlockSize {
+		if _, werr = s.Write(h, off, data); werr != nil {
+			break
+		}
+		if off > 64<<20 {
+			t.Fatal("device never filled")
+		}
+	}
+	if !errors.Is(werr, ErrNoSpace) {
+		t.Fatalf("fill err = %v, want ErrNoSpace", werr)
+	}
+	// Freeing by removal makes room again (rotor wraps over the bitmap).
+	if err := s.Remove(s.Root(), "filler"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	h2 := create(t, s, s.Root(), "after")
+	if _, err := s.Write(h2, 0, data); err != nil {
+		t.Fatalf("write after refill: %v", err)
+	}
+}

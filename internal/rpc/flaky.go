@@ -1,0 +1,164 @@
+package rpc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"bulletfs/internal/capability"
+)
+
+// Flaky wraps a Transport with deterministic fault injection for testing
+// the retry/at-most-once machinery: a transaction can be "dropped" before
+// reaching the server (request loss) or after executing (reply loss). Both
+// surface to the caller as ErrDropped, but reply loss leaves the server's
+// side effects in place — exactly the hazard duplicate suppression exists
+// for.
+type Flaky struct {
+	inner   Transport
+	mu      sync.Mutex
+	rng     *rand.Rand
+	dropReq float64 // probability a request is lost before dispatch
+	dropRep float64 // probability a reply is lost after dispatch
+
+	scriptReq []bool // if non-nil, consumed one per Trans: true = drop request
+	scriptRep []bool
+
+	Requests int // transactions attempted
+	Dropped  int // transactions that returned ErrDropped
+}
+
+var _ Transport = (*Flaky)(nil)
+
+// NewFlaky wraps inner with loss probabilities and a deterministic seed.
+func NewFlaky(inner Transport, dropReq, dropRep float64, seed int64) *Flaky {
+	return &Flaky{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(seed)),
+		dropReq: dropReq,
+		dropRep: dropRep,
+	}
+}
+
+// ScriptDrops arranges exact loss patterns: on the i-th transaction the
+// request is dropped if req[i], else the reply is dropped if rep[i].
+// Past the end of the scripts nothing is dropped.
+func (f *Flaky) ScriptDrops(req, rep []bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.scriptReq, f.scriptRep = req, rep
+	f.dropReq, f.dropRep = 0, 0
+}
+
+func (f *Flaky) decide() (dropReq, dropRep bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Requests++
+	if f.scriptReq != nil || f.scriptRep != nil {
+		i := f.Requests - 1
+		if i < len(f.scriptReq) {
+			dropReq = f.scriptReq[i]
+		}
+		if i < len(f.scriptRep) {
+			dropRep = f.scriptRep[i]
+		}
+		return dropReq, dropRep
+	}
+	return f.rng.Float64() < f.dropReq, f.rng.Float64() < f.dropRep
+}
+
+// Trans implements Transport with injected loss.
+func (f *Flaky) Trans(port capability.Port, req Header, payload []byte) (Header, []byte, error) {
+	return f.TransID(port, 0, req, payload)
+}
+
+// TransID implements the identified form used by Retrier.
+func (f *Flaky) TransID(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
+	dropReq, dropRep := f.decide()
+	if dropReq {
+		f.mu.Lock()
+		f.Dropped++
+		f.mu.Unlock()
+		return Header{}, nil, ErrDropped
+	}
+	h, p, err := transID(f.inner, port, txid, req, payload)
+	if err != nil {
+		return h, p, err
+	}
+	if dropRep {
+		f.mu.Lock()
+		f.Dropped++
+		f.mu.Unlock()
+		return Header{}, nil, ErrDropped
+	}
+	return h, p, nil
+}
+
+// IdentifiedTransport is a Transport that can carry an at-most-once
+// transaction ID.
+type IdentifiedTransport interface {
+	Transport
+	TransID(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error)
+}
+
+// transID uses TransID when the transport supports it, else plain Trans.
+func transID(t Transport, port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
+	if it, ok := t.(IdentifiedTransport); ok {
+		return it.TransID(port, txid, req, payload)
+	}
+	return t.Trans(port, req, payload)
+}
+
+// LocalID adapts a Mux to an IdentifiedTransport directly (in-process), so
+// the retry machinery can be tested without TCP.
+type LocalID struct{ Mux *Mux }
+
+var _ IdentifiedTransport = (*LocalID)(nil)
+
+// Trans implements Transport.
+func (l *LocalID) Trans(port capability.Port, req Header, payload []byte) (Header, []byte, error) {
+	return l.Mux.Dispatch(port, 0, req, payload)
+}
+
+// TransID implements IdentifiedTransport.
+func (l *LocalID) TransID(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
+	return l.Mux.Dispatch(port, txid, req, payload)
+}
+
+// Retrier wraps a Transport with bounded retry under a stable transaction
+// ID: the server's duplicate suppression guarantees at-most-once execution
+// even when replies were lost. Zero value is not usable; use NewRetrier.
+type Retrier struct {
+	inner    Transport
+	attempts int
+}
+
+var _ Transport = (*Retrier)(nil)
+
+// NewRetrier retries each transaction up to attempts times (minimum 1).
+func NewRetrier(inner Transport, attempts int) *Retrier {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &Retrier{inner: inner, attempts: attempts}
+}
+
+// Trans implements Transport with retries.
+func (r *Retrier) Trans(port capability.Port, req Header, payload []byte) (Header, []byte, error) {
+	txid, err := NewTxID()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var lastErr error
+	for i := 0; i < r.attempts; i++ {
+		h, p, err := transID(r.inner, port, txid, req, payload)
+		if err == nil {
+			return h, p, nil
+		}
+		if errors.Is(err, ErrNoServer) {
+			return Header{}, nil, err // no point retrying an unknown port
+		}
+		lastErr = err
+	}
+	return Header{}, nil, lastErr
+}

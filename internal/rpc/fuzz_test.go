@@ -1,0 +1,58 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"bulletfs/internal/capability"
+)
+
+// FuzzDecodeHeader hardens the transaction header decoder: arbitrary
+// bytes arrive from the network before any validation.
+func FuzzDecodeHeader(f *testing.F) {
+	valid := Header{
+		Cap:     capability.Owner(capability.PortFromString("f"), 7, capability.Random{1}),
+		Command: 3, Status: StatusOK, Arg: 9, Arg2: 10,
+	}.Encode(nil)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xAA}, HeaderLen))
+	f.Add(bytes.Repeat([]byte{0x00}, HeaderLen+5))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, rest, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		if len(rest) != len(data)-HeaderLen {
+			t.Fatalf("rest = %d bytes of %d", len(rest), len(data))
+		}
+		// Decoded headers re-encode to the same prefix.
+		out := h.Encode(nil)
+		if !bytes.Equal(out, data[:HeaderLen]) {
+			t.Fatalf("round trip changed bytes")
+		}
+	})
+}
+
+// FuzzReadFrame hardens the TCP frame reader against arbitrary streams.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	_ = writeFrame(&good, magicRequest, 1, capability.Port{1}, Header{Command: 2}, []byte("payload"))
+	f.Add(good.Bytes())
+	f.Add([]byte("garbage stream"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		txid, port, h, payload, err := readFrame(bytes.NewReader(data), magicRequest)
+		if err != nil {
+			return
+		}
+		// A frame that parses must re-serialize into an equal prefix.
+		var out bytes.Buffer
+		if err := writeFrame(&out, magicRequest, txid, port, h, payload); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatal("round trip changed frame bytes")
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package rpc
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+
+	"bulletfs/internal/capability"
+)
+
+// Local is an in-process Transport over a Mux: transactions are direct
+// function calls. It is the substrate for tests and for the simulated
+// network (internal/simnet), which wraps it with a timing model.
+type Local struct {
+	mux *Mux
+}
+
+var _ Transport = (*Local)(nil)
+
+// NewLocal returns a Local transport dispatching to mux.
+func NewLocal(mux *Mux) *Local { return &Local{mux: mux} }
+
+// Trans implements Transport.
+func (l *Local) Trans(port capability.Port, req Header, payload []byte) (Header, []byte, error) {
+	return l.mux.Dispatch(port, 0, req, payload)
+}
+
+// NewTxID draws a random non-zero transaction ID for at-most-once retry.
+func NewTxID() (uint64, error) {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0, fmt.Errorf("rpc: generating txid: %w", err)
+		}
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id, nil
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package rpc
+
+import (
+	"container/list"
+	"sync"
+
+	"bulletfs/internal/capability"
+)
+
+// Mux routes transactions to the Handler registered for each server port
+// and performs at-most-once duplicate suppression: a retried transaction
+// (same non-zero transaction ID) returns the cached reply instead of
+// re-executing the handler, so a create retried after a lost reply does not
+// create the file twice.
+type Mux struct {
+	mu       sync.Mutex
+	handlers map[capability.Port]Handler
+	dedup    map[uint64]cachedReply
+	order    *list.List // txids in arrival order, for bounded eviction
+	maxDedup int
+}
+
+type cachedReply struct {
+	hdr     Header
+	payload []byte
+	elem    *list.Element
+}
+
+// NewMux returns an empty Mux. maxDedup bounds the duplicate-suppression
+// cache (0 means a sensible default).
+func NewMux(maxDedup int) *Mux {
+	if maxDedup <= 0 {
+		maxDedup = 4096
+	}
+	return &Mux{
+		handlers: make(map[capability.Port]Handler),
+		dedup:    make(map[uint64]cachedReply),
+		order:    list.New(),
+		maxDedup: maxDedup,
+	}
+}
+
+// Register installs h as the server for port. Registering a port twice
+// replaces the handler (used when restarting a server in place).
+func (m *Mux) Register(port capability.Port, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[port] = h
+}
+
+// Unregister removes the server for port.
+func (m *Mux) Unregister(port capability.Port) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.handlers, port)
+}
+
+// Ports returns the currently served ports.
+func (m *Mux) Ports() []capability.Port {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]capability.Port, 0, len(m.handlers))
+	for p := range m.handlers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Dispatch executes one transaction. txid 0 disables duplicate
+// suppression; any other value is remembered and replays the cached reply.
+func (m *Mux) Dispatch(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
+	m.mu.Lock()
+	h, ok := m.handlers[port]
+	if !ok {
+		m.mu.Unlock()
+		return Header{}, nil, ErrNoServer
+	}
+	if txid != 0 {
+		if cached, dup := m.dedup[txid]; dup {
+			m.mu.Unlock()
+			return cached.hdr, cached.payload, nil
+		}
+	}
+	m.mu.Unlock()
+
+	repHdr, repPayload := h(req, payload)
+
+	if txid != 0 {
+		m.mu.Lock()
+		if _, dup := m.dedup[txid]; !dup {
+			for m.order.Len() >= m.maxDedup {
+				oldest := m.order.Front()
+				m.order.Remove(oldest)
+				delete(m.dedup, oldest.Value.(uint64))
+			}
+			elem := m.order.PushBack(txid)
+			m.dedup[txid] = cachedReply{hdr: repHdr, payload: repPayload, elem: elem}
+		}
+		m.mu.Unlock()
+	}
+	return repHdr, repPayload, nil
+}
+
+// DedupLen reports the current size of the duplicate-suppression cache.
+func (m *Mux) DedupLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.dedup)
+}

@@ -1,0 +1,292 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"bulletfs/internal/capability"
+)
+
+// Wire format of one TCP frame, both directions:
+//
+//	magic   uint32  ('AMTX' requests, 'AMRP' replies)
+//	txid    uint64  (at-most-once duplicate suppression; 0 = none)
+//	port    [6]byte (requests only the addressed port; replies echo it)
+//	header  HeaderLen bytes
+//	paylen  uint32
+//	payload paylen bytes
+const (
+	magicRequest = 0x414d5458 // "AMTX"
+	magicReply   = 0x414d5250 // "AMRP"
+)
+
+func writeFrame(w io.Writer, magic uint32, txid uint64, port capability.Port, h Header, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%d bytes: %w", len(payload), ErrPayloadTooLarge)
+	}
+	buf := make([]byte, 0, 4+8+capability.PortLen+HeaderLen+4+len(payload))
+	var scratch [12]byte
+	binary.BigEndian.PutUint32(scratch[0:4], magic)
+	binary.BigEndian.PutUint64(scratch[4:12], txid)
+	buf = append(buf, scratch[:12]...)
+	buf = append(buf, port[:]...)
+	buf = h.Encode(buf)
+	binary.BigEndian.PutUint32(scratch[0:4], uint32(len(payload)))
+	buf = append(buf, scratch[:4]...)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader, wantMagic uint32) (txid uint64, port capability.Port, h Header, payload []byte, err error) {
+	fixed := make([]byte, 4+8+capability.PortLen+HeaderLen+4)
+	if _, err = io.ReadFull(r, fixed); err != nil {
+		return 0, port, h, nil, err
+	}
+	if got := binary.BigEndian.Uint32(fixed[0:4]); got != wantMagic {
+		return 0, port, h, nil, fmt.Errorf("magic %08x: %w", got, ErrBadFrame)
+	}
+	txid = binary.BigEndian.Uint64(fixed[4:12])
+	copy(port[:], fixed[12:12+capability.PortLen])
+	h, _, err = DecodeHeader(fixed[12+capability.PortLen : 12+capability.PortLen+HeaderLen])
+	if err != nil {
+		return 0, port, h, nil, err
+	}
+	paylen := binary.BigEndian.Uint32(fixed[len(fixed)-4:])
+	if paylen > MaxPayload {
+		return 0, port, h, nil, fmt.Errorf("%d bytes: %w", paylen, ErrPayloadTooLarge)
+	}
+	payload = make([]byte, paylen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, port, h, nil, err
+	}
+	return txid, port, h, payload, nil
+}
+
+// TCPServer serves a Mux over a TCP listener, one goroutine per
+// connection, requests on a connection processed in order.
+type TCPServer struct {
+	mux *Mux
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPServer wraps mux for serving.
+func NewTCPServer(mux *Mux) *TCPServer {
+	return &TCPServer{mux: mux, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr ("host:port", ":0" for ephemeral) and
+// returns the bound address. Serving happens on background goroutines
+// until Close.
+func (s *TCPServer) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(lis)
+	return lis.Addr().String(), nil
+}
+
+func (s *TCPServer) acceptLoop(lis net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		txid, port, req, payload, err := readFrame(br, magicRequest)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		repHdr, repPayload, err := s.mux.Dispatch(port, txid, req, payload)
+		if err != nil {
+			if errors.Is(err, ErrNoServer) {
+				repHdr, repPayload = ReplyErr(StatusNoSuchObject), nil
+			} else {
+				repHdr, repPayload = ReplyErr(StatusInternal), nil
+			}
+		}
+		if err := writeFrame(bw, magicReply, txid, port, repHdr, repPayload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and all connections, waiting for handlers.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Resolver maps a server port to a TCP address — the static equivalent of
+// Amoeba's port-location broadcast.
+type Resolver func(port capability.Port) (addr string, err error)
+
+// StaticResolver builds a Resolver from a fixed port->address table.
+func StaticResolver(table map[capability.Port]string) Resolver {
+	return func(p capability.Port) (string, error) {
+		addr, ok := table[p]
+		if !ok {
+			return "", fmt.Errorf("port %x: %w", p[:], ErrNoServer)
+		}
+		return addr, nil
+	}
+}
+
+// TCPTransport is a client-side Transport over TCP with one pooled
+// connection per server address. Transactions on one connection are
+// serialized (the Bullet protocol is strictly request/reply).
+type TCPTransport struct {
+	resolve Resolver
+	timeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]*tcpConn
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport builds a client transport. timeout bounds each
+// transaction (0 means no deadline).
+func NewTCPTransport(resolve Resolver, timeout time.Duration) *TCPTransport {
+	return &TCPTransport{resolve: resolve, timeout: timeout, conns: make(map[string]*tcpConn)}
+}
+
+func (t *TCPTransport) getConn(addr string) (*tcpConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[addr]; ok {
+		return c, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	c := &tcpConn{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+	t.conns[addr] = c
+	return c, nil
+}
+
+func (t *TCPTransport) dropConn(addr string, c *tcpConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[addr] == c {
+		delete(t.conns, addr)
+	}
+	c.conn.Close()
+}
+
+// Trans implements Transport.
+func (t *TCPTransport) Trans(port capability.Port, req Header, payload []byte) (Header, []byte, error) {
+	return t.TransID(port, 0, req, payload)
+}
+
+// TransID is Trans with an explicit transaction ID for at-most-once
+// semantics across retries (see Retrier).
+func (t *TCPTransport) TransID(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
+	addr, err := t.resolve(port)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	c, err := t.getConn(addr)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(t.timeout)); err != nil {
+			t.dropConn(addr, c)
+			return Header{}, nil, fmt.Errorf("rpc: set deadline: %w", err)
+		}
+	}
+	if err := writeFrame(c.bw, magicRequest, txid, port, req, payload); err != nil {
+		t.dropConn(addr, c)
+		return Header{}, nil, fmt.Errorf("rpc: send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.dropConn(addr, c)
+		return Header{}, nil, fmt.Errorf("rpc: flush: %w", err)
+	}
+	_, _, repHdr, repPayload, err := readFrame(c.br, magicReply)
+	if err != nil {
+		t.dropConn(addr, c)
+		return Header{}, nil, fmt.Errorf("rpc: receive: %w", err)
+	}
+	return repHdr, repPayload, nil
+}
+
+// Close drops all pooled connections.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for addr, c := range t.conns {
+		c.conn.Close()
+		delete(t.conns, addr)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"bulletfs/internal/capability"
+)
+
+// These tests point raw sockets at the TCP server: a production file
+// server must shrug off garbage, truncated frames and oversized claims
+// without crashing or wedging other clients.
+
+func newEchoServer(t *testing.T) (string, capability.Port, *TCPServer) {
+	t.Helper()
+	mux := NewMux(0)
+	port := capability.PortFromString("robust")
+	mux.Register(port, echoHandler)
+	srv := NewTCPServer(mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck // test cleanup
+	return addr, port, srv
+}
+
+func checkStillServing(t *testing.T, addr string, port capability.Port) {
+	t.Helper()
+	tr := NewTCPTransport(StaticResolver(map[capability.Port]string{port: addr}), 5*time.Second)
+	defer tr.Close() //nolint:errcheck // test cleanup
+	rep, body, err := tr.Trans(port, Header{Command: 1}, []byte("alive?"))
+	if err != nil || rep.Status != StatusOK || !bytes.Equal(body, []byte("alive?")) {
+		t.Fatalf("server unhealthy after abuse: %v %v %q", err, rep.Status, body)
+	}
+}
+
+func TestTCPServerSurvivesGarbageBytes(t *testing.T) {
+	addr, port, _ := newEchoServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if _, err := conn.Write(bytes.Repeat([]byte("not a frame at all "), 100)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// The server must drop the connection (bad magic), not hang it.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second)) //nolint:errcheck
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server replied to garbage")
+	}
+	conn.Close()
+	checkStillServing(t, addr, port)
+}
+
+func TestTCPServerSurvivesTruncatedFrame(t *testing.T) {
+	addr, port, _ := newEchoServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	// A valid prefix that claims a payload, then hang up mid-payload.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, magicRequest, 1, port, Header{Command: 1}, bytes.Repeat([]byte{1}, 1000)); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if _, err := conn.Write(buf.Bytes()[:buf.Len()-500]); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	conn.Close()
+	checkStillServing(t, addr, port)
+}
+
+func TestTCPServerRejectsOversizedPayloadClaim(t *testing.T) {
+	addr, port, _ := newEchoServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	// Hand-build a frame header claiming a payload far past MaxPayload.
+	var frame bytes.Buffer
+	var scratch [12]byte
+	binary.BigEndian.PutUint32(scratch[0:4], magicRequest)
+	binary.BigEndian.PutUint64(scratch[4:12], 7)
+	frame.Write(scratch[:12])
+	frame.Write(port[:])
+	frame.Write(Header{Command: 1}.Encode(nil))
+	binary.BigEndian.PutUint32(scratch[0:4], uint32(MaxPayload+1))
+	frame.Write(scratch[:4])
+	if _, err := conn.Write(frame.Bytes()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// The server must drop the connection instead of allocating 64 MB+.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second)) //nolint:errcheck
+	one := make([]byte, 1)
+	if _, err := conn.Read(one); err == nil {
+		t.Fatal("server replied to an oversized claim")
+	}
+	checkStillServing(t, addr, port)
+}
+
+func TestTCPServerSurvivesAbruptDisconnects(t *testing.T) {
+	addr, port, _ := newEchoServer(t)
+	for i := 0; i < 20; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("Dial %d: %v", i, err)
+		}
+		// Half of them send a partial frame first.
+		if i%2 == 0 {
+			conn.Write([]byte{0x41, 0x4d}) //nolint:errcheck
+		}
+		conn.Close()
+	}
+	checkStillServing(t, addr, port)
+}
+
+func TestTCPClientReconnectsAfterServerRestart(t *testing.T) {
+	mux := NewMux(0)
+	port := capability.PortFromString("restarting")
+	mux.Register(port, echoHandler)
+	srv := NewTCPServer(mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+
+	tr := NewTCPTransport(StaticResolver(map[capability.Port]string{port: addr}), 5*time.Second)
+	defer tr.Close() //nolint:errcheck // test cleanup
+	if _, _, err := tr.Trans(port, Header{}, []byte("one")); err != nil {
+		t.Fatalf("first Trans: %v", err)
+	}
+
+	// Server restarts on the same address.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	srv2 := NewTCPServer(mux)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("re-Listen: %v", err)
+	}
+	defer srv2.Close() //nolint:errcheck // test cleanup
+
+	// The pooled connection is dead; the first call fails, the retry
+	// machinery (as a client would use) succeeds on a fresh dial.
+	retr := NewRetrier(tr, 3)
+	rep, body, err := retr.Trans(port, Header{}, []byte("two"))
+	if err != nil || rep.Status != StatusOK || !bytes.Equal(body, []byte("two")) {
+		t.Fatalf("Trans after restart: %v %v %q", err, rep.Status, body)
+	}
+}

@@ -1,0 +1,77 @@
+// Package simnet is the simulated "normally loaded 10 Mbit/s Ethernet" the
+// paper measured on: an in-process rpc.Transport that really moves every
+// payload byte but charges wire, packet and server-CPU costs to a shared
+// virtual clock (internal/hwmodel) instead of sleeping. Together with
+// disk.SimDisk it lets cmd/benchmark regenerate the paper's tables
+// deterministically in milliseconds of real time.
+package simnet
+
+import (
+	"sync"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/hwmodel"
+	"bulletfs/internal/rpc"
+)
+
+// Net is a timed rpc.Transport over an rpc.Mux.
+type Net struct {
+	mux   *rpc.Mux
+	clock *hwmodel.Clock
+	model hwmodel.NetModel
+	cpu   hwmodel.CPUModel
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts simulated traffic.
+type Stats struct {
+	Transactions int64
+	BytesSent    int64 // request payload bytes
+	BytesRecv    int64 // reply payload bytes
+}
+
+var _ rpc.Transport = (*Net)(nil)
+
+// New builds a simulated network dispatching to mux, charging the given
+// models to clock. The CPU model covers the server's request processing
+// (the disk costs are charged by the server's SimDisks).
+func New(mux *rpc.Mux, clock *hwmodel.Clock, model hwmodel.NetModel, cpu hwmodel.CPUModel) *Net {
+	return &Net{mux: mux, clock: clock, model: model, cpu: cpu}
+}
+
+// Trans implements rpc.Transport: request flight time, server CPU time
+// (dispatch plus one memory copy of the payload in and the reply out), and
+// reply flight time are charged around the real dispatch.
+func (n *Net) Trans(port capability.Port, req rpc.Header, payload []byte) (rpc.Header, []byte, error) {
+	reqBytes := rpc.HeaderLen + len(payload)
+	n.clock.Advance(n.model.PerRPCOverhead)
+	n.clock.Advance(n.model.OneWayTime(reqBytes))
+	n.clock.Advance(n.cpu.RequestTime(int64(len(payload))))
+
+	repHdr, repPayload, err := n.mux.Dispatch(port, 0, req, payload)
+	if err != nil {
+		return repHdr, repPayload, err
+	}
+
+	n.clock.Advance(n.cpu.RequestTime(int64(len(repPayload))) - n.cpu.PerRequest) // copy-out cost only
+	n.clock.Advance(n.model.OneWayTime(rpc.HeaderLen + len(repPayload)))
+
+	n.mu.Lock()
+	n.stats.Transactions++
+	n.stats.BytesSent += int64(len(payload))
+	n.stats.BytesRecv += int64(len(repPayload))
+	n.mu.Unlock()
+	return repHdr, repPayload, nil
+}
+
+// Clock returns the shared virtual clock.
+func (n *Net) Clock() *hwmodel.Clock { return n.clock }
+
+// Stats returns a snapshot of traffic counters.
+func (n *Net) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}

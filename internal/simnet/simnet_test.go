@@ -1,0 +1,120 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/hwmodel"
+	"bulletfs/internal/rpc"
+)
+
+func newNet(t *testing.T) (*Net, *hwmodel.Clock, capability.Port) {
+	t.Helper()
+	mux := rpc.NewMux(0)
+	port := capability.PortFromString("sim-echo")
+	mux.Register(port, func(req rpc.Header, payload []byte) (rpc.Header, []byte) {
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		return rpc.ReplyOK(), out
+	})
+	clock := &hwmodel.Clock{}
+	p := hwmodel.AmoebaProfile()
+	return New(mux, clock, p.Net, p.CPU), clock, port
+}
+
+func TestTransMovesBytes(t *testing.T) {
+	n, _, port := newNet(t)
+	payload := bytes.Repeat([]byte{9}, 5000)
+	rep, got, err := n.Trans(port, rpc.Header{}, payload)
+	if err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	if rep.Status != rpc.StatusOK || !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted in simulation")
+	}
+}
+
+func TestTransChargesTime(t *testing.T) {
+	n, clock, port := newNet(t)
+	if _, _, err := n.Trans(port, rpc.Header{}, make([]byte, 100)); err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	if clock.Now() == 0 {
+		t.Fatal("transaction cost no virtual time")
+	}
+}
+
+func TestLargerPayloadsCostMore(t *testing.T) {
+	n, clock, port := newNet(t)
+	start := clock.Now()
+	if _, _, err := n.Trans(port, rpc.Header{}, make([]byte, 100)); err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	small := clock.Since(start)
+
+	start = clock.Now()
+	if _, _, err := n.Trans(port, rpc.Header{}, make([]byte, 100_000)); err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	large := clock.Since(start)
+	if large <= small {
+		t.Fatalf("100 KB (%v) not slower than 100 B (%v)", large, small)
+	}
+}
+
+func TestNullRPCNearAmoebaMeasurement(t *testing.T) {
+	// Amoeba's measured null RPC was ~1.4 ms; the simulated small
+	// transaction should land in the same regime (0.7-3 ms).
+	n, clock, port := newNet(t)
+	start := clock.Now()
+	if _, _, err := n.Trans(port, rpc.Header{}, nil); err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	got := clock.Since(start)
+	if got < 700*time.Microsecond || got > 3*time.Millisecond {
+		t.Fatalf("null RPC = %v, want ~1.4ms", got)
+	}
+}
+
+func TestBulkBandwidthNearWireLimit(t *testing.T) {
+	// 1 MB on a loaded 10 Mbit/s Ethernet: achievable bandwidth should be
+	// several hundred KB/s — the regime the paper's Bullet reads live in.
+	n, clock, port := newNet(t)
+	const size = 1 << 20
+	start := clock.Now()
+	if _, _, err := n.Trans(port, rpc.Header{}, make([]byte, size)); err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	elapsed := clock.Since(start)
+	bw := float64(size) / elapsed.Seconds() / 1024 // KB/s
+	if bw < 300 || bw > 1200 {
+		t.Fatalf("bulk bandwidth = %.0f KB/s, want 300-1200 (10 Mbit/s wire)", bw)
+	}
+}
+
+func TestUnknownPort(t *testing.T) {
+	n, _, _ := newNet(t)
+	if _, _, err := n.Trans(capability.PortFromString("ghost"), rpc.Header{}, nil); !errors.Is(err, rpc.ErrNoServer) {
+		t.Fatalf("err = %v, want ErrNoServer", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n, _, port := newNet(t)
+	if _, _, err := n.Trans(port, rpc.Header{}, make([]byte, 10)); err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	if _, _, err := n.Trans(port, rpc.Header{}, make([]byte, 20)); err != nil {
+		t.Fatalf("Trans: %v", err)
+	}
+	st := n.Stats()
+	if st.Transactions != 2 || st.BytesSent != 30 || st.BytesRecv != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if n.Clock() == nil {
+		t.Fatal("Clock() nil")
+	}
+}

@@ -1,0 +1,445 @@
+// Package unixemu is the paper's §5 UNIX emulation: open/read/write/seek/
+// close file semantics built on the Bullet server and the directory
+// service. Like Amoeba's own emulation, an open file is buffered whole in
+// the client's memory (files fit in memory by the Bullet model); writes
+// mutate the buffer, and close() of a written file creates a *new*
+// immutable Bullet file and rebinds the name in the directory service —
+// which is exactly the versioning model of §2.
+package unixemu
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"strings"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+	"bulletfs/internal/directory"
+)
+
+// Open flags, deliberately os-like.
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	ORdwr   = 0x2
+	OCreate = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Errors returned by the emulation.
+var (
+	// ErrNotExist mirrors os.ErrNotExist.
+	ErrNotExist = errors.New("unixemu: file does not exist")
+	// ErrExist mirrors os.ErrExist.
+	ErrExist = errors.New("unixemu: file already exists")
+	// ErrClosed means the file was used after Close.
+	ErrClosed = errors.New("unixemu: file already closed")
+	// ErrReadOnly means a write on an O_RDONLY descriptor.
+	ErrReadOnly = errors.New("unixemu: read-only file descriptor")
+	// ErrIsDir means the path names a directory.
+	ErrIsDir = errors.New("unixemu: is a directory")
+)
+
+// Options configures an FS.
+type Options struct {
+	// Files is the Bullet client; required.
+	Files *client.Client
+	// FilePort is the Bullet server storing file contents.
+	FilePort capability.Port
+	// Dirs is the directory client; required.
+	Dirs *directory.Client
+	// Root is the directory under which all paths resolve.
+	Root capability.Capability
+	// PFactor is the paranoia factor for file creation (default 1).
+	PFactor int
+	// KeepVersions leaves superseded Bullet files alive so the directory
+	// history can still read them. Off by default: close() deletes the
+	// previous version's file, keeping only the current bytes.
+	KeepVersions bool
+}
+
+// FS is a POSIX-flavoured view of a Bullet + directory service pair.
+type FS struct {
+	files    *client.Client
+	filePort capability.Port
+	dirs     *directory.Client
+	root     capability.Capability
+	pfactor  int
+	keepOld  bool
+}
+
+// New builds an FS.
+func New(opts Options) (*FS, error) {
+	if opts.Files == nil || opts.Dirs == nil {
+		return nil, errors.New("unixemu: Files and Dirs clients are required")
+	}
+	if (opts.Root == capability.Capability{}) {
+		return nil, errors.New("unixemu: a root directory capability is required")
+	}
+	if opts.PFactor == 0 {
+		opts.PFactor = 1
+	}
+	return &FS{
+		files:    opts.Files,
+		filePort: opts.FilePort,
+		dirs:     opts.Dirs,
+		root:     opts.Root,
+		pfactor:  opts.PFactor,
+		keepOld:  opts.KeepVersions,
+	}, nil
+}
+
+// splitPath yields the parent directory capability and the final name.
+func (fs *FS) splitPath(p string, mkdirs bool) (capability.Capability, string, error) {
+	p = path.Clean("/" + p)
+	if p == "/" {
+		return capability.Capability{}, "", fmt.Errorf("path %q: %w", p, ErrIsDir)
+	}
+	dirPart, name := path.Split(p)
+	dirPart = strings.Trim(dirPart, "/")
+	var parent capability.Capability
+	var err error
+	if mkdirs {
+		parent, err = fs.dirs.MkdirPath(fs.root, dirPart)
+	} else {
+		parent, err = fs.dirs.LookupPath(fs.root, dirPart)
+	}
+	if err != nil {
+		if errors.Is(err, directory.ErrNotFound) {
+			return capability.Capability{}, "", fmt.Errorf("%q: %w", p, ErrNotExist)
+		}
+		return capability.Capability{}, "", err
+	}
+	return parent, name, nil
+}
+
+// File is an open file: the whole contents buffered in memory, plus a
+// cursor — the Amoeba-style emulation of UNIX descriptors.
+type File struct {
+	fs     *FS
+	parent capability.Capability
+	name   string
+	flags  int
+
+	buf    []byte
+	pos    int64
+	dirty  bool
+	exists bool                  // name already bound in parent
+	old    capability.Capability // existing version (zero if fresh)
+	closed bool
+}
+
+// Open opens path with the given flags.
+func (fs *FS) Open(p string, flags int) (*File, error) {
+	parent, name, err := fs.splitPath(p, flags&OCreate != 0)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{fs: fs, parent: parent, name: name, flags: flags}
+	cur, err := fs.dirs.Lookup(parent, name)
+	switch {
+	case err == nil:
+		f.exists = true
+		f.old = cur
+		if flags&OTrunc == 0 {
+			data, err := fs.files.Read(cur)
+			if err != nil {
+				return nil, fmt.Errorf("unixemu: reading %q: %w", p, err)
+			}
+			f.buf = data
+		} else {
+			// Truncation is itself a mutation: close must publish the
+			// empty (or rewritten) contents even without further writes.
+			f.dirty = true
+		}
+	case errors.Is(err, directory.ErrNotFound):
+		if flags&OCreate == 0 {
+			return nil, fmt.Errorf("%q: %w", p, ErrNotExist)
+		}
+		// creat() semantics: the (empty) file must exist after close even
+		// if nothing is written.
+		f.dirty = true
+	default:
+		return nil, err
+	}
+	if flags&OAppend != 0 {
+		f.pos = int64(len(f.buf))
+	}
+	return f, nil
+}
+
+// Create opens path for writing, truncating or creating it.
+func (fs *FS) Create(p string) (*File, error) {
+	return fs.Open(p, OWronly|OCreate|OTrunc)
+}
+
+func (f *File) writable() bool { return f.flags&(OWronly|ORdwr) != 0 }
+
+// Read implements io.Reader against the in-memory image.
+func (f *File) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if f.flags&OWronly != 0 {
+		return 0, ErrReadOnly // write-only descriptor cannot read
+	}
+	if f.pos >= int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+// Write implements io.Writer against the in-memory image.
+func (f *File) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if !f.writable() {
+		return 0, ErrReadOnly
+	}
+	end := f.pos + int64(len(p))
+	if end > int64(len(f.buf)) {
+		grown := make([]byte, end)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	copy(f.buf[f.pos:], p)
+	f.pos = end
+	f.dirty = true
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(len(f.buf))
+	default:
+		return 0, fmt.Errorf("unixemu: bad whence %d", whence)
+	}
+	if base+offset < 0 {
+		return 0, fmt.Errorf("unixemu: negative seek position")
+	}
+	f.pos = base + offset
+	return f.pos, nil
+}
+
+// Truncate resizes the in-memory image.
+func (f *File) Truncate(size int64) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if !f.writable() {
+		return ErrReadOnly
+	}
+	switch {
+	case size < int64(len(f.buf)):
+		f.buf = f.buf[:size]
+	case size > int64(len(f.buf)):
+		grown := make([]byte, size)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	f.dirty = true
+	return nil
+}
+
+// Size returns the current (possibly unflushed) length.
+func (f *File) Size() int64 { return int64(len(f.buf)) }
+
+// Sync publishes the current contents as a new immutable version without
+// closing the descriptor.
+func (f *File) Sync() error {
+	if f.closed {
+		return ErrClosed
+	}
+	if !f.dirty {
+		return nil
+	}
+	return f.publish()
+}
+
+func (f *File) publish() error {
+	newCap, err := f.fs.files.Create(f.fs.filePort, f.buf, f.fs.pfactor)
+	if err != nil {
+		return fmt.Errorf("unixemu: creating new version of %q: %w", f.name, err)
+	}
+	if f.exists {
+		err = f.fs.dirs.Replace(f.parent, f.name, newCap)
+	} else {
+		err = f.fs.dirs.Enter(f.parent, f.name, newCap)
+		f.exists = true
+	}
+	if err != nil {
+		_ = f.fs.files.Delete(newCap) // roll back the orphan
+		return fmt.Errorf("unixemu: binding %q: %w", f.name, err)
+	}
+	if (f.old != capability.Capability{}) && !f.fs.keepOld {
+		_ = f.fs.files.Delete(f.old) // superseded version
+	}
+	f.old = newCap
+	f.dirty = false
+	return nil
+}
+
+// Close flushes (if written) and invalidates the descriptor. This is where
+// UNIX write() semantics meet immutability: the new version becomes
+// visible atomically on close.
+func (f *File) Close() error {
+	if f.closed {
+		return ErrClosed
+	}
+	defer func() { f.closed = true }()
+	if f.dirty {
+		return f.publish()
+	}
+	return nil
+}
+
+// ReadFile slurps a path.
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	f, err := fs.Open(p, ORdonly)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only close cannot fail meaningfully
+	return f.buf, nil
+}
+
+// WriteFile writes data to path, creating or replacing it.
+func (fs *FS) WriteFile(p string, data []byte) error {
+	f, err := fs.Create(p)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return err
+	}
+	return f.Close()
+}
+
+// Remove unlinks a file (its current version is deleted from the Bullet
+// store unless KeepVersions is set).
+func (fs *FS) Remove(p string) error {
+	parent, name, err := fs.splitPath(p, false)
+	if err != nil {
+		return err
+	}
+	cur, err := fs.dirs.Lookup(parent, name)
+	if err != nil {
+		if errors.Is(err, directory.ErrNotFound) {
+			return fmt.Errorf("%q: %w", p, ErrNotExist)
+		}
+		return err
+	}
+	if err := fs.dirs.Remove(parent, name); err != nil {
+		return err
+	}
+	if !fs.keepOld && cur.Port == fs.filePort {
+		_ = fs.files.Delete(cur)
+	}
+	return nil
+}
+
+// Mkdir creates a directory path (like mkdir -p).
+func (fs *FS) Mkdir(p string) error {
+	_, err := fs.dirs.MkdirPath(fs.root, p)
+	return err
+}
+
+// Stat returns the size of the file at path.
+func (fs *FS) Stat(p string) (int64, error) {
+	parent, name, err := fs.splitPath(p, false)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := fs.dirs.Lookup(parent, name)
+	if err != nil {
+		if errors.Is(err, directory.ErrNotFound) {
+			return 0, fmt.Errorf("%q: %w", p, ErrNotExist)
+		}
+		return 0, err
+	}
+	return fs.files.Size(cur)
+}
+
+// ReadDir lists the names bound in the directory at path.
+func (fs *FS) ReadDir(p string) ([]string, error) {
+	dir, err := fs.dirs.LookupPath(fs.root, p)
+	if err != nil {
+		if errors.Is(err, directory.ErrNotFound) {
+			return nil, fmt.Errorf("%q: %w", p, ErrNotExist)
+		}
+		return nil, err
+	}
+	rows, err := fs.dirs.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(rows))
+	for i, r := range rows {
+		names[i] = r.Name
+	}
+	return names, nil
+}
+
+// Rename moves a binding between directories (lookup + enter + remove; the
+// file itself never moves — names are cheap, bytes are immutable).
+func (fs *FS) Rename(oldPath, newPath string) error {
+	oldParent, oldName, err := fs.splitPath(oldPath, false)
+	if err != nil {
+		return err
+	}
+	cur, err := fs.dirs.Lookup(oldParent, oldName)
+	if err != nil {
+		if errors.Is(err, directory.ErrNotFound) {
+			return fmt.Errorf("%q: %w", oldPath, ErrNotExist)
+		}
+		return err
+	}
+	newParent, newName, err := fs.splitPath(newPath, true)
+	if err != nil {
+		return err
+	}
+	if newParent == oldParent && newName == oldName {
+		return nil // renaming onto itself: POSIX says success, change nothing
+	}
+	if err := fs.dirs.Enter(newParent, newName, cur); err != nil {
+		if errors.Is(err, directory.ErrExists) {
+			if err := fs.dirs.Replace(newParent, newName, cur); err != nil {
+				return err
+			}
+		} else {
+			return err
+		}
+	}
+	return fs.dirs.Remove(oldParent, oldName)
+}
+
+// Versions returns the capability history of the file at path (oldest
+// first) — the version mechanism surfaced.
+func (fs *FS) Versions(p string) ([]capability.Capability, error) {
+	parent, name, err := fs.splitPath(p, false)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := fs.dirs.History(parent, name)
+	if errors.Is(err, directory.ErrNotFound) {
+		return nil, fmt.Errorf("%q: %w", p, ErrNotExist)
+	}
+	return hist, err
+}

@@ -1,0 +1,264 @@
+package unixemu
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"bulletfs/internal/client"
+	"bulletfs/internal/directory"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New with no clients succeeded")
+	}
+	if _, err := New(Options{Files: &client.Client{}}); err == nil {
+		t.Fatal("New with no dirs succeeded")
+	}
+	if _, err := New(Options{Files: &client.Client{}, Dirs: &directory.Client{}}); err == nil {
+		t.Fatal("New with no root succeeded")
+	}
+}
+
+func TestTruncateGrowAndShrink(t *testing.T) {
+	fs, _ := newFS(t, false)
+	f, err := fs.Create("t.bin")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("abcdef")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Truncate(3); err != nil {
+		t.Fatalf("Truncate(3): %v", err)
+	}
+	if f.Size() != 3 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	if err := f.Truncate(8); err != nil {
+		t.Fatalf("Truncate(8): %v", err)
+	}
+	if err := f.Truncate(8); err != nil { // same size: no-op path
+		t.Fatalf("Truncate(8) again: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := fs.ReadFile("t.bin")
+	if err != nil || !bytes.Equal(got, []byte("abc\x00\x00\x00\x00\x00")) {
+		t.Fatalf("contents = %q, %v", got, err)
+	}
+	if err := f.Truncate(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Truncate after close err = %v", err)
+	}
+}
+
+func TestSeekValidation(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if err := fs.WriteFile("s.txt", []byte("0123456789")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	f, err := fs.Open("s.txt", ORdonly)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := f.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+	if _, err := f.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative position accepted")
+	}
+	pos, err := f.Seek(3, io.SeekCurrent)
+	if err != nil || pos != 3 {
+		t.Fatalf("SeekCurrent = %d, %v", pos, err)
+	}
+	// Seeking past EOF is legal; reads there hit EOF.
+	pos, err = f.Seek(100, io.SeekStart)
+	if err != nil || pos != 100 {
+		t.Fatalf("Seek past EOF = %d, %v", pos, err)
+	}
+	if _, err := f.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read past EOF err = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Seek after close err = %v", err)
+	}
+}
+
+func TestSyncOnCleanFileIsNoop(t *testing.T) {
+	fs, eng := newFS(t, false)
+	if err := fs.WriteFile("c.txt", []byte("x")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	f, err := fs.Open("c.txt", ORdwr)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	creates := eng.Stats().Creates
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if eng.Stats().Creates != creates {
+		t.Fatal("clean Sync created a version")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close err = %v", err)
+	}
+}
+
+func TestStatErrors(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if _, err := fs.Stat("missing.txt"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Stat(missing) err = %v", err)
+	}
+	if _, err := fs.Stat("no/such/dir/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Stat(missing dir) err = %v", err)
+	}
+	if err := fs.WriteFile("ok.txt", []byte("abc")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	n, err := fs.Stat("ok.txt")
+	if err != nil || n != 3 {
+		t.Fatalf("Stat = %d, %v", n, err)
+	}
+}
+
+func TestReadDirErrors(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if _, err := fs.ReadDir("nowhere"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("ReadDir(missing) err = %v", err)
+	}
+	names, err := fs.ReadDir("") // root
+	if err != nil || len(names) != 0 {
+		t.Fatalf("ReadDir(root) = %v, %v", names, err)
+	}
+}
+
+func TestRenameOverwritesAndVersions(t *testing.T) {
+	fs, _ := newFS(t, true)
+	if err := fs.WriteFile("a.txt", []byte("from a")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := fs.WriteFile("b.txt", []byte("old b")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// Rename onto an existing name replaces the binding (the old b stays
+	// in the version history).
+	if err := fs.Rename("a.txt", "b.txt"); err != nil {
+		t.Fatalf("Rename onto existing: %v", err)
+	}
+	got, err := fs.ReadFile("b.txt")
+	if err != nil || string(got) != "from a" {
+		t.Fatalf("b.txt = %q, %v", got, err)
+	}
+	vers, err := fs.Versions("b.txt")
+	if err != nil || len(vers) != 2 {
+		t.Fatalf("Versions = %d, %v", len(vers), err)
+	}
+}
+
+func TestRenameOntoItselfIsNoop(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if err := fs.WriteFile("same.txt", []byte("still here")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := fs.Rename("same.txt", "same.txt"); err != nil {
+		t.Fatalf("Rename onto itself: %v", err)
+	}
+	if err := fs.Rename("same.txt", "/./same.txt"); err != nil {
+		t.Fatalf("Rename onto itself (messy path): %v", err)
+	}
+	got, err := fs.ReadFile("same.txt")
+	if err != nil || string(got) != "still here" {
+		t.Fatalf("file lost by self-rename: %q, %v", got, err)
+	}
+}
+
+func TestWriteFileErrorOnDirectoryPath(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if err := fs.WriteFile("/", []byte("x")); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("WriteFile(/) err = %v", err)
+	}
+	if err := fs.Remove("/"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("Remove(/) err = %v", err)
+	}
+	if _, err := fs.Versions("/"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("Versions(/) err = %v", err)
+	}
+	if _, err := fs.Versions("nope.txt"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Versions(missing) err = %v", err)
+	}
+}
+
+// Property: a random sequence of write/seek/truncate operations through
+// the emulation matches a plain in-memory model after close/reopen.
+func TestQuickFileModelEquivalence(t *testing.T) {
+	type op struct {
+		Kind uint8 // 0 write, 1 seek, 2 truncate
+		Arg  uint16
+		Fill byte
+	}
+	fs, _ := newFS(t, false)
+	seq := 0
+	f := func(ops []op) bool {
+		seq++
+		name := "model" + string(rune('a'+seq%26)) + ".bin"
+		file, err := fs.Create(name)
+		if err != nil {
+			return false
+		}
+		model := []byte{}
+		pos := int64(0)
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0: // write
+				n := int(o.Arg)%200 + 1
+				data := bytes.Repeat([]byte{o.Fill}, n)
+				if _, err := file.Write(data); err != nil {
+					return false
+				}
+				if end := pos + int64(n); end > int64(len(model)) {
+					model = append(model, make([]byte, end-int64(len(model)))...)
+				}
+				copy(model[pos:], data)
+				pos += int64(n)
+			case 1: // seek absolute within a window
+				pos = int64(o.Arg) % 2048
+				if _, err := file.Seek(pos, io.SeekStart); err != nil {
+					return false
+				}
+			case 2: // truncate
+				size := int64(o.Arg) % 2048
+				if err := file.Truncate(size); err != nil {
+					return false
+				}
+				switch {
+				case size < int64(len(model)):
+					model = model[:size]
+				case size > int64(len(model)):
+					model = append(model, make([]byte, size-int64(len(model)))...)
+				}
+			}
+		}
+		if err := file.Close(); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(name)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,396 @@
+package unixemu
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/client"
+	"bulletfs/internal/directory"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+// newFS spins up a Bullet engine + directory server + UNIX emulation, all
+// over the in-process transport.
+func newFS(t *testing.T, keepVersions bool) (*FS, *bullet.Server) {
+	t.Helper()
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 8192)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		devs[i] = mem
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	if err := bullet.Format(set, 500); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	eng, err := bullet.New(set, bullet.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("bullet.New: %v", err)
+	}
+	t.Cleanup(eng.Sync)
+	mux := rpc.NewMux(0)
+	bulletsvc.New(eng).Register(mux)
+	tr := rpc.NewLocal(mux)
+	cl := client.New(tr)
+
+	dsrv, err := directory.New(directory.Options{Store: cl, StorePort: eng.Port(), PFactor: 2})
+	if err != nil {
+		t.Fatalf("directory.New: %v", err)
+	}
+	dsrv.Register(mux)
+	dc := directory.NewClient(tr)
+	root, err := dc.Root(dsrv.Port())
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	fs, err := New(Options{
+		Files: cl, FilePort: eng.Port(),
+		Dirs: dc, Root: root,
+		PFactor: 2, KeepVersions: keepVersions,
+	})
+	if err != nil {
+		t.Fatalf("unixemu.New: %v", err)
+	}
+	return fs, eng
+}
+
+func TestWriteReadFile(t *testing.T) {
+	fs, _ := newFS(t, false)
+	data := []byte("hello unix emulation")
+	if err := fs.WriteFile("greeting.txt", data); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := fs.ReadFile("greeting.txt")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	size, err := fs.Stat("greeting.txt")
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("Stat = %d, %v", size, err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if _, err := fs.Open("nope.txt", ORdonly); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Open(missing) err = %v", err)
+	}
+	if _, err := fs.ReadFile("deep/missing.txt"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("ReadFile(missing dir) err = %v", err)
+	}
+}
+
+func TestReadWriteSeek(t *testing.T) {
+	fs, _ := newFS(t, false)
+	f, err := fs.Create("notes.txt")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := f.Seek(2, io.SeekStart); err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	if _, err := f.Write([]byte("AB")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	g, err := fs.Open("notes.txt", ORdwr)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := g.Seek(-4, io.SeekEnd); err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	n, err := g.Read(buf)
+	if err != nil || n != 4 {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if string(buf) != "6789" {
+		t.Fatalf("tail = %q", buf)
+	}
+	if _, err := g.Read(buf); err != io.EOF {
+		t.Fatalf("read at EOF err = %v, want EOF", err)
+	}
+	all, err := fs.ReadFile("notes.txt")
+	if err != nil || string(all) != "01AB456789" {
+		t.Fatalf("contents = %q, %v", all, err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := g.Read(buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close err = %v", err)
+	}
+}
+
+func TestFlagsEnforced(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if err := fs.WriteFile("ro.txt", []byte("x")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	r, err := fs.Open("ro.txt", ORdonly)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := r.Write([]byte("y")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write to O_RDONLY err = %v", err)
+	}
+	if err := r.Truncate(0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("truncate O_RDONLY err = %v", err)
+	}
+	w, err := fs.Open("ro.txt", OWronly)
+	if err != nil {
+		t.Fatalf("Open(WRONLY): %v", err)
+	}
+	if _, err := w.Read(make([]byte, 1)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read from O_WRONLY err = %v", err)
+	}
+}
+
+func TestAppendFlag(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if err := fs.WriteFile("log.txt", []byte("one\n")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	f, err := fs.Open("log.txt", OWronly|OAppend)
+	if err != nil {
+		t.Fatalf("Open(APPEND): %v", err)
+	}
+	if _, err := f.Write([]byte("two\n")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := fs.ReadFile("log.txt")
+	if err != nil || string(got) != "one\ntwo\n" {
+		t.Fatalf("contents = %q, %v", got, err)
+	}
+}
+
+func TestTruncFlag(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if err := fs.WriteFile("t.txt", []byte("long old contents")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	f, err := fs.Open("t.txt", OWronly|OTrunc)
+	if err != nil {
+		t.Fatalf("Open(TRUNC): %v", err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("size after O_TRUNC = %d", f.Size())
+	}
+	if _, err := f.Write([]byte("new")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := fs.ReadFile("t.txt")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("contents = %q, %v", got, err)
+	}
+}
+
+func TestNestedPathsAndReadDir(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if err := fs.WriteFile("a/b/c/file.txt", []byte("deep")); err != nil {
+		t.Fatalf("WriteFile(deep): %v", err)
+	}
+	got, err := fs.ReadFile("a/b/c/file.txt")
+	if err != nil || string(got) != "deep" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	names, err := fs.ReadDir("a/b")
+	if err != nil || len(names) != 1 || names[0] != "c" {
+		t.Fatalf("ReadDir(a/b) = %v, %v", names, err)
+	}
+	if err := fs.Mkdir("a/b/other"); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	names, err = fs.ReadDir("a/b")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs, eng := newFS(t, false)
+	if err := fs.WriteFile("gone.txt", []byte("bye")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	filesBefore := eng.Live()
+	if err := fs.Remove("gone.txt"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := fs.ReadFile("gone.txt"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("ReadFile after remove err = %v", err)
+	}
+	if err := fs.Remove("gone.txt"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double Remove err = %v", err)
+	}
+	// The Bullet file was reclaimed.
+	if eng.Live() != filesBefore-1 {
+		t.Fatalf("Live = %d, want %d", eng.Live(), filesBefore-1)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if err := fs.WriteFile("old/name.txt", []byte("payload")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := fs.Rename("old/name.txt", "new/place.txt"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := fs.ReadFile("old/name.txt"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("old path still readable: %v", err)
+	}
+	got, err := fs.ReadFile("new/place.txt")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("new path = %q, %v", got, err)
+	}
+	if err := fs.Rename("missing", "anywhere"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Rename(missing) err = %v", err)
+	}
+}
+
+func TestVersionsSurface(t *testing.T) {
+	fs, _ := newFS(t, true) // keep versions
+	for i, text := range []string{"v1", "v2", "v3"} {
+		if err := fs.WriteFile("doc.txt", []byte(text)); err != nil {
+			t.Fatalf("WriteFile %d: %v", i, err)
+		}
+	}
+	vers, err := fs.Versions("doc.txt")
+	if err != nil {
+		t.Fatalf("Versions: %v", err)
+	}
+	if len(vers) != 3 {
+		t.Fatalf("versions = %d, want 3", len(vers))
+	}
+	// Every retained version is still readable (KeepVersions).
+	fsClient := fs.files
+	for i, v := range vers {
+		got, err := fsClient.Read(v)
+		if err != nil {
+			t.Fatalf("reading version %d: %v", i, err)
+		}
+		want := []string{"v1", "v2", "v3"}[i]
+		if string(got) != want {
+			t.Fatalf("version %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestOldVersionsDeletedByDefault(t *testing.T) {
+	fs, eng := newFS(t, false)
+	for _, text := range []string{"v1", "v2", "v3"} {
+		if err := fs.WriteFile("doc.txt", []byte(text)); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	// One live content file + 1 directory checkpoint.
+	if live := eng.Live(); live != 2 {
+		t.Fatalf("Live = %d, want 2 (current version + dir checkpoint)", live)
+	}
+}
+
+func TestSyncPublishesWithoutClose(t *testing.T) {
+	fs, _ := newFS(t, false)
+	f, err := fs.Create("sync.txt")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("visible")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	got, err := fs.ReadFile("sync.txt")
+	if err != nil || string(got) != "visible" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	// Keep writing after sync; close publishes the final state.
+	if _, err := f.Write([]byte(" more")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err = fs.ReadFile("sync.txt")
+	if err != nil || string(got) != "visible more" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+}
+
+func TestCloseWithoutWriteCreatesNothing(t *testing.T) {
+	fs, eng := newFS(t, false)
+	if err := fs.WriteFile("ro.txt", []byte("x")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	before := eng.Stats().Creates
+	f, err := fs.Open("ro.txt", ORdonly)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close err = %v", err)
+	}
+	if eng.Stats().Creates != before {
+		t.Fatal("read-only open/close created a file version")
+	}
+}
+
+func TestConcurrentOpenersSeeConsistentVersions(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if err := fs.WriteFile("shared.txt", []byte("original")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	reader, err := fs.Open("shared.txt", ORdonly)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// A writer replaces the file while the reader holds it open.
+	if err := fs.WriteFile("shared.txt", []byte("replaced")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// The reader still sees the snapshot it opened — immutability gives
+	// perfect open-file semantics for free.
+	buf := make([]byte, 32)
+	n, _ := reader.Read(buf)
+	if string(buf[:n]) != "original" {
+		t.Fatalf("reader sees %q, want the opened snapshot", buf[:n])
+	}
+	got, err := fs.ReadFile("shared.txt")
+	if err != nil || string(got) != "replaced" {
+		t.Fatalf("new opens = %q, %v", got, err)
+	}
+}
+
+func TestRootPathRejected(t *testing.T) {
+	fs, _ := newFS(t, false)
+	if _, err := fs.Open("/", ORdonly); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("Open(/) err = %v", err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package workload generates synthetic file-system traces matching the
+// statistics the paper builds its case on:
+//
+//   - "the median file size in a UNIX system is 1 Kbyte and 99% of all
+//     files are less than 64 Kbytes" (§1, citing Mullender & Tanenbaum,
+//     "Immediate Files");
+//   - "most files (about 75%) are accessed in entirety" (§2, citing the
+//     BSD trace study of Ousterhout et al.).
+//
+// Sizes follow a log-normal distribution fitted to the two quantiles
+// (median 1 KB, p99 64 KB); operations mix whole-file reads, partial
+// reads, creates and deletes with a read-heavy ratio typical of the
+// traces. Everything is seeded and deterministic.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Op is one trace operation kind.
+type Op int
+
+// Operation kinds.
+const (
+	OpWholeRead Op = iota + 1 // read the entire file
+	OpPartRead                // read a fraction of the file
+	OpCreate                  // write a new file
+	OpDelete                  // remove a file
+)
+
+// Event is one operation of a trace.
+type Event struct {
+	Op   Op
+	File int   // index into the trace's file population
+	Size int   // file size in bytes (for OpCreate: the new file's size)
+	N    int64 // for OpPartRead: bytes to read
+}
+
+// Config tunes the generator. Zero values take the paper's numbers.
+type Config struct {
+	// MedianBytes is the size distribution's median (default 1024, §1).
+	MedianBytes float64
+	// P99Bytes is the 99th percentile (default 65536, §1).
+	P99Bytes float64
+	// MaxBytes clips the tail (default 1 MB — the Bullet model wants
+	// files comfortably inside server memory).
+	MaxBytes int
+	// WholeReadFrac is the fraction of reads touching the whole file
+	// (default 0.75, §2).
+	WholeReadFrac float64
+	// ReadFrac is the fraction of operations that are reads at all
+	// (default 0.8; the BSD traces were strongly read-dominated).
+	ReadFrac float64
+	// Files is the working-set population (default 200).
+	Files int
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.MedianBytes == 0 {
+		c.MedianBytes = 1024
+	}
+	if c.P99Bytes == 0 {
+		c.P99Bytes = 64 * 1024
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 1 << 20
+	}
+	if c.WholeReadFrac == 0 {
+		c.WholeReadFrac = 0.75
+	}
+	if c.ReadFrac == 0 {
+		c.ReadFrac = 0.8
+	}
+	if c.Files == 0 {
+		c.Files = 200
+	}
+}
+
+// Generator produces file sizes and traces.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	mu  float64 // log-normal parameters
+	sig float64
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	cfg.fill()
+	// Fit a log-normal: median = e^mu; p99 = e^(mu + 2.3263*sigma).
+	mu := math.Log(cfg.MedianBytes)
+	sigma := (math.Log(cfg.P99Bytes) - mu) / 2.3263
+	return &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		mu:  mu,
+		sig: sigma,
+	}
+}
+
+// FileSize draws one file size from the fitted distribution.
+func (g *Generator) FileSize() int {
+	v := math.Exp(g.mu + g.sig*g.rng.NormFloat64())
+	size := int(v)
+	if size < 1 {
+		size = 1
+	}
+	if size > g.cfg.MaxBytes {
+		size = g.cfg.MaxBytes
+	}
+	return size
+}
+
+// Population draws the initial file population's sizes.
+func (g *Generator) Population() []int {
+	sizes := make([]int, g.cfg.Files)
+	for i := range sizes {
+		sizes[i] = g.FileSize()
+	}
+	return sizes
+}
+
+// Trace produces n operations against a population of the configured
+// size. File indexes are Zipf-ish (recent/popular files dominate, as in
+// the BSD traces): index = floor(U^2 * files).
+func (g *Generator) Trace(n int) []Event {
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		u := g.rng.Float64()
+		pick := int(u * u * float64(g.cfg.Files))
+		if pick >= g.cfg.Files {
+			pick = g.cfg.Files - 1
+		}
+		switch {
+		case g.rng.Float64() < g.cfg.ReadFrac:
+			if g.rng.Float64() < g.cfg.WholeReadFrac {
+				events = append(events, Event{Op: OpWholeRead, File: pick})
+			} else {
+				events = append(events, Event{Op: OpPartRead, File: pick, N: 1 + int64(g.rng.Intn(4096))})
+			}
+		case g.rng.Float64() < 0.7:
+			events = append(events, Event{Op: OpCreate, File: pick, Size: g.FileSize()})
+		default:
+			events = append(events, Event{Op: OpDelete, File: pick})
+		}
+	}
+	return events
+}
+
+// Stats summarizes a size population for checking the fit.
+type Stats struct {
+	Median  int
+	P99     int
+	Max     int
+	MeanKB  float64
+	Under64 float64 // fraction below 64 KB
+}
+
+// Summarize computes population statistics.
+func Summarize(sizes []int) Stats {
+	if len(sizes) == 0 {
+		return Stats{}
+	}
+	sorted := make([]int, len(sizes))
+	copy(sorted, sizes)
+	// insertion sort is fine for experiment-sized populations
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var sum float64
+	under := 0
+	for _, s := range sorted {
+		sum += float64(s)
+		if s < 64*1024 {
+			under++
+		}
+	}
+	return Stats{
+		Median:  sorted[len(sorted)/2],
+		P99:     sorted[len(sorted)*99/100],
+		Max:     sorted[len(sorted)-1],
+		MeanKB:  sum / float64(len(sorted)) / 1024,
+		Under64: float64(under) / float64(len(sorted)),
+	}
+}

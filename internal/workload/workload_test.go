@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSizeDistributionMatchesPaperQuantiles(t *testing.T) {
+	g := New(Config{Seed: 42})
+	sizes := make([]int, 20000)
+	for i := range sizes {
+		sizes[i] = g.FileSize()
+	}
+	st := Summarize(sizes)
+	// §1: median ~1 KB. Allow a 2x band (sampling + clipping).
+	if st.Median < 512 || st.Median > 2048 {
+		t.Fatalf("median = %d, want ~1024", st.Median)
+	}
+	// §1: 99%% of files below 64 KB. Allow 97%%+.
+	if st.Under64 < 0.97 {
+		t.Fatalf("under-64KB fraction = %.3f, want >= 0.97", st.Under64)
+	}
+	if st.Max > 1<<20 {
+		t.Fatalf("max = %d, want clipped at 1 MB", st.Max)
+	}
+	if st.MeanKB <= 0 {
+		t.Fatalf("mean = %f", st.MeanKB)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	a := New(Config{Seed: 7}).Trace(500)
+	b := New(Config{Seed: 7}).Trace(500)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := New(Config{Seed: 8}).Trace(500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTraceOperationMix(t *testing.T) {
+	g := New(Config{Seed: 1})
+	events := g.Trace(10000)
+	counts := map[Op]int{}
+	for _, e := range events {
+		counts[e.Op]++
+		if e.File < 0 || e.File >= 200 {
+			t.Fatalf("file index %d out of population", e.File)
+		}
+		if e.Op == OpPartRead && (e.N < 1 || e.N > 4096) {
+			t.Fatalf("partial read of %d bytes", e.N)
+		}
+		if e.Op == OpCreate && e.Size < 1 {
+			t.Fatalf("create of %d bytes", e.Size)
+		}
+	}
+	reads := counts[OpWholeRead] + counts[OpPartRead]
+	frac := float64(reads) / float64(len(events))
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("read fraction = %.2f, want ~0.8", frac)
+	}
+	whole := float64(counts[OpWholeRead]) / float64(reads)
+	if whole < 0.70 || whole > 0.80 {
+		t.Fatalf("whole-read fraction = %.2f, want ~0.75 (§2)", whole)
+	}
+	if counts[OpCreate] == 0 || counts[OpDelete] == 0 {
+		t.Fatal("trace missing creates or deletes")
+	}
+}
+
+func TestPopulationSize(t *testing.T) {
+	g := New(Config{Files: 50, Seed: 3})
+	pop := g.Population()
+	if len(pop) != 50 {
+		t.Fatalf("population = %d, want 50", len(pop))
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if st := Summarize(nil); st != (Stats{}) {
+		t.Fatalf("Summarize(nil) = %+v", st)
+	}
+}
+
+func TestCustomQuantiles(t *testing.T) {
+	g := New(Config{MedianBytes: 4096, P99Bytes: 256 * 1024, Seed: 5})
+	sizes := make([]int, 20000)
+	for i := range sizes {
+		sizes[i] = g.FileSize()
+	}
+	st := Summarize(sizes)
+	if st.Median < 2048 || st.Median > 8192 {
+		t.Fatalf("median = %d, want ~4096", st.Median)
+	}
+}
