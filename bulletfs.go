@@ -23,7 +23,7 @@
 package bulletfs
 
 import (
-	"fmt"
+	"errors"
 	"time"
 
 	"bulletfs/internal/bullet"
@@ -281,10 +281,13 @@ func (s *Stack) CollectGarbage() (int, error) {
 	return s.Store.Engine().SweepExcept(keep)
 }
 
+// ErrNotInitialized means a Stack method was called before Open succeeded.
+var ErrNotInitialized = errors.New("bulletfs: stack not initialized")
+
 // Close shuts the stack down.
 func (s *Stack) Close() error {
 	if s.Store == nil {
-		return fmt.Errorf("bulletfs: stack not initialized")
+		return ErrNotInitialized
 	}
 	return s.Store.Close()
 }

@@ -1,0 +1,131 @@
+// Command bulletlint runs the Bullet static-analysis suite over the
+// module: constant-time capability comparisons (ctcmp), mutex annotations
+// (lockguard), panic-free RPC paths (panicfree), error wrapping at package
+// boundaries (errwrap), and stoppable goroutines (goroutinestop).
+//
+// Usage:
+//
+//	go run ./cmd/bulletlint ./...
+//	go run ./cmd/bulletlint -json ./internal/cache
+//	go run ./cmd/bulletlint -disable errwrap,goroutinestop ./...
+//
+// Exit status: 0 when clean, 1 when any diagnostic is reported, 2 on a
+// loading or usage error. See docs/STATIC_ANALYSIS.md for the pass
+// catalogue and the annotation grammar.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bulletfs/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("bulletlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	disable := fs.String("disable", "", "comma-separated passes to skip")
+	list := fs.Bool("list", false, "list the available passes and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bulletlint [-json] [-disable pass,...] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var disabled []string
+	if *disable != "" {
+		disabled = strings.Split(*disable, ",")
+	}
+	passes, err := analysis.Select(disabled)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	patterns, err := rebase(fs.Args(), cwd, root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	prog, err := analysis.LoadModule(root, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags := analysis.Run(prog, analysis.DefaultConfig(), passes)
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "bulletlint: %d diagnostic(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// rebase converts patterns given relative to cwd into patterns relative to
+// the module root, which is what LoadModule expects.
+func rebase(patterns []string, cwd, root string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	rel, err := filepath.Rel(root, cwd)
+	if err != nil {
+		return nil, fmt.Errorf("bulletlint: cwd outside module: %w", err)
+	}
+	if rel == "." {
+		return patterns, nil
+	}
+	out := make([]string, len(patterns))
+	for i, p := range patterns {
+		out[i] = "./" + filepath.ToSlash(filepath.Join(rel, strings.TrimPrefix(p, "./")))
+	}
+	return out, nil
+}

@@ -37,20 +37,23 @@ var (
 	ErrBadFree = errors.New("alloc: freeing unallocated or overlapping space")
 	// ErrBadExtent means an extent is malformed or out of range.
 	ErrBadExtent = errors.New("alloc: extent out of range")
+	// ErrBadArena means an allocator was configured with an unusable
+	// arena size.
+	ErrBadArena = errors.New("alloc: bad arena size")
 )
 
 // Allocator hands out contiguous extents from a fixed-size arena using
 // first fit. The zero value is not usable; call New or NewFromUsed.
 type Allocator struct {
 	mu    sync.Mutex
-	total int64
-	free  []Extent // sorted by Start, non-adjacent, non-overlapping
+	total int64    // immutable after construction
+	free  []Extent // guarded by mu; sorted by Start, non-adjacent, non-overlapping
 }
 
 // New returns an allocator over an arena of total units, all free.
 func New(total int64) (*Allocator, error) {
 	if total <= 0 {
-		return nil, fmt.Errorf("alloc: non-positive arena size %d", total)
+		return nil, fmt.Errorf("non-positive arena size %d: %w", total, ErrBadArena)
 	}
 	return &Allocator{total: total, free: []Extent{{Start: 0, Count: total}}}, nil
 }
@@ -61,7 +64,7 @@ func New(total int64) (*Allocator, error) {
 // order but must be in range and mutually disjoint.
 func NewFromUsed(total int64, used []Extent) (*Allocator, error) {
 	if total <= 0 {
-		return nil, fmt.Errorf("alloc: non-positive arena size %d", total)
+		return nil, fmt.Errorf("non-positive arena size %d: %w", total, ErrBadArena)
 	}
 	sorted := make([]Extent, len(used))
 	copy(sorted, used)
@@ -93,7 +96,7 @@ func (a *Allocator) Total() int64 { return a.total }
 // paper §3) and returns its start.
 func (a *Allocator) Alloc(n int64) (int64, error) {
 	if n <= 0 {
-		return 0, fmt.Errorf("alloc: non-positive allocation %d", n)
+		return 0, fmt.Errorf("non-positive allocation %d: %w", n, ErrBadExtent)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()

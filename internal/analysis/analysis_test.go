@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"errors"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden tests load one testdata package per pass and compare the
+// diagnostics against `// want `regex`` comments placed on the expected
+// lines, in the spirit of analysistest: every want must be matched by a
+// diagnostic on its line, and every diagnostic must be claimed by a want.
+
+var wantRe = regexp.MustCompile("want `([^`]+)`")
+
+type wantEntry struct {
+	file string // base name
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, dir string) []*wantEntry {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var wants []*wantEntry
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				rx, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regex %q: %v", e.Name(), m[1], err)
+				}
+				wants = append(wants, &wantEntry{
+					file: e.Name(),
+					line: fset.Position(c.Pos()).Line,
+					rx:   rx,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func runTestdata(t *testing.T, pkg string, passes []*Analyzer, cfg Config) []Diagnostic {
+	t.Helper()
+	root := moduleRoot(t)
+	prog, err := LoadDirs(root, []string{"internal/analysis/testdata/src/" + pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(prog, cfg, passes)
+}
+
+// checkGolden matches diagnostics against want comments one-to-one.
+func checkGolden(t *testing.T, diags []Diagnostic, wants []*wantEntry) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(d.File) && w.line == d.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func TestGoldenPasses(t *testing.T) {
+	tests := []struct {
+		pkg  string
+		pass *Analyzer
+		cfg  Config
+	}{
+		{"ctcmp", CTCmp, DefaultConfig()},
+		{"lockguard", LockGuard, DefaultConfig()},
+		{"errwrap", ErrWrap, DefaultConfig()},
+		{"goroutinestop", GoroutineStop, DefaultConfig()},
+		{"panicfree", PanicFree, Config{
+			PanicRoots: []string{"bulletfs/internal/analysis/testdata/src/panicfree"},
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.pkg, func(t *testing.T) {
+			diags := runTestdata(t, tc.pkg, []*Analyzer{tc.pass}, tc.cfg)
+			wants := collectWants(t, filepath.Join(moduleRoot(t), "internal/analysis/testdata/src", tc.pkg))
+			checkGolden(t, diags, wants)
+		})
+	}
+}
+
+// TestSuppressions drives the lint:ignore machinery: a justified annotation
+// (above or trailing) silences its diagnostic; a reason-less or
+// unknown-pass annotation is itself reported and suppresses nothing.
+func TestSuppressions(t *testing.T) {
+	diags := runTestdata(t, "suppress", []*Analyzer{CTCmp}, DefaultConfig())
+
+	var lint, ctcmp []Diagnostic
+	for _, d := range diags {
+		switch d.Pass {
+		case "lint":
+			lint = append(lint, d)
+		case "ctcmp":
+			ctcmp = append(ctcmp, d)
+		default:
+			t.Errorf("unexpected pass %q: %s", d.Pass, d)
+		}
+	}
+	if len(lint) != 2 {
+		t.Fatalf("got %d lint diagnostics, want 2 (malformed + unknown pass): %v", len(lint), lint)
+	}
+	if !strings.Contains(lint[0].Message, "malformed lint:ignore") {
+		t.Errorf("first lint diagnostic should flag the reason-less annotation: %s", lint[0])
+	}
+	if !strings.Contains(lint[1].Message, `unknown pass "timecmp"`) {
+		t.Errorf("second lint diagnostic should flag the unknown pass: %s", lint[1])
+	}
+	// The two well-formed suppressions silence their violations; the two
+	// broken annotations leave theirs standing.
+	if len(ctcmp) != 2 {
+		t.Fatalf("got %d surviving ctcmp diagnostics, want 2: %v", len(ctcmp), ctcmp)
+	}
+	for _, d := range ctcmp {
+		if d.Line < lint[0].Line {
+			t.Errorf("a suppressed violation survived: %s", d)
+		}
+	}
+}
+
+// TestModuleIsClean is the acceptance gate: the whole module, under the
+// shipped configuration, produces zero diagnostics. Reintroducing any
+// violation fails this test (and makes cmd/bulletlint exit non-zero).
+func TestModuleIsClean(t *testing.T) {
+	root := moduleRoot(t)
+	prog, err := LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, DefaultConfig(), All())
+	for _, d := range diags {
+		t.Errorf("module not lint-clean: %s", d)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("Select(nil) returned %d passes, want 5", len(all))
+	}
+
+	some, err := Select([]string{"ctcmp", "errwrap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 3 {
+		t.Fatalf("Select disabled 2 of 5, got %d passes, want 3", len(some))
+	}
+	for _, a := range some {
+		if a.Name == "ctcmp" || a.Name == "errwrap" {
+			t.Errorf("disabled pass %s still selected", a.Name)
+		}
+	}
+
+	if _, err := Select([]string{"bogus"}); !errors.Is(err, ErrUnknownPass) {
+		t.Fatalf("Select(bogus) = %v, want ErrUnknownPass", err)
+	}
+}
+
+func TestLoadModuleBadPattern(t *testing.T) {
+	if _, err := LoadModule(moduleRoot(t), []string{"./no/such/dir"}); !errors.Is(err, ErrBadPattern) {
+		t.Fatalf("LoadModule(no/such/dir) = %v, want ErrBadPattern", err)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Pass: "ctcmp", File: "x.go", Line: 3, Col: 7, Message: "m"}
+	if got, want := d.String(), "x.go:3:7: m (ctcmp)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CTCmp flags comparisons of capability secrets that are not constant
+// time. The check field of a Bullet capability is the only thing standing
+// between a client and rights amplification (paper §2.1); a == comparison
+// short-circuits on the first differing byte, so a forger who can time the
+// server's replies learns how much of a guess was right. Every comparison
+// involving capability.Check or capability.Random must therefore go
+// through crypto/subtle.ConstantTimeCompare.
+var CTCmp = &Analyzer{
+	Name: "ctcmp",
+	Doc:  "forbid ==, !=, and bytes.Equal on capability check fields; require crypto/subtle.ConstantTimeCompare",
+	Run:  runCTCmp,
+}
+
+// isCapabilitySecret reports whether t is (or points to) one of the
+// capability package's secret-bearing named types.
+func isCapabilitySecret(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/capability") {
+		return false
+	}
+	return obj.Name() == "Check" || obj.Name() == "Random"
+}
+
+func runCTCmp(prog *Program, _ Config, report ReportFunc) {
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		typeName := func(e ast.Expr) (string, bool) {
+			t := info.TypeOf(e)
+			if !isCapabilitySecret(t) {
+				return "", false
+			}
+			return types.TypeString(t, types.RelativeTo(pkg.Types)), true
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					name, secret := typeName(n.X)
+					if !secret {
+						name, secret = typeName(n.Y)
+					}
+					if secret {
+						report(n.OpPos, "%s comparison of capability secret %s leaks timing; use crypto/subtle.ConstantTimeCompare", n.Op, name)
+					}
+				case *ast.CallExpr:
+					if !isPkgFunc(info, n.Fun, "bytes", "Equal") {
+						return true
+					}
+					for _, arg := range n.Args {
+						base := arg
+						if sl, ok := arg.(*ast.SliceExpr); ok {
+							base = sl.X
+						}
+						if name, secret := typeName(base); secret {
+							report(n.Pos(), "bytes.Equal on capability secret %s leaks timing; use crypto/subtle.ConstantTimeCompare", name)
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isPkgFunc reports whether fun is a reference to the function pkg.name,
+// resolved through the type information (so aliased imports still match).
+func isPkgFunc(info *types.Info, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap keeps the error chain intact across package boundaries. Callers
+// of an exported function can only react to failures programmatically
+// (retry, fail over to a replica, translate to an RPC status byte) when
+// errors.Is/As can reach a sentinel — which requires every ad-hoc error to
+// either be a package-level sentinel or wrap one with %w. The pass checks
+// every return statement of every exported function and method:
+//
+//   - `return fmt.Errorf("...")` whose format string has no %w verb is a
+//     diagnostic: the constructed error matches nothing.
+//   - `return errors.New(...)` inline is a diagnostic: declare it as a
+//     package-level sentinel (so it has an identity) or wrap one.
+//
+// Returning identifiers (sentinels, err variables) and the results of
+// other calls is always allowed; the pass is syntactic and per return
+// site, not a dataflow analysis. Package main is exempt: main has no
+// importers, so there is no boundary to cross.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "errors returned by exported functions must be sentinels or wrapped with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(prog *Program, _ Config, report ReportFunc) {
+	for _, pkg := range prog.Pkgs {
+		if pkg.Types.Name() == "main" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				sig, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				checkReturns(pkg, fd, sig.Type().(*types.Signature), report)
+			}
+		}
+	}
+}
+
+// checkReturns walks fd's own return statements (not those of nested
+// function literals, which have their own signatures).
+func checkReturns(pkg *Package, fd *ast.FuncDecl, sig *types.Signature, report ReportFunc) {
+	results := sig.Results()
+	errorIdx := make(map[int]bool)
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			errorIdx[i] = true
+		}
+	}
+	if len(errorIdx) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != results.Len() {
+			return true // naked return or `return f()` spread: out of scope
+		}
+		for i, expr := range ret.Results {
+			if !errorIdx[i] {
+				continue
+			}
+			call, ok := expr.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			switch {
+			case isPkgFunc(pkg.Info, call.Fun, "errors", "New"):
+				report(call.Pos(), "%s returns an inline errors.New across the package boundary; declare a package-level sentinel or wrap one with %%w", fd.Name.Name)
+			case isPkgFunc(pkg.Info, call.Fun, "fmt", "Errorf"):
+				if len(call.Args) == 0 {
+					continue
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok {
+					continue // non-literal format: cannot judge
+				}
+				if !strings.Contains(lit.Value, "%w") {
+					report(call.Pos(), "%s returns fmt.Errorf without %%w; callers cannot errors.Is/As this — wrap a sentinel or the cause", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

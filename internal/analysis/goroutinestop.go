@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroutineStop demands that every goroutine the server launches can be
+// shut down or waited out. A production file server restarts, drains, and
+// fails over; a fire-and-forget goroutine keeps touching disks and
+// sockets after Close returns, which is exactly how "rare" corruption
+// happens under heavy traffic. A `go` statement passes the check when the
+// launched body (or the arguments handed to it) shows one of:
+//
+//   - a context.Context value (cancelable),
+//   - a receive, select, range, or close on a stop-style channel — any
+//     channel-typed value whose name matches stop/done/quit/close/
+//     shutdown/exit (case-insensitive),
+//   - a sync.WaitGroup Done/Wait call (accounted: someone can drain it).
+//
+// Anything else is flagged. For `go f(x)` where f is declared in the
+// module, f's body is inspected too.
+var GoroutineStop = &Analyzer{
+	Name: "goroutinestop",
+	Doc:  "goroutines must observe a context/stop channel or be WaitGroup-accounted",
+	Run:  runGoroutineStop,
+}
+
+func runGoroutineStop(prog *Program, _ Config, report ReportFunc) {
+	// Index module function bodies so `go pkg.F(...)` can be traced one
+	// level into the callee.
+	bodies := make(map[*types.Func]*ast.BlockStmt)
+	infoOf := make(map[*types.Func]*types.Info)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						bodies[obj] = fd.Body
+						infoOf[obj] = pkg.Info
+					}
+				}
+			}
+		}
+	}
+
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gostmt, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				call := gostmt.Call
+				ok = false
+				for _, arg := range call.Args {
+					if exprIsStopSignal(pkg.Info, arg) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					switch fun := call.Fun.(type) {
+					case *ast.FuncLit:
+						ok = bodyObservesStop(pkg.Info, fun.Body)
+					default:
+						if callee := calleeFunc(pkg.Info, call.Fun); callee != nil {
+							if body := bodies[callee]; body != nil {
+								ok = bodyObservesStop(infoOf[callee], body)
+							}
+						}
+					}
+				}
+				if !ok {
+					report(gostmt.Pos(), "goroutine observes no context or stop channel and is not WaitGroup-accounted; shutdown cannot stop it")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeFunc resolves the function object behind a call expression's Fun.
+func calleeFunc(info *types.Info, fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+var stopNameRe = []string{"stop", "done", "quit", "close", "shutdown", "exit", "ctx", "cancel"}
+
+func isStopName(name string) bool {
+	name = strings.ToLower(name)
+	for _, w := range stopNameRe {
+		if strings.Contains(name, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprIsStopSignal reports whether e is a value that lets the goroutine
+// learn about shutdown: a context, or a stop-named channel.
+func exprIsStopSignal(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if isContextType(t) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return isStopName(types.ExprString(e))
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// bodyObservesStop scans a goroutine body for any of the accepted shutdown
+// disciplines.
+func bodyObservesStop(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isContextType(info.TypeOf(n)) {
+				found = true
+			}
+		case *ast.UnaryExpr: // <-ch receive
+			if n.Op.String() == "<-" && exprIsStopSignal(info, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt: // range over a channel drains until close
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if (name == "Done" || name == "Wait") && isWaitGroup(info.TypeOf(sel.X)) {
+					found = true
+				}
+				if name == "Err" || name == "Deadline" {
+					if isContextType(info.TypeOf(sel.X)) {
+						found = true
+					}
+				}
+			}
+		case *ast.CommClause: // select case on a stop channel
+			if n.Comm != nil {
+				ast.Inspect(n.Comm, func(m ast.Node) bool {
+					if u, ok := m.(*ast.UnaryExpr); ok && u.Op.String() == "<-" && exprIsStopSignal(info, u.X) {
+						found = true
+					}
+					return !found
+				})
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces "// guarded by <mu>" field annotations. The Bullet
+// server shares its inode table, RAM cache, and connection tables between
+// RPC goroutines; the paper's single-threaded simplicity survives only
+// because every mutable field is reached under its mutex. The compiler
+// cannot see that convention, so this pass does:
+//
+//   - A struct field carrying a "guarded by mu" comment may be read or
+//     written only inside a function that visibly acquires that mutex on
+//     the same receiver chain (base.mu.Lock() or base.mu.RLock(), usually
+//     with a deferred unlock), or
+//   - inside a helper whose name ends in "Locked", the repository's
+//     convention for "caller holds the lock", or
+//   - on a value that is still private to the function (declared in its
+//     body), i.e. under construction and not yet shared.
+//
+// The check is syntactic per function, not a flow analysis: it will not
+// catch a lock released too early, but it reliably catches the common bug
+// of touching shared state with no lock in sight — and it keeps the
+// annotations honest as documentation.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated '// guarded by <mu>' must be accessed under that mutex or from *Locked helpers",
+	Run:  runLockGuard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardInfo describes one annotated field.
+type guardInfo struct {
+	mu         string // mutex field name within the same struct
+	structName string
+}
+
+func runLockGuard(prog *Program, _ Config, report ReportFunc) {
+	for _, pkg := range prog.Pkgs {
+		guards := collectGuards(pkg, report)
+		if len(guards) == 0 {
+			continue
+		}
+		checkGuardedAccesses(pkg, guards, report)
+	}
+}
+
+// collectGuards finds annotated fields in pkg and validates that the named
+// mutex exists in the same struct.
+func collectGuards(pkg *Package, report ReportFunc) map[types.Object]guardInfo {
+	guards := make(map[types.Object]guardInfo)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := guardAnnotation(f)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					report(f.Pos(), "field is 'guarded by %s' but struct %s has no field %q", mu, ts.Name.Name, mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						guards[obj] = guardInfo{mu: mu, structName: ts.Name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, or "" when the field is unannotated.
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkGuardedAccesses(pkg *Package, guards map[types.Object]guardInfo, report ReportFunc) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // caller-holds-lock helper by convention
+			}
+			locks := lockCallBases(pkg, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pkg.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				g, ok := guards[selection.Obj()]
+				if !ok {
+					return true
+				}
+				base := types.ExprString(sel.X)
+				if locks[base+"."+g.mu] {
+					return true
+				}
+				if locallyConstructed(pkg, fd, sel.X) {
+					return true
+				}
+				report(sel.Sel.Pos(),
+					"%s.%s is guarded by %q but %s neither calls %s.%s.Lock/RLock nor is named *Locked",
+					g.structName, selection.Obj().Name(), g.mu, fd.Name.Name, base, g.mu)
+				return true
+			})
+		}
+	}
+}
+
+// lockCallBases collects the printed forms of every X such that the body
+// contains X.Lock() or X.RLock() — e.g. "c.mu" for c.mu.Lock().
+func lockCallBases(pkg *Package, body *ast.BlockStmt) map[string]bool {
+	locks := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if name := sel.Sel.Name; name == "Lock" || name == "RLock" {
+			locks[types.ExprString(sel.X)] = true
+		}
+		return true
+	})
+	return locks
+}
+
+// locallyConstructed reports whether the base expression resolves to a
+// variable declared inside fd's body — a value still under construction
+// that no other goroutine can see yet.
+func locallyConstructed(pkg *Package, fd *ast.FuncDecl, base ast.Expr) bool {
+	for {
+		switch b := base.(type) {
+		case *ast.ParenExpr:
+			base = b.X
+		case *ast.StarExpr:
+			base = b.X
+		case *ast.SelectorExpr:
+			base = b.X
+		case *ast.IndexExpr:
+			base = b.X
+		default:
+			id, ok := base.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				obj = pkg.Info.Defs[id]
+			}
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End()
+		}
+	}
+}

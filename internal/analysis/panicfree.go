@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PanicFree forbids panics on RPC handler paths. The paper's server keeps
+// running across disk deaths and malformed requests; a panic reachable
+// from a request handler turns one bad request into a full server outage
+// for every client. The pass builds a static call graph over the module
+// (direct calls and concrete method calls; interface dispatch is not
+// resolved) and reports every panic call reachable from an exported
+// function or method of the configured root packages.
+//
+// A panic inside a function literal is attributed to the function that
+// lexically contains it: the literal usually runs on the same request path
+// (deferred, invoked inline, or launched as part of serving), and
+// attributing lexically keeps the analysis simple and conservative.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "no panic may be reachable from an RPC handler entry point",
+	Run:  runPanicFree,
+}
+
+// funcNode is the per-function call-graph record.
+type funcNode struct {
+	obj     *types.Func
+	callees []*types.Func // deduplicated, in source order
+	panics  []token.Pos   // direct panic calls in the body
+	isRoot  bool
+}
+
+func runPanicFree(prog *Program, cfg Config, report ReportFunc) {
+	nodes := make(map[*types.Func]*funcNode)
+	var order []*types.Func // deterministic iteration order
+
+	for _, pkg := range prog.Pkgs {
+		root := false
+		for _, prefix := range cfg.PanicRoots {
+			if pkg.Path == prefix || strings.HasPrefix(pkg.Path, prefix+"/") {
+				root = true
+				break
+			}
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{obj: obj, isRoot: root && fd.Name.IsExported()}
+				seen := make(map[*types.Func]bool)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch fun := call.Fun.(type) {
+					case *ast.Ident:
+						if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+							node.panics = append(node.panics, call.Pos())
+							return true
+						}
+						if callee, ok := pkg.Info.Uses[fun].(*types.Func); ok && !seen[callee] {
+							seen[callee] = true
+							node.callees = append(node.callees, callee)
+						}
+					case *ast.SelectorExpr:
+						if callee, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok && !seen[callee] {
+							seen[callee] = true
+							node.callees = append(node.callees, callee)
+						}
+					}
+					return true
+				})
+				nodes[obj] = node
+				order = append(order, obj)
+			}
+		}
+	}
+
+	// BFS from the roots, remembering one shortest call chain per function.
+	parent := make(map[*types.Func]*types.Func)
+	reached := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for _, obj := range order {
+		if nodes[obj].isRoot {
+			reached[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, callee := range nodes[cur].callees {
+			if _, ok := nodes[callee]; !ok || reached[callee] {
+				continue // outside the module, or already visited
+			}
+			reached[callee] = true
+			parent[callee] = cur
+			queue = append(queue, callee)
+		}
+	}
+
+	var flagged []*funcNode
+	for _, obj := range order {
+		node := nodes[obj]
+		if reached[obj] && len(node.panics) > 0 {
+			flagged = append(flagged, node)
+		}
+	}
+	sort.Slice(flagged, func(i, j int) bool { return flagged[i].panics[0] < flagged[j].panics[0] })
+	for _, node := range flagged {
+		chain := callChain(parent, node.obj)
+		for _, pos := range node.panics {
+			report(pos, "panic reachable from RPC entry point (call chain: %s); return an error instead", chain)
+		}
+	}
+}
+
+// callChain renders root -> ... -> fn using the BFS parent links.
+func callChain(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var names []string
+	for cur := fn; cur != nil; cur = parent[cur] {
+		names = append(names, funcDisplayName(cur))
+		if parent[cur] == nil {
+			break
+		}
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// funcDisplayName renders pkg.Func or pkg.(Recv).Method without the full
+// import path.
+func funcDisplayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return pkg + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}

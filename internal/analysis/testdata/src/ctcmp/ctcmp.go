@@ -1,0 +1,37 @@
+// Package ctcmp exercises the ctcmp pass: every forbidden comparison shape
+// on capability secrets, plus the constant-time form that must stay silent.
+package ctcmp
+
+import (
+	"bytes"
+	"crypto/subtle"
+
+	"bulletfs/internal/capability"
+)
+
+// EqualChecks compares two check fields with ==, the short-circuiting
+// comparison the pass exists to forbid.
+func EqualChecks(a, b capability.Check) bool {
+	return a == b // want `== comparison of capability secret`
+}
+
+// DifferChecks uses !=, the same leak with the polarity flipped.
+func DifferChecks(a, b capability.Check) bool {
+	return a != b // want `!= comparison of capability secret`
+}
+
+// EqualRandoms compares the per-object secrets byte-wise via bytes.Equal,
+// which also stops at the first difference.
+func EqualRandoms(a, b capability.Random) bool {
+	return bytes.Equal(a[:], b[:]) // want `bytes\.Equal on capability secret`
+}
+
+// ConstantTime is the accepted form; no diagnostic.
+func ConstantTime(a, b capability.Check) bool {
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
+
+// PlainBytes compares non-secret byte slices; bytes.Equal is fine here.
+func PlainBytes(a, b []byte) bool {
+	return bytes.Equal(a, b)
+}

@@ -1,0 +1,34 @@
+// Package errwrap exercises the errwrap pass: inline errors.New, fmt.Errorf
+// without %w, and the accepted sentinel/wrapping forms.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package sentinel.
+var ErrBad = errors.New("errwrap: bad value")
+
+// Inline mints an anonymous error at the boundary.
+func Inline() error {
+	return errors.New("oops") // want `Inline returns an inline errors\.New`
+}
+
+// Unwrapped formats an error no caller can errors.Is.
+func Unwrapped(n int) error {
+	return fmt.Errorf("bad value %d", n) // want `Unwrapped returns fmt\.Errorf without %w`
+}
+
+// Wrapped ties the message to the sentinel; no diagnostic.
+func Wrapped(n int) error {
+	return fmt.Errorf("bad value %d: %w", n, ErrBad)
+}
+
+// Direct returns the sentinel itself; no diagnostic.
+func Direct() error { return ErrBad }
+
+// inlineUnexported is below the package boundary; no diagnostic.
+func inlineUnexported() error {
+	return errors.New("internal detail")
+}

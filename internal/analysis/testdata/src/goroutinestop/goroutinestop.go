@@ -1,0 +1,53 @@
+// Package goroutinestop exercises the goroutinestop pass: a leaked
+// goroutine plus the three accepted shutdown disciplines.
+package goroutinestop
+
+import (
+	"context"
+	"sync"
+)
+
+// Server launches background work.
+type Server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	work chan int
+}
+
+// Leak starts a goroutine nothing can stop.
+func (s *Server) Leak() {
+	go func() { // want `goroutine observes no context or stop channel`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// Stoppable watches the stop channel; no diagnostic.
+func (s *Server) Stoppable() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case n := <-s.work:
+				_ = n
+			}
+		}
+	}()
+}
+
+// Accounted is WaitGroup-tracked; no diagnostic.
+func (s *Server) Accounted() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// WithContext hands the goroutine a cancelable context; no diagnostic.
+func (s *Server) WithContext(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }

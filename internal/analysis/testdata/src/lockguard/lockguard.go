@@ -1,0 +1,43 @@
+// Package lockguard exercises the lockguard pass: guarded-field accesses
+// with and without the lock, the *Locked convention, construction-time
+// access, and an annotation naming a mutex that does not exist.
+package lockguard
+
+import "sync"
+
+// Counter is shared state with one annotated field.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Add locks properly; no diagnostic.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bumpLocked follows the caller-holds-lock naming convention; no diagnostic.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// Peek reads the guarded field with no lock in sight.
+func (c *Counter) Peek() int {
+	return c.n // want `Counter\.n is guarded by "mu" but Peek`
+}
+
+// NewCounter touches n on a value still private to the function;
+// no diagnostic.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// Orphan names a mutex its struct does not have.
+type Orphan struct {
+	v int // guarded by lock; want `struct Orphan has no field`
+}
+
+// V keeps v referenced so the struct is realistic.
+func (o *Orphan) V() int { return o.v }

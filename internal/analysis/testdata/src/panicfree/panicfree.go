@@ -1,0 +1,32 @@
+// Package panicfree exercises the panicfree pass. Tests configure this
+// package as a panic root, standing in for the server's RPC packages.
+package panicfree
+
+import "errors"
+
+// ErrBad is the sentinel for malformed input.
+var ErrBad = errors.New("panicfree: bad input")
+
+// Handle is an exported entry point whose helper panics two hops down.
+func Handle(n int) error {
+	if n < 0 {
+		return ErrBad
+	}
+	helper(n)
+	return nil
+}
+
+func helper(n int) {
+	decode(n)
+}
+
+func decode(n int) {
+	if n == 0 {
+		panic("zero length request") // want `panic reachable from RPC entry point \(call chain: panicfree\.Handle -> panicfree\.helper -> panicfree\.decode\)`
+	}
+}
+
+// orphanPanic is unreachable from any exported function; no diagnostic.
+func orphanPanic() {
+	panic("never served")
+}

@@ -1,0 +1,35 @@
+// Package suppress exercises the lint:ignore machinery: a justified
+// suppression that must silence its diagnostic, a reason-less annotation,
+// and an annotation naming a pass that does not exist. The test asserts on
+// this package programmatically rather than with want comments, because the
+// malformed-annotation diagnostics land on the annotation's own line.
+package suppress
+
+import "bulletfs/internal/capability"
+
+// SameSuppressed compares check fields with ==, but carries a justified
+// suppression on the line above; no diagnostic may survive.
+func SameSuppressed(a, b capability.Check) bool {
+	//lint:ignore ctcmp deliberate violation exercising the suppression path
+	return a == b
+}
+
+// SameInline carries the suppression as a trailing comment on the violating
+// line itself; no diagnostic may survive.
+func SameInline(a, b capability.Check) bool {
+	return a == b //lint:ignore ctcmp trailing-comment form of the same suppression
+}
+
+// MissingReason's annotation has no justification: the annotation itself
+// must be reported and the violation it fails to cover must survive.
+func MissingReason(a, b capability.Check) bool {
+	//lint:ignore ctcmp
+	return a == b
+}
+
+// UnknownPass names a pass that does not exist; the annotation must be
+// reported so a typo cannot silently suppress nothing.
+func UnknownPass(a, b capability.Check) bool {
+	//lint:ignore timecmp misspelled pass name
+	return a == b
+}

@@ -45,6 +45,8 @@ var (
 	ErrCorrupt = errors.New("archive: record corrupt")
 	// ErrFull means the medium has no room for the record.
 	ErrFull = errors.New("archive: volume full")
+	// ErrBadGeometry means the backing device cannot hold an archive.
+	ErrBadGeometry = errors.New("archive: unusable device geometry")
 )
 
 // Entry describes one archived record.
@@ -68,7 +70,7 @@ type Archive struct {
 func Create(dev disk.Device) (*Archive, error) {
 	bs := int64(dev.BlockSize())
 	if bs < 64 {
-		return nil, fmt.Errorf("archive: block size %d too small", bs)
+		return nil, fmt.Errorf("block size %d too small: %w", bs, ErrBadGeometry)
 	}
 	hdr := make([]byte, bs)
 	binary.BigEndian.PutUint32(hdr[0:4], volumeMagic)

@@ -89,9 +89,9 @@ func (s *Server) retarget(n, firstBlock uint32) error {
 // fragmentation in memory can be alleviated by compacting part or all of
 // the RAM cache from time to time"). It takes the engine lock: reads hold
 // uncopied views into the arena under that lock, and compaction slides
-// the bytes those views alias.
-func (s *Server) CompactCache() {
+// the bytes those views alias. A non-nil error is cache.ErrCorrupt.
+func (s *Server) CompactCache() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cache.Compact()
+	return s.cache.Compact()
 }

@@ -198,7 +198,9 @@ func (s *Service) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
 		return rpc.ReplyOK(), nil
 
 	case CmdCompactCache:
-		s.engine.CompactCache()
+		if err := s.engine.CompactCache(); err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
 		return rpc.ReplyOK(), nil
 
 	default:

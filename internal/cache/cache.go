@@ -34,6 +34,15 @@ var (
 	ErrTooLarge = errors.New("cache: file larger than cache arena")
 	// ErrBadSlot means an rnode slot number is stale or invalid.
 	ErrBadSlot = errors.New("cache: bad rnode slot")
+	// ErrCorrupt means the cache's own bookkeeping and the arena
+	// allocator disagree — a bug, not an operational condition. The cache
+	// reports it instead of panicking so one damaged structure degrades
+	// to failed requests rather than a server outage (paper §6's
+	// robustness goal).
+	ErrCorrupt = errors.New("cache: arena bookkeeping corrupt")
+	// ErrConfig means New was called with an unusable arena or rnode
+	// table size.
+	ErrConfig = errors.New("cache: bad configuration")
 )
 
 // rnode administers one cached file (paper §3: inode index, pointer into
@@ -59,22 +68,22 @@ type Stats struct {
 // Cache is the contiguous RAM file cache. It is safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
-	buf      []byte
-	arena    *alloc.Allocator
-	rnodes   []rnode  // slot i at rnodes[i-1]; slots are 1-based
-	freeSlot []uint16 // free rnode slots
-	ageClock uint64
-	stats    Stats
+	buf      []byte           // guarded by mu
+	arena    *alloc.Allocator // guarded by mu
+	rnodes   []rnode          // guarded by mu; slot i at rnodes[i-1]; slots are 1-based
+	freeSlot []uint16         // guarded by mu; free rnode slots
+	ageClock uint64           // guarded by mu
+	stats    Stats            // guarded by mu
 }
 
 // New builds a cache with an arena of the given size and at most maxFiles
 // simultaneously cached files (the rnode table size).
 func New(arenaBytes int64, maxFiles int) (*Cache, error) {
 	if arenaBytes <= 0 {
-		return nil, fmt.Errorf("cache: non-positive arena %d", arenaBytes)
+		return nil, fmt.Errorf("non-positive arena %d: %w", arenaBytes, ErrConfig)
 	}
 	if maxFiles <= 0 || maxFiles > 0xFFFE {
-		return nil, fmt.Errorf("cache: rnode count %d out of range", maxFiles)
+		return nil, fmt.Errorf("rnode count %d out of range: %w", maxFiles, ErrConfig)
 	}
 	arena, err := alloc.New(arenaBytes)
 	if err != nil {
@@ -92,14 +101,14 @@ func New(arenaBytes int64, maxFiles int) (*Cache, error) {
 	return c, nil
 }
 
-// tick returns the next age stamp.
-func (c *Cache) tick() uint64 {
+// tickLocked returns the next age stamp.
+func (c *Cache) tickLocked() uint64 {
 	c.ageClock++
 	return c.ageClock
 }
 
-// slot returns the rnode for a 1-based slot number.
-func (c *Cache) slot(idx uint16) (*rnode, error) {
+// slotLocked returns the rnode for a 1-based slot number.
+func (c *Cache) slotLocked(idx uint16) (*rnode, error) {
 	if idx == 0 || int(idx) > len(c.rnodes) {
 		return nil, fmt.Errorf("slot %d: %w", idx, ErrBadSlot)
 	}
@@ -128,7 +137,11 @@ func (c *Cache) Insert(inode uint32, data []byte) (idx uint16, evicted []uint32,
 		if victim == 0 {
 			return 0, nil, fmt.Errorf("no rnode and nothing to evict: %w", ErrBadSlot)
 		}
-		evicted = append(evicted, c.removeLocked(victim))
+		inode, rerr := c.removeLocked(victim)
+		if rerr != nil {
+			return 0, evicted, rerr
+		}
+		evicted = append(evicted, inode)
 	}
 
 	var off int64 = -1
@@ -144,14 +157,20 @@ func (c *Cache) Insert(inode uint32, data []byte) (idx uint16, evicted []uint32,
 			}
 			victim := c.lruLocked()
 			if victim != 0 {
-				evicted = append(evicted, c.removeLocked(victim))
+				inode, rerr := c.removeLocked(victim)
+				if rerr != nil {
+					return 0, evicted, rerr
+				}
+				evicted = append(evicted, inode)
 				continue
 			}
 			// Nothing left to evict. If the space exists but is shattered,
 			// compact and retry once; otherwise give up (cannot happen when
 			// size <= arena, but guard anyway).
 			if st := c.arena.Stats(); st.Free >= size {
-				c.compactLocked()
+				if cerr := c.compactLocked(); cerr != nil {
+					return 0, evicted, cerr
+				}
 				start, allocErr = c.arena.Alloc(size)
 				if allocErr == nil {
 					off = start
@@ -167,7 +186,7 @@ func (c *Cache) Insert(inode uint32, data []byte) (idx uint16, evicted []uint32,
 
 	slotNum := c.freeSlot[len(c.freeSlot)-1]
 	c.freeSlot = c.freeSlot[:len(c.freeSlot)-1]
-	c.rnodes[slotNum-1] = rnode{inode: inode, off: off, size: size, age: c.tick(), used: true}
+	c.rnodes[slotNum-1] = rnode{inode: inode, off: off, size: size, age: c.tickLocked(), used: true}
 	c.stats.Insertions++
 	return slotNum, evicted, nil
 }
@@ -190,20 +209,23 @@ func (c *Cache) lruLocked() uint16 {
 	return best
 }
 
-// removeLocked frees slot idx and returns the inode it held.
-func (c *Cache) removeLocked(idx uint16) uint32 {
+// removeLocked frees slot idx and returns the inode it held. A Free the
+// allocator rejects means cache and arena bookkeeping have diverged; the
+// slot is still released (the rnode is gone either way) and ErrCorrupt is
+// reported so the engine can fail the request instead of crashing.
+func (c *Cache) removeLocked(idx uint16) (uint32, error) {
 	rn := &c.rnodes[idx-1]
 	inode := rn.inode
+	var err error
 	if rn.size > 0 {
-		// Free cannot fail: the extent came from this arena.
-		if err := c.arena.Free(rn.off, rn.size); err != nil {
-			panic(fmt.Sprintf("cache: arena corrupt: %v", err))
+		if ferr := c.arena.Free(rn.off, rn.size); ferr != nil {
+			err = fmt.Errorf("freeing [%d,%d): %v: %w", rn.off, rn.off+rn.size, ferr, ErrCorrupt)
 		}
 	}
 	*rn = rnode{}
 	c.freeSlot = append(c.freeSlot, idx)
 	c.stats.Evictions++
-	return inode
+	return inode, err
 }
 
 // Get returns the cached contents for slot idx, checking that the slot
@@ -213,14 +235,14 @@ func (c *Cache) removeLocked(idx uint16) uint32 {
 func (c *Cache) Get(idx uint16, inode uint32) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	rn, err := c.slot(idx)
+	rn, err := c.slotLocked(idx)
 	if err != nil {
 		return nil, err
 	}
 	if rn.inode != inode {
 		return nil, fmt.Errorf("slot %d holds inode %d, want %d: %w", idx, rn.inode, inode, ErrBadSlot)
 	}
-	rn.age = c.tick()
+	rn.age = c.tickLocked()
 	if rn.size == 0 {
 		return []byte{}, nil
 	}
@@ -234,29 +256,30 @@ func (c *Cache) Get(idx uint16, inode uint32) ([]byte, error) {
 func (c *Cache) Remove(idx uint16, inode uint32) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	rn, err := c.slot(idx)
+	rn, err := c.slotLocked(idx)
 	if err != nil {
 		return err
 	}
 	if rn.inode != inode {
 		return fmt.Errorf("slot %d holds inode %d, want %d: %w", idx, rn.inode, inode, ErrBadSlot)
 	}
-	c.removeLocked(idx)
+	_, err = c.removeLocked(idx)
 	c.stats.Evictions-- // explicit removal is not an eviction
-	return nil
+	return err
 }
 
 // Compact slides every cached file toward the bottom of the arena, merging
 // all free space into one hole — the paper's periodic cache compaction.
 // Slot numbers are stable across compaction (only offsets change), so the
-// inode table does not need updating.
-func (c *Cache) Compact() {
+// inode table does not need updating. A non-nil error is ErrCorrupt: the
+// compaction plan and the allocator disagreed about what was live.
+func (c *Cache) Compact() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.compactLocked()
+	return c.compactLocked()
 }
 
-func (c *Cache) compactLocked() {
+func (c *Cache) compactLocked() error {
 	var used []alloc.Used
 	for i := range c.rnodes {
 		rn := &c.rnodes[i]
@@ -280,9 +303,10 @@ func (c *Cache) compactLocked() {
 		}
 	}
 	if err := c.arena.Reset(after); err != nil {
-		panic(fmt.Sprintf("cache: compaction corrupted arena: %v", err))
+		return fmt.Errorf("rebuilding free list after compaction: %v: %w", err, ErrCorrupt)
 	}
 	c.stats.Compactions++
+	return nil
 }
 
 // Stats returns a snapshot of cache counters.

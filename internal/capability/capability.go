@@ -24,6 +24,7 @@ package capability
 import (
 	"crypto/rand"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -99,6 +100,9 @@ var (
 
 	// ErrObjectRange means an object number does not fit in 24 bits.
 	ErrObjectRange = errors.New("capability: object number out of range")
+
+	// ErrEncoding means a wire or textual capability encoding is malformed.
+	ErrEncoding = errors.New("capability: malformed encoding")
 )
 
 // NewPort draws a fresh random server port.
@@ -122,6 +126,8 @@ func NewRandom() (Random, error) {
 
 // IsZero reports whether r is the all-zero value. A zero random marks a free
 // inode on disk, so live objects must never use it; NewRandom retries.
+//
+//lint:ignore ctcmp comparison against the public all-zero free-inode marker, not a secret-vs-secret check
 func (r Random) IsZero() bool { return r == Random{} }
 
 // onewayCheck computes F(R, rights): the check field of a capability with
@@ -174,14 +180,19 @@ func Restrict(c Capability, mask Rights) (Capability, error) {
 // rights it conveys. It implements the server-side validation from paper
 // §2.1: an owner capability must present R itself; a restricted capability
 // with rights r must present F(R, r).
+// Both comparisons are constant time: a short-circuiting == would tell a
+// forger, through reply latency, how many leading check bytes matched, and
+// the check field is all that stands between a client and rights
+// amplification.
 func Verify(c Capability, r Random) (Rights, error) {
 	if c.Rights == RightsAll {
-		if Random(c.Check) == r {
+		if subtle.ConstantTimeCompare(c.Check[:], r[:]) == 1 {
 			return RightsAll, nil
 		}
 		return 0, ErrBadCheck
 	}
-	if onewayCheck(r, c.Rights) == c.Check {
+	want := onewayCheck(r, c.Rights)
+	if subtle.ConstantTimeCompare(want[:], c.Check[:]) == 1 {
 		return c.Rights, nil
 	}
 	return 0, ErrBadCheck
@@ -218,7 +229,7 @@ func (c Capability) MarshalBinary() ([]byte, error) {
 // UnmarshalBinary decodes the 16-byte wire format into c.
 func (c *Capability) UnmarshalBinary(data []byte) error {
 	if len(data) != EncodedLen {
-		return fmt.Errorf("capability: encoded length %d, want %d", len(data), EncodedLen)
+		return fmt.Errorf("encoded length %d, want %d: %w", len(data), EncodedLen, ErrEncoding)
 	}
 	copy(c.Port[:], data[0:PortLen])
 	c.Object = uint32(data[PortLen])<<16 | uint32(data[PortLen+1])<<8 | uint32(data[PortLen+2])
@@ -240,26 +251,26 @@ func Parse(s string) (Capability, error) {
 	var c Capability
 	parts := splitN(s, ':', 4)
 	if len(parts) != 4 {
-		return Capability{}, fmt.Errorf("capability: parse %q: want 4 colon-separated fields", s)
+		return Capability{}, fmt.Errorf("parse %q: want 4 colon-separated fields: %w", s, ErrEncoding)
 	}
 	pb, err := hex.DecodeString(parts[0])
 	if err != nil || len(pb) != PortLen {
-		return Capability{}, fmt.Errorf("capability: parse port %q", parts[0])
+		return Capability{}, fmt.Errorf("parse port %q: %w", parts[0], ErrEncoding)
 	}
 	copy(c.Port[:], pb)
 	ob, err := hex.DecodeString(parts[1])
 	if err != nil || len(ob) != ObjectLen {
-		return Capability{}, fmt.Errorf("capability: parse object %q", parts[1])
+		return Capability{}, fmt.Errorf("parse object %q: %w", parts[1], ErrEncoding)
 	}
 	c.Object = uint32(ob[0])<<16 | uint32(ob[1])<<8 | uint32(ob[2])
 	rb, err := hex.DecodeString(parts[2])
 	if err != nil || len(rb) != RightsLen {
-		return Capability{}, fmt.Errorf("capability: parse rights %q", parts[2])
+		return Capability{}, fmt.Errorf("parse rights %q: %w", parts[2], ErrEncoding)
 	}
 	c.Rights = Rights(rb[0])
 	cb, err := hex.DecodeString(parts[3])
 	if err != nil || len(cb) != CheckLen {
-		return Capability{}, fmt.Errorf("capability: parse check %q", parts[3])
+		return Capability{}, fmt.Errorf("parse check %q: %w", parts[3], ErrEncoding)
 	}
 	copy(c.Check[:], cb)
 	return c, nil
@@ -310,7 +321,7 @@ func Encode(dst []byte, c Capability) []byte {
 func Decode(src []byte) (Capability, []byte, error) {
 	var c Capability
 	if len(src) < EncodedLen {
-		return c, src, fmt.Errorf("capability: short buffer (%d bytes)", len(src))
+		return c, src, fmt.Errorf("short buffer (%d bytes): %w", len(src), ErrEncoding)
 	}
 	if err := c.UnmarshalBinary(src[:EncodedLen]); err != nil {
 		return c, src, err

@@ -1,0 +1,105 @@
+package capability
+
+import (
+	"errors"
+	"testing"
+)
+
+// Regression tests for the constant-time Verify rewrite: the switch from ==
+// to subtle.ConstantTimeCompare must not change which capabilities verify.
+// Every accept/reject decision below held under the old comparison and must
+// keep holding.
+
+func TestConstantTimeVerifyAcceptsOwner(t *testing.T) {
+	port := PortFromString("subtle-test")
+	r, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := Owner(port, 42, r)
+	got, err := Verify(owner, r)
+	if err != nil {
+		t.Fatalf("Verify(owner) = %v, want nil", err)
+	}
+	if got != RightsAll {
+		t.Fatalf("Verify(owner) rights = %08b, want RightsAll", got)
+	}
+}
+
+func TestConstantTimeVerifyAcceptsRestricted(t *testing.T) {
+	port := PortFromString("subtle-test")
+	r, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := Owner(port, 42, r)
+	for _, mask := range []Rights{RightRead, RightRead | RightDelete, RightModify | RightList} {
+		restricted, err := Restrict(owner, mask)
+		if err != nil {
+			t.Fatalf("Restrict(%08b): %v", mask, err)
+		}
+		got, err := Verify(restricted, r)
+		if err != nil {
+			t.Fatalf("Verify(restricted %08b) = %v, want nil", mask, err)
+		}
+		if got != mask {
+			t.Fatalf("Verify(restricted) rights = %08b, want %08b", got, mask)
+		}
+	}
+}
+
+// TestConstantTimeVerifyRejectsForgeries flips every bit of the check field
+// in turn — the single-byte prefixes are exactly the cases where a
+// short-circuiting comparison leaks timing — and demands ErrBadCheck for
+// each, on both owner and restricted capabilities.
+func TestConstantTimeVerifyRejectsForgeries(t *testing.T) {
+	port := PortFromString("subtle-test")
+	r, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := Owner(port, 7, r)
+	restricted, err := Restrict(owner, RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		cap  Capability
+	}{
+		{"owner", owner},
+		{"restricted", restricted},
+	} {
+		for byteIdx := 0; byteIdx < CheckLen; byteIdx++ {
+			for bit := 0; bit < 8; bit++ {
+				forged := tc.cap
+				forged.Check[byteIdx] ^= 1 << bit
+				if _, err := Verify(forged, r); !errors.Is(err, ErrBadCheck) {
+					t.Fatalf("%s capability with check bit %d.%d flipped: Verify = %v, want ErrBadCheck",
+						tc.name, byteIdx, bit, err)
+				}
+			}
+		}
+	}
+}
+
+// A restricted capability presenting the right check under inflated rights
+// must fail: the check is bound to the rights byte through the one-way
+// function.
+func TestConstantTimeVerifyRejectsRightsSwap(t *testing.T) {
+	port := PortFromString("subtle-test")
+	r, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := Owner(port, 7, r)
+	restricted, err := Restrict(owner, RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amplified := restricted
+	amplified.Rights = RightRead | RightDelete
+	if _, err := Verify(amplified, r); !errors.Is(err, ErrBadCheck) {
+		t.Fatalf("amplified rights: Verify = %v, want ErrBadCheck", err)
+	}
+}

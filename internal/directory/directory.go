@@ -42,6 +42,8 @@ var (
 	ErrBadName = errors.New("directory: bad name")
 	// ErrNotEmpty means DeleteDir was called on a non-empty directory.
 	ErrNotEmpty = errors.New("directory: directory not empty")
+	// ErrConfig means the server was built with unusable options.
+	ErrConfig = errors.New("directory: bad configuration")
 )
 
 // Rights used by the directory server.
@@ -134,7 +136,7 @@ func New(opts Options) (*Server, error) {
 	}
 	if (opts.State != capability.Capability{}) {
 		if s.store == nil {
-			return nil, errors.New("directory: restoring state requires a store")
+			return nil, fmt.Errorf("restoring state requires a store: %w", ErrConfig)
 		}
 		blob, err := s.store.Read(opts.State)
 		if err != nil {

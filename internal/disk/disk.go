@@ -39,15 +39,18 @@ var (
 	ErrFaulted = errors.New("disk: device faulted")
 	// ErrNoReplica means every replica of a set has failed.
 	ErrNoReplica = errors.New("disk: no working replica")
+	// ErrBadGeometry means a device was configured with an unusable
+	// block size or capacity, or replicas with mismatched geometries.
+	ErrBadGeometry = errors.New("disk: bad device geometry")
 )
 
 // MemDisk is a RAM-backed Device. It is the workhorse for tests and for the
 // simulated experiments (wrapped in a SimDisk for timing).
 type MemDisk struct {
 	mu        sync.RWMutex
-	data      []byte
-	blockSize int
-	closed    bool
+	data      []byte // guarded by mu
+	blockSize int    // immutable after construction
+	closed    bool   // guarded by mu
 }
 
 var _ Device = (*MemDisk)(nil)
@@ -55,7 +58,7 @@ var _ Device = (*MemDisk)(nil)
 // NewMem returns a zero-filled RAM disk with the given geometry.
 func NewMem(blockSize int, blocks int64) (*MemDisk, error) {
 	if blockSize <= 0 || blocks <= 0 {
-		return nil, fmt.Errorf("disk: bad geometry %d x %d", blockSize, blocks)
+		return nil, fmt.Errorf("%d x %d: %w", blockSize, blocks, ErrBadGeometry)
 	}
 	return &MemDisk{
 		data:      make([]byte, int64(blockSize)*blocks),
@@ -67,9 +70,13 @@ func NewMem(blockSize int, blocks int64) (*MemDisk, error) {
 func (d *MemDisk) BlockSize() int { return d.blockSize }
 
 // Blocks returns the capacity in sectors.
-func (d *MemDisk) Blocks() int64 { return int64(len(d.data)) / int64(d.blockSize) }
+func (d *MemDisk) Blocks() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(len(d.data)) / int64(d.blockSize)
+}
 
-func (d *MemDisk) check(n, off int64) error {
+func (d *MemDisk) checkLocked(n, off int64) error {
 	if d.closed {
 		return ErrClosed
 	}
@@ -83,7 +90,7 @@ func (d *MemDisk) check(n, off int64) error {
 func (d *MemDisk) ReadAt(p []byte, off int64) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if err := d.check(int64(len(p)), off); err != nil {
+	if err := d.checkLocked(int64(len(p)), off); err != nil {
 		return err
 	}
 	copy(p, d.data[off:])
@@ -94,7 +101,7 @@ func (d *MemDisk) ReadAt(p []byte, off int64) error {
 func (d *MemDisk) WriteAt(p []byte, off int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.check(int64(len(p)), off); err != nil {
+	if err := d.checkLocked(int64(len(p)), off); err != nil {
 		return err
 	}
 	copy(d.data[off:], p)

@@ -15,8 +15,8 @@ type FaultyDisk struct {
 	faulted atomic.Bool
 
 	mu          sync.Mutex
-	failWriteIn int64 // fail (and fault) after this many more writes; 0 = off
-	tornNext    bool  // next write stores only the first half, then faults
+	failWriteIn int64 // guarded by mu; fail (and fault) after this many more writes; 0 = off
+	tornNext    bool  // guarded by mu; next write stores only the first half, then faults
 }
 
 var _ Device = (*FaultyDisk)(nil)

@@ -10,10 +10,10 @@ import (
 // real daemons (cmd/bulletd) for durable storage.
 type FileDisk struct {
 	mu        sync.Mutex
-	f         *os.File
-	blockSize int
-	blocks    int64
-	closed    bool
+	f         *os.File // guarded by mu
+	blockSize int      // immutable after construction
+	blocks    int64    // immutable after construction
+	closed    bool     // guarded by mu
 }
 
 var _ Device = (*FileDisk)(nil)
@@ -22,7 +22,7 @@ var _ Device = (*FileDisk)(nil)
 // geometry at path.
 func CreateFile(path string, blockSize int, blocks int64) (*FileDisk, error) {
 	if blockSize <= 0 || blocks <= 0 {
-		return nil, fmt.Errorf("disk: bad geometry %d x %d", blockSize, blocks)
+		return nil, fmt.Errorf("%d x %d: %w", blockSize, blocks, ErrBadGeometry)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
@@ -40,7 +40,7 @@ func CreateFile(path string, blockSize int, blocks int64) (*FileDisk, error) {
 // inode 0 records it; layout.Load verifies).
 func OpenFile(path string, blockSize int) (*FileDisk, error) {
 	if blockSize <= 0 {
-		return nil, fmt.Errorf("disk: bad block size %d", blockSize)
+		return nil, fmt.Errorf("block size %d: %w", blockSize, ErrBadGeometry)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o600)
 	if err != nil {
@@ -53,7 +53,7 @@ func OpenFile(path string, blockSize int) (*FileDisk, error) {
 	}
 	if st.Size()%int64(blockSize) != 0 {
 		f.Close()
-		return nil, fmt.Errorf("disk: %s size %d not a multiple of block size %d", path, st.Size(), blockSize)
+		return nil, fmt.Errorf("%s size %d not a multiple of block size %d: %w", path, st.Size(), blockSize, ErrBadGeometry)
 	}
 	return &FileDisk{f: f, blockSize: blockSize, blocks: st.Size() / int64(blockSize)}, nil
 }
@@ -64,7 +64,7 @@ func (d *FileDisk) BlockSize() int { return d.blockSize }
 // Blocks returns the capacity in sectors.
 func (d *FileDisk) Blocks() int64 { return d.blocks }
 
-func (d *FileDisk) check(n, off int64) error {
+func (d *FileDisk) checkLocked(n, off int64) error {
 	if d.closed {
 		return ErrClosed
 	}
@@ -78,7 +78,7 @@ func (d *FileDisk) check(n, off int64) error {
 func (d *FileDisk) ReadAt(p []byte, off int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.check(int64(len(p)), off); err != nil {
+	if err := d.checkLocked(int64(len(p)), off); err != nil {
 		return err
 	}
 	if _, err := d.f.ReadAt(p, off); err != nil {
@@ -91,7 +91,7 @@ func (d *FileDisk) ReadAt(p []byte, off int64) error {
 func (d *FileDisk) WriteAt(p []byte, off int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.check(int64(len(p)), off); err != nil {
+	if err := d.checkLocked(int64(len(p)), off); err != nil {
 		return err
 	}
 	if _, err := d.f.WriteAt(p, off); err != nil {

@@ -14,22 +14,22 @@ import (
 // "Recovery is simply done by copying the complete disk").
 type ReplicaSet struct {
 	mu    sync.Mutex
-	devs  []Device
-	alive []bool
-	main  int
+	devs  []Device       // immutable after construction (liveness is in alive)
+	alive []bool         // guarded by mu
+	main  int            // guarded by mu
 	wg    sync.WaitGroup // tracks background (post-P-FACTOR) writes
 }
 
 // NewReplicaSet builds a set over devs. All devices must share a geometry.
 func NewReplicaSet(devs ...Device) (*ReplicaSet, error) {
 	if len(devs) == 0 {
-		return nil, errors.New("disk: replica set needs at least one device")
+		return nil, fmt.Errorf("replica set needs at least one device: %w", ErrBadGeometry)
 	}
 	bs, nb := devs[0].BlockSize(), devs[0].Blocks()
 	for i, d := range devs[1:] {
 		if d.BlockSize() != bs || d.Blocks() != nb {
-			return nil, fmt.Errorf("disk: replica %d geometry %dx%d differs from %dx%d",
-				i+1, d.BlockSize(), d.Blocks(), bs, nb)
+			return nil, fmt.Errorf("replica %d geometry %dx%d differs from %dx%d: %w",
+				i+1, d.BlockSize(), d.Blocks(), bs, nb, ErrBadGeometry)
 		}
 	}
 	alive := make([]bool, len(devs))
@@ -200,7 +200,7 @@ func (s *ReplicaSet) Drain() { s.wg.Wait() }
 // replica i and marks it alive again — the paper's whole-disk recovery.
 func (s *ReplicaSet) Recover(i int) error {
 	if i < 0 || i >= len(s.devs) {
-		return fmt.Errorf("disk: recover: no replica %d", i)
+		return fmt.Errorf("recover: no replica %d: %w", i, ErrOutOfRange)
 	}
 	s.mu.Lock()
 	if !s.alive[s.main] || s.main == i {

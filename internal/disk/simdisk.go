@@ -17,8 +17,8 @@ type SimDisk struct {
 	dev   Device
 	model hwmodel.DiskModel
 	clock *hwmodel.Clock
-	head  int64 // byte offset just past the last access
-	stats SimStats
+	head  int64    // guarded by mu; byte offset just past the last access
+	stats SimStats // guarded by mu
 }
 
 // SimStats counts what a SimDisk has been asked to do.
@@ -43,7 +43,7 @@ func (d *SimDisk) BlockSize() int { return d.dev.BlockSize() }
 // Blocks returns the wrapped device's capacity.
 func (d *SimDisk) Blocks() int64 { return d.dev.Blocks() }
 
-func (d *SimDisk) charge(n, off int64, write bool) {
+func (d *SimDisk) chargeLocked(n, off int64, write bool) {
 	sequential := d.head >= 0 && off == d.head
 	if !sequential {
 		d.stats.Seeks++
@@ -66,7 +66,7 @@ func (d *SimDisk) ReadAt(p []byte, off int64) error {
 	if err := d.dev.ReadAt(p, off); err != nil {
 		return err
 	}
-	d.charge(int64(len(p)), off, false)
+	d.chargeLocked(int64(len(p)), off, false)
 	return nil
 }
 
@@ -77,7 +77,7 @@ func (d *SimDisk) WriteAt(p []byte, off int64) error {
 	if err := d.dev.WriteAt(p, off); err != nil {
 		return err
 	}
-	d.charge(int64(len(p)), off, true)
+	d.chargeLocked(int64(len(p)), off, true)
 	return nil
 }
 

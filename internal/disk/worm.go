@@ -19,7 +19,7 @@ type WORMDisk struct {
 	dev Device
 
 	mu      sync.Mutex
-	written []bool // per block
+	written []bool // guarded by mu; per block
 }
 
 var _ Device = (*WORMDisk)(nil)

@@ -99,6 +99,8 @@ var (
 	ErrBadInode = errors.New("layout: bad inode number")
 	// ErrNoFreeInode means the inode table is full.
 	ErrNoFreeInode = errors.New("layout: no free inodes")
+	// ErrConfig means a format or allocation request was unusable.
+	ErrConfig = errors.New("layout: bad configuration")
 )
 
 // FormatConfig controls Format.
@@ -113,18 +115,18 @@ type FormatConfig struct {
 func Format(dev disk.Device, cfg FormatConfig) error {
 	bs := dev.BlockSize()
 	if bs < InodeSize*2 {
-		return fmt.Errorf("layout: block size %d too small", bs)
+		return fmt.Errorf("block size %d too small: %w", bs, ErrConfig)
 	}
 	if cfg.Inodes <= 0 {
-		return errors.New("layout: need at least one inode")
+		return fmt.Errorf("need at least one inode: %w", ErrConfig)
 	}
 	inodesPerBlock := bs / InodeSize
 	// +1 for the descriptor occupying slot 0.
 	ctrlBlocks := int64((cfg.Inodes + 1 + inodesPerBlock - 1) / inodesPerBlock)
 	dataBlocks := dev.Blocks() - ctrlBlocks
 	if dataBlocks <= 0 {
-		return fmt.Errorf("layout: disk too small: %d blocks of inode table on a %d-block disk",
-			ctrlBlocks, dev.Blocks())
+		return fmt.Errorf("disk too small: %d blocks of inode table on a %d-block disk: %w",
+			ctrlBlocks, dev.Blocks(), ErrConfig)
 	}
 
 	// Zero the whole control area (zero inodes = free inodes).

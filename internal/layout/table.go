@@ -18,10 +18,10 @@ import (
 // out. They are also the object numbers inside Bullet capabilities.
 type Table struct {
 	mu     sync.RWMutex
-	desc   Descriptor
-	inodes []Inode  // slot i holds inode i; slot 0 unused
-	free   []uint32 // free inode numbers, ascending so allocation is stable
-	live   int
+	desc   Descriptor // immutable after Load/Format
+	inodes []Inode    // guarded by mu; slot i holds inode i; slot 0 unused
+	free   []uint32   // guarded by mu; free inode numbers, ascending so allocation is stable
+	live   int        // guarded by mu
 }
 
 // ScanProblem describes one inconsistency found while scanning the table.
@@ -138,7 +138,11 @@ func NewEmpty(desc Descriptor) *Table {
 func (t *Table) Desc() Descriptor { return t.desc }
 
 // MaxInodes returns the table capacity.
-func (t *Table) MaxInodes() int { return len(t.inodes) - 1 }
+func (t *Table) MaxInodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.inodes) - 1
+}
 
 // Live returns the number of in-use inodes.
 func (t *Table) Live() int {
@@ -173,7 +177,7 @@ func (t *Table) Get(n uint32) (Inode, error) {
 // overwhelming probability; Allocate rejects zero outright).
 func (t *Table) Allocate(r capability.Random, firstBlock uint32, size uint32) (uint32, error) {
 	if r.IsZero() {
-		return 0, fmt.Errorf("layout: zero random number marks a free inode")
+		return 0, fmt.Errorf("zero random number marks a free inode: %w", ErrConfig)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -39,7 +39,7 @@ type Server struct {
 	port capability.Port
 
 	mu    sync.Mutex
-	table map[capability.Port]string
+	table map[capability.Port]string // guarded by mu
 }
 
 // NewServer builds a registry. Its own port derives from the service name
@@ -197,7 +197,7 @@ type Client struct {
 	port capability.Port
 
 	mu    sync.Mutex
-	cache map[capability.Port]string
+	cache map[capability.Port]string // guarded by mu
 }
 
 // NewClient builds a registry client. tr must already be able to reach

@@ -22,6 +22,8 @@ import (
 var (
 	// ErrNoSuchLog means the capability does not name a live log.
 	ErrNoSuchLog = errors.New("logsrv: no such log")
+	// ErrConfig means the server was built with unusable options.
+	ErrConfig = errors.New("logsrv: bad configuration")
 )
 
 // Rights used by the log server.
@@ -66,9 +68,9 @@ type Server struct {
 	pfactor   int
 
 	mu      sync.Mutex
-	logs    map[uint32]*logObject
-	nextObj uint32
-	stats   Stats
+	logs    map[uint32]*logObject // guarded by mu
+	nextObj uint32                // guarded by mu
+	stats   Stats                 // guarded by mu
 }
 
 // Stats counts log server activity.
@@ -82,7 +84,7 @@ type Stats struct {
 // New builds a log server. Store is required: logs checkpoint to Bullet.
 func New(opts Options) (*Server, error) {
 	if opts.Store == nil {
-		return nil, errors.New("logsrv: a Bullet store is required")
+		return nil, fmt.Errorf("a Bullet store is required: %w", ErrConfig)
 	}
 	if (opts.Port == capability.Port{}) {
 		p, err := capability.NewPort()

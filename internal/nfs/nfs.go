@@ -66,6 +66,8 @@ var (
 	ErrTooBig = errors.New("nfs: file too large")
 	// ErrBadRange means a malformed offset/count.
 	ErrBadRange = errors.New("nfs: bad offset or count")
+	// ErrConfig means a format request cannot fit the device.
+	ErrConfig = errors.New("nfs: bad format configuration")
 )
 
 // Handle names a file or directory, like an NFS file handle: inode number
@@ -212,7 +214,7 @@ func Format(dev disk.Device, cfg FormatConfig) error {
 	devBytes := dev.Blocks() * int64(dev.BlockSize())
 	total := uint32(devBytes / BlockSize)
 	if total < 16 {
-		return fmt.Errorf("nfs: device too small (%d FS blocks)", total)
+		return fmt.Errorf("device too small (%d FS blocks): %w", total, ErrConfig)
 	}
 	inodes := cfg.Inodes
 	if inodes <= 0 {
@@ -228,7 +230,7 @@ func Format(dev disk.Device, cfg FormatConfig) error {
 		TotalBlocks: total,
 	}
 	if sb.DataStart >= total {
-		return fmt.Errorf("nfs: device too small for %d inodes", inodes)
+		return fmt.Errorf("device too small for %d inodes: %w", inodes, ErrConfig)
 	}
 
 	zero := make([]byte, BlockSize)

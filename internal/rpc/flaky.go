@@ -17,12 +17,12 @@ import (
 type Flaky struct {
 	inner   Transport
 	mu      sync.Mutex
-	rng     *rand.Rand
-	dropReq float64 // probability a request is lost before dispatch
-	dropRep float64 // probability a reply is lost after dispatch
+	rng     *rand.Rand // guarded by mu
+	dropReq float64    // guarded by mu; probability a request is lost before dispatch
+	dropRep float64    // guarded by mu; probability a reply is lost after dispatch
 
-	scriptReq []bool // if non-nil, consumed one per Trans: true = drop request
-	scriptRep []bool
+	scriptReq []bool // guarded by mu; if non-nil, consumed one per Trans: true = drop request
+	scriptRep []bool // guarded by mu
 
 	Requests int // transactions attempted
 	Dropped  int // transactions that returned ErrDropped

@@ -14,10 +14,10 @@ import (
 // create the file twice.
 type Mux struct {
 	mu       sync.Mutex
-	handlers map[capability.Port]Handler
-	dedup    map[uint64]cachedReply
-	order    *list.List // txids in arrival order, for bounded eviction
-	maxDedup int
+	handlers map[capability.Port]Handler // guarded by mu
+	dedup    map[uint64]cachedReply      // guarded by mu
+	order    *list.List                  // guarded by mu; txids in arrival order, for bounded eviction
+	maxDedup int                         // immutable after construction
 }
 
 type cachedReply struct {

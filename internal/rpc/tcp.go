@@ -75,9 +75,9 @@ type TCPServer struct {
 	mux *Mux
 
 	mu     sync.Mutex
-	lis    net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	lis    net.Listener          // guarded by mu
+	conns  map[net.Conn]struct{} // guarded by mu
+	closed bool                  // guarded by mu
 	wg     sync.WaitGroup
 }
 
@@ -194,14 +194,14 @@ type TCPTransport struct {
 	timeout time.Duration
 
 	mu    sync.Mutex
-	conns map[string]*tcpConn
+	conns map[string]*tcpConn // guarded by mu
 }
 
 type tcpConn struct {
 	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn net.Conn      // safe for concurrent use; mu orders whole transactions
+	br   *bufio.Reader // guarded by mu
+	bw   *bufio.Writer // guarded by mu
 }
 
 var _ Transport = (*TCPTransport)(nil)

@@ -41,6 +41,11 @@ var (
 	ErrReadOnly = errors.New("unixemu: read-only file descriptor")
 	// ErrIsDir means the path names a directory.
 	ErrIsDir = errors.New("unixemu: is a directory")
+	// ErrConfig means the FS was built with unusable options.
+	ErrConfig = errors.New("unixemu: bad configuration")
+	// ErrInvalid means an argument was out of range (bad whence,
+	// negative seek, and similar).
+	ErrInvalid = errors.New("unixemu: invalid argument")
 )
 
 // Options configures an FS.
@@ -74,10 +79,10 @@ type FS struct {
 // New builds an FS.
 func New(opts Options) (*FS, error) {
 	if opts.Files == nil || opts.Dirs == nil {
-		return nil, errors.New("unixemu: Files and Dirs clients are required")
+		return nil, fmt.Errorf("Files and Dirs clients are required: %w", ErrConfig)
 	}
 	if (opts.Root == capability.Capability{}) {
-		return nil, errors.New("unixemu: a root directory capability is required")
+		return nil, fmt.Errorf("a root directory capability is required: %w", ErrConfig)
 	}
 	if opts.PFactor == 0 {
 		opts.PFactor = 1
@@ -228,10 +233,10 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	case io.SeekEnd:
 		base = int64(len(f.buf))
 	default:
-		return 0, fmt.Errorf("unixemu: bad whence %d", whence)
+		return 0, fmt.Errorf("bad whence %d: %w", whence, ErrInvalid)
 	}
 	if base+offset < 0 {
-		return 0, fmt.Errorf("unixemu: negative seek position")
+		return 0, fmt.Errorf("negative seek position: %w", ErrInvalid)
 	}
 	f.pos = base + offset
 	return f.pos, nil
