@@ -174,6 +174,7 @@ func (s *Store) Engine() *bullet.Server { return s.engine }
 // address.
 func (s *Store) ServeTCP(addr string) (string, error) {
 	mux := rpc.NewMux(0)
+	mux.AttachMetrics(s.engine.Metrics(), bulletsvc.CommandName)
 	bulletsvc.New(s.engine).Register(mux)
 	s.tcp = rpc.NewTCPServer(mux)
 	return s.tcp.Listen(addr)

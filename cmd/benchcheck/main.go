@@ -1,0 +1,140 @@
+// Command benchcheck is the CI benchmark-regression gate: it compares a
+// fresh benchmark results document (cmd/benchmark -json) against the
+// committed baseline and fails when the run drifted.
+//
+//	benchcheck -baseline bench_baseline.json -current BENCH_RESULTS.json
+//
+// Rules:
+//
+//   - "check/..." keys are the paper's pass/fail shape claims; they must
+//     match the baseline exactly — a claim that flipped is a regression no
+//     tolerance can excuse.
+//   - Every other key is a table cell (delay, bandwidth, ratio); the
+//     current value must be within -tolerance (default 0.25, i.e. ±25%
+//     relative) of the baseline. The experiments run on a virtual clock,
+//     so genuine nondeterminism is zero; the band absorbs deliberate
+//     hardware-model recalibration without masking structural regressions.
+//   - Keys present in the baseline but missing from the current run fail:
+//     a silently vanished experiment must not look like a pass.
+//   - New keys (experiments added since the baseline) are reported but do
+//     not fail; refresh the baseline to start gating them.
+//
+// Exit status: 0 clean, 1 regression, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"bulletfs/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "bench_baseline.json", "committed baseline results")
+		currentPath  = fs.String("current", "BENCH_RESULTS.json", "fresh benchmark results")
+		tolerance    = fs.Float64("tolerance", 0.25, "allowed relative drift for table cells (0.25 = ±25%)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	baseline, err := readResults(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcheck:", err)
+		return 2
+	}
+	current, err := readResults(*currentPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcheck:", err)
+		return 2
+	}
+
+	failures, notes := compare(baseline, current, *tolerance)
+	for _, n := range notes {
+		fmt.Fprintln(stdout, "note:", n)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stdout, "FAIL:", f)
+		}
+		fmt.Fprintf(stdout, "benchcheck: %d regression(s) against %s\n", len(failures), *baselinePath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchcheck: %d keys within ±%.0f%% of %s\n",
+		len(baseline.Values), *tolerance*100, *baselinePath)
+	return 0
+}
+
+func readResults(path string) (*bench.Results, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return bench.ReadResults(data)
+}
+
+// compare evaluates current against baseline: exact match for "check/"
+// keys, relative tolerance for everything else. It returns hard failures
+// and informational notes (new keys not yet in the baseline).
+func compare(baseline, current *bench.Results, tolerance float64) (failures, notes []string) {
+	for _, k := range baseline.Keys() {
+		want := baseline.Values[k]
+		got, ok := current.Values[k]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run (baseline %g)", k, want))
+			continue
+		}
+		if isCheckKey(k) {
+			if got != want {
+				failures = append(failures, fmt.Sprintf("%s: shape check flipped %g -> %g", k, want, got))
+			}
+			continue
+		}
+		if !withinTolerance(want, got, tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: %g -> %g (drift %.1f%%, allowed ±%.0f%%)",
+				k, want, got, 100*relDrift(want, got), tolerance*100))
+		}
+	}
+	for _, k := range current.Keys() {
+		if _, ok := baseline.Values[k]; !ok {
+			notes = append(notes, fmt.Sprintf("%s: new key, not gated (refresh the baseline to gate it)", k))
+		}
+	}
+	return failures, notes
+}
+
+func isCheckKey(k string) bool {
+	return len(k) > 6 && k[:6] == "check/"
+}
+
+// withinTolerance reports whether got is within the relative band around
+// want. Near-zero baselines compare absolutely against a small epsilon —
+// a 0.00 ms cell must stay ~0, not "within 25% of 0".
+func withinTolerance(want, got, tolerance float64) bool {
+	const epsilon = 1e-9
+	if math.Abs(want) < epsilon {
+		return math.Abs(got) < epsilon
+	}
+	return relDrift(want, got) <= tolerance
+}
+
+func relDrift(want, got float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

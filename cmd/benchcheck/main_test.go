@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bulletfs/internal/bench"
+)
+
+func results(values map[string]float64) *bench.Results {
+	r := bench.NewResults()
+	for k, v := range values {
+		r.Values[k] = v
+	}
+	return r
+}
+
+func TestCompareClean(t *testing.T) {
+	base := results(map[string]float64{"f2.delay/1_byte/Read": 2.0, "check/C1": 1})
+	cur := results(map[string]float64{"f2.delay/1_byte/Read": 2.2, "check/C1": 1})
+	failures, notes := compare(base, cur, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+}
+
+func TestCompareDriftBeyondTolerance(t *testing.T) {
+	base := results(map[string]float64{"f2.delay/1_byte/Read": 2.0})
+	cur := results(map[string]float64{"f2.delay/1_byte/Read": 3.0})
+	failures, _ := compare(base, cur, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "drift") {
+		t.Fatalf("want one drift failure, got %v", failures)
+	}
+}
+
+func TestCompareCheckKeyExact(t *testing.T) {
+	// A flipped check fails even though 0 vs 1 could be "within
+	// tolerance" of nothing; tolerance must not apply.
+	base := results(map[string]float64{"check/C2": 1})
+	cur := results(map[string]float64{"check/C2": 0})
+	failures, _ := compare(base, cur, 10.0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "flipped") {
+		t.Fatalf("want one flipped-check failure, got %v", failures)
+	}
+}
+
+func TestCompareMissingKeyFails(t *testing.T) {
+	base := results(map[string]float64{"wan/1_Mbyte/whole": 5.0})
+	cur := results(map[string]float64{})
+	failures, _ := compare(base, cur, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("want one missing-key failure, got %v", failures)
+	}
+}
+
+func TestCompareNewKeyIsNoteOnly(t *testing.T) {
+	base := results(map[string]float64{})
+	cur := results(map[string]float64{"modern/1_byte/Read": 0.5})
+	failures, notes := compare(base, cur, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "new key") {
+		t.Fatalf("want one new-key note, got %v", notes)
+	}
+}
+
+func TestWithinToleranceZeroBaseline(t *testing.T) {
+	if !withinTolerance(0, 0, 0.25) {
+		t.Fatal("0 vs 0 must pass")
+	}
+	if withinTolerance(0, 0.5, 0.25) {
+		t.Fatal("0 -> 0.5 must fail: relative tolerance cannot excuse growth from zero")
+	}
+}
+
+func TestReadResultsRoundTrip(t *testing.T) {
+	r := results(map[string]float64{"f2.delay/1_byte/READ": 3.6, "check/C1": 1})
+	path := filepath.Join(t.TempDir(), "r.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	back, err := readResults(path)
+	if err != nil {
+		t.Fatalf("readResults: %v", err)
+	}
+	if back.Values["f2.delay/1_byte/READ"] != 3.6 || back.Values["check/C1"] != 1 {
+		t.Fatalf("round trip lost values: %v", back.Values)
+	}
+	if _, err := readResults(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("readResults on a missing file must fail")
+	}
+}
+
+func writeResultsFile(t *testing.T, values map[string]float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "results.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := results(values).WriteJSON(f); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+func TestRunExitCodes(t *testing.T) {
+	base := writeResultsFile(t, map[string]float64{"f2.delay/1_byte/READ": 2.0, "check/C1": 1})
+	same := writeResultsFile(t, map[string]float64{"f2.delay/1_byte/READ": 2.1, "check/C1": 1})
+	drifted := writeResultsFile(t, map[string]float64{"f2.delay/1_byte/READ": 9.0, "check/C1": 1})
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", base, "-current", same}, &out, &errOut); code != 0 {
+		t.Errorf("clean compare: exit %d, want 0 (stdout %q)", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-baseline", base, "-current", drifted}, &out, &errOut); code != 1 {
+		t.Errorf("drifted compare: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "FAIL:") {
+		t.Errorf("drifted compare output missing FAIL line: %q", out.String())
+	}
+	if code := run([]string{"-baseline", "/does/not/exist.json", "-current", same}, &out, &errOut); code != 2 {
+		t.Errorf("missing baseline: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogusflag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

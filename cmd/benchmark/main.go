@@ -12,11 +12,18 @@
 //	benchmark -experiment modern    # what-if: both designs on 2020s hardware
 //	benchmark -experiment trace     # trace replay with the paper's size mix
 //	benchmark -experiment wan       # whole-file vs per-block across a WAN link
+//
+// With -json the run writes a flat machine-readable results document to
+// stdout (every table cell and check verdict under a stable key) instead
+// of the human tables — the input of cmd/benchcheck's CI regression gate:
+//
+//	benchmark -json > BENCH_RESULTS.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bulletfs/internal/bench"
@@ -25,18 +32,30 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all",
 		"experiment to run: all, f2, f3, compare, ablation, pfactor, frag, cache, modern, trace, wan")
+	asJSON := flag.Bool("json", false, "emit machine-readable results JSON on stdout instead of tables")
 	flag.Parse()
-	if err := run(*experiment); err != nil {
+	if err := run(*experiment, *asJSON, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string) error {
+func run(experiment string, asJSON bool, stdout io.Writer) error {
+	results := bench.NewResults()
 	var failed bool
+
+	// In JSON mode stdout carries only the results document; the human
+	// tables are suppressed rather than redirected (the JSON holds every
+	// cell anyway).
+	emit := func(s string) {
+		if !asJSON {
+			fmt.Fprintln(stdout, s)
+		}
+	}
 	note := func(checks []bench.Check) {
+		results.AddChecks(checks)
 		for _, c := range checks {
-			fmt.Println(c.Format())
+			emit(c.Format())
 			if !c.Pass {
 				failed = true
 			}
@@ -53,86 +72,77 @@ func run(experiment string) error {
 		if f2, err = bench.RunF2(); err != nil {
 			return err
 		}
+		results.AddTable("f2.delay", &f2.Delay)
+		results.AddTable("f2.bandwidth", &f2.Bandwidth)
 		if experiment != "compare" {
-			fmt.Println(f2.Delay.Format())
-			fmt.Println(f2.Bandwidth.Format())
+			emit(f2.Delay.Format())
+			emit(f2.Bandwidth.Format())
 		}
 	}
 	if wantF3 {
 		if f3, err = bench.RunF3(); err != nil {
 			return err
 		}
+		results.AddTable("f3.delay", &f3.Delay)
+		results.AddTable("f3.bandwidth", &f3.Bandwidth)
 		if experiment != "compare" {
-			fmt.Println(f3.Delay.Format())
-			fmt.Println(f3.Bandwidth.Format())
+			emit(f3.Delay.Format())
+			emit(f3.Bandwidth.Format())
 		}
 	}
 	if experiment == "all" || experiment == "compare" {
 		cmp := bench.RunCompare(f2, f3)
-		fmt.Println(cmp.Ratios.Format())
+		results.AddTable("compare.ratios", &cmp.Ratios)
+		emit(cmp.Ratios.Format())
 		note(cmp.Checks)
-		fmt.Println()
+		emit("")
 	}
 	if experiment == "all" || experiment == "ablation" {
 		t, err := bench.RunAblation()
 		if err != nil {
 			return err
 		}
-		fmt.Println(t.Format())
+		results.AddTable("ablation", t)
+		emit(t.Format())
 	}
 	if experiment == "all" || experiment == "pfactor" {
 		t, err := bench.RunPFactor()
 		if err != nil {
 			return err
 		}
-		fmt.Println(t.Format())
+		results.AddTable("pfactor", t)
+		emit(t.Format())
 		note(bench.PFactorChecks(t))
-		fmt.Println()
+		emit("")
 	}
-	if experiment == "all" || experiment == "frag" {
-		t, checks, err := bench.RunFragmentation()
+	type simple struct {
+		name string
+		want bool
+		run  func() (*bench.Table, []bench.Check, error)
+	}
+	for _, exp := range []simple{
+		{"frag", experiment == "all" || experiment == "frag", bench.RunFragmentation},
+		{"cache", experiment == "all" || experiment == "cache", bench.RunCacheExp},
+		{"modern", experiment == "all" || experiment == "modern", bench.RunModern},
+		{"trace", experiment == "all" || experiment == "trace", bench.RunTrace},
+		{"wan", experiment == "all" || experiment == "wan", bench.RunWAN},
+	} {
+		if !exp.want {
+			continue
+		}
+		t, checks, err := exp.run()
 		if err != nil {
 			return err
 		}
-		fmt.Println(t.Format())
+		results.AddTable(exp.name, t)
+		emit(t.Format())
 		note(checks)
-		fmt.Println()
+		emit("")
 	}
-	if experiment == "all" || experiment == "cache" {
-		t, checks, err := bench.RunCacheExp()
-		if err != nil {
+	if asJSON {
+		if err := results.WriteJSON(stdout); err != nil {
 			return err
 		}
-		fmt.Println(t.Format())
-		note(checks)
-		fmt.Println()
-	}
-	if experiment == "all" || experiment == "modern" {
-		t, checks, err := bench.RunModern()
-		if err != nil {
-			return err
-		}
-		fmt.Println(t.Format())
-		note(checks)
-		fmt.Println()
-	}
-	if experiment == "all" || experiment == "trace" {
-		t, checks, err := bench.RunTrace()
-		if err != nil {
-			return err
-		}
-		fmt.Println(t.Format())
-		note(checks)
-		fmt.Println()
-	}
-	if experiment == "all" || experiment == "wan" {
-		t, checks, err := bench.RunWAN()
-		if err != nil {
-			return err
-		}
-		fmt.Println(t.Format())
-		note(checks)
-		fmt.Println()
 	}
 	if failed {
 		return fmt.Errorf("one or more shape checks failed")

@@ -6,15 +6,22 @@
 //	bulletctl -server localhost:7001 append <capability> more.txt
 //	bulletctl -server localhost:7001 del <capability>
 //	bulletctl -server localhost:7001 stat
+//	bulletctl -server localhost:7001 stats [-json] <capability>
 //	bulletctl -server localhost:7001 compact
 //	bulletctl restrict <capability> read,delete        # offline, no server
+//
+// Exit codes distinguish failure classes for scripts: 1 for generic
+// errors, 2 when the server rejected the capability (bad check field or
+// missing rights), 3 when the transport failed before a reply arrived.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -23,17 +30,32 @@ import (
 	"bulletfs/internal/client"
 	"bulletfs/internal/locate"
 	"bulletfs/internal/rpc"
+	"bulletfs/internal/stats"
 )
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "bulletctl:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode classifies an error for scripts: capability rejections (the
+// server answered and said no) are distinct from transport failures (no
+// answer at all).
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, capability.ErrBadCheck), errors.Is(err, capability.ErrBadRights):
+		return 2
+	case errors.Is(err, client.ErrTransport):
+		return 3
+	default:
+		return 1
 	}
 }
 
 func usage() error {
-	return fmt.Errorf("usage: bulletctl [-server addr] [-port name] [-pfactor n] <put|get|size|append|del|stat|compact|restrict> args...")
+	return fmt.Errorf("usage: bulletctl [-server addr] [-port name] [-pfactor n] <put|get|size|append|del|stat|stats|compact|restrict> args...")
 }
 
 func run() error {
@@ -146,6 +168,41 @@ func run() error {
 		printStats(st)
 		return nil
 
+	case "stats":
+		// bulletctl stats [-json] <capability>
+		var asJSON bool
+		var capStr string
+		for _, a := range args[1:] {
+			if a == "-json" || a == "--json" {
+				asJSON = true
+			} else if capStr == "" {
+				capStr = a
+			} else {
+				return fmt.Errorf("usage: bulletctl stats [-json] <capability>")
+			}
+		}
+		if capStr == "" {
+			return fmt.Errorf("usage: bulletctl stats [-json] <capability> (any readable file's capability authorizes the query)")
+		}
+		c, err := capability.Parse(capStr)
+		if err != nil {
+			return err
+		}
+		snap, err := cl.Stats(c)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			body, err := snap.MarshalIndent()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(body))
+			return nil
+		}
+		printSnapshot(snap)
+		return nil
+
 	case "compact":
 		if err := cl.CompactDisk(p); err != nil {
 			return err
@@ -212,4 +269,38 @@ func printStats(st bulletsvc.ServerStats) {
 		st.Engine.CacheHits, st.Engine.CacheMisses)
 	fmt.Printf("disk: %d/%d blocks used, fragmentation %.1f%%, largest hole %d blocks\n",
 		st.Disk.Used, st.Disk.Total, 100*st.Disk.Fragmentation(), st.Disk.LargestFree)
+}
+
+// printSnapshot renders a full metrics snapshot as sorted key-value lines:
+// counters and gauges verbatim, histograms as count plus quantiles.
+func printSnapshot(snap stats.Snapshot) {
+	section := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		fmt.Printf("%s:\n", title)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-40s %d\n", k, m[k])
+		}
+	}
+	section("counters", snap.Counters)
+	section("gauges", snap.Gauges)
+	if len(snap.Histograms) > 0 {
+		fmt.Println("histograms:")
+		keys := make([]string, 0, len(snap.Histograms))
+		for k := range snap.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := snap.Histograms[k]
+			fmt.Printf("  %-40s n=%d p50=%.0f p95=%.0f p99=%.0f max=%d\n",
+				k, h.Count, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
 }

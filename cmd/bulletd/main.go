@@ -16,9 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -50,6 +53,7 @@ func run() error {
 		locateAt  = flag.String("locate", "", "located registry address to announce this server at (optional)")
 		advertise = flag.String("advertise", "", "address to announce (default: the bound listen address)")
 		registry  = flag.String("registry", "registry", "registry service name when announcing")
+		httpAddr  = flag.String("http", "", "expvar-style HTTP address serving GET /debug/stats (optional, e.g. :7002)")
 	)
 	flag.Parse()
 	if *disks == "" {
@@ -93,6 +97,7 @@ func run() error {
 	defer engine.Close() //nolint:errcheck // drained below
 
 	mux := rpc.NewMux(0)
+	mux.AttachMetrics(engine.Metrics(), bulletsvc.CommandName)
 	bulletsvc.New(engine).Register(mux)
 	srv := rpc.NewTCPServer(mux)
 	addr, err := srv.Listen(*listen)
@@ -100,6 +105,36 @@ func run() error {
 		return err
 	}
 	fmt.Printf("bulletd serving on %s\n", addr)
+
+	// Optional HTTP observability endpoint. Unauthenticated like expvar;
+	// bind it to a loopback or otherwise protected address.
+	var httpWG sync.WaitGroup
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		hmux := http.NewServeMux()
+		hmux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
+			body, err := engine.Metrics().Snapshot().MarshalIndent()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body) //nolint:errcheck // best-effort HTTP reply
+		})
+		lis, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listen %s: %w", *httpAddr, err)
+		}
+		httpSrv = &http.Server{Handler: hmux, ReadHeaderTimeout: 5 * time.Second}
+		httpWG.Add(1)
+		go func() {
+			defer httpWG.Done()
+			if err := httpSrv.Serve(lis); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "bulletd: http:", err)
+			}
+		}()
+		fmt.Printf("stats endpoint on http://%s/debug/stats\n", lis.Addr())
+	}
 	fmt.Printf("capability port: %x (service name %q)\n", engine.Port(), *port)
 	fmt.Printf("files: %d live, max file size %d bytes\n", engine.Live(), engine.MaxFileSize())
 
@@ -122,6 +157,10 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	if httpSrv != nil {
+		httpSrv.Close() //nolint:errcheck // shutdown path
+		httpWG.Wait()
+	}
 	if err := srv.Close(); err != nil {
 		return err
 	}

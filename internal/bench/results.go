@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Results accumulates a machine-readable view of one benchmark run: every
+// table cell under a stable flat key ("f2.delay/1_byte/Read"), every shape
+// check as "check/<ID>" with 1 for pass and 0 for fail. The flat map keeps
+// CI diffing trivial: compare values key by key, no structure to walk.
+type Results struct {
+	Values map[string]float64 `json:"values"`
+}
+
+// NewResults returns an empty collector.
+func NewResults() *Results {
+	return &Results{Values: make(map[string]float64)}
+}
+
+// keyPart normalizes a label for use in a result key: spaces become
+// underscores so keys stay greppable and shell-safe.
+func keyPart(s string) string {
+	return strings.ReplaceAll(strings.TrimSpace(s), " ", "_")
+}
+
+// AddTable records every cell of t under prefix/<row>/<column>.
+func (r *Results) AddTable(prefix string, t *Table) {
+	if t == nil {
+		return
+	}
+	for _, row := range t.Rows {
+		for i, v := range row.Values {
+			col := fmt.Sprintf("col%d", i)
+			if i < len(t.Columns) {
+				col = keyPart(t.Columns[i])
+			}
+			r.Values[prefix+"/"+keyPart(row.Label)+"/"+col] = v
+		}
+	}
+}
+
+// AddChecks records each check verdict under check/<ID>: 1 pass, 0 fail.
+func (r *Results) AddChecks(checks []Check) {
+	for _, c := range checks {
+		v := 0.0
+		if c.Pass {
+			v = 1.0
+		}
+		r.Values["check/"+keyPart(c.ID)] = v
+	}
+}
+
+// WriteJSON emits the results as deterministic (sorted-key) indented JSON.
+func (r *Results) WriteJSON(w io.Writer) error {
+	// encoding/json already sorts map keys; MarshalIndent keeps the file
+	// diffable in review.
+	body, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding results: %w", err)
+	}
+	if _, err := w.Write(append(body, '\n')); err != nil {
+		return fmt.Errorf("bench: writing results: %w", err)
+	}
+	return nil
+}
+
+// ReadResults parses a Results JSON document (the inverse of WriteJSON).
+func ReadResults(data []byte) (*Results, error) {
+	var r Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: decoding results: %w", err)
+	}
+	if r.Values == nil {
+		r.Values = make(map[string]float64)
+	}
+	return &r, nil
+}
+
+// Keys returns the sorted result keys.
+func (r *Results) Keys() []string {
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

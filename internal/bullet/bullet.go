@@ -16,12 +16,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"bulletfs/internal/alloc"
 	"bulletfs/internal/cache"
 	"bulletfs/internal/capability"
 	"bulletfs/internal/disk"
 	"bulletfs/internal/layout"
+	"bulletfs/internal/stats"
 )
 
 // Engine-level errors.
@@ -61,6 +63,10 @@ type Options struct {
 	CacheBytes int64
 	// MaxCachedFiles bounds the rnode table; default 1024.
 	MaxCachedFiles int
+	// Metrics is the stats registry the engine threads through every
+	// layer (cache, disks, its own counters). Nil means a private
+	// registry; pass a shared one to co-locate RPC metrics.
+	Metrics *stats.Registry
 }
 
 func (o *Options) fill() error {
@@ -80,7 +86,9 @@ func (o *Options) fill() error {
 	return nil
 }
 
-// Stats counts engine activity.
+// Stats counts engine activity. It is a legacy snapshot view synthesized
+// from the metrics registry; the registry itself (Metrics) additionally
+// carries latency histograms and per-layer gauges.
 type Stats struct {
 	Creates      int64
 	Reads        int64
@@ -94,6 +102,40 @@ type Stats struct {
 	Compactions  int64
 }
 
+// engineMetrics holds the engine's handles into the stats registry. The
+// handles are immutable after New; the counters themselves are atomic.
+type engineMetrics struct {
+	creates         *stats.Counter
+	reads           *stats.Counter
+	deletes         *stats.Counter
+	modifies        *stats.Counter
+	capCacheHits    *stats.Counter
+	bytesIn         *stats.Counter
+	bytesOut        *stats.Counter
+	compactions     *stats.Counter
+	compactionBytes *stats.Counter
+	commit          []*stats.Histogram // commit-to-disk latency, indexed by p-factor
+}
+
+func newEngineMetrics(reg *stats.Registry, replicas int) engineMetrics {
+	m := engineMetrics{
+		creates:         reg.Counter("bullet.creates"),
+		reads:           reg.Counter("bullet.reads"),
+		deletes:         reg.Counter("bullet.deletes"),
+		modifies:        reg.Counter("bullet.modifies"),
+		capCacheHits:    reg.Counter("bullet.capcache_hits"),
+		bytesIn:         reg.Counter("bullet.bytes_in"),
+		bytesOut:        reg.Counter("bullet.bytes_out"),
+		compactions:     reg.Counter("bullet.disk_compactions"),
+		compactionBytes: reg.Counter("bullet.compaction_bytes_moved"),
+	}
+	for k := 0; k <= replicas; k++ {
+		m.commit = append(m.commit,
+			reg.Histogram(fmt.Sprintf("bullet.commit_ns.p%d", k), stats.DefaultLatencyBounds))
+	}
+	return m
+}
+
 // Server is one Bullet file server instance over a replica set.
 type Server struct {
 	port     capability.Port
@@ -104,7 +146,9 @@ type Server struct {
 	table  *layout.Table
 	dalloc *alloc.Allocator // data-area blocks
 	cache  *cache.Cache
-	stats  Stats
+
+	metrics *stats.Registry // immutable after New
+	m       engineMetrics   // immutable handles; counters are atomic
 
 	// capCache remembers successfully verified capabilities so repeat
 	// requests skip the check-field computation — "Capabilities can be
@@ -158,15 +202,28 @@ func New(replicas *disk.ReplicaSet, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bullet: building cache: %w", err)
 	}
-	return &Server{
+	reg := opts.Metrics
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	s := &Server{
 		port:     opts.Port,
 		replicas: replicas,
 		desc:     desc,
 		table:    table,
 		dalloc:   dalloc,
 		cache:    fileCache,
+		metrics:  reg,
+		m:        newEngineMetrics(reg, replicas.N()),
 		capCache: make(map[capability.Capability]capability.Rights),
-	}, nil
+	}
+	fileCache.AttachMetrics(reg)
+	replicas.AttachMetrics(reg)
+	reg.GaugeFunc("bullet.live_files", func() int64 { return int64(s.Live()) })
+	reg.GaugeFunc("bullet.data_blocks_used", func() int64 { return s.DiskStats().Used })
+	reg.GaugeFunc("bullet.data_blocks_free", func() int64 { return s.DiskStats().Free })
+	reg.GaugeFunc("bullet.data_largest_free", func() int64 { return s.DiskStats().LargestFree })
+	return s, nil
 }
 
 // Port returns the server's capability port.
@@ -189,7 +246,7 @@ func (s *Server) verify(c capability.Capability, want capability.Rights) (uint32
 		return 0, layout.Inode{}, fmt.Errorf("object %d: %w", c.Object, ErrNoSuchFile)
 	}
 	if rights, ok := s.capCache[c]; ok {
-		s.stats.CapCacheHits++
+		s.m.capCacheHits.Inc()
 		if !rights.Has(want) {
 			return 0, layout.Inode{}, fmt.Errorf("need rights %08b, have %08b: %w",
 				want, rights, capability.ErrBadRights)
@@ -303,6 +360,7 @@ func (s *Server) Create(data []byte, pfactor int) (capability.Capability, error)
 	padded := make([]byte, blocks*int64(s.desc.BlockSize))
 	copy(padded, data)
 	dataOff := s.desc.DataOffset(start)
+	commitStart := time.Now()
 	err = s.replicas.Apply(pfactor, func(_ int, dev disk.Device) error {
 		if err := dev.WriteAt(padded, dataOff); err != nil {
 			return err
@@ -317,9 +375,10 @@ func (s *Server) Create(data []byte, pfactor int) (capability.Capability, error)
 		}
 		return capability.Capability{}, fmt.Errorf("bullet: write-through failed: %w", err)
 	}
+	s.m.commit[pfactor].ObserveDuration(time.Since(commitStart))
 
-	s.stats.Creates++
-	s.stats.BytesIn += size
+	s.m.creates.Inc()
+	s.m.bytesIn.Add(size)
 	return capability.Owner(s.port, inode, random), nil
 }
 
@@ -357,8 +416,8 @@ func (s *Server) Read(c capability.Capability) ([]byte, error) {
 	}
 	out := make([]byte, len(data))
 	copy(out, data)
-	s.stats.Reads++
-	s.stats.BytesOut += int64(len(out))
+	s.m.reads.Inc()
+	s.m.bytesOut.Add(int64(len(out)))
 	return out, nil
 }
 
@@ -372,13 +431,12 @@ func (s *Server) readLocked(c capability.Capability) ([]byte, error) {
 	if ino.CacheIndex != 0 {
 		data, err := s.cache.Get(ino.CacheIndex, inode)
 		if err == nil {
-			s.stats.CacheHits++
-			return data, nil
+			return data, nil // cache.Get counted the hit
 		}
 		// Stale index (should not happen; self-heal and fall through).
 		_ = s.table.SetCacheIndex(inode, 0)
 	}
-	s.stats.CacheMisses++
+	s.cache.NoteMiss()
 
 	// Load the whole file contiguously from the main disk (§3: "the file
 	// can be read into the RAM cache" in one transfer). A P-FACTOR-0
@@ -434,7 +492,7 @@ func (s *Server) Delete(c capability.Capability) error {
 	if err := s.dalloc.Free(int64(ino.FirstBlock), ino.Blocks(s.desc.BlockSize)); err != nil {
 		return fmt.Errorf("bullet: freeing extent: %w", err)
 	}
-	s.stats.Deletes++
+	s.m.deletes.Inc()
 	return nil
 }
 
@@ -492,9 +550,7 @@ func (s *Server) Modify(c capability.Capability, offset int64, data []byte, newS
 	if err != nil {
 		return capability.Capability{}, err
 	}
-	s.mu.Lock()
-	s.stats.Modifies++
-	s.mu.Unlock()
+	s.m.modifies.Inc()
 	return nc, nil
 }
 
@@ -531,16 +587,47 @@ func (s *Server) ReadRange(c capability.Capability, offset, n int64) ([]byte, er
 	}
 	out := make([]byte, end-offset)
 	copy(out, data[offset:end])
-	s.stats.Reads++
-	s.stats.BytesOut += int64(len(out))
+	s.m.reads.Inc()
+	s.m.bytesOut.Add(int64(len(out)))
 	return out, nil
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters, synthesized from the
+// metrics registry (the counters are atomic; the snapshot is not a single
+// consistent cut, which matches the old lock-free read semantics closely
+// enough for reporting).
 func (s *Server) Stats() Stats {
+	cs := s.cache.Stats()
+	return Stats{
+		Creates:      s.m.creates.Load(),
+		Reads:        s.m.reads.Load(),
+		Deletes:      s.m.deletes.Load(),
+		Modifies:     s.m.modifies.Load(),
+		CacheHits:    cs.Hits,
+		CacheMisses:  cs.Misses,
+		CapCacheHits: s.m.capCacheHits.Load(),
+		BytesIn:      s.m.bytesIn.Load(),
+		BytesOut:     s.m.bytesOut.Load(),
+		Compactions:  s.m.compactions.Load(),
+	}
+}
+
+// Metrics returns the engine's stats registry — the full observability
+// surface (counters, gauges, histograms) across every layer.
+func (s *Server) Metrics() *stats.Registry { return s.metrics }
+
+// StatsSnapshot returns a point-in-time view of the full metrics registry,
+// authorized by c: any valid capability for a live file carrying the read
+// right proves a legitimate client. Statistics are read-only, so the read
+// right suffices.
+func (s *Server) StatsSnapshot(c capability.Capability) (stats.Snapshot, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	_, _, err := s.verify(c, RightRead)
+	s.mu.Unlock()
+	if err != nil {
+		return stats.Snapshot{}, err
+	}
+	return s.metrics.Snapshot(), nil
 }
 
 // CacheStats returns the RAM cache counters.

@@ -8,6 +8,8 @@ import (
 
 	"bulletfs/internal/capability"
 	"bulletfs/internal/disk"
+
+	"bulletfs/internal/stats"
 )
 
 // world bundles a test server with handles to its fault-injectable disks.
@@ -725,5 +727,93 @@ func TestQuickEngineIntegrity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMetricsRegistryAndStatsSnapshot(t *testing.T) {
+	w := newWorld(t, 2, Options{})
+	reg := w.srv.Metrics()
+	if reg == nil {
+		t.Fatal("Metrics() returned nil")
+	}
+
+	c, err := w.srv.Create([]byte("measured"), 2)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := w.srv.Read(c); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	snap, err := w.srv.StatsSnapshot(c)
+	if err != nil {
+		t.Fatalf("StatsSnapshot: %v", err)
+	}
+	if n := snap.Counters["bullet.creates"]; n != 1 {
+		t.Errorf("bullet.creates = %d, want 1", n)
+	}
+	if n := snap.Counters["bullet.reads"]; n != 1 {
+		t.Errorf("bullet.reads = %d, want 1", n)
+	}
+	if n := snap.Gauges["bullet.live_files"]; n != 1 {
+		t.Errorf("bullet.live_files = %d, want 1", n)
+	}
+	if h, ok := snap.Histograms["bullet.commit_ns.p2"]; !ok || h.Count != 1 {
+		t.Errorf("bullet.commit_ns.p2 = %+v, want count 1", h)
+	}
+
+	// The legacy Stats view is synthesized from the same registry.
+	legacy := w.srv.Stats()
+	if legacy.Creates != 1 || legacy.Reads != 1 || legacy.BytesIn != 8 {
+		t.Errorf("legacy Stats = %+v, want Creates 1 Reads 1 BytesIn 8", legacy)
+	}
+
+	// StatsSnapshot is capability-checked: no read right, no stats.
+	delOnly, err := capability.Restrict(c, capability.RightDelete)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if _, err := w.srv.StatsSnapshot(delOnly); !errors.Is(err, capability.ErrBadRights) {
+		t.Errorf("StatsSnapshot without read right: err = %v, want ErrBadRights", err)
+	}
+}
+
+func TestSharedRegistryOption(t *testing.T) {
+	reg := stats.NewRegistry()
+	w := newWorld(t, 2, Options{Metrics: reg})
+	if w.srv.Metrics() != reg {
+		t.Fatal("engine did not adopt the supplied registry")
+	}
+	if _, err := w.srv.Create([]byte("x"), 1); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if n := reg.Snapshot().Counters["bullet.creates"]; n != 1 {
+		t.Errorf("shared registry bullet.creates = %d, want 1", n)
+	}
+}
+
+func TestCompactionMetrics(t *testing.T) {
+	w := newWorld(t, 2, Options{})
+	// Lay down files, delete one to punch a hole, compact.
+	var caps []capability.Capability
+	for i := 0; i < 3; i++ {
+		c, err := w.srv.Create(bytes.Repeat([]byte{byte(i)}, 2048), 2)
+		if err != nil {
+			t.Fatalf("Create %d: %v", i, err)
+		}
+		caps = append(caps, c)
+	}
+	if err := w.srv.Delete(caps[0]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := w.srv.CompactDisk(); err != nil {
+		t.Fatalf("CompactDisk: %v", err)
+	}
+	snap := w.srv.Metrics().Snapshot()
+	if n := snap.Counters["bullet.disk_compactions"]; n != 1 {
+		t.Errorf("bullet.disk_compactions = %d, want 1", n)
+	}
+	if n := snap.Counters["bullet.compaction_bytes_moved"]; n <= 0 {
+		t.Errorf("bullet.compaction_bytes_moved = %d, want > 0", n)
 	}
 }

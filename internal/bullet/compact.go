@@ -57,6 +57,7 @@ func (s *Server) compactDiskLocked() error {
 		if err := s.retarget(n, uint32(m.To)); err != nil {
 			return err
 		}
+		s.m.compactionBytes.Add(m.Count * bs)
 	}
 
 	var after []alloc.Extent
@@ -66,7 +67,7 @@ func (s *Server) compactDiskLocked() error {
 	if err := s.dalloc.Reset(after); err != nil {
 		return fmt.Errorf("bullet: rebuilding free list after compaction: %w", err)
 	}
-	s.stats.Compactions++
+	s.m.compactions.Inc()
 	return nil
 }
 

@@ -33,7 +33,41 @@ const (
 	CmdSync         uint32 = 9  // wait for background write-through
 	CmdCompactDisk  uint32 = 10 // run the 3 a.m. compactor now
 	CmdCompactCache uint32 = 11 // defragment the RAM cache
+	CmdStats        uint32 = 12 // Cap (read right) -> reply payload=JSON stats.Snapshot
 )
+
+// CommandName maps a Bullet command code to a short lowercase name, for
+// metric keys and diagnostics. Unknown codes return "".
+func CommandName(cmd uint32) string {
+	switch cmd {
+	case CmdCreate:
+		return "create"
+	case CmdSize:
+		return "size"
+	case CmdRead:
+		return "read"
+	case CmdDelete:
+		return "delete"
+	case CmdModify:
+		return "modify"
+	case CmdAppend:
+		return "append"
+	case CmdReadRange:
+		return "readrange"
+	case CmdStat:
+		return "stat"
+	case CmdSync:
+		return "sync"
+	case CmdCompactDisk:
+		return "compactdisk"
+	case CmdCompactCache:
+		return "compactcache"
+	case CmdStats:
+		return "stats"
+	default:
+		return ""
+	}
+}
 
 // PackModifyArg2 packs the newSize (-1 for "natural size") and p-factor of
 // a CmdModify into the header's second argument: p-factor in the top 16
@@ -182,6 +216,17 @@ func (s *Service) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
 			MaxFileSize: s.engine.MaxFileSize(),
 		}
 		body, err := json.Marshal(stats)
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusInternal), nil
+		}
+		return rpc.ReplyOK(), body
+
+	case CmdStats:
+		snap, err := s.engine.StatsSnapshot(req.Cap)
+		if err != nil {
+			return rpc.ReplyErr(StatusOf(err)), nil
+		}
+		body, err := json.Marshal(snap)
 		if err != nil {
 			return rpc.ReplyErr(rpc.StatusInternal), nil
 		}

@@ -11,6 +11,7 @@ import (
 	"bulletfs/internal/capability"
 	"bulletfs/internal/disk"
 	"bulletfs/internal/rpc"
+	"bulletfs/internal/stats"
 )
 
 func newService(t *testing.T) (*Service, *bullet.Server) {
@@ -235,5 +236,60 @@ func TestRegisterRoutesByEnginePort(t *testing.T) {
 	}
 	if _, _, err := tr.Trans(capability.PortFromString("other"), rpc.Header{}, nil); !errors.Is(err, rpc.ErrNoServer) {
 		t.Fatalf("unknown port err = %v", err)
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	svc, _ := newService(t)
+	rep, _ := svc.Handle(rpc.Header{Command: CmdCreate, Arg: 1}, []byte("stats me"))
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("create status = %v", rep.Status)
+	}
+	c := rep.Cap
+
+	rep, body := svc.Handle(rpc.Header{Command: CmdStats, Cap: c}, nil)
+	if rep.Status != rpc.StatusOK {
+		t.Fatalf("stats status = %v", rep.Status)
+	}
+	var snap stats.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("stats payload: %v", err)
+	}
+	if snap.Counters["bullet.creates"] != 1 {
+		t.Errorf("bullet.creates = %d, want 1", snap.Counters["bullet.creates"])
+	}
+
+	// Without the read right, the query is refused.
+	delOnly, err := capability.Restrict(c, capability.RightDelete)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	rep, _ = svc.Handle(rpc.Header{Command: CmdStats, Cap: delOnly}, nil)
+	if rep.Status != rpc.StatusBadRights {
+		t.Errorf("stats with delete-only cap: status = %v, want StatusBadRights", rep.Status)
+	}
+}
+
+func TestCommandName(t *testing.T) {
+	known := map[uint32]string{
+		CmdCreate: "create", CmdSize: "size", CmdRead: "read",
+		CmdDelete: "delete", CmdModify: "modify", CmdAppend: "append",
+		CmdReadRange: "readrange", CmdStat: "stat", CmdSync: "sync",
+		CmdCompactDisk: "compactdisk", CmdCompactCache: "compactcache",
+		CmdStats: "stats",
+	}
+	seen := make(map[string]bool)
+	for cmd, want := range known {
+		got := CommandName(cmd)
+		if got != want {
+			t.Errorf("CommandName(%d) = %q, want %q", cmd, got, want)
+		}
+		if seen[got] {
+			t.Errorf("duplicate command name %q", got)
+		}
+		seen[got] = true
+	}
+	if got := CommandName(999); got != "" {
+		t.Errorf("CommandName(999) = %q, want empty", got)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"bulletfs/internal/alloc"
+	"bulletfs/internal/stats"
 )
 
 // Errors returned by the cache.
@@ -63,6 +64,8 @@ type Stats struct {
 	Insertions  int64 // successful Inserts
 	Evictions   int64 // files evicted to make room
 	Compactions int64 // arena compactions triggered by fragmentation
+	Hits        int64 // successful Gets
+	Misses      int64 // faults reported by the engine via NoteMiss
 }
 
 // Cache is the contiguous RAM file cache. It is safe for concurrent use.
@@ -243,10 +246,20 @@ func (c *Cache) Get(idx uint16, inode uint32) ([]byte, error) {
 		return nil, fmt.Errorf("slot %d holds inode %d, want %d: %w", idx, rn.inode, inode, ErrBadSlot)
 	}
 	rn.age = c.tickLocked()
+	c.stats.Hits++
 	if rn.size == 0 {
 		return []byte{}, nil
 	}
 	return c.buf[rn.off : rn.off+rn.size : rn.off+rn.size], nil
+}
+
+// NoteMiss records one cache miss. The engine calls it when a read finds
+// no cached copy and faults the file in from disk; the cache cannot see
+// those, because the engine consults the inode's cache-index field first.
+func (c *Cache) NoteMiss() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Misses++
 }
 
 // Remove drops slot idx from the cache (file deleted, paper §3: "If the
@@ -330,4 +343,24 @@ func (c *Cache) Fragmentation() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.arena.Stats().Fragmentation()
+}
+
+// AttachMetrics registers the cache's counters with a stats registry
+// under the "cache." prefix. Values are polled at snapshot time, so
+// attachment costs nothing on the hot path.
+func (c *Cache) AttachMetrics(r *stats.Registry) {
+	poll := func(pick func(Stats) int64) func() int64 {
+		return func() int64 { return pick(c.Stats()) }
+	}
+	r.GaugeFunc("cache.files", poll(func(s Stats) int64 { return int64(s.Files) }))
+	r.GaugeFunc("cache.resident_bytes", poll(func(s Stats) int64 { return s.UsedBytes }))
+	r.GaugeFunc("cache.total_bytes", poll(func(s Stats) int64 { return s.TotalBytes }))
+	r.GaugeFunc("cache.hits", poll(func(s Stats) int64 { return s.Hits }))
+	r.GaugeFunc("cache.misses", poll(func(s Stats) int64 { return s.Misses }))
+	r.GaugeFunc("cache.insertions", poll(func(s Stats) int64 { return s.Insertions }))
+	r.GaugeFunc("cache.evictions", poll(func(s Stats) int64 { return s.Evictions }))
+	r.GaugeFunc("cache.compactions", poll(func(s Stats) int64 { return s.Compactions }))
+	r.GaugeFunc("cache.fragmentation_pct", func() int64 {
+		return int64(100 * c.Fragmentation())
+	})
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+
+	"bulletfs/internal/stats"
 )
 
 func mustNew(t *testing.T, arena int64, files int) *Cache {
@@ -448,4 +450,39 @@ func ExampleCache() {
 	data, _ := c.Get(idx, 1)
 	fmt.Println(string(data))
 	// Output: an immutable file
+}
+
+func TestMetricsGauges(t *testing.T) {
+	c := mustNew(t, 1024, 8)
+	reg := stats.NewRegistry()
+	c.AttachMetrics(reg)
+
+	idx, _, err := c.Insert(1, []byte("observable bytes"))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := c.Get(idx, 1); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	c.NoteMiss()
+	c.NoteMiss()
+
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"cache.files":          1,
+		"cache.resident_bytes": 16,
+		"cache.total_bytes":    1024,
+		"cache.hits":           1,
+		"cache.misses":         2,
+		"cache.insertions":     1,
+		"cache.evictions":      0,
+	}
+	for k, v := range want {
+		if got := snap.Gauges[k]; got != v {
+			t.Errorf("%s = %d, want %d", k, got, v)
+		}
+	}
+	if _, ok := snap.Gauges["cache.fragmentation_pct"]; !ok {
+		t.Error("cache.fragmentation_pct gauge missing")
+	}
 }

@@ -10,13 +10,21 @@ package client
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
 	"bulletfs/internal/bulletsvc"
 	"bulletfs/internal/capability"
 	"bulletfs/internal/rpc"
+	"bulletfs/internal/stats"
 )
+
+// ErrTransport marks failures that happened before a reply arrived — dial,
+// send, receive, timeout. Callers distinguish these from server-side
+// rejections (capability.ErrBadCheck, capability.ErrBadRights, ...) with
+// errors.Is; scripts get distinct exit codes from bulletctl.
+var ErrTransport = errors.New("bullet client: transport failure")
 
 // Client calls Bullet servers over any rpc.Transport. One Client can talk
 // to many servers; each file operation is addressed by the capability's
@@ -51,10 +59,14 @@ func New(tr rpc.Transport, opts ...Option) *Client {
 func (c *Client) call(port capability.Port, req rpc.Header, payload []byte) (rpc.Header, []byte, error) {
 	rep, body, err := c.tr.Trans(port, req, payload)
 	if err != nil {
-		return rpc.Header{}, nil, fmt.Errorf("bullet client: transport: %w", err)
+		return rpc.Header{}, nil, fmt.Errorf("%w: %w", ErrTransport, err)
 	}
 	if rep.Status != rpc.StatusOK {
-		return rep, nil, bulletsvc.ErrorOf(rep.Status)
+		op := bulletsvc.CommandName(req.Command)
+		if op == "" {
+			op = fmt.Sprintf("cmd%d", req.Command)
+		}
+		return rep, nil, fmt.Errorf("bullet client: %s rejected: %w", op, bulletsvc.ErrorOf(rep.Status))
 	}
 	return rep, body, nil
 }
@@ -164,6 +176,22 @@ func (c *Client) Stat(port capability.Port) (bulletsvc.ServerStats, error) {
 		return bulletsvc.ServerStats{}, err
 	}
 	return st, nil
+}
+
+// Stats fetches the server's full metrics snapshot — counters, gauges and
+// latency histograms across every layer. Unlike Stat it is
+// capability-checked: cap must name a live file on the server and carry the
+// read right (statistics are read-only, so the read right suffices).
+func (c *Client) Stats(cap capability.Capability) (stats.Snapshot, error) {
+	_, body, err := c.call(cap.Port, rpc.Header{Command: bulletsvc.CmdStats, Cap: cap}, nil)
+	if err != nil {
+		return stats.Snapshot{}, err
+	}
+	var snap stats.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return stats.Snapshot{}, fmt.Errorf("bullet client: decoding stats snapshot: %w", err)
+	}
+	return snap, nil
 }
 
 // Sync waits until the server's background write-through has drained.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"bulletfs/internal/stats"
 )
 
 func newMem(t *testing.T, blockSize int, blocks int64) *MemDisk {
@@ -511,5 +513,53 @@ func TestQuickReplicaDurability(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReplicaSetMetrics(t *testing.T) {
+	var devs []Device
+	for i := 0; i < 2; i++ {
+		mem, err := NewMem(512, 256)
+		if err != nil {
+			t.Fatalf("NewMem: %v", err)
+		}
+		devs = append(devs, mem)
+	}
+	set, err := NewReplicaSet(devs...)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	defer set.Close() //nolint:errcheck // test cleanup
+	reg := stats.NewRegistry()
+	set.AttachMetrics(reg)
+
+	if err := set.Apply(2, func(_ int, dev Device) error {
+		return dev.WriteAt(make([]byte, 512), 0)
+	}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	buf := make([]byte, 512)
+	if err := set.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	if n := snap.Gauges["disk.replica0.writes"]; n != 1 {
+		t.Errorf("replica0.writes = %d, want 1", n)
+	}
+	if n := snap.Gauges["disk.replica1.writes"]; n != 1 {
+		t.Errorf("replica1.writes = %d, want 1", n)
+	}
+	if n := snap.Gauges["disk.replica0.reads"]; n != 1 {
+		t.Errorf("replica0.reads = %d, want 1", n)
+	}
+	if n := snap.Gauges["disk.alive_replicas"]; n != 2 {
+		t.Errorf("alive_replicas = %d, want 2", n)
+	}
+	if n := snap.Gauges["disk.replica0.alive"]; n != 1 {
+		t.Errorf("replica0.alive = %d, want 1", n)
+	}
+	if n := snap.Gauges["disk.read_failovers"]; n != 0 {
+		t.Errorf("read_failovers = %d, want 0", n)
 	}
 }

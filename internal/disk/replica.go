@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"bulletfs/internal/stats"
 )
 
 // ReplicaSet manages N identical replica disks (the paper's hardware had
@@ -18,6 +20,12 @@ type ReplicaSet struct {
 	alive []bool         // guarded by mu
 	main  int            // guarded by mu
 	wg    sync.WaitGroup // tracks background (post-P-FACTOR) writes
+
+	// Per-replica activity counters (atomic; indexed like devs).
+	reads     []stats.Counter // successful ReadAt calls served by replica i
+	writes    []stats.Counter // successful op applications on replica i
+	errs      []stats.Counter // failures that demoted replica i
+	failovers stats.Counter   // reads served by a non-main replica
 }
 
 // NewReplicaSet builds a set over devs. All devices must share a geometry.
@@ -36,7 +44,13 @@ func NewReplicaSet(devs ...Device) (*ReplicaSet, error) {
 	for i := range alive {
 		alive[i] = true
 	}
-	return &ReplicaSet{devs: devs, alive: alive}, nil
+	return &ReplicaSet{
+		devs:   devs,
+		alive:  alive,
+		reads:  make([]stats.Counter, len(devs)),
+		writes: make([]stats.Counter, len(devs)),
+		errs:   make([]stats.Counter, len(devs)),
+	}, nil
 }
 
 // N returns the number of replicas, dead or alive.
@@ -78,6 +92,7 @@ func (s *ReplicaSet) Alive(i int) bool {
 // markDead demotes replica i; if it was the main, the next live replica is
 // promoted.
 func (s *ReplicaSet) markDead(i int) {
+	s.errs[i].Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.alive[i] = false
@@ -110,6 +125,10 @@ func (s *ReplicaSet) ReadAt(p []byte, off int64) error {
 	for _, i := range order {
 		err := s.devs[i].ReadAt(p, off)
 		if err == nil {
+			s.reads[i].Inc()
+			if i != order[0] {
+				s.failovers.Inc()
+			}
 			return nil
 		}
 		if errors.Is(err, ErrOutOfRange) {
@@ -151,6 +170,7 @@ func (s *ReplicaSet) Apply(syncN int, op func(i int, dev Device) error) error {
 				s.markDead(i)
 				continue
 			}
+			s.writes[i].Inc()
 			succeeded++
 		}
 		return succeeded
@@ -176,6 +196,7 @@ func (s *ReplicaSet) Apply(syncN int, op func(i int, dev Device) error) error {
 			s.markDead(live[i])
 			continue
 		}
+		s.writes[live[i]].Inc()
 		done++
 	}
 	if rest := live[i:]; len(rest) > 0 {
@@ -269,6 +290,30 @@ var _ Device = (*ReplicaSet)(nil)
 
 // Device returns replica i's device (for tests and recovery tooling).
 func (s *ReplicaSet) Device(i int) Device { return s.devs[i] }
+
+// AttachMetrics registers the set's per-replica counters with a stats
+// registry under the "disk." prefix: reads, writes and demoting errors
+// per replica, plus liveness and failover totals.
+func (s *ReplicaSet) AttachMetrics(r *stats.Registry) {
+	for i := range s.devs {
+		i := i
+		r.GaugeFunc(fmt.Sprintf("disk.replica%d.reads", i), s.reads[i].Load)
+		r.GaugeFunc(fmt.Sprintf("disk.replica%d.writes", i), s.writes[i].Load)
+		r.GaugeFunc(fmt.Sprintf("disk.replica%d.errors", i), s.errs[i].Load)
+		r.GaugeFunc(fmt.Sprintf("disk.replica%d.alive", i), func() int64 {
+			if s.Alive(i) {
+				return 1
+			}
+			return 0
+		})
+		if sim, ok := s.devs[i].(*SimDisk); ok {
+			sim.AttachMetrics(r, fmt.Sprintf("disk.replica%d", i))
+		}
+	}
+	r.GaugeFunc("disk.alive_replicas", func() int64 { return int64(s.AliveCount()) })
+	r.GaugeFunc("disk.main_index", func() int64 { return int64(s.Main()) })
+	r.GaugeFunc("disk.read_failovers", s.failovers.Load)
+}
 
 // Close closes every replica, returning the first error.
 func (s *ReplicaSet) Close() error {

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"bulletfs/internal/hwmodel"
+
+	"bulletfs/internal/stats"
 )
 
 func simWorld(t *testing.T) (*SimDisk, *hwmodel.Clock) {
@@ -128,5 +130,39 @@ func TestSimDiskPassesGeometry(t *testing.T) {
 	}
 	if err := d.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSimDiskMetrics(t *testing.T) {
+	d, _ := simWorld(t)
+	reg := stats.NewRegistry()
+	d.AttachMetrics(reg, "disk.replica0")
+
+	if err := d.WriteAt(make([]byte, 4096), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	buf := make([]byte, 1024)
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	if n := snap.Gauges["disk.replica0.sim_writes"]; n != 1 {
+		t.Errorf("sim_writes = %d, want 1", n)
+	}
+	if n := snap.Gauges["disk.replica0.sim_reads"]; n != 1 {
+		t.Errorf("sim_reads = %d, want 1", n)
+	}
+	if n := snap.Gauges["disk.replica0.sim_bytes_written"]; n != 4096 {
+		t.Errorf("sim_bytes_written = %d, want 4096", n)
+	}
+	if n := snap.Gauges["disk.replica0.sim_bytes_read"]; n != 1024 {
+		t.Errorf("sim_bytes_read = %d, want 1024", n)
+	}
+	if n := snap.Gauges["disk.replica0.sim_position_ns"]; n <= 0 {
+		t.Errorf("sim_position_ns = %d, want > 0", n)
+	}
+	if n := snap.Gauges["disk.replica0.sim_transfer_ns"]; n <= 0 {
+		t.Errorf("sim_transfer_ns = %d, want > 0", n)
 	}
 }

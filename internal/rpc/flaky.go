@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"bulletfs/internal/capability"
+	"bulletfs/internal/stats"
 )
 
 // Flaky wraps a Transport with deterministic fault injection for testing
@@ -131,6 +132,7 @@ func (l *LocalID) TransID(port capability.Port, txid uint64, req Header, payload
 type Retrier struct {
 	inner    Transport
 	attempts int
+	retries  *stats.Counter // optional; see AttachMetrics
 }
 
 var _ Transport = (*Retrier)(nil)
@@ -151,6 +153,9 @@ func (r *Retrier) Trans(port capability.Port, req Header, payload []byte) (Heade
 	}
 	var lastErr error
 	for i := 0; i < r.attempts; i++ {
+		if i > 0 && r.retries != nil {
+			r.retries.Inc()
+		}
 		h, p, err := transID(r.inner, port, txid, req, payload)
 		if err == nil {
 			return h, p, nil

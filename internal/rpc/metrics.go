@@ -1,0 +1,90 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"bulletfs/internal/stats"
+)
+
+// This file instruments the RPC layer with the stats package: the Mux
+// records per-operation request counts, payload sizes and service-time
+// histograms; the Retrier counts retries; the TCP transport counts
+// timeouts and other transport failures. All attachment is optional —
+// an uninstrumented Mux or transport pays a single nil check per call.
+
+// muxMetrics is the per-Mux instrumentation state.
+type muxMetrics struct {
+	reg    *stats.Registry
+	nameOf func(uint32) string
+}
+
+// opName renders a command code for metric names: the attached naming
+// function's answer if it gives one, else "cmd<N>".
+func (mm *muxMetrics) opName(cmd uint32) string {
+	if mm.nameOf != nil {
+		if n := mm.nameOf(cmd); n != "" {
+			return n
+		}
+	}
+	return "cmd" + strconv.FormatUint(uint64(cmd), 10)
+}
+
+// record books one dispatched transaction under rpc.<op>.*.
+func (mm *muxMetrics) record(cmd uint32, reqBytes, repBytes int, st Status, elapsed time.Duration) {
+	op := mm.opName(cmd)
+	mm.reg.Counter("rpc." + op + ".requests").Inc()
+	if st != StatusOK {
+		mm.reg.Counter("rpc." + op + ".errors").Inc()
+	}
+	mm.reg.Histogram("rpc."+op+".latency_ns", stats.DefaultLatencyBounds).ObserveDuration(elapsed)
+	mm.reg.Histogram("rpc."+op+".req_bytes", stats.DefaultSizeBounds).Observe(int64(reqBytes))
+	mm.reg.Histogram("rpc."+op+".rep_bytes", stats.DefaultSizeBounds).Observe(int64(repBytes))
+}
+
+// AttachMetrics instruments every subsequent Dispatch with per-operation
+// counters and histograms in reg. nameOf maps command codes to metric
+// name segments (nil or "" answers fall back to "cmd<N>"); services own
+// their command spaces, so the owner of the mux supplies the mapping
+// (e.g. bulletsvc.CommandName).
+func (m *Mux) AttachMetrics(reg *stats.Registry, nameOf func(uint32) string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metrics = &muxMetrics{reg: reg, nameOf: nameOf}
+}
+
+// AttachMetrics adds a retry counter ("rpc.retries") to the registry;
+// each attempt beyond a transaction's first increments it.
+func (r *Retrier) AttachMetrics(reg *stats.Registry) {
+	r.retries = reg.Counter("rpc.retries")
+}
+
+// AttachMetrics adds transport-failure counters to the registry:
+// "rpc.timeouts" for deadline expiries and "rpc.transport_errors" for
+// every failed transaction (timeouts included).
+func (t *TCPTransport) AttachMetrics(reg *stats.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.timeouts = reg.Counter("rpc.timeouts")
+	t.transErrs = reg.Counter("rpc.transport_errors")
+}
+
+// noteTransportErr classifies one failed TCP transaction.
+func (t *TCPTransport) noteTransportErr(err error) {
+	t.mu.Lock()
+	timeouts, transErrs := t.timeouts, t.transErrs
+	t.mu.Unlock()
+	if transErrs != nil {
+		transErrs.Inc()
+	}
+	if timeouts == nil {
+		return
+	}
+	var nerr net.Error
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &nerr) && nerr.Timeout()) {
+		timeouts.Inc()
+	}
+}

@@ -3,6 +3,7 @@ package rpc
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"bulletfs/internal/capability"
 )
@@ -18,6 +19,7 @@ type Mux struct {
 	dedup    map[uint64]cachedReply      // guarded by mu
 	order    *list.List                  // guarded by mu; txids in arrival order, for bounded eviction
 	maxDedup int                         // immutable after construction
+	metrics  *muxMetrics                 // guarded by mu (the pointed-to state is immutable)
 }
 
 type cachedReply struct {
@@ -71,6 +73,7 @@ func (m *Mux) Ports() []capability.Port {
 func (m *Mux) Dispatch(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
 	m.mu.Lock()
 	h, ok := m.handlers[port]
+	mm := m.metrics
 	if !ok {
 		m.mu.Unlock()
 		return Header{}, nil, ErrNoServer
@@ -78,12 +81,19 @@ func (m *Mux) Dispatch(port capability.Port, txid uint64, req Header, payload []
 	if txid != 0 {
 		if cached, dup := m.dedup[txid]; dup {
 			m.mu.Unlock()
+			if mm != nil {
+				mm.reg.Counter("rpc.dup_replays").Inc()
+			}
 			return cached.hdr, cached.payload, nil
 		}
 	}
 	m.mu.Unlock()
 
+	start := time.Now()
 	repHdr, repPayload := h(req, payload)
+	if mm != nil {
+		mm.record(req.Command, len(payload), len(repPayload), repHdr.Status, time.Since(start))
+	}
 
 	if txid != 0 {
 		m.mu.Lock()

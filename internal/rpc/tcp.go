@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bulletfs/internal/capability"
+	"bulletfs/internal/stats"
 )
 
 // Wire format of one TCP frame, both directions:
@@ -193,8 +194,10 @@ type TCPTransport struct {
 	resolve Resolver
 	timeout time.Duration
 
-	mu    sync.Mutex
-	conns map[string]*tcpConn // guarded by mu
+	mu        sync.Mutex
+	conns     map[string]*tcpConn // guarded by mu
+	timeouts  *stats.Counter      // guarded by mu (pointer swap only; see AttachMetrics)
+	transErrs *stats.Counter      // guarded by mu (pointer swap only; see AttachMetrics)
 }
 
 type tcpConn struct {
@@ -254,6 +257,7 @@ func (t *TCPTransport) TransID(port capability.Port, txid uint64, req Header, pa
 	}
 	c, err := t.getConn(addr)
 	if err != nil {
+		t.noteTransportErr(err)
 		return Header{}, nil, err
 	}
 	c.mu.Lock()
@@ -261,20 +265,24 @@ func (t *TCPTransport) TransID(port capability.Port, txid uint64, req Header, pa
 	if t.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(t.timeout)); err != nil {
 			t.dropConn(addr, c)
+			t.noteTransportErr(err)
 			return Header{}, nil, fmt.Errorf("rpc: set deadline: %w", err)
 		}
 	}
 	if err := writeFrame(c.bw, magicRequest, txid, port, req, payload); err != nil {
 		t.dropConn(addr, c)
+		t.noteTransportErr(err)
 		return Header{}, nil, fmt.Errorf("rpc: send: %w", err)
 	}
 	if err := c.bw.Flush(); err != nil {
 		t.dropConn(addr, c)
+		t.noteTransportErr(err)
 		return Header{}, nil, fmt.Errorf("rpc: flush: %w", err)
 	}
 	_, _, repHdr, repPayload, err := readFrame(c.br, magicReply)
 	if err != nil {
 		t.dropConn(addr, c)
+		t.noteTransportErr(err)
 		return Header{}, nil, fmt.Errorf("rpc: receive: %w", err)
 	}
 	return repHdr, repPayload, nil

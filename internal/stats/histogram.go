@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds is a 1 µs .. 5 s exponential ladder in nanoseconds
+// — wide enough for an in-memory cache hit at the bottom and a compaction
+// pass or a WAN round trip at the top.
+var DefaultLatencyBounds = []int64{
+	int64(1 * time.Microsecond),
+	int64(2 * time.Microsecond),
+	int64(5 * time.Microsecond),
+	int64(10 * time.Microsecond),
+	int64(20 * time.Microsecond),
+	int64(50 * time.Microsecond),
+	int64(100 * time.Microsecond),
+	int64(200 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(1 * time.Millisecond),
+	int64(2 * time.Millisecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(20 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(200 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+	int64(2 * time.Second),
+	int64(5 * time.Second),
+}
+
+// DefaultSizeBounds is a 64 B .. 64 MB ladder for payload-size
+// histograms, matching the paper's 1-byte-to-1-Mbyte sweep with headroom
+// up to the transport's payload limit.
+var DefaultSizeBounds = []int64{
+	64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10,
+	256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}
+
+// Histogram counts observations into fixed buckets and tracks count, sum,
+// min and max. Observations are single atomic adds; percentile summaries
+// are computed at snapshot time by linear interpolation inside the
+// containing bucket, clamped to the observed min/max. All methods are
+// safe for concurrent use; a snapshot taken during concurrent observes is
+// internally consistent enough for monitoring (counts may trail sum by a
+// few in-flight observations).
+type Histogram struct {
+	bounds []int64        // immutable after construction; ascending upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram builds a histogram over ascending upper bounds (nil means
+// DefaultLatencyBounds). An observation v lands in the first bucket with
+// v <= bounds[i], or in the overflow bucket.
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	own := make([]int64, len(bounds))
+	copy(own, bounds)
+	h := &Histogram{
+		bounds: own,
+		counts: make([]atomic.Int64, len(own)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a latency in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// HistogramSnapshot is the JSON form of a histogram: totals, observed
+// extremes, the standard percentile summary, and the raw buckets so a
+// consumer can compute any other quantile.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	Bounds []int64 `json:"bounds,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	s.P50 = quantile(s, 0.50)
+	s.P95 = quantile(s, 0.95)
+	s.P99 = quantile(s, 0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from a snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 { return quantile(s, q) }
+
+// quantile walks the cumulative bucket counts to the one containing the
+// q-quantile and interpolates linearly within it. The bucket's nominal
+// range is tightened by the observed min and max, so a histogram holding
+// a single value reports that value at every quantile, and the unbounded
+// overflow bucket never extrapolates past the largest observation.
+func quantile(s HistogramSnapshot, q float64) float64 {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := float64(s.Min)
+			if i > 0 {
+				if b := float64(s.Bounds[i-1]); b > lo {
+					lo = b
+				}
+			}
+			hi := float64(s.Max)
+			if i < len(s.Bounds) {
+				if b := float64(s.Bounds[i]); b < hi {
+					hi = b
+				}
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return float64(s.Max)
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty histogram totals = %+v, want zeros", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty q%.2f = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	want := float64(3 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("single-value q%.2f = %v, want %v", q, got, want)
+		}
+	}
+	if s.Min != int64(want) || s.Max != int64(want) {
+		t.Errorf("min/max = %d/%d, want %v", s.Min, s.Max, want)
+	}
+}
+
+func TestHistogramUniformPercentiles(t *testing.T) {
+	// 1..1000 into tight buckets: percentiles should land near the rank.
+	bounds := make([]int64, 100)
+	for i := range bounds {
+		bounds[i] = int64((i + 1) * 10)
+	}
+	h := NewHistogram(bounds)
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 500}, {0.95, 950}, {0.99, 990}} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 10 {
+			t.Errorf("q%.2f = %v, want ~%v (±10)", tc.q, got, tc.want)
+		}
+	}
+	if s.P50 != s.Quantile(0.5) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Error("snapshot percentile fields disagree with Quantile")
+	}
+}
+
+func TestHistogramOverflowBucketClampsToMax(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	h.Observe(5000) // overflow bucket, no upper bound
+	h.Observe(7000)
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got > 7000 {
+		t.Errorf("q99 = %v extrapolated past observed max 7000", got)
+	}
+	if got := s.Quantile(0); got < 5000 {
+		t.Errorf("q0 = %v below observed min 5000", got)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	h.Observe(10)  // on the bound: first bucket (v <= bound)
+	h.Observe(11)  // second bucket
+	h.Observe(100) // second bucket
+	h.Observe(101) // overflow
+	s := h.Snapshot()
+	want := []int64{1, 2, 1}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Count != 4 || s.Sum != 10+11+100+101 {
+		t.Errorf("count/sum = %d/%d, want 4/%d", s.Count, s.Sum, 10+11+100+101)
+	}
+}
+
+func TestHistogramQuantileRangeClamped(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.Observe(4)
+	h.Observe(6)
+	s := h.Snapshot()
+	if got := s.Quantile(-1); got < 4 {
+		t.Errorf("q<0 = %v, want clamped to >= min", got)
+	}
+	if got := s.Quantile(2); got > 6 {
+		t.Errorf("q>1 = %v, want clamped to <= max", got)
+	}
+}
+
+func TestHistogramNegativeValues(t *testing.T) {
+	// Durations can never be negative, but byte deltas could be; the
+	// histogram must not corrupt its totals.
+	h := NewHistogram([]int64{0, 10})
+	h.Observe(-5)
+	h.Observe(5)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 0 {
+		t.Fatalf("count/sum = %d/%d, want 2/0", s.Count, s.Sum)
+	}
+	if s.Min != -5 || s.Max != 5 {
+		t.Fatalf("min/max = %d/%d, want -5/5", s.Min, s.Max)
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 1 {
+		t.Fatalf("buckets = %v, want [1 1 0]", s.Counts)
+	}
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegistryIdempotentCreation(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter(x) returned two different counters")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Fatal("Gauge(y) returned two different gauges")
+	}
+	if r.Histogram("h", nil) != r.Histogram("h", DefaultSizeBounds) {
+		t.Fatal("Histogram(h) returned two different histograms")
+	}
+}
+
+// TestConcurrentUpdates hammers every metric kind from many goroutines;
+// run under -race this is the data-race check, and the totals prove no
+// increment was lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 10000
+	c := r.Counter("ops")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(seed + int64(j)%7)
+			}
+		}(int64(i))
+	}
+	done := make(chan Snapshot, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		done <- r.Snapshot() // snapshot concurrently with updates
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Load(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := g.Load(); got != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	hs := h.Snapshot()
+	if hs.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", hs.Count, goroutines*perG)
+	}
+	var bucketSum int64
+	for _, n := range hs.Counts {
+		bucketSum += n
+	}
+	if bucketSum != hs.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, hs.Count)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(3)
+	r.GaugeFunc("live", func() int64 { return v })
+	if got := r.Snapshot().Gauges["live"]; got != 3 {
+		t.Fatalf("gauge func = %d, want 3", got)
+	}
+	v = 9
+	if got := r.Snapshot().Gauges["live"]; got != 9 {
+		t.Fatalf("gauge func after update = %d, want 9", got)
+	}
+	// Re-registering replaces the function.
+	r.GaugeFunc("live", func() int64 { return -1 })
+	if got := r.Snapshot().Gauges["live"]; got != -1 {
+		t.Fatalf("replaced gauge func = %d, want -1", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bullet.creates").Add(7)
+	r.Gauge("cache.resident_bytes").Set(4096)
+	h := r.Histogram("rpc.read.latency_ns", nil)
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, 30 * time.Millisecond} {
+		h.ObserveDuration(d)
+	}
+	snap := r.Snapshot()
+
+	body, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(body, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("round trip mismatch:\n  out: %+v\n  in:  %+v", snap, back)
+	}
+	if back.Counters["bullet.creates"] != 7 {
+		t.Errorf("counter lost in round trip: %+v", back.Counters)
+	}
+	if back.Histograms["rpc.read.latency_ns"].Count != 3 {
+		t.Errorf("histogram lost in round trip: %+v", back.Histograms)
+	}
+}
+
+func TestSnapshotMarshalIndentStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	one, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	two, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(one) != string(two) {
+		t.Fatalf("snapshot JSON unstable:\n%s\nvs\n%s", one, two)
+	}
+}
