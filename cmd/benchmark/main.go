@@ -12,6 +12,7 @@
 //	benchmark -experiment modern    # what-if: both designs on 2020s hardware
 //	benchmark -experiment trace     # trace replay with the paper's size mix
 //	benchmark -experiment wan       # whole-file vs per-block across a WAN link
+//	benchmark -experiment parallel  # concurrent read path: deterministic counters
 //
 // With -json the run writes a flat machine-readable results document to
 // stdout (every table cell and check verdict under a stable key) instead
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: all, f2, f3, compare, ablation, pfactor, frag, cache, modern, trace, wan")
+		"experiment to run: all, f2, f3, compare, ablation, pfactor, frag, cache, modern, trace, wan, parallel")
 	asJSON := flag.Bool("json", false, "emit machine-readable results JSON on stdout instead of tables")
 	flag.Parse()
 	if err := run(*experiment, *asJSON, os.Stdout); err != nil {
@@ -126,6 +127,7 @@ func run(experiment string, asJSON bool, stdout io.Writer) error {
 		{"modern", experiment == "all" || experiment == "modern", bench.RunModern},
 		{"trace", experiment == "all" || experiment == "trace", bench.RunTrace},
 		{"wan", experiment == "all" || experiment == "wan", bench.RunWAN},
+		{"parallel", experiment == "all" || experiment == "parallel", bench.RunParallelExp},
 	} {
 		if !exp.want {
 			continue

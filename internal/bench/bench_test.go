@@ -242,6 +242,24 @@ func TestWANShape(t *testing.T) {
 	}
 }
 
+func TestParallelExpShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tab, checks, err := RunParallelExp()
+	if err != nil {
+		t.Fatalf("RunParallelExp: %v", err)
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("%s", c.Format())
+		}
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+}
+
 func TestModernShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep in -short mode")

@@ -10,9 +10,20 @@
 // (internal/disk.ReplicaSet) and capability protection
 // (internal/capability). Network transport lives one layer up, in
 // internal/bulletsvc.
+//
+// Concurrency: the paper's server was single-threaded; this engine is not
+// (see docs/CONCURRENCY.md for the full model and the departure note in
+// DESIGN.md). Reads take the metadata lock shared, pin the cached bytes,
+// and copy them to the caller outside any engine lock. Cache misses are
+// deduplicated per inode (one disk read no matter how many concurrent
+// readers miss on the same file) and the disk read itself runs with no
+// engine lock held. Create holds the metadata lock only for its short
+// allocation phase; the replica write-through — parallel across disks —
+// happens outside it.
 package bullet
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"sync"
@@ -100,6 +111,7 @@ type Stats struct {
 	BytesIn      int64
 	BytesOut     int64
 	Compactions  int64
+	FaultMerges  int64 // concurrent cache misses coalesced into one disk read
 }
 
 // engineMetrics holds the engine's handles into the stats registry. The
@@ -114,6 +126,8 @@ type engineMetrics struct {
 	bytesOut        *stats.Counter
 	compactions     *stats.Counter
 	compactionBytes *stats.Counter
+	faultMerges     *stats.Counter
+	uncachedCreates *stats.Counter
 	commit          []*stats.Histogram // commit-to-disk latency, indexed by p-factor
 }
 
@@ -128,6 +142,8 @@ func newEngineMetrics(reg *stats.Registry, replicas int) engineMetrics {
 		bytesOut:        reg.Counter("bullet.bytes_out"),
 		compactions:     reg.Counter("bullet.disk_compactions"),
 		compactionBytes: reg.Counter("bullet.compaction_bytes_moved"),
+		faultMerges:     reg.Counter("bullet.fault_merges"),
+		uncachedCreates: reg.Counter("bullet.uncached_creates"),
 	}
 	for k := 0; k <= replicas; k++ {
 		m.commit = append(m.commit,
@@ -136,16 +152,52 @@ func newEngineMetrics(reg *stats.Registry, replicas int) engineMetrics {
 	return m
 }
 
+// faultCall is the per-inode singleflight state for one cache-miss disk
+// fault. The first miss on an uncached inode becomes the leader and does
+// the disk read; every concurrent miss on the same inode becomes a waiter
+// on done and shares the leader's result. random pins the fault to one
+// incarnation of the inode number, so a waiter whose file was deleted and
+// whose inode slot was reused never receives the other file's bytes.
+type faultCall struct {
+	random  capability.Random
+	done    chan struct{}
+	waiters int    // mutated under the server's faultMu
+	data    []byte // written by the leader before done closes
+	err     error  // written by the leader before done closes
+}
+
 // Server is one Bullet file server instance over a replica set.
 type Server struct {
 	port     capability.Port
 	replicas *disk.ReplicaSet
 	desc     layout.Descriptor
 
-	mu     sync.Mutex // serializes metadata operations, like the paper's single-threaded server
+	// mu is the metadata lock. Shared holders (reads, size, fault
+	// publishing) see a consistent inode→cache binding; exclusive holders
+	// (create's allocation phase, delete, compaction) may change it. The
+	// table, allocator and cache additionally carry their own internal
+	// locks, so mu guards only the composite invariants, never a disk
+	// transfer: reads copy pinned cache bytes outside it, and create's
+	// replica write-through runs outside it.
+	mu     sync.RWMutex
 	table  *layout.Table
 	dalloc *alloc.Allocator // data-area blocks
 	cache  *cache.Cache
+
+	// commits tracks creates between publishing their metadata (under mu)
+	// and registering their write-through with the replica set's drain
+	// tracker. Delete and compaction must wait for it before trusting
+	// Drain, or a write-through in that window would land on reused
+	// ground. Add and Wait both happen with mu held exclusively, which
+	// serializes them as the WaitGroup contract requires.
+	commits sync.WaitGroup
+
+	// inoMu serializes inode-block writes per replica. Two concurrent
+	// creates whose inodes share a disk block would otherwise interleave
+	// whole-block writes of different vintages on the same device; the
+	// blocks are re-encoded from the live table inside the critical
+	// section, so the last writer always publishes the freshest state.
+	inoMu []sync.Mutex
 
 	metrics *stats.Registry // immutable after New
 	m       engineMetrics   // immutable handles; counters are atomic
@@ -156,11 +208,21 @@ type Server struct {
 	// for an object are dropped when it is deleted; the whole cache is
 	// bounded and evicted wholesale when full (verification is cheap, the
 	// cache is an optimization, simplicity wins).
-	capCache map[capability.Capability]capability.Rights
+	capMu    sync.RWMutex
+	capCache map[capability.Capability]capability.Rights // guarded by capMu
+
+	// faults is the per-inode singleflight table for in-flight cache-miss
+	// disk reads. faultMu is a leaf lock: never held while acquiring mu.
+	faultMu sync.Mutex
+	faults  map[uint32]*faultCall // guarded by faultMu
 }
 
 // maxCapCache bounds the verified-capability cache.
 const maxCapCache = 4096
+
+// maxFaultRetries bounds how often a fault leader re-reads a file that
+// compaction keeps moving out from under it.
+const maxFaultRetries = 8
 
 // Format writes a fresh Bullet filesystem onto every replica of the set.
 func Format(replicas *disk.ReplicaSet, inodes int) error {
@@ -213,9 +275,11 @@ func New(replicas *disk.ReplicaSet, opts Options) (*Server, error) {
 		table:    table,
 		dalloc:   dalloc,
 		cache:    fileCache,
+		inoMu:    make([]sync.Mutex, replicas.N()),
 		metrics:  reg,
 		m:        newEngineMetrics(reg, replicas.N()),
 		capCache: make(map[capability.Capability]capability.Rights),
+		faults:   make(map[uint32]*faultCall),
 	}
 	fileCache.AttachMetrics(reg)
 	replicas.AttachMetrics(reg)
@@ -235,8 +299,12 @@ func (s *Server) MaxFileSize() int64 { return s.cache.Stats().TotalBytes }
 
 // verify resolves a capability to its inode, checking the check field and
 // the required rights. Successful check-field validations are remembered
-// (paper §2.1), so only the rights test runs on repeats. Must be called
-// with s.mu held.
+// (paper §2.1), so only the rights test runs on repeats.
+//
+// Callers must hold s.mu (shared suffices). The lock keeps verification
+// and Delete's capability-cache purge ordered: without it, a slow verify
+// could re-insert a dead capability after the purge, and a reused inode
+// slot would then honor the old file's capability.
 func (s *Server) verify(c capability.Capability, want capability.Rights) (uint32, layout.Inode, error) {
 	if c.Port != s.port {
 		return 0, layout.Inode{}, fmt.Errorf("capability for another server: %w", ErrNoSuchFile)
@@ -245,7 +313,10 @@ func (s *Server) verify(c capability.Capability, want capability.Rights) (uint32
 	if err != nil {
 		return 0, layout.Inode{}, fmt.Errorf("object %d: %w", c.Object, ErrNoSuchFile)
 	}
-	if rights, ok := s.capCache[c]; ok {
+	s.capMu.RLock()
+	rights, ok := s.capCache[c]
+	s.capMu.RUnlock()
+	if ok {
 		s.m.capCacheHits.Inc()
 		if !rights.Has(want) {
 			return 0, layout.Inode{}, fmt.Errorf("need rights %08b, have %08b: %w",
@@ -253,14 +324,16 @@ func (s *Server) verify(c capability.Capability, want capability.Rights) (uint32
 		}
 		return c.Object, ino, nil
 	}
-	rights, err := capability.Verify(c, ino.Random)
+	rights, err = capability.Verify(c, ino.Random)
 	if err != nil {
 		return 0, layout.Inode{}, err
 	}
+	s.capMu.Lock()
 	if len(s.capCache) >= maxCapCache {
 		clear(s.capCache)
 	}
 	s.capCache[c] = rights
+	s.capMu.Unlock()
 	if !rights.Has(want) {
 		return 0, layout.Inode{}, fmt.Errorf("need rights %08b, have %08b: %w",
 			want, rights, capability.ErrBadRights)
@@ -268,9 +341,13 @@ func (s *Server) verify(c capability.Capability, want capability.Rights) (uint32
 	return c.Object, ino, nil
 }
 
-// forgetCapsLocked drops cached capability validations for an object; its
-// random number dies with it, and the inode slot will be reused.
-func (s *Server) forgetCapsLocked(obj uint32) {
+// forgetCaps drops cached capability validations for an object; its
+// random number dies with it, and the inode slot will be reused. The
+// deleting caller holds s.mu exclusively, which orders the purge against
+// in-flight verifications (see verify).
+func (s *Server) forgetCaps(obj uint32) {
+	s.capMu.Lock()
+	defer s.capMu.Unlock()
 	for c := range s.capCache {
 		if c.Object == obj {
 			delete(s.capCache, c)
@@ -299,6 +376,11 @@ func clampUint32(n int64) uint32 {
 // 0 returns once the file is in the RAM cache, k >= 1 returns after k disks
 // hold both the file and its inode. The write-through to every disk always
 // happens (paper §3); P-FACTOR only moves the reply.
+//
+// The metadata lock is held only while claiming the extent, the inode and
+// the cache slot. The write-through itself runs outside it, in parallel
+// across the replicas, so concurrent creates overlap their disk time and
+// readers are never blocked behind a commit.
 func (s *Server) Create(data []byte, pfactor int) (capability.Capability, error) {
 	if pfactor < 0 || pfactor > s.replicas.N() {
 		return capability.Capability{}, fmt.Errorf("p-factor %d with %d disks: %w",
@@ -308,71 +390,100 @@ func (s *Server) Create(data []byte, pfactor int) (capability.Capability, error)
 	if size > s.MaxFileSize() {
 		return capability.Capability{}, fmt.Errorf("%d bytes: %w", size, ErrTooLarge)
 	}
+	random, err := capability.NewRandom()
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	blocks := s.blocksFor(size)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	// A contiguous extent in the data area, first fit; if fragmentation
 	// defeats us but the space exists, compact the disk and retry (the
 	// paper runs this nightly; we run it on demand).
-	blocks := s.blocksFor(size)
 	start, err := s.dalloc.Alloc(blocks)
 	if errors.Is(err, alloc.ErrNoSpace) {
 		if st := s.dalloc.Stats(); st.Free >= blocks {
 			if cerr := s.compactDiskLocked(); cerr != nil {
+				s.mu.Unlock()
 				return capability.Capability{}, cerr
 			}
 			start, err = s.dalloc.Alloc(blocks)
 		}
 	}
 	if err != nil {
+		s.mu.Unlock()
 		return capability.Capability{}, fmt.Errorf("%d blocks: %w", blocks, ErrDiskFull)
-	}
-
-	random, err := capability.NewRandom()
-	if err != nil {
-		s.dalloc.Free(start, blocks) //nolint:errcheck // rollback of our own alloc
-		return capability.Capability{}, err
 	}
 	inode, err := s.table.Allocate(random, uint32(start), uint32(size))
 	if err != nil {
 		s.dalloc.Free(start, blocks) //nolint:errcheck // rollback of our own alloc
+		s.mu.Unlock()
 		return capability.Capability{}, err
 	}
 
 	// Into the RAM cache first: BULLET.CREATE with P-FACTOR 0 returns
 	// "immediately after the file has been copied to the file server's RAM
-	// cache, but before it has been stored on disk".
-	idx, evicted, err := s.cache.Insert(inode, data)
-	if err != nil {
-		_ = s.table.Free(inode)
-		s.dalloc.Free(start, blocks) //nolint:errcheck // rollback
-		return capability.Capability{}, err
+	// cache, but before it has been stored on disk". The fresh entry is
+	// pinned until every replica holds the bytes — an eviction before then
+	// would let a concurrent cache miss read unwritten disk. If the cache
+	// cannot take the file (arena pinned solid under a write burst), fall
+	// back to an uncached create with at least one synchronous disk write.
+	var pin *cache.View
+	idx, evicted, cerr := s.cache.Insert(inode, data)
+	if cerr == nil {
+		s.clearEvicted(evicted)
+		if v, verr := s.cache.Pin(idx, inode); verr == nil {
+			pin = v
+		}
+		if err := s.table.SetCacheIndex(inode, idx); err != nil {
+			pin.Release()
+			_ = s.cache.Remove(idx, inode)
+			_ = s.table.Free(inode)
+			s.dalloc.Free(start, blocks) //nolint:errcheck // rollback
+			s.mu.Unlock()
+			return capability.Capability{}, err
+		}
+	} else {
+		s.m.uncachedCreates.Inc()
+		idx = 0
+		if pfactor == 0 {
+			pfactor = 1
+		}
 	}
-	s.clearEvictedLocked(evicted)
-	if err := s.table.SetCacheIndex(inode, idx); err != nil {
-		return capability.Capability{}, err
-	}
+	s.commits.Add(1)
+	s.mu.Unlock()
 
 	// Write-through: file bytes, then the whole disk block containing the
-	// new inode, per replica. The inode block is re-encoded at write time
-	// so delayed background writes publish current (never stale) metadata.
+	// new inode, per replica — all replicas in parallel, the caller
+	// waiting only for the first pfactor of them. The inode block is
+	// re-encoded at write time so delayed background writes publish
+	// current (never stale) metadata.
 	padded := make([]byte, blocks*int64(s.desc.BlockSize))
 	copy(padded, data)
 	dataOff := s.desc.DataOffset(start)
 	commitStart := time.Now()
-	err = s.replicas.Apply(pfactor, func(_ int, dev disk.Device) error {
+	err = s.replicas.ApplyNotify(pfactor, func(i int, dev disk.Device) error {
 		if err := dev.WriteAt(padded, dataOff); err != nil {
 			return err
 		}
+		s.inoMu[i].Lock()
+		defer s.inoMu[i].Unlock()
 		return s.table.WriteInode(dev, inode)
+	}, func() {
+		// Every replica has finished (or failed): the disk copy is as
+		// durable as it will get, so the cache entry may move again.
+		pin.Release()
 	})
+	s.commits.Done()
 	if err != nil {
 		// No disk accepted the file during the synchronous phase: undo.
-		if rerr := s.cache.Remove(idx, inode); rerr == nil {
-			_ = s.table.Free(inode)
-			s.dalloc.Free(start, blocks) //nolint:errcheck // rollback
+		s.mu.Lock()
+		if idx != 0 {
+			_ = s.cache.Remove(idx, inode)
 		}
+		_ = s.table.Free(inode)
+		s.dalloc.Free(start, blocks) //nolint:errcheck // rollback
+		s.mu.Unlock()
 		return capability.Capability{}, fmt.Errorf("bullet: write-through failed: %w", err)
 	}
 	s.m.commit[pfactor].ObserveDuration(time.Since(commitStart))
@@ -382,20 +493,22 @@ func (s *Server) Create(data []byte, pfactor int) (capability.Capability, error)
 	return capability.Owner(s.port, inode, random), nil
 }
 
-// clearEvictedLocked clears the cache-index field of inodes whose cached
-// copies were evicted.
-func (s *Server) clearEvictedLocked(evicted []uint32) {
-	for _, n := range evicted {
+// clearEvicted clears the cache-index field of inodes whose cached copies
+// were evicted. The clear is a compare-and-set on the evicted slot: if the
+// inode's index no longer names that slot, a concurrent fault has already
+// re-cached the file and the newer binding wins.
+func (s *Server) clearEvicted(evicted []cache.Evicted) {
+	for _, ev := range evicted {
 		// The inode may have been deleted already; ignore ErrBadInode.
-		_ = s.table.SetCacheIndex(n, 0)
+		_, _ = s.table.SetCacheIndexIf(ev.Inode, ev.Slot, 0)
 	}
 }
 
 // Size implements BULLET.SIZE: the byte size of the file, so the client can
 // allocate memory before BULLET.READ (paper §2.2).
 func (s *Server) Size(c capability.Capability) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ino, err := s.verify(c, RightRead)
 	if err != nil {
 		return 0, err
@@ -404,66 +517,213 @@ func (s *Server) Size(c capability.Capability) (int64, error) {
 }
 
 // Read implements BULLET.READ: the complete file contents in one
-// operation. A cache hit serves straight from RAM; a miss loads the file
-// contiguously from disk into the cache first (paper §3). The returned
-// slice is the caller's to keep.
+// operation. A cache hit pins the cached bytes, leaves the engine lock,
+// and copies them out while eviction and compaction route around the pin;
+// a miss loads the file contiguously from disk into the cache first
+// (paper §3), merged with any concurrent miss on the same file. The
+// returned slice is the caller's to keep.
 func (s *Server) Read(c capability.Capability) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	data, err := s.readLocked(c)
+	data, _, err := s.fetchSpan(c, RightRead, 0, -1)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, len(data))
-	copy(out, data)
 	s.m.reads.Inc()
-	s.m.bytesOut.Add(int64(len(out)))
-	return out, nil
-}
-
-// readLocked returns a view of the file's cached bytes, faulting it in from
-// disk if needed. The view aliases the cache; callers copy before unlocking.
-func (s *Server) readLocked(c capability.Capability) ([]byte, error) {
-	inode, ino, err := s.verify(c, RightRead)
-	if err != nil {
-		return nil, err
-	}
-	if ino.CacheIndex != 0 {
-		data, err := s.cache.Get(ino.CacheIndex, inode)
-		if err == nil {
-			return data, nil // cache.Get counted the hit
-		}
-		// Stale index (should not happen; self-heal and fall through).
-		_ = s.table.SetCacheIndex(inode, 0)
-	}
-	s.cache.NoteMiss()
-
-	// Load the whole file contiguously from the main disk (§3: "the file
-	// can be read into the RAM cache" in one transfer). A P-FACTOR-0
-	// create may still have its write-through in flight (e.g. the cached
-	// copy was evicted immediately); wait it out before trusting the disk.
-	s.replicas.Drain()
-	data := make([]byte, ino.Size)
-	if ino.Size > 0 {
-		if err := s.replicas.ReadAt(data, s.desc.DataOffset(int64(ino.FirstBlock))); err != nil {
-			return nil, fmt.Errorf("bullet: reading file from disk: %w", err)
-		}
-	}
-	idx, evicted, err := s.cache.Insert(inode, data)
-	if err != nil {
-		// Cache refusal (e.g. file as big as the arena under pressure) is
-		// not fatal to the read itself.
-		return data, nil //nolint:nilerr // serve uncached
-	}
-	s.clearEvictedLocked(evicted)
-	if err := s.table.SetCacheIndex(inode, idx); err != nil {
-		return nil, err
-	}
+	s.m.bytesOut.Add(int64(len(data)))
 	return data, nil
 }
 
+// ReadRange returns n bytes of the file starting at offset — the §5
+// accommodation for "processors with small memories" handling large files.
+// The server-side path is identical to Read (the whole file is cached);
+// only the reply payload shrinks.
+func (s *Server) ReadRange(c capability.Capability, offset, n int64) ([]byte, error) {
+	if offset < 0 || n < 0 {
+		return nil, fmt.Errorf("range [%d,+%d): %w", offset, n, ErrBadOffset)
+	}
+	data, _, err := s.fetchSpan(c, RightRead, offset, n)
+	if err != nil {
+		return nil, err
+	}
+	s.m.reads.Inc()
+	s.m.bytesOut.Add(int64(len(data)))
+	return data, nil
+}
+
+// fetchSpan returns [offset, offset+n) of the file c names (n < 0 means
+// to the end) plus the file's total size. The returned slice is owned by
+// the caller. Cache hits copy from a pinned view outside the metadata
+// lock; misses run the singleflight disk fault.
+func (s *Server) fetchSpan(c capability.Capability, want capability.Rights, offset, n int64) ([]byte, int64, error) {
+	s.mu.RLock()
+	inode, ino, err := s.verify(c, want)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, 0, err
+	}
+	if ino.CacheIndex != 0 {
+		if view, verr := s.cache.GetView(ino.CacheIndex, inode); verr == nil {
+			s.mu.RUnlock()
+			// Copy outside the engine lock; the pin keeps the bytes put.
+			out, size, err := span(view.Bytes(), offset, n, true)
+			view.Release()
+			return out, size, err
+		}
+		// Stale index (eviction raced the lookup): clear it, unless a
+		// concurrent fault already published a fresh binding.
+		_, _ = s.table.SetCacheIndexIf(inode, ino.CacheIndex, 0)
+	}
+	s.mu.RUnlock()
+
+	data, shared, err := s.faultIn(inode, ino.Random)
+	if err != nil {
+		return nil, 0, err
+	}
+	// A shared result is read by every merged waiter; it must be copied.
+	// An owned full-file read hands the fault's fresh slice straight to
+	// the caller — no second copy.
+	return span(data, offset, n, shared)
+}
+
+// span cuts [offset, offset+n) out of data (n < 0 means to the end) and
+// also returns the full size. When forceCopy is false and the span is the
+// whole of data, data itself is returned.
+func span(data []byte, offset, n int64, forceCopy bool) ([]byte, int64, error) {
+	size := int64(len(data))
+	if offset > size {
+		return nil, size, fmt.Errorf("offset %d past size %d: %w", offset, size, ErrBadOffset)
+	}
+	end := size
+	if n >= 0 && offset+n < size {
+		end = offset + n
+	}
+	if !forceCopy && offset == 0 && end == size {
+		return data, size, nil
+	}
+	// append instead of make+copy: the runtime skips zeroing the fresh
+	// slice, one full memory pass saved on every cached read.
+	out := append([]byte(nil), data[offset:end]...)
+	return out, size, nil
+}
+
+// faultIn coalesces concurrent cache misses on one inode into a single
+// disk read. The first caller becomes the leader and reads the disk; the
+// rest wait for its result. shared reports whether the returned slice is
+// visible to other callers (waiters always; the leader only when someone
+// merged with it) — shared data must be copied, never handed out.
+// sameRandom compares two inode random numbers in constant time. The
+// incarnation checks below compare server-held values, but the random
+// number is the raw material of the capability secret, so the repo's
+// constant-time-comparison rule applies to it everywhere.
+func sameRandom(a, b capability.Random) bool {
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
+
+func (s *Server) faultIn(inode uint32, random capability.Random) (data []byte, shared bool, err error) {
+	for {
+		s.faultMu.Lock()
+		if fc, ok := s.faults[inode]; ok {
+			merged := sameRandom(fc.random, random)
+			if merged {
+				fc.waiters++
+			}
+			s.faultMu.Unlock()
+			<-fc.done
+			if merged {
+				s.m.faultMerges.Inc()
+				return fc.data, true, fc.err
+			}
+			// The in-flight fault served a previous incarnation of this
+			// inode number (deleted and reused); run our own.
+			continue
+		}
+		fc := &faultCall{random: random, done: make(chan struct{})}
+		s.faults[inode] = fc
+		s.faultMu.Unlock()
+
+		fc.data, fc.err = s.loadFile(inode, random)
+
+		s.faultMu.Lock()
+		delete(s.faults, inode)
+		w := fc.waiters
+		s.faultMu.Unlock()
+		close(fc.done)
+		return fc.data, w > 0, fc.err
+	}
+}
+
+// loadFile is the fault leader's body: read the whole file contiguously
+// from disk (§3: "the file can be read into the RAM cache" in one
+// transfer) with no engine lock held, then publish it to the cache under
+// the shared metadata lock. Delete and disk compaction hold the lock
+// exclusively, so an inode revalidated under it cannot have moved or died
+// between the check and the publish; if the file moved during the
+// unlocked disk read, the read is retried against the new extent.
+func (s *Server) loadFile(inode uint32, random capability.Random) ([]byte, error) {
+	s.cache.NoteMiss()
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		s.mu.RLock()
+		ino, err := s.table.Get(inode)
+		s.mu.RUnlock()
+		if err != nil || !sameRandom(ino.Random, random) {
+			return nil, fmt.Errorf("object %d vanished during fault: %w", inode, ErrNoSuchFile)
+		}
+		if ino.CacheIndex != 0 {
+			// Cached while we queued for fault leadership.
+			s.mu.RLock()
+			view, verr := s.cache.GetView(ino.CacheIndex, inode)
+			s.mu.RUnlock()
+			if verr == nil {
+				out := append([]byte(nil), view.Bytes()...)
+				view.Release()
+				return out, nil
+			}
+			_, _ = s.table.SetCacheIndexIf(inode, ino.CacheIndex, 0)
+			continue
+		}
+
+		// In-flight background write-throughs (an uncached create, or
+		// replicas still catching up past the P-FACTOR) must land before
+		// the disk is readable.
+		s.replicas.Drain()
+		data := make([]byte, ino.Size)
+		var rerr error
+		if ino.Size > 0 {
+			rerr = s.replicas.ReadAt(data, s.desc.DataOffset(int64(ino.FirstBlock)))
+		}
+
+		s.mu.RLock()
+		cur, gerr := s.table.Get(inode)
+		if gerr != nil || !sameRandom(cur.Random, random) {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("object %d vanished during fault: %w", inode, ErrNoSuchFile)
+		}
+		if cur.FirstBlock != ino.FirstBlock || cur.Size != ino.Size {
+			s.mu.RUnlock()
+			continue // compaction moved the file mid-read; reread
+		}
+		if rerr != nil {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("bullet: reading file from disk: %w", rerr)
+		}
+		if cur.CacheIndex == 0 {
+			// Cache refusal (e.g. arena pinned solid) is not fatal to the
+			// read itself; serve uncached.
+			if idx, evicted, cerr := s.cache.Insert(inode, data); cerr == nil {
+				s.clearEvicted(evicted)
+				_, _ = s.table.SetCacheIndexIf(inode, 0, idx)
+			}
+		}
+		s.mu.RUnlock()
+		return data, nil
+	}
+	return nil, fmt.Errorf("bullet: object %d kept moving during fault: %w", inode, ErrNoSuchFile)
+}
+
 // Delete implements BULLET.DELETE: verify, zero the inode and write it back
-// to all disks, free the cache copy and the disk extent (paper §3).
+// to all disks, free the cache copy and the disk extent (paper §3). It
+// holds the metadata lock exclusively end to end: deletes are rare (the
+// nightly GC sweep), and the extent hand-back must not interleave with
+// compaction scanning or a fault publishing against the dying inode.
 func (s *Server) Delete(c capability.Capability) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -472,18 +732,26 @@ func (s *Server) Delete(c capability.Capability) error {
 		return err
 	}
 	// The freed extent becomes allocatable below; any still-pending
-	// background write-through (P-FACTOR 0) targeting it must land first,
-	// or it would clobber whatever file reuses the extent.
+	// write-through targeting it must land first, or it would clobber
+	// whatever file reuses the extent. Creates between metadata publish
+	// and write-through registration are waited out first (commits), then
+	// the registered writes themselves (Drain).
+	s.commits.Wait()
 	s.replicas.Drain()
 	if ino.CacheIndex != 0 {
+		// A pinned copy (readers mid-copy-out) is doomed, not freed; the
+		// last reader's release reclaims it.
 		_ = s.cache.Remove(ino.CacheIndex, inode)
 	}
-	s.forgetCapsLocked(inode)
+	s.forgetCaps(inode)
 	if err := s.table.Free(inode); err != nil {
 		return err
 	}
-	// Deletion involves requests to all disks (paper §4 note under Fig. 2).
-	err = s.replicas.Apply(s.replicas.N(), func(_ int, dev disk.Device) error {
+	// Deletion involves requests to all disks (paper §4 note under Fig. 2),
+	// in parallel.
+	err = s.replicas.Apply(s.replicas.N(), func(i int, dev disk.Device) error {
+		s.inoMu[i].Lock()
+		defer s.inoMu[i].Unlock()
 		return s.table.WriteInode(dev, inode)
 	})
 	if err != nil {
@@ -507,21 +775,9 @@ func (s *Server) Modify(c capability.Capability, offset int64, data []byte, newS
 	if offset < 0 {
 		return capability.Capability{}, fmt.Errorf("offset %d: %w", offset, ErrBadOffset)
 	}
-	s.mu.Lock()
-	old, err := func() ([]byte, error) {
-		view, err := s.readLocked(c)
-		if err != nil {
-			return nil, err
-		}
-		// Modification additionally requires the modify right.
-		if _, _, err := s.verify(c, RightModify); err != nil {
-			return nil, err
-		}
-		out := make([]byte, len(view))
-		copy(out, view)
-		return out, nil
-	}()
-	s.mu.Unlock()
+	// Modification requires both the read right (the old contents flow
+	// into the new file) and the modify right.
+	old, _, err := s.fetchSpan(c, RightRead|RightModify, 0, -1)
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -564,34 +820,6 @@ func (s *Server) Append(c capability.Capability, data []byte, pfactor int) (capa
 	return s.Modify(c, size, data, size+int64(len(data)), pfactor)
 }
 
-// ReadRange returns n bytes of the file starting at offset — the §5
-// accommodation for "processors with small memories" handling large files.
-// The server-side path is identical to Read (the whole file is cached);
-// only the reply payload shrinks.
-func (s *Server) ReadRange(c capability.Capability, offset, n int64) ([]byte, error) {
-	if offset < 0 || n < 0 {
-		return nil, fmt.Errorf("range [%d,+%d): %w", offset, n, ErrBadOffset)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	data, err := s.readLocked(c)
-	if err != nil {
-		return nil, err
-	}
-	if offset > int64(len(data)) {
-		return nil, fmt.Errorf("offset %d past size %d: %w", offset, len(data), ErrBadOffset)
-	}
-	end := offset + n
-	if end > int64(len(data)) {
-		end = int64(len(data))
-	}
-	out := make([]byte, end-offset)
-	copy(out, data[offset:end])
-	s.m.reads.Inc()
-	s.m.bytesOut.Add(int64(len(out)))
-	return out, nil
-}
-
 // Stats returns a snapshot of the engine counters, synthesized from the
 // metrics registry (the counters are atomic; the snapshot is not a single
 // consistent cut, which matches the old lock-free read semantics closely
@@ -609,6 +837,7 @@ func (s *Server) Stats() Stats {
 		BytesIn:      s.m.bytesIn.Load(),
 		BytesOut:     s.m.bytesOut.Load(),
 		Compactions:  s.m.compactions.Load(),
+		FaultMerges:  s.m.faultMerges.Load(),
 	}
 }
 
@@ -621,9 +850,9 @@ func (s *Server) Metrics() *stats.Registry { return s.metrics }
 // right proves a legitimate client. Statistics are read-only, so the read
 // right suffices.
 func (s *Server) StatsSnapshot(c capability.Capability) (stats.Snapshot, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	_, _, err := s.verify(c, RightRead)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		return stats.Snapshot{}, err
 	}
@@ -635,8 +864,8 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 
 // DiskStats returns the data-area allocator state (fragmentation etc.).
 func (s *Server) DiskStats() alloc.Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.dalloc.Stats()
 }
 
@@ -647,8 +876,8 @@ func (s *Server) Live() int { return s.table.Live() }
 // operation for the garbage collector (Amoeba reconciled the directory
 // service against the Bullet store with exactly such a scan).
 func (s *Server) Objects() []uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []uint32
 	s.table.ForEachUsed(func(n uint32, _ layout.Inode) { out = append(out, n) })
 	return out
@@ -659,9 +888,9 @@ func (s *Server) Objects() []uint32 {
 // operation for operators of the server itself (disaster recovery scans,
 // the garbage collector). It must never be exposed over the network.
 func (s *Server) ReadObjectAdmin(obj uint32) ([]byte, capability.Capability, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	ino, err := s.table.Get(obj)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		return nil, capability.Capability{}, fmt.Errorf("object %d: %w", obj, ErrNoSuchFile)
 	}
@@ -681,7 +910,7 @@ func (s *Server) ReadObjectAdmin(obj uint32) ([]byte, capability.Capability, err
 // reclaimed wrongly. The paper's operational answer — do maintenance "at
 // say 3 am when the system is lightly loaded" — applies.
 func (s *Server) SweepExcept(keep map[uint32]bool) (int, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	var victims []uint32
 	var inos []layout.Inode
 	s.table.ForEachUsed(func(n uint32, ino layout.Inode) {
@@ -690,7 +919,7 @@ func (s *Server) SweepExcept(keep map[uint32]bool) (int, error) {
 			inos = append(inos, ino)
 		}
 	})
-	s.mu.Unlock()
+	s.mu.RUnlock()
 
 	for i, n := range victims {
 		// Build an owner capability from the stored random and run the
@@ -704,8 +933,18 @@ func (s *Server) SweepExcept(keep map[uint32]bool) (int, error) {
 	return len(victims), nil
 }
 
-// Sync waits for all background (post-P-FACTOR) replica writes to land.
-func (s *Server) Sync() { s.replicas.Drain() }
+// Sync waits for all in-flight write-throughs — creates still between
+// metadata publish and write registration, then the registered background
+// (post-P-FACTOR) replica writes — to land.
+func (s *Server) Sync() {
+	s.mu.RLock()
+	s.commits.Wait()
+	s.mu.RUnlock()
+	s.replicas.Drain()
+}
 
 // Close drains background writes and closes the disks.
-func (s *Server) Close() error { return s.replicas.Close() }
+func (s *Server) Close() error {
+	s.Sync()
+	return s.replicas.Close()
+}

@@ -18,6 +18,10 @@ import (
 // written through — so a crash mid-compaction leaves either the old or the
 // new inode, each pointing at intact data (the source extent is not reused
 // until the free list is rebuilt at the end).
+//
+// The metadata lock is held exclusively throughout: reads with a cache hit
+// are unaffected (their copy-out happens outside the lock), while cache
+// misses queue until the extents stop moving.
 func (s *Server) CompactDisk() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -25,8 +29,11 @@ func (s *Server) CompactDisk() error {
 }
 
 func (s *Server) compactDiskLocked() error {
-	// Compaction rearranges extents; in-flight background writes from
-	// P-FACTOR-0 creates must not land on moved ground.
+	// Compaction rearranges extents; in-flight write-throughs must not
+	// land on moved ground. Wait out creates still between metadata
+	// publish and write registration (commits), then the registered
+	// writes themselves.
+	s.commits.Wait()
 	s.replicas.Drain()
 	bs := int64(s.desc.BlockSize)
 	var used []alloc.Used
@@ -88,9 +95,10 @@ func (s *Server) retarget(n, firstBlock uint32) error {
 
 // CompactCache defragments the RAM cache arena (paper §3: "the
 // fragmentation in memory can be alleviated by compacting part or all of
-// the RAM cache from time to time"). It takes the engine lock: reads hold
-// uncopied views into the arena under that lock, and compaction slides
-// the bytes those views alias. A non-nil error is cache.ErrCorrupt.
+// the RAM cache from time to time"). The exclusive metadata lock keeps new
+// reads from pinning views mid-compaction; if views are already pinned
+// (readers mid-copy-out), the cache skips the compaction rather than
+// sliding bytes out from under them. A non-nil error is cache.ErrCorrupt.
 func (s *Server) CompactCache() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -99,6 +99,10 @@ func TestFullRecoveryCycle(t *testing.T) {
 
 	w.faulty[0].Fault()
 	during := mustCreate(t, w.srv, []byte("degraded"), 1)
+	// The write-through fans out to both replicas in parallel; a P-FACTOR 1
+	// create may return off the healthy disk before the dead one's write
+	// fails and demotes it. Settle the fanout before checking.
+	w.srv.Sync()
 	if w.set.Main() != 1 {
 		t.Fatalf("main = %d, want failover to 1", w.set.Main())
 	}

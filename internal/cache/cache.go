@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bulletfs/internal/alloc"
 	"bulletfs/internal/stats"
@@ -47,13 +48,31 @@ var (
 )
 
 // rnode administers one cached file (paper §3: inode index, pointer into
-// the RAM cache, age field for LRU).
+// the RAM cache). The LRU age and the pin count live in the cache's
+// parallel slots table (one cache-line-padded slotState per rnode) so the
+// read path can update them under the shared lock. A pinned rnode's arena bytes are immovable and
+// must survive until the last view is released, so eviction and
+// compaction skip pinned entries and Remove defers the reclaim by
+// setting doomed.
 type rnode struct {
-	inode uint32
-	off   int64
-	size  int64
-	age   uint64
-	used  bool
+	inode  uint32
+	off    int64
+	size   int64
+	used   bool
+	doomed bool // removed while pinned; reclaim on last Release
+}
+
+// slotState is one rnode's reader-side state. It is padded to a full cache
+// line: concurrent readers of different files update adjacent slots' pin
+// counts and age stamps on every operation, and without the padding those
+// updates ping-pong a single line of packed counters between cores,
+// serializing the whole read path.
+type slotState struct {
+	pins atomic.Int32 // outstanding Views; >0 means the extent is immovable
+	_    [4]byte
+	age  atomic.Uint64 // LRU age stamp
+	hits atomic.Int64  // reads served from this slot; drained into stats on reclaim
+	_    [40]byte
 }
 
 // Stats reports cache behaviour since creation.
@@ -66,17 +85,34 @@ type Stats struct {
 	Compactions int64 // arena compactions triggered by fragmentation
 	Hits        int64 // successful Gets
 	Misses      int64 // faults reported by the engine via NoteMiss
+
+	PinnedViews        int64 // outstanding pinned read views right now
+	CompactionsSkipped int64 // compactions refused because views were pinned
 }
 
-// Cache is the contiguous RAM file cache. It is safe for concurrent use.
+// Cache is the contiguous RAM file cache. It is safe for concurrent use:
+// lookups (GetView, Pin, Get) share the lock and touch only the atomic
+// side tables, so concurrent readers proceed in parallel; Insert, Remove
+// and Compact hold it exclusively.
 type Cache struct {
-	mu       sync.Mutex
-	buf      []byte           // guarded by mu
+	mu       sync.RWMutex
+	buf      []byte           // guarded by mu (shared: read bytes; exclusive: move/overwrite)
 	arena    *alloc.Allocator // guarded by mu
 	rnodes   []rnode          // guarded by mu; slot i at rnodes[i-1]; slots are 1-based
 	freeSlot []uint16         // guarded by mu; free rnode slots
-	ageClock uint64           // guarded by mu
-	stats    Stats            // guarded by mu
+
+	// Per-slot reader state, parallel to rnodes. Atomic so that readers
+	// holding only the shared lock can pin entries and refresh LRU ages;
+	// padded so neighbouring slots never share a cache line (see slotState).
+	slots []slotState
+
+	ageClock atomic.Uint64
+	_        [56]byte     // pad: the age clock is bumped on every read
+	doomed   atomic.Int64 // doomed slots awaiting their last Release
+	_        [56]byte     // pad: Release loads doomed on every call
+	misses   atomic.Int64
+
+	stats Stats // guarded by mu; slow-path counters only (Hits holds reclaimed slots' drained hit counts)
 }
 
 // New builds a cache with an arena of the given size and at most maxFiles
@@ -97,6 +133,7 @@ func New(arenaBytes int64, maxFiles int) (*Cache, error) {
 		arena:    arena,
 		rnodes:   make([]rnode, maxFiles),
 		freeSlot: make([]uint16, 0, maxFiles),
+		slots:    make([]slotState, maxFiles),
 	}
 	for i := maxFiles; i >= 1; i-- {
 		c.freeSlot = append(c.freeSlot, uint16(i))
@@ -104,29 +141,40 @@ func New(arenaBytes int64, maxFiles int) (*Cache, error) {
 	return c, nil
 }
 
-// tickLocked returns the next age stamp.
-func (c *Cache) tickLocked() uint64 {
-	c.ageClock++
-	return c.ageClock
+// tick returns the next age stamp; safe under the shared lock.
+func (c *Cache) tick() uint64 {
+	return c.ageClock.Add(1)
 }
 
-// slotLocked returns the rnode for a 1-based slot number.
+// slotLocked returns the rnode for a 1-based slot number. Doomed slots
+// (removed while pinned, awaiting the last Release) are logically gone and
+// report ErrBadSlot like any other stale index.
 func (c *Cache) slotLocked(idx uint16) (*rnode, error) {
 	if idx == 0 || int(idx) > len(c.rnodes) {
 		return nil, fmt.Errorf("slot %d: %w", idx, ErrBadSlot)
 	}
 	rn := &c.rnodes[idx-1]
-	if !rn.used {
+	if !rn.used || rn.doomed {
 		return nil, fmt.Errorf("slot %d is free: %w", idx, ErrBadSlot)
 	}
 	return rn, nil
 }
 
+// Evicted identifies one eviction performed during an Insert: which inode
+// lost its cached copy and which rnode slot held it. Reporting the slot
+// lets the engine clear the inode's cache-index field with a compare-and-
+// set — if the index no longer names this slot, a concurrent fault already
+// re-cached the file and the stale-index clear must lose.
+type Evicted struct {
+	Inode uint32
+	Slot  uint16
+}
+
 // Insert caches data as the contents of the given inode, evicting
 // least-recently-used files (and compacting, if fragmentation demands) to
 // make room. It returns the rnode slot to store in the inode's cache-index
-// field and the inodes of every file evicted along the way.
-func (c *Cache) Insert(inode uint32, data []byte) (idx uint16, evicted []uint32, err error) {
+// field and the (inode, slot) pair of every file evicted along the way.
+func (c *Cache) Insert(inode uint32, data []byte) (idx uint16, evicted []Evicted, err error) {
 	size := int64(len(data))
 	if size > c.arena.Total() {
 		return 0, nil, fmt.Errorf("%d bytes into %d-byte arena: %w", size, c.arena.Total(), ErrTooLarge)
@@ -144,7 +192,7 @@ func (c *Cache) Insert(inode uint32, data []byte) (idx uint16, evicted []uint32,
 		if rerr != nil {
 			return 0, evicted, rerr
 		}
-		evicted = append(evicted, inode)
+		evicted = append(evicted, Evicted{Inode: inode, Slot: victim})
 	}
 
 	var off int64 = -1
@@ -164,7 +212,7 @@ func (c *Cache) Insert(inode uint32, data []byte) (idx uint16, evicted []uint32,
 				if rerr != nil {
 					return 0, evicted, rerr
 				}
-				evicted = append(evicted, inode)
+				evicted = append(evicted, Evicted{Inode: inode, Slot: victim})
 				continue
 			}
 			// Nothing left to evict. If the space exists but is shattered,
@@ -189,55 +237,147 @@ func (c *Cache) Insert(inode uint32, data []byte) (idx uint16, evicted []uint32,
 
 	slotNum := c.freeSlot[len(c.freeSlot)-1]
 	c.freeSlot = c.freeSlot[:len(c.freeSlot)-1]
-	c.rnodes[slotNum-1] = rnode{inode: inode, off: off, size: size, age: c.tickLocked(), used: true}
+	c.rnodes[slotNum-1] = rnode{inode: inode, off: off, size: size, used: true}
+	c.slots[slotNum-1].age.Store(c.tick())
 	c.stats.Insertions++
 	return slotNum, evicted, nil
 }
 
-// lruLocked returns the slot of the least recently used file, or 0 if the
-// cache is empty.
+// lruLocked returns the slot of the least recently used evictable file, or
+// 0 if nothing can be evicted. Pinned entries have live readers copying
+// out of the arena and doomed entries are already on their way out, so
+// neither is a candidate.
 func (c *Cache) lruLocked() uint16 {
 	best := uint16(0)
 	var bestAge uint64
 	for i := range c.rnodes {
 		rn := &c.rnodes[i]
-		if !rn.used {
+		if !rn.used || c.slots[i].pins.Load() > 0 || rn.doomed {
 			continue
 		}
-		if best == 0 || rn.age < bestAge {
+		if age := c.slots[i].age.Load(); best == 0 || age < bestAge {
 			best = uint16(i + 1)
-			bestAge = rn.age
+			bestAge = age
 		}
 	}
 	return best
 }
 
-// removeLocked frees slot idx and returns the inode it held. A Free the
+// removeLocked frees slot idx and returns the inode it held. A pinned slot
+// cannot release its arena bytes while readers still view them, so it is
+// marked doomed instead and reclaimed by the last Release; the slot is
+// logically gone either way (slotLocked stops resolving it). A Free the
 // allocator rejects means cache and arena bookkeeping have diverged; the
 // slot is still released (the rnode is gone either way) and ErrCorrupt is
 // reported so the engine can fail the request instead of crashing.
 func (c *Cache) removeLocked(idx uint16) (uint32, error) {
 	rn := &c.rnodes[idx-1]
 	inode := rn.inode
+	c.stats.Evictions++
+	// Publish the doom before reading the pin count. Release decrements
+	// the pin count before checking the doomed counter, so whichever of
+	// the two observes the other's write performs the reclaim — the
+	// extent is never stranded.
+	rn.doomed = true
+	c.doomed.Add(1)
+	if c.slots[idx-1].pins.Load() > 0 {
+		return inode, nil // the last Release reclaims
+	}
+	return inode, c.reclaimLocked(idx)
+}
+
+// reclaimLocked returns slot idx's arena extent to the allocator and the
+// slot to the free list. Callers have already decided the entry is dead
+// (unused or doomed with no pins left).
+func (c *Cache) reclaimLocked(idx uint16) error {
+	rn := &c.rnodes[idx-1]
 	var err error
 	if rn.size > 0 {
 		if ferr := c.arena.Free(rn.off, rn.size); ferr != nil {
 			err = fmt.Errorf("freeing [%d,%d): %v: %w", rn.off, rn.off+rn.size, ferr, ErrCorrupt)
 		}
 	}
+	if rn.doomed {
+		c.doomed.Add(-1)
+	}
 	*rn = rnode{}
+	sl := &c.slots[idx-1]
+	sl.age.Store(0)
+	c.stats.Hits += sl.hits.Swap(0) // keep lifetime hit totals across slot reuse
 	c.freeSlot = append(c.freeSlot, idx)
-	c.stats.Evictions++
-	return inode, err
+	return err
 }
 
-// Get returns the cached contents for slot idx, checking that the slot
-// still belongs to the expected inode, and refreshes its LRU age. The
-// returned slice aliases the cache arena: callers must copy before the next
-// cache operation (the engine copies at the RPC boundary).
-func (c *Cache) Get(idx uint16, inode uint32) ([]byte, error) {
+// View is a pinned, read-only window onto one cached file. While a view is
+// outstanding its bytes are immovable: eviction skips the entry, compaction
+// refuses to slide the arena, and a Remove defers the reclaim until the
+// last Release. That lets a reader leave the engine's metadata lock before
+// copying the bytes to the wire. Views are cheap; hold them only for the
+// duration of one copy-out and always Release (Release is idempotent).
+type View struct {
+	c    *Cache
+	idx  uint16
+	data []byte
+	done bool
+}
+
+// Bytes returns the pinned file contents. The slice aliases the cache
+// arena and is valid only until Release.
+func (v *View) Bytes() []byte { return v.data }
+
+// Len returns the pinned file's size in bytes.
+func (v *View) Len() int { return len(v.data) }
+
+// Release unpins the view. The last release of a doomed entry (removed or
+// evicted while pinned) reclaims its arena space. Safe to call twice.
+//
+// The common case is lock-free: drop the pin counts and return. Only when
+// some slot is doomed does Release take the lock to check whether this
+// was the last pin holding a dead extent in place; the doomed check runs
+// after the pin decrement (mirroring removeLocked's doom-then-read-pins
+// order), so one of the two sides always sees the reclaim through.
+func (v *View) Release() {
+	if v == nil || v.done {
+		return
+	}
+	v.done = true
+	v.data = nil
+	c := v.c
+	left := c.slots[v.idx-1].pins.Add(-1)
+	if left != 0 || c.doomed.Load() == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	rn := &c.rnodes[v.idx-1]
+	// Re-check under the lock: the slot may have been reclaimed (and even
+	// reused) since the fast path ran.
+	if rn.used && rn.doomed && c.slots[v.idx-1].pins.Load() == 0 {
+		_ = c.reclaimLocked(v.idx) // bookkeeping divergence already reported at Remove time
+	}
+}
+
+// GetView returns a pinned view of the cached contents for slot idx,
+// checking that the slot still belongs to the expected inode, and
+// refreshes its LRU age. Unlike Get, the returned view stays valid across
+// later cache operations until it is released.
+func (c *Cache) GetView(idx uint16, inode uint32) (*View, error) {
+	return c.view(idx, inode, true)
+}
+
+// Pin is GetView without the cache-hit accounting: the engine pins a
+// freshly inserted entry for the duration of its disk write-through,
+// which is not a read.
+func (c *Cache) Pin(idx uint16, inode uint32) (*View, error) {
+	return c.view(idx, inode, false)
+}
+
+// view runs under the shared lock: writers (Insert, Remove, Compact) are
+// excluded, so the rnode fields are stable, and the pin/age updates go
+// through the atomic side tables. Concurrent lookups proceed in parallel.
+func (c *Cache) view(idx uint16, inode uint32, countHit bool) (*View, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	rn, err := c.slotLocked(idx)
 	if err != nil {
 		return nil, err
@@ -245,8 +385,47 @@ func (c *Cache) Get(idx uint16, inode uint32) ([]byte, error) {
 	if rn.inode != inode {
 		return nil, fmt.Errorf("slot %d holds inode %d, want %d: %w", idx, rn.inode, inode, ErrBadSlot)
 	}
-	rn.age = c.tickLocked()
-	c.stats.Hits++
+	sl := &c.slots[idx-1]
+	sl.age.Store(c.tick())
+	sl.pins.Add(1)
+	if countHit {
+		sl.hits.Add(1)
+	}
+	data := []byte{}
+	if rn.size > 0 {
+		data = c.buf[rn.off : rn.off+rn.size : rn.off+rn.size]
+	}
+	return &View{c: c, idx: idx, data: data}, nil
+}
+
+// PinnedViews returns the number of outstanding pinned views. The count
+// is a sum of per-slot pin counters read without the lock, so concurrent
+// pin/release traffic makes it approximate — exact when quiescent.
+func (c *Cache) PinnedViews() int64 {
+	var n int64
+	for i := range c.slots {
+		n += int64(c.slots[i].pins.Load())
+	}
+	return n
+}
+
+// Get returns the cached contents for slot idx, checking that the slot
+// still belongs to the expected inode, and refreshes its LRU age. The
+// returned slice aliases the cache arena: callers must copy before the next
+// cache operation (the engine uses GetView instead, which pins the bytes
+// in place until released).
+func (c *Cache) Get(idx uint16, inode uint32) ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rn, err := c.slotLocked(idx)
+	if err != nil {
+		return nil, err
+	}
+	if rn.inode != inode {
+		return nil, fmt.Errorf("slot %d holds inode %d, want %d: %w", idx, rn.inode, inode, ErrBadSlot)
+	}
+	c.slots[idx-1].age.Store(c.tick())
+	c.slots[idx-1].hits.Add(1)
 	if rn.size == 0 {
 		return []byte{}, nil
 	}
@@ -257,9 +436,7 @@ func (c *Cache) Get(idx uint16, inode uint32) ([]byte, error) {
 // no cached copy and faults the file in from disk; the cache cannot see
 // those, because the engine consults the inode's cache-index field first.
 func (c *Cache) NoteMiss() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Misses++
+	c.misses.Add(1)
 }
 
 // Remove drops slot idx from the cache (file deleted, paper §3: "If the
@@ -292,7 +469,25 @@ func (c *Cache) Compact() error {
 	return c.compactLocked()
 }
 
+// pinnedLocked sums the per-slot pin counters. Exact while mu is held
+// exclusively (view, the only pinner, needs the shared lock).
+func (c *Cache) pinnedLocked() int64 {
+	var n int64
+	for i := range c.slots {
+		n += int64(c.slots[i].pins.Load())
+	}
+	return n
+}
+
 func (c *Cache) compactLocked() error {
+	// Pinned views alias arena bytes; sliding them would corrupt an
+	// in-flight copy-out. Pins are held only for the duration of one copy,
+	// so skipping is cheap — the next compaction attempt will succeed.
+	// (Holding mu exclusively excludes new pins, so the sum is exact.)
+	if c.pinnedLocked() > 0 {
+		c.stats.CompactionsSkipped++
+		return nil
+	}
 	var used []alloc.Used
 	for i := range c.rnodes {
 		rn := &c.rnodes[i]
@@ -327,10 +522,15 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
+	s.Misses = c.misses.Load()
 	s.TotalBytes = c.arena.Total()
+	s.PinnedViews = c.pinnedLocked()
 	for i := range c.rnodes {
+		s.Hits += c.slots[i].hits.Load()
 		if c.rnodes[i].used {
-			s.Files++
+			if !c.rnodes[i].doomed {
+				s.Files++
+			}
 			s.UsedBytes += c.rnodes[i].size
 		}
 	}
@@ -360,6 +560,8 @@ func (c *Cache) AttachMetrics(r *stats.Registry) {
 	r.GaugeFunc("cache.insertions", poll(func(s Stats) int64 { return s.Insertions }))
 	r.GaugeFunc("cache.evictions", poll(func(s Stats) int64 { return s.Evictions }))
 	r.GaugeFunc("cache.compactions", poll(func(s Stats) int64 { return s.Compactions }))
+	r.GaugeFunc("cache.compactions_skipped", poll(func(s Stats) int64 { return s.CompactionsSkipped }))
+	r.GaugeFunc("cache.pinned_views", c.PinnedViews)
 	r.GaugeFunc("cache.fragmentation_pct", func() int64 {
 		return int64(100 * c.Fragmentation())
 	})

@@ -125,8 +125,8 @@ func TestLRUEvictionOrder(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	if len(evicted) != 1 || evicted[0] != 2 {
-		t.Fatalf("evicted = %v, want [2]", evicted)
+	if len(evicted) != 1 || evicted[0].Inode != 2 {
+		t.Fatalf("evicted = %v, want inode 2", evicted)
 	}
 	// 1 and 3 are still readable.
 	if _, err := c.Get(idx1, 1); err != nil {
@@ -153,7 +153,7 @@ func TestEvictionRepeatsUntilEnoughSpace(t *testing.T) {
 		t.Fatalf("evicted = %v, want %v", evicted, want)
 	}
 	for i, inode := range want {
-		if evicted[i] != inode {
+		if evicted[i].Inode != inode {
 			t.Fatalf("evicted = %v, want %v", evicted, want)
 		}
 	}
@@ -167,8 +167,8 @@ func TestRnodeExhaustionEvicts(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	if len(evicted) != 1 || evicted[0] != 1 {
-		t.Fatalf("evicted = %v, want [1]", evicted)
+	if len(evicted) != 1 || evicted[0].Inode != 1 {
+		t.Fatalf("evicted = %v, want inode 1", evicted)
 	}
 }
 
@@ -307,7 +307,7 @@ func TestQuickCacheIntegrity(t *testing.T) {
 				return false
 			}
 			for _, ev := range evicted {
-				delete(livemap, ev)
+				delete(livemap, ev.Inode)
 			}
 			livemap[next] = entry{idx: idx, data: data}
 			next++
@@ -351,7 +351,7 @@ func TestQuickCompactionSafe(t *testing.T) {
 				return false
 			}
 			for _, ev := range evicted {
-				delete(live, ev)
+				delete(live, ev.Inode)
 			}
 			live[next] = entry{idx, data}
 			next++

@@ -1,0 +1,144 @@
+package disk
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hungDevice parks every WriteAt until release is closed.
+type hungDevice struct {
+	Device
+	release chan struct{}
+}
+
+func (d *hungDevice) WriteAt(p []byte, off int64) error {
+	<-d.release
+	return d.Device.WriteAt(p, off)
+}
+
+// signalDevice closes done after its first successful write.
+type signalDevice struct {
+	Device
+	once sync.Once
+	done chan struct{}
+}
+
+func (d *signalDevice) WriteAt(p []byte, off int64) error {
+	err := d.Device.WriteAt(p, off)
+	if err == nil {
+		d.once.Do(func() { close(d.done) })
+	}
+	return err
+}
+
+// TestParallelCommitWithHungReplica proves the synchronous phase of Apply
+// fans out concurrently: replica 0's write refuses to proceed until
+// replica 1's write has completed. Under the old serial loop (replica 0
+// first, then replica 1) this dependency deadlocks; with parallel commit
+// both writes are in flight at once and the P-FACTOR 2 commit completes.
+func TestParallelCommitWithHungReplica(t *testing.T) {
+	memA, err := NewMem(512, 64)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	memB, err := NewMem(512, 64)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	done := make(chan struct{})
+	a := &hungDevice{Device: memA, release: done}
+	b := &signalDevice{Device: memB, done: done}
+	set, err := NewReplicaSet(a, b)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+
+	payload := []byte("parallel commit payload")
+	errc := make(chan error, 1)
+	go func() {
+		errc <- set.Apply(2, func(i int, dev Device) error {
+			return dev.WriteAt(payload, 0)
+		})
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Apply(2): %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("P-FACTOR 2 commit deadlocked: replica writes did not run in parallel")
+	}
+	set.Drain()
+
+	for i, mem := range []*MemDisk{memA, memB} {
+		got := make([]byte, len(payload))
+		if err := mem.ReadAt(got, 0); err != nil {
+			t.Fatalf("replica %d ReadAt: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("replica %d holds %q, want %q", i, got, payload)
+		}
+	}
+	if set.AliveCount() != 2 {
+		t.Fatalf("AliveCount = %d, want 2", set.AliveCount())
+	}
+}
+
+// TestParallelCommitReturnsAfterSyncQuorum proves the max-of-k latency
+// claim: Apply(1) replies as soon as one replica has the write, while the
+// other replica's write is still parked; Drain then settles the laggard.
+func TestParallelCommitReturnsAfterSyncQuorum(t *testing.T) {
+	memA, err := NewMem(512, 64)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	memB, err := NewMem(512, 64)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	release := make(chan struct{})
+	b := &hungDevice{Device: memB, release: release}
+	set, err := NewReplicaSet(memA, b)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+
+	payload := []byte("quorum of one")
+	errc := make(chan error, 1)
+	go func() {
+		errc <- set.Apply(1, func(i int, dev Device) error {
+			return dev.WriteAt(payload, 0)
+		})
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Apply(1): %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Apply(1) waited for the hung replica instead of the quorum")
+	}
+
+	// The laggard has not written yet.
+	got := make([]byte, len(payload))
+	if err := memB.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("hung replica wrote before being released")
+	}
+
+	close(release)
+	set.Drain()
+	if err := memB.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after drain: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("background write never landed on the slow replica")
+	}
+	if set.Writes(0) != 1 || set.Writes(1) != 1 {
+		t.Fatalf("writes = %d,%d, want 1,1", set.Writes(0), set.Writes(1))
+	}
+}

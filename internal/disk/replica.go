@@ -4,34 +4,59 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bulletfs/internal/stats"
 )
 
 // ReplicaSet manages N identical replica disks (the paper's hardware had
 // two). Reads go to the main disk, failing over — and permanently demoting
-// the main — when it dies. Writes are applied to every live replica;
-// the create operation's P-FACTOR chooses how many must complete before the
-// caller resumes (paper §2.2, §3). Recovery is a whole-disk copy (paper §3:
-// "Recovery is simply done by copying the complete disk").
+// the main — when it dies. Writes are applied to every live replica
+// concurrently; the create operation's P-FACTOR chooses how many must
+// complete before the caller resumes (paper §2.2, §3), so commit latency
+// for P-FACTOR k is the maximum of k disk writes, not their sum. Recovery
+// is a whole-disk copy (paper §3: "Recovery is simply done by copying the
+// complete disk").
 type ReplicaSet struct {
 	mu    sync.Mutex
-	devs  []Device       // immutable after construction (liveness is in alive)
-	alive []bool         // guarded by mu
-	main  int            // guarded by mu
-	wg    sync.WaitGroup // tracks background (post-P-FACTOR) writes
+	devs  []Device // immutable after construction (liveness is in alive)
+	alive []bool   // guarded by mu
+	main  int      // guarded by mu
+
+	// pending tracks in-flight replica writes (both the synchronous phase
+	// and the post-P-FACTOR background remainder) for Drain. A plain
+	// counter with a condition variable, not a WaitGroup: concurrent
+	// readers may Drain while concurrent creators start new writes, which
+	// WaitGroup's Add/Wait contract forbids.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond // lazily initialized under pendMu
+	pending  int        // guarded by pendMu
 
 	// Per-replica activity counters (atomic; indexed like devs).
 	reads     []stats.Counter // successful ReadAt calls served by replica i
 	writes    []stats.Counter // successful op applications on replica i
 	errs      []stats.Counter // failures that demoted replica i
 	failovers stats.Counter   // reads served by a non-main replica
+
+	// Parallel-commit observability: commits with a synchronous phase, and
+	// the total replica fanout of those synchronous phases. fanout/commits
+	// is the mean number of disks a caller's reply waited on in parallel.
+	parallelCommits stats.Counter
+	commitFanout    stats.Counter
 }
+
+// maxReplicas bounds a set so replica liveness fits a uint64 snapshot
+// (ReadAt's lock-free failover order). Sixty-four disks is far beyond the
+// paper's two and any deployment this server targets.
+const maxReplicas = 64
 
 // NewReplicaSet builds a set over devs. All devices must share a geometry.
 func NewReplicaSet(devs ...Device) (*ReplicaSet, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("replica set needs at least one device: %w", ErrBadGeometry)
+	}
+	if len(devs) > maxReplicas {
+		return nil, fmt.Errorf("replica set of %d exceeds %d devices: %w", len(devs), maxReplicas, ErrBadGeometry)
 	}
 	bs, nb := devs[0].BlockSize(), devs[0].Blocks()
 	for i, d := range devs[1:] {
@@ -90,7 +115,7 @@ func (s *ReplicaSet) Alive(i int) bool {
 }
 
 // markDead demotes replica i; if it was the main, the next live replica is
-// promoted.
+// promoted. Safe to call from concurrent per-replica commit goroutines.
 func (s *ReplicaSet) markDead(i int) {
 	s.errs[i].Inc()
 	s.mu.Lock()
@@ -106,36 +131,54 @@ func (s *ReplicaSet) markDead(i int) {
 	}
 }
 
+// readSnapshot captures the current main index and the liveness set as a
+// bitmask, so ReadAt can walk its failover order without holding the mutex
+// or allocating an order slice on every read.
+func (s *ReplicaSet) readSnapshot() (main int, aliveMask uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, a := range s.alive {
+		if a {
+			aliveMask |= 1 << uint(i)
+		}
+	}
+	return s.main, aliveMask
+}
+
 // ReadAt reads from the main disk, failing over to any other live replica.
 // It returns ErrNoReplica only when every replica has failed.
 func (s *ReplicaSet) ReadAt(p []byte, off int64) error {
-	s.mu.Lock()
-	order := make([]int, 0, len(s.devs))
-	if s.alive[s.main] {
-		order = append(order, s.main)
-	}
-	for i, a := range s.alive {
-		if a && i != s.main {
-			order = append(order, i)
-		}
-	}
-	s.mu.Unlock()
+	main, aliveMask := s.readSnapshot()
 
 	var lastErr error
-	for _, i := range order {
-		err := s.devs[i].ReadAt(p, off)
-		if err == nil {
-			s.reads[i].Inc()
-			if i != order[0] {
-				s.failovers.Inc()
+	tried := 0
+	// Failover order: the main first, then the remaining live replicas in
+	// index order — derived from the snapshot, no allocation, no lock held
+	// across the I/O.
+	for pass := 0; pass < 2; pass++ {
+		for i := range s.devs {
+			isMain := i == main
+			if pass == 0 && !isMain || pass == 1 && isMain {
+				continue
 			}
-			return nil
+			if aliveMask&(1<<uint(i)) == 0 {
+				continue
+			}
+			err := s.devs[i].ReadAt(p, off)
+			if err == nil {
+				s.reads[i].Inc()
+				if tried > 0 {
+					s.failovers.Inc()
+				}
+				return nil
+			}
+			if errors.Is(err, ErrOutOfRange) {
+				return err // caller bug, not a media failure
+			}
+			tried++
+			lastErr = err
+			s.markDead(i)
 		}
-		if errors.Is(err, ErrOutOfRange) {
-			return err // caller bug, not a media failure
-		}
-		lastErr = err
-		s.markDead(i)
 	}
 	if lastErr != nil {
 		return fmt.Errorf("all replicas failed (last: %v): %w", lastErr, ErrNoReplica)
@@ -143,15 +186,48 @@ func (s *ReplicaSet) ReadAt(p []byte, off int64) error {
 	return ErrNoReplica
 }
 
-// Apply runs op against every live replica in index order. After syncN
-// replicas have succeeded, Apply returns; remaining replicas are written in
-// the background (tracked; see Drain). syncN <= 0 runs the whole chain in
-// the background and returns immediately — the P-FACTOR 0 semantics of
-// paper §2.2. syncN larger than the number of live replicas means fully
-// synchronous. A replica whose op fails is marked dead; Apply fails only if
-// no replica succeeded during the synchronous phase (for syncN <= 0, it
-// never fails).
+// beginWrites registers n in-flight replica writes with the drain tracker.
+func (s *ReplicaSet) beginWrites(n int) {
+	s.pendMu.Lock()
+	if s.pendCond == nil {
+		s.pendCond = sync.NewCond(&s.pendMu)
+	}
+	s.pending += n
+	s.pendMu.Unlock()
+}
+
+// endWrite retires one in-flight replica write.
+func (s *ReplicaSet) endWrite() {
+	s.pendMu.Lock()
+	s.pending--
+	if s.pending == 0 && s.pendCond != nil {
+		s.pendCond.Broadcast()
+	}
+	s.pendMu.Unlock()
+}
+
+// Apply runs op against every live replica concurrently. Once syncN
+// replicas have succeeded, Apply returns; the remaining replicas finish in
+// the background (tracked; see Drain). syncN <= 0 returns immediately with
+// the whole fanout in the background — the P-FACTOR 0 semantics of paper
+// §2.2. syncN larger than the number of live replicas means fully
+// synchronous. A replica whose op fails is marked dead; Apply fails only
+// if every live replica's op failed during the synchronous wait (for
+// syncN <= 0, it never fails).
+//
+// Because the per-replica ops run in parallel, op must be safe for
+// concurrent invocation with distinct devices — every engine op is (it
+// writes caller-owned buffers and re-encodes inode blocks from the
+// internally locked table).
 func (s *ReplicaSet) Apply(syncN int, op func(i int, dev Device) error) error {
+	return s.ApplyNotify(syncN, op, nil)
+}
+
+// ApplyNotify is Apply with a completion hook: onSettled (when non-nil)
+// runs exactly once, after every replica — synchronous and background —
+// has finished its op. The engine uses it to unpin a fresh cache entry
+// the moment its disk copies are as durable as they will get.
+func (s *ReplicaSet) ApplyNotify(syncN int, op func(i int, dev Device) error, onSettled func()) error {
 	s.mu.Lock()
 	live := make([]int, 0, len(s.devs))
 	for i, a := range s.alive {
@@ -163,59 +239,70 @@ func (s *ReplicaSet) Apply(syncN int, op func(i int, dev Device) error) error {
 	if len(live) == 0 {
 		return ErrNoReplica
 	}
-
-	apply := func(idxs []int) (succeeded int) {
-		for _, i := range idxs {
-			if err := op(i, s.devs[i]); err != nil {
-				s.markDead(i)
-				continue
-			}
-			s.writes[i].Inc()
-			succeeded++
-		}
-		return succeeded
-	}
-
-	if syncN <= 0 {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			apply(live)
-		}()
-		return nil
-	}
-
 	if syncN > len(live) {
 		syncN = len(live)
 	}
-	// Synchronous phase: keep going until syncN successes or we run out.
-	done := 0
-	var i int
-	for i = 0; i < len(live) && done < syncN; i++ {
-		if err := op(live[i], s.devs[live[i]]); err != nil {
-			s.markDead(live[i])
-			continue
-		}
-		s.writes[live[i]].Inc()
-		done++
-	}
-	if rest := live[i:]; len(rest) > 0 {
-		s.wg.Add(1)
+
+	// All replicas start now; the caller merely chooses how many results
+	// to wait for. Registering the fanout before the goroutines launch
+	// keeps Drain exact: a Drain entered after Apply returns sees every
+	// write this call started.
+	s.beginWrites(len(live))
+	results := make(chan bool, len(live))
+	var remaining atomic.Int32
+	remaining.Store(int32(len(live)))
+	for _, i := range live {
+		i := i
+		//lint:ignore goroutinestop accounted by the set's pending-write counter: endWrite below signals Drain, which shutdown and the engine's fault path wait on
 		go func() {
-			defer s.wg.Done()
-			apply(rest)
+			ok := op(i, s.devs[i]) == nil
+			if ok {
+				s.writes[i].Inc()
+			} else {
+				s.markDead(i)
+			}
+			results <- ok
+			s.endWrite()
+			if remaining.Add(-1) == 0 && onSettled != nil {
+				onSettled()
+			}
 		}()
 	}
-	if done == 0 {
+	if syncN <= 0 {
+		return nil
+	}
+
+	s.parallelCommits.Inc()
+	s.commitFanout.Add(int64(syncN))
+	done, succeeded := 0, 0
+	for done < len(live) && succeeded < syncN {
+		if <-results {
+			succeeded++
+		}
+		done++
+	}
+	if succeeded == 0 {
 		return fmt.Errorf("no replica accepted the write: %w", ErrNoReplica)
 	}
 	return nil
 }
 
 // Drain blocks until all background (post-P-FACTOR) writes have finished.
-// Tests and orderly shutdown use it; see paper §2.2 on the durability
-// semantics of P-FACTOR 0.
-func (s *ReplicaSet) Drain() { s.wg.Wait() }
+// Tests, the cache-miss fault path, and orderly shutdown use it; see paper
+// §2.2 on the durability semantics of P-FACTOR 0. It is safe to call
+// concurrently with new Apply calls: writes that start while a Drain is
+// waiting extend the wait (the drain returns only at a moment of true
+// quiescence).
+func (s *ReplicaSet) Drain() {
+	s.pendMu.Lock()
+	for s.pending > 0 {
+		if s.pendCond == nil {
+			s.pendCond = sync.NewCond(&s.pendMu)
+		}
+		s.pendCond.Wait()
+	}
+	s.pendMu.Unlock()
+}
 
 // Recover copies the complete contents of the current main disk onto
 // replica i and marks it alive again — the paper's whole-disk recovery.
@@ -291,9 +378,18 @@ var _ Device = (*ReplicaSet)(nil)
 // Device returns replica i's device (for tests and recovery tooling).
 func (s *ReplicaSet) Device(i int) Device { return s.devs[i] }
 
+// Reads returns the number of successful ReadAt calls replica i has
+// served (tests assert fault-singleflight behaviour with it).
+func (s *ReplicaSet) Reads(i int) int64 { return s.reads[i].Load() }
+
+// Writes returns the number of successful writes replica i has applied
+// (tests assert parallel-commit behaviour with it).
+func (s *ReplicaSet) Writes(i int) int64 { return s.writes[i].Load() }
+
 // AttachMetrics registers the set's per-replica counters with a stats
 // registry under the "disk." prefix: reads, writes and demoting errors
-// per replica, plus liveness and failover totals.
+// per replica, plus liveness, failover totals, and the parallel-commit
+// fanout (synchronous commits and the replicas their callers waited on).
 func (s *ReplicaSet) AttachMetrics(r *stats.Registry) {
 	for i := range s.devs {
 		i := i
@@ -313,9 +409,17 @@ func (s *ReplicaSet) AttachMetrics(r *stats.Registry) {
 	r.GaugeFunc("disk.alive_replicas", func() int64 { return int64(s.AliveCount()) })
 	r.GaugeFunc("disk.main_index", func() int64 { return int64(s.Main()) })
 	r.GaugeFunc("disk.read_failovers", s.failovers.Load)
+	r.GaugeFunc("disk.parallel_commits", s.parallelCommits.Load)
+	r.GaugeFunc("disk.parallel_commit_fanout", s.commitFanout.Load)
+	r.GaugeFunc("disk.pending_writes", func() int64 {
+		s.pendMu.Lock()
+		defer s.pendMu.Unlock()
+		return int64(s.pending)
+	})
 }
 
-// Close closes every replica, returning the first error.
+// Close drains background writes and closes every replica, returning the
+// first error.
 func (s *ReplicaSet) Close() error {
 	s.Drain()
 	var first error

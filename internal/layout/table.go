@@ -223,6 +223,24 @@ func (t *Table) SetCacheIndex(n uint32, idx uint16) error {
 	return nil
 }
 
+// SetCacheIndexIf updates inode n's cache index to idx only if it still
+// holds from. Concurrent readers use it to heal a stale index without
+// clobbering a cache insert published by a parallel disk fault: the
+// compare-and-set loses gracefully when someone else got there first.
+// It returns true when the swap happened.
+func (t *Table) SetCacheIndexIf(n uint32, from, idx uint16) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n == 0 || int(n) >= len(t.inodes) || !t.inodes[n].InUse() {
+		return false, fmt.Errorf("indexing inode %d: %w", n, ErrBadInode)
+	}
+	if t.inodes[n].CacheIndex != from {
+		return false, nil
+	}
+	t.inodes[n].CacheIndex = idx
+	return true, nil
+}
+
 // Retarget points inode n at a new first block, preserving every other
 // field. Compaction uses it after physically moving a file's data.
 func (t *Table) Retarget(n uint32, firstBlock uint32) error {

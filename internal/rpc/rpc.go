@@ -152,8 +152,12 @@ func DecodeHeader(src []byte) (Header, []byte, error) {
 }
 
 // Handler processes one transaction addressed to a port. Implementations
-// must not retain req or payload past the call, and the returned payload
-// must not alias server state that can mutate (copy at the boundary).
+// must not retain req or payload past the call — the TCP server recycles
+// request payload buffers through a pool, so bytes reachable after the
+// handler returns will be overwritten by a later request. The returned
+// reply payload must be owned by the reply (neither aliasing the request
+// payload nor server state that can mutate; copy at the boundary): the
+// duplicate-suppression cache retains it indefinitely.
 type Handler func(req Header, payload []byte) (Header, []byte)
 
 // Transport delivers one transaction to the server owning a port and

@@ -25,49 +25,114 @@ import (
 const (
 	magicRequest = 0x414d5458 // "AMTX"
 	magicReply   = 0x414d5250 // "AMRP"
+
+	// prologueLen is everything before the payload: magic, txid, port,
+	// header, paylen.
+	prologueLen = 4 + 8 + capability.PortLen + HeaderLen + 4
 )
 
+// prologuePool recycles the fixed-size prologue buffers of the vectored
+// write path, so a steady request load allocates nothing per frame.
+var prologuePool = sync.Pool{
+	New: func() any { return new([prologueLen]byte) },
+}
+
+// payloadPool recycles server-side request payload buffers (see
+// readFrameScratch). Only buffers up to pooledPayloadCap are pooled;
+// oversized requests fall back to one-shot allocations rather than
+// pinning megabytes in the pool.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
+const pooledPayloadCap = 1 << 20
+
+// encodePrologue fills dst (length prologueLen) with everything before
+// the payload.
+func encodePrologue(dst []byte, magic uint32, txid uint64, port capability.Port, h Header, paylen int) {
+	binary.BigEndian.PutUint32(dst[0:4], magic)
+	binary.BigEndian.PutUint64(dst[4:12], txid)
+	copy(dst[12:12+capability.PortLen], port[:])
+	h.Encode(dst[12+capability.PortLen : 12+capability.PortLen : prologueLen-4])
+	binary.BigEndian.PutUint32(dst[prologueLen-4:], uint32(paylen))
+}
+
+// writeFrame sends one frame. On a net.Conn the prologue and payload go
+// out as one vectored write (writev on TCP) — no per-frame buffer is
+// assembled and the payload is never copied. Other writers (tests,
+// in-memory pipes) get two plain writes.
 func writeFrame(w io.Writer, magic uint32, txid uint64, port capability.Port, h Header, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("%d bytes: %w", len(payload), ErrPayloadTooLarge)
 	}
-	buf := make([]byte, 0, 4+8+capability.PortLen+HeaderLen+4+len(payload))
-	var scratch [12]byte
-	binary.BigEndian.PutUint32(scratch[0:4], magic)
-	binary.BigEndian.PutUint64(scratch[4:12], txid)
-	buf = append(buf, scratch[:12]...)
-	buf = append(buf, port[:]...)
-	buf = h.Encode(buf)
-	binary.BigEndian.PutUint32(scratch[0:4], uint32(len(payload)))
-	buf = append(buf, scratch[:4]...)
-	buf = append(buf, payload...)
-	_, err := w.Write(buf)
+	pb := prologuePool.Get().(*[prologueLen]byte)
+	defer prologuePool.Put(pb)
+	encodePrologue(pb[:], magic, txid, port, h, len(payload))
+	if conn, ok := w.(net.Conn); ok {
+		bufs := net.Buffers{pb[:], payload}
+		_, err := bufs.WriteTo(conn)
+		return err
+	}
+	if _, err := w.Write(pb[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
 	return err
 }
 
+// readFrame reads one frame, allocating a fresh payload the caller owns.
 func readFrame(r io.Reader, wantMagic uint32) (txid uint64, port capability.Port, h Header, payload []byte, err error) {
-	fixed := make([]byte, 4+8+capability.PortLen+HeaderLen+4)
+	var fixed [prologueLen]byte
+	txid, port, h, payload, _, err = readFrameScratch(r, wantMagic, fixed[:], false)
+	return txid, port, h, payload, err
+}
+
+// readFrameScratch is the allocation-conscious core of readFrame: fixed
+// (length prologueLen) is caller-provided scratch for the prologue, and
+// with pooled true the payload buffer comes from payloadPool — release
+// must then be called once the payload is dead (it is nil when there is
+// nothing to return). Pooled payloads must not outlive their release;
+// the server relies on the Handler contract for that.
+func readFrameScratch(r io.Reader, wantMagic uint32, fixed []byte, pooled bool) (txid uint64, port capability.Port, h Header, payload []byte, release func(), err error) {
 	if _, err = io.ReadFull(r, fixed); err != nil {
-		return 0, port, h, nil, err
+		return 0, port, h, nil, nil, err
 	}
 	if got := binary.BigEndian.Uint32(fixed[0:4]); got != wantMagic {
-		return 0, port, h, nil, fmt.Errorf("magic %08x: %w", got, ErrBadFrame)
+		return 0, port, h, nil, nil, fmt.Errorf("magic %08x: %w", got, ErrBadFrame)
 	}
 	txid = binary.BigEndian.Uint64(fixed[4:12])
 	copy(port[:], fixed[12:12+capability.PortLen])
 	h, _, err = DecodeHeader(fixed[12+capability.PortLen : 12+capability.PortLen+HeaderLen])
 	if err != nil {
-		return 0, port, h, nil, err
+		return 0, port, h, nil, nil, err
 	}
 	paylen := binary.BigEndian.Uint32(fixed[len(fixed)-4:])
 	if paylen > MaxPayload {
-		return 0, port, h, nil, fmt.Errorf("%d bytes: %w", paylen, ErrPayloadTooLarge)
+		return 0, port, h, nil, nil, fmt.Errorf("%d bytes: %w", paylen, ErrPayloadTooLarge)
 	}
-	payload = make([]byte, paylen)
+	if pooled && paylen <= pooledPayloadCap {
+		bp := payloadPool.Get().(*[]byte)
+		if cap(*bp) < int(paylen) {
+			*bp = make([]byte, paylen)
+		}
+		payload = (*bp)[:paylen]
+		release = func() { payloadPool.Put(bp) }
+	} else {
+		payload = make([]byte, paylen)
+	}
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, port, h, nil, err
+		if release != nil {
+			release()
+		}
+		return 0, port, h, nil, nil, err
 	}
-	return txid, port, h, payload, nil
+	return txid, port, h, payload, release, nil
 }
 
 // TCPServer serves a Mux over a TCP listener, one goroutine per
@@ -132,13 +197,20 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	var fixed [prologueLen]byte
 	for {
-		txid, port, req, payload, err := readFrame(br, magicRequest)
+		// Request payloads come from a pool: Dispatch (and the Handlers
+		// under it) must not retain them, so the buffer is recycled as
+		// soon as the reply is built. Reply payloads are never pooled —
+		// the duplicate-suppression cache retains them.
+		txid, port, req, payload, release, err := readFrameScratch(br, magicRequest, fixed[:], true)
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
 		repHdr, repPayload, err := s.mux.Dispatch(port, txid, req, payload)
+		if release != nil {
+			release()
+		}
 		if err != nil {
 			if errors.Is(err, ErrNoServer) {
 				repHdr, repPayload = ReplyErr(StatusNoSuchObject), nil
@@ -146,10 +218,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 				repHdr, repPayload = ReplyErr(StatusInternal), nil
 			}
 		}
-		if err := writeFrame(bw, magicReply, txid, port, repHdr, repPayload); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
+		// Vectored write straight to the socket: header and payload in
+		// one writev, no intermediate copy into a bufio buffer.
+		if err := writeFrame(conn, magicReply, txid, port, repHdr, repPayload); err != nil {
 			return
 		}
 	}
@@ -204,7 +275,6 @@ type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn      // safe for concurrent use; mu orders whole transactions
 	br   *bufio.Reader // guarded by mu
-	bw   *bufio.Writer // guarded by mu
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -228,7 +298,6 @@ func (t *TCPTransport) getConn(addr string) (*tcpConn, error) {
 	c := &tcpConn{
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 64<<10),
 	}
 	t.conns[addr] = c
 	return c, nil
@@ -269,15 +338,11 @@ func (t *TCPTransport) TransID(port capability.Port, txid uint64, req Header, pa
 			return Header{}, nil, fmt.Errorf("rpc: set deadline: %w", err)
 		}
 	}
-	if err := writeFrame(c.bw, magicRequest, txid, port, req, payload); err != nil {
+	// One vectored write per request (see writeFrame): nothing to flush.
+	if err := writeFrame(c.conn, magicRequest, txid, port, req, payload); err != nil {
 		t.dropConn(addr, c)
 		t.noteTransportErr(err)
 		return Header{}, nil, fmt.Errorf("rpc: send: %w", err)
-	}
-	if err := c.bw.Flush(); err != nil {
-		t.dropConn(addr, c)
-		t.noteTransportErr(err)
-		return Header{}, nil, fmt.Errorf("rpc: flush: %w", err)
 	}
 	_, _, repHdr, repPayload, err := readFrame(c.br, magicReply)
 	if err != nil {
