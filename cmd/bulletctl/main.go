@@ -7,6 +7,7 @@
 //	bulletctl -server localhost:7001 del <capability>
 //	bulletctl -server localhost:7001 stat
 //	bulletctl -server localhost:7001 stats [-json] <capability>
+//	bulletctl -server localhost:7001 trace [-slow] [-json] <capability>
 //	bulletctl -server localhost:7001 compact
 //	bulletctl restrict <capability> read,delete        # offline, no server
 //
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,6 +33,7 @@ import (
 	"bulletfs/internal/locate"
 	"bulletfs/internal/rpc"
 	"bulletfs/internal/stats"
+	"bulletfs/internal/trace"
 )
 
 func main() {
@@ -55,7 +58,7 @@ func exitCode(err error) int {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: bulletctl [-server addr] [-port name] [-pfactor n] <put|get|size|append|del|stat|stats|compact|restrict> args...")
+	return fmt.Errorf("usage: bulletctl [-server addr] [-port name] [-pfactor n] <put|get|size|append|del|stat|stats|trace|compact|restrict> args...")
 }
 
 func run() error {
@@ -92,7 +95,9 @@ func run() error {
 	}
 	tr := rpc.NewTCPTransport(resolver, 30*time.Second)
 	defer tr.Close() //nolint:errcheck // process exit
-	cl := client.New(tr)
+	// Trace IDs cost 12 bytes per request and make every bulletctl
+	// operation findable in the server's flight recorder by ID.
+	cl := client.New(tr, client.WithTraceIDs())
 
 	switch args[0] {
 	case "put":
@@ -201,6 +206,53 @@ func run() error {
 			return nil
 		}
 		printSnapshot(snap)
+		return nil
+
+	case "trace":
+		// bulletctl trace [-slow] [-json] <capability>
+		var slow, asJSON bool
+		var capStr string
+		for _, a := range args[1:] {
+			switch {
+			case a == "-slow" || a == "--slow":
+				slow = true
+			case a == "-json" || a == "--json":
+				asJSON = true
+			case capStr == "":
+				capStr = a
+			default:
+				return fmt.Errorf("usage: bulletctl trace [-slow] [-json] <capability>")
+			}
+		}
+		if capStr == "" {
+			return fmt.Errorf("usage: bulletctl trace [-slow] [-json] <capability> (any readable file's capability authorizes the query)")
+		}
+		c, err := capability.Parse(capStr)
+		if err != nil {
+			return err
+		}
+		traces, err := cl.Traces(c, slow)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			body, err := json.MarshalIndent(traces, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(body))
+			return nil
+		}
+		if len(traces) == 0 {
+			fmt.Println("no traces recorded")
+			return nil
+		}
+		for i := range traces {
+			if i > 0 {
+				fmt.Println()
+			}
+			trace.RenderTree(os.Stdout, &traces[i])
+		}
 		return nil
 
 	case "compact":

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"bulletfs/internal/disk"
 	"bulletfs/internal/locate"
 	"bulletfs/internal/rpc"
+	"bulletfs/internal/trace"
 )
 
 func main() {
@@ -53,7 +55,8 @@ func run() error {
 		locateAt  = flag.String("locate", "", "located registry address to announce this server at (optional)")
 		advertise = flag.String("advertise", "", "address to announce (default: the bound listen address)")
 		registry  = flag.String("registry", "registry", "registry service name when announcing")
-		httpAddr  = flag.String("http", "", "expvar-style HTTP address serving GET /debug/stats (optional, e.g. :7002)")
+		httpAddr  = flag.String("http", "", "expvar-style HTTP address serving GET /debug/stats and /debug/traces (optional, e.g. :7002)")
+		slowMS    = flag.Int64("slowms", 50, "slow-request threshold in milliseconds; slow traces go to the slow ring and stderr as one-line JSON (0 disables)")
 	)
 	flag.Parse()
 	if *disks == "" {
@@ -96,9 +99,21 @@ func run() error {
 	}
 	defer engine.Close() //nolint:errcheck // drained below
 
+	// The flight recorder is always on: every request is traced into a
+	// fixed-memory ring; -slowms additionally classifies slow requests
+	// into their own ring and logs them as one-line JSON on stderr.
+	recorder := trace.NewRecorder(
+		trace.WithSlowThreshold(time.Duration(*slowMS)*time.Millisecond),
+		trace.WithSlowLog(os.Stderr),
+	)
+	defer recorder.Close()
+
 	mux := rpc.NewMux(0)
 	mux.AttachMetrics(engine.Metrics(), bulletsvc.CommandName)
-	bulletsvc.New(engine).Register(mux)
+	mux.AttachRecorder(recorder)
+	svc := bulletsvc.New(engine)
+	svc.AttachRecorder(recorder)
+	svc.Register(mux)
 	srv := rpc.NewTCPServer(mux)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
@@ -121,6 +136,26 @@ func run() error {
 			w.Header().Set("Content-Type", "application/json")
 			w.Write(body) //nolint:errcheck // best-effort HTTP reply
 		})
+		hmux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			ts := recorder.Recent()
+			if r.URL.Query().Get("slow") != "" {
+				ts = recorder.Slow()
+			}
+			body, err := trace.EncodeTraces(ts)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body) //nolint:errcheck // best-effort HTTP reply
+		})
+		// net/http/pprof registers on DefaultServeMux only; wire its
+		// handlers onto this private mux explicitly.
+		hmux.HandleFunc("/debug/pprof/", pprof.Index)
+		hmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		hmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		hmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		hmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		lis, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return fmt.Errorf("http listen %s: %w", *httpAddr, err)
@@ -133,7 +168,7 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "bulletd: http:", err)
 			}
 		}()
-		fmt.Printf("stats endpoint on http://%s/debug/stats\n", lis.Addr())
+		fmt.Printf("stats endpoint on http://%s/debug/stats, traces on /debug/traces, pprof on /debug/pprof/\n", lis.Addr())
 	}
 	fmt.Printf("capability port: %x (service name %q)\n", engine.Port(), *port)
 	fmt.Printf("files: %d live, max file size %d bytes\n", engine.Live(), engine.MaxFileSize())

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -17,7 +18,10 @@ import (
 //   - a receive, select, range, or close on a stop-style channel — any
 //     channel-typed value whose name matches stop/done/quit/close/
 //     shutdown/exit (case-insensitive),
-//   - a sync.WaitGroup Done/Wait call (accounted: someone can drain it).
+//   - a sync.WaitGroup Done/Wait call (accounted: someone can drain it),
+//   - a two-value receive (`v, ok := <-ch`) from a channel whose type the
+//     module close()s somewhere — the comma-ok drain pattern: closing the
+//     channel is the shutdown hook, whatever the channel is named.
 //
 // Anything else is flagged. For `go f(x)` where f is declared in the
 // module, f's body is inspected too.
@@ -45,6 +49,8 @@ func runGoroutineStop(prog *Program, _ Config, report ReportFunc) {
 		}
 	}
 
+	closed := collectClosedChanTypes(prog)
+
 	for _, pkg := range prog.Pkgs {
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
@@ -63,11 +69,11 @@ func runGoroutineStop(prog *Program, _ Config, report ReportFunc) {
 				if !ok {
 					switch fun := call.Fun.(type) {
 					case *ast.FuncLit:
-						ok = bodyObservesStop(pkg.Info, fun.Body)
+						ok = bodyObservesStop(pkg.Info, fun.Body, closed)
 					default:
 						if callee := calleeFunc(pkg.Info, call.Fun); callee != nil {
 							if body := bodies[callee]; body != nil {
-								ok = bodyObservesStop(infoOf[callee], body)
+								ok = bodyObservesStop(infoOf[callee], body, closed)
 							}
 						}
 					}
@@ -131,9 +137,60 @@ func isContextType(t types.Type) bool {
 	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
 }
 
+// collectClosedChanTypes gathers the types of every channel the module
+// passes to close(). A goroutine that drains a channel of one of these
+// types with a two-value receive has a shutdown path — closing the
+// channel ends it — even when the channel's name says nothing about
+// stopping. Matching by type rather than by object is deliberate: the
+// close() side often works on a local copy of the channel (grabbed under
+// a lock), so object identity cannot connect the two ends.
+func collectClosedChanTypes(prog *Program) []types.Type {
+	var out []types.Type
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "close" {
+					return true
+				}
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+					return true
+				}
+				if t := pkg.Info.TypeOf(call.Args[0]); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						out = append(out, t)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// typeIsClosed matches by element type, ignoring channel direction: the
+// drain side usually holds a receive-only view of the channel the owner
+// closes.
+func typeIsClosed(t types.Type, closed []types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	for _, c := range closed {
+		if cc, ok := c.Underlying().(*types.Chan); ok && types.Identical(ch.Elem(), cc.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
 // bodyObservesStop scans a goroutine body for any of the accepted shutdown
 // disciplines.
-func bodyObservesStop(info *types.Info, body *ast.BlockStmt) bool {
+func bodyObservesStop(info *types.Info, body *ast.BlockStmt, closed []types.Type) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -147,6 +204,16 @@ func bodyObservesStop(info *types.Info, body *ast.BlockStmt) bool {
 		case *ast.UnaryExpr: // <-ch receive
 			if n.Op.String() == "<-" && exprIsStopSignal(info, n.X) {
 				found = true
+			}
+		case *ast.AssignStmt: // v, ok := <-ch — the comma-ok drain
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if u, ok := n.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					if t := info.TypeOf(u.X); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan && typeIsClosed(t, closed) {
+							found = true
+						}
+					}
+				}
 			}
 		case *ast.RangeStmt: // range over a channel drains until close
 			if t := info.TypeOf(n.X); t != nil {

@@ -1,5 +1,5 @@
 // Package goroutinestop exercises the goroutinestop pass: a leaked
-// goroutine plus the three accepted shutdown disciplines.
+// goroutine plus the accepted shutdown disciplines.
 package goroutinestop
 
 import (
@@ -51,3 +51,36 @@ func (s *Server) WithContext(ctx context.Context) {
 }
 
 func watch(ctx context.Context) { <-ctx.Done() }
+
+// DrainsClosedChannel exits through the comma-ok drain: the two-value
+// receive is the loop's only exit, and the module close()s a channel of
+// this type (CloseFeed below), so shutdown can end it; no diagnostic.
+func (s *Server) DrainsClosedChannel(feed chan int) {
+	go func() {
+		for {
+			n, ok := <-feed
+			if !ok {
+				return
+			}
+			_ = n
+		}
+	}()
+}
+
+// CloseFeed is the shutdown hook that makes DrainsClosedChannel's drain
+// terminate.
+func (s *Server) CloseFeed(feed chan int) { close(feed) }
+
+// DrainsUnclosedChannel has the same shape, but nothing in the module
+// ever closes a chan string — the drain can never end.
+func (s *Server) DrainsUnclosedChannel(feed chan string) {
+	go func() { // want `goroutine observes no context or stop channel`
+		for {
+			n, ok := <-feed
+			if !ok {
+				return
+			}
+			_ = n
+		}
+	}()
+}

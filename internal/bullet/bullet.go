@@ -35,6 +35,7 @@ import (
 	"bulletfs/internal/disk"
 	"bulletfs/internal/layout"
 	"bulletfs/internal/stats"
+	"bulletfs/internal/trace"
 )
 
 // Engine-level errors.
@@ -382,6 +383,13 @@ func clampUint32(n int64) uint32 {
 // across the replicas, so concurrent creates overlap their disk time and
 // readers are never blocked behind a commit.
 func (s *Server) Create(data []byte, pfactor int) (capability.Capability, error) {
+	return s.CreateTraced(nil, nil, data, pfactor)
+}
+
+// create is the body of Create with span threading; sp is the enclosing
+// engine-layer create span (nil when untraced) under which the cache
+// insert and per-replica commit spans hang.
+func (s *Server) create(tc *trace.Ctx, sp *trace.Span, data []byte, pfactor int) (capability.Capability, error) {
 	if pfactor < 0 || pfactor > s.replicas.N() {
 		return capability.Capability{}, fmt.Errorf("p-factor %d with %d disks: %w",
 			pfactor, s.replicas.N(), ErrBadPFactor)
@@ -429,7 +437,7 @@ func (s *Server) Create(data []byte, pfactor int) (capability.Capability, error)
 	// cannot take the file (arena pinned solid under a write burst), fall
 	// back to an uncached create with at least one synchronous disk write.
 	var pin *cache.View
-	idx, evicted, cerr := s.cache.Insert(inode, data)
+	idx, evicted, cerr := s.cache.InsertTraced(tc, sp, inode, data)
 	if cerr == nil {
 		s.clearEvicted(evicted)
 		if v, verr := s.cache.Pin(idx, inode); verr == nil {
@@ -462,7 +470,7 @@ func (s *Server) Create(data []byte, pfactor int) (capability.Capability, error)
 	copy(padded, data)
 	dataOff := s.desc.DataOffset(start)
 	commitStart := time.Now()
-	err = s.replicas.ApplyNotify(pfactor, func(i int, dev disk.Device) error {
+	err = s.replicas.ApplyNotifyTraced(tc, sp, pfactor, func(i int, dev disk.Device) error {
 		if err := dev.WriteAt(padded, dataOff); err != nil {
 			return err
 		}
@@ -507,13 +515,7 @@ func (s *Server) clearEvicted(evicted []cache.Evicted) {
 // Size implements BULLET.SIZE: the byte size of the file, so the client can
 // allocate memory before BULLET.READ (paper §2.2).
 func (s *Server) Size(c capability.Capability) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ino, err := s.verify(c, RightRead)
-	if err != nil {
-		return 0, err
-	}
-	return int64(ino.Size), nil
+	return s.SizeTraced(nil, nil, c)
 }
 
 // Read implements BULLET.READ: the complete file contents in one
@@ -523,13 +525,7 @@ func (s *Server) Size(c capability.Capability) (int64, error) {
 // (paper §3), merged with any concurrent miss on the same file. The
 // returned slice is the caller's to keep.
 func (s *Server) Read(c capability.Capability) ([]byte, error) {
-	data, _, err := s.fetchSpan(c, RightRead, 0, -1)
-	if err != nil {
-		return nil, err
-	}
-	s.m.reads.Inc()
-	s.m.bytesOut.Add(int64(len(data)))
-	return data, nil
+	return s.ReadTraced(nil, nil, c)
 }
 
 // ReadRange returns n bytes of the file starting at offset — the §5
@@ -537,31 +533,32 @@ func (s *Server) Read(c capability.Capability) ([]byte, error) {
 // The server-side path is identical to Read (the whole file is cached);
 // only the reply payload shrinks.
 func (s *Server) ReadRange(c capability.Capability, offset, n int64) ([]byte, error) {
-	if offset < 0 || n < 0 {
-		return nil, fmt.Errorf("range [%d,+%d): %w", offset, n, ErrBadOffset)
-	}
-	data, _, err := s.fetchSpan(c, RightRead, offset, n)
-	if err != nil {
-		return nil, err
-	}
-	s.m.reads.Inc()
-	s.m.bytesOut.Add(int64(len(data)))
-	return data, nil
+	return s.ReadRangeTraced(nil, nil, c, offset, n)
 }
 
 // fetchSpan returns [offset, offset+n) of the file c names (n < 0 means
 // to the end) plus the file's total size. The returned slice is owned by
 // the caller. Cache hits copy from a pinned view outside the metadata
-// lock; misses run the singleflight disk fault.
-func (s *Server) fetchSpan(c capability.Capability, want capability.Rights, offset, n int64) ([]byte, int64, error) {
+// lock; misses run the singleflight disk fault. parent is the engine-layer
+// op span child spans (verify, cache lookup, fault) hang under; tc may be
+// nil.
+func (s *Server) fetchSpan(tc *trace.Ctx, parent *trace.Span, c capability.Capability, want capability.Rights, offset, n int64) ([]byte, int64, error) {
 	s.mu.RLock()
+	vsp := tc.Begin(parent, trace.LayerEngine, trace.OpVerify)
 	inode, ino, err := s.verify(c, want)
+	if vsp != nil {
+		vsp.Inode = inode
+		if err != nil {
+			vsp.Status = 1
+		}
+	}
+	tc.End(vsp)
 	if err != nil {
 		s.mu.RUnlock()
 		return nil, 0, err
 	}
 	if ino.CacheIndex != 0 {
-		if view, verr := s.cache.GetView(ino.CacheIndex, inode); verr == nil {
+		if view, verr := s.cache.GetViewTraced(tc, parent, ino.CacheIndex, inode); verr == nil {
 			s.mu.RUnlock()
 			// Copy outside the engine lock; the pin keeps the bytes put.
 			out, size, err := span(view.Bytes(), offset, n, true)
@@ -571,10 +568,22 @@ func (s *Server) fetchSpan(c capability.Capability, want capability.Rights, offs
 		// Stale index (eviction raced the lookup): clear it, unless a
 		// concurrent fault already published a fresh binding.
 		_, _ = s.table.SetCacheIndexIf(inode, ino.CacheIndex, 0)
+	} else {
+		s.cache.TraceMiss(tc, parent, inode)
 	}
 	s.mu.RUnlock()
 
-	data, shared, err := s.faultIn(inode, ino.Random)
+	fsp := tc.Begin(parent, trace.LayerEngine, trace.OpFault)
+	data, shared, waited, err := s.faultIn(tc, fsp, inode, ino.Random)
+	if fsp != nil {
+		fsp.Inode = inode
+		fsp.Bytes = int64(len(data))
+		fsp.Merged = waited
+		if err != nil {
+			fsp.Status = 1
+		}
+	}
+	tc.End(fsp)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -605,11 +614,6 @@ func span(data []byte, offset, n int64, forceCopy bool) ([]byte, int64, error) {
 	return out, size, nil
 }
 
-// faultIn coalesces concurrent cache misses on one inode into a single
-// disk read. The first caller becomes the leader and reads the disk; the
-// rest wait for its result. shared reports whether the returned slice is
-// visible to other callers (waiters always; the leader only when someone
-// merged with it) — shared data must be copied, never handed out.
 // sameRandom compares two inode random numbers in constant time. The
 // incarnation checks below compare server-held values, but the random
 // number is the raw material of the capability secret, so the repo's
@@ -618,7 +622,17 @@ func sameRandom(a, b capability.Random) bool {
 	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
 }
 
-func (s *Server) faultIn(inode uint32, random capability.Random) (data []byte, shared bool, err error) {
+// faultIn coalesces concurrent cache misses on one inode into a single
+// disk read. The first caller becomes the leader and reads the disk; the
+// rest wait for its result. shared reports whether the returned slice is
+// visible to other callers (waiters always; the leader only when someone
+// merged with it) — shared data must be copied, never handed out. waited
+// reports whether THIS caller merged onto another request's in-flight
+// load (the trace's fault-merged attribute: the leader's span is not
+// merged, so two concurrent cold reads show the attribute exactly once).
+// The leader's disk and cache spans are recorded into the leader's own
+// trace; a waiter's trace shows only the merged fault span.
+func (s *Server) faultIn(tc *trace.Ctx, parent *trace.Span, inode uint32, random capability.Random) (data []byte, shared, waited bool, err error) {
 	for {
 		s.faultMu.Lock()
 		if fc, ok := s.faults[inode]; ok {
@@ -630,7 +644,7 @@ func (s *Server) faultIn(inode uint32, random capability.Random) (data []byte, s
 			<-fc.done
 			if merged {
 				s.m.faultMerges.Inc()
-				return fc.data, true, fc.err
+				return fc.data, true, true, fc.err
 			}
 			// The in-flight fault served a previous incarnation of this
 			// inode number (deleted and reused); run our own.
@@ -640,14 +654,14 @@ func (s *Server) faultIn(inode uint32, random capability.Random) (data []byte, s
 		s.faults[inode] = fc
 		s.faultMu.Unlock()
 
-		fc.data, fc.err = s.loadFile(inode, random)
+		fc.data, fc.err = s.loadFile(tc, parent, inode, random)
 
 		s.faultMu.Lock()
 		delete(s.faults, inode)
 		w := fc.waiters
 		s.faultMu.Unlock()
 		close(fc.done)
-		return fc.data, w > 0, fc.err
+		return fc.data, w > 0, false, fc.err
 	}
 }
 
@@ -658,7 +672,7 @@ func (s *Server) faultIn(inode uint32, random capability.Random) (data []byte, s
 // exclusively, so an inode revalidated under it cannot have moved or died
 // between the check and the publish; if the file moved during the
 // unlocked disk read, the read is retried against the new extent.
-func (s *Server) loadFile(inode uint32, random capability.Random) ([]byte, error) {
+func (s *Server) loadFile(tc *trace.Ctx, parent *trace.Span, inode uint32, random capability.Random) ([]byte, error) {
 	s.cache.NoteMiss()
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
 		s.mu.RLock()
@@ -670,7 +684,7 @@ func (s *Server) loadFile(inode uint32, random capability.Random) ([]byte, error
 		if ino.CacheIndex != 0 {
 			// Cached while we queued for fault leadership.
 			s.mu.RLock()
-			view, verr := s.cache.GetView(ino.CacheIndex, inode)
+			view, verr := s.cache.GetViewTraced(tc, parent, ino.CacheIndex, inode)
 			s.mu.RUnlock()
 			if verr == nil {
 				out := append([]byte(nil), view.Bytes()...)
@@ -688,7 +702,7 @@ func (s *Server) loadFile(inode uint32, random capability.Random) ([]byte, error
 		data := make([]byte, ino.Size)
 		var rerr error
 		if ino.Size > 0 {
-			rerr = s.replicas.ReadAt(data, s.desc.DataOffset(int64(ino.FirstBlock)))
+			rerr = s.replicas.ReadAtTraced(tc, parent, data, s.desc.DataOffset(int64(ino.FirstBlock)))
 		}
 
 		s.mu.RLock()
@@ -708,7 +722,7 @@ func (s *Server) loadFile(inode uint32, random capability.Random) ([]byte, error
 		if cur.CacheIndex == 0 {
 			// Cache refusal (e.g. arena pinned solid) is not fatal to the
 			// read itself; serve uncached.
-			if idx, evicted, cerr := s.cache.Insert(inode, data); cerr == nil {
+			if idx, evicted, cerr := s.cache.InsertTraced(tc, parent, inode, data); cerr == nil {
 				s.clearEvicted(evicted)
 				_, _ = s.table.SetCacheIndexIf(inode, 0, idx)
 			}
@@ -725,9 +739,23 @@ func (s *Server) loadFile(inode uint32, random capability.Random) ([]byte, error
 // nightly GC sweep), and the extent hand-back must not interleave with
 // compaction scanning or a fault publishing against the dying inode.
 func (s *Server) Delete(c capability.Capability) error {
+	return s.DeleteTraced(nil, nil, c)
+}
+
+// delete is the body of Delete with span threading; sp is the enclosing
+// engine-layer delete span.
+func (s *Server) delete(tc *trace.Ctx, sp *trace.Span, c capability.Capability) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	vsp := tc.Begin(sp, trace.LayerEngine, trace.OpVerify)
 	inode, ino, err := s.verify(c, RightDelete)
+	if vsp != nil {
+		vsp.Inode = inode
+		if err != nil {
+			vsp.Status = 1
+		}
+	}
+	tc.End(vsp)
 	if err != nil {
 		return err
 	}
@@ -749,11 +777,11 @@ func (s *Server) Delete(c capability.Capability) error {
 	}
 	// Deletion involves requests to all disks (paper §4 note under Fig. 2),
 	// in parallel.
-	err = s.replicas.Apply(s.replicas.N(), func(i int, dev disk.Device) error {
+	err = s.replicas.ApplyNotifyTraced(tc, sp, s.replicas.N(), func(i int, dev disk.Device) error {
 		s.inoMu[i].Lock()
 		defer s.inoMu[i].Unlock()
 		return s.table.WriteInode(dev, inode)
-	})
+	}, nil)
 	if err != nil {
 		return fmt.Errorf("bullet: persisting delete: %w", err)
 	}
@@ -772,12 +800,18 @@ func (s *Server) Delete(c capability.Capability) error {
 // at offset. The original file is untouched; a fresh capability is
 // returned.
 func (s *Server) Modify(c capability.Capability, offset int64, data []byte, newSize int64, pfactor int) (capability.Capability, error) {
+	return s.ModifyTraced(nil, nil, c, offset, data, newSize, pfactor)
+}
+
+// modify is the body of Modify with span threading; sp is the enclosing
+// engine-layer modify span (the derived file's create hangs under it).
+func (s *Server) modify(tc *trace.Ctx, sp *trace.Span, c capability.Capability, offset int64, data []byte, newSize int64, pfactor int) (capability.Capability, error) {
 	if offset < 0 {
 		return capability.Capability{}, fmt.Errorf("offset %d: %w", offset, ErrBadOffset)
 	}
 	// Modification requires both the read right (the old contents flow
 	// into the new file) and the modify right.
-	old, _, err := s.fetchSpan(c, RightRead|RightModify, 0, -1)
+	old, _, err := s.fetchSpan(tc, sp, c, RightRead|RightModify, 0, -1)
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -802,7 +836,7 @@ func (s *Server) Modify(c capability.Capability, offset int64, data []byte, newS
 	copy(merged, old)
 	copy(merged[offset:], data)
 
-	nc, err := s.Create(merged, pfactor)
+	nc, err := s.CreateTraced(tc, sp, merged, pfactor)
 	if err != nil {
 		return capability.Capability{}, err
 	}
@@ -813,11 +847,7 @@ func (s *Server) Modify(c capability.Capability, offset int64, data []byte, newS
 // Append derives a new file consisting of the old contents followed by
 // data — convenience over Modify.
 func (s *Server) Append(c capability.Capability, data []byte, pfactor int) (capability.Capability, error) {
-	size, err := s.Size(c)
-	if err != nil {
-		return capability.Capability{}, err
-	}
-	return s.Modify(c, size, data, size+int64(len(data)), pfactor)
+	return s.AppendTraced(nil, nil, c, data, pfactor)
 }
 
 // Stats returns a snapshot of the engine counters, synthesized from the

@@ -1,0 +1,95 @@
+package bullet
+
+import (
+	"bytes"
+	"testing"
+
+	"bulletfs/internal/disk"
+	"bulletfs/internal/trace"
+)
+
+// TestTracedCachedReadAddsNoAllocs proves the tentpole's zero-cost
+// claim at the engine level: a warm (cache-hit) read with a live span
+// context allocates exactly as much as an untraced one — the span arena,
+// the recorder ring and the ctx pool never touch the heap on the fast
+// path. The CI workflow runs this under -race too.
+func TestTracedCachedReadAddsNoAllocs(t *testing.T) {
+	w := newWorld(t, 2, Options{})
+	payload := bytes.Repeat([]byte{0x42}, 4<<10)
+	c := mustCreate(t, w.srv, payload, 2)
+	if !bytes.Equal(mustRead(t, w.srv, c), payload) {
+		t.Fatal("warm-up read returned wrong bytes")
+	}
+
+	base := testing.AllocsPerRun(200, func() {
+		if _, err := w.srv.Read(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	rec := trace.NewRecorder(trace.WithCapacity(8, 8))
+	defer rec.Close()
+	tc := rec.AcquireCtx()
+	defer rec.ReleaseCtx(tc)
+	traced := testing.AllocsPerRun(200, func() {
+		tc.Reset(rec.NextLocalID())
+		root := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
+		if _, err := w.srv.ReadTraced(tc, root, c); err != nil {
+			t.Fatal(err)
+		}
+		tc.End(root)
+		tc.Finish()
+	})
+
+	if traced > base {
+		t.Fatalf("traced cached read allocates %v/op vs %v/op untraced — tracing must be alloc-free on the fast path", traced, base)
+	}
+}
+
+// BenchmarkTracedCachedRead reports the cached-read fast path with
+// tracing active end to end (span arena + flight-recorder commit), for
+// eyeballing against BenchmarkPaperF2Read's warm numbers.
+func BenchmarkTracedCachedRead(b *testing.B) {
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		devs[i] = mem
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := Format(set, 500); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(set, Options{CacheBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Sync() //nolint:errcheck // bench cleanup
+	payload := bytes.Repeat([]byte{0x42}, 4<<10)
+	c, err := srv.Create(payload, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.NewRecorder(trace.WithCapacity(64, 8))
+	defer rec.Close()
+	tc := rec.AcquireCtx()
+	defer rec.ReleaseCtx(tc)
+
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Reset(rec.NextLocalID())
+		root := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
+		if _, err := srv.ReadTraced(tc, root, c); err != nil {
+			b.Fatal(err)
+		}
+		tc.End(root)
+		tc.Finish()
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"bulletfs/internal/cache"
 	"bulletfs/internal/capability"
 	"bulletfs/internal/rpc"
+	"bulletfs/internal/trace"
 )
 
 // Command codes of the Bullet protocol.
@@ -34,6 +35,13 @@ const (
 	CmdCompactDisk  uint32 = 10 // run the 3 a.m. compactor now
 	CmdCompactCache uint32 = 11 // defragment the RAM cache
 	CmdStats        uint32 = 12 // Cap (read right) -> reply payload=JSON stats.Snapshot
+	CmdTrace        uint32 = 13 // Cap (read right), Arg=selector (TraceRecent/TraceSlow) -> reply payload=JSON []trace.JSONTrace
+)
+
+// CmdTrace selectors (the request header's Arg).
+const (
+	TraceRecent uint64 = 0 // the flight recorder's recent ring
+	TraceSlow   uint64 = 1 // the slow-request ring
 )
 
 // CommandName maps a Bullet command code to a short lowercase name, for
@@ -64,6 +72,8 @@ func CommandName(cmd uint32) string {
 		return "compactcache"
 	case CmdStats:
 		return "stats"
+	case CmdTrace:
+		return "trace"
 	default:
 		return ""
 	}
@@ -145,67 +155,85 @@ func ErrorOf(st rpc.Status) error {
 // Service adapts a Bullet engine to an rpc.Handler.
 type Service struct {
 	engine *bullet.Server
+	rec    *trace.Recorder // optional; serves CmdTrace when non-nil
 }
 
 // New wraps engine.
 func New(engine *bullet.Server) *Service { return &Service{engine: engine} }
 
-// Register installs the service on mux under the engine's port.
+// AttachRecorder wires the flight recorder the service serves over
+// CmdTrace. Call before Register; nil leaves CmdTrace answering
+// StatusBadCommand (tracing not enabled).
+func (s *Service) AttachRecorder(rec *trace.Recorder) { s.rec = rec }
+
+// Register installs the service on mux under the engine's port. The
+// traced registration threads each request's span context through the
+// engine, so every layer hangs its spans under the RPC root span.
 func (s *Service) Register(mux *rpc.Mux) {
-	mux.Register(s.engine.Port(), s.Handle)
+	mux.RegisterTraced(s.engine.Port(), s.HandleTraced)
 }
 
-// Handle processes one Bullet transaction.
+// Handle processes one Bullet transaction without tracing (tests and
+// in-process callers).
 func (s *Service) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
+	return s.HandleTraced(nil, nil, req, payload)
+}
+
+// HandleTraced processes one Bullet transaction, hanging engine spans
+// under parent. tc may be nil (untraced).
+func (s *Service) HandleTraced(tc *trace.Ctx, parent *trace.Span, req rpc.Header, payload []byte) (rpc.Header, []byte) {
 	switch req.Command {
 	case CmdCreate:
-		c, err := s.engine.Create(payload, int(req.Arg))
+		c, err := s.engine.CreateTraced(tc, parent, payload, int(req.Arg))
 		if err != nil {
 			return rpc.ReplyErr(StatusOf(err)), nil
 		}
 		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
 
 	case CmdSize:
-		n, err := s.engine.Size(req.Cap)
+		n, err := s.engine.SizeTraced(tc, parent, req.Cap)
 		if err != nil {
 			return rpc.ReplyErr(StatusOf(err)), nil
 		}
 		return rpc.Header{Status: rpc.StatusOK, Arg: uint64(n)}, nil
 
 	case CmdRead:
-		data, err := s.engine.Read(req.Cap)
+		data, err := s.engine.ReadTraced(tc, parent, req.Cap)
 		if err != nil {
 			return rpc.ReplyErr(StatusOf(err)), nil
 		}
 		return rpc.ReplyOK(), data
 
 	case CmdDelete:
-		if err := s.engine.Delete(req.Cap); err != nil {
+		if err := s.engine.DeleteTraced(tc, parent, req.Cap); err != nil {
 			return rpc.ReplyErr(StatusOf(err)), nil
 		}
 		return rpc.ReplyOK(), nil
 
 	case CmdModify:
 		newSize, pfactor := UnpackModifyArg2(req.Arg2)
-		c, err := s.engine.Modify(req.Cap, int64(req.Arg), payload, newSize, pfactor)
+		c, err := s.engine.ModifyTraced(tc, parent, req.Cap, int64(req.Arg), payload, newSize, pfactor)
 		if err != nil {
 			return rpc.ReplyErr(StatusOf(err)), nil
 		}
 		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
 
 	case CmdAppend:
-		c, err := s.engine.Append(req.Cap, payload, int(req.Arg))
+		c, err := s.engine.AppendTraced(tc, parent, req.Cap, payload, int(req.Arg))
 		if err != nil {
 			return rpc.ReplyErr(StatusOf(err)), nil
 		}
 		return rpc.Header{Status: rpc.StatusOK, Cap: c}, nil
 
 	case CmdReadRange:
-		data, err := s.engine.ReadRange(req.Cap, int64(req.Arg), int64(req.Arg2))
+		data, err := s.engine.ReadRangeTraced(tc, parent, req.Cap, int64(req.Arg), int64(req.Arg2))
 		if err != nil {
 			return rpc.ReplyErr(StatusOf(err)), nil
 		}
 		return rpc.ReplyOK(), data
+
+	case CmdTrace:
+		return s.handleTrace(tc, parent, req)
 
 	case CmdStat:
 		stats := ServerStats{
@@ -251,4 +279,39 @@ func (s *Service) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
 	default:
 		return rpc.ReplyErr(rpc.StatusBadCommand), nil
 	}
+}
+
+// handleTrace serves CmdTrace: dump the flight recorder's recent or slow
+// ring as JSON. Capability-checked like CmdStats — any valid capability
+// for a live file with the read right is admission enough, because traces
+// (like statistics) are read-only observability.
+func (s *Service) handleTrace(tc *trace.Ctx, parent *trace.Span, req rpc.Header) (rpc.Header, []byte) {
+	if s.rec == nil {
+		return rpc.ReplyErr(rpc.StatusBadCommand), nil
+	}
+	sp := tc.Begin(parent, trace.LayerEngine, trace.OpTrace)
+	defer tc.End(sp)
+	if err := s.engine.AuthorizeRead(req.Cap); err != nil {
+		if sp != nil {
+			sp.Status = 1
+		}
+		return rpc.ReplyErr(StatusOf(err)), nil
+	}
+	var ts []trace.Trace
+	switch req.Arg {
+	case TraceRecent:
+		ts = s.rec.Recent()
+	case TraceSlow:
+		ts = s.rec.Slow()
+	default:
+		return rpc.ReplyErr(rpc.StatusBadRequest), nil
+	}
+	body, err := trace.EncodeTraces(ts)
+	if err != nil {
+		return rpc.ReplyErr(rpc.StatusInternal), nil
+	}
+	if sp != nil {
+		sp.Bytes = int64(len(body))
+	}
+	return rpc.ReplyOK(), body
 }

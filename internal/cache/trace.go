@@ -1,0 +1,61 @@
+package cache
+
+import "bulletfs/internal/trace"
+
+// GetViewTraced is GetView with a cache-lookup span: hit or miss, size on
+// hit. tc may be nil (untraced paths share this code path shape in the
+// engine).
+func (c *Cache) GetViewTraced(tc *trace.Ctx, parent *trace.Span, idx uint16, inode uint32) (*View, error) {
+	if !tc.Active() {
+		return c.GetView(idx, inode)
+	}
+	sp := tc.Begin(parent, trace.LayerCache, trace.OpCacheLookup)
+	v, err := c.GetView(idx, inode)
+	if sp != nil {
+		sp.Inode = inode
+		if err == nil {
+			sp.CacheHit = trace.CacheHit
+			sp.Bytes = int64(v.Len())
+		} else {
+			// A stale slot number: logically a miss (the caller faults).
+			sp.CacheHit = trace.CacheMiss
+		}
+	}
+	tc.End(sp)
+	return v, err
+}
+
+// InsertTraced is Insert with a cache-insert span recording the inode and
+// the bytes admitted. tc may be nil.
+func (c *Cache) InsertTraced(tc *trace.Ctx, parent *trace.Span, inode uint32, data []byte) (uint16, []Evicted, error) {
+	if !tc.Active() {
+		return c.Insert(inode, data)
+	}
+	sp := tc.Begin(parent, trace.LayerCache, trace.OpCacheInsert)
+	idx, evicted, err := c.Insert(inode, data)
+	if sp != nil {
+		sp.Inode = inode
+		sp.Bytes = int64(len(data))
+		if err != nil {
+			sp.Status = 1
+		}
+	}
+	tc.End(sp)
+	return idx, evicted, err
+}
+
+// TraceMiss emits a cache-lookup miss span for a file with no cached copy
+// at all (the engine consults the inode's cache-index field first, so the
+// cache never sees such lookups; this is the tracing analogue of
+// NoteMiss). No-op when tc is nil.
+func (c *Cache) TraceMiss(tc *trace.Ctx, parent *trace.Span, inode uint32) {
+	if !tc.Active() {
+		return
+	}
+	sp := tc.Begin(parent, trace.LayerCache, trace.OpCacheLookup)
+	if sp != nil {
+		sp.Inode = inode
+		sp.CacheHit = trace.CacheMiss
+	}
+	tc.End(sp)
+}

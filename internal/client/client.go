@@ -30,8 +30,9 @@ var ErrTransport = errors.New("bullet client: transport failure")
 // to many servers; each file operation is addressed by the capability's
 // port. Client is safe for concurrent use.
 type Client struct {
-	tr    rpc.Transport
-	cache *fileCache
+	tr       rpc.Transport
+	cache    *fileCache
+	traceIDs bool // stamp each transaction with a trace ID (see WithTraceIDs)
 }
 
 // Option configures a Client.
@@ -57,7 +58,14 @@ func New(tr rpc.Transport, opts ...Option) *Client {
 }
 
 func (c *Client) call(port capability.Port, req rpc.Header, payload []byte) (rpc.Header, []byte, error) {
-	rep, body, err := c.tr.Trans(port, req, payload)
+	var rep rpc.Header
+	var body []byte
+	var err error
+	if tt, ok := c.tr.(rpc.TracedTransport); ok && c.traceIDs {
+		rep, body, err = tt.TransTraced(port, newTraceID(), req, payload)
+	} else {
+		rep, body, err = c.tr.Trans(port, req, payload)
+	}
 	if err != nil {
 		return rpc.Header{}, nil, fmt.Errorf("%w: %w", ErrTransport, err)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"bulletfs/internal/stats"
+	"bulletfs/internal/trace"
 )
 
 // ReplicaSet manages N identical replica disks (the paper's hardware had
@@ -148,6 +149,17 @@ func (s *ReplicaSet) readSnapshot() (main int, aliveMask uint64) {
 // ReadAt reads from the main disk, failing over to any other live replica.
 // It returns ErrNoReplica only when every replica has failed.
 func (s *ReplicaSet) ReadAt(p []byte, off int64) error {
+	return s.readAt(nil, nil, p, off)
+}
+
+// ReadAtTraced is ReadAt with span emission: one disk-read span per
+// replica attempted, so a trace shows exactly which disk served the read
+// and any failovers along the way. tc may be nil.
+func (s *ReplicaSet) ReadAtTraced(tc *trace.Ctx, parent *trace.Span, p []byte, off int64) error {
+	return s.readAt(tc, parent, p, off)
+}
+
+func (s *ReplicaSet) readAt(tc *trace.Ctx, parent *trace.Span, p []byte, off int64) error {
 	main, aliveMask := s.readSnapshot()
 
 	var lastErr error
@@ -164,7 +176,16 @@ func (s *ReplicaSet) ReadAt(p []byte, off int64) error {
 			if aliveMask&(1<<uint(i)) == 0 {
 				continue
 			}
+			sp := tc.Begin(parent, trace.LayerDisk, trace.OpDiskRead)
 			err := s.devs[i].ReadAt(p, off)
+			if sp != nil {
+				sp.Replica = int8(i)
+				sp.Bytes = int64(len(p))
+				if err != nil {
+					sp.Status = 1
+				}
+			}
+			tc.End(sp)
 			if err == nil {
 				s.reads[i].Inc()
 				if tried > 0 {
@@ -262,10 +283,15 @@ func (s *ReplicaSet) ApplyNotify(syncN int, op func(i int, dev Device) error, on
 				s.markDead(i)
 			}
 			results <- ok
-			s.endWrite()
+			// onSettled must complete before the write is retired from the
+			// drain tracker: Drain() returning promises that background
+			// settle work (the engine's cache unpin, stats updates) has
+			// already run, so a final stats snapshot taken after Drain can
+			// never race the last settle hook.
 			if remaining.Add(-1) == 0 && onSettled != nil {
 				onSettled()
 			}
+			s.endWrite()
 		}()
 	}
 	if syncN <= 0 {

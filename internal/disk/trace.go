@@ -1,0 +1,78 @@
+package disk
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bulletfs/internal/trace"
+)
+
+// commitClock publishes one replica's commit timing from its worker
+// goroutine to the request goroutine that records the span. The fields
+// are atomics because the worker may still be mid-write when the quorum
+// returns and the span is stamped: start is 0 until the worker begins,
+// dur is 0 until it finishes, and a negative dur marks a failed write.
+type commitClock struct {
+	start atomic.Int64 // Unix nanos; 0 = op not yet started
+	dur   atomic.Int64 // nanos (min 1); 0 = in flight; negative = failed
+}
+
+// ApplyNotifyTraced is ApplyNotify with one replica-commit span per live
+// replica, recorded on the caller's goroutine once the synchronous quorum
+// is reached. Replicas whose write has not finished by then (the
+// background remainder of a P-FACTOR commit, or the whole fanout for
+// syncN <= 0) get a span with Dur = DurPending — the trace shows exactly
+// which disks the reply waited for and which it did not. tc may be nil,
+// in which case this is ApplyNotify.
+func (s *ReplicaSet) ApplyNotifyTraced(tc *trace.Ctx, parent *trace.Span, syncN int, op func(i int, dev Device) error, onSettled func()) error {
+	if !tc.Active() {
+		return s.ApplyNotify(syncN, op, onSettled)
+	}
+
+	_, aliveMask := s.readSnapshot()
+	clocks := make([]commitClock, len(s.devs))
+	wrapped := func(i int, dev Device) error {
+		clocks[i].start.Store(time.Now().UnixNano())
+		t0 := time.Now()
+		err := op(i, dev)
+		d := int64(time.Since(t0))
+		if d < 1 {
+			d = 1 // 0 is the in-flight sentinel
+		}
+		if err != nil {
+			d = -d
+		}
+		clocks[i].dur.Store(d)
+		return err
+	}
+	err := s.ApplyNotify(syncN, wrapped, onSettled)
+
+	now := time.Now()
+	for i := range clocks {
+		if aliveMask&(1<<uint(i)) == 0 {
+			continue // dead before the commit: never attempted
+		}
+		st := clocks[i].start.Load()
+		d := clocks[i].dur.Load()
+		var sp *trace.Span
+		switch {
+		case st == 0:
+			// Live replica whose goroutine had not been scheduled yet.
+			sp = tc.Add(parent, trace.LayerDisk, trace.OpReplicaCommit, now, trace.DurPending)
+		case d == 0:
+			sp = tc.Add(parent, trace.LayerDisk, trace.OpReplicaCommit, time.Unix(0, st), trace.DurPending)
+		case d < 0:
+			sp = tc.Add(parent, trace.LayerDisk, trace.OpReplicaCommit, time.Unix(0, st), -d)
+			if sp != nil {
+				sp.Status = 1
+			}
+		default:
+			sp = tc.Add(parent, trace.LayerDisk, trace.OpReplicaCommit, time.Unix(0, st), d)
+		}
+		if sp != nil {
+			sp.Replica = int8(i)
+			sp.PFactor = int8(syncN)
+		}
+	}
+	return err
+}

@@ -147,6 +147,12 @@ func NewRetrier(inner Transport, attempts int) *Retrier {
 
 // Trans implements Transport with retries.
 func (r *Retrier) Trans(port capability.Port, req Header, payload []byte) (Header, []byte, error) {
+	return r.trans(port, 0, req, payload)
+}
+
+// trans is the shared retry loop: one transaction ID pinned across all
+// attempts, the trace ID (0 = none) propagated on each.
+func (r *Retrier) trans(port capability.Port, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
 	txid, err := NewTxID()
 	if err != nil {
 		return Header{}, nil, err
@@ -156,7 +162,7 @@ func (r *Retrier) Trans(port capability.Port, req Header, payload []byte) (Heade
 		if i > 0 && r.retries != nil {
 			r.retries.Inc()
 		}
-		h, p, err := transID(r.inner, port, txid, req, payload)
+		h, p, err := transIDTraced(r.inner, port, txid, traceID, req, payload)
 		if err == nil {
 			return h, p, nil
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bulletfs/internal/capability"
+	"bulletfs/internal/trace"
 )
 
 // Mux routes transactions to the Handler registered for each server port
@@ -13,13 +14,25 @@ import (
 // (same non-zero transaction ID) returns the cached reply instead of
 // re-executing the handler, so a create retried after a lost reply does not
 // create the file twice.
+//
+// When a trace recorder is attached, every dispatch opens a root span
+// (layer rpc, op request) in the caller's span arena; traced handlers
+// (RegisterTraced) receive the arena and the root span so lower layers can
+// hang their spans under it.
 type Mux struct {
 	mu       sync.Mutex
-	handlers map[capability.Port]Handler // guarded by mu
-	dedup    map[uint64]cachedReply      // guarded by mu
-	order    *list.List                  // guarded by mu; txids in arrival order, for bounded eviction
-	maxDedup int                         // immutable after construction
-	metrics  *muxMetrics                 // guarded by mu (the pointed-to state is immutable)
+	handlers map[capability.Port]muxEntry // guarded by mu
+	dedup    map[uint64]cachedReply       // guarded by mu
+	order    *list.List                   // guarded by mu; txids in arrival order, for bounded eviction
+	maxDedup int                          // immutable after construction
+	metrics  *muxMetrics                  // guarded by mu (the pointed-to state is immutable)
+	rec      *trace.Recorder              // guarded by mu (pointer swap only)
+}
+
+// muxEntry is one registered server: exactly one of plain/traced is set.
+type muxEntry struct {
+	plain  Handler
+	traced TraceHandler
 }
 
 type cachedReply struct {
@@ -35,7 +48,7 @@ func NewMux(maxDedup int) *Mux {
 		maxDedup = 4096
 	}
 	return &Mux{
-		handlers: make(map[capability.Port]Handler),
+		handlers: make(map[capability.Port]muxEntry),
 		dedup:    make(map[uint64]cachedReply),
 		order:    list.New(),
 		maxDedup: maxDedup,
@@ -47,7 +60,17 @@ func NewMux(maxDedup int) *Mux {
 func (m *Mux) Register(port capability.Port, h Handler) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.handlers[port] = h
+	m.handlers[port] = muxEntry{plain: h}
+}
+
+// RegisterTraced installs th as the server for port. A traced handler
+// receives the dispatch's span arena and root span (both nil when no
+// recorder is attached or the transport carried no trace context) so it
+// can emit child spans.
+func (m *Mux) RegisterTraced(port capability.Port, th TraceHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[port] = muxEntry{traced: th}
 }
 
 // Unregister removes the server for port.
@@ -68,11 +91,59 @@ func (m *Mux) Ports() []capability.Port {
 	return out
 }
 
+// AttachRecorder wires the flight recorder into the dispatch path: from
+// now on in-process dispatches (Local transports) record traces, and the
+// TCP server borrows per-connection arenas from it.
+func (m *Mux) AttachRecorder(rec *trace.Recorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec = rec
+}
+
+// Recorder returns the attached flight recorder (nil if none).
+func (m *Mux) Recorder() *trace.Recorder {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rec
+}
+
 // Dispatch executes one transaction. txid 0 disables duplicate
 // suppression; any other value is remembered and replays the cached reply.
+// If a recorder is attached the dispatch records a trace under a
+// server-assigned local ID.
 func (m *Mux) Dispatch(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
+	return m.DispatchTraceID(0, port, txid, req, payload)
+}
+
+// DispatchTraceID is Dispatch for transports that carry a wire trace ID
+// but no span arena (the in-process Local transports): it borrows an
+// arena from the attached recorder for the duration of the dispatch.
+// traceID 0 means "none propagated"; the recorder assigns a local ID so
+// the flight recorder stays complete.
+func (m *Mux) DispatchTraceID(traceID uint64, port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
 	m.mu.Lock()
-	h, ok := m.handlers[port]
+	rec := m.rec
+	m.mu.Unlock()
+	if rec == nil {
+		return m.DispatchTrace(nil, port, txid, req, payload)
+	}
+	tc := rec.AcquireCtx()
+	if traceID == 0 {
+		traceID = rec.NextLocalID()
+	}
+	tc.Reset(traceID)
+	h, p, err := m.DispatchTrace(tc, port, txid, req, payload)
+	tc.Finish()
+	rec.ReleaseCtx(tc)
+	return h, p, err
+}
+
+// DispatchTrace executes one transaction, recording spans into tc (which
+// the caller owns, arms with Reset, and flushes with Finish — the TCP
+// server holds one arena per connection). A nil tc records nothing.
+func (m *Mux) DispatchTrace(tc *trace.Ctx, port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
+	m.mu.Lock()
+	e, ok := m.handlers[port]
 	mm := m.metrics
 	if !ok {
 		m.mu.Unlock()
@@ -84,16 +155,37 @@ func (m *Mux) Dispatch(port capability.Port, txid uint64, req Header, payload []
 			if mm != nil {
 				mm.reg.Counter("rpc.dup_replays").Inc()
 			}
+			root := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
+			if root != nil {
+				root.Cmd = req.Command
+				root.Status = int32(cached.hdr.Status)
+			}
+			tc.End(root)
 			return cached.hdr, cached.payload, nil
 		}
 	}
 	m.mu.Unlock()
 
+	root := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
+	if root != nil {
+		root.Cmd = req.Command
+		root.Bytes = int64(len(payload))
+	}
 	start := time.Now()
-	repHdr, repPayload := h(req, payload)
+	var repHdr Header
+	var repPayload []byte
+	if e.traced != nil {
+		repHdr, repPayload = e.traced(tc, root, req, payload)
+	} else {
+		repHdr, repPayload = e.plain(req, payload)
+	}
 	if mm != nil {
 		mm.record(req.Command, len(payload), len(repPayload), repHdr.Status, time.Since(start))
 	}
+	if root != nil {
+		root.Status = int32(repHdr.Status)
+	}
+	tc.End(root)
 
 	if txid != 0 {
 		m.mu.Lock()

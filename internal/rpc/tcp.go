@@ -22,19 +22,50 @@ import (
 //	header  HeaderLen bytes
 //	paylen  uint32
 //	payload paylen bytes
+//
+// A v2 request ('AMT2' magic, same prologue layout) inserts a prologue
+// extension between paylen and payload:
+//
+//	extlen  uint16
+//	ext     extlen bytes of TLV fields: type uint8, len uint8, value
+//
+// Receivers skip unknown TLV types. Type 0x01 carries the 8-byte trace ID.
 const (
 	magicRequest = 0x414d5458 // "AMTX"
 	magicReply   = 0x414d5250 // "AMRP"
 
+	// magicRequestV2 marks a request frame carrying a prologue extension:
+	// the v1 prologue byte-for-byte (only the magic differs), then
+	// extlen (uint16) and extlen bytes of type-length-value fields, then
+	// the payload. Receivers skip unknown field types, so the extension
+	// can grow without another version bump; v1-only peers are addressed
+	// with v1 frames (the extension is opt-in per request).
+	magicRequestV2 = 0x414d5432 // "AMT2"
+
 	// prologueLen is everything before the payload: magic, txid, port,
 	// header, paylen.
 	prologueLen = 4 + 8 + capability.PortLen + HeaderLen + 4
+
+	// Extension TLV types. A field is type (uint8), length (uint8),
+	// value (length bytes).
+	extTypeTraceID = 0x01 // value: 8-byte big-endian trace ID
+
+	// extMax bounds the extension this implementation emits: extlen plus
+	// one trace-ID TLV.
+	extMax = 2 + 2 + 8
+
+	// extScratchLen is how much inbound-extension scratch serveConn
+	// appends to its prologue buffer; larger (future) extensions fall
+	// back to a one-shot allocation.
+	extScratchLen = 64
 )
 
 // prologuePool recycles the fixed-size prologue buffers of the vectored
-// write path, so a steady request load allocates nothing per frame.
+// write path, so a steady request load allocates nothing per frame. The
+// arrays carry extMax extra bytes so a traced (v2) frame's extension
+// rides in the same buffer.
 var prologuePool = sync.Pool{
-	New: func() any { return new([prologueLen]byte) },
+	New: func() any { return new([prologueLen + extMax]byte) },
 }
 
 // payloadPool recycles server-side request payload buffers (see
@@ -65,18 +96,31 @@ func encodePrologue(dst []byte, magic uint32, txid uint64, port capability.Port,
 // assembled and the payload is never copied. Other writers (tests,
 // in-memory pipes) get two plain writes.
 func writeFrame(w io.Writer, magic uint32, txid uint64, port capability.Port, h Header, payload []byte) error {
+	return writeFrameTraced(w, magic, txid, 0, port, h, payload)
+}
+
+// writeFrameTraced is writeFrame with an optional trace ID: traceID 0
+// emits a plain v1 frame; otherwise a request's magic is upgraded to v2
+// and a trace-ID TLV extension is inserted between prologue and payload.
+// (Replies never carry the extension: the trace lives on the server.)
+func writeFrameTraced(w io.Writer, magic uint32, txid, traceID uint64, port capability.Port, h Header, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("%d bytes: %w", len(payload), ErrPayloadTooLarge)
 	}
-	pb := prologuePool.Get().(*[prologueLen]byte)
+	pb := prologuePool.Get().(*[prologueLen + extMax]byte)
 	defer prologuePool.Put(pb)
-	encodePrologue(pb[:], magic, txid, port, h, len(payload))
+	n := prologueLen
+	if traceID != 0 && magic == magicRequest {
+		magic = magicRequestV2
+		n += encodeExt(pb[prologueLen:], traceID)
+	}
+	encodePrologue(pb[:prologueLen], magic, txid, port, h, len(payload))
 	if conn, ok := w.(net.Conn); ok {
-		bufs := net.Buffers{pb[:], payload}
+		bufs := net.Buffers{pb[:n], payload}
 		_, err := bufs.WriteTo(conn)
 		return err
 	}
-	if _, err := w.Write(pb[:]); err != nil {
+	if _, err := w.Write(pb[:n]); err != nil {
 		return err
 	}
 	if len(payload) == 0 {
@@ -86,35 +130,62 @@ func writeFrame(w io.Writer, magic uint32, txid uint64, port capability.Port, h 
 	return err
 }
 
+// encodeExt writes the extension block (extlen + trace-ID TLV) into dst
+// and returns its length.
+func encodeExt(dst []byte, traceID uint64) int {
+	binary.BigEndian.PutUint16(dst[0:2], 2+8)
+	dst[2] = extTypeTraceID
+	dst[3] = 8
+	binary.BigEndian.PutUint64(dst[4:12], traceID)
+	return extMax
+}
+
 // readFrame reads one frame, allocating a fresh payload the caller owns.
+// A request frame may be v1 or v2; the trace ID (if any) is dropped.
 func readFrame(r io.Reader, wantMagic uint32) (txid uint64, port capability.Port, h Header, payload []byte, err error) {
-	var fixed [prologueLen]byte
-	txid, port, h, payload, _, err = readFrameScratch(r, wantMagic, fixed[:], false)
+	var fixed [prologueLen + extScratchLen]byte
+	txid, _, port, h, payload, _, err = readFrameScratch(r, wantMagic, fixed[:], false)
 	return txid, port, h, payload, err
 }
 
 // readFrameScratch is the allocation-conscious core of readFrame: fixed
-// (length prologueLen) is caller-provided scratch for the prologue, and
-// with pooled true the payload buffer comes from payloadPool — release
-// must then be called once the payload is dead (it is nil when there is
-// nothing to return). Pooled payloads must not outlive their release;
-// the server relies on the Handler contract for that.
-func readFrameScratch(r io.Reader, wantMagic uint32, fixed []byte, pooled bool) (txid uint64, port capability.Port, h Header, payload []byte, release func(), err error) {
-	if _, err = io.ReadFull(r, fixed); err != nil {
-		return 0, port, h, nil, nil, err
+// (length >= prologueLen; bytes past that are inbound-extension scratch)
+// is caller-provided, and with pooled true the payload buffer comes from
+// payloadPool — release must then be called once the payload is dead (it
+// is nil when there is nothing to return). Pooled payloads must not
+// outlive their release; the server relies on the Handler contract for
+// that.
+//
+// When wantMagic is magicRequest, v2 request frames are accepted too:
+// their extension is parsed for a trace ID (traceID 0 = none carried)
+// and unknown extension fields are skipped.
+func readFrameScratch(r io.Reader, wantMagic uint32, fixed []byte, pooled bool) (txid, traceID uint64, port capability.Port, h Header, payload []byte, release func(), err error) {
+	pro := fixed[:prologueLen]
+	if _, err = io.ReadFull(r, pro); err != nil {
+		return 0, 0, port, h, nil, nil, err
 	}
-	if got := binary.BigEndian.Uint32(fixed[0:4]); got != wantMagic {
-		return 0, port, h, nil, nil, fmt.Errorf("magic %08x: %w", got, ErrBadFrame)
+	got := binary.BigEndian.Uint32(pro[0:4])
+	v2 := wantMagic == magicRequest && got == magicRequestV2
+	if got != wantMagic && !v2 {
+		return 0, 0, port, h, nil, nil, fmt.Errorf("magic %08x: %w", got, ErrBadFrame)
 	}
-	txid = binary.BigEndian.Uint64(fixed[4:12])
-	copy(port[:], fixed[12:12+capability.PortLen])
-	h, _, err = DecodeHeader(fixed[12+capability.PortLen : 12+capability.PortLen+HeaderLen])
+	txid = binary.BigEndian.Uint64(pro[4:12])
+	copy(port[:], pro[12:12+capability.PortLen])
+	h, _, err = DecodeHeader(pro[12+capability.PortLen : 12+capability.PortLen+HeaderLen])
 	if err != nil {
-		return 0, port, h, nil, nil, err
+		return 0, 0, port, h, nil, nil, err
 	}
-	paylen := binary.BigEndian.Uint32(fixed[len(fixed)-4:])
+	paylen := binary.BigEndian.Uint32(pro[len(pro)-4:])
 	if paylen > MaxPayload {
-		return 0, port, h, nil, nil, fmt.Errorf("%d bytes: %w", paylen, ErrPayloadTooLarge)
+		return 0, 0, port, h, nil, nil, fmt.Errorf("%d bytes: %w", paylen, ErrPayloadTooLarge)
+	}
+	if v2 {
+		// pro is fully decoded by now, so its first bytes double as the
+		// extlen scratch.
+		traceID, err = readExt(r, pro[0:2], fixed[prologueLen:])
+		if err != nil {
+			return 0, 0, port, h, nil, nil, err
+		}
 	}
 	if pooled && paylen <= pooledPayloadCap {
 		bp := payloadPool.Get().(*[]byte)
@@ -130,9 +201,46 @@ func readFrameScratch(r io.Reader, wantMagic uint32, fixed []byte, pooled bool) 
 		if release != nil {
 			release()
 		}
-		return 0, port, h, nil, nil, err
+		return 0, 0, port, h, nil, nil, err
 	}
-	return txid, port, h, payload, release, nil
+	return txid, traceID, port, h, payload, release, nil
+}
+
+// readExt consumes a v2 prologue extension: extlen, then TLV fields.
+// Known fields are extracted, unknown types (and known types with an
+// unexpected length) are skipped — senders may add fields without
+// breaking this receiver. Truncated TLVs are a framing error.
+func readExt(r io.Reader, two, scratch []byte) (traceID uint64, err error) {
+	if _, err = io.ReadFull(r, two[:2]); err != nil {
+		return 0, err
+	}
+	extlen := int(binary.BigEndian.Uint16(two[:2]))
+	if extlen == 0 {
+		return 0, nil
+	}
+	ext := scratch
+	if extlen > len(ext) {
+		ext = make([]byte, extlen)
+	}
+	ext = ext[:extlen]
+	if _, err = io.ReadFull(r, ext); err != nil {
+		return 0, err
+	}
+	for i := 0; i < len(ext); {
+		if i+2 > len(ext) {
+			return 0, fmt.Errorf("extension tlv truncated: %w", ErrBadFrame)
+		}
+		typ, l := ext[i], int(ext[i+1])
+		i += 2
+		if i+l > len(ext) {
+			return 0, fmt.Errorf("extension tlv overruns: %w", ErrBadFrame)
+		}
+		if typ == extTypeTraceID && l == 8 {
+			traceID = binary.BigEndian.Uint64(ext[i : i+8])
+		}
+		i += l
+	}
+	return traceID, nil
 }
 
 // TCPServer serves a Mux over a TCP listener, one goroutine per
@@ -197,17 +305,34 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
-	var fixed [prologueLen]byte
+	// fixed holds the prologue plus scratch for the v2 extension, so a
+	// traced request costs no more allocation than an untraced one.
+	var fixed [prologueLen + extScratchLen]byte
+	// The connection owns one pre-allocated span arena for its lifetime;
+	// each request re-arms it. With no recorder attached, tc is nil and
+	// the trace calls below are no-ops.
+	rec := s.mux.Recorder()
+	tc := rec.AcquireCtx()
+	defer rec.ReleaseCtx(tc)
 	for {
 		// Request payloads come from a pool: Dispatch (and the Handlers
 		// under it) must not retain them, so the buffer is recycled as
 		// soon as the reply is built. Reply payloads are never pooled —
 		// the duplicate-suppression cache retains them.
-		txid, port, req, payload, release, err := readFrameScratch(br, magicRequest, fixed[:], true)
+		txid, traceID, port, req, payload, release, err := readFrameScratch(br, magicRequest, fixed[:], true)
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		repHdr, repPayload, err := s.mux.Dispatch(port, txid, req, payload)
+		if tc != nil {
+			if traceID == 0 {
+				traceID = rec.NextLocalID()
+			}
+			tc.Reset(traceID)
+		}
+		repHdr, repPayload, err := s.mux.DispatchTrace(tc, port, txid, req, payload)
+		// The trace completes before the reply is written: a client that
+		// sees the reply can immediately fetch its own trace.
+		tc.Finish()
 		if release != nil {
 			release()
 		}
@@ -277,7 +402,11 @@ type tcpConn struct {
 	br   *bufio.Reader // guarded by mu
 }
 
-var _ Transport = (*TCPTransport)(nil)
+var (
+	_ Transport                 = (*TCPTransport)(nil)
+	_ TracedTransport           = (*TCPTransport)(nil)
+	_ identifiedTracedTransport = (*TCPTransport)(nil)
+)
 
 // NewTCPTransport builds a client transport. timeout bounds each
 // transaction (0 means no deadline).
@@ -317,9 +446,22 @@ func (t *TCPTransport) Trans(port capability.Port, req Header, payload []byte) (
 	return t.TransID(port, 0, req, payload)
 }
 
+// TransTraced implements TracedTransport: the trace ID rides in the v2
+// prologue extension.
+func (t *TCPTransport) TransTraced(port capability.Port, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
+	return t.TransIDTraced(port, 0, traceID, req, payload)
+}
+
 // TransID is Trans with an explicit transaction ID for at-most-once
 // semantics across retries (see Retrier).
 func (t *TCPTransport) TransID(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
+	return t.TransIDTraced(port, txid, 0, req, payload)
+}
+
+// TransIDTraced carries both the at-most-once transaction ID and the
+// trace ID (0 for either means "none"). traceID 0 emits a v1 frame, so
+// untraced clients stay wire-compatible with pre-extension servers.
+func (t *TCPTransport) TransIDTraced(port capability.Port, txid, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
 	addr, err := t.resolve(port)
 	if err != nil {
 		return Header{}, nil, err
@@ -339,7 +481,7 @@ func (t *TCPTransport) TransID(port capability.Port, txid uint64, req Header, pa
 		}
 	}
 	// One vectored write per request (see writeFrame): nothing to flush.
-	if err := writeFrame(c.conn, magicRequest, txid, port, req, payload); err != nil {
+	if err := writeFrameTraced(c.conn, magicRequest, txid, traceID, port, req, payload); err != nil {
 		t.dropConn(addr, c)
 		t.noteTransportErr(err)
 		return Header{}, nil, fmt.Errorf("rpc: send: %w", err)

@@ -1,0 +1,81 @@
+package rpc
+
+import (
+	"bulletfs/internal/capability"
+	"bulletfs/internal/trace"
+)
+
+// TraceHandler is a Handler that can emit spans: tc is the dispatch's
+// span arena and parent its root span (both nil when the dispatch is
+// untraced — implementations must tolerate that, which trace.Ctx's
+// nil-safe methods make free). The payload contract is the same as
+// Handler's: request payloads are pooled and must not be retained.
+type TraceHandler func(tc *trace.Ctx, parent *trace.Span, req Header, payload []byte) (Header, []byte)
+
+// TracedTransport is a Transport that can propagate a client-generated
+// trace ID to the server. Transports that cannot carry one (or talk to
+// peers that predate the extension) simply don't implement this; callers
+// fall back to Trans and the server assigns a local ID.
+type TracedTransport interface {
+	Transport
+	// TransTraced is Trans with a trace ID. traceID 0 degrades to Trans.
+	TransTraced(port capability.Port, traceID uint64, req Header, payload []byte) (Header, []byte, error)
+}
+
+// identifiedTracedTransport carries both an at-most-once transaction ID
+// and a trace ID (the retry layer needs to pin the former across
+// attempts while propagating the latter).
+type identifiedTracedTransport interface {
+	TransIDTraced(port capability.Port, txid, traceID uint64, req Header, payload []byte) (Header, []byte, error)
+}
+
+// transIDTraced dispatches with the richest form the transport supports,
+// degrading gracefully: trace-unaware transports still get the
+// transaction ID, plain transports just get the request.
+func transIDTraced(t Transport, port capability.Port, txid, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
+	if traceID != 0 {
+		if itt, ok := t.(identifiedTracedTransport); ok {
+			return itt.TransIDTraced(port, txid, traceID, req, payload)
+		}
+	}
+	return transID(t, port, txid, req, payload)
+}
+
+// TransTraced implements TracedTransport: the transaction ID is drawn
+// per call, and the trace ID rides along on every retry attempt so the
+// server's flight recorder sees each attempt under the same trace.
+func (r *Retrier) TransTraced(port capability.Port, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
+	return r.trans(port, traceID, req, payload)
+}
+
+// TransIDTraced implements identifiedTracedTransport with injected loss.
+func (f *Flaky) TransIDTraced(port capability.Port, txid, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
+	dropReq, dropRep := f.decide()
+	if dropReq {
+		f.mu.Lock()
+		f.Dropped++
+		f.mu.Unlock()
+		return Header{}, nil, ErrDropped
+	}
+	h, p, err := transIDTraced(f.inner, port, txid, traceID, req, payload)
+	if err != nil {
+		return h, p, err
+	}
+	if dropRep {
+		f.mu.Lock()
+		f.Dropped++
+		f.mu.Unlock()
+		return Header{}, nil, ErrDropped
+	}
+	return h, p, nil
+}
+
+// TransIDTraced implements identifiedTracedTransport in-process.
+func (l *LocalID) TransIDTraced(port capability.Port, txid, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
+	return l.Mux.DispatchTraceID(traceID, port, txid, req, payload)
+}
+
+// TransTraced implements TracedTransport in-process.
+func (l *LocalID) TransTraced(port capability.Port, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
+	return l.Mux.DispatchTraceID(traceID, port, 0, req, payload)
+}

@@ -90,6 +90,50 @@ func TestHistogramBucketEdges(t *testing.T) {
 	}
 }
 
+// TestHistogramBoundsAreInclusiveUpper pins the bucket convention across
+// the whole default latency ladder: an observation exactly equal to
+// bounds[i] lands in bucket i, never i+1. The convention is load-bearing
+// for benchcheck's regression gate — an off-by-one at the boundary would
+// shift exact-bound latencies one bucket up and inflate every reported
+// percentile. (Boundary audit: Observe's `v > bounds[i]` walk is the
+// correct inclusive-upper form; this test exists so a future "cleanup"
+// to `>=` fails loudly.)
+func TestHistogramBoundsAreInclusiveUpper(t *testing.T) {
+	h := NewHistogram(nil)
+	for _, b := range DefaultLatencyBounds {
+		h.Observe(b)
+	}
+	s := h.Snapshot()
+	for i, b := range DefaultLatencyBounds {
+		if s.Counts[i] != 1 {
+			t.Errorf("bound %d (bucket %d) holds %d observations, want exactly 1", b, i, s.Counts[i])
+		}
+	}
+	if over := s.Counts[len(DefaultLatencyBounds)]; over != 0 {
+		t.Errorf("overflow bucket holds %d observations, want 0 (no bound value may spill over)", over)
+	}
+}
+
+// TestHistogramQuantileAtBucketBoundary: when every observation sits
+// exactly on a bucket's upper bound, all quantiles must report that
+// bound — the bucket range is tightened by the observed min/max, so the
+// estimate cannot drift below the boundary or into the next bucket.
+func TestHistogramQuantileAtBucketBoundary(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	s := h.Snapshot()
+	if s.Counts[1] != 100 {
+		t.Fatalf("buckets = %v, want all 100 observations in bucket 1 (bound 100)", s.Counts)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != 100 {
+			t.Errorf("q%.2f = %v, want exactly 100 (all mass at the bucket boundary)", q, got)
+		}
+	}
+}
+
 func TestHistogramQuantileRangeClamped(t *testing.T) {
 	h := NewHistogram([]int64{10})
 	h.Observe(4)

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSONSpan is the wire/log form of a Span. Numeric attribute sentinels
+// are preserved (replica -1, dur_ns -1 for pending) so decoders need no
+// schema beyond this struct.
+type JSONSpan struct {
+	ID       uint16 `json:"id"`
+	Parent   int32  `json:"parent"` // -1 for the root span
+	Layer    string `json:"layer"`
+	Op       string `json:"op"`
+	Start    int64  `json:"start_unix_ns"`
+	Dur      int64  `json:"dur_ns"` // -1: still open when the trace finished
+	Cmd      uint32 `json:"cmd,omitempty"`
+	Inode    uint32 `json:"inode,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	PFactor  int8   `json:"p_factor,omitempty"`
+	Replica  int8   `json:"replica"` // -1: not a per-replica span
+	CacheHit string `json:"cache,omitempty"`
+	Merged   bool   `json:"merged,omitempty"`
+	Status   int32  `json:"status,omitempty"`
+}
+
+// JSONTrace is the wire/log form of a Trace: the TRACE RPC payload is a
+// JSON array of these, and each slow-log line is one of them.
+type JSONTrace struct {
+	ID      string     `json:"id"` // 16-digit hex: JSON numbers are lossy past 2^53
+	Start   int64      `json:"start_unix_ns"`
+	Dropped bool       `json:"dropped,omitempty"`
+	Spans   []JSONSpan `json:"spans"`
+}
+
+func cacheHitString(v int8) string {
+	switch v {
+	case CacheHit:
+		return "hit"
+	case CacheMiss:
+		return "miss"
+	default:
+		return ""
+	}
+}
+
+// JSON converts the trace to its serializable form. This allocates; it is
+// for the TRACE RPC, the HTTP endpoint, and the slow log — never the
+// request path.
+func (t *Trace) JSON() JSONTrace {
+	jt := JSONTrace{
+		ID:      fmt.Sprintf("%016x", t.ID),
+		Start:   t.Start,
+		Dropped: t.Dropped,
+		Spans:   make([]JSONSpan, 0, t.N),
+	}
+	for i := 0; i < t.N; i++ {
+		sp := &t.Spans[i]
+		parent := int32(-1)
+		if sp.Parent != NoParent {
+			parent = int32(sp.Parent)
+		}
+		jt.Spans = append(jt.Spans, JSONSpan{
+			ID:       sp.ID,
+			Parent:   parent,
+			Layer:    sp.Layer.String(),
+			Op:       sp.Op.String(),
+			Start:    sp.Start,
+			Dur:      sp.Dur,
+			Cmd:      sp.Cmd,
+			Inode:    sp.Inode,
+			Bytes:    sp.Bytes,
+			PFactor:  sp.PFactor,
+			Replica:  sp.Replica,
+			CacheHit: cacheHitString(sp.CacheHit),
+			Merged:   sp.Merged,
+			Status:   sp.Status,
+		})
+	}
+	return jt
+}
+
+// EncodeTraces renders traces as a compact JSON array (the TRACE RPC
+// payload).
+func EncodeTraces(ts []Trace) ([]byte, error) {
+	jts := make([]JSONTrace, len(ts))
+	for i := range ts {
+		jts[i] = ts[i].JSON()
+	}
+	b, err := json.Marshal(jts)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encode: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeTraces parses a TRACE RPC payload back into its JSON form (the
+// client renders from this; it never reconstructs Trace values).
+func DecodeTraces(b []byte) ([]JSONTrace, error) {
+	var jts []JSONTrace
+	if err := json.Unmarshal(b, &jts); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return jts, nil
+}
+
+// appendJSONLine appends one trace as a single JSON line (the slow-log
+// record format) terminated by '\n'.
+func appendJSONLine(dst []byte, t *Trace) ([]byte, error) {
+	b, err := json.Marshal(t.JSON())
+	if err != nil {
+		return nil, fmt.Errorf("trace: encode: %w", err)
+	}
+	dst = append(dst, b...)
+	return append(dst, '\n'), nil
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// RenderTree writes a human-readable span tree for one decoded trace,
+// followed by a per-layer self-time summary. Self-time is a span's
+// duration minus its children's durations (clamped at zero): the time the
+// layer itself spent, not the time it waited on layers below. Spans whose
+// Dur is -1 (still open when the trace finished) render as "pending" and
+// contribute nothing to self-time.
+func RenderTree(w io.Writer, t *JSONTrace) {
+	fmt.Fprintf(w, "trace %s  start %s%s\n",
+		t.ID,
+		time.Unix(0, t.Start).UTC().Format(time.RFC3339Nano),
+		droppedNote(t.Dropped))
+
+	children := make(map[int32][]int, len(t.Spans))
+	roots := []int{}
+	for i := range t.Spans {
+		p := t.Spans[i].Parent
+		if p < 0 {
+			roots = append(roots, i)
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+
+	selfNS := map[string]int64{}
+	var walk func(idx int, prefix string, last bool)
+	walk = func(idx int, prefix string, last bool) {
+		sp := &t.Spans[idx]
+		branch, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = "└─ ", prefix+"   "
+		}
+		fmt.Fprintf(w, "%s%s%-6s %-14s %s%s\n",
+			prefix, branch, sp.Layer, spanLabel(sp), durString(sp.Dur), attrString(sp))
+
+		kids := children[int32(sp.ID)]
+		self := sp.Dur
+		for _, k := range kids {
+			if d := t.Spans[k].Dur; d > 0 && self > 0 {
+				self -= d
+			}
+		}
+		if sp.Dur >= 0 {
+			if self < 0 {
+				self = 0
+			}
+			selfNS[sp.Layer] += self
+		}
+		for i, k := range kids {
+			walk(k, childPrefix, i == len(kids)-1)
+		}
+	}
+	for i, r := range roots {
+		walk(r, "", i == len(roots)-1)
+	}
+
+	parts := []string{}
+	for _, layer := range []string{"rpc", "engine", "cache", "disk"} {
+		if ns, ok := selfNS[layer]; ok {
+			parts = append(parts, fmt.Sprintf("%s %s", layer, durString(ns)))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(w, "self-time by layer: %s\n", strings.Join(parts, "  "))
+	}
+}
+
+func droppedNote(dropped bool) string {
+	if dropped {
+		return "  [spans dropped: arena full]"
+	}
+	return ""
+}
+
+func spanLabel(sp *JSONSpan) string {
+	if sp.Op == "request" && sp.Cmd != 0 {
+		return fmt.Sprintf("request cmd=%d", sp.Cmd)
+	}
+	return sp.Op
+}
+
+func durString(ns int64) string {
+	if ns < 0 {
+		return "pending"
+	}
+	return time.Duration(ns).String()
+}
+
+func attrString(sp *JSONSpan) string {
+	var b strings.Builder
+	if sp.Inode != 0 {
+		fmt.Fprintf(&b, " inode=%d", sp.Inode)
+	}
+	if sp.Bytes != 0 {
+		fmt.Fprintf(&b, " bytes=%d", sp.Bytes)
+	}
+	if sp.PFactor != 0 {
+		fmt.Fprintf(&b, " p=%d", sp.PFactor)
+	}
+	if sp.Replica >= 0 {
+		fmt.Fprintf(&b, " replica=%d", sp.Replica)
+	}
+	if sp.CacheHit != "" {
+		fmt.Fprintf(&b, " cache=%s", sp.CacheHit)
+	}
+	if sp.Merged {
+		b.WriteString(" merged")
+	}
+	if sp.Status != 0 {
+		fmt.Fprintf(&b, " status=%d", sp.Status)
+	}
+	return b.String()
+}
