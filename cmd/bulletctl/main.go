@@ -9,6 +9,9 @@
 //	bulletctl -server localhost:7001 stats [-json] <capability>
 //	bulletctl -server localhost:7001 trace [-slow] [-json] <capability>
 //	bulletctl -server localhost:7001 compact
+//	bulletctl -server localhost:7001 health [-json] <capability>
+//	bulletctl -server localhost:7001 scrub <admin-capability>
+//	bulletctl -server localhost:7001 recover <admin-capability> <replica>
 //	bulletctl restrict <capability> read,delete        # offline, no server
 //
 // Exit codes distinguish failure classes for scripts: 1 for generic
@@ -58,7 +61,7 @@ func exitCode(err error) int {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: bulletctl [-server addr] [-port name] [-pfactor n] <put|get|size|append|del|stat|stats|trace|compact|restrict> args...")
+	return fmt.Errorf("usage: bulletctl [-server addr] [-port name] [-pfactor n] <put|get|size|append|del|stat|stats|trace|compact|health|scrub|recover|restrict> args...")
 }
 
 func run() error {
@@ -262,6 +265,70 @@ func run() error {
 		fmt.Println("disk compacted")
 		return nil
 
+	case "health":
+		// bulletctl health [-json] <capability>
+		var asJSON bool
+		var capStr string
+		for _, a := range args[1:] {
+			if a == "-json" || a == "--json" {
+				asJSON = true
+			} else if capStr == "" {
+				capStr = a
+			} else {
+				return fmt.Errorf("usage: bulletctl health [-json] <capability>")
+			}
+		}
+		if capStr == "" {
+			return fmt.Errorf("usage: bulletctl health [-json] <capability> (any readable file's capability authorizes the query)")
+		}
+		c, err := capability.Parse(capStr)
+		if err != nil {
+			return err
+		}
+		h, err := cl.Health(c)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			body, err := json.MarshalIndent(h, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(body))
+			return nil
+		}
+		printHealth(h)
+		return nil
+
+	case "scrub":
+		c, err := parseCap(args)
+		if err != nil {
+			return err
+		}
+		if err := cl.ScrubNow(c); err != nil {
+			return err
+		}
+		fmt.Println("scrub pass triggered")
+		return nil
+
+	case "recover":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: bulletctl recover <admin-capability> <replica>")
+		}
+		c, err := capability.Parse(args[1])
+		if err != nil {
+			return err
+		}
+		var replica int
+		if _, err := fmt.Sscanf(args[2], "%d", &replica); err != nil {
+			return fmt.Errorf("replica %q: %w", args[2], err)
+		}
+		if err := cl.Recover(c, replica); err != nil {
+			return err
+		}
+		fmt.Printf("online recovery of replica %d started\n", replica)
+		return nil
+
 	default:
 		return usage()
 	}
@@ -321,6 +388,50 @@ func printStats(st bulletsvc.ServerStats) {
 		st.Engine.CacheHits, st.Engine.CacheMisses)
 	fmt.Printf("disk: %d/%d blocks used, fragmentation %.1f%%, largest hole %d blocks\n",
 		st.Disk.Used, st.Disk.Total, 100*st.Disk.Fragmentation(), st.Disk.LargestFree)
+}
+
+// printHealth renders the self-healing report in a terminal-friendly form.
+func printHealth(h bulletsvc.HealthReport) {
+	fmt.Printf("live files:       %d (layout v%d, %d checksum blocks dirty)\n",
+		h.LiveFiles, h.LayoutVersion, h.DirtySums)
+	fmt.Printf("promotions:       %d   recoveries: %d\n", h.Promotions, h.Recoveries)
+	for _, r := range h.Replicas {
+		state := "alive"
+		if !r.Alive {
+			state = "DEAD"
+		}
+		if r.Recovering {
+			state = "recovering"
+		}
+		main := " "
+		if r.Main {
+			main = "*"
+		}
+		fmt.Printf("replica %d%s: %-10s reads=%d writes=%d errors=%d checksum_errors=%d repairs=%d\n",
+			r.Index, main, state, r.Reads, r.Writes, r.Errors, r.ChecksumErrors, r.Repairs)
+	}
+	if h.LastRecover != nil {
+		status := "done"
+		if h.LastRecover.Running {
+			status = "running"
+		}
+		if h.LastRecover.Error != "" {
+			status = "failed: " + h.LastRecover.Error
+		}
+		fmt.Printf("last recovery:    replica %d (%s)\n", h.LastRecover.Replica, status)
+	}
+	if h.Scrub != nil {
+		s := h.Scrub
+		state := "stopped"
+		if s.Running {
+			state = "running"
+		}
+		if s.Paused {
+			state = "paused"
+		}
+		fmt.Printf("scrubber:         %s — %d passes, %d files checked, %d repairs, %d backfills, %d unrepairable, %d bytes read\n",
+			state, s.Passes, s.FilesChecked, s.Repairs, s.Backfills, s.Unrepairable, s.BytesRead)
+	}
 }
 
 // printSnapshot renders a full metrics snapshot as sorted key-value lines:

@@ -32,6 +32,7 @@ import (
 	"bulletfs/internal/disk"
 	"bulletfs/internal/locate"
 	"bulletfs/internal/rpc"
+	"bulletfs/internal/scrub"
 	"bulletfs/internal/trace"
 )
 
@@ -57,6 +58,8 @@ func run() error {
 		registry  = flag.String("registry", "registry", "registry service name when announcing")
 		httpAddr  = flag.String("http", "", "expvar-style HTTP address serving GET /debug/stats and /debug/traces (optional, e.g. :7002)")
 		slowMS    = flag.Int64("slowms", 50, "slow-request threshold in milliseconds; slow traces go to the slow ring and stderr as one-line JSON (0 disables)")
+		scrubIvl  = flag.Duration("scrub-interval", time.Hour, "time between background scrub passes over all files (0 disables periodic passes; `bulletctl scrub` still works)")
+		scrubRate = flag.Int64("scrub-rate", scrub.DefaultBytesPerSec, "scrub read budget in bytes per second")
 	)
 	flag.Parse()
 	if *disks == "" {
@@ -108,11 +111,20 @@ func run() error {
 	)
 	defer recorder.Close()
 
+	// Background integrity scrubbing: walk all files, verify every replica
+	// copy against its checksum, repair divergence. Rate-limited so it is
+	// invisible next to real traffic.
+	scrubber := scrub.New(engine, scrub.Config{Interval: *scrubIvl, BytesPerSec: *scrubRate})
+	scrubber.AttachMetrics(engine.Metrics())
+	scrubber.Start()
+	defer scrubber.Stop()
+
 	mux := rpc.NewMux(0)
 	mux.AttachMetrics(engine.Metrics(), bulletsvc.CommandName)
 	mux.AttachRecorder(recorder)
 	svc := bulletsvc.New(engine)
 	svc.AttachRecorder(recorder)
+	svc.AttachScrubber(scrubber)
 	svc.Register(mux)
 	srv := rpc.NewTCPServer(mux)
 	addr, err := srv.Listen(*listen)
@@ -199,6 +211,7 @@ func run() error {
 	if err := srv.Close(); err != nil {
 		return err
 	}
+	scrubber.Stop()
 	engine.Sync()
 	return engine.Close()
 }

@@ -26,6 +26,7 @@ import (
 	"crypto/subtle"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
@@ -129,6 +130,10 @@ type engineMetrics struct {
 	compactionBytes *stats.Counter
 	faultMerges     *stats.Counter
 	uncachedCreates *stats.Counter
+	sumBackfills    *stats.Counter     // checksums computed lazily on fault-in
+	checksumFaults  *stats.Counter     // fault-ins that hit a checksum mismatch
+	scrubRepairs    *stats.Counter     // replica extents rewritten by scrub
+	scrubUnfixable  *stats.Counter     // objects no replica could verify
 	commit          []*stats.Histogram // commit-to-disk latency, indexed by p-factor
 }
 
@@ -145,6 +150,10 @@ func newEngineMetrics(reg *stats.Registry, replicas int) engineMetrics {
 		compactionBytes: reg.Counter("bullet.compaction_bytes_moved"),
 		faultMerges:     reg.Counter("bullet.fault_merges"),
 		uncachedCreates: reg.Counter("bullet.uncached_creates"),
+		sumBackfills:    reg.Counter("bullet.checksum_backfills"),
+		checksumFaults:  reg.Counter("bullet.checksum_faults"),
+		scrubRepairs:    reg.Counter("bullet.scrub_repairs"),
+		scrubUnfixable:  reg.Counter("bullet.scrub_unrepairable"),
 	}
 	for k := 0; k <= replicas; k++ {
 		m.commit = append(m.commit,
@@ -216,10 +225,33 @@ type Server struct {
 	// disk reads. faultMu is a leaf lock: never held while acquiring mu.
 	faultMu sync.Mutex
 	faults  map[uint32]*faultCall // guarded by faultMu
+
+	// bg accounts background goroutines the engine launches (currently
+	// only StartRecover's replica catch-up); Close waits for them before
+	// closing the disks.
+	bg sync.WaitGroup
+
+	// recMu guards lastRecover, the report of the most recent online
+	// recovery for the health endpoint.
+	recMu       sync.Mutex
+	lastRecover *RecoverReport // nil until the first StartRecover
+}
+
+// RecoverReport describes one online replica recovery for the health
+// endpoint.
+type RecoverReport struct {
+	Replica int    `json:"replica"`
+	Running bool   `json:"running"`
+	Error   string `json:"error,omitempty"`
 }
 
 // maxCapCache bounds the verified-capability cache.
 const maxCapCache = 4096
+
+// castagnoli is the CRC32C polynomial table used for file checksums
+// (layout.Inode.Sum). Castagnoli is hardware-accelerated on every platform
+// Go targets, so verification on fault-in costs one linear pass.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // maxFaultRetries bounds how often a fault leader re-reads a file that
 // compaction keeps moving out from under it.
@@ -247,6 +279,13 @@ func New(replicas *disk.ReplicaSet, opts Options) (*Server, error) {
 		if err := table.WriteInode(replicas, p.Inode); err != nil {
 			return nil, fmt.Errorf("bullet: persisting scan fix for inode %d: %w", p.Inode, err)
 		}
+	}
+	// A v1 (pre-checksum) disk is upgraded in place when the tail of its
+	// data area is free; if a file is in the way the table stays v1 and
+	// checksums live in RAM only until the next boot finds the tail clear.
+	upgraded, err := table.UpgradeInPlace(replicas)
+	if err != nil {
+		return nil, fmt.Errorf("bullet: upgrading layout to v2: %w", err)
 	}
 	desc := table.Desc()
 
@@ -284,6 +323,10 @@ func New(replicas *disk.ReplicaSet, opts Options) (*Server, error) {
 	}
 	fileCache.AttachMetrics(reg)
 	replicas.AttachMetrics(reg)
+	if upgraded {
+		reg.Counter("bullet.table_upgrades").Inc()
+	}
+	reg.GaugeFunc("bullet.sum_dirty_blocks", func() int64 { return int64(s.table.DirtySums()) })
 	reg.GaugeFunc("bullet.live_files", func() int64 { return int64(s.Live()) })
 	reg.GaugeFunc("bullet.data_blocks_used", func() int64 { return s.DiskStats().Used })
 	reg.GaugeFunc("bullet.data_blocks_free", func() int64 { return s.DiskStats().Free })
@@ -428,6 +471,12 @@ func (s *Server) create(tc *trace.Ctx, sp *trace.Span, data []byte, pfactor int)
 		s.mu.Unlock()
 		return capability.Capability{}, err
 	}
+	// Record the file's CRC32C at birth. The entry is only marked dirty
+	// here; it reaches the disk's checksum area in batches (Sync, Close,
+	// the scrubber), so the write-through below stays one inode block per
+	// create. A lost flush costs a lazy recompute on the next boot's first
+	// fault-in, never correctness.
+	_ = s.table.SetSum(inode, crc32.Checksum(data, castagnoli))
 
 	// Into the RAM cache first: BULLET.CREATE with P-FACTOR 0 returns
 	// "immediately after the file has been copied to the file server's RAM
@@ -702,7 +751,18 @@ func (s *Server) loadFile(tc *trace.Ctx, parent *trace.Span, inode uint32, rando
 		data := make([]byte, ino.Size)
 		var rerr error
 		if ino.Size > 0 {
-			rerr = s.replicas.ReadAtTraced(tc, parent, data, s.desc.DataOffset(int64(ino.FirstBlock)))
+			off := s.desc.DataOffset(int64(ino.FirstBlock))
+			if ino.HasSum {
+				// Verified fault-in: a replica copy is only accepted if it
+				// matches the inode's CRC32C; a mismatch fails over to the
+				// next replica and rewrites the bad extent in place.
+				want := ino.Sum
+				rerr = s.replicas.ReadVerifiedTraced(tc, parent, data, off, func(p []byte) bool {
+					return crc32.Checksum(p, castagnoli) == want
+				})
+			} else {
+				rerr = s.replicas.ReadAtTraced(tc, parent, data, off)
+			}
 		}
 
 		s.mu.RLock()
@@ -717,7 +777,21 @@ func (s *Server) loadFile(tc *trace.Ctx, parent *trace.Span, inode uint32, rando
 		}
 		if rerr != nil {
 			s.mu.RUnlock()
+			// The inode did not move, so a checksum failure here means
+			// every replica really holds corrupt data (not a stale read
+			// racing compaction).
+			if errors.Is(rerr, disk.ErrChecksum) {
+				s.m.checksumFaults.Inc()
+			}
 			return nil, fmt.Errorf("bullet: reading file from disk: %w", rerr)
+		}
+		if !cur.HasSum {
+			// Lazy backfill for files that predate checksums (v1-era disks):
+			// the bytes just read — and just revalidated against the live
+			// inode — define the file's CRC32C from here on.
+			if s.table.SetSum(inode, crc32.Checksum(data, castagnoli)) == nil {
+				s.m.sumBackfills.Inc()
+			}
 		}
 		if cur.CacheIndex == 0 {
 			// Cache refusal (e.g. arena pinned solid) is not fatal to the
@@ -971,10 +1045,16 @@ func (s *Server) Sync() {
 	s.commits.Wait()
 	s.mu.RUnlock()
 	s.replicas.Drain()
+	// Persist checksum entries recorded since the last flush (create and
+	// lazy backfill only mark them dirty, keeping the write-through to one
+	// inode block per create). The fan-out inside FlushSums is synchronous.
+	_, _ = s.table.FlushSums(s.replicas)
 }
 
-// Close drains background writes and closes the disks.
+// Close drains background writes (including any online recovery launched
+// by StartRecover) and closes the disks.
 func (s *Server) Close() error {
 	s.Sync()
+	s.bg.Wait()
 	return s.replicas.Close()
 }

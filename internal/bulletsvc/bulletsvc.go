@@ -17,7 +17,9 @@ import (
 	"bulletfs/internal/bullet"
 	"bulletfs/internal/cache"
 	"bulletfs/internal/capability"
+	"bulletfs/internal/disk"
 	"bulletfs/internal/rpc"
+	"bulletfs/internal/scrub"
 	"bulletfs/internal/trace"
 )
 
@@ -36,6 +38,16 @@ const (
 	CmdCompactCache uint32 = 11 // defragment the RAM cache
 	CmdStats        uint32 = 12 // Cap (read right) -> reply payload=JSON stats.Snapshot
 	CmdTrace        uint32 = 13 // Cap (read right), Arg=selector (TraceRecent/TraceSlow) -> reply payload=JSON []trace.JSONTrace
+	CmdSalvage      uint32 = 14 // Cap, Arg=selector (SalvageHealth/SalvageScrub/SalvageRecover), Arg2=replica -> reply payload=JSON HealthReport
+)
+
+// CmdSalvage selectors (the request header's Arg). SalvageHealth needs the
+// read right (a report, like stats and traces); the two triggers mutate
+// server state and need the admin right.
+const (
+	SalvageHealth  uint64 = 0 // -> JSON HealthReport
+	SalvageScrub   uint64 = 1 // trigger an immediate scrub pass
+	SalvageRecover uint64 = 2 // Arg2=replica: start online recovery
 )
 
 // CmdTrace selectors (the request header's Arg).
@@ -74,6 +86,8 @@ func CommandName(cmd uint32) string {
 		return "stats"
 	case CmdTrace:
 		return "trace"
+	case CmdSalvage:
+		return "salvage"
 	default:
 		return ""
 	}
@@ -121,6 +135,10 @@ func StatusOf(err error) rpc.Status {
 		return rpc.StatusBadPFactor
 	case errors.Is(err, bullet.ErrBadOffset):
 		return rpc.StatusBadOffset
+	case errors.Is(err, disk.ErrRecovering):
+		return rpc.StatusBusy
+	case errors.Is(err, bullet.ErrBadReplica):
+		return rpc.StatusBadRequest
 	default:
 		return rpc.StatusInternal
 	}
@@ -147,15 +165,25 @@ func ErrorOf(st rpc.Status) error {
 		return bullet.ErrBadPFactor
 	case rpc.StatusBadOffset:
 		return bullet.ErrBadOffset
+	case rpc.StatusBusy:
+		return disk.ErrRecovering
 	default:
 		return rpc.Errf(st, "server error")
 	}
 }
 
+// HealthReport is the JSON payload of CmdSalvage's health selector: the
+// engine's self-diagnosis plus, when a scrubber is attached, its progress.
+type HealthReport struct {
+	bullet.HealthReport
+	Scrub *scrub.Status `json:"scrub,omitempty"`
+}
+
 // Service adapts a Bullet engine to an rpc.Handler.
 type Service struct {
-	engine *bullet.Server
-	rec    *trace.Recorder // optional; serves CmdTrace when non-nil
+	engine   *bullet.Server
+	rec      *trace.Recorder // optional; serves CmdTrace when non-nil
+	scrubber *scrub.Scrubber // optional; SALVAGE's scrub trigger, paused during compaction
 }
 
 // New wraps engine.
@@ -165,6 +193,12 @@ func New(engine *bullet.Server) *Service { return &Service{engine: engine} }
 // CmdTrace. Call before Register; nil leaves CmdTrace answering
 // StatusBadCommand (tracing not enabled).
 func (s *Service) AttachRecorder(rec *trace.Recorder) { s.rec = rec }
+
+// AttachScrubber wires the background scrubber: SALVAGE's scrub selector
+// triggers a pass on it, the health report includes its progress, and
+// disk compaction pauses it for the duration (the two otherwise fight
+// over the metadata lock while extents move). Call before Register.
+func (s *Service) AttachScrubber(sc *scrub.Scrubber) { s.scrubber = sc }
 
 // Register installs the service on mux under the engine's port. The
 // traced registration threads each request's span context through the
@@ -235,6 +269,9 @@ func (s *Service) HandleTraced(tc *trace.Ctx, parent *trace.Span, req rpc.Header
 	case CmdTrace:
 		return s.handleTrace(tc, parent, req)
 
+	case CmdSalvage:
+		return s.handleSalvage(tc, parent, req)
+
 	case CmdStat:
 		stats := ServerStats{
 			Engine:      s.engine.Stats(),
@@ -265,6 +302,10 @@ func (s *Service) HandleTraced(tc *trace.Ctx, parent *trace.Span, req rpc.Header
 		return rpc.ReplyOK(), nil
 
 	case CmdCompactDisk:
+		if s.scrubber != nil {
+			s.scrubber.Pause()
+			defer s.scrubber.Resume()
+		}
 		if err := s.engine.CompactDisk(); err != nil {
 			return rpc.ReplyErr(StatusOf(err)), nil
 		}
@@ -314,4 +355,69 @@ func (s *Service) handleTrace(tc *trace.Ctx, parent *trace.Span, req rpc.Header)
 		sp.Bytes = int64(len(body))
 	}
 	return rpc.ReplyOK(), body
+}
+
+// handleSalvage serves CmdSalvage: the self-healing control surface. The
+// health selector is read-only and admitted like stats/traces (read
+// right); the scrub and recover selectors change server behaviour and
+// demand the admin right.
+func (s *Service) handleSalvage(tc *trace.Ctx, parent *trace.Span, req rpc.Header) (rpc.Header, []byte) {
+	sp := tc.Begin(parent, trace.LayerEngine, trace.OpSalvage)
+	defer tc.End(sp)
+	fail := func(err error) (rpc.Header, []byte) {
+		if sp != nil {
+			sp.Status = 1
+		}
+		return rpc.ReplyErr(StatusOf(err)), nil
+	}
+	switch req.Arg {
+	case SalvageHealth:
+		if err := s.engine.AuthorizeRead(req.Cap); err != nil {
+			return fail(err)
+		}
+		report := HealthReport{HealthReport: s.engine.Health()}
+		if s.scrubber != nil {
+			st := s.scrubber.Status()
+			report.Scrub = &st
+		}
+		body, err := json.Marshal(report)
+		if err != nil {
+			return rpc.ReplyErr(rpc.StatusInternal), nil
+		}
+		if sp != nil {
+			sp.Bytes = int64(len(body))
+		}
+		return rpc.ReplyOK(), body
+
+	case SalvageScrub:
+		if err := s.engine.AuthorizeAdmin(req.Cap); err != nil {
+			return fail(err)
+		}
+		if s.scrubber == nil {
+			if sp != nil {
+				sp.Status = 1
+			}
+			return rpc.ReplyErr(rpc.StatusBadCommand), nil // scrubbing not enabled
+		}
+		s.scrubber.TriggerPass()
+		return rpc.ReplyOK(), nil
+
+	case SalvageRecover:
+		if err := s.engine.AuthorizeAdmin(req.Cap); err != nil {
+			return fail(err)
+		}
+		if sp != nil {
+			sp.Replica = int8(int(req.Arg2))
+		}
+		if err := s.engine.StartRecover(int(req.Arg2)); err != nil {
+			return fail(err)
+		}
+		return rpc.ReplyOK(), nil
+
+	default:
+		if sp != nil {
+			sp.Status = 1
+		}
+		return rpc.ReplyErr(rpc.StatusBadRequest), nil
+	}
 }

@@ -1,0 +1,47 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+)
+
+// Health fetches the server's self-healing report: replica liveness,
+// checksum and repair counters, recovery state, and scrubber progress.
+// Capability-checked like Stats — cap must name a live file and carry the
+// read right (the report is read-only).
+func (c *Client) Health(cap capability.Capability) (bulletsvc.HealthReport, error) {
+	req := rpc.Header{Command: bulletsvc.CmdSalvage, Cap: cap, Arg: bulletsvc.SalvageHealth}
+	_, body, err := c.call(cap.Port, req, nil)
+	if err != nil {
+		return bulletsvc.HealthReport{}, err
+	}
+	var h bulletsvc.HealthReport
+	if err := json.Unmarshal(body, &h); err != nil {
+		return bulletsvc.HealthReport{}, fmt.Errorf("bullet client: decoding health report: %w", err)
+	}
+	return h, nil
+}
+
+// ScrubNow asks the server to run a scrub pass immediately. cap must
+// carry the admin right: scrubbing rewrites divergent replica extents.
+func (c *Client) ScrubNow(cap capability.Capability) error {
+	req := rpc.Header{Command: bulletsvc.CmdSalvage, Cap: cap, Arg: bulletsvc.SalvageScrub}
+	_, _, err := c.call(cap.Port, req, nil)
+	return err
+}
+
+// Recover asks the server to start an online catch-up copy onto replica.
+// cap must carry the admin right. Returns disk.ErrRecovering (StatusBusy
+// on the wire) when a recovery is already running.
+func (c *Client) Recover(cap capability.Capability, replica int) error {
+	req := rpc.Header{
+		Command: bulletsvc.CmdSalvage, Cap: cap,
+		Arg: bulletsvc.SalvageRecover, Arg2: uint64(replica),
+	}
+	_, _, err := c.call(cap.Port, req, nil)
+	return err
+}

@@ -14,9 +14,11 @@ type FaultyDisk struct {
 	dev     Device
 	faulted atomic.Bool
 
-	mu          sync.Mutex
-	failWriteIn int64 // guarded by mu; fail (and fault) after this many more writes; 0 = off
-	tornNext    bool  // guarded by mu; next write stores only the first half, then faults
+	mu           sync.Mutex
+	failWriteIn  int64 // guarded by mu; fail (and fault) after this many more writes; 0 = off
+	tornNext     bool  // guarded by mu; next write stores only the first half, then faults
+	corruptReads int64 // guarded by mu; silently flip a byte in this many more reads
+	corruptWrite int64 // guarded by mu; silently flip a byte in this many more writes
 }
 
 var _ Device = (*FaultyDisk)(nil)
@@ -35,6 +37,34 @@ func (d *FaultyDisk) Heal() {
 	defer d.mu.Unlock()
 	d.failWriteIn = 0
 	d.tornNext = false
+	d.corruptReads = 0
+	d.corruptWrite = 0
+}
+
+// CorruptNextReads makes the next n reads succeed but return data with one
+// byte flipped — silent corruption, the failure mode checksums exist for.
+// The stored bytes are untouched; only the returned copy lies.
+func (d *FaultyDisk) CorruptNextReads(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.corruptReads = n
+}
+
+// CorruptNextWrites makes the next n writes succeed but persist one
+// flipped byte — a firmware that acknowledges data it never stored
+// correctly. Reads then return the corrupt stored bytes indefinitely.
+func (d *FaultyDisk) CorruptNextWrites(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.corruptWrite = n
+}
+
+// flipByte corrupts one mid-buffer byte. XOR with 0xFF guarantees the
+// byte changes, so a corruption is never a silent no-op.
+func flipByte(p []byte) {
+	if len(p) > 0 {
+		p[len(p)/2] ^= 0xFF
+	}
 }
 
 // Faulted reports whether the device is currently dead.
@@ -67,7 +97,19 @@ func (d *FaultyDisk) ReadAt(p []byte, off int64) error {
 	if d.faulted.Load() {
 		return ErrFaulted
 	}
-	return d.dev.ReadAt(p, off)
+	if err := d.dev.ReadAt(p, off); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	corrupt := d.corruptReads > 0
+	if corrupt {
+		d.corruptReads--
+	}
+	d.mu.Unlock()
+	if corrupt {
+		flipByte(p)
+	}
+	return nil
 }
 
 // WriteAt implements Device.
@@ -78,6 +120,10 @@ func (d *FaultyDisk) WriteAt(p []byte, off int64) error {
 	d.mu.Lock()
 	torn := d.tornNext
 	d.tornNext = false
+	corrupt := d.corruptWrite > 0
+	if corrupt {
+		d.corruptWrite--
+	}
 	if d.failWriteIn > 0 {
 		d.failWriteIn--
 		if d.failWriteIn == 0 {
@@ -88,6 +134,12 @@ func (d *FaultyDisk) WriteAt(p []byte, off int64) error {
 	}
 	d.mu.Unlock()
 
+	if corrupt {
+		bad := make([]byte, len(p))
+		copy(bad, p)
+		flipByte(bad)
+		p = bad
+	}
 	if torn {
 		half := p[:len(p)/2]
 		err := d.dev.WriteAt(half, off)

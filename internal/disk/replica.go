@@ -5,19 +5,43 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bulletfs/internal/stats"
 	"bulletfs/internal/trace"
 )
+
+// Errors specific to replica management.
+var (
+	// ErrChecksum means a replica returned data that failed the caller's
+	// integrity check: the device answered, but with corrupt bytes.
+	ErrChecksum = errors.New("disk: replica data failed checksum")
+	// ErrRecovering means a recovery is already in progress; the set
+	// rebuilds one replica at a time.
+	ErrRecovering = errors.New("disk: a recovery is already in progress")
+)
+
+// DefaultErrorBudget is how many checksum mismatches a replica may serve
+// before it is quarantined (marked dead). I/O errors still demote a
+// replica immediately — a drive that cannot answer is gone — but a drive
+// that answers wrongly gets repaired in place until it exhausts the
+// budget, because occasional latent sector corruption is recoverable
+// while systematic corruption is not.
+const DefaultErrorBudget = 8
 
 // ReplicaSet manages N identical replica disks (the paper's hardware had
 // two). Reads go to the main disk, failing over — and permanently demoting
 // the main — when it dies. Writes are applied to every live replica
 // concurrently; the create operation's P-FACTOR chooses how many must
 // complete before the caller resumes (paper §2.2, §3), so commit latency
-// for P-FACTOR k is the maximum of k disk writes, not their sum. Recovery
-// is a whole-disk copy (paper §3: "Recovery is simply done by copying the
-// complete disk").
+// for P-FACTOR k is the maximum of k disk writes, not their sum.
+//
+// Beyond the paper: reads can carry a verification callback (ReadVerified)
+// that turns silent corruption into failover plus in-place repair, and
+// recovery is an online catch-up copy rather than the paper's stop-the-
+// world whole-disk copy (§3: "Recovery is simply done by copying the
+// complete disk" — still true, but the engine keeps running while it
+// happens; see docs/RECOVERY.md).
 type ReplicaSet struct {
 	mu    sync.Mutex
 	devs  []Device // immutable after construction (liveness is in alive)
@@ -33,11 +57,38 @@ type ReplicaSet struct {
 	pendCond *sync.Cond // lazily initialized under pendMu
 	pending  int        // guarded by pendMu
 
+	// applyGate serializes recovery state changes against write fan-out
+	// launches. ApplyNotify holds the read side only while it snapshots
+	// liveness and launches its goroutines — never across I/O or the
+	// quorum wait — so the write side (taken twice per recovery, at arm
+	// and finish) stalls commits for microseconds, not for the copy.
+	// Ordering matters: markDead and Drain never touch applyGate, so a
+	// recovery holding the write side cannot deadlock against a dying
+	// replica or a draining reader.
+	applyGate sync.RWMutex
+	// recovering is the replica index under online recovery, -1 if none.
+	// Written only while holding applyGate's write side; read atomically
+	// (under the read side by ApplyNotify, lock-free by observers).
+	recovering atomic.Int32
+	recDev     *recordingDevice // mirror target; guarded by applyGate
+	recFailed  atomic.Bool      // a mirrored write failed; recovery must abort
+
 	// Per-replica activity counters (atomic; indexed like devs).
-	reads     []stats.Counter // successful ReadAt calls served by replica i
-	writes    []stats.Counter // successful op applications on replica i
-	errs      []stats.Counter // failures that demoted replica i
-	failovers stats.Counter   // reads served by a non-main replica
+	reads        []stats.Counter // successful ReadAt calls served by replica i
+	writes       []stats.Counter // successful op applications on replica i
+	errs         []stats.Counter // failures that demoted replica i
+	checksumErrs []stats.Counter // reads that returned corrupt data (lifetime)
+	selfheals    []stats.Counter // bad extents rewritten in place on replica i
+	failovers    stats.Counter   // reads served by a non-main replica
+
+	// faults is the quarantine budget tracker: like checksumErrs but reset
+	// when the replica is recovered, so a repaired drive starts clean.
+	faults    []atomic.Int64
+	errBudget atomic.Int64
+
+	selfhealTotal stats.Counter
+	promotions    stats.Counter // times a new main was promoted
+	recoveries    stats.Counter // completed online recoveries
 
 	// Parallel-commit observability: commits with a synchronous phase, and
 	// the total replica fanout of those synchronous phases. fanout/commits
@@ -70,13 +121,19 @@ func NewReplicaSet(devs ...Device) (*ReplicaSet, error) {
 	for i := range alive {
 		alive[i] = true
 	}
-	return &ReplicaSet{
-		devs:   devs,
-		alive:  alive,
-		reads:  make([]stats.Counter, len(devs)),
-		writes: make([]stats.Counter, len(devs)),
-		errs:   make([]stats.Counter, len(devs)),
-	}, nil
+	s := &ReplicaSet{
+		devs:         devs,
+		alive:        alive,
+		reads:        make([]stats.Counter, len(devs)),
+		writes:       make([]stats.Counter, len(devs)),
+		errs:         make([]stats.Counter, len(devs)),
+		checksumErrs: make([]stats.Counter, len(devs)),
+		selfheals:    make([]stats.Counter, len(devs)),
+		faults:       make([]atomic.Int64, len(devs)),
+	}
+	s.errBudget.Store(DefaultErrorBudget)
+	s.recovering.Store(-1)
+	return s, nil
 }
 
 // N returns the number of replicas, dead or alive.
@@ -115,9 +172,18 @@ func (s *ReplicaSet) Alive(i int) bool {
 	return s.alive[i]
 }
 
+// SetErrorBudget sets how many checksum mismatches a replica may serve
+// before being quarantined. n <= 0 is ignored.
+func (s *ReplicaSet) SetErrorBudget(n int64) {
+	if n > 0 {
+		s.errBudget.Store(n)
+	}
+}
+
 // markDead demotes replica i; if it was the main, the next live replica is
-// promoted. Safe to call from concurrent per-replica commit goroutines.
-func (s *ReplicaSet) markDead(i int) {
+// promoted and its index returned (else -1). Safe to call from concurrent
+// per-replica commit goroutines.
+func (s *ReplicaSet) markDead(i int) (promoted int) {
 	s.errs[i].Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -126,9 +192,24 @@ func (s *ReplicaSet) markDead(i int) {
 		for j, a := range s.alive {
 			if a {
 				s.main = j
-				return
+				s.promotions.Inc()
+				return j
 			}
 		}
+	}
+	return -1
+}
+
+// notePromotion emits the trace event for a main promotion. markDead
+// already counted it; this is the per-request view. promoted < 0 (no
+// promotion happened) is a no-op, so call sites never branch.
+func (s *ReplicaSet) notePromotion(tc *trace.Ctx, parent *trace.Span, promoted int) {
+	if promoted < 0 {
+		return
+	}
+	sp := tc.Add(parent, trace.LayerDisk, trace.OpPromote, time.Now(), 0)
+	if sp != nil {
+		sp.Replica = int8(promoted)
 	}
 }
 
@@ -149,21 +230,41 @@ func (s *ReplicaSet) readSnapshot() (main int, aliveMask uint64) {
 // ReadAt reads from the main disk, failing over to any other live replica.
 // It returns ErrNoReplica only when every replica has failed.
 func (s *ReplicaSet) ReadAt(p []byte, off int64) error {
-	return s.readAt(nil, nil, p, off)
+	return s.readVerified(nil, nil, p, off, nil)
 }
 
 // ReadAtTraced is ReadAt with span emission: one disk-read span per
 // replica attempted, so a trace shows exactly which disk served the read
 // and any failovers along the way. tc may be nil.
 func (s *ReplicaSet) ReadAtTraced(tc *trace.Ctx, parent *trace.Span, p []byte, off int64) error {
-	return s.readAt(tc, parent, p, off)
+	return s.readVerified(tc, parent, p, off, nil)
 }
 
-func (s *ReplicaSet) readAt(tc *trace.Ctx, parent *trace.Span, p []byte, off int64) error {
+// ReadVerified is ReadAt with an integrity check: verify is called on the
+// bytes each replica returns, and a replica whose bytes fail it is treated
+// like a failed read — the set fails over to the next live replica — except
+// that the lying replica stays alive. Once a replica's copy verifies, every
+// replica that returned corrupt bytes during this call has the bad extent
+// rewritten in place from the good copy (self-heal). A replica is
+// quarantined (marked dead) only after its checksum-error budget is
+// exhausted; see SetErrorBudget.
+func (s *ReplicaSet) ReadVerified(p []byte, off int64, verify func([]byte) bool) error {
+	return s.readVerified(nil, nil, p, off, verify)
+}
+
+// ReadVerifiedTraced is ReadVerified with span emission: disk-read spans
+// per attempt (Status 2 marks a checksum mismatch), disk-repair spans per
+// self-heal rewrite, and a promote span if a demotion moved the main.
+func (s *ReplicaSet) ReadVerifiedTraced(tc *trace.Ctx, parent *trace.Span, p []byte, off int64, verify func([]byte) bool) error {
+	return s.readVerified(tc, parent, p, off, verify)
+}
+
+func (s *ReplicaSet) readVerified(tc *trace.Ctx, parent *trace.Span, p []byte, off int64, verify func([]byte) bool) error {
 	main, aliveMask := s.readSnapshot()
 
 	var lastErr error
 	tried := 0
+	var bad []int // replicas that answered with corrupt bytes this call
 	// Failover order: the main first, then the remaining live replicas in
 	// index order — derived from the snapshot, no allocation, no lock held
 	// across the I/O.
@@ -185,11 +286,32 @@ func (s *ReplicaSet) readAt(tc *trace.Ctx, parent *trace.Span, p []byte, off int
 					sp.Status = 1
 				}
 			}
+			if err == nil && verify != nil && !verify(p) {
+				// The replica answered, but wrongly. Count it against the
+				// budget, keep the replica for now, and fail over.
+				if sp != nil {
+					sp.Status = 2
+				}
+				tc.End(sp)
+				s.checksumErrs[i].Inc()
+				tried++
+				lastErr = fmt.Errorf("replica %d at offset %d: %w", i, off, ErrChecksum)
+				bad = append(bad, i)
+				if s.faults[i].Add(1) >= s.errBudget.Load() {
+					s.notePromotion(tc, parent, s.markDead(i))
+				}
+				continue
+			}
 			tc.End(sp)
 			if err == nil {
 				s.reads[i].Inc()
 				if tried > 0 {
 					s.failovers.Inc()
+				}
+				// p now holds a verified copy: rewrite it over every corrupt
+				// replica seen on the way here.
+				for _, j := range bad {
+					s.selfHeal(tc, parent, j, p, off)
 				}
 				return nil
 			}
@@ -198,13 +320,56 @@ func (s *ReplicaSet) readAt(tc *trace.Ctx, parent *trace.Span, p []byte, off int
 			}
 			tried++
 			lastErr = err
-			s.markDead(i)
+			s.notePromotion(tc, parent, s.markDead(i))
 		}
 	}
 	if lastErr != nil {
-		return fmt.Errorf("all replicas failed (last: %v): %w", lastErr, ErrNoReplica)
+		return fmt.Errorf("all replicas failed (last: %w): %w", lastErr, ErrNoReplica)
 	}
 	return ErrNoReplica
+}
+
+// selfHeal rewrites one corrupt extent of replica i with verified bytes.
+// Best-effort: a replica that cannot even accept the repair write is dead.
+func (s *ReplicaSet) selfHeal(tc *trace.Ctx, parent *trace.Span, i int, p []byte, off int64) {
+	if !s.Alive(i) {
+		return // quarantined in the meantime; recovery will rebuild it
+	}
+	start := time.Now()
+	err := s.devs[i].WriteAt(p, off)
+	sp := tc.Add(parent, trace.LayerDisk, trace.OpDiskRepair, start, int64(time.Since(start)))
+	if sp != nil {
+		sp.Replica = int8(i)
+		sp.Bytes = int64(len(p))
+		if err != nil {
+			sp.Status = 1
+		}
+	}
+	if err != nil {
+		s.notePromotion(tc, parent, s.markDead(i))
+		return
+	}
+	s.selfheals[i].Inc()
+	s.selfhealTotal.Inc()
+}
+
+// Repair rewrites one extent of replica i with known-good bytes. The
+// scrubber uses it after deciding which copy is authoritative. The write
+// counts as a self-heal; a replica that rejects it is marked dead.
+func (s *ReplicaSet) Repair(i int, p []byte, off int64) error {
+	if i < 0 || i >= len(s.devs) {
+		return fmt.Errorf("repair: no replica %d: %w", i, ErrOutOfRange)
+	}
+	if !s.Alive(i) {
+		return fmt.Errorf("repair: replica %d is dead: %w", i, ErrNoReplica)
+	}
+	if err := s.devs[i].WriteAt(p, off); err != nil {
+		s.markDead(i)
+		return fmt.Errorf("repair: writing replica %d: %w", i, err)
+	}
+	s.selfheals[i].Inc()
+	s.selfhealTotal.Inc()
+	return nil
 }
 
 // beginWrites registers n in-flight replica writes with the drain tracker.
@@ -249,6 +414,7 @@ func (s *ReplicaSet) Apply(syncN int, op func(i int, dev Device) error) error {
 // has finished its op. The engine uses it to unpin a fresh cache entry
 // the moment its disk copies are as durable as they will get.
 func (s *ReplicaSet) ApplyNotify(syncN int, op func(i int, dev Device) error, onSettled func()) error {
+	s.applyGate.RLock()
 	s.mu.Lock()
 	live := make([]int, 0, len(s.devs))
 	for i, a := range s.alive {
@@ -258,23 +424,60 @@ func (s *ReplicaSet) ApplyNotify(syncN int, op func(i int, dev Device) error, on
 	}
 	s.mu.Unlock()
 	if len(live) == 0 {
+		s.applyGate.RUnlock()
 		return ErrNoReplica
 	}
 	if syncN > len(live) {
 		syncN = len(live)
 	}
 
+	// A replica under online recovery is not in the live list — it is
+	// still officially dead — but must see every write anyway, or the
+	// catch-up copy could never converge. The op is mirrored to it through
+	// a recording device that logs the extent before writing it, so the
+	// recovery loop re-copies anything its bulk pass raced with. The
+	// mirror is excluded from the P-FACTOR quorum (it is not durable until
+	// recovery completes) but is tracked for Drain and onSettled.
+	mirror := -1
+	var mdev Device
+	if rec := int(s.recovering.Load()); rec >= 0 {
+		inLive := false
+		for _, i := range live {
+			if i == rec {
+				inLive = true
+			}
+		}
+		if !inLive {
+			mirror = rec
+			mdev = s.recDev
+		}
+	}
+
 	// All replicas start now; the caller merely chooses how many results
 	// to wait for. Registering the fanout before the goroutines launch
 	// keeps Drain exact: a Drain entered after Apply returns sees every
 	// write this call started.
-	s.beginWrites(len(live))
+	fanout := len(live)
+	if mirror >= 0 {
+		fanout++
+	}
+	s.beginWrites(fanout)
 	results := make(chan bool, len(live))
 	var remaining atomic.Int32
-	remaining.Store(int32(len(live)))
+	remaining.Store(int32(fanout))
+	// onSettled must complete before the write is retired from the drain
+	// tracker: Drain() returning promises that background settle work (the
+	// engine's cache unpin, stats updates) has already run, so a final
+	// stats snapshot taken after Drain can never race the last settle hook.
+	settle := func() {
+		if remaining.Add(-1) == 0 && onSettled != nil {
+			onSettled()
+		}
+		s.endWrite()
+	}
 	for _, i := range live {
 		i := i
-		//lint:ignore goroutinestop accounted by the set's pending-write counter: endWrite below signals Drain, which shutdown and the engine's fault path wait on
+		//lint:ignore goroutinestop accounted by the set's pending-write counter: endWrite (via settle) signals Drain, which shutdown and the engine's fault path wait on
 		go func() {
 			ok := op(i, s.devs[i]) == nil
 			if ok {
@@ -283,17 +486,22 @@ func (s *ReplicaSet) ApplyNotify(syncN int, op func(i int, dev Device) error, on
 				s.markDead(i)
 			}
 			results <- ok
-			// onSettled must complete before the write is retired from the
-			// drain tracker: Drain() returning promises that background
-			// settle work (the engine's cache unpin, stats updates) has
-			// already run, so a final stats snapshot taken after Drain can
-			// never race the last settle hook.
-			if remaining.Add(-1) == 0 && onSettled != nil {
-				onSettled()
-			}
-			s.endWrite()
+			settle()
 		}()
 	}
+	if mirror >= 0 {
+		j, jdev := mirror, mdev
+		//lint:ignore goroutinestop accounted by the set's pending-write counter (endWrite via settle), exactly like the live fanout above
+		go func() {
+			if err := op(j, jdev); err != nil {
+				s.recFailed.Store(true)
+			} else {
+				s.writes[j].Inc()
+			}
+			settle()
+		}()
+	}
+	s.applyGate.RUnlock()
 	if syncN <= 0 {
 		return nil
 	}
@@ -330,21 +538,133 @@ func (s *ReplicaSet) Drain() {
 	s.pendMu.Unlock()
 }
 
-// Recover copies the complete contents of the current main disk onto
-// replica i and marks it alive again — the paper's whole-disk recovery.
+// extent is one byte range dirtied by a mirrored write during recovery.
+type extent struct{ off, n int64 }
+
+// extentLog collects extents dirtied while a recovery copy runs. Mirror
+// goroutines append; the recovery loop swaps the whole list out per pass.
+type extentLog struct {
+	mu   sync.Mutex
+	exts []extent
+}
+
+func (l *extentLog) add(off, n int64) {
+	l.mu.Lock()
+	// Collapse immediate rewrites of the same range (inode blocks see
+	// these); correctness only needs the range present once per pass.
+	if k := len(l.exts); k > 0 && l.exts[k-1] == (extent{off, n}) {
+		l.mu.Unlock()
+		return
+	}
+	l.exts = append(l.exts, extent{off, n})
+	l.mu.Unlock()
+}
+
+func (l *extentLog) swap() []extent {
+	l.mu.Lock()
+	e := l.exts
+	l.exts = nil
+	l.mu.Unlock()
+	return e
+}
+
+// recordingDevice wraps the recovery target: every write logs its extent
+// before touching the device, so an extent is either re-copied by a later
+// pass or was never written at all — a mirrored write can never be lost to
+// a race with the bulk copy.
+type recordingDevice struct {
+	dev Device
+	log *extentLog
+}
+
+var _ Device = (*recordingDevice)(nil)
+
+func (r *recordingDevice) BlockSize() int { return r.dev.BlockSize() }
+func (r *recordingDevice) Blocks() int64  { return r.dev.Blocks() }
+func (r *recordingDevice) ReadAt(p []byte, off int64) error {
+	return r.dev.ReadAt(p, off)
+}
+func (r *recordingDevice) WriteAt(p []byte, off int64) error {
+	r.log.add(off, int64(len(p)))
+	return r.dev.WriteAt(p, off)
+}
+func (r *recordingDevice) Sync() error  { return r.dev.Sync() }
+func (r *recordingDevice) Close() error { return r.dev.Close() }
+
+// maxCatchupPasses bounds the lock-free convergence loop before recovery
+// falls back to its final (briefly gated) pass. Each pass only re-copies
+// what was written during the previous one, so under any write rate the
+// engine can sustain, the batches shrink geometrically.
+const maxCatchupPasses = 8
+
+// Recover brings replica i back online by copying the live contents onto
+// it — the paper's whole-disk recovery, made online. The bulk copy runs
+// with no locks held while the engine keeps serving reads and commits;
+// writes that land during the copy are mirrored to the recovering replica
+// and their extents logged, and catch-up passes re-copy the logged
+// extents until the replica has converged. Only the final pass briefly
+// gates new commits. Recover is synchronous to its caller (when it
+// returns nil, the replica is alive and identical) but never stalls the
+// rest of the set for the duration of the copy.
 func (s *ReplicaSet) Recover(i int) error {
+	return s.RecoverTraced(nil, nil, i)
+}
+
+// RecoverTraced is Recover with span emission: one recover span covering
+// the whole catch-up copy. tc may be nil.
+func (s *ReplicaSet) RecoverTraced(tc *trace.Ctx, parent *trace.Span, i int) error {
 	if i < 0 || i >= len(s.devs) {
 		return fmt.Errorf("recover: no replica %d: %w", i, ErrOutOfRange)
 	}
+
+	// Arm mirroring. From the moment the gate is released, every
+	// ApplyNotify fan-out also writes to replica i through the recording
+	// device. Writes launched before this point are not mirrored — the
+	// Drain below waits for them, so the bulk copy (which starts after)
+	// reads their effects from the source.
+	s.applyGate.Lock()
+	if s.recovering.Load() != -1 {
+		s.applyGate.Unlock()
+		return fmt.Errorf("recover: replica %d: %w", i, ErrRecovering)
+	}
 	s.mu.Lock()
-	if !s.alive[s.main] || s.main == i {
-		s.mu.Unlock()
+	srcOK := s.alive[s.main] && s.main != i
+	src := s.devs[s.main]
+	alreadyAlive := s.alive[i]
+	s.mu.Unlock()
+	if !srcOK {
+		s.applyGate.Unlock()
 		return fmt.Errorf("disk: recover: no live source disk: %w", ErrNoReplica)
 	}
-	src := s.devs[s.main]
-	s.mu.Unlock()
+	if alreadyAlive {
+		s.applyGate.Unlock()
+		return nil // live replicas receive every write already
+	}
+	log := &extentLog{}
+	s.recDev = &recordingDevice{dev: s.devs[i], log: log}
+	s.recFailed.Store(false)
+	s.recovering.Store(int32(i))
+	s.applyGate.Unlock()
 
-	dst := s.devs[i]
+	s.Drain()
+
+	sp := tc.Begin(parent, trace.LayerDisk, trace.OpRecover)
+	if sp != nil {
+		sp.Replica = int8(i)
+		sp.Bytes = s.Blocks() * int64(s.BlockSize())
+	}
+	err := s.recoverCopy(src, s.devs[i], log)
+	err = s.finishRecovery(src, i, log, err)
+	if sp != nil && err != nil {
+		sp.Status = 1
+	}
+	tc.End(sp)
+	return err
+}
+
+// recoverCopy is the unlocked phase: the bulk whole-disk copy plus the
+// lock-free catch-up passes.
+func (s *ReplicaSet) recoverCopy(src, dst Device, log *extentLog) error {
 	bs := int64(s.BlockSize())
 	// Copy a track's worth at a time; big enough to be sequential, small
 	// enough not to hold a huge buffer.
@@ -361,16 +681,125 @@ func (s *ReplicaSet) Recover(i int) error {
 			return fmt.Errorf("disk: recover: reading source: %w", err)
 		}
 		if err := dst.WriteAt(chunk, blk*bs); err != nil {
-			return fmt.Errorf("disk: recover: writing replica %d: %w", i, err)
+			return fmt.Errorf("disk: recover: writing target: %w", err)
 		}
 	}
-	if err := dst.Sync(); err != nil {
-		return fmt.Errorf("disk: recover: sync replica %d: %w", i, err)
+	// Catch-up: re-copy extents dirtied during the previous pass. The
+	// swap-then-drain order is load-bearing: an extent in the batch was
+	// logged after its fan-out registered with the drain tracker, so the
+	// Drain guarantees the source copy of every batched extent has landed
+	// before we read it.
+	for pass := 0; pass < maxCatchupPasses; pass++ {
+		batch := log.swap()
+		if len(batch) == 0 {
+			break
+		}
+		s.Drain()
+		for _, e := range batch {
+			if err := copyExtent(src, dst, e, buf); err != nil {
+				return err
+			}
+		}
 	}
-	s.mu.Lock()
-	s.alive[i] = true
-	s.mu.Unlock()
 	return nil
+}
+
+// finishRecovery is the gated phase: with new fan-outs held at the gate
+// and in-flight ones drained, copy whatever is still dirty, then flip the
+// replica alive and disarm mirroring. prevErr aborts the recovery but the
+// state teardown still runs.
+func (s *ReplicaSet) finishRecovery(src Device, i int, log *extentLog, prevErr error) error {
+	s.applyGate.Lock()
+	defer s.applyGate.Unlock()
+	s.Drain() // all launched fan-outs (and their log adds) complete here
+	err := prevErr
+	if err == nil {
+		buf := make([]byte, int64(s.BlockSize())*64)
+		for _, e := range log.swap() {
+			if cerr := copyExtent(src, s.devs[i], e, buf); cerr != nil {
+				err = cerr
+				break
+			}
+		}
+	}
+	if err == nil && s.recFailed.Load() {
+		err = fmt.Errorf("disk: recover: a mirrored write failed on replica %d: %w", i, ErrFaulted)
+	}
+	if err == nil {
+		if serr := s.devs[i].Sync(); serr != nil {
+			err = fmt.Errorf("disk: recover: sync replica %d: %w", i, serr)
+		}
+	}
+	if err == nil {
+		s.mu.Lock()
+		s.alive[i] = true
+		s.mu.Unlock()
+		s.faults[i].Store(0) // repaired drives start with a fresh budget
+		s.recoveries.Inc()
+	}
+	s.recovering.Store(-1)
+	s.recDev = nil
+	return err
+}
+
+// copyExtent copies one byte range from src to dst through buf.
+func copyExtent(src, dst Device, e extent, buf []byte) error {
+	off, n := e.off, e.n
+	for n > 0 {
+		c := int64(len(buf))
+		if n < c {
+			c = n
+		}
+		p := buf[:c]
+		if err := src.ReadAt(p, off); err != nil {
+			return fmt.Errorf("disk: recover: reading source extent: %w", err)
+		}
+		if err := dst.WriteAt(p, off); err != nil {
+			return fmt.Errorf("disk: recover: writing target extent: %w", err)
+		}
+		off += c
+		n -= c
+	}
+	return nil
+}
+
+// Recovering returns the index of the replica under online recovery, or
+// -1 if none.
+func (s *ReplicaSet) Recovering() int { return int(s.recovering.Load()) }
+
+// ReplicaHealth is one replica's health snapshot, as served by the
+// SALVAGE RPC.
+type ReplicaHealth struct {
+	Index          int   `json:"index"`
+	Alive          bool  `json:"alive"`
+	Recovering     bool  `json:"recovering"`
+	Main           bool  `json:"main"`
+	Reads          int64 `json:"reads"`
+	Writes         int64 `json:"writes"`
+	Errors         int64 `json:"errors"`
+	ChecksumErrors int64 `json:"checksum_errors"`
+	Repairs        int64 `json:"repairs"`
+}
+
+// Health returns a per-replica health snapshot.
+func (s *ReplicaSet) Health() []ReplicaHealth {
+	main := s.Main()
+	rec := s.Recovering()
+	out := make([]ReplicaHealth, len(s.devs))
+	for i := range s.devs {
+		out[i] = ReplicaHealth{
+			Index:          i,
+			Alive:          s.Alive(i),
+			Recovering:     i == rec,
+			Main:           i == main,
+			Reads:          s.reads[i].Load(),
+			Writes:         s.writes[i].Load(),
+			Errors:         s.errs[i].Load(),
+			ChecksumErrors: s.checksumErrs[i].Load(),
+			Repairs:        s.selfheals[i].Load(),
+		}
+	}
+	return out
 }
 
 // WriteAt writes p to every live replica synchronously, making ReplicaSet
@@ -412,16 +841,32 @@ func (s *ReplicaSet) Reads(i int) int64 { return s.reads[i].Load() }
 // (tests assert parallel-commit behaviour with it).
 func (s *ReplicaSet) Writes(i int) int64 { return s.writes[i].Load() }
 
+// ChecksumErrors returns how many corrupt reads replica i has served.
+func (s *ReplicaSet) ChecksumErrors(i int) int64 { return s.checksumErrs[i].Load() }
+
+// Repairs returns how many extents have been rewritten in place on
+// replica i (read-path self-heals plus scrubber repairs).
+func (s *ReplicaSet) Repairs(i int) int64 { return s.selfheals[i].Load() }
+
+// Promotions returns how many times the set promoted a new main.
+func (s *ReplicaSet) Promotions() int64 { return s.promotions.Load() }
+
+// Recoveries returns how many online recoveries have completed.
+func (s *ReplicaSet) Recoveries() int64 { return s.recoveries.Load() }
+
 // AttachMetrics registers the set's per-replica counters with a stats
-// registry under the "disk." prefix: reads, writes and demoting errors
-// per replica, plus liveness, failover totals, and the parallel-commit
-// fanout (synchronous commits and the replicas their callers waited on).
+// registry under the "disk." prefix: reads, writes, demoting errors,
+// checksum errors and self-heal repairs per replica, plus liveness,
+// failover/promotion/recovery totals, and the parallel-commit fanout
+// (synchronous commits and the replicas their callers waited on).
 func (s *ReplicaSet) AttachMetrics(r *stats.Registry) {
 	for i := range s.devs {
 		i := i
 		r.GaugeFunc(fmt.Sprintf("disk.replica%d.reads", i), s.reads[i].Load)
 		r.GaugeFunc(fmt.Sprintf("disk.replica%d.writes", i), s.writes[i].Load)
 		r.GaugeFunc(fmt.Sprintf("disk.replica%d.errors", i), s.errs[i].Load)
+		r.GaugeFunc(fmt.Sprintf("disk.replica%d.checksum_errors", i), s.checksumErrs[i].Load)
+		r.GaugeFunc(fmt.Sprintf("disk.replica%d.selfheal_repairs", i), s.selfheals[i].Load)
 		r.GaugeFunc(fmt.Sprintf("disk.replica%d.alive", i), func() int64 {
 			if s.Alive(i) {
 				return 1
@@ -435,6 +880,17 @@ func (s *ReplicaSet) AttachMetrics(r *stats.Registry) {
 	r.GaugeFunc("disk.alive_replicas", func() int64 { return int64(s.AliveCount()) })
 	r.GaugeFunc("disk.main_index", func() int64 { return int64(s.Main()) })
 	r.GaugeFunc("disk.read_failovers", s.failovers.Load)
+	r.GaugeFunc("disk.checksum_errors", func() int64 {
+		var n int64
+		for i := range s.checksumErrs {
+			n += s.checksumErrs[i].Load()
+		}
+		return n
+	})
+	r.GaugeFunc("disk.selfheal_repairs", s.selfhealTotal.Load)
+	r.GaugeFunc("disk.promotions", s.promotions.Load)
+	r.GaugeFunc("disk.recoveries", s.recoveries.Load)
+	r.GaugeFunc("disk.recovering", func() int64 { return int64(s.Recovering()) })
 	r.GaugeFunc("disk.parallel_commits", s.parallelCommits.Load)
 	r.GaugeFunc("disk.parallel_commit_fanout", s.commitFanout.Load)
 	r.GaugeFunc("disk.pending_writes", func() int64 {

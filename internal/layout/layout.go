@@ -40,19 +40,54 @@ const InodeSize = 16
 // was never formatted, which the paper's server trusted its operator about.)
 const Magic = 0x42554c37 // "BUL7"
 
+// Magic2 identifies the version-2 layout: identical to v1 except that the
+// last SumBlocks blocks of the disk are carved out of the data area and
+// hold one 8-byte checksum entry per inode (a validity flag plus the
+// CRC32C of the file's contents). The paper has no checksums at all; see
+// docs/RECOVERY.md for why we add them. Carving the sum area from the
+// *tail* of the disk is what makes an in-place v1 upgrade possible: the
+// inode table and every file keep their block addresses, only DataSize
+// shrinks.
+const Magic2 = 0x42554c38 // "BUL8"
+
+// SumEntrySize is the on-disk size of one checksum entry: a 4-byte flags
+// word (bit 0 = checksum valid, bits 8–31 = a tag of the file's random
+// number) followed by the 4-byte CRC32C.
+const SumEntrySize = 8
+
+// sumFlagValid marks a checksum entry as present. Entries start zero
+// (absent) and are backfilled lazily on first fault-in of v1-era files.
+const sumFlagValid = 1
+
+// sumTagWord builds the flags word for a live entry. Embedding three bytes
+// of the file's random number makes entries self-invalidating: when an
+// inode slot is freed and reallocated, the new file's random no longer
+// matches the stale entry's tag, so the entry is ignored and recomputed —
+// delete never has to write the checksum area at all.
+func sumTagWord(r capability.Random) uint32 {
+	return sumFlagValid | uint32(r[0])<<8 | uint32(r[1])<<16 | uint32(r[2])<<24
+}
+
 // Descriptor is inode entry 0: the shape of the disk.
 type Descriptor struct {
 	BlockSize int   // physical sector size used by the disk hardware
 	CtrlSize  int64 // number of blocks in the inode table
 	DataSize  int64 // number of blocks in the file area
+	Version   int   // 1 = paper layout, 2 = with trailing checksum area
 }
 
-// Inode describes one file.
+// Inode describes one file. The first four fields are the paper's 16-byte
+// on-disk inode; Sum/HasSum mirror the file's checksum entry, which lives
+// separately in the v2 checksum area (RAM-only on v1 disks, backfilled
+// lazily on first fault-in).
 type Inode struct {
 	Random     capability.Random // access-protection key; zero = free inode
 	CacheIndex uint16            // rnode index + 1; 0 = not cached (RAM only)
 	FirstBlock uint32            // first block of the file in the data area
 	Size       uint32            // file size in bytes
+
+	Sum    uint32 // CRC32C (Castagnoli) of the file's Size bytes
+	HasSum bool   // false until the checksum is computed or loaded
 }
 
 // InUse reports whether the inode describes a live file. A zero-filled
@@ -108,10 +143,22 @@ type FormatConfig struct {
 	// Inodes is how many file slots to provision (excluding the
 	// descriptor). The control area is sized to hold them.
 	Inodes int
+	// Version selects the on-disk layout: 0 or 2 formats the current
+	// (checksummed) layout, 1 formats the pre-checksum paper layout —
+	// kept for upgrade tests and byte-compatible with old disks.
+	Version int
+}
+
+// sumBlocksFor returns how many blocks the checksum area needs for a table
+// of ctrlBlocks control blocks: one SumEntrySize entry per inode slot
+// (including the unused descriptor slot, so entry offsets are just n*8).
+func sumBlocksFor(bs int, ctrlBlocks int64) int64 {
+	slots := ctrlBlocks * int64(bs/InodeSize)
+	return (slots*SumEntrySize + int64(bs) - 1) / int64(bs)
 }
 
 // Format writes a fresh Bullet structure onto dev: a descriptor, an empty
-// inode table, and an untouched data area filling the rest of the disk.
+// inode table, a data area, and (v2) a trailing checksum area.
 func Format(dev disk.Device, cfg FormatConfig) error {
 	bs := dev.BlockSize()
 	if bs < InodeSize*2 {
@@ -120,13 +167,25 @@ func Format(dev disk.Device, cfg FormatConfig) error {
 	if cfg.Inodes <= 0 {
 		return fmt.Errorf("need at least one inode: %w", ErrConfig)
 	}
+	version := cfg.Version
+	switch version {
+	case 0:
+		version = 2
+	case 1, 2:
+	default:
+		return fmt.Errorf("unknown layout version %d: %w", cfg.Version, ErrConfig)
+	}
 	inodesPerBlock := bs / InodeSize
 	// +1 for the descriptor occupying slot 0.
 	ctrlBlocks := int64((cfg.Inodes + 1 + inodesPerBlock - 1) / inodesPerBlock)
-	dataBlocks := dev.Blocks() - ctrlBlocks
+	var sumBlocks int64
+	if version == 2 {
+		sumBlocks = sumBlocksFor(bs, ctrlBlocks)
+	}
+	dataBlocks := dev.Blocks() - ctrlBlocks - sumBlocks
 	if dataBlocks <= 0 {
-		return fmt.Errorf("disk too small: %d blocks of inode table on a %d-block disk: %w",
-			ctrlBlocks, dev.Blocks(), ErrConfig)
+		return fmt.Errorf("disk too small: %d blocks of inode table + %d of checksums on a %d-block disk: %w",
+			ctrlBlocks, sumBlocks, dev.Blocks(), ErrConfig)
 	}
 
 	// Zero the whole control area (zero inodes = free inodes).
@@ -136,13 +195,18 @@ func Format(dev disk.Device, cfg FormatConfig) error {
 			return fmt.Errorf("layout: clearing inode table: %w", err)
 		}
 	}
+	// Zero the checksum area (zero entries = no checksum recorded).
+	for b := int64(0); b < sumBlocks; b++ {
+		if err := dev.WriteAt(zero, (ctrlBlocks+dataBlocks+b)*int64(bs)); err != nil {
+			return fmt.Errorf("layout: clearing checksum area: %w", err)
+		}
+	}
 
 	// Descriptor into slot 0: magic + block size + ctrl size + data size.
 	desc := make([]byte, InodeSize)
-	binary.BigEndian.PutUint32(desc[0:4], Magic)
-	binary.BigEndian.PutUint32(desc[4:8], uint32(bs))
-	binary.BigEndian.PutUint32(desc[8:12], uint32(ctrlBlocks))
-	binary.BigEndian.PutUint32(desc[12:16], uint32(dataBlocks))
+	descriptorBytes(Descriptor{
+		BlockSize: bs, CtrlSize: ctrlBlocks, DataSize: dataBlocks, Version: version,
+	}, desc)
 	if err := dev.WriteAt(desc, 0); err != nil {
 		return fmt.Errorf("layout: writing descriptor: %w", err)
 	}
@@ -155,21 +219,26 @@ func ReadDescriptor(dev disk.Device) (Descriptor, error) {
 	if err := dev.ReadAt(buf, 0); err != nil {
 		return Descriptor{}, fmt.Errorf("layout: reading descriptor: %w", err)
 	}
-	if binary.BigEndian.Uint32(buf[0:4]) != Magic {
-		return Descriptor{}, ErrNotFormatted
-	}
 	d := Descriptor{
 		BlockSize: int(binary.BigEndian.Uint32(buf[4:8])),
 		CtrlSize:  int64(binary.BigEndian.Uint32(buf[8:12])),
 		DataSize:  int64(binary.BigEndian.Uint32(buf[12:16])),
 	}
+	switch binary.BigEndian.Uint32(buf[0:4]) {
+	case Magic:
+		d.Version = 1
+	case Magic2:
+		d.Version = 2
+	default:
+		return Descriptor{}, ErrNotFormatted
+	}
 	if d.BlockSize != dev.BlockSize() {
 		return Descriptor{}, fmt.Errorf("descriptor block size %d, device %d: %w",
 			d.BlockSize, dev.BlockSize(), ErrCorrupt)
 	}
-	if d.CtrlSize <= 0 || d.DataSize <= 0 || d.CtrlSize+d.DataSize > dev.Blocks() {
-		return Descriptor{}, fmt.Errorf("descriptor sizes %d+%d on %d-block device: %w",
-			d.CtrlSize, d.DataSize, dev.Blocks(), ErrCorrupt)
+	if d.CtrlSize <= 0 || d.DataSize <= 0 || d.CtrlSize+d.DataSize+d.SumBlocks() > dev.Blocks() {
+		return Descriptor{}, fmt.Errorf("descriptor sizes %d+%d+%d on %d-block device: %w",
+			d.CtrlSize, d.DataSize, d.SumBlocks(), dev.Blocks(), ErrCorrupt)
 	}
 	return d, nil
 }
@@ -184,3 +253,23 @@ func (d Descriptor) DataStart() int64 { return d.CtrlSize * int64(d.BlockSize) }
 
 // DataOffset returns the byte offset of data-area block b.
 func (d Descriptor) DataOffset(b int64) int64 { return d.DataStart() + b*int64(d.BlockSize) }
+
+// SumBlocks returns the number of blocks in the checksum area (0 for v1).
+// The count is derived from the geometry rather than stored, so the v1
+// descriptor encoding needs no new field.
+func (d Descriptor) SumBlocks() int64 {
+	if d.Version < 2 {
+		return 0
+	}
+	return sumBlocksFor(d.BlockSize, d.CtrlSize)
+}
+
+// SumStart returns the first block of the checksum area, which sits
+// immediately after the data area at the tail of the disk.
+func (d Descriptor) SumStart() int64 { return d.CtrlSize + d.DataSize }
+
+// SumBlockOf returns the absolute block number holding inode n's checksum
+// entry. Only meaningful on v2 layouts.
+func (d Descriptor) SumBlockOf(n uint32) int64 {
+	return d.SumStart() + int64(n)*SumEntrySize/int64(d.BlockSize)
+}

@@ -49,8 +49,18 @@ func TestFormatAndReadDescriptor(t *testing.T) {
 	if desc.CtrlSize != 4 {
 		t.Fatalf("CtrlSize = %d, want 4", desc.CtrlSize)
 	}
-	if desc.DataSize != 256-4 {
-		t.Fatalf("DataSize = %d, want 252", desc.DataSize)
+	// 128 sum entries of 8 bytes -> 2 checksum blocks at the tail.
+	if desc.SumBlocks() != 2 {
+		t.Fatalf("SumBlocks = %d, want 2", desc.SumBlocks())
+	}
+	if desc.DataSize != 256-4-2 {
+		t.Fatalf("DataSize = %d, want 250", desc.DataSize)
+	}
+	if desc.Version != 2 {
+		t.Fatalf("Version = %d, want 2", desc.Version)
+	}
+	if desc.SumStart() != 4+250 {
+		t.Fatalf("SumStart = %d, want 254", desc.SumStart())
 	}
 	if desc.MaxInodes() != 4*32-1 {
 		t.Fatalf("MaxInodes = %d, want 127", desc.MaxInodes())
@@ -395,6 +405,200 @@ func TestEncodeInodeBlockPreservesDescriptor(t *testing.T) {
 	}
 	if got != desc {
 		t.Fatalf("descriptor = %+v, want %+v", got, desc)
+	}
+}
+
+func TestSumPersistence(t *testing.T) {
+	dev := newDev(t, 128)
+	desc := format(t, dev, 60)
+	tab := NewEmpty(desc)
+	if !tab.SumsPersisted() {
+		t.Fatal("v2 table should persist sums")
+	}
+	n, err := tab.Allocate(rnd(t), 0, 100)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := tab.SetSum(n, 0xDEADBEEF); err != nil {
+		t.Fatalf("SetSum: %v", err)
+	}
+	if err := tab.WriteInode(dev, n); err != nil {
+		t.Fatalf("WriteInode: %v", err)
+	}
+	if tab.DirtySums() != 1 {
+		t.Fatalf("DirtySums = %d, want 1", tab.DirtySums())
+	}
+	if wrote, err := tab.FlushSums(dev); wrote != 1 || err != nil {
+		t.Fatalf("FlushSums = (%d, %v), want (1, nil)", wrote, err)
+	}
+	if tab.DirtySums() != 0 {
+		t.Fatalf("DirtySums after flush = %d, want 0", tab.DirtySums())
+	}
+	loaded, _, err := Load(dev)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	ino, err := loaded.Get(n)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !ino.HasSum || ino.Sum != 0xDEADBEEF {
+		t.Fatalf("loaded sum = (%v, %08x), want (true, deadbeef)", ino.HasSum, ino.Sum)
+	}
+
+	// Freeing the inode and reallocating its slot must not resurrect the
+	// old checksum: the on-disk entry is never cleared, but its tag no
+	// longer matches the new file's random number.
+	if err := loaded.Free(n); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := loaded.WriteInode(dev, n); err != nil {
+		t.Fatalf("WriteInode after free: %v", err)
+	}
+	re, _, err := Load(dev)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	n2, err := re.Allocate(rnd(t), 0, 100)
+	if err != nil || n2 != n {
+		t.Fatalf("Allocate = (%d, %v), want reuse of %d", n2, err, n)
+	}
+	if ino, _ := re.Get(n2); ino.HasSum {
+		t.Fatal("stale checksum survived a free/realloc cycle")
+	}
+	if err := re.WriteInode(dev, n2); err != nil {
+		t.Fatalf("WriteInode: %v", err)
+	}
+	again, _, err := Load(dev)
+	if err != nil {
+		t.Fatalf("third load: %v", err)
+	}
+	if ino, _ := again.Get(n2); ino.HasSum {
+		t.Fatal("stale on-disk checksum entry matched a reallocated inode")
+	}
+}
+
+func TestSetSumErrors(t *testing.T) {
+	tab := NewEmpty(Descriptor{BlockSize: 512, CtrlSize: 1, DataSize: 10, Version: 2})
+	if err := tab.SetSum(0, 1); !errors.Is(err, ErrBadInode) {
+		t.Fatalf("SetSum(0) err = %v", err)
+	}
+	if err := tab.SetSum(3, 1); !errors.Is(err, ErrBadInode) {
+		t.Fatalf("SetSum(free) err = %v", err)
+	}
+}
+
+func TestV1LoadsAndUpgradesInPlace(t *testing.T) {
+	dev := newDev(t, 256)
+	if err := Format(dev, FormatConfig{Inodes: 100, Version: 1}); err != nil {
+		t.Fatalf("Format v1: %v", err)
+	}
+	desc, err := ReadDescriptor(dev)
+	if err != nil {
+		t.Fatalf("ReadDescriptor: %v", err)
+	}
+	if desc.Version != 1 || desc.DataSize != 256-4 || desc.SumBlocks() != 0 {
+		t.Fatalf("v1 desc = %+v", desc)
+	}
+	tab := NewEmpty(desc)
+	r := rnd(t)
+	n, err := tab.Allocate(r, 0, 700)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := tab.WriteInode(dev, n); err != nil {
+		t.Fatalf("WriteInode: %v", err)
+	}
+	if tab.SumsPersisted() {
+		t.Fatal("v1 table claims persistent sums")
+	}
+	// RAM-only sums still work on v1 (WriteSum is a no-op).
+	if err := tab.SetSum(n, 42); err != nil {
+		t.Fatalf("SetSum on v1: %v", err)
+	}
+	if err := tab.WriteSum(dev, n); err != nil {
+		t.Fatalf("WriteSum on v1: %v", err)
+	}
+
+	loaded, report, err := Load(dev)
+	if err != nil || report.Live != 1 {
+		t.Fatalf("Load v1 = (%+v, %v)", report, err)
+	}
+	upgraded, err := loaded.UpgradeInPlace(dev)
+	if err != nil {
+		t.Fatalf("UpgradeInPlace: %v", err)
+	}
+	if !upgraded {
+		t.Fatal("upgrade did not happen on an empty-tailed disk")
+	}
+	got, err := ReadDescriptor(dev)
+	if err != nil {
+		t.Fatalf("ReadDescriptor after upgrade: %v", err)
+	}
+	if got.Version != 2 || got.DataSize != 256-4-got.SumBlocks() {
+		t.Fatalf("upgraded desc = %+v", got)
+	}
+	// A second upgrade is a no-op.
+	if again, err := loaded.UpgradeInPlace(dev); again || err != nil {
+		t.Fatalf("second upgrade = (%v, %v), want (false, nil)", again, err)
+	}
+
+	// The file survived, and sums now persist.
+	re, report2, err := Load(dev)
+	if err != nil || report2.Live != 1 || len(report2.Problems) != 0 {
+		t.Fatalf("reload after upgrade = (%+v, %v)", report2, err)
+	}
+	ino, err := re.Get(n)
+	if err != nil || ino.Random != r || ino.Size != 700 {
+		t.Fatalf("file lost in upgrade: %+v, %v", ino, err)
+	}
+	if err := re.SetSum(n, 7); err != nil {
+		t.Fatalf("SetSum: %v", err)
+	}
+	if err := re.WriteSum(dev, n); err != nil {
+		t.Fatalf("WriteSum: %v", err)
+	}
+	final, _, err := Load(dev)
+	if err != nil {
+		t.Fatalf("final load: %v", err)
+	}
+	if ino, _ := final.Get(n); !ino.HasSum || ino.Sum != 7 {
+		t.Fatalf("sum not persisted after upgrade: %+v", ino)
+	}
+}
+
+func TestUpgradeBlockedByTailFile(t *testing.T) {
+	dev := newDev(t, 256)
+	if err := Format(dev, FormatConfig{Inodes: 100, Version: 1}); err != nil {
+		t.Fatalf("Format v1: %v", err)
+	}
+	desc, err := ReadDescriptor(dev)
+	if err != nil {
+		t.Fatalf("ReadDescriptor: %v", err)
+	}
+	tab := NewEmpty(desc)
+	// A file on the very last data block blocks the tail carve-out.
+	n, err := tab.Allocate(rnd(t), uint32(desc.DataSize-1), 10)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := tab.WriteInode(dev, n); err != nil {
+		t.Fatalf("WriteInode: %v", err)
+	}
+	loaded, _, err := Load(dev)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	upgraded, err := loaded.UpgradeInPlace(dev)
+	if err != nil {
+		t.Fatalf("UpgradeInPlace: %v", err)
+	}
+	if upgraded {
+		t.Fatal("upgrade claimed success with a file in the checksum area")
+	}
+	got, err := ReadDescriptor(dev)
+	if err != nil || got.Version != 1 {
+		t.Fatalf("desc after blocked upgrade = %+v, %v; want intact v1", got, err)
 	}
 }
 

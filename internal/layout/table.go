@@ -18,10 +18,17 @@ import (
 // out. They are also the object numbers inside Bullet capabilities.
 type Table struct {
 	mu     sync.RWMutex
-	desc   Descriptor // immutable after Load/Format
+	desc   Descriptor // immutable after Load/Format except for UpgradeInPlace
 	inodes []Inode    // guarded by mu; slot i holds inode i; slot 0 unused
 	free   []uint32   // guarded by mu; free inode numbers, ascending so allocation is stable
 	live   int        // guarded by mu
+
+	// dirtySums holds the 0-based checksum-area block indexes whose RAM
+	// state is newer than disk. Checksums are advisory (an absent entry is
+	// recomputed on fault-in) so they are persisted in batches by
+	// FlushSums rather than on the create write-through path, keeping the
+	// commit cost of a create identical to the paper's.
+	dirtySums map[int64]struct{} // guarded by mu
 }
 
 // ScanProblem describes one inconsistency found while scanning the table.
@@ -116,6 +123,28 @@ func Load(dev disk.Device) (*Table, *ScanReport, error) {
 		t.live++
 	}
 	sort.Slice(t.free, func(i, j int) bool { return t.free[i] < t.free[j] })
+
+	// v2: load the checksum area. Entries are advisory — an absent or
+	// garbage entry only means the checksum will be recomputed on first
+	// fault-in — and an entry counts only when its tag matches the live
+	// inode's random number, so entries left behind by deleted files
+	// self-invalidate without ever being cleared on disk.
+	if desc.Version >= 2 {
+		sums := make([]byte, desc.SumBlocks()*int64(bs))
+		if err := dev.ReadAt(sums, desc.SumStart()*int64(bs)); err != nil {
+			return nil, nil, fmt.Errorf("layout: reading checksum area: %w", err)
+		}
+		for n := 1; n <= max; n++ {
+			if !t.inodes[n].InUse() {
+				continue
+			}
+			e := sums[n*SumEntrySize : (n+1)*SumEntrySize]
+			if binary.BigEndian.Uint32(e[0:4]) == sumTagWord(t.inodes[n].Random) {
+				t.inodes[n].Sum = binary.BigEndian.Uint32(e[4:8])
+				t.inodes[n].HasSum = true
+			}
+		}
+	}
 	return t, report, nil
 }
 
@@ -241,6 +270,111 @@ func (t *Table) SetCacheIndexIf(n uint32, from, idx uint16) (bool, error) {
 	return true, nil
 }
 
+// SetSum records the CRC32C of inode n's contents and marks its checksum
+// block dirty. The entry reaches disk via WriteSum (one block, now) or
+// FlushSums (all dirty blocks, batched — the normal path); on v1 disks
+// the checksum lives in RAM only.
+func (t *Table) SetSum(n uint32, sum uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n == 0 || int(n) >= len(t.inodes) || !t.inodes[n].InUse() {
+		return fmt.Errorf("checksumming inode %d: %w", n, ErrBadInode)
+	}
+	t.inodes[n].Sum = sum
+	t.inodes[n].HasSum = true
+	if t.desc.Version >= 2 {
+		if t.dirtySums == nil {
+			t.dirtySums = make(map[int64]struct{})
+		}
+		t.dirtySums[int64(n)*SumEntrySize/int64(t.desc.BlockSize)] = struct{}{}
+	}
+	return nil
+}
+
+// SumsPersisted reports whether the disk carries a checksum area (v2). On
+// v1 disks checksums are RAM-only and WriteSum is a no-op.
+func (t *Table) SumsPersisted() bool { return t.desc.Version >= 2 }
+
+// EncodeSumBlock renders the checksum-area block holding inode n's entry,
+// re-encoded from the live table like EncodeInodeBlock: free inodes get
+// zero entries, inodes without a computed checksum get a zero flags word.
+func (t *Table) EncodeSumBlock(n uint32) (blockNo int64, data []byte) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	bs := t.desc.BlockSize
+	blockNo = t.desc.SumBlockOf(n)
+	data = make([]byte, bs)
+	perBlock := bs / SumEntrySize
+	first := (int(n) * SumEntrySize / bs) * perBlock
+	for i := 0; i < perBlock; i++ {
+		slot := first + i
+		if slot == 0 || slot >= len(t.inodes) {
+			continue
+		}
+		ino := t.inodes[slot]
+		if !ino.InUse() || !ino.HasSum {
+			continue
+		}
+		e := data[i*SumEntrySize : (i+1)*SumEntrySize]
+		binary.BigEndian.PutUint32(e[0:4], sumTagWord(ino.Random))
+		binary.BigEndian.PutUint32(e[4:8], ino.Sum)
+	}
+	return blockNo, data
+}
+
+// WriteSum persists the checksum-area block containing inode n's entry and
+// clears its dirty mark. On v1 disks (no checksum area) it is a no-op.
+func (t *Table) WriteSum(dev disk.Device, n uint32) error {
+	if !t.SumsPersisted() {
+		return nil
+	}
+	blockNo, data := t.EncodeSumBlock(n)
+	if err := dev.WriteAt(data, blockNo*int64(t.desc.BlockSize)); err != nil {
+		return fmt.Errorf("layout: writing checksum block %d: %w", blockNo, err)
+	}
+	t.mu.Lock()
+	delete(t.dirtySums, blockNo-t.desc.SumStart())
+	t.mu.Unlock()
+	return nil
+}
+
+// DirtySums returns how many checksum blocks have RAM state newer than
+// disk.
+func (t *Table) DirtySums() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.dirtySums)
+}
+
+// FlushSums writes every dirty checksum block to dev and returns how many
+// blocks it wrote. The engine calls it from Sync, shutdown, and the
+// scrubber's idle loop; losing a flush costs only a lazy recompute on the
+// next fault-in, never correctness.
+func (t *Table) FlushSums(dev disk.Device) (int, error) {
+	if !t.SumsPersisted() {
+		return 0, nil
+	}
+	t.mu.Lock()
+	idxs := make([]int64, 0, len(t.dirtySums))
+	for idx := range t.dirtySums {
+		idxs = append(idxs, idx)
+	}
+	t.mu.Unlock()
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	bs := t.desc.BlockSize
+	perBlock := uint32(bs / SumEntrySize)
+	for _, idx := range idxs {
+		blockNo, data := t.EncodeSumBlock(uint32(idx) * perBlock)
+		if err := dev.WriteAt(data, blockNo*int64(bs)); err != nil {
+			return 0, fmt.Errorf("layout: flushing checksum block %d: %w", blockNo, err)
+		}
+		t.mu.Lock()
+		delete(t.dirtySums, idx)
+		t.mu.Unlock()
+	}
+	return len(idxs), nil
+}
+
 // Retarget points inode n at a new first block, preserving every other
 // field. Compaction uses it after physically moving a file's data.
 func (t *Table) Retarget(n uint32, firstBlock uint32) error {
@@ -297,7 +431,10 @@ func (t *Table) EncodeInodeBlock(n uint32) (blockNo int64, data []byte) {
 	return blockNo, data
 }
 
-// WriteInode persists the control block containing inode n to dev.
+// WriteInode persists the control block containing inode n to dev. The
+// checksum area is deliberately NOT written here: entries self-invalidate
+// via their random-number tag, so create and delete stay one-block writes
+// exactly as in the paper, and checksums reach disk via FlushSums.
 func (t *Table) WriteInode(dev disk.Device, n uint32) error {
 	blockNo, data := t.EncodeInodeBlock(n)
 	if err := dev.WriteAt(data, blockNo*int64(t.desc.BlockSize)); err != nil {
@@ -306,8 +443,70 @@ func (t *Table) WriteInode(dev disk.Device, n uint32) error {
 	return nil
 }
 
+// UpgradeInPlace converts a loaded v1 table to v2 on dev: it carves the
+// checksum area out of the tail of the data area, zeroes it, and rewrites
+// the descriptor. The upgrade is possible only when no live file occupies
+// the tail blocks being carved off (the allocator is first-fit, so the
+// tail is free on all but completely full disks); when a file is in the way the
+// table stays v1 — checksums then live in RAM only — and (false, nil) is
+// returned. The descriptor write is last and single-block, so a crash
+// mid-upgrade leaves a valid v1 disk.
+func (t *Table) UpgradeInPlace(dev disk.Device) (bool, error) {
+	t.mu.Lock()
+	if t.desc.Version >= 2 {
+		t.mu.Unlock()
+		return false, nil
+	}
+	bs := t.desc.BlockSize
+	sumBlocks := sumBlocksFor(bs, t.desc.CtrlSize)
+	newDataSize := t.desc.DataSize - sumBlocks
+	if newDataSize <= 0 {
+		t.mu.Unlock()
+		return false, nil
+	}
+	for n := 1; n < len(t.inodes); n++ {
+		ino := t.inodes[n]
+		if ino.InUse() && int64(ino.FirstBlock)+ino.Blocks(bs) > newDataSize {
+			t.mu.Unlock()
+			return false, nil // a file occupies the would-be checksum area
+		}
+	}
+	t.mu.Unlock()
+
+	// Zero the new checksum area first, then flip the descriptor: magic2
+	// is only visible once every entry under it reads as "absent".
+	zero := make([]byte, bs)
+	for b := int64(0); b < sumBlocks; b++ {
+		if err := dev.WriteAt(zero, (t.desc.CtrlSize+newDataSize+b)*int64(bs)); err != nil {
+			return false, fmt.Errorf("layout: clearing checksum area: %w", err)
+		}
+	}
+	t.mu.Lock()
+	t.desc.Version = 2
+	t.desc.DataSize = newDataSize
+	// Any checksums computed while the disk was still v1 lived in RAM
+	// only; mark their blocks dirty so the next FlushSums persists them.
+	for n := 1; n < len(t.inodes); n++ {
+		if t.inodes[n].InUse() && t.inodes[n].HasSum {
+			if t.dirtySums == nil {
+				t.dirtySums = make(map[int64]struct{})
+			}
+			t.dirtySums[int64(n)*SumEntrySize/int64(bs)] = struct{}{}
+		}
+	}
+	t.mu.Unlock()
+	if err := t.WriteInode(dev, 0); err != nil {
+		return false, fmt.Errorf("layout: writing upgraded descriptor: %w", err)
+	}
+	return true, dev.Sync()
+}
+
 func descriptorBytes(d Descriptor, b []byte) {
-	binary.BigEndian.PutUint32(b[0:4], Magic)
+	magic := uint32(Magic)
+	if d.Version >= 2 {
+		magic = Magic2
+	}
+	binary.BigEndian.PutUint32(b[0:4], magic)
 	binary.BigEndian.PutUint32(b[4:8], uint32(d.BlockSize))
 	binary.BigEndian.PutUint32(b[8:12], uint32(d.CtrlSize))
 	binary.BigEndian.PutUint32(b[12:16], uint32(d.DataSize))

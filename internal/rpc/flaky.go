@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"time"
 
 	"bulletfs/internal/capability"
 	"bulletfs/internal/stats"
@@ -126,23 +127,91 @@ func (l *LocalID) TransID(port capability.Port, txid uint64, req Header, payload
 	return l.Mux.Dispatch(port, txid, req, payload)
 }
 
+// Default backoff schedule for NewRetrier. The cap before jitter doubles
+// from DefaultBackoffBase per failed attempt up to DefaultBackoffMax.
+const (
+	DefaultBackoffBase = time.Millisecond
+	DefaultBackoffMax  = 50 * time.Millisecond
+)
+
 // Retrier wraps a Transport with bounded retry under a stable transaction
 // ID: the server's duplicate suppression guarantees at-most-once execution
-// even when replies were lost. Zero value is not usable; use NewRetrier.
+// even when replies were lost. Between attempts it sleeps with exponential
+// backoff and full jitter — Uniform[0, min(max, base<<failures)) — so a
+// struggling server sees retries spread out instead of a synchronized
+// hammer. Zero value is not usable; use NewRetrier.
 type Retrier struct {
 	inner    Transport
 	attempts int
 	retries  *stats.Counter // optional; see AttachMetrics
+
+	base   time.Duration // backoff cap for the first retry; 0 disables sleeping
+	max    time.Duration // ceiling the doubling cap saturates at
+	budget time.Duration // total wall-clock budget across attempts; 0 = none
+
+	// Injectable for deterministic schedule tests; never nil.
+	now    func() time.Time
+	sleep  func(time.Duration)
+	jitter func(cap time.Duration) time.Duration
 }
 
 var _ Transport = (*Retrier)(nil)
 
-// NewRetrier retries each transaction up to attempts times (minimum 1).
+// NewRetrier retries each transaction up to attempts times (minimum 1)
+// with the default backoff schedule.
 func NewRetrier(inner Transport, attempts int) *Retrier {
 	if attempts < 1 {
 		attempts = 1
 	}
-	return &Retrier{inner: inner, attempts: attempts}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var rngMu sync.Mutex
+	return &Retrier{
+		inner:    inner,
+		attempts: attempts,
+		base:     DefaultBackoffBase,
+		max:      DefaultBackoffMax,
+		now:      time.Now,
+		sleep:    time.Sleep,
+		jitter: func(cap time.Duration) time.Duration {
+			rngMu.Lock()
+			defer rngMu.Unlock()
+			return time.Duration(rng.Int63n(int64(cap)))
+		},
+	}
+}
+
+// SetBackoff replaces the backoff schedule: the pre-jitter cap starts at
+// base and doubles per failed attempt up to max. base 0 disables sleeping
+// (the pre-backoff behaviour). max below base is raised to base.
+func (r *Retrier) SetBackoff(base, max time.Duration) {
+	if max < base {
+		max = base
+	}
+	r.base, r.max = base, max
+}
+
+// SetBudget bounds the total wall-clock time a transaction may spend
+// across attempts: once the budget is exhausted no further attempt is
+// made and the last error is returned. Sleeps are truncated so the
+// retrier never sleeps past the deadline. 0 (the default) means no
+// budget.
+func (r *Retrier) SetBudget(d time.Duration) { r.budget = d }
+
+// backoffFor returns the jittered sleep before retry number retry (1 is
+// the first retry). Full jitter: uniform over [0, cap), where cap doubles
+// from base per retry and saturates at max.
+func (r *Retrier) backoffFor(retry int) time.Duration {
+	if r.base <= 0 {
+		return 0
+	}
+	cap := r.base
+	for i := 1; i < retry && cap < r.max; i++ {
+		cap <<= 1
+	}
+	if cap > r.max {
+		cap = r.max
+	}
+	return r.jitter(cap)
 }
 
 // Trans implements Transport with retries.
@@ -151,11 +220,16 @@ func (r *Retrier) Trans(port capability.Port, req Header, payload []byte) (Heade
 }
 
 // trans is the shared retry loop: one transaction ID pinned across all
-// attempts, the trace ID (0 = none) propagated on each.
+// attempts, the trace ID (0 = none) propagated on each, jittered backoff
+// between attempts, the whole thing bounded by the budget deadline.
 func (r *Retrier) trans(port capability.Port, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
 	txid, err := NewTxID()
 	if err != nil {
 		return Header{}, nil, err
+	}
+	var deadline time.Time
+	if r.budget > 0 {
+		deadline = r.now().Add(r.budget)
 	}
 	var lastErr error
 	for i := 0; i < r.attempts; i++ {
@@ -170,6 +244,22 @@ func (r *Retrier) trans(port capability.Port, traceID uint64, req Header, payloa
 			return Header{}, nil, err // no point retrying an unknown port
 		}
 		lastErr = err
+		if i+1 >= r.attempts {
+			break
+		}
+		d := r.backoffFor(i + 1)
+		if !deadline.IsZero() {
+			rem := deadline.Sub(r.now())
+			if rem <= 0 {
+				break // budget spent: surface the last error now
+			}
+			if d > rem {
+				d = rem
+			}
+		}
+		if d > 0 {
+			r.sleep(d)
+		}
 	}
 	return Header{}, nil, lastErr
 }

@@ -39,6 +39,7 @@ const (
 	StatusExists
 	StatusBadRequest
 	StatusInternal
+	StatusBusy
 )
 
 var statusText = map[Status]string{
@@ -55,6 +56,7 @@ var statusText = map[Status]string{
 	StatusExists:       "already exists",
 	StatusBadRequest:   "bad request",
 	StatusInternal:     "internal error",
+	StatusBusy:         "busy",
 }
 
 func (s Status) String() string {

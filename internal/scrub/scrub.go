@@ -1,0 +1,258 @@
+// Package scrub paces background integrity scrubbing over a Bullet
+// engine: a rate-limited goroutine that periodically walks every live
+// object, compares all replica copies against the file's CRC32C, and
+// repairs divergent extents (the per-object mechanics live in
+// bullet.ScrubObject; this package only schedules them).
+//
+// The paper's server trusted its disks; a long-lived replica set cannot
+// (see docs/RECOVERY.md). The scrubber is the proactive half of
+// self-healing — the read path's verify-and-failover is the reactive
+// half — and is deliberately gentle: a byte budget per second, one object
+// at a time, pausable while compaction owns the disk layout.
+package scrub
+
+import (
+	"sync"
+	"time"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/stats"
+)
+
+// Engine is the slice of *bullet.Server the scrubber needs; narrowed for
+// tests.
+type Engine interface {
+	Objects() []uint32
+	ScrubObject(obj uint32) bullet.ScrubResult
+	FlushSums() error
+}
+
+// Config tunes the scrubber.
+type Config struct {
+	// Interval between the start of one pass and the next. Zero disables
+	// periodic passes; TriggerPass still works.
+	Interval time.Duration
+	// BytesPerSec caps how fast the scrubber reads replica data. Zero
+	// means DefaultBytesPerSec.
+	BytesPerSec int64
+}
+
+// DefaultBytesPerSec is the default scrub read budget: 8 MiB/s across all
+// replicas, slow enough to be invisible next to real traffic.
+const DefaultBytesPerSec = 8 << 20
+
+// Status is a snapshot of scrubber progress for the health report.
+type Status struct {
+	Running      bool  `json:"running"`
+	Paused       bool  `json:"paused"`
+	Passes       int64 `json:"passes"`
+	FilesChecked int64 `json:"files_checked"`
+	Repairs      int64 `json:"repairs"`
+	Backfills    int64 `json:"backfills"`
+	Unrepairable int64 `json:"unrepairable"`
+	BytesRead    int64 `json:"bytes_read"`
+}
+
+// Scrubber drives periodic scrub passes over an engine.
+type Scrubber struct {
+	eng Engine
+	cfg Config
+
+	stop chan struct{}
+	kick chan struct{} // TriggerPass signal, capacity 1
+	done chan struct{}
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	paused  bool
+
+	passes       stats.Counter
+	filesChecked stats.Counter
+	repairs      stats.Counter
+	backfills    stats.Counter
+	unrepairable stats.Counter
+	bytesRead    stats.Counter
+}
+
+// New builds a scrubber over eng. Call Start to launch it.
+func New(eng Engine, cfg Config) *Scrubber {
+	if cfg.BytesPerSec <= 0 {
+		cfg.BytesPerSec = DefaultBytesPerSec
+	}
+	return &Scrubber{
+		eng:  eng,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+}
+
+// AttachMetrics publishes the scrubber's counters into reg.
+func (s *Scrubber) AttachMetrics(reg *stats.Registry) {
+	reg.GaugeFunc("scrub.passes", s.passes.Load)
+	reg.GaugeFunc("scrub.files_checked", s.filesChecked.Load)
+	reg.GaugeFunc("scrub.repairs", s.repairs.Load)
+	reg.GaugeFunc("scrub.checksum_backfills", s.backfills.Load)
+	reg.GaugeFunc("scrub.unrepairable", s.unrepairable.Load)
+	reg.GaugeFunc("scrub.bytes_read", s.bytesRead.Load)
+}
+
+// Start launches the background loop. Starting twice is a no-op.
+func (s *Scrubber) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.stopped {
+		return
+	}
+	s.started = true
+	go s.loop() // exits when s.stop closes; Stop waits on s.done
+}
+
+// Stop halts the loop and waits for an in-flight pass to finish its
+// current object. Idempotent.
+func (s *Scrubber) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	started := s.started
+	s.mu.Unlock()
+	close(s.stop)
+	if started {
+		<-s.done
+	}
+}
+
+// Pause suspends scrubbing between objects (an in-flight ScrubObject
+// completes). Compaction pauses the scrubber so the two never contend for
+// the metadata lock while the layout is in motion.
+func (s *Scrubber) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume lifts a Pause.
+func (s *Scrubber) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.mu.Unlock()
+}
+
+// TriggerPass requests an immediate pass (the SALVAGE RPC's scrub
+// selector). If a trigger is already pending it is coalesced.
+func (s *Scrubber) TriggerPass() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Status returns a snapshot of scrubber progress.
+func (s *Scrubber) Status() Status {
+	s.mu.Lock()
+	running := s.started && !s.stopped
+	paused := s.paused
+	s.mu.Unlock()
+	return Status{
+		Running:      running,
+		Paused:       paused,
+		Passes:       s.passes.Load(),
+		FilesChecked: s.filesChecked.Load(),
+		Repairs:      s.repairs.Load(),
+		Backfills:    s.backfills.Load(),
+		Unrepairable: s.unrepairable.Load(),
+		BytesRead:    s.bytesRead.Load(),
+	}
+}
+
+func (s *Scrubber) loop() {
+	defer close(s.done)
+	var tick <-chan time.Time
+	var ticker *time.Ticker
+	if s.cfg.Interval > 0 {
+		ticker = time.NewTicker(s.cfg.Interval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		case <-tick:
+		}
+		s.pass()
+	}
+}
+
+// pass scrubs every object that was live when the pass began. New files
+// are covered by the next pass (they were verified at create anyway).
+func (s *Scrubber) pass() {
+	for _, obj := range s.eng.Objects() {
+		if !s.gate() {
+			return
+		}
+		res := s.eng.ScrubObject(obj)
+		if res.Skipped {
+			continue
+		}
+		s.filesChecked.Inc()
+		s.bytesRead.Add(res.Bytes)
+		s.repairs.Add(int64(res.Repaired))
+		if res.Backfilled {
+			s.backfills.Inc()
+		}
+		if res.Unrepairable {
+			s.unrepairable.Inc()
+		}
+		s.throttle(res.Bytes)
+	}
+	// Persist checksums the pass backfilled without waiting for the next
+	// engine Sync.
+	_ = s.eng.FlushSums()
+	s.passes.Inc()
+}
+
+// gate blocks while paused; it reports false when the scrubber is
+// stopping and the pass should abandon.
+func (s *Scrubber) gate() bool {
+	for {
+		select {
+		case <-s.stop:
+			return false
+		default:
+		}
+		s.mu.Lock()
+		paused := s.paused
+		s.mu.Unlock()
+		if !paused {
+			return true
+		}
+		select {
+		case <-s.stop:
+			return false
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// throttle sleeps long enough that n bytes fit the configured budget,
+// abandoning early when the scrubber stops.
+func (s *Scrubber) throttle(n int64) {
+	if n <= 0 {
+		return
+	}
+	d := time.Duration(n * int64(time.Second) / s.cfg.BytesPerSec)
+	if d <= 0 {
+		return
+	}
+	select {
+	case <-s.stop:
+	case <-time.After(d):
+	}
+}

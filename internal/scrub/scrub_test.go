@@ -1,0 +1,141 @@
+package scrub
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/stats"
+)
+
+// fakeEngine counts scrub calls and serves canned results.
+type fakeEngine struct {
+	mu      sync.Mutex
+	objects []uint32
+	results map[uint32]bullet.ScrubResult
+	scrubs  int
+	flushes int
+}
+
+func (f *fakeEngine) Objects() []uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]uint32(nil), f.objects...)
+}
+
+func (f *fakeEngine) ScrubObject(obj uint32) bullet.ScrubResult {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.scrubs++
+	if r, ok := f.results[obj]; ok {
+		return r
+	}
+	return bullet.ScrubResult{Object: obj, Checked: 3, Bytes: 1024}
+}
+
+func (f *fakeEngine) FlushSums() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flushes++
+	return nil
+}
+
+func (f *fakeEngine) counts() (scrubs, flushes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.scrubs, f.flushes
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTriggeredPassScrubsEveryObject(t *testing.T) {
+	eng := &fakeEngine{
+		objects: []uint32{1, 2, 3},
+		results: map[uint32]bullet.ScrubResult{
+			1: {Object: 1, Checked: 3, Bytes: 512, Repaired: 1},
+			2: {Object: 2, Skipped: true},
+			3: {Object: 3, Checked: 3, Bytes: 512, Backfilled: true, Unrepairable: true},
+		},
+	}
+	s := New(eng, Config{BytesPerSec: 1 << 30}) // no periodic ticks, fast budget
+	s.Start()
+	defer s.Stop()
+
+	s.TriggerPass()
+	waitFor(t, "first pass", func() bool { return s.Status().Passes == 1 })
+
+	st := s.Status()
+	if st.FilesChecked != 2 { // the skipped object does not count
+		t.Fatalf("FilesChecked = %d, want 2", st.FilesChecked)
+	}
+	if st.Repairs != 1 || st.Backfills != 1 || st.Unrepairable != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.BytesRead != 1024 {
+		t.Fatalf("BytesRead = %d, want 1024", st.BytesRead)
+	}
+	if scrubs, flushes := eng.counts(); scrubs != 3 || flushes != 1 {
+		t.Fatalf("scrubs=%d flushes=%d, want 3 and 1", scrubs, flushes)
+	}
+}
+
+func TestPeriodicPassesAndStop(t *testing.T) {
+	eng := &fakeEngine{objects: []uint32{1}}
+	s := New(eng, Config{Interval: 5 * time.Millisecond, BytesPerSec: 1 << 30})
+	s.Start()
+	waitFor(t, "two periodic passes", func() bool { return s.Status().Passes >= 2 })
+	s.Stop()
+	if s.Status().Running {
+		t.Fatalf("still running after Stop")
+	}
+	after, _ := eng.counts()
+	time.Sleep(20 * time.Millisecond)
+	if now, _ := eng.counts(); now != after {
+		t.Fatalf("scrubbing continued after Stop (%d -> %d)", after, now)
+	}
+	s.Stop() // idempotent
+}
+
+func TestPauseSuspendsScrubbing(t *testing.T) {
+	eng := &fakeEngine{objects: []uint32{1, 2, 3, 4, 5}}
+	s := New(eng, Config{BytesPerSec: 1 << 30})
+	s.Pause()
+	s.Start()
+	defer s.Stop()
+	s.TriggerPass()
+
+	time.Sleep(30 * time.Millisecond)
+	if scrubs, _ := eng.counts(); scrubs != 0 {
+		t.Fatalf("scrubbed %d objects while paused", scrubs)
+	}
+	if !s.Status().Paused {
+		t.Fatalf("status does not show paused")
+	}
+	s.Resume()
+	waitFor(t, "pass after resume", func() bool { return s.Status().Passes == 1 })
+}
+
+func TestAttachMetrics(t *testing.T) {
+	eng := &fakeEngine{objects: []uint32{1}}
+	s := New(eng, Config{BytesPerSec: 1 << 30})
+	reg := stats.NewRegistry()
+	s.AttachMetrics(reg)
+	s.Start()
+	defer s.Stop()
+	s.TriggerPass()
+	waitFor(t, "pass", func() bool { return s.Status().Passes == 1 })
+	snap := reg.Snapshot()
+	if snap.Gauges["scrub.files_checked"] != 1 {
+		t.Fatalf("scrub.files_checked gauge missing or wrong: %+v", snap.Gauges)
+	}
+}

@@ -60,6 +60,11 @@ const (
 	OpDiskRead      // one replica ReadAt
 	OpReplicaCommit // one replica's share of a parallel commit
 	OpTrace         // TRACE RPC serving itself
+	OpDiskRepair    // self-heal rewrite of a bad extent on one replica
+	OpPromote       // a new main replica promoted after a demotion
+	OpScrub         // one scrub comparison of a file across replicas
+	OpSalvage       // SALVAGE RPC serving itself
+	OpRecover       // online replica recovery (catch-up copy)
 	opCount
 )
 
@@ -67,6 +72,7 @@ var opNames = [opCount]string{
 	"request", "create", "read", "read-range", "size", "delete",
 	"modify", "append", "verify", "cache-lookup", "cache-insert",
 	"fault", "disk-read", "replica-commit", "trace",
+	"disk-repair", "promote", "scrub", "salvage", "recover",
 }
 
 // String returns the op's lowercase name ("read", "fault", ...).
