@@ -1,13 +1,21 @@
 // Command bulletlint runs the Bullet static-analysis suite over the
 // module: constant-time capability comparisons (ctcmp), mutex annotations
 // (lockguard), panic-free RPC paths (panicfree), error wrapping at package
-// boundaries (errwrap), and stoppable goroutines (goroutinestop).
+// boundaries (errwrap), stoppable goroutines (goroutinestop), the lock
+// hierarchy (lockorder), cache View pin balance (pinleak), trace span
+// balance (spanbalance), and capability checks in RPC handlers
+// (rightscheck).
 //
 // Usage:
 //
 //	go run ./cmd/bulletlint ./...
-//	go run ./cmd/bulletlint -json ./internal/cache
+//	go run ./cmd/bulletlint -format=json ./internal/cache
+//	go run ./cmd/bulletlint -format=github ./...   # CI annotations
 //	go run ./cmd/bulletlint -disable errwrap,goroutinestop ./...
+//
+// -format selects text (default), json (an array of diagnostics), or
+// github (GitHub Actions workflow commands, rendered as inline PR
+// annotations). -json remains as an alias for -format=json.
 //
 // Exit status: 0 when clean, 1 when any diagnostic is reported, 2 on a
 // loading or usage error. See docs/STATIC_ANALYSIS.md for the pass
@@ -18,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,17 +38,27 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bulletlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (alias for -format=json)")
+	format := fs.String("format", "text", "output format: text, json, or github")
 	disable := fs.String("disable", "", "comma-separated passes to skip")
 	list := fs.Bool("list", false, "list the available passes and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: bulletlint [-json] [-disable pass,...] [packages]\n")
+		fmt.Fprintf(stderr, "usage: bulletlint [-format text|json|github] [-disable pass,...] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(stderr, "bulletlint: unknown format %q (want text, json, or github)\n", *format)
 		return 2
 	}
 	if *list {
@@ -86,7 +105,8 @@ func run(args []string, stdout, stderr *os.File) int {
 			diags[i].File = rel
 		}
 	}
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -96,13 +116,20 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	case "github":
+		// GitHub Actions workflow commands: the runner turns these into
+		// inline annotations on the PR diff.
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s (%s)\n",
+				d.File, d.Line, d.Col, d.Message, d.Pass)
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if *format == "text" {
 			fmt.Fprintf(stderr, "bulletlint: %d diagnostic(s)\n", len(diags))
 		}
 		return 1

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bulletfs/internal/analysis"
+)
+
+// The tests drive run() directly, from this package's directory (the go
+// tool sets cwd to the package under test), so package patterns are given
+// relative to cmd/bulletlint.
+
+const (
+	cleanPkg = "../../internal/trace"
+	dirtyPkg = "../../internal/analysis/testdata/src/pinleak"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := runCLI(t, cleanPkg)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed %q, want nothing", stdout)
+	}
+}
+
+func TestDirtyPackageExitsOne(t *testing.T) {
+	code, stdout, stderr := runCLI(t, dirtyPkg)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "(pinleak)") {
+		t.Errorf("text output missing pinleak diagnostics:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "diagnostic(s)") {
+		t.Errorf("stderr missing the summary line: %q", stderr)
+	}
+	// Every line carries a file:line:col prefix for the offending file.
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if !strings.Contains(line, "pinleak/pinleak.go:") {
+			t.Errorf("diagnostic missing its file position: %q", line)
+		}
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-disable", "bogus", cleanPkg},
+		{"-format", "xml", cleanPkg},
+		{"./no/such/dir"},
+		{"-nonexistent-flag"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestDisableSilencesPass(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-disable", "pinleak", dirtyPkg)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 with the only failing pass disabled; stdout=%q", code, stdout)
+	}
+}
+
+func TestListNamesEveryPass(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if want := len(analysis.All()); len(lines) != want {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), want, stdout)
+	}
+	for _, name := range []string{"ctcmp", "lockorder", "pinleak", "spanbalance", "rightscheck"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-json", dirtyPkg},
+		{"-format", "json", dirtyPkg},
+	} {
+		code, stdout, _ := runCLI(t, args...)
+		if code != 1 {
+			t.Fatalf("run(%q) = %d, want 1", args, code)
+		}
+		var diags []analysis.Diagnostic
+		if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+			t.Fatalf("run(%q) output is not JSON: %v\n%s", args, err, stdout)
+		}
+		if len(diags) == 0 {
+			t.Fatalf("run(%q) produced an empty diagnostic array", args)
+		}
+		for _, d := range diags {
+			if d.Pass != "pinleak" || d.Line == 0 || d.File == "" {
+				t.Errorf("run(%q): incomplete diagnostic %+v", args, d)
+			}
+		}
+	}
+	// A clean JSON run emits an empty array, not null.
+	code, stdout, _ := runCLI(t, "-format", "json", cleanPkg)
+	if code != 0 {
+		t.Fatalf("clean json run exited %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean json run printed %q, want []", stdout)
+	}
+}
+
+func TestGitHubOutput(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-format", "github", dirtyPkg)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr=%q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=") {
+			t.Errorf("github line lacks the workflow-command prefix: %q", line)
+		}
+		if !strings.Contains(line, ",line=") || !strings.Contains(line, ",col=") {
+			t.Errorf("github line missing line/col properties: %q", line)
+		}
+		if !strings.Contains(line, "(pinleak)") {
+			t.Errorf("github line missing the pass name: %q", line)
+		}
+	}
+	// Clean github runs stay silent so CI logs stay readable.
+	code, stdout, _ = runCLI(t, "-format", "github", cleanPkg)
+	if code != 0 || stdout != "" {
+		t.Errorf("clean github run: exit %d output %q, want 0 and empty", code, stdout)
+	}
+}

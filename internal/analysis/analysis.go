@@ -5,7 +5,7 @@
 //
 // The suite is built from stdlib go/parser, go/ast, and go/types only. It
 // loads every package in the module from source (see LoadModule) and runs
-// five passes over the typed syntax trees:
+// nine passes over the typed syntax trees. Five are per-function:
 //
 //   - ctcmp: capability check fields must be compared in constant time
 //     (crypto/subtle.ConstantTimeCompare), never with == / != / bytes.Equal,
@@ -22,13 +22,29 @@
 //     stoppable (observes a context or stop channel) or accounted
 //     (WaitGroup-tracked), so shutdown cannot leak work.
 //
+// Four are interprocedural, built on a module-wide call graph (see
+// CallGraph) and a flow-sensitive walk of each function body:
+//
+//   - lockorder: every mutex acquisition must descend the checked-in lock
+//     hierarchy (lockspec.json, prose twin docs/CONCURRENCY.md); helpers'
+//     transitive may-acquire sets are checked at every call made under a
+//     held lock.
+//   - pinleak: every cache View pin must be released on every path;
+//     returning the View transfers the obligation to the caller.
+//   - spanbalance: every trace span opened with Begin must be closed with
+//     End on every path, with the same transfer-by-return rule.
+//   - rightscheck: every RPC command handler must verify a capability
+//     right before reaching a state-mutating engine method.
+//
 // Diagnostics can be suppressed one at a time with an annotation on the
 // offending line or the line above it:
 //
 //	//lint:ignore <pass>[,<pass>...] <reason>
 //
 // The reason is mandatory: a suppression without a justification is itself
-// a diagnostic.
+// a diagnostic. So is a stale suppression — one whose named pass ran and
+// found nothing on the lines it covers — because a suppression that
+// outlives its finding hides the next real one.
 package analysis
 
 import (
@@ -70,10 +86,30 @@ type Config struct {
 	// PanicRoots lists import-path prefixes whose exported functions and
 	// methods are treated as RPC-handler entry points by panicfree.
 	PanicRoots []string
+
+	// LockSpec is the lock hierarchy lockorder enforces. DefaultConfig
+	// uses the embedded lockspec.json; tests point it at their own
+	// hierarchies.
+	LockSpec []LockSpecEntry
+
+	// PinObligation and SpanObligation parameterize the obligation
+	// engine for pinleak and spanbalance.
+	PinObligation  ObligationSpec
+	SpanObligation ObligationSpec
+
+	// RightsRoots lists the package paths whose functions rightscheck
+	// treats as command handlers. RightsVerifiers and RightsMutators
+	// name the capability-checking and state-mutating functions, as
+	// "pkg/path.Func" or "pkg/path.Type.Method".
+	RightsRoots     []string
+	RightsVerifiers []string
+	RightsMutators  []string
 }
 
 // DefaultConfig returns the configuration bulletlint ships with: the
-// Bullet server's RPC-facing packages are the panic roots.
+// Bullet server's RPC-facing packages are the panic roots, the embedded
+// lockspec.json is the hierarchy, cache Views and trace spans are the
+// tracked obligations, and the bulletsvc handlers are the rights roots.
 func DefaultConfig() Config {
 	return Config{
 		PanicRoots: []string{
@@ -81,6 +117,29 @@ func DefaultConfig() Config {
 			"bulletfs/internal/bulletsvc",
 			"bulletfs/internal/directory",
 			"bulletfs/internal/rpc",
+		},
+		LockSpec:       DefaultLockSpec(),
+		PinObligation:  defaultPinObligation(),
+		SpanObligation: defaultSpanObligation(),
+		RightsRoots:    []string{"bulletfs/internal/bulletsvc"},
+		RightsVerifiers: []string{
+			"bulletfs/internal/bullet.Server.verify",
+			"bulletfs/internal/bullet.Server.AuthorizeRead",
+			"bulletfs/internal/bullet.Server.AuthorizeAdmin",
+			"bulletfs/internal/capability.Verify",
+		},
+		RightsMutators: []string{
+			"bulletfs/internal/layout.Table.Allocate",
+			"bulletfs/internal/layout.Table.Free",
+			"bulletfs/internal/layout.Table.WriteInode",
+			"bulletfs/internal/layout.Table.FlushSums",
+			"bulletfs/internal/layout.Table.Retarget",
+			"bulletfs/internal/alloc.Allocator.Alloc",
+			"bulletfs/internal/alloc.Allocator.Free",
+			"bulletfs/internal/alloc.Allocator.Reset",
+			"bulletfs/internal/bullet.Server.StartRecover",
+			"bulletfs/internal/scrub.Scrubber.TriggerPass",
+			"bulletfs/internal/cache.Cache.Compact",
 		},
 	}
 }
@@ -97,7 +156,10 @@ type ReportFunc func(pos token.Pos, format string, args ...any)
 
 // All returns every pass in the suite, in the order they run.
 func All() []*Analyzer {
-	return []*Analyzer{CTCmp, LockGuard, PanicFree, ErrWrap, GoroutineStop}
+	return []*Analyzer{
+		CTCmp, LockGuard, PanicFree, ErrWrap, GoroutineStop,
+		LockOrder, PinLeak, SpanBalance, RightsCheck,
+	}
 }
 
 // Select returns the suite minus the named passes. Unknown names in
@@ -154,6 +216,7 @@ func Run(prog *Program, cfg Config, passes []*Analyzer) []Diagnostic {
 		}
 	}
 	diags = append(sup.malformed, kept...)
+	diags = append(diags, sup.stale(passes)...)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].File != diags[j].File {
 			return diags[i].File < diags[j].File
@@ -192,9 +255,16 @@ func ignoreAnnotation(text string) string {
 	return ""
 }
 
+// suppEntry is one (annotation line, pass) suppression; used records
+// whether it absorbed at least one diagnostic this run.
+type suppEntry struct {
+	col  int
+	used bool
+}
+
 type suppressions struct {
-	// byFileLine maps file -> line -> set of suppressed pass names.
-	byFileLine map[string]map[int]map[string]bool
+	// byFileLine maps file -> line -> suppressed pass name -> entry.
+	byFileLine map[string]map[int]map[string]*suppEntry
 	malformed  []Diagnostic
 }
 
@@ -204,15 +274,40 @@ func (s suppressions) covers(d Diagnostic) bool {
 		return false
 	}
 	for _, ln := range [2]int{d.Line, d.Line - 1} {
-		if lines[ln][d.Pass] {
+		if e := lines[ln][d.Pass]; e != nil {
+			e.used = true
 			return true
 		}
 	}
 	return false
 }
 
+// stale reports every suppression that absorbed nothing, restricted to
+// passes that actually ran this invocation (a -disable'd pass proves
+// nothing about its suppressions).
+func (s suppressions) stale(passes []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(passes))
+	for _, a := range passes {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for file, lines := range s.byFileLine {
+		for line, set := range lines {
+			for pass, e := range set {
+				if !e.used && ran[pass] {
+					out = append(out, Diagnostic{
+						Pass: "lint", File: file, Line: line, Col: e.col,
+						Message: fmt.Sprintf("stale lint:ignore: pass %s reports nothing here; delete the suppression", pass),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
 func collectSuppressions(prog *Program) suppressions {
-	sup := suppressions{byFileLine: make(map[string]map[int]map[string]bool)}
+	sup := suppressions{byFileLine: make(map[string]map[int]map[string]*suppEntry)}
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Name] = true
@@ -236,12 +331,12 @@ func collectSuppressions(prog *Program) suppressions {
 					}
 					lines := sup.byFileLine[p.Filename]
 					if lines == nil {
-						lines = make(map[int]map[string]bool)
+						lines = make(map[int]map[string]*suppEntry)
 						sup.byFileLine[p.Filename] = lines
 					}
 					set := lines[p.Line]
 					if set == nil {
-						set = make(map[string]bool)
+						set = make(map[string]*suppEntry)
 						lines[p.Line] = set
 					}
 					for _, name := range strings.Split(m[1], ",") {
@@ -253,7 +348,9 @@ func collectSuppressions(prog *Program) suppressions {
 							})
 							continue
 						}
-						set[name] = true
+						if set[name] == nil {
+							set[name] = &suppEntry{col: p.Column}
+						}
 					}
 				}
 			}

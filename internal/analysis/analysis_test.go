@@ -74,7 +74,21 @@ func moduleRoot(t *testing.T) string {
 func runTestdata(t *testing.T, pkg string, passes []*Analyzer, cfg Config) []Diagnostic {
 	t.Helper()
 	root := moduleRoot(t)
-	prog, err := LoadDirs(root, []string{"internal/analysis/testdata/src/" + pkg})
+	base := "internal/analysis/testdata/src/" + pkg
+	// Subdirectories of a testdata package (e.g. rightscheck/engine) are
+	// loaded as analysis targets too, so interprocedural passes have call
+	// summaries for them.
+	dirs := []string{base}
+	entries, err := os.ReadDir(filepath.Join(root, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, base+"/"+e.Name())
+		}
+	}
+	prog, err := LoadDirs(root, dirs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,6 +131,19 @@ func TestGoldenPasses(t *testing.T) {
 		{"panicfree", PanicFree, Config{
 			PanicRoots: []string{"bulletfs/internal/analysis/testdata/src/panicfree"},
 		}},
+		{"lockorder", LockOrder, Config{LockSpec: []LockSpecEntry{
+			{ID: "bulletfs/internal/analysis/testdata/src/lockorder.Meta.mu", Rank: 0},
+			{ID: "bulletfs/internal/analysis/testdata/src/lockorder.Shard.mu", Rank: 1},
+			{ID: "bulletfs/internal/analysis/testdata/src/lockorder.Shard.pendMu", Rank: 1},
+			{ID: "bulletfs/internal/analysis/testdata/src/lockorder.Leaf.mu", Rank: 2, Leaf: true},
+		}}},
+		{"pinleak", PinLeak, DefaultConfig()},
+		{"spanbalance", SpanBalance, DefaultConfig()},
+		{"rightscheck", RightsCheck, Config{
+			RightsRoots:     []string{"bulletfs/internal/analysis/testdata/src/rightscheck"},
+			RightsVerifiers: []string{"bulletfs/internal/analysis/testdata/src/rightscheck/engine.Engine.Authorize"},
+			RightsMutators:  []string{"bulletfs/internal/analysis/testdata/src/rightscheck/engine.Engine.Mutate"},
+		}},
 	}
 	for _, tc := range tests {
 		t.Run(tc.pkg, func(t *testing.T) {
@@ -144,14 +171,17 @@ func TestSuppressions(t *testing.T) {
 			t.Errorf("unexpected pass %q: %s", d.Pass, d)
 		}
 	}
-	if len(lint) != 2 {
-		t.Fatalf("got %d lint diagnostics, want 2 (malformed + unknown pass): %v", len(lint), lint)
+	if len(lint) != 3 {
+		t.Fatalf("got %d lint diagnostics, want 3 (malformed + unknown pass + stale): %v", len(lint), lint)
 	}
 	if !strings.Contains(lint[0].Message, "malformed lint:ignore") {
 		t.Errorf("first lint diagnostic should flag the reason-less annotation: %s", lint[0])
 	}
 	if !strings.Contains(lint[1].Message, `unknown pass "timecmp"`) {
 		t.Errorf("second lint diagnostic should flag the unknown pass: %s", lint[1])
+	}
+	if !strings.Contains(lint[2].Message, "stale lint:ignore") {
+		t.Errorf("third lint diagnostic should flag the stale suppression: %s", lint[2])
 	}
 	// The two well-formed suppressions silence their violations; the two
 	// broken annotations leave theirs standing.
@@ -185,16 +215,16 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 5 {
-		t.Fatalf("Select(nil) returned %d passes, want 5", len(all))
+	if len(all) != 9 {
+		t.Fatalf("Select(nil) returned %d passes, want 9", len(all))
 	}
 
 	some, err := Select([]string{"ctcmp", "errwrap"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(some) != 3 {
-		t.Fatalf("Select disabled 2 of 5, got %d passes, want 3", len(some))
+	if len(some) != 7 {
+		t.Fatalf("Select disabled 2 of 9, got %d passes, want 7", len(some))
 	}
 	for _, a := range some {
 		if a.Name == "ctcmp" || a.Name == "errwrap" {

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the module-wide call graph the interprocedural passes
+// (lockorder, pinleak's transfer summaries, rightscheck, panicfree) share.
+// The graph covers every function declared in the analyzed packages; calls
+// are resolved through go/types, so direct calls and concrete method calls
+// are edges while interface dispatch and calls through function values are
+// not (the same conservative shape panicfree has always used).
+
+// CallSite is one resolved call inside a function body: the callee and the
+// position of the call expression. Callees outside the analyzed packages
+// (standard library, dependencies not under analysis) appear as sites too;
+// they simply have no FuncInfo of their own.
+type CallSite struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// FuncInfo is the per-function call-graph record. Calls are in source
+// order, one entry per call expression (not deduplicated). A call inside a
+// function literal is attributed to the function that lexically contains
+// it: the literal usually runs on behalf of the same operation (deferred,
+// invoked inline, or launched as part of serving it), and lexical
+// attribution keeps summaries conservative.
+type FuncInfo struct {
+	Obj    *types.Func
+	Decl   *ast.FuncDecl
+	Pkg    *Package
+	Calls  []CallSite
+	Panics []token.Pos // direct panic() calls in the body
+}
+
+// CallGraph indexes every declared function of the analyzed packages.
+// Order preserves declaration order for deterministic iteration.
+type CallGraph struct {
+	Funcs map[*types.Func]*FuncInfo
+	Order []*types.Func
+}
+
+// CallGraph returns the program's call graph, building it on first use.
+func (p *Program) CallGraph() *CallGraph {
+	if p.graph != nil {
+		return p.graph
+	}
+	g := &CallGraph{Funcs: make(map[*types.Func]*FuncInfo)}
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				info := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch fun := call.Fun.(type) {
+					case *ast.Ident:
+						if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+							info.Panics = append(info.Panics, call.Pos())
+							return true
+						}
+						if callee, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+							info.Calls = append(info.Calls, CallSite{Callee: callee, Pos: call.Pos()})
+						}
+					case *ast.SelectorExpr:
+						if callee, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+							info.Calls = append(info.Calls, CallSite{Callee: callee, Pos: call.Pos()})
+						}
+					}
+					return true
+				})
+				g.Funcs[obj] = info
+				g.Order = append(g.Order, obj)
+			}
+		}
+	}
+	p.graph = g
+	return g
+}
+
+// calleeOf resolves the *types.Func a call expression invokes, or nil for
+// indirect calls (function values, interface methods resolve to the
+// interface method object, which is fine: it has no FuncInfo).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcID renders the stable string identity config lists use to name
+// functions: "pkg/path.Func" or "pkg/path.Recv.Method" (pointer receivers
+// stripped).
+func funcID(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	if fn.Pkg() == nil {
+		return fn.Name() // builtins, error.Error, ...
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}

@@ -1,0 +1,214 @@
+package analysis
+
+import "go/ast"
+
+// flowClient is the per-pass half of the branch-aware statement walker.
+// The walker (flowWalk and friends) owns control flow — blocks, branches,
+// loops, joins, termination — and calls back into the client for
+// everything pass-specific: what a call does to the state, how two branch
+// states merge, and what a return means. State values are owned by the
+// client; the walker only threads them around and never inspects them.
+type flowClient interface {
+	// Fork returns an independent copy of the state for a branch arm.
+	Fork(s any) any
+	// Join merges two states that both reach the statement after a
+	// branch (neither arm terminated).
+	Join(a, b any) any
+	// Simple applies a non-control-flow statement (expression,
+	// assignment, declaration, send, inc/dec) to the state in place.
+	Simple(s any, st ast.Stmt)
+	// Return applies a return statement to the state in place; the
+	// walker treats the path as terminated afterwards.
+	Return(s any, st *ast.ReturnStmt)
+	// Defer applies a defer statement to the state in place.
+	Defer(s any, st *ast.DeferStmt)
+	// Go applies a go statement to the state in place.
+	Go(s any, st *ast.GoStmt)
+	// Cond evaluates a branch condition against the state and returns
+	// the two successor states (condition true, condition false). The
+	// client may refine them (e.g. err-nilness) but must return
+	// independent copies.
+	Cond(s any, cond ast.Expr) (then, els any)
+	// LoopEnd observes the state at the end of one loop-body walk (the
+	// walker analyzes loop bodies once, on a fork); incoming is the
+	// state at loop entry, bodyOut the state when the iteration falls
+	// off the body's end.
+	LoopEnd(incoming, bodyOut any)
+}
+
+// flowWalk runs the client over a function body starting from init and
+// returns the state at fall-through (nil if every path terminated) plus
+// whether any path falls through.
+func flowWalk(c flowClient, body *ast.BlockStmt, init any) (any, bool) {
+	s, term := flowStmts(c, body.List, init)
+	return s, !term
+}
+
+// flowStmts walks a statement list; the bool result reports termination
+// (every path through the list ends in return/branch).
+func flowStmts(c flowClient, list []ast.Stmt, s any) (any, bool) {
+	for _, st := range list {
+		var term bool
+		s, term = flowStmt(c, st, s)
+		if term {
+			return s, true
+		}
+	}
+	return s, false
+}
+
+func flowStmt(c flowClient, st ast.Stmt, s any) (any, bool) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return flowStmts(c, st.List, s)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s, _ = flowStmt(c, st.Init, s)
+		}
+		thenIn, elseIn := c.Cond(s, st.Cond)
+		thenOut, thenTerm := flowStmts(c, st.Body.List, thenIn)
+		elseOut, elseTerm := elseIn, false
+		if st.Else != nil {
+			elseOut, elseTerm = flowStmt(c, st.Else, elseIn)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return thenOut, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return c.Join(thenOut, elseOut), false
+		}
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s, _ = flowStmt(c, st.Init, s)
+		}
+		bodyIn := c.Fork(s)
+		if st.Cond != nil {
+			bodyIn, s = c.Cond(s, st.Cond)
+		}
+		bodyOut, bodyTerm := flowStmts(c, st.Body.List, bodyIn)
+		if !bodyTerm {
+			if st.Post != nil {
+				bodyOut, _ = flowStmt(c, st.Post, bodyOut)
+			}
+			c.LoopEnd(s, bodyOut)
+		}
+		// The body is walked once for its own findings; zero iterations
+		// are always possible (or, for `for {}`, exit happens via break,
+		// which we model as plain termination), so the loop is
+		// state-neutral for the code after it.
+		return s, false
+
+	case *ast.RangeStmt:
+		c.Simple(s, &ast.ExprStmt{X: st.X})
+		bodyOut, bodyTerm := flowStmts(c, st.Body.List, c.Fork(s))
+		if !bodyTerm {
+			c.LoopEnd(s, bodyOut)
+		}
+		return s, false
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s, _ = flowStmt(c, st.Init, s)
+		}
+		if st.Tag != nil {
+			c.Simple(s, &ast.ExprStmt{X: st.Tag})
+		}
+		return flowCases(c, st.Body.List, s, nil)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s, _ = flowStmt(c, st.Init, s)
+		}
+		c.Simple(s, st.Assign)
+		return flowCases(c, st.Body.List, s, nil)
+
+	case *ast.SelectStmt:
+		return flowCases(c, st.Body.List, s, func(cl ast.Stmt, arm any) any {
+			if comm := cl.(*ast.CommClause).Comm; comm != nil {
+				arm, _ = flowStmt(c, comm, arm)
+			}
+			return arm
+		})
+
+	case *ast.LabeledStmt:
+		return flowStmt(c, st.Stmt, s)
+
+	case *ast.ReturnStmt:
+		c.Return(s, st)
+		return s, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto/fallthrough all leave the current path; the
+		// walker does not chase labels, so treat them as termination.
+		return s, true
+
+	case *ast.DeferStmt:
+		c.Defer(s, st)
+		return s, false
+
+	case *ast.GoStmt:
+		c.Go(s, st)
+		return s, false
+
+	case *ast.EmptyStmt:
+		return s, false
+
+	default:
+		c.Simple(s, st)
+		return s, false
+	}
+}
+
+// flowCases walks switch/select clause bodies, each from a fork of the
+// incoming state, and joins the arms that fall through. A missing default
+// clause adds the incoming state itself (no arm taken). prep, when set,
+// applies a select clause's comm statement to the arm's state first.
+func flowCases(c flowClient, clauses []ast.Stmt, s any, prep func(ast.Stmt, any) any) (any, bool) {
+	var live []any
+	hasDefault := false
+	for _, cl := range clauses {
+		arm := c.Fork(s)
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.Simple(arm, &ast.ExprStmt{X: e})
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			body = cl.Body
+		default:
+			continue
+		}
+		if prep != nil {
+			arm = prep(cl, arm)
+		}
+		out, term := flowStmts(c, body, arm)
+		if !term {
+			live = append(live, out)
+		}
+	}
+	if !hasDefault {
+		live = append(live, s)
+	}
+	if len(live) == 0 {
+		return s, true
+	}
+	out := live[0]
+	for _, l := range live[1:] {
+		out = c.Join(out, l)
+	}
+	return out, false
+}

@@ -31,6 +31,7 @@ type Program struct {
 	ModuleDir  string
 	Pkgs       []*Package // analysis targets, sorted by import path
 	byPath     map[string]*Package
+	graph      *CallGraph // built lazily by CallGraph()
 }
 
 // PackageByPath returns the loaded package with the given import path, or
@@ -213,8 +214,9 @@ func FindModuleRoot(dir string) (string, error) {
 // the go tool's shape, resolved against moduleDir: "./..." for the whole
 // module, "./x/..." for a subtree, "./x" (or "x") for one package.
 // Directories named testdata, hidden directories, and _-prefixed
-// directories are never discovered; tests reach testdata trees explicitly
-// via LoadDirs.
+// directories are never discovered by "..." patterns, but an exact
+// pattern naming such a directory loads it anyway — that is how the CLI
+// (and its tests) point bulletlint at a testdata tree on purpose.
 func LoadModule(moduleDir string, patterns []string) (*Program, error) {
 	moduleDir, err := filepath.Abs(moduleDir)
 	if err != nil {
@@ -245,6 +247,15 @@ func LoadModule(moduleDir string, patterns []string) (*Program, error) {
 			}
 		}
 		if !matched {
+			// An exact pattern may name a directory discovery skips
+			// (testdata trees); load it if it really holds Go files.
+			if rel, ok := exactDir(moduleDir, pat); ok {
+				if !seen[rel] {
+					seen[rel] = true
+					targets = append(targets, rel)
+				}
+				continue
+			}
 			return nil, fmt.Errorf("%q: %w", pat, ErrBadPattern)
 		}
 	}
@@ -288,6 +299,28 @@ func LoadDirs(moduleDir string, rels []string) (*Program, error) {
 		prog.Pkgs = append(prog.Pkgs, pkg)
 	}
 	return prog, nil
+}
+
+// exactDir reports whether pat is an exact (non-wildcard) pattern naming a
+// module directory with buildable Go files, returning its clean
+// module-relative form.
+func exactDir(moduleDir, pat string) (string, bool) {
+	if strings.Contains(pat, "...") {
+		return "", false
+	}
+	rel := strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+	if rel == "" {
+		rel = "."
+	}
+	rel = filepath.ToSlash(filepath.Clean(rel))
+	if rel == ".." || strings.HasPrefix(rel, "../") || filepath.IsAbs(rel) {
+		return "", false
+	}
+	names, err := goFilesIn(filepath.Join(moduleDir, filepath.FromSlash(rel)))
+	if err != nil || len(names) == 0 {
+		return "", false
+	}
+	return rel, true
 }
 
 // discoverPackageDirs returns the module-relative directories ("." for the

@@ -1,0 +1,384 @@
+package analysis
+
+import (
+	_ "embed"
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrder checks every mutex acquisition against the checked-in lock
+// hierarchy (lockspec.json, prose twin in docs/CONCURRENCY.md). While any
+// spec lock is held, only strictly lower-ranked (numerically greater) spec
+// locks may be acquired: climbing the hierarchy, pairing two same-rank
+// locks, re-acquiring a held lock, or acquiring anything under a leaf lock
+// is a diagnostic. The check is flow-sensitive within a function (an
+// Unlock ends the hold; `defer Unlock` holds to function end; branches
+// fork and re-join) and interprocedural across it: each function gets a
+// may-acquire summary — the set of spec locks it or anything it calls can
+// take — and every call made while locks are held is checked against the
+// callee's summary. RLock counts as holding. Function literals are
+// analyzed with an empty held set (they run from goroutines or callbacks
+// whose lock context is not the enclosing function's).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisitions must descend the documented lock hierarchy",
+	Run:  runLockOrder,
+}
+
+//go:embed lockspec.json
+var lockSpecJSON []byte
+
+// LockSpecEntry is one lock in the hierarchy spec. ID names a struct
+// field as "pkg/path.Type.Field".
+type LockSpecEntry struct {
+	ID   string `json:"id"`
+	Rank int    `json:"rank"`
+	Leaf bool   `json:"leaf,omitempty"`
+	Doc  string `json:"doc,omitempty"`
+}
+
+type lockSpecFile struct {
+	Locks []LockSpecEntry `json:"locks"`
+}
+
+// DefaultLockSpec returns the embedded bulletfs lock hierarchy.
+func DefaultLockSpec() []LockSpecEntry {
+	var f lockSpecFile
+	if err := json.Unmarshal(lockSpecJSON, &f); err != nil {
+		// The spec is compiled into the binary; a parse failure is a
+		// build defect, not an analysis result.
+		panic("analysis: embedded lockspec.json is invalid: " + err.Error())
+	}
+	return f.Locks
+}
+
+// lockMeta is a resolved spec entry bound to the struct field's object.
+type lockMeta struct {
+	entry LockSpecEntry
+	name  string // display name, "Server.mu"
+}
+
+type lockOrder struct {
+	prog   *Program
+	report ReportFunc
+	graph  *CallGraph
+	locks  map[*types.Var]*lockMeta
+	// may memoizes the transitive may-acquire summary per function;
+	// inProg guards recursion cycles.
+	may    map[*types.Func]map[*types.Var]bool
+	inProg map[*types.Func]bool
+	pkg    *Package // package currently being walked
+}
+
+func runLockOrder(prog *Program, cfg Config, report ReportFunc) {
+	lo := &lockOrder{
+		prog:   prog,
+		report: report,
+		graph:  prog.CallGraph(),
+		locks:  make(map[*types.Var]*lockMeta),
+		may:    make(map[*types.Func]map[*types.Var]bool),
+		inProg: make(map[*types.Func]bool),
+	}
+	for _, e := range cfg.LockSpec {
+		if v, name := resolveFieldID(prog, e.ID); v != nil {
+			lo.locks[v] = &lockMeta{entry: e, name: name}
+		}
+		// Entries that do not resolve (the named package is not loaded)
+		// are skipped: running the pass over a single package still
+		// checks whatever locks are in scope.
+	}
+	for _, fn := range lo.graph.Order {
+		info := lo.graph.Funcs[fn]
+		lo.pkg = info.Pkg
+		lo.walkBody(info.Decl.Body, heldSet{})
+	}
+}
+
+// resolveFieldID resolves "pkg/path.Type.Field" to the field's object.
+func resolveFieldID(prog *Program, id string) (*types.Var, string) {
+	pkgPath, typeName, fieldName, ok := splitFieldID(id)
+	if !ok {
+		return nil, ""
+	}
+	pkg := prog.PackageByPath(pkgPath)
+	if pkg == nil || pkg.Types == nil {
+		return nil, ""
+	}
+	tn, ok := pkg.Types.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil, ""
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == fieldName {
+			return f, typeName + "." + fieldName
+		}
+	}
+	return nil, ""
+}
+
+// splitFieldID splits "pkg/path.Type.Field" at its last two dots.
+func splitFieldID(id string) (pkgPath, typeName, fieldName string, ok bool) {
+	last, prev := -1, -1
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] != '.' {
+			continue
+		}
+		if last == -1 {
+			last = i
+		} else {
+			prev = i
+			break
+		}
+	}
+	if last == -1 || prev == -1 {
+		return "", "", "", false
+	}
+	return id[:prev], id[prev+1 : last], id[last+1:], true
+}
+
+// heldSet is the set of spec locks held on the current path.
+type heldSet map[*types.Var]bool
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for v := range h {
+		c[v] = true
+	}
+	return c
+}
+
+// --- flowClient implementation ---
+
+func (lo *lockOrder) Fork(s any) any { return s.(heldSet).clone() }
+
+func (lo *lockOrder) Join(a, b any) any {
+	// Union: a lock held on either arm is treated as held afterwards, so
+	// a conditional Lock keeps later acquisitions honest.
+	out := a.(heldSet)
+	for v := range b.(heldSet) {
+		out[v] = true
+	}
+	return out
+}
+
+func (lo *lockOrder) Simple(s any, st ast.Stmt) {
+	ast.Inspect(st, lo.visitor(s.(heldSet)))
+}
+
+func (lo *lockOrder) Return(s any, st *ast.ReturnStmt) {
+	for _, e := range st.Results {
+		ast.Inspect(e, lo.visitor(s.(heldSet)))
+	}
+}
+
+func (lo *lockOrder) Defer(s any, st *ast.DeferStmt) {
+	held := s.(heldSet)
+	if v, op := lo.lockTarget(st.Call); v != nil && (op == "Unlock" || op == "RUnlock") {
+		// `defer mu.Unlock()`: the lock is held until the function
+		// returns; keeping it in the set is exactly right.
+		return
+	}
+	// Any other deferred call runs with whatever is held at return time;
+	// our conservative model checks it against the current held set.
+	ast.Inspect(st.Call, lo.visitor(held))
+}
+
+func (lo *lockOrder) Go(s any, st *ast.GoStmt) {
+	// The goroutine starts with nothing held; check only the argument
+	// expressions (evaluated now) and walk any literal with an empty set.
+	for _, arg := range st.Call.Args {
+		ast.Inspect(arg, lo.visitor(s.(heldSet)))
+	}
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		lo.walkBody(lit.Body, heldSet{})
+	}
+}
+
+func (lo *lockOrder) Cond(s any, cond ast.Expr) (any, any) {
+	held := s.(heldSet)
+	ast.Inspect(cond, lo.visitor(held))
+	return held.clone(), held.clone()
+}
+
+func (lo *lockOrder) LoopEnd(incoming, bodyOut any) {}
+
+func (lo *lockOrder) walkBody(body *ast.BlockStmt, held heldSet) {
+	flowWalk(lo, body, held)
+}
+
+// visitor returns the expression visitor that applies lock operations and
+// call checks to held. Function literals are cut out of the enclosing
+// walk and analyzed with an empty held set.
+func (lo *lockOrder) visitor(held heldSet) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lo.walkBody(n.Body, heldSet{})
+			return false
+		case *ast.CallExpr:
+			if v, op := lo.lockTarget(n); v != nil {
+				switch op {
+				case "Lock", "RLock":
+					lo.checkAcquire(n.Pos(), v, held)
+					held[v] = true
+				case "Unlock", "RUnlock":
+					delete(held, v)
+				}
+				return false
+			}
+			if callee := calleeOf(lo.pkg.Info, n); callee != nil && len(held) > 0 {
+				lo.checkCall(n.Pos(), callee, held)
+			}
+		}
+		return true
+	}
+}
+
+// lockTarget resolves `expr.Lock()` / `.RLock()` / `.Unlock()` /
+// `.RUnlock()` to the spec lock it operates on, if any.
+func (lo *lockOrder) lockTarget(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	x := sel.X
+	for {
+		switch t := x.(type) {
+		case *ast.ParenExpr:
+			x = t.X
+		case *ast.StarExpr:
+			x = t.X
+		case *ast.IndexExpr:
+			x = t.X // s.inoMu[i].Lock() acquires a stripe of inoMu
+		default:
+			goto resolved
+		}
+	}
+resolved:
+	var obj types.Object
+	switch t := x.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := lo.pkg.Info.Selections[t]; ok {
+			obj = s.Obj()
+		} else {
+			obj = lo.pkg.Info.Uses[t.Sel]
+		}
+	case *ast.Ident:
+		obj = lo.pkg.Info.Uses[t]
+	}
+	if v, ok := obj.(*types.Var); ok && lo.locks[v] != nil {
+		return v, op
+	}
+	return nil, ""
+}
+
+// checkAcquire reports the acquisition of v against every lock in held.
+func (lo *lockOrder) checkAcquire(pos token.Pos, v *types.Var, held heldSet) {
+	nv := lo.locks[v]
+	for h := range held {
+		nh := lo.locks[h]
+		switch {
+		case h == v:
+			lo.reportAt(pos, "%s is acquired while already held", nv.name)
+		case nh.entry.Leaf:
+			lo.reportAt(pos, "%s is acquired while leaf lock %s is held", nv.name, nh.name)
+		case nv.entry.Rank < nh.entry.Rank:
+			lo.reportAt(pos, "acquiring %s (rank %d) while holding %s (rank %d) climbs the lock hierarchy",
+				nv.name, nv.entry.Rank, nh.name, nh.entry.Rank)
+		case nv.entry.Rank == nh.entry.Rank:
+			lo.reportAt(pos, "%s and %s are same-rank locks (rank %d) and must not be held together",
+				nv.name, nh.name, nv.entry.Rank)
+		}
+	}
+}
+
+// checkCall reports locks the callee may (transitively) acquire against
+// the caller's held set.
+func (lo *lockOrder) checkCall(pos token.Pos, callee *types.Func, held heldSet) {
+	for v := range lo.mayAcquire(callee) {
+		if lo.callViolation(v, held) {
+			nv := lo.locks[v]
+			for h := range held {
+				nh := lo.locks[h]
+				switch {
+				case h == v:
+					lo.reportAt(pos, "call to %s may acquire %s, which is already held",
+						funcDisplayName(callee), nv.name)
+				case nh.entry.Leaf:
+					lo.reportAt(pos, "call to %s may acquire %s while leaf lock %s is held",
+						funcDisplayName(callee), nv.name, nh.name)
+				case nv.entry.Rank < nh.entry.Rank:
+					lo.reportAt(pos, "call to %s may acquire %s (rank %d) while %s (rank %d) is held, climbing the lock hierarchy",
+						funcDisplayName(callee), nv.name, nv.entry.Rank, nh.name, nh.entry.Rank)
+				case nv.entry.Rank == nh.entry.Rank:
+					lo.reportAt(pos, "call to %s may acquire %s while same-rank %s (rank %d) is held",
+						funcDisplayName(callee), nv.name, nh.name, nv.entry.Rank)
+				}
+			}
+		}
+	}
+}
+
+func (lo *lockOrder) callViolation(v *types.Var, held heldSet) bool {
+	nv := lo.locks[v]
+	for h := range held {
+		nh := lo.locks[h]
+		if h == v || nh.entry.Leaf || nv.entry.Rank <= nh.entry.Rank {
+			return true
+		}
+	}
+	return false
+}
+
+// mayAcquire returns the set of spec locks fn or its (transitive,
+// statically resolvable) callees can acquire. Function literals inside fn
+// contribute too: they run on fn's behalf often enough that leaving them
+// out would hide real inversions.
+func (lo *lockOrder) mayAcquire(fn *types.Func) map[*types.Var]bool {
+	if m, ok := lo.may[fn]; ok {
+		return m
+	}
+	info := lo.graph.Funcs[fn]
+	if info == nil || lo.inProg[fn] {
+		return nil
+	}
+	lo.inProg[fn] = true
+	m := make(map[*types.Var]bool)
+	savedPkg := lo.pkg
+	lo.pkg = info.Pkg
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v, op := lo.lockTarget(call); v != nil && (op == "Lock" || op == "RLock") {
+			m[v] = true
+		}
+		return true
+	})
+	lo.pkg = savedPkg
+	for _, cs := range info.Calls {
+		for v := range lo.mayAcquire(cs.Callee) {
+			m[v] = true
+		}
+	}
+	delete(lo.inProg, fn)
+	lo.may[fn] = m
+	return m
+}
+
+func (lo *lockOrder) reportAt(pos token.Pos, format string, args ...any) {
+	lo.report(pos, format, args...)
+}

@@ -1,0 +1,523 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared obligation engine behind pinleak and
+// spanbalance. Both passes check the same shape of invariant: a call
+// returns a resource handle (*cache.View, *trace.Span) that must be
+// closed on every path through the function, where "closed" can mean an
+// explicit release, handing the value to a function that releases it, or
+// returning it to the caller (which transfers the obligation — the
+// caller's copy of this same analysis picks it up). The engine is a
+// flow-sensitive walk over each function body: obligations are born at
+// creating calls, follow the local variable they are bound to through
+// reassignments, become vacuous on branches where the paired error is
+// non-nil (a failed call returns no resource), and are reported once, at
+// the creation site, if any path drops them.
+
+// ObligationSpec parameterizes the engine for one resource type.
+type ObligationSpec struct {
+	// Type is the resource's named type, "pkg/path.TypeName"; a value of
+	// type *Type returned by a call creates an obligation.
+	Type string
+	// ReleaseMethod names the method on the resource whose call
+	// discharges it (e.g. "Release"). Empty means no such method.
+	ReleaseMethod string
+	// ReleaseFuncs lists funcIDs that discharge a resource passed to
+	// them as an argument (e.g. trace.Ctx.End).
+	ReleaseFuncs []string
+	// NoObligation lists funcIDs whose results, despite having the
+	// resource type, carry no obligation (e.g. trace.Ctx.Add returns an
+	// already-closed span).
+	NoObligation []string
+	// TransferOnArg discharges a resource passed as an argument to ANY
+	// call: the callee becomes responsible. True for View pins (helpers
+	// routinely consume them); false for spans (only End closes one).
+	TransferOnArg bool
+	// Noun and Verb render messages: "View"/"released", "span"/"ended".
+	Noun string
+	Verb string
+}
+
+// oblig is one live obligation. The pointer is shared between forked
+// branch states so the creation site is reported at most once.
+type oblig struct {
+	pos      token.Pos
+	src      string     // display name of the creating call
+	errVar   *types.Var // error result paired with the creation, if any
+	reported bool
+}
+
+// oblState maps local variables to the obligation they currently carry.
+type oblState map[*types.Var]*oblig
+
+// obligations runs the engine over every function of the program.
+type obligations struct {
+	pass   string
+	spec   ObligationSpec
+	report ReportFunc
+	pkg    *Package
+}
+
+func runObligations(pass string, spec ObligationSpec, prog *Program, report ReportFunc) {
+	ob := &obligations{pass: pass, spec: spec, report: report}
+	graph := prog.CallGraph()
+	for _, fn := range graph.Order {
+		info := graph.Funcs[fn]
+		ob.pkg = info.Pkg
+		ob.walkBody(info.Decl.Body)
+	}
+}
+
+// walkBody analyzes one function (or function literal) body independently.
+func (ob *obligations) walkBody(body *ast.BlockStmt) {
+	out, fellThrough := flowWalk(ob, body, oblState{})
+	if fellThrough {
+		ob.leakAll(out.(oblState))
+	}
+}
+
+// --- flowClient implementation ---
+
+func (ob *obligations) Fork(s any) any {
+	in := s.(oblState)
+	c := make(oblState, len(in))
+	for v, o := range in {
+		c[v] = o
+	}
+	return c
+}
+
+func (ob *obligations) Join(a, b any) any {
+	// Union: an obligation still open on either arm stays open. The
+	// shared reported flag keeps a both-arms leak to one diagnostic.
+	out := a.(oblState)
+	for v, o := range b.(oblState) {
+		if _, ok := out[v]; !ok {
+			out[v] = o
+		}
+	}
+	return out
+}
+
+func (ob *obligations) Simple(s any, st ast.Stmt) {
+	state := s.(oblState)
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		ob.assign(state, st.Lhs, st.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					ob.assign(state, lhs, vs.Values)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			ob.scan(state, call)
+			if idxs, callee := ob.creations(call); len(idxs) > 0 {
+				ob.reportAt(call.Pos(), "result of %s discards a %s that must be %s",
+					funcDisplayName(callee), ob.spec.Noun, ob.spec.Verb)
+			}
+			return
+		}
+		ob.scan(state, st.X)
+	default:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				ob.scan(state, e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (ob *obligations) Return(s any, st *ast.ReturnStmt) {
+	state := s.(oblState)
+	for _, e := range st.Results {
+		// Returning the resource transfers the obligation to the caller.
+		if v := ob.identVar(e); v != nil && state[v] != nil {
+			delete(state, v)
+			continue
+		}
+		ob.scan(state, e)
+	}
+	ob.leakAll(state)
+}
+
+func (ob *obligations) Defer(s any, st *ast.DeferStmt) {
+	// A deferred release runs on every exit; treating it as immediate is
+	// sound for the "closed on all paths" property.
+	ob.scan(s.(oblState), st.Call)
+}
+
+func (ob *obligations) Go(s any, st *ast.GoStmt) {
+	// The goroutine takes ownership of anything it captures or receives.
+	ob.scan(s.(oblState), st.Call)
+}
+
+func (ob *obligations) Cond(s any, cond ast.Expr) (any, any) {
+	state := s.(oblState)
+	ob.scan(state, cond)
+	then := ob.Fork(state).(oblState)
+	els := ob.Fork(state).(oblState)
+	ob.refine(cond, then, els)
+	return then, els
+}
+
+// LoopEnd reports obligations created inside a loop body that are still
+// open when an iteration ends: the next iteration's rebinding would lose
+// them. Obligations that entered the loop from outside are left to the
+// enclosing path.
+func (ob *obligations) LoopEnd(s, bodyOut any) {
+	in := s.(oblState)
+	entered := make(map[*oblig]bool, len(in))
+	for _, o := range in {
+		entered[o] = true
+	}
+	for _, o := range bodyOut.(oblState) {
+		if !entered[o] {
+			ob.leak(o)
+		}
+	}
+}
+
+// --- core transfer function ---
+
+// assign applies lhs... = rhs... to the state: creations bind obligations
+// to their destination variables, copies retarget them, stores into
+// fields or slices count as escapes (some longer-lived owner has them).
+func (ob *obligations) assign(state oblState, lhs, rhs []ast.Expr) {
+	// Single-call form: v, err := create(...) — possibly multi-result.
+	if len(rhs) == 1 {
+		if call, ok := rhs[0].(*ast.CallExpr); ok {
+			ob.scan(state, call)
+			idxs, callee := ob.creations(call)
+			if len(idxs) == 0 {
+				return
+			}
+			errVar := ob.lastErrVar(call, lhs)
+			for _, i := range idxs {
+				if i >= len(lhs) {
+					continue // v := pair() with pair result unpacked elsewhere
+				}
+				ob.bind(state, lhs[i], call, callee, errVar)
+			}
+			return
+		}
+	}
+	// General form: pairwise value moves.
+	for i, r := range rhs {
+		if i >= len(lhs) {
+			ob.scan(state, r)
+			continue
+		}
+		if v := ob.identVar(r); v != nil && state[v] != nil {
+			ob.move(state, lhs[i], v)
+			continue
+		}
+		ob.scan(state, r)
+		if call, ok := r.(*ast.CallExpr); ok {
+			if idxs, callee := ob.creations(call); len(idxs) > 0 {
+				ob.bind(state, lhs[i], call, callee, nil)
+			}
+		}
+	}
+	for _, l := range lhs {
+		if _, ok := l.(*ast.Ident); !ok {
+			ob.scan(state, l) // index/field expressions can contain calls
+		}
+	}
+}
+
+// bind attaches a fresh obligation for a creating call to its destination.
+func (ob *obligations) bind(state oblState, dst ast.Expr, call *ast.CallExpr, callee *types.Func, errVar *types.Var) {
+	id, isIdent := dst.(*ast.Ident)
+	if isIdent && id.Name == "_" {
+		ob.reportAt(call.Pos(), "result of %s discards a %s that must be %s",
+			funcDisplayName(callee), ob.spec.Noun, ob.spec.Verb)
+		return
+	}
+	if !isIdent {
+		return // stored straight into a field/slice: escapes to its owner
+	}
+	v := ob.defOrUse(id)
+	if v == nil {
+		return
+	}
+	if old := state[v]; old != nil && !old.reported {
+		old.reported = true
+		ob.reportAt(old.pos, "%s obtained from %s is overwritten before it is %s",
+			ob.spec.Noun, old.src, ob.spec.Verb)
+	}
+	state[v] = &oblig{pos: call.Pos(), src: funcDisplayName(callee), errVar: errVar}
+}
+
+// move retargets v's obligation to dst (plain copy) or discharges it as
+// an escape (store into a field, slice element, or dereference).
+func (ob *obligations) move(state oblState, dst ast.Expr, v *types.Var) {
+	o := state[v]
+	delete(state, v)
+	if id, ok := dst.(*ast.Ident); ok {
+		if id.Name == "_" {
+			state[v] = o // `_ = v` moves nothing
+			return
+		}
+		if nv := ob.defOrUse(id); nv != nil {
+			state[nv] = o
+			return
+		}
+	}
+	// Non-ident destination: the value escaped to a longer-lived owner.
+}
+
+// scan walks an expression for effects: releases, transfers, captures,
+// and nested function literals. Creations are NOT handled here — only
+// statement-level forms track them (a resource consumed inside a larger
+// expression has been handed to that expression).
+func (ob *obligations) scan(state oblState, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ob.capture(state, n)
+			ob.walkBody(n.Body)
+			return false
+		case *ast.CallExpr:
+			ob.applyCall(state, n)
+		}
+		return true
+	})
+}
+
+// applyCall discharges obligations a call releases or takes over.
+func (ob *obligations) applyCall(state oblState, call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == ob.spec.ReleaseMethod {
+		if v := ob.identVar(sel.X); v != nil && state[v] != nil {
+			delete(state, v)
+			return
+		}
+	}
+	callee := calleeOf(ob.pkg.Info, call)
+	release := callee != nil && contains(ob.spec.ReleaseFuncs, funcID(callee))
+	if !release && !ob.spec.TransferOnArg {
+		return
+	}
+	for _, arg := range call.Args {
+		if v := ob.identVar(arg); v != nil && state[v] != nil {
+			delete(state, v)
+		}
+	}
+}
+
+// capture discharges every obligation whose variable a function literal
+// references: the closure owns it now (deferred cleanups, goroutine
+// hand-offs, callbacks all look like this).
+func (ob *obligations) capture(state oblState, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := ob.pkg.Info.Uses[id].(*types.Var); ok && state[v] != nil {
+				delete(state, v)
+			}
+		}
+		return true
+	})
+}
+
+// refine applies error-nilness facts from a branch condition: on the arm
+// where an obligation's paired error is known non-nil, the creating call
+// failed and returned no resource, so the obligation is vacuous there.
+func (ob *obligations) refine(cond ast.Expr, then, els oblState) {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		ob.refine(c.X, then, els)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			ob.refine(c.X, els, then)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			// then-arm implies both operands; else-arm implies nothing.
+			ob.refine(c.X, then, nil)
+			ob.refine(c.Y, then, nil)
+		case token.LOR:
+			// else-arm implies both operands false.
+			ob.refine(c.X, nil, els)
+			ob.refine(c.Y, nil, els)
+		case token.EQL, token.NEQ:
+			nv := ob.nilComparedVar(c)
+			if nv == nil {
+				return
+			}
+			// nv may be the resource itself (`if sp == nil`: no resource
+			// on the nil arm) or a paired error (`if err != nil`: the
+			// creating call failed, so no resource on that arm).
+			resourceNilArm, errNonNilArm := then, then
+			if c.Op == token.EQL {
+				errNonNilArm = els
+			} else {
+				resourceNilArm = els
+			}
+			if resourceNilArm != nil {
+				delete(resourceNilArm, nv)
+			}
+			if errNonNilArm != nil {
+				for v, o := range errNonNilArm {
+					if o.errVar == nv {
+						delete(errNonNilArm, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// nilComparedVar returns the variable compared against nil, if the
+// comparison has exactly the `v ==/!= nil` shape.
+func (ob *obligations) nilComparedVar(c *ast.BinaryExpr) *types.Var {
+	x, y := c.X, c.Y
+	if ob.isNil(y) {
+		return ob.identVar(x)
+	}
+	if ob.isNil(x) {
+		return ob.identVar(y)
+	}
+	return nil
+}
+
+func (ob *obligations) isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := ob.pkg.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// creations returns the result indices of call that carry an obligation,
+// plus the resolved callee (which may be nil for indirect calls).
+func (ob *obligations) creations(call *ast.CallExpr) ([]int, *types.Func) {
+	tv, ok := ob.pkg.Info.Types[call]
+	if !ok {
+		return nil, nil
+	}
+	callee := calleeOf(ob.pkg.Info, call)
+	if callee != nil && contains(ob.spec.NoObligation, funcID(callee)) {
+		return nil, nil
+	}
+	if callee == nil {
+		return nil, nil // indirect call: no summary to pin blame on
+	}
+	var idxs []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if ob.isOblType(t.At(i).Type()) {
+				idxs = append(idxs, i)
+			}
+		}
+	default:
+		if ob.isOblType(t) {
+			idxs = append(idxs, 0)
+		}
+	}
+	return idxs, callee
+}
+
+// isOblType reports whether t is *T for the spec's resource type.
+func (ob *obligations) isOblType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path()+"."+named.Obj().Name() == ob.spec.Type
+}
+
+// lastErrVar pairs a creation with the error variable bound from the same
+// call, when the call's last result is an error landing in a plain ident.
+func (ob *obligations) lastErrVar(call *ast.CallExpr, lhs []ast.Expr) *types.Var {
+	tv, ok := ob.pkg.Info.Types[call]
+	if !ok {
+		return nil
+	}
+	tup, ok := tv.Type.(*types.Tuple)
+	if !ok || tup.Len() != len(lhs) {
+		return nil
+	}
+	last := tup.Len() - 1
+	if !types.Identical(tup.At(last).Type(), types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	if id, ok := lhs[last].(*ast.Ident); ok && id.Name != "_" {
+		return ob.defOrUse(id)
+	}
+	return nil
+}
+
+// identVar resolves a plain identifier expression to its variable.
+func (ob *obligations) identVar(e ast.Expr) *types.Var {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := ob.pkg.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// defOrUse resolves an identifier appearing on the left of = or :=.
+func (ob *obligations) defOrUse(id *ast.Ident) *types.Var {
+	if v, ok := ob.pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := ob.pkg.Info.Uses[id].(*types.Var)
+	return v
+}
+
+func (ob *obligations) leakAll(state oblState) {
+	for _, o := range state {
+		ob.leak(o)
+	}
+}
+
+func (ob *obligations) leak(o *oblig) {
+	if o.reported {
+		return
+	}
+	o.reported = true
+	ob.reportAt(o.pos, "%s obtained from %s is not %s on every path",
+		ob.spec.Noun, o.src, ob.spec.Verb)
+}
+
+func (ob *obligations) reportAt(pos token.Pos, format string, args ...any) {
+	ob.report(pos, format, args...)
+}
+
+func contains(list []string, s string) bool {
+	for _, e := range list {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"go/ast"
-	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -26,73 +24,27 @@ var PanicFree = &Analyzer{
 	Run:  runPanicFree,
 }
 
-// funcNode is the per-function call-graph record.
-type funcNode struct {
-	obj     *types.Func
-	callees []*types.Func // deduplicated, in source order
-	panics  []token.Pos   // direct panic calls in the body
-	isRoot  bool
-}
-
 func runPanicFree(prog *Program, cfg Config, report ReportFunc) {
-	nodes := make(map[*types.Func]*funcNode)
-	var order []*types.Func // deterministic iteration order
+	graph := prog.CallGraph()
 
-	for _, pkg := range prog.Pkgs {
-		root := false
+	isRoot := func(info *FuncInfo) bool {
+		if !info.Decl.Name.IsExported() {
+			return false
+		}
 		for _, prefix := range cfg.PanicRoots {
-			if pkg.Path == prefix || strings.HasPrefix(pkg.Path, prefix+"/") {
-				root = true
-				break
+			if info.Pkg.Path == prefix || strings.HasPrefix(info.Pkg.Path, prefix+"/") {
+				return true
 			}
 		}
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				node := &funcNode{obj: obj, isRoot: root && fd.Name.IsExported()}
-				seen := make(map[*types.Func]bool)
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					switch fun := call.Fun.(type) {
-					case *ast.Ident:
-						if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
-							node.panics = append(node.panics, call.Pos())
-							return true
-						}
-						if callee, ok := pkg.Info.Uses[fun].(*types.Func); ok && !seen[callee] {
-							seen[callee] = true
-							node.callees = append(node.callees, callee)
-						}
-					case *ast.SelectorExpr:
-						if callee, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok && !seen[callee] {
-							seen[callee] = true
-							node.callees = append(node.callees, callee)
-						}
-					}
-					return true
-				})
-				nodes[obj] = node
-				order = append(order, obj)
-			}
-		}
+		return false
 	}
 
 	// BFS from the roots, remembering one shortest call chain per function.
 	parent := make(map[*types.Func]*types.Func)
 	reached := make(map[*types.Func]bool)
 	var queue []*types.Func
-	for _, obj := range order {
-		if nodes[obj].isRoot {
+	for _, obj := range graph.Order {
+		if isRoot(graph.Funcs[obj]) {
 			reached[obj] = true
 			queue = append(queue, obj)
 		}
@@ -100,8 +52,9 @@ func runPanicFree(prog *Program, cfg Config, report ReportFunc) {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, callee := range nodes[cur].callees {
-			if _, ok := nodes[callee]; !ok || reached[callee] {
+		for _, cs := range graph.Funcs[cur].Calls {
+			callee := cs.Callee
+			if _, ok := graph.Funcs[callee]; !ok || reached[callee] {
 				continue // outside the module, or already visited
 			}
 			reached[callee] = true
@@ -110,17 +63,17 @@ func runPanicFree(prog *Program, cfg Config, report ReportFunc) {
 		}
 	}
 
-	var flagged []*funcNode
-	for _, obj := range order {
-		node := nodes[obj]
-		if reached[obj] && len(node.panics) > 0 {
-			flagged = append(flagged, node)
+	var flagged []*FuncInfo
+	for _, obj := range graph.Order {
+		info := graph.Funcs[obj]
+		if reached[obj] && len(info.Panics) > 0 {
+			flagged = append(flagged, info)
 		}
 	}
-	sort.Slice(flagged, func(i, j int) bool { return flagged[i].panics[0] < flagged[j].panics[0] })
-	for _, node := range flagged {
-		chain := callChain(parent, node.obj)
-		for _, pos := range node.panics {
+	sort.Slice(flagged, func(i, j int) bool { return flagged[i].Panics[0] < flagged[j].Panics[0] })
+	for _, info := range flagged {
+		chain := callChain(parent, info.Obj)
+		for _, pos := range info.Panics {
 			report(pos, "panic reachable from RPC entry point (call chain: %s); return an error instead", chain)
 		}
 	}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RightsCheck asserts that every command handler in the RPC service
+// packages verifies a capability right before anything it calls mutates
+// server state. The capability model is the paper's whole access-control
+// story: a handler that reaches the allocator, inode table, cache
+// compaction, or recovery machinery without first passing the request's
+// capability through a verifier is an open door, whatever the code
+// comments promise. The pass walks each function of the configured root
+// packages with a branch-sensitive "verified" flag: calls to configured
+// verifier functions set it, and a call that (transitively, by each
+// callee's first-effect summary) reaches a configured mutator while the
+// flag is unset is reported. Calls from one root-package function to
+// another are skipped — the callee is independently checked, so a thin
+// dispatcher delegating to per-command handlers needs no rights of its
+// own. A switch dispatching on the command starts each arm unverified,
+// which is exactly how per-command rights work.
+var RightsCheck = &Analyzer{
+	Name: "rightscheck",
+	Doc:  "command handlers must verify a capability right before mutating state",
+	Run:  runRightsCheck,
+}
+
+type rightsEffect struct {
+	kind int // effNone, effVerifies, effMutates
+	via  *types.Func
+}
+
+const (
+	effNone = iota
+	effVerifies
+	effMutates
+)
+
+type rightsCheck struct {
+	report    ReportFunc
+	graph     *CallGraph
+	pkg       *Package
+	roots     map[string]bool // root package paths
+	verifiers map[string]bool // funcIDs
+	mutators  map[string]bool // funcIDs
+	effects   map[*types.Func]rightsEffect
+	inProg    map[*types.Func]bool
+}
+
+// rightsState is the per-path flag: has a capability right been verified
+// on this path yet?
+type rightsState struct{ verified bool }
+
+func runRightsCheck(prog *Program, cfg Config, report ReportFunc) {
+	rc := &rightsCheck{
+		report:    report,
+		graph:     prog.CallGraph(),
+		roots:     make(map[string]bool),
+		verifiers: make(map[string]bool),
+		mutators:  make(map[string]bool),
+		effects:   make(map[*types.Func]rightsEffect),
+		inProg:    make(map[*types.Func]bool),
+	}
+	for _, p := range cfg.RightsRoots {
+		rc.roots[p] = true
+	}
+	for _, id := range cfg.RightsVerifiers {
+		rc.verifiers[id] = true
+	}
+	for _, id := range cfg.RightsMutators {
+		rc.mutators[id] = true
+	}
+	for _, fn := range rc.graph.Order {
+		info := rc.graph.Funcs[fn]
+		if !rc.roots[info.Pkg.Path] {
+			continue
+		}
+		rc.pkg = info.Pkg
+		flowWalk(rc, info.Decl.Body, &rightsState{})
+	}
+}
+
+// --- flowClient implementation ---
+
+func (rc *rightsCheck) Fork(s any) any {
+	c := *s.(*rightsState)
+	return &c
+}
+
+func (rc *rightsCheck) Join(a, b any) any {
+	// Verified only counts if every arm verified: a right checked on one
+	// branch says nothing about the others.
+	out := a.(*rightsState)
+	out.verified = out.verified && b.(*rightsState).verified
+	return out
+}
+
+func (rc *rightsCheck) Simple(s any, st ast.Stmt) {
+	rc.scan(s.(*rightsState), st)
+}
+
+func (rc *rightsCheck) Return(s any, st *ast.ReturnStmt) {
+	rc.scan(s.(*rightsState), st)
+}
+
+func (rc *rightsCheck) Defer(s any, st *ast.DeferStmt) {
+	rc.scan(s.(*rightsState), st)
+}
+
+func (rc *rightsCheck) Go(s any, st *ast.GoStmt) {
+	rc.scan(s.(*rightsState), st)
+}
+
+func (rc *rightsCheck) Cond(s any, cond ast.Expr) (any, any) {
+	state := s.(*rightsState)
+	rc.scanExpr(state, cond)
+	return rc.Fork(state), rc.Fork(state)
+}
+
+func (rc *rightsCheck) LoopEnd(incoming, bodyOut any) {}
+
+func (rc *rightsCheck) scan(state *rightsState, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal runs on the same request path; it inherits the
+			// current flag (a shared `fail` helper must not need its own
+			// rights check) but cannot establish verification for code
+			// after its definition, so walk it on a fork.
+			flowWalk(rc, n.Body, rc.Fork(state))
+			return false
+		case *ast.CallExpr:
+			rc.applyCall(state, n)
+		}
+		return true
+	})
+}
+
+func (rc *rightsCheck) scanExpr(state *rightsState, e ast.Expr) {
+	rc.scan(state, e)
+}
+
+func (rc *rightsCheck) applyCall(state *rightsState, call *ast.CallExpr) {
+	callee := calleeOf(rc.pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	id := funcID(callee)
+	switch {
+	case rc.verifiers[id]:
+		state.verified = true
+	case rc.mutators[id]:
+		if !state.verified {
+			rc.report(call.Pos(), "handler calls mutating %s without verifying a capability right first",
+				funcDisplayName(callee))
+		}
+	default:
+		info := rc.graph.Funcs[callee]
+		if info == nil || rc.roots[info.Pkg.Path] {
+			// Unknown externals have no summary; root-package callees
+			// are checked independently as handlers in their own right.
+			return
+		}
+		switch eff := rc.firstEffect(callee); eff.kind {
+		case effVerifies:
+			state.verified = true
+		case effMutates:
+			if !state.verified {
+				rc.report(call.Pos(), "handler reaches mutating %s (via %s) without verifying a capability right first",
+					funcDisplayName(eff.via), funcDisplayName(callee))
+			}
+		}
+	}
+}
+
+// firstEffect summarizes a non-root function: in source order, does it
+// verify a right or mutate state first? A function that verifies before
+// its mutation vouches for itself (the engine's own methods check rights
+// internally); one that mutates first needs the handler to have checked.
+func (rc *rightsCheck) firstEffect(fn *types.Func) rightsEffect {
+	if eff, ok := rc.effects[fn]; ok {
+		return eff
+	}
+	info := rc.graph.Funcs[fn]
+	if info == nil || rc.inProg[fn] {
+		return rightsEffect{kind: effNone}
+	}
+	rc.inProg[fn] = true
+	eff := rightsEffect{kind: effNone}
+	for _, cs := range info.Calls {
+		id := funcID(cs.Callee)
+		if rc.verifiers[id] {
+			eff = rightsEffect{kind: effVerifies, via: cs.Callee}
+			break
+		}
+		if rc.mutators[id] {
+			eff = rightsEffect{kind: effMutates, via: cs.Callee}
+			break
+		}
+		if sub := rc.firstEffect(cs.Callee); sub.kind != effNone {
+			eff = sub
+			break
+		}
+	}
+	delete(rc.inProg, fn)
+	rc.effects[fn] = eff
+	return eff
+}

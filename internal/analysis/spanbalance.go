@@ -1,0 +1,36 @@
+package analysis
+
+// SpanBalance verifies that every trace span opened with Ctx.Begin is
+// closed with Ctx.End on every path. An unended span sits in the arena
+// with DurPending forever and poisons the slow-request log with bogus
+// durations; the flight recorder's usefulness (PR 4) depends on spans
+// pairing up. The pass uses the same obligation engine as pinleak:
+// Begin's result must reach an End call, be returned to the caller
+// (helpers that open a span for their caller to close), or be handed to
+// a closure. Ctx.Add returns an already-measured span and Trace.Root
+// merely looks one up, so neither creates an obligation. Unlike View
+// pins, passing a span as an argument to an arbitrary function does NOT
+// discharge it — spans are closed by End and nothing else (parent spans
+// are passed to Begin all the time and remain open).
+var SpanBalance = &Analyzer{
+	Name: "spanbalance",
+	Doc:  "every trace span Begin must be matched by an End on every path",
+	Run: func(prog *Program, cfg Config, report ReportFunc) {
+		runObligations("spanbalance", cfg.SpanObligation, prog, report)
+	},
+}
+
+// defaultSpanObligation describes trace spans for the engine.
+func defaultSpanObligation() ObligationSpec {
+	return ObligationSpec{
+		Type:         "bulletfs/internal/trace.Span",
+		ReleaseFuncs: []string{"bulletfs/internal/trace.Ctx.End"},
+		NoObligation: []string{
+			"bulletfs/internal/trace.Ctx.Add",
+			"bulletfs/internal/trace.Trace.Root",
+		},
+		TransferOnArg: false,
+		Noun:          "span",
+		Verb:          "ended",
+	}
+}

@@ -1,0 +1,119 @@
+// Package lockorder exercises the lock-hierarchy pass against a
+// self-contained three-level hierarchy (the golden test supplies the
+// matching LockSpec): Meta.mu at rank 0, Shard.mu and Shard.pendMu at
+// rank 1, Leaf.mu a rank-2 leaf.
+package lockorder
+
+import "sync"
+
+// Meta is the top of the testdata hierarchy (rank 0).
+type Meta struct{ mu sync.RWMutex }
+
+// Shard holds two same-rank locks (rank 1).
+type Shard struct {
+	mu     sync.Mutex
+	pendMu sync.Mutex
+}
+
+// Leaf holds the leaf lock (rank 2).
+type Leaf struct{ mu sync.Mutex }
+
+// Descend acquires in hierarchy order: clean.
+func Descend(m *Meta, s *Shard) {
+	m.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	m.mu.Unlock()
+}
+
+// Invert climbs from rank 1 back up to rank 0.
+func Invert(m *Meta, s *Shard) {
+	s.mu.Lock()
+	m.mu.Lock() // want `climbs the lock hierarchy`
+	m.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// SameRank pairs the two rank-1 locks.
+func SameRank(s *Shard) {
+	s.mu.Lock()
+	s.pendMu.Lock() // want `same-rank locks`
+	s.pendMu.Unlock()
+	s.mu.Unlock()
+}
+
+// Reacquire upgrades a read lock it already holds: self-deadlock.
+func Reacquire(m *Meta) {
+	m.mu.RLock()
+	m.mu.Lock() // want `acquired while already held`
+	m.mu.Unlock()
+	m.mu.RUnlock()
+}
+
+// RLockThenLock releases before relocking: clean (the flow-sensitivity
+// true negative for RLock-vs-Lock).
+func RLockThenLock(m *Meta) {
+	m.mu.RLock()
+	m.mu.RUnlock()
+	m.mu.Lock()
+	m.mu.Unlock()
+}
+
+func lockShard(s *Shard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// UnderLeaf calls a helper that locks Shard.mu while holding the leaf:
+// nothing may be acquired under a leaf, even interprocedurally.
+func UnderLeaf(l *Leaf, s *Shard) {
+	l.mu.Lock()
+	lockShard(s) // want `may acquire Shard.mu while leaf lock Leaf.mu is held`
+	l.mu.Unlock()
+}
+
+func lockMeta(m *Meta) {
+	m.mu.Lock()
+	m.mu.Unlock()
+}
+
+// InterprocClimb climbs the hierarchy through a call edge: the helper is
+// innocent on its own; calling it under Shard.mu is the violation.
+func InterprocClimb(m *Meta, s *Shard) {
+	s.mu.Lock()
+	lockMeta(m) // want `may acquire Meta.mu .* climbing the lock hierarchy`
+	s.mu.Unlock()
+}
+
+// Deferred unlocks via defer; acquisitions stay in hierarchy order: clean.
+func Deferred(m *Meta, s *Shard) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// GoroutineContext launches a literal that locks Meta.mu while the
+// enclosing function holds Shard.mu: clean, because the goroutine starts
+// with nothing held.
+func GoroutineContext(m *Meta, s *Shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		m.mu.Lock()
+		m.mu.Unlock()
+	}()
+}
+
+// BranchJoin holds Shard.mu on either arm; the acquisition after the
+// join must still be checked.
+func BranchJoin(m *Meta, s *Shard, b bool) {
+	if b {
+		s.mu.Lock()
+	} else {
+		s.mu.Lock()
+	}
+	m.mu.Lock() // want `climbs the lock hierarchy`
+	m.mu.Unlock()
+	s.mu.Unlock()
+}

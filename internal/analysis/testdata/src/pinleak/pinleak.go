@@ -1,0 +1,91 @@
+// Package pinleak exercises the View-pin obligation pass against the real
+// cache package: leaks on success paths, error-path correlation, the
+// transfer rules (return and argument), bare drops, and overwrites.
+package pinleak
+
+import "bulletfs/internal/cache"
+
+var c *cache.Cache
+
+// LeakOnSuccess releases nothing on the path where the pin succeeded.
+func LeakOnSuccess() int {
+	v, err := c.GetView(1, 1) // want `View obtained from cache.Cache.GetView is not released on every path`
+	if err != nil {
+		return 0
+	}
+	return v.Len()
+}
+
+// ReleasedOnAllPaths is the intended shape: the error path pins nothing,
+// every success path runs the deferred Release.
+func ReleasedOnAllPaths() (int, error) {
+	v, err := c.GetView(1, 1)
+	if err != nil {
+		return 0, err
+	}
+	defer v.Release()
+	return v.Len(), nil
+}
+
+// TransferByReturn hands the pin to the caller: the obligation moves with
+// it (the caller's copy of this analysis takes over).
+func TransferByReturn() (*cache.View, error) {
+	v, err := c.GetView(2, 2)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Dropped discards the pin without ever binding it.
+func Dropped() {
+	c.GetView(3, 3) // want `discards a View that must be released`
+}
+
+// PartialRelease releases on one arm only.
+func PartialRelease(b bool) {
+	v, err := c.GetView(4, 4) // want `not released on every path`
+	if err != nil {
+		return
+	}
+	if b {
+		v.Release()
+	}
+}
+
+func consume(v *cache.View) {
+	v.Release()
+}
+
+// TransferByArg hands the pin to a helper: for Views, passing the value
+// transfers the obligation (TransferOnArg).
+func TransferByArg() {
+	v, err := c.GetView(5, 5)
+	if err != nil {
+		return
+	}
+	consume(v)
+}
+
+// Overwritten rebinds the variable while the first pin is still live.
+func Overwritten() {
+	v, err := c.GetView(6, 6) // want `overwritten before it is released`
+	if err != nil {
+		return
+	}
+	v, err = c.GetView(7, 7)
+	if err != nil {
+		return
+	}
+	v.Release()
+}
+
+// ClosureCapture hands the pin to a literal (deferred cleanup and
+// goroutine hand-offs look like this): the closure owns it now.
+func ClosureCapture() func() {
+	v, err := c.GetView(8, 8)
+	if err != nil {
+		return func() {}
+	}
+	return func() { v.Release() }
+}

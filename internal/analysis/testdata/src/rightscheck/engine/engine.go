@@ -1,0 +1,40 @@
+// Package engine is a stand-in storage engine for the rightscheck golden
+// test: one verifier, one mutator, a read-only method, a method that
+// reaches the mutator indirectly, and one that vouches for itself by
+// verifying before it mutates.
+package engine
+
+// Engine is the mutable state handlers must not reach unverified.
+type Engine struct {
+	generation uint64
+}
+
+// Authorize is the configured verifier.
+func (e *Engine) Authorize(c uint64) error {
+	_ = c
+	return nil
+}
+
+// Mutate is the configured mutator.
+func (e *Engine) Mutate() {
+	e.generation++
+}
+
+// Read is neither.
+func (e *Engine) Read() uint64 {
+	return e.generation
+}
+
+// MutateIndirect reaches the mutator one call deep.
+func (e *Engine) MutateIndirect() {
+	e.Mutate()
+}
+
+// Checked verifies before mutating: its first effect is the verification,
+// so callers need no check of their own.
+func (e *Engine) Checked(c uint64) {
+	if err := e.Authorize(c); err != nil {
+		return
+	}
+	e.Mutate()
+}

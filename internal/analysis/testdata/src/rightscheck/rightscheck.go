@@ -1,0 +1,65 @@
+// Package rightscheck exercises the capability-rights pass: the golden
+// test configures this package as the handler root, engine.Authorize as
+// the verifier, and engine.Mutate as the mutator.
+package rightscheck
+
+import "bulletfs/internal/analysis/testdata/src/rightscheck/engine"
+
+var e *engine.Engine
+
+// HandleGood verifies before mutating: clean.
+func HandleGood(c uint64) {
+	if err := e.Authorize(c); err != nil {
+		return
+	}
+	e.Mutate()
+}
+
+// HandleBad mutates with no check at all.
+func HandleBad() {
+	e.Mutate() // want `calls mutating engine.Engine.Mutate without verifying a capability right`
+}
+
+// HandleIndirect reaches the mutator through a helper.
+func HandleIndirect() {
+	e.MutateIndirect() // want `reaches mutating engine.Engine.Mutate \(via engine.Engine.MutateIndirect\) without verifying`
+}
+
+// HandleSwitch dispatches per command: each arm needs its own check.
+func HandleSwitch(cmd int, c uint64) {
+	switch cmd {
+	case 1:
+		if err := e.Authorize(c); err != nil {
+			return
+		}
+		e.Mutate()
+	case 2:
+		e.Mutate() // want `without verifying a capability right`
+	}
+}
+
+// HandleBranch verifies on one arm only: the mutation after the join is
+// not covered.
+func HandleBranch(ok bool, c uint64) {
+	if ok {
+		_ = e.Authorize(c)
+	}
+	e.Mutate() // want `without verifying a capability right`
+}
+
+// HandleReadOnly never mutates: clean with no check.
+func HandleReadOnly() uint64 {
+	return e.Read()
+}
+
+// HandleChecked calls an engine method that verifies before it mutates:
+// the callee vouches for itself.
+func HandleChecked(c uint64) {
+	e.Checked(c)
+}
+
+// Dispatch delegates to another handler in this package; the callee is
+// checked independently, so the dispatcher is clean.
+func Dispatch() {
+	HandleBad()
+}

@@ -1,0 +1,76 @@
+// Package spanbalance exercises the span obligation pass against the real
+// trace package: unmatched Begins, the defer-End idiom, transfer by
+// return, and the no-obligation calls (Add returns a closed span).
+package spanbalance
+
+import (
+	"time"
+
+	"bulletfs/internal/trace"
+)
+
+var tc *trace.Ctx
+
+// LeakOpen never ends the span.
+func LeakOpen() {
+	sp := tc.Begin(nil, trace.LayerRPC, trace.OpRequest) // want `span obtained from trace.Ctx.Begin is not ended on every path`
+	sp.Bytes = 1
+}
+
+// Balanced is the canonical shape.
+func Balanced() {
+	sp := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
+	defer tc.End(sp)
+}
+
+// EarlyReturn leaks the span on one arm.
+func EarlyReturn(b bool) {
+	sp := tc.Begin(nil, trace.LayerEngine, trace.OpRead) // want `not ended on every path`
+	if b {
+		return
+	}
+	tc.End(sp)
+}
+
+// OpenSpan transfers the open span to the caller, which owns ending it.
+func OpenSpan() *trace.Span {
+	sp := tc.Begin(nil, trace.LayerDisk, trace.OpDiskRead)
+	sp.Replica = 0
+	return sp
+}
+
+// AddIsMeasured uses Add, which returns an already-closed span: no
+// obligation, even with the result discarded.
+func AddIsMeasured(start time.Time) {
+	tc.Add(nil, trace.LayerDisk, trace.OpDiskRead, start, 5)
+}
+
+func note(sp *trace.Span) {
+	_ = sp
+}
+
+// ArgDoesNotEnd passes the span to a helper; unlike View pins, that does
+// NOT discharge a span — only End does (parents are passed around open).
+func ArgDoesNotEnd() {
+	sp := tc.Begin(nil, trace.LayerRPC, trace.OpRequest) // want `not ended on every path`
+	note(sp)
+}
+
+// ParentChild keeps the root open while the child runs: both are ended,
+// and passing root to Begin leaves it open.
+func ParentChild() {
+	root := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
+	child := tc.Begin(root, trace.LayerEngine, trace.OpRead)
+	tc.End(child)
+	tc.End(root)
+}
+
+// NilChecked bails on the arena-full path: a nil span carries no
+// obligation.
+func NilChecked() {
+	sp := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
+	if sp == nil {
+		return
+	}
+	tc.End(sp)
+}

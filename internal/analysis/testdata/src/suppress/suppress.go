@@ -33,3 +33,11 @@ func UnknownPass(a, b capability.Check) bool {
 	//lint:ignore timecmp misspelled pass name
 	return a == b
 }
+
+// Stale carries a well-formed, justified suppression over code that
+// violates nothing: the suppression absorbed no diagnostic and must be
+// reported as stale so it cannot linger and mask the next real finding.
+func Stale(a, b capability.Check) int {
+	//lint:ignore ctcmp left behind after the comparison below was fixed
+	return len(a) + len(b)
+}

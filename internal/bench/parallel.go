@@ -241,6 +241,7 @@ func RunParallelExp() (*Table, []Check, error) {
 	}
 	pinnedAtPeak := float64(ca.Stats().PinnedViews)
 	if err := ca.Compact(); err != nil {
+		view.Release()
 		return nil, nil, err
 	}
 	skipped := float64(ca.Stats().CompactionsSkipped)
