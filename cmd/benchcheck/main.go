@@ -9,15 +9,27 @@
 //   - "check/..." keys are the paper's pass/fail shape claims; they must
 //     match the baseline exactly — a claim that flipped is a regression no
 //     tolerance can excuse.
+//
 //   - Every other key is a table cell (delay, bandwidth, ratio); the
 //     current value must be within -tolerance (default 0.25, i.e. ±25%
 //     relative) of the baseline. The experiments run on a virtual clock,
 //     so genuine nondeterminism is zero; the band absorbs deliberate
 //     hardware-model recalibration without masking structural regressions.
+//
 //   - Keys present in the baseline but missing from the current run fail:
 //     a silently vanished experiment must not look like a pass.
+//
 //   - New keys (experiments added since the baseline) are reported but do
 //     not fail; refresh the baseline to start gating them.
+//
+//   - -one-sided takes comma-separated key substrings naming lower-is-better
+//     metrics (latency quantiles, shed rates): a matching cell fails only
+//     when it drifts UP past the tolerance — improvements pass free, and
+//     never force a baseline refresh. The SLO job gates its tail-latency
+//     cells this way:
+//
+//     benchcheck -baseline slo_baseline.json -current SLO_RESULTS.json \
+//     -one-sided "/p50_ms,/p99_ms,/p999_ms,/max_ms,/shed_pct"
 //
 // Exit status: 0 clean, 1 regression, 2 usage or I/O error.
 package main
@@ -28,6 +40,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"bulletfs/internal/bench"
 )
@@ -44,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baselinePath = fs.String("baseline", "bench_baseline.json", "committed baseline results")
 		currentPath  = fs.String("current", "BENCH_RESULTS.json", "fresh benchmark results")
 		tolerance    = fs.Float64("tolerance", 0.25, "allowed relative drift for table cells (0.25 = ±25%)")
+		oneSided     = fs.String("one-sided", "", "comma-separated key substrings of lower-is-better metrics: fail only on upward drift")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	failures, notes := compare(baseline, current, *tolerance)
+	failures, notes := compare(baseline, current, *tolerance, parseOneSided(*oneSided))
 	for _, n := range notes {
 		fmt.Fprintln(stdout, "note:", n)
 	}
@@ -84,10 +98,34 @@ func readResults(path string) (*bench.Results, error) {
 	return bench.ReadResults(data)
 }
 
+// parseOneSided splits the -one-sided flag into its substring matchers.
+func parseOneSided(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// isOneSided reports whether key matches any lower-is-better substring.
+func isOneSided(key string, matchers []string) bool {
+	for _, m := range matchers {
+		if strings.Contains(key, m) {
+			return true
+		}
+	}
+	return false
+}
+
 // compare evaluates current against baseline: exact match for "check/"
-// keys, relative tolerance for everything else. It returns hard failures
-// and informational notes (new keys not yet in the baseline).
-func compare(baseline, current *bench.Results, tolerance float64) (failures, notes []string) {
+// keys, relative tolerance for everything else. Cells matching a oneSided
+// substring are lower-is-better: only upward drift past the tolerance
+// fails, improvements pass free (and are noted so a refresh can re-tighten
+// the bar). It returns hard failures and informational notes (new keys not
+// yet in the baseline, one-sided improvements).
+func compare(baseline, current *bench.Results, tolerance float64, oneSided []string) (failures, notes []string) {
 	for _, k := range baseline.Keys() {
 		want := baseline.Values[k]
 		got, ok := current.Values[k]
@@ -99,6 +137,18 @@ func compare(baseline, current *bench.Results, tolerance float64) (failures, not
 			if got != want {
 				failures = append(failures, fmt.Sprintf("%s: shape check flipped %g -> %g", k, want, got))
 			}
+			continue
+		}
+		if isOneSided(k, oneSided) {
+			if withinTolerance(want, got, tolerance) {
+				continue
+			}
+			if got < want {
+				notes = append(notes, fmt.Sprintf("%s: improved %g -> %g (one-sided, not gated; refresh the baseline to lock it in)", k, want, got))
+				continue
+			}
+			failures = append(failures, fmt.Sprintf("%s: %g -> %g (regressed %.1f%%, allowed +%.0f%%, lower is better)",
+				k, want, got, 100*relDrift(want, got), tolerance*100))
 			continue
 		}
 		if !withinTolerance(want, got, tolerance) {

@@ -20,7 +20,7 @@ func results(values map[string]float64) *bench.Results {
 func TestCompareClean(t *testing.T) {
 	base := results(map[string]float64{"f2.delay/1_byte/Read": 2.0, "check/C1": 1})
 	cur := results(map[string]float64{"f2.delay/1_byte/Read": 2.2, "check/C1": 1})
-	failures, notes := compare(base, cur, 0.25)
+	failures, notes := compare(base, cur, 0.25, nil)
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
@@ -32,7 +32,7 @@ func TestCompareClean(t *testing.T) {
 func TestCompareDriftBeyondTolerance(t *testing.T) {
 	base := results(map[string]float64{"f2.delay/1_byte/Read": 2.0})
 	cur := results(map[string]float64{"f2.delay/1_byte/Read": 3.0})
-	failures, _ := compare(base, cur, 0.25)
+	failures, _ := compare(base, cur, 0.25, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "drift") {
 		t.Fatalf("want one drift failure, got %v", failures)
 	}
@@ -43,7 +43,7 @@ func TestCompareCheckKeyExact(t *testing.T) {
 	// tolerance" of nothing; tolerance must not apply.
 	base := results(map[string]float64{"check/C2": 1})
 	cur := results(map[string]float64{"check/C2": 0})
-	failures, _ := compare(base, cur, 10.0)
+	failures, _ := compare(base, cur, 10.0, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "flipped") {
 		t.Fatalf("want one flipped-check failure, got %v", failures)
 	}
@@ -52,7 +52,7 @@ func TestCompareCheckKeyExact(t *testing.T) {
 func TestCompareMissingKeyFails(t *testing.T) {
 	base := results(map[string]float64{"wan/1_Mbyte/whole": 5.0})
 	cur := results(map[string]float64{})
-	failures, _ := compare(base, cur, 0.25)
+	failures, _ := compare(base, cur, 0.25, nil)
 	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
 		t.Fatalf("want one missing-key failure, got %v", failures)
 	}
@@ -61,12 +61,73 @@ func TestCompareMissingKeyFails(t *testing.T) {
 func TestCompareNewKeyIsNoteOnly(t *testing.T) {
 	base := results(map[string]float64{})
 	cur := results(map[string]float64{"modern/1_byte/Read": 0.5})
-	failures, notes := compare(base, cur, 0.25)
+	failures, notes := compare(base, cur, 0.25, nil)
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
 	if len(notes) != 1 || !strings.Contains(notes[0], "new key") {
 		t.Fatalf("want one new-key note, got %v", notes)
+	}
+}
+
+func TestCompareOneSidedImprovementPasses(t *testing.T) {
+	// A latency cell halving is an improvement: one-sided gating must not
+	// fail it (the default two-sided band would), only note it.
+	base := results(map[string]float64{"slo.steady/80_ops/p99_ms": 800.0})
+	cur := results(map[string]float64{"slo.steady/80_ops/p99_ms": 400.0})
+	oneSided := parseOneSided("/p99_ms,/shed_pct")
+	failures, notes := compare(base, cur, 0.25, oneSided)
+	if len(failures) != 0 {
+		t.Fatalf("improvement failed the gate: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "improved") {
+		t.Fatalf("want one improvement note, got %v", notes)
+	}
+}
+
+func TestCompareOneSidedRegressionFails(t *testing.T) {
+	base := results(map[string]float64{"slo.steady/80_ops/p99_ms": 800.0})
+	cur := results(map[string]float64{"slo.steady/80_ops/p99_ms": 1100.0})
+	failures, _ := compare(base, cur, 0.25, parseOneSided("/p99_ms"))
+	if len(failures) != 1 || !strings.Contains(failures[0], "regressed") {
+		t.Fatalf("want one regression failure, got %v", failures)
+	}
+	// Upward drift inside the band still passes.
+	cur = results(map[string]float64{"slo.steady/80_ops/p99_ms": 900.0})
+	if failures, _ := compare(base, cur, 0.25, parseOneSided("/p99_ms")); len(failures) != 0 {
+		t.Fatalf("in-band upward drift failed: %v", failures)
+	}
+}
+
+func TestCompareOneSidedLeavesOtherKeysTwoSided(t *testing.T) {
+	// achieved_ops is higher-is-better: it must stay under the two-sided
+	// band even when one-sided matchers are active for latency cells.
+	base := results(map[string]float64{"slo.steady/80_ops/achieved_ops": 50.0})
+	cur := results(map[string]float64{"slo.steady/80_ops/achieved_ops": 20.0})
+	failures, _ := compare(base, cur, 0.25, parseOneSided("/p99_ms,/shed_pct"))
+	if len(failures) != 1 || !strings.Contains(failures[0], "drift") {
+		t.Fatalf("want one two-sided drift failure, got %v", failures)
+	}
+}
+
+func TestCompareOneSidedZeroBaselineShedGrowthFails(t *testing.T) {
+	// shed_pct 0 in the baseline means "no sheds at this load"; any sheds
+	// appearing is a regression no relative band can excuse.
+	base := results(map[string]float64{"slo.steady/20_ops/shed_pct": 0})
+	cur := results(map[string]float64{"slo.steady/20_ops/shed_pct": 3.0})
+	failures, _ := compare(base, cur, 0.25, parseOneSided("/shed_pct"))
+	if len(failures) != 1 {
+		t.Fatalf("want one failure for sheds appearing from zero, got %v", failures)
+	}
+}
+
+func TestParseOneSided(t *testing.T) {
+	if got := parseOneSided(""); got != nil {
+		t.Fatalf("empty flag = %v, want nil", got)
+	}
+	got := parseOneSided(" /p99_ms, /shed_pct ,,")
+	if len(got) != 2 || got[0] != "/p99_ms" || got[1] != "/shed_pct" {
+		t.Fatalf("parsed = %v", got)
 	}
 }
 

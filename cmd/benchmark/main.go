@@ -14,6 +14,12 @@
 //	benchmark -experiment wan       # whole-file vs per-block across a WAN link
 //	benchmark -experiment parallel  # concurrent read path: deterministic counters
 //
+// The open-loop SLO harness is its own mode (not part of -experiment all;
+// CI gates it against a separate baseline):
+//
+//	benchmark -slo                  # offered load x tail-latency SLO table
+//	benchmark -slo -json > SLO_RESULTS.json
+//
 // With -json the run writes a flat machine-readable results document to
 // stdout (every table cell and check verdict under a stable key) instead
 // of the human tables — the input of cmd/benchcheck's CI regression gate:
@@ -34,7 +40,11 @@ func main() {
 	experiment := flag.String("experiment", "all",
 		"experiment to run: all, f2, f3, compare, ablation, pfactor, frag, cache, modern, trace, wan, parallel")
 	asJSON := flag.Bool("json", false, "emit machine-readable results JSON on stdout instead of tables")
+	slo := flag.Bool("slo", false, "run the open-loop SLO harness instead of the paper experiments")
 	flag.Parse()
+	if *slo {
+		*experiment = "slo"
+	}
 	if err := run(*experiment, *asJSON, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmark:", err)
 		os.Exit(1)
@@ -61,6 +71,31 @@ func run(experiment string, asJSON bool, stdout io.Writer) error {
 				failed = true
 			}
 		}
+	}
+
+	// The SLO harness is deliberately not part of "all": its cells live in
+	// a separate baseline (slo_baseline.json) gated by a dedicated CI job,
+	// and mixing them into the paper-table document would make each job
+	// fail the other's missing keys.
+	if experiment == "slo" {
+		slo, err := bench.RunSLO()
+		if err != nil {
+			return err
+		}
+		results.AddTable("slo.steady", &slo.Steady)
+		results.AddTable("slo.chaos", &slo.Chaos)
+		emit(slo.Steady.Format())
+		emit(slo.Chaos.Format())
+		note(slo.Checks)
+		if asJSON {
+			if err := results.WriteJSON(stdout); err != nil {
+				return err
+			}
+		}
+		if failed {
+			return fmt.Errorf("one or more SLO checks failed")
+		}
+		return nil
 	}
 
 	wantF2 := experiment == "all" || experiment == "f2" || experiment == "compare"

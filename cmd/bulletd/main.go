@@ -60,6 +60,7 @@ func run() error {
 		slowMS    = flag.Int64("slowms", 50, "slow-request threshold in milliseconds; slow traces go to the slow ring and stderr as one-line JSON (0 disables)")
 		scrubIvl  = flag.Duration("scrub-interval", time.Hour, "time between background scrub passes over all files (0 disables periodic passes; `bulletctl scrub` still works)")
 		scrubRate = flag.Int64("scrub-rate", scrub.DefaultBytesPerSec, "scrub read budget in bytes per second")
+		maxInFl   = flag.Int("max-inflight", 0, "admission limit on concurrent file operations; past it requests are shed with StatusBusy (0 disables)")
 	)
 	flag.Parse()
 	if *disks == "" {
@@ -125,6 +126,11 @@ func run() error {
 	svc := bulletsvc.New(engine)
 	svc.AttachRecorder(recorder)
 	svc.AttachScrubber(scrubber)
+	if *maxInFl > 0 {
+		adm := bulletsvc.NewAdmission(*maxInFl)
+		adm.AttachMetrics(engine.Metrics())
+		svc.AttachAdmission(adm)
+	}
 	svc.Register(mux)
 	srv := rpc.NewTCPServer(mux)
 	addr, err := srv.Listen(*listen)

@@ -48,6 +48,8 @@ type Table struct {
 	Unit    string
 	Columns []string
 	Rows    []RowT
+	// RowHeader labels the row column; empty means the classic "File Size".
+	RowHeader string
 }
 
 // RowT is one table row.
@@ -62,7 +64,11 @@ func (t Table) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (%s)\n", t.Title, t.Unit)
 	width := 14
-	fmt.Fprintf(&b, "%-12s", "File Size")
+	header := t.RowHeader
+	if header == "" {
+		header = "File Size"
+	}
+	fmt.Fprintf(&b, "%-12s", header)
 	for _, c := range t.Columns {
 		fmt.Fprintf(&b, "%*s", width, c)
 	}
@@ -127,6 +133,12 @@ type BulletWorld struct {
 	Client *client.Client
 	Engine *bullet.Server
 	Port   capability.Port
+
+	// Service is the RPC-facing service wrapper around Engine.
+	Service *bulletsvc.Service
+	// Admission is the service's in-flight limiter; nil unless the world
+	// was built with an AdmissionLimit.
+	Admission *bulletsvc.Admission
 }
 
 // BulletConfig sizes a BulletWorld.
@@ -136,6 +148,9 @@ type BulletConfig struct {
 	DiskBlocks int64 // per replica, 512-byte sectors (default 64k = 32 MB)
 	CacheBytes int64 // server RAM cache (default 8 MB)
 	Inodes     int
+	// AdmissionLimit bounds concurrent file operations at the service;
+	// past it requests are shed with StatusBusy (0 = unlimited).
+	AdmissionLimit int
 }
 
 // NewBulletWorld builds and formats a simulated Bullet deployment.
@@ -173,14 +188,23 @@ func NewBulletWorld(cfg BulletConfig) (*BulletWorld, error) {
 		return nil, err
 	}
 	mux := rpc.NewMux(0)
-	bulletsvc.New(eng).Register(mux)
+	svc := bulletsvc.New(eng)
+	var adm *bulletsvc.Admission
+	if cfg.AdmissionLimit > 0 {
+		adm = bulletsvc.NewAdmission(cfg.AdmissionLimit)
+		adm.AttachMetrics(eng.Metrics())
+		svc.AttachAdmission(adm)
+	}
+	svc.Register(mux)
 	net := simnet.New(mux, clock, cfg.Profile.Net, cfg.Profile.CPU)
 	return &BulletWorld{
-		Clock:  clock,
-		Net:    net,
-		Client: client.New(net),
-		Engine: eng,
-		Port:   eng.Port(),
+		Clock:     clock,
+		Net:       net,
+		Client:    client.New(net),
+		Engine:    eng,
+		Port:      eng.Port(),
+		Service:   svc,
+		Admission: adm,
 	}, nil
 }
 

@@ -184,6 +184,7 @@ type Service struct {
 	engine   *bullet.Server
 	rec      *trace.Recorder // optional; serves CmdTrace when non-nil
 	scrubber *scrub.Scrubber // optional; SALVAGE's scrub trigger, paused during compaction
+	adm      *Admission      // optional; bounds in-flight file operations, sheds with StatusBusy
 }
 
 // New wraps engine.
@@ -199,6 +200,15 @@ func (s *Service) AttachRecorder(rec *trace.Recorder) { s.rec = rec }
 // disk compaction pauses it for the duration (the two otherwise fight
 // over the metadata lock while extents move). Call before Register.
 func (s *Service) AttachScrubber(sc *scrub.Scrubber) { s.scrubber = sc }
+
+// AttachAdmission wires an in-flight limiter in front of the file
+// operations: once limit operations are in flight, further ones are
+// refused immediately with StatusBusy instead of queueing (see Admission).
+// Call before Register; nil (the default) leaves admission unlimited.
+func (s *Service) AttachAdmission(a *Admission) { s.adm = a }
+
+// Admission returns the attached limiter (nil if none).
+func (s *Service) Admission() *Admission { return s.adm }
 
 // Register installs the service on mux under the engine's port. The
 // traced registration threads each request's span context through the
@@ -216,6 +226,20 @@ func (s *Service) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
 // HandleTraced processes one Bullet transaction, hanging engine spans
 // under parent. tc may be nil (untraced).
 func (s *Service) HandleTraced(tc *trace.Ctx, parent *trace.Span, req rpc.Header, payload []byte) (rpc.Header, []byte) {
+	if s.adm != nil && admissionControlled(req.Command) {
+		sp := tc.Begin(parent, trace.LayerRPC, trace.OpAdmit)
+		ok := s.adm.TryEnter()
+		if !ok && sp != nil {
+			sp.Status = int32(rpc.StatusBusy)
+		}
+		tc.End(sp)
+		if !ok {
+			return rpc.ReplyErr(rpc.StatusBusy), nil
+		}
+		if !s.adm.manualRelease {
+			defer s.adm.Release()
+		}
+	}
 	switch req.Command {
 	case CmdCreate:
 		// CREATE mints a brand-new object and returns its capability;

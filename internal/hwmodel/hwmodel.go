@@ -52,6 +52,20 @@ func (c *Clock) Since(start time.Duration) time.Duration {
 	return c.Now() - start
 }
 
+// AdvanceTo moves the clock forward to the absolute virtual time t. Times
+// at or before the current reading are ignored — like Advance, the clock
+// never moves backwards. Open-loop load generators use this to align the
+// shared stopwatch with a request's scheduled service start before
+// dispatching it, so the costs the simulated components charge are charged
+// "at" the right virtual instant.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
 // DiskModel describes one magnetic disk of the era. Access time for a
 // contiguous transfer is
 //

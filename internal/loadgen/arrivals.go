@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// An ArrivalSource schedules when requests arrive, in absolute virtual
+// time. Arrival times are independent of how the server is doing — that is
+// the definition of an open-loop generator, and the whole point: a
+// closed-loop client that waits for each reply before sending the next
+// request slows its own offered load exactly when the server struggles,
+// hiding the overload tail (coordinated omission). Successive Next calls
+// must return non-decreasing times.
+type ArrivalSource interface {
+	Next() time.Duration
+}
+
+// Poisson is a seeded Poisson arrival process: exponential inter-arrival
+// gaps at a fixed mean rate, the classic model for the superposition of
+// many independent clients (thousands of workstations each occasionally
+// touching a file look Poisson in aggregate). Not safe for concurrent use.
+type Poisson struct {
+	rng  *rand.Rand
+	mean float64 // mean gap in nanoseconds
+	t    time.Duration
+}
+
+// NewPoisson returns a Poisson process offering opsPerSec (virtual)
+// arrivals per second, deterministic under seed.
+func NewPoisson(opsPerSec float64, seed int64) *Poisson {
+	if opsPerSec <= 0 {
+		opsPerSec = 1
+	}
+	return &Poisson{
+		rng:  rand.New(rand.NewSource(seed)),
+		mean: float64(time.Second) / opsPerSec,
+	}
+}
+
+// Next returns the next arrival time.
+func (p *Poisson) Next() time.Duration {
+	p.t += time.Duration(p.rng.ExpFloat64() * p.mean)
+	return p.t
+}
+
+// Schedule replays a fixed arrival-time trace (for trace-driven load:
+// bursts, diurnal ramps, or a recorded production arrival log). Once the
+// trace is exhausted it extrapolates by repeating the trace's final gap,
+// so a Runner asked for more arrivals than the trace holds stays open-loop
+// instead of panicking. Not safe for concurrent use.
+type Schedule struct {
+	times []time.Duration
+	i     int
+	last  time.Duration
+	gap   time.Duration
+}
+
+// NewSchedule builds a trace-driven source from non-decreasing absolute
+// arrival times.
+func NewSchedule(times []time.Duration) *Schedule {
+	own := make([]time.Duration, len(times))
+	copy(own, times)
+	s := &Schedule{times: own, gap: time.Millisecond}
+	if n := len(own); n >= 2 {
+		if g := own[n-1] - own[n-2]; g > 0 {
+			s.gap = g
+		}
+	}
+	return s
+}
+
+// Next returns the next arrival time.
+func (s *Schedule) Next() time.Duration {
+	if s.i < len(s.times) {
+		t := s.times[s.i]
+		s.i++
+		if t < s.last {
+			t = s.last
+		}
+		s.last = t
+		return t
+	}
+	s.last += s.gap
+	return s.last
+}

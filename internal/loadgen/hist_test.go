@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Every recordable value must land in a bucket whose bounds contain it and
+// whose width keeps the relative error under 1/2^subBits.
+func TestHistBucketRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 1000, 4096, 1 << 20, 1<<40 + 12345, math.MaxInt64 / 2}
+	for v := int64(1); v < 1<<30; v = v*3 + 1 {
+		vals = append(vals, v)
+	}
+	for _, v := range vals {
+		i := bucketOf(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, i)
+		}
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d not in bucket %d bounds [%d,%d]", v, i, lo, hi)
+		}
+		if width := hi - lo; width > 0 && float64(width) > float64(lo)/float64(subCount)*2 {
+			t.Fatalf("bucket %d for %d too wide: [%d,%d]", i, v, lo, hi)
+		}
+	}
+	// Bucket indexes must be monotonic in the value.
+	prev := -1
+	for v := int64(0); v < 1<<16; v++ {
+		i := bucketOf(v)
+		if i < prev {
+			t.Fatalf("bucketOf not monotonic at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 5000}, {0.9, 9000}, {0.99, 9900}, {0.999, 9990}} {
+		got := h.Quantile(tc.q)
+		if err := math.Abs(got-tc.want) / tc.want; err > 0.04 {
+			t.Errorf("q%.3f = %.0f, want ~%.0f (err %.1f%%)", tc.q, got, tc.want, err*100)
+		}
+	}
+	if got := h.Quantile(1); got != 10000 {
+		t.Errorf("q1 = %.0f, want max 10000", got)
+	}
+	if h.Min() != 1 || h.Max() != 10000 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-5000.5) > 1 {
+		t.Errorf("mean = %.1f", mean)
+	}
+}
+
+// A histogram holding one observation reports it at every quantile — the
+// interpolation must clamp to the observed range, not the bucket's.
+func TestHistSingleValue(t *testing.T) {
+	h := NewHist()
+	h.RecordDuration(17 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := h.QuantileDuration(q); got != 17*time.Millisecond {
+			t.Fatalf("q%g = %v, want 17ms", q, got)
+		}
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read as zeros")
+	}
+}
+
+func TestPoissonDeterministicAndCalibrated(t *testing.T) {
+	a, b := NewPoisson(1000, 42), NewPoisson(1000, 42)
+	var last, sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta != tb {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, ta, tb)
+		}
+		if ta < last {
+			t.Fatalf("arrival times went backwards: %v after %v", ta, last)
+		}
+		last = ta
+	}
+	sum = last
+	meanGap := float64(sum) / n
+	want := float64(time.Millisecond) // 1000 ops/s
+	if math.Abs(meanGap-want)/want > 0.05 {
+		t.Errorf("mean gap %.0fns, want ~%.0fns", meanGap, want)
+	}
+	if c := NewPoisson(1000, 43).Next(); c == NewPoisson(1000, 42).Next() {
+		t.Error("different seeds produced identical first arrivals")
+	}
+}
+
+func TestScheduleReplayAndExtrapolate(t *testing.T) {
+	s := NewSchedule([]time.Duration{1 * time.Millisecond, 3 * time.Millisecond, 7 * time.Millisecond})
+	got := []time.Duration{s.Next(), s.Next(), s.Next(), s.Next(), s.Next()}
+	want := []time.Duration{1 * time.Millisecond, 3 * time.Millisecond, 7 * time.Millisecond, 11 * time.Millisecond, 15 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// A decreasing trace is clamped to non-decreasing.
+	d := NewSchedule([]time.Duration{5 * time.Millisecond, 2 * time.Millisecond})
+	if a, b := d.Next(), d.Next(); b < a {
+		t.Fatalf("schedule went backwards: %v then %v", a, b)
+	}
+}

@@ -1,0 +1,370 @@
+// Package loadgen is an open-loop load harness for the simulated Bullet
+// deployment: it schedules Poisson (or trace-driven) arrivals on the
+// virtual clock, drives the paper's workload mixture through the real
+// client/RPC/service/engine/disk stack, and records full latency
+// distributions per operation kind.
+//
+// Open loop means arrival times are fixed in advance, independent of how
+// the server is doing — the aggregate of thousands of independent clients,
+// none of which knows the server is slow. The closed-loop generators in
+// internal/bench (one client, next request after this reply) measure the
+// paper's tables faithfully but cannot see overload at all: a stalled
+// server slows its own offered load, so the measured latencies silently
+// omit exactly the requests that would have hurt (coordinated omission).
+// Here a request that arrives while the server is saturated waits — or is
+// shed — and its full latency is recorded either way.
+//
+// Mechanically the runner is a discrete-event simulation in arrival order.
+// Every request really executes against the engine (bytes move, caches
+// fill, checksums verify, replicas commit); the simulated network
+// (internal/simnet) reports each dispatch's virtual-time decomposition —
+// request flight, server occupancy, reply flight — and the runner replays
+// those costs onto an open-loop timeline: a request arriving at A starts
+// service at S = max(A + flight, server free), completes at C = S +
+// occupancy, and its reply lands at C + flight back. Latency is measured
+// from A, so time spent queued counts. Service is FIFO over a configurable
+// number of channels, which keeps the real execution order identical to
+// the modeled service order and the whole run deterministic under a seed.
+//
+// When the target service has an admission limiter (bulletsvc.Admission),
+// the runner mirrors virtual in-flight into it: the service claims a token
+// at dispatch and the runner releases it when the request's simulated
+// service completes, so the server's own shed decisions — StatusBusy past
+// the in-flight limit — happen at exactly the occupancy an open-loop
+// deployment would see.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/rpc"
+	"bulletfs/internal/simnet"
+	"bulletfs/internal/workload"
+)
+
+// ErrConfig marks a Run call whose target or configuration is unusable.
+var ErrConfig = errors.New("loadgen: invalid configuration")
+
+// Target is the simulated deployment under load.
+type Target struct {
+	// Net is the simulated network in front of the service.
+	Net *simnet.Net
+	// Port addresses the Bullet server.
+	Port capability.Port
+	// Admission, when non-nil, is the service's in-flight limiter. Run
+	// switches it to manual release and retires its tokens on the virtual
+	// timeline (see the package comment).
+	Admission *bulletsvc.Admission
+}
+
+// Config tunes one open-loop run.
+type Config struct {
+	// Arrivals schedules the requests (required).
+	Arrivals ArrivalSource
+	// Ops is the number of arrivals (default 1000).
+	Ops int
+	// Channels is how many requests the server works on concurrently
+	// (default 1: the paper's single-CPU, single-arm server; raise it to
+	// model the PR 3 parallel read path on more cores).
+	Channels int
+	// Workload tunes the operation mixture and file-size distribution.
+	Workload workload.Config
+	// PFactor is the paranoia factor of creates (default 2).
+	PFactor int
+	// OnArrival, when set, runs before dispatching arrival i — the chaos
+	// regime injects disk faults and replica kill/revive here, keyed to
+	// deterministic arrival indexes.
+	OnArrival func(i int)
+}
+
+// Result summarizes one run. All histograms are in nanoseconds of virtual
+// time.
+type Result struct {
+	Arrivals int // requests scheduled
+	Admitted int // requests the server accepted (whatever their status)
+	Shed     int // requests refused with StatusBusy by admission control
+	Errors   int // admitted requests that returned a non-OK status
+	Skipped  int // events with no live file to address (bookkeeping, not dispatched)
+
+	Duration time.Duration // virtual time from zero to the last reply
+	Offered  float64       // scheduled arrivals per virtual second
+	Achieved float64       // admitted completions per virtual second
+
+	MaxOutstanding int // peak simultaneously outstanding admitted requests
+
+	Latency *Hist // end-to-end latency of admitted requests (arrival to reply)
+	Wait    *Hist // queueing delay of admitted requests (server arrival to service start)
+	ShedLat *Hist // turnaround of shed requests (immediate busy reply)
+
+	PerOp map[workload.Op]*Hist // end-to-end latency by operation kind
+}
+
+// filePayload builds a deterministic file body: size bytes, contents keyed
+// by a salt so distinct creates store distinct data.
+func filePayload(size, salt int) []byte {
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = byte(i*31 + salt*7 + 1)
+	}
+	return out
+}
+
+// minHeap is a binary min-heap of virtual times.
+type minHeap struct{ ts []time.Duration }
+
+func (h *minHeap) len() int { return len(h.ts) }
+
+func (h *minHeap) min() time.Duration { return h.ts[0] }
+
+func (h *minHeap) push(t time.Duration) {
+	h.ts = append(h.ts, t)
+	i := len(h.ts) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.ts[p] <= h.ts[i] {
+			break
+		}
+		h.ts[p], h.ts[i] = h.ts[i], h.ts[p]
+		i = p
+	}
+}
+
+func (h *minHeap) popMin() time.Duration {
+	top := h.ts[0]
+	last := len(h.ts) - 1
+	h.ts[0] = h.ts[last]
+	h.ts = h.ts[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.ts) && h.ts[l] < h.ts[small] {
+			small = l
+		}
+		if r < len(h.ts) && h.ts[r] < h.ts[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.ts[i], h.ts[small] = h.ts[small], h.ts[i]
+		i = small
+	}
+	return top
+}
+
+// Run executes one open-loop experiment and returns its measurements. The
+// run is deterministic: same target state, same config, same result.
+func Run(t Target, cfg Config) (*Result, error) {
+	if t.Net == nil {
+		return nil, fmt.Errorf("%w: nil target network", ErrConfig)
+	}
+	if cfg.Arrivals == nil {
+		return nil, fmt.Errorf("%w: no arrival source configured", ErrConfig)
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1000
+	}
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.PFactor <= 0 {
+		cfg.PFactor = 2
+	}
+	if t.Admission != nil {
+		t.Admission.SetManualRelease(true)
+	}
+
+	gen := workload.New(cfg.Workload)
+	sizes := gen.Population()
+	events := gen.Trace(cfg.Ops)
+
+	// Seed the file population. Setup is closed-loop and untimed: each
+	// create's admission token is released immediately, so seeding can
+	// never trip the limiter or skew the measured run.
+	caps := make([]capability.Capability, len(sizes))
+	live := make([]bool, len(sizes))
+	liveCount := 0
+	for i, size := range sizes {
+		req := rpc.Header{Command: bulletsvc.CmdCreate, Arg: uint64(cfg.PFactor)}
+		rep, _, _, err := t.Net.TransParts(t.Port, req, filePayload(size, i))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: seeding file %d: %w", i, err)
+		}
+		if rep.Status != rpc.StatusOK {
+			return nil, fmt.Errorf("loadgen: seeding file %d: %w", i, bulletsvc.ErrorOf(rep.Status))
+		}
+		caps[i] = rep.Cap
+		live[i] = true
+		liveCount++
+		if t.Admission != nil {
+			t.Admission.Release()
+		}
+	}
+
+	res := &Result{
+		Latency: NewHist(),
+		Wait:    NewHist(),
+		ShedLat: NewHist(),
+		PerOp:   make(map[workload.Op]*Hist),
+	}
+	perOp := func(op workload.Op) *Hist {
+		h, ok := res.PerOp[op]
+		if !ok {
+			h = NewHist()
+			res.PerOp[op] = h
+		}
+		return h
+	}
+
+	// redirect returns a live file index at or after i (wrapping), or -1.
+	redirect := func(i int) int {
+		if liveCount == 0 {
+			return -1
+		}
+		for k := 0; k < len(live); k++ {
+			j := (i + k) % len(live)
+			if live[j] {
+				return j
+			}
+		}
+		return -1
+	}
+
+	clock := t.Net.Clock()
+	var channels minHeap // per-channel next-free times
+	for i := 0; i < cfg.Channels; i++ {
+		channels.push(0)
+	}
+	var completions minHeap // admitted requests' service-completion times
+	var lastArrival, lastReply time.Duration
+
+	for i, ev := range events {
+		arrive := cfg.Arrivals.Next()
+		lastArrival = arrive
+		res.Arrivals++
+		// Align the shared stopwatch with the arrival timeline, then
+		// retire every request whose simulated service has completed by
+		// now — their admission tokens free the server for this one.
+		clock.AdvanceTo(arrive)
+		for completions.len() > 0 && completions.min() <= arrive {
+			completions.popMin()
+			if t.Admission != nil {
+				t.Admission.Release()
+			}
+		}
+		if cfg.OnArrival != nil {
+			cfg.OnArrival(i)
+		}
+
+		// Build the request. Reads and deletes address a live file
+		// (redirected to the nearest live slot when the drawn one is
+		// deleted); creates replace their slot's capability. Files
+		// displaced by a create are left to the server — an arrival is
+		// exactly one RPC, and the immutable store reclaims them at the
+		// 3 a.m. compaction like the paper says.
+		var req rpc.Header
+		var body []byte
+		target := ev.File
+		switch ev.Op {
+		case workload.OpCreate:
+			req = rpc.Header{Command: bulletsvc.CmdCreate, Arg: uint64(cfg.PFactor)}
+			body = filePayload(ev.Size, len(sizes)+i)
+		default:
+			target = redirect(ev.File)
+			if target < 0 {
+				res.Skipped++
+				continue
+			}
+			switch ev.Op {
+			case workload.OpWholeRead:
+				req = rpc.Header{Command: bulletsvc.CmdRead, Cap: caps[target]}
+			case workload.OpPartRead:
+				req = rpc.Header{Command: bulletsvc.CmdReadRange, Cap: caps[target], Arg: 0, Arg2: uint64(ev.N)}
+			case workload.OpDelete:
+				req = rpc.Header{Command: bulletsvc.CmdDelete, Cap: caps[target]}
+			default:
+				res.Skipped++
+				continue
+			}
+		}
+
+		var shedBefore int64
+		if t.Admission != nil {
+			shedBefore = t.Admission.Shed()
+		}
+		rep, _, parts, err := t.Net.TransParts(t.Port, req, body)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: arrival %d: %w", i, err)
+		}
+		if t.Admission != nil && t.Admission.Shed() > shedBefore {
+			// Refused at the door: the busy reply turns around in pure
+			// network-plus-dispatch time, no queueing, no service channel.
+			res.Shed++
+			res.ShedLat.RecordDuration(parts.Total())
+			if reply := arrive + parts.Total(); reply > lastReply {
+				lastReply = reply
+			}
+			continue
+		}
+
+		// Admitted: replay the measured costs onto the open-loop timeline.
+		serverArrive := arrive + parts.NetOut
+		start := serverArrive
+		if free := channels.popMin(); free > start {
+			start = free
+		}
+		complete := start + parts.Server
+		channels.push(complete)
+		completions.push(complete)
+		if completions.len() > res.MaxOutstanding {
+			res.MaxOutstanding = completions.len()
+		}
+		reply := complete + parts.NetBack
+		if reply > lastReply {
+			lastReply = reply
+		}
+
+		res.Admitted++
+		res.Latency.RecordDuration(reply - arrive)
+		res.Wait.RecordDuration(start - serverArrive)
+		perOp(ev.Op).RecordDuration(reply - arrive)
+		if rep.Status != rpc.StatusOK {
+			res.Errors++
+			continue
+		}
+		switch ev.Op {
+		case workload.OpCreate:
+			if !live[ev.File] {
+				live[ev.File] = true
+				liveCount++
+			}
+			caps[ev.File] = rep.Cap
+		case workload.OpDelete:
+			live[target] = false
+			liveCount--
+		}
+	}
+
+	// Drain: release the tokens of requests still in simulated flight so
+	// the limiter reads zero between runs sharing one world.
+	for completions.len() > 0 {
+		completions.popMin()
+		if t.Admission != nil {
+			t.Admission.Release()
+		}
+	}
+
+	res.Duration = lastReply
+	if lastArrival > 0 {
+		res.Offered = float64(res.Arrivals) / lastArrival.Seconds()
+	}
+	if lastReply > 0 {
+		res.Achieved = float64(res.Admitted) / lastReply.Seconds()
+	}
+	return res, nil
+}

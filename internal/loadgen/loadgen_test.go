@@ -1,0 +1,181 @@
+package loadgen_test
+
+import (
+	"testing"
+
+	"bulletfs/internal/bench"
+	"bulletfs/internal/hwmodel"
+	"bulletfs/internal/loadgen"
+	"bulletfs/internal/workload"
+)
+
+func newWorld(t *testing.T, limit int) *bench.BulletWorld {
+	t.Helper()
+	w, err := bench.NewBulletWorld(bench.BulletConfig{
+		Profile:        hwmodel.AmoebaProfile(),
+		AdmissionLimit: limit,
+	})
+	if err != nil {
+		t.Fatalf("building world: %v", err)
+	}
+	return w
+}
+
+// Below saturation, an open-loop run against an admission-limited server
+// must complete with zero client-visible errors and zero sheds.
+func TestRunSteadyCleanBelowSaturation(t *testing.T) {
+	w := newWorld(t, 32)
+	res, err := loadgen.Run(
+		loadgen.Target{Net: w.Net, Port: w.Port, Admission: w.Admission},
+		loadgen.Config{
+			Arrivals: loadgen.NewPoisson(25, 1),
+			Ops:      400,
+			Workload: workload.Config{Files: 64, Seed: 7},
+		},
+	)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Arrivals != 400 {
+		t.Errorf("arrivals = %d, want 400", res.Arrivals)
+	}
+	if res.Shed != 0 {
+		t.Errorf("shed = %d below saturation, want 0", res.Shed)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+	if res.Admitted+res.Skipped != res.Arrivals {
+		t.Errorf("admitted %d + skipped %d != arrivals %d", res.Admitted, res.Skipped, res.Arrivals)
+	}
+	if got := res.Latency.Count(); got != int64(res.Admitted) {
+		t.Errorf("latency samples = %d, admitted = %d", got, res.Admitted)
+	}
+	if res.Latency.Quantile(0.5) <= 0 {
+		t.Error("p50 latency is zero")
+	}
+	if res.Duration <= 0 || res.Offered <= 0 || res.Achieved <= 0 {
+		t.Errorf("rates not computed: dur=%v offered=%.1f achieved=%.1f", res.Duration, res.Offered, res.Achieved)
+	}
+	if got := w.Admission.InFlight(); got != 0 {
+		t.Errorf("limiter in-flight after run = %d, want 0", got)
+	}
+	if len(res.PerOp) == 0 {
+		t.Error("no per-op histograms recorded")
+	}
+	var perOpTotal int64
+	for _, h := range res.PerOp {
+		perOpTotal += h.Count()
+	}
+	if perOpTotal != int64(res.Admitted) {
+		t.Errorf("per-op samples = %d, admitted = %d", perOpTotal, res.Admitted)
+	}
+}
+
+// Far past saturation, the server must shed with StatusBusy instead of
+// queueing without bound: in-flight stays at the limit, sheds are counted,
+// and admitted requests still complete without error.
+func TestRunOverloadShedsBoundedly(t *testing.T) {
+	const limit = 4
+	w := newWorld(t, limit)
+	res, err := loadgen.Run(
+		loadgen.Target{Net: w.Net, Port: w.Port, Admission: w.Admission},
+		loadgen.Config{
+			Arrivals: loadgen.NewPoisson(500, 3),
+			Ops:      400,
+			Workload: workload.Config{Files: 64, Seed: 11},
+		},
+	)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Shed == 0 {
+		t.Error("no sheds at 500 ops/s against a limit of 4")
+	}
+	if res.Errors != 0 {
+		t.Errorf("admitted requests errored: %d", res.Errors)
+	}
+	if res.MaxOutstanding > limit {
+		t.Errorf("outstanding admitted requests peaked at %d, limit %d", res.MaxOutstanding, limit)
+	}
+	if got := w.Admission.Peak(); got > limit {
+		t.Errorf("limiter peak = %d, limit %d", got, limit)
+	}
+	if got := w.Admission.InFlight(); got != 0 {
+		t.Errorf("limiter in-flight after run = %d, want 0", got)
+	}
+	if got := w.Admission.Shed(); got != int64(res.Shed) {
+		t.Errorf("limiter shed counter = %d, result shed = %d", got, res.Shed)
+	}
+	if res.ShedLat.Count() != int64(res.Shed) {
+		t.Errorf("shed turnaround samples = %d, sheds = %d", res.ShedLat.Count(), res.Shed)
+	}
+}
+
+// Without an admission limiter the open-loop timeline still works: load
+// past capacity queues, so waiting time dominates the tail.
+func TestRunUnlimitedQueues(t *testing.T) {
+	w := newWorld(t, 0)
+	if w.Admission != nil {
+		t.Fatal("world built an admission limiter without a limit")
+	}
+	res, err := loadgen.Run(
+		loadgen.Target{Net: w.Net, Port: w.Port},
+		loadgen.Config{
+			Arrivals: loadgen.NewPoisson(500, 5),
+			Ops:      300,
+			Workload: workload.Config{Files: 64, Seed: 13},
+		},
+	)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Shed != 0 {
+		t.Errorf("shed = %d without a limiter", res.Shed)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	// Open loop at 5x+ capacity: the queue grows without bound for the
+	// whole run, so latency climbs roughly linearly with arrival index
+	// (p99 ~2x p50) and the tail is pure waiting, not service.
+	p50, p99 := res.Latency.Quantile(0.5), res.Latency.Quantile(0.99)
+	if p99 < 3*p50/2 {
+		t.Errorf("overload tail too flat: p50=%.0fns p99=%.0fns", p50, p99)
+	}
+	if wait := res.Wait.Quantile(0.99); wait < p99/2 {
+		t.Errorf("tail not dominated by queueing: wait p99=%.0fns, latency p99=%.0fns", wait, p99)
+	}
+}
+
+// Two identical worlds under the same seeds must measure exactly the same
+// distributions — the SLO gate in CI depends on this.
+func TestRunDeterministic(t *testing.T) {
+	run := func() *loadgen.Result {
+		w := newWorld(t, 8)
+		res, err := loadgen.Run(
+			loadgen.Target{Net: w.Net, Port: w.Port, Admission: w.Admission},
+			loadgen.Config{
+				Arrivals: loadgen.NewPoisson(120, 9),
+				Ops:      300,
+				Workload: workload.Config{Files: 64, Seed: 17},
+			},
+		)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Admitted != b.Admitted || a.Shed != b.Shed || a.Errors != b.Errors || a.Skipped != b.Skipped {
+		t.Fatalf("counts diverged: %+v vs %+v", a, b)
+	}
+	if a.Duration != b.Duration {
+		t.Fatalf("durations diverged: %v vs %v", a.Duration, b.Duration)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999, 1} {
+		if a.Latency.Quantile(q) != b.Latency.Quantile(q) {
+			t.Fatalf("q%g diverged: %.0f vs %.0f", q, a.Latency.Quantile(q), b.Latency.Quantile(q))
+		}
+	}
+}

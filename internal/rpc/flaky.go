@@ -145,9 +145,10 @@ type Retrier struct {
 	attempts int
 	retries  *stats.Counter // optional; see AttachMetrics
 
-	base   time.Duration // backoff cap for the first retry; 0 disables sleeping
-	max    time.Duration // ceiling the doubling cap saturates at
-	budget time.Duration // total wall-clock budget across attempts; 0 = none
+	base      time.Duration // backoff cap for the first retry; 0 disables sleeping
+	max       time.Duration // ceiling the doubling cap saturates at
+	budget    time.Duration // total wall-clock budget across attempts; 0 = none
+	retryBusy bool          // treat StatusBusy replies as retryable; see SetRetryBusy
 
 	// Injectable for deterministic schedule tests; never nil.
 	now    func() time.Time
@@ -197,6 +198,16 @@ func (r *Retrier) SetBackoff(base, max time.Duration) {
 // budget.
 func (r *Retrier) SetBudget(d time.Duration) { r.budget = d }
 
+// SetRetryBusy makes the retrier treat a StatusBusy reply as retryable
+// backpressure: the server shed the request under admission control (or is
+// mid-recovery), so the client backs off on the normal jittered schedule
+// and tries again. Unlike a lost reply, a shed executed nothing, so each
+// busy retry runs as a fresh transaction — reusing the pinned transaction
+// ID would only replay the cached busy reply from duplicate suppression.
+// If every attempt comes back busy the final busy reply is returned to the
+// caller (not an error: the transport worked, the server said no).
+func (r *Retrier) SetRetryBusy(on bool) { r.retryBusy = on }
+
 // backoffFor returns the jittered sleep before retry number retry (1 is
 // the first retry). Full jitter: uniform over [0, cap), where cap doubles
 // from base per retry and saturates at max.
@@ -232,18 +243,30 @@ func (r *Retrier) trans(port capability.Port, traceID uint64, req Header, payloa
 		deadline = r.now().Add(r.budget)
 	}
 	var lastErr error
+	var lastHdr Header
+	var lastPayload []byte
+	var gotBusy bool
 	for i := 0; i < r.attempts; i++ {
 		if i > 0 && r.retries != nil {
 			r.retries.Inc()
 		}
 		h, p, err := transIDTraced(r.inner, port, txid, traceID, req, payload)
 		if err == nil {
-			return h, p, nil
+			if !r.retryBusy || h.Status != StatusBusy {
+				return h, p, nil
+			}
+			// Shed under load: back off and retry as a new transaction
+			// (see SetRetryBusy for why the transaction ID must change).
+			lastHdr, lastPayload, gotBusy, lastErr = h, p, true, nil
+			if txid, err = NewTxID(); err != nil {
+				return Header{}, nil, err
+			}
+		} else {
+			if errors.Is(err, ErrNoServer) {
+				return Header{}, nil, err // no point retrying an unknown port
+			}
+			lastErr, gotBusy = err, false
 		}
-		if errors.Is(err, ErrNoServer) {
-			return Header{}, nil, err // no point retrying an unknown port
-		}
-		lastErr = err
 		if i+1 >= r.attempts {
 			break
 		}
@@ -260,6 +283,9 @@ func (r *Retrier) trans(port capability.Port, traceID uint64, req Header, payloa
 		if d > 0 {
 			r.sleep(d)
 		}
+	}
+	if gotBusy {
+		return lastHdr, lastPayload, nil
 	}
 	return Header{}, nil, lastErr
 }

@@ -112,6 +112,7 @@ type HistogramSnapshot struct {
 	P50    float64 `json:"p50"`
 	P95    float64 `json:"p95"`
 	P99    float64 `json:"p99"`
+	P999   float64 `json:"p999"`
 	Bounds []int64 `json:"bounds,omitempty"`
 	Counts []int64 `json:"counts,omitempty"`
 }
@@ -134,6 +135,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50 = quantile(s, 0.50)
 	s.P95 = quantile(s, 0.95)
 	s.P99 = quantile(s, 0.99)
+	s.P999 = quantile(s, 0.999)
 	return s
 }
 

@@ -65,6 +65,7 @@ const (
 	OpScrub         // one scrub comparison of a file across replicas
 	OpSalvage       // SALVAGE RPC serving itself
 	OpRecover       // online replica recovery (catch-up copy)
+	OpAdmit         // admission-control decision (Status busy when shed)
 	opCount
 )
 
@@ -72,7 +73,7 @@ var opNames = [opCount]string{
 	"request", "create", "read", "read-range", "size", "delete",
 	"modify", "append", "verify", "cache-lookup", "cache-insert",
 	"fault", "disk-read", "replica-commit", "trace",
-	"disk-repair", "promote", "scrub", "salvage", "recover",
+	"disk-repair", "promote", "scrub", "salvage", "recover", "admit",
 }
 
 // String returns the op's lowercase name ("read", "fault", ...).

@@ -29,6 +29,22 @@ const (
 	OpDelete                  // remove a file
 )
 
+// String names the operation kind, stable for use in metric keys.
+func (o Op) String() string {
+	switch o {
+	case OpWholeRead:
+		return "whole-read"
+	case OpPartRead:
+		return "part-read"
+	case OpCreate:
+		return "create"
+	case OpDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
 // Event is one operation of a trace.
 type Event struct {
 	Op   Op

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -24,6 +25,44 @@ func TestSizeDistributionMatchesPaperQuantiles(t *testing.T) {
 	}
 	if st.MeanKB <= 0 {
 		t.Fatalf("mean = %f", st.MeanKB)
+	}
+	// §1: the fitted log-normal's p99 must land at ~64 KB. A 2x band
+	// absorbs sampling noise in the extreme quantile; a mis-fit sigma
+	// (p99 at 8 KB or 500 KB) still fails loudly.
+	if st.P99 < 32*1024 || st.P99 > 128*1024 {
+		t.Fatalf("p99 = %d, want ~65536", st.P99)
+	}
+}
+
+// Two generators from the same seed must emit byte-identical traces and
+// populations — the SLO baseline's exactness rests on this.
+func TestTraceSameSeedByteIdentical(t *testing.T) {
+	cfg := Config{Files: 64, Seed: 99}
+	a, b := New(cfg), New(cfg)
+	if !reflect.DeepEqual(a.Population(), b.Population()) {
+		t.Fatal("same-seed populations differ")
+	}
+	ta, tb := a.Trace(2000), b.Trace(2000)
+	if !reflect.DeepEqual(ta, tb) {
+		t.Fatal("same-seed traces differ")
+	}
+	if reflect.DeepEqual(ta, New(Config{Files: 64, Seed: 100}).Trace(2000)) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{
+		OpWholeRead: "whole-read",
+		OpPartRead:  "part-read",
+		OpCreate:    "create",
+		OpDelete:    "delete",
+		Op(0):       "unknown",
+	}
+	for op, name := range want {
+		if got := op.String(); got != name {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, name)
+		}
 	}
 }
 
