@@ -97,6 +97,9 @@ type StoreConfig struct {
 	CacheMB int64
 	// PortName derives the server's capability port (default "bullet").
 	PortName string
+	// GroupCommitWindow batches concurrent creates' replica sync
+	// round-trips for up to this long (0 disables grouping).
+	GroupCommitWindow time.Duration
 }
 
 // Store is an assembled Bullet file server.
@@ -154,8 +157,9 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 		}
 	}
 	engine, err := bullet.New(set, bullet.Options{
-		Port:       capability.PortFromString(cfg.PortName),
-		CacheBytes: cfg.CacheMB << 20,
+		Port:              capability.PortFromString(cfg.PortName),
+		CacheBytes:        cfg.CacheMB << 20,
+		GroupCommitWindow: cfg.GroupCommitWindow,
 	})
 	if err != nil {
 		return nil, err

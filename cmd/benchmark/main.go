@@ -13,6 +13,8 @@
 //	benchmark -experiment trace     # trace replay with the paper's size mix
 //	benchmark -experiment wan       # whole-file vs per-block across a WAN link
 //	benchmark -experiment parallel  # concurrent read path: deterministic counters
+//	benchmark -experiment zerocopy  # zero-copy reply path: payload-copy counters
+//	benchmark -experiment groupcommit # group-committed creates: write/fan-out counters
 //
 // The open-loop SLO harness is its own mode (not part of -experiment all;
 // CI gates it against a separate baseline):
@@ -38,7 +40,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: all, f2, f3, compare, ablation, pfactor, frag, cache, modern, trace, wan, parallel")
+		"experiment to run: all, f2, f3, compare, ablation, pfactor, frag, cache, modern, trace, wan, parallel, zerocopy, groupcommit")
 	asJSON := flag.Bool("json", false, "emit machine-readable results JSON on stdout instead of tables")
 	slo := flag.Bool("slo", false, "run the open-loop SLO harness instead of the paper experiments")
 	flag.Parse()
@@ -163,6 +165,8 @@ func run(experiment string, asJSON bool, stdout io.Writer) error {
 		{"trace", experiment == "all" || experiment == "trace", bench.RunTrace},
 		{"wan", experiment == "all" || experiment == "wan", bench.RunWAN},
 		{"parallel", experiment == "all" || experiment == "parallel", bench.RunParallelExp},
+		{"zerocopy", experiment == "all" || experiment == "zerocopy", bench.RunZeroCopy},
+		{"groupcommit", experiment == "all" || experiment == "groupcommit", bench.RunGroupCommit},
 	} {
 		if !exp.want {
 			continue

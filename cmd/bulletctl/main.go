@@ -2,6 +2,8 @@
 //
 //	bulletctl -server localhost:7001 put notes.txt     # prints a capability
 //	bulletctl -server localhost:7001 get <capability>  # writes contents to stdout
+//	bulletctl -server localhost:7001 get -range 64:128 <capability>  # 128 bytes from offset 64 ("64:" = to EOF)
+//	bulletctl -server localhost:7001 get -stream <capability>        # chunked READSTREAM download
 //	bulletctl -server localhost:7001 size <capability>
 //	bulletctl -server localhost:7001 append <capability> more.txt
 //	bulletctl -server localhost:7001 del <capability>
@@ -27,6 +29,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -119,16 +122,54 @@ func run() error {
 		return nil
 
 	case "get":
-		c, err := parseCap(args)
+		getUsage := fmt.Errorf("usage: bulletctl get [-stream] [-range off:n] <capability>")
+		var streamGet bool
+		var rangeSpec string
+		rest := args[1:]
+		for len(rest) > 0 && strings.HasPrefix(rest[0], "-") {
+			switch {
+			case rest[0] == "-stream":
+				streamGet = true
+				rest = rest[1:]
+			case rest[0] == "-range" && len(rest) >= 2:
+				rangeSpec = rest[1]
+				rest = rest[2:]
+			default:
+				return getUsage
+			}
+		}
+		if len(rest) != 1 {
+			return getUsage
+		}
+		c, err := capability.Parse(rest[0])
 		if err != nil {
 			return err
 		}
-		data, err := cl.Read(c)
-		if err != nil {
+		switch {
+		case rangeSpec != "":
+			off, n, err := parseRange(rangeSpec)
+			if err != nil {
+				return err
+			}
+			data, err := cl.ReadRange(c, off, n)
+			if err != nil {
+				return err
+			}
+			_, err = os.Stdout.Write(data)
+			return err
+		case streamGet:
+			// Chunked READSTREAM: frames are written to stdout as they
+			// arrive, so the file is never buffered whole in this process.
+			_, err := cl.ReadStream(c, 0, os.Stdout)
+			return err
+		default:
+			data, err := cl.Read(c)
+			if err != nil {
+				return err
+			}
+			_, err = os.Stdout.Write(data)
 			return err
 		}
-		_, err = os.Stdout.Write(data)
-		return err
 
 	case "size":
 		c, err := parseCap(args)
@@ -339,6 +380,28 @@ func parseCap(args []string) (capability.Capability, error) {
 		return capability.Capability{}, fmt.Errorf("usage: bulletctl %s <capability>", args[0])
 	}
 	return capability.Parse(args[1])
+}
+
+// parseRange parses the "off:n" argument of get -range. The part after
+// the colon may be empty or "end", meaning "to the end of the file"
+// (READ_RANGE's n = -1 on the wire).
+func parseRange(spec string) (off, n int64, err error) {
+	offStr, nStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -range %q: want off:n (n empty or \"end\" reads to EOF)", spec)
+	}
+	off, err = strconv.ParseInt(offStr, 10, 64)
+	if err != nil || off < 0 {
+		return 0, 0, fmt.Errorf("bad -range offset %q", offStr)
+	}
+	if nStr == "" || nStr == "end" {
+		return off, -1, nil
+	}
+	n, err = strconv.ParseInt(nStr, 10, 64)
+	if err != nil || n < 0 {
+		return 0, 0, fmt.Errorf("bad -range length %q", nStr)
+	}
+	return off, n, nil
 }
 
 func readInput(path string) ([]byte, error) {

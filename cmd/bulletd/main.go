@@ -61,6 +61,8 @@ func run() error {
 		scrubIvl  = flag.Duration("scrub-interval", time.Hour, "time between background scrub passes over all files (0 disables periodic passes; `bulletctl scrub` still works)")
 		scrubRate = flag.Int64("scrub-rate", scrub.DefaultBytesPerSec, "scrub read budget in bytes per second")
 		maxInFl   = flag.Int("max-inflight", 0, "admission limit on concurrent file operations; past it requests are shed with StatusBusy (0 disables)")
+		gcWindow  = flag.Duration("group-commit", 0, "group-commit flush window: concurrent creates batch their replica sync round-trips for up to this long (0 disables; try 500us-2ms)")
+		gcBatch   = flag.Int("group-commit-batch", 0, "max creates per group-commit batch; a full batch flushes immediately (0 = default 64)")
 	)
 	flag.Parse()
 	if *disks == "" {
@@ -95,8 +97,10 @@ func run() error {
 	}
 
 	engine, err := bullet.New(set, bullet.Options{
-		Port:       capability.PortFromString(*port),
-		CacheBytes: *cacheMB << 20,
+		Port:              capability.PortFromString(*port),
+		CacheBytes:        *cacheMB << 20,
+		GroupCommitWindow: *gcWindow,
+		GroupCommitBatch:  *gcBatch,
 	})
 	if err != nil {
 		return err

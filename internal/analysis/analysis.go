@@ -93,9 +93,14 @@ type Config struct {
 	LockSpec []LockSpecEntry
 
 	// PinObligation and SpanObligation parameterize the obligation
-	// engine for pinleak and spanbalance.
-	PinObligation  ObligationSpec
-	SpanObligation ObligationSpec
+	// engine for pinleak and spanbalance. LeaseObligation is pinleak's
+	// second resource: engine ReadLeases, which wrap pinned Views and
+	// must be Released (or handed to the RPC reply path, which releases
+	// them after the socket write) on every path. An empty Type disables
+	// it.
+	PinObligation   ObligationSpec
+	SpanObligation  ObligationSpec
+	LeaseObligation ObligationSpec
 
 	// RightsRoots lists the package paths whose functions rightscheck
 	// treats as command handlers. RightsVerifiers and RightsMutators
@@ -118,10 +123,11 @@ func DefaultConfig() Config {
 			"bulletfs/internal/directory",
 			"bulletfs/internal/rpc",
 		},
-		LockSpec:       DefaultLockSpec(),
-		PinObligation:  defaultPinObligation(),
-		SpanObligation: defaultSpanObligation(),
-		RightsRoots:    []string{"bulletfs/internal/bulletsvc"},
+		LockSpec:        DefaultLockSpec(),
+		PinObligation:   defaultPinObligation(),
+		SpanObligation:  defaultSpanObligation(),
+		LeaseObligation: defaultLeaseObligation(),
+		RightsRoots:     []string{"bulletfs/internal/bulletsvc"},
 		RightsVerifiers: []string{
 			"bulletfs/internal/bullet.Server.verify",
 			"bulletfs/internal/bullet.Server.AuthorizeRead",

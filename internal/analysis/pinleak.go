@@ -11,11 +11,21 @@ package analysis
 // paired error non-nil makes it vacuous (a failed lookup pins nothing).
 // Whatever reaches a return or the end of the function undischarged is
 // reported at the site that created the pin.
+//
+// The pass tracks a second resource with the same rules: engine
+// ReadLeases (bullet.ReadView and friends), which wrap pinned Views for
+// the zero-copy reply path. Handing a lease to another call — most
+// importantly rpc.Owned(lease.Bytes(), lease), which makes the RPC
+// layer release it after the socket write — discharges the obligation,
+// exactly like handing off a raw View.
 var PinLeak = &Analyzer{
 	Name: "pinleak",
 	Doc:  "every cache View pin must be released on every path",
 	Run: func(prog *Program, cfg Config, report ReportFunc) {
 		runObligations("pinleak", cfg.PinObligation, prog, report)
+		if cfg.LeaseObligation.Type != "" {
+			runObligations("pinleak", cfg.LeaseObligation, prog, report)
+		}
 	},
 }
 
@@ -26,6 +36,19 @@ func defaultPinObligation() ObligationSpec {
 		ReleaseMethod: "Release",
 		TransferOnArg: true,
 		Noun:          "View",
+		Verb:          "released",
+	}
+}
+
+// defaultLeaseObligation describes engine read leases: a pinned View
+// dressed for the wire. TransferOnArg covers the ownership handoff to
+// the RPC reply path (rpc.Owned) as well as ordinary helper calls.
+func defaultLeaseObligation() ObligationSpec {
+	return ObligationSpec{
+		Type:          "bulletfs/internal/bullet.ReadLease",
+		ReleaseMethod: "Release",
+		TransferOnArg: true,
+		Noun:          "lease",
 		Verb:          "released",
 	}
 }

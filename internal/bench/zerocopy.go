@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"bulletfs/internal/bullet"
+	"bulletfs/internal/bulletsvc"
+	"bulletfs/internal/disk"
+	"bulletfs/internal/rpc"
+)
+
+// This experiment proves the zero-copy reply path with deterministic
+// counters, like the parallel experiment: the engine counts every payload
+// copy its read path performs (bullet.read_copies), so "zero copies" is a
+// counter reading zero, not a timing inference. The legacy Read API must
+// copy the pinned cache bytes before the pin is released; the streamed
+// dispatch path hands the pinned bytes themselves to the frame sink and
+// releases the pin after the write.
+
+// errCorruptRead reports a read that returned the wrong bytes.
+var errCorruptRead = errors.New("read returned wrong bytes")
+
+// RunZeroCopy measures payload copies on the cached-read reply path:
+// the legacy copying Read versus single-frame streamed READ versus
+// chunked READSTREAM, all against one 1 MB cached file.
+func RunZeroCopy() (*Table, []Check, error) {
+	const (
+		fileSize    = 1 << 20
+		reads       = 8
+		streamChunk = 256 << 10 // the service's default READSTREAM chunk
+	)
+	tab := &Table{
+		Title:   "Zero-copy reply path, 1 Mbyte cached file (deterministic counters)",
+		Unit:    "count",
+		Columns: []string{"VALUE"},
+	}
+	var checks []Check
+	row := func(label string, v float64) {
+		tab.Rows = append(tab.Rows, RowT{Label: label, Values: []float64{v}})
+	}
+
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 16*1024)
+		if err != nil {
+			return nil, nil, err
+		}
+		devs[i] = mem
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := bullet.Format(set, 100); err != nil {
+		return nil, nil, err
+	}
+	eng, err := bullet.New(set, bullet.Options{CacheBytes: 8 << 20})
+	if err != nil {
+		return nil, nil, err
+	}
+	data := pattern(fileSize)
+	c, err := eng.Create(data, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng.Sync()
+
+	copies := func() int64 {
+		return eng.Metrics().Snapshot().Counters["bullet.read_copies"]
+	}
+	pinned := func() int64 {
+		return eng.Metrics().Snapshot().Counters["bullet.lease_pinned"]
+	}
+
+	// --- Legacy path: Read returns a fresh slice, one copy per call. ----
+	base := copies()
+	for i := 0; i < reads; i++ {
+		got, err := eng.Read(c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench zerocopy: legacy read: %w", err)
+		}
+		if !bytes.Equal(got, data) {
+			return nil, nil, fmt.Errorf("bench zerocopy: legacy read: %w", errCorruptRead)
+		}
+	}
+	legacyCopies := copies() - base
+
+	// --- Streamed path: the same reads through the stream dispatcher. ---
+	// Single-frame READ replies borrow the pinned cache bytes; READSTREAM
+	// cuts chunked frames off one pin. txid 0 keeps the dedup cache out of
+	// the picture (a tracked single-frame reply would add one
+	// copy-on-retain by design — that copy is accounted separately in
+	// rpc.dedup_copied_bytes).
+	mux := rpc.NewMux(0)
+	bulletsvc.New(eng).Register(mux)
+	base = copies()
+	basePinned := pinned()
+	var streamBytes, frames int64
+	sink := func(h rpc.Header, p []byte, last bool) error {
+		if h.Status != rpc.StatusOK {
+			return fmt.Errorf("frame status %d", h.Status)
+		}
+		streamBytes += int64(len(p))
+		frames++
+		return nil
+	}
+	for i := 0; i < reads; i++ {
+		if err := mux.DispatchStream(nil, eng.Port(), 0, rpc.Header{Command: bulletsvc.CmdRead, Cap: c}, nil, sink); err != nil {
+			return nil, nil, fmt.Errorf("bench zerocopy: streamed read: %w", err)
+		}
+	}
+	singleFrames := frames
+	for i := 0; i < reads; i++ {
+		if err := mux.DispatchStream(nil, eng.Port(), 0, rpc.Header{Command: bulletsvc.CmdReadStream, Cap: c}, nil, sink); err != nil {
+			return nil, nil, fmt.Errorf("bench zerocopy: readstream: %w", err)
+		}
+	}
+	streamCopies := copies() - base
+	streamPinned := pinned() - basePinned
+	pinsAfter := mux.PinsHeld()
+	owned := mux.OwnedReplies()
+
+	row("legacy read copies", float64(legacyCopies))
+	row("streamed read copies", float64(streamCopies))
+	row("streamed reads pinned", float64(streamPinned))
+	row("streamed frames", float64(frames))
+	row("streamed Mbytes", float64(streamBytes)/float64(1<<20))
+	row("zero-copy frames served", float64(owned))
+	row("pins held after", float64(pinsAfter))
+
+	wantBytes := int64(2 * reads * fileSize)
+	checks = append(checks, Check{
+		ID:    "Z1",
+		Claim: "a cached streamed read moves zero payload copies; the legacy API copies once per read",
+		Detail: fmt.Sprintf("legacy %d copies / %d reads; streamed %d copies / %d reads (%d bytes delivered)",
+			legacyCopies, reads, streamCopies, 2*reads, streamBytes),
+		Pass: legacyCopies == reads && streamCopies == 0 && streamBytes == wantBytes,
+	})
+	checks = append(checks, Check{
+		ID:    "Z2",
+		Claim: "the streamed path halves reply memory traffic in the 1 MB read regime",
+		Detail: fmt.Sprintf("legacy touches each payload byte twice (copy out of the pin, then the write); streamed once — %d READ replies handed their cache pin to the writer, READSTREAM cut %d chunked frames per file off one pin",
+			owned, (frames-singleFrames)/reads),
+		Pass: owned == singleFrames && streamPinned == 2*reads &&
+			frames-singleFrames == reads*(fileSize/streamChunk),
+	})
+	cachePins := eng.Metrics().Snapshot().Gauges["cache.pinned_views"]
+	checks = append(checks, Check{
+		ID:     "Z3",
+		Claim:  "pin accounting returns to zero after the replies are written",
+		Detail: fmt.Sprintf("rpc pins held %d, cache pinned views %d", pinsAfter, cachePins),
+		Pass:   pinsAfter == 0 && cachePins == 0,
+	})
+	return tab, checks, nil
+}

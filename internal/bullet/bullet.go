@@ -80,6 +80,16 @@ type Options struct {
 	// layer (cache, disks, its own counters). Nil means a private
 	// registry; pass a shared one to co-locate RPC metrics.
 	Metrics *stats.Registry
+	// GroupCommitWindow enables group-committed creates: a create's
+	// write-through may wait up to this long for concurrent creates to
+	// share one replica fan-out (data writes back to back, each dirty
+	// inode block written once). Zero disables grouping — every create
+	// keeps its own fan-out, the pre-group-commit behaviour.
+	GroupCommitWindow time.Duration
+	// GroupCommitBatch caps how many creates share one fan-out before the
+	// batch flushes early; default 64. Ignored unless GroupCommitWindow
+	// is set.
+	GroupCommitBatch int
 }
 
 func (o *Options) fill() error {
@@ -134,6 +144,9 @@ type engineMetrics struct {
 	checksumFaults  *stats.Counter     // fault-ins that hit a checksum mismatch
 	scrubRepairs    *stats.Counter     // replica extents rewritten by scrub
 	scrubUnfixable  *stats.Counter     // objects no replica could verify
+	leasePinned     *stats.Counter     // read leases served off a cache pin (zero-copy)
+	leaseOwned      *stats.Counter     // read leases owning a fresh fault buffer
+	readCopies      *stats.Counter     // payload copies performed by the read path
 	commit          []*stats.Histogram // commit-to-disk latency, indexed by p-factor
 }
 
@@ -154,6 +167,9 @@ func newEngineMetrics(reg *stats.Registry, replicas int) engineMetrics {
 		checksumFaults:  reg.Counter("bullet.checksum_faults"),
 		scrubRepairs:    reg.Counter("bullet.scrub_repairs"),
 		scrubUnfixable:  reg.Counter("bullet.scrub_unrepairable"),
+		leasePinned:     reg.Counter("bullet.lease_pinned"),
+		leaseOwned:      reg.Counter("bullet.lease_owned"),
+		readCopies:      reg.Counter("bullet.read_copies"),
 	}
 	for k := 0; k <= replicas; k++ {
 		m.commit = append(m.commit,
@@ -193,6 +209,12 @@ type Server struct {
 	table  *layout.Table
 	dalloc *alloc.Allocator // data-area blocks
 	cache  *cache.Cache
+
+	// committer batches concurrent creates into shared replica fan-outs
+	// (Options.GroupCommitWindow); nil when grouping is disabled. Queued
+	// entries are invisible to replicas.Drain until flushed, so every
+	// Drain site goes through flushCommits.
+	committer *disk.GroupCommitter
 
 	// commits tracks creates between publishing their metadata (under mu)
 	// and registering their write-through with the replica set's drain
@@ -323,6 +345,15 @@ func New(replicas *disk.ReplicaSet, opts Options) (*Server, error) {
 	}
 	fileCache.AttachMetrics(reg)
 	replicas.AttachMetrics(reg)
+	if opts.GroupCommitWindow > 0 {
+		s.committer = disk.NewGroupCommitter(replicas, opts.GroupCommitWindow, opts.GroupCommitBatch,
+			func(i int, dev disk.Device, tags []uint32) error {
+				s.inoMu[i].Lock()
+				defer s.inoMu[i].Unlock()
+				return s.table.WriteInodes(dev, tags)
+			})
+		s.committer.AttachMetrics(reg)
+	}
 	if upgraded {
 		reg.Counter("bullet.table_upgrades").Inc()
 	}
@@ -519,19 +550,45 @@ func (s *Server) create(tc *trace.Ctx, sp *trace.Span, data []byte, pfactor int)
 	copy(padded, data)
 	dataOff := s.desc.DataOffset(start)
 	commitStart := time.Now()
-	err = s.replicas.ApplyNotifyTraced(tc, sp, pfactor, func(i int, dev disk.Device) error {
-		if err := dev.WriteAt(padded, dataOff); err != nil {
-			return err
+	if s.committer != nil {
+		// Group commit: the data write joins a batch that shares one
+		// replica fan-out (the committer's epilogue writes each dirty
+		// inode block once per batch). The entry's quorum wait still
+		// honours this create's P-FACTOR — it may just cover batch-mates
+		// too. P-FACTOR 0 returns at submission, exactly as the ungrouped
+		// path returns at launch.
+		done := s.committer.Submit(disk.GroupEntry{
+			SyncN: pfactor,
+			Tag:   inode,
+			Op: func(i int, dev disk.Device) error {
+				return dev.WriteAt(padded, dataOff)
+			},
+			OnSettled: func() {
+				// Every replica has finished (or failed): the disk copy is
+				// as durable as it will get, so the cache entry may move.
+				pin.Release()
+			},
+		})
+		s.commits.Done()
+		err = nil
+		if pfactor > 0 {
+			err = <-done
 		}
-		s.inoMu[i].Lock()
-		defer s.inoMu[i].Unlock()
-		return s.table.WriteInode(dev, inode)
-	}, func() {
-		// Every replica has finished (or failed): the disk copy is as
-		// durable as it will get, so the cache entry may move again.
-		pin.Release()
-	})
-	s.commits.Done()
+	} else {
+		err = s.replicas.ApplyNotifyTraced(tc, sp, pfactor, func(i int, dev disk.Device) error {
+			if err := dev.WriteAt(padded, dataOff); err != nil {
+				return err
+			}
+			s.inoMu[i].Lock()
+			defer s.inoMu[i].Unlock()
+			return s.table.WriteInode(dev, inode)
+		}, func() {
+			// Every replica has finished (or failed): the disk copy is as
+			// durable as it will get, so the cache entry may move again.
+			pin.Release()
+		})
+		s.commits.Done()
+	}
 	if err != nil {
 		// No disk accepted the file during the synchronous phase: undo.
 		s.mu.Lock()
@@ -587,79 +644,25 @@ func (s *Server) ReadRange(c capability.Capability, offset, n int64) ([]byte, er
 
 // fetchSpan returns [offset, offset+n) of the file c names (n < 0 means
 // to the end) plus the file's total size. The returned slice is owned by
-// the caller. Cache hits copy from a pinned view outside the metadata
-// lock; misses run the singleflight disk fault. parent is the engine-layer
-// op span child spans (verify, cache lookup, fault) hang under; tc may be
-// nil.
+// the caller: a pinned lease is copied out (and released) here, an owned
+// fault buffer is handed straight through. The zero-copy alternative is
+// fetchLease (lease.go), which this wraps.
 func (s *Server) fetchSpan(tc *trace.Ctx, parent *trace.Span, c capability.Capability, want capability.Rights, offset, n int64) ([]byte, int64, error) {
-	s.mu.RLock()
-	vsp := tc.Begin(parent, trace.LayerEngine, trace.OpVerify)
-	inode, ino, err := s.verify(c, want)
-	if vsp != nil {
-		vsp.Inode = inode
-		if err != nil {
-			vsp.Status = 1
-		}
-	}
-	tc.End(vsp)
-	if err != nil {
-		s.mu.RUnlock()
-		return nil, 0, err
-	}
-	if ino.CacheIndex != 0 {
-		if view, verr := s.cache.GetViewTraced(tc, parent, ino.CacheIndex, inode); verr == nil {
-			s.mu.RUnlock()
-			// Copy outside the engine lock; the pin keeps the bytes put.
-			out, size, err := span(view.Bytes(), offset, n, true)
-			view.Release()
-			return out, size, err
-		}
-		// Stale index (eviction raced the lookup): clear it, unless a
-		// concurrent fault already published a fresh binding.
-		_, _ = s.table.SetCacheIndexIf(inode, ino.CacheIndex, 0)
-	} else {
-		s.cache.TraceMiss(tc, parent, inode)
-	}
-	s.mu.RUnlock()
-
-	fsp := tc.Begin(parent, trace.LayerEngine, trace.OpFault)
-	data, shared, waited, err := s.faultIn(tc, fsp, inode, ino.Random)
-	if fsp != nil {
-		fsp.Inode = inode
-		fsp.Bytes = int64(len(data))
-		fsp.Merged = waited
-		if err != nil {
-			fsp.Status = 1
-		}
-	}
-	tc.End(fsp)
+	l, err := s.fetchLease(tc, parent, c, want, offset, n)
 	if err != nil {
 		return nil, 0, err
 	}
-	// A shared result is read by every merged waiter; it must be copied.
-	// An owned full-file read hands the fault's fresh slice straight to
-	// the caller — no second copy.
-	return span(data, offset, n, shared)
-}
-
-// span cuts [offset, offset+n) out of data (n < 0 means to the end) and
-// also returns the full size. When forceCopy is false and the span is the
-// whole of data, data itself is returned.
-func span(data []byte, offset, n int64, forceCopy bool) ([]byte, int64, error) {
-	size := int64(len(data))
-	if offset > size {
-		return nil, size, fmt.Errorf("offset %d past size %d: %w", offset, size, ErrBadOffset)
-	}
-	end := size
-	if n >= 0 && offset+n < size {
-		end = offset + n
-	}
-	if !forceCopy && offset == 0 && end == size {
-		return data, size, nil
+	size := l.Size()
+	if !l.Pinned() {
+		out := l.Bytes()
+		l.Release()
+		return out, size, nil
 	}
 	// append instead of make+copy: the runtime skips zeroing the fresh
 	// slice, one full memory pass saved on every cached read.
-	out := append([]byte(nil), data[offset:end]...)
+	out := append([]byte(nil), l.Bytes()...)
+	l.Release()
+	s.m.readCopies.Inc()
 	return out, size, nil
 }
 
@@ -747,6 +750,7 @@ func (s *Server) loadFile(tc *trace.Ctx, parent *trace.Span, inode uint32, rando
 		// In-flight background write-throughs (an uncached create, or
 		// replicas still catching up past the P-FACTOR) must land before
 		// the disk is readable.
+		s.flushCommits()
 		s.replicas.Drain()
 		data := make([]byte, ino.Size)
 		var rerr error
@@ -839,6 +843,7 @@ func (s *Server) delete(tc *trace.Ctx, sp *trace.Span, c capability.Capability) 
 	// and write-through registration are waited out first (commits), then
 	// the registered writes themselves (Drain).
 	s.commits.Wait()
+	s.flushCommits()
 	s.replicas.Drain()
 	if ino.CacheIndex != 0 {
 		// A pinned copy (readers mid-copy-out) is doomed, not freed; the
@@ -1037,6 +1042,17 @@ func (s *Server) SweepExcept(keep map[uint32]bool) (int, error) {
 	return len(victims), nil
 }
 
+// flushCommits forces any group-committed creates still waiting for
+// their batch window into the replica set, so a following
+// replicas.Drain observes them. Every engine Drain site calls this
+// first; a nil committer (grouping disabled) is a no-op. Entry errors
+// are delivered to the entries' own callers, not here.
+func (s *Server) flushCommits() {
+	if s.committer != nil {
+		_ = s.committer.Flush()
+	}
+}
+
 // Sync waits for all in-flight write-throughs — creates still between
 // metadata publish and write registration, then the registered background
 // (post-P-FACTOR) replica writes — to land.
@@ -1044,6 +1060,7 @@ func (s *Server) Sync() {
 	s.mu.RLock()
 	s.commits.Wait()
 	s.mu.RUnlock()
+	s.flushCommits()
 	s.replicas.Drain()
 	// Persist checksum entries recorded since the last flush (create and
 	// lazy backfill only mark them dirty, keeping the write-through to one

@@ -34,6 +34,7 @@ func (s *Server) compactDiskLocked() error {
 	// publish and write registration (commits), then the registered
 	// writes themselves.
 	s.commits.Wait()
+	s.flushCommits()
 	s.replicas.Drain()
 	bs := int64(s.desc.BlockSize)
 	var used []alloc.Used

@@ -1,0 +1,191 @@
+package bullet
+
+import (
+	"fmt"
+
+	"bulletfs/internal/cache"
+	"bulletfs/internal/capability"
+	"bulletfs/internal/trace"
+)
+
+// errBadSpan reports a malformed or out-of-bounds read span. size < 0
+// means the span was rejected before the file was consulted.
+func errBadSpan(offset, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("range start %d: %w", offset, ErrBadOffset)
+	}
+	return fmt.Errorf("offset %d past size %d: %w", offset, size, ErrBadOffset)
+}
+
+// This file is the zero-copy read API. The classic Read/ReadRange copy
+// the requested span out of the pinned cache view before returning, so
+// every cached read costs one full memory pass between the cache arena
+// and the reply buffer. ReadView/ReadRangeView instead return a ReadLease
+// that either keeps the cache pin alive (hit) or owns a fresh fault
+// buffer (miss); the caller — in practice the RPC reply path — writes the
+// bytes to the socket and only then releases the lease, so a cached read
+// travels cache arena -> kernel with zero payload copies.
+
+// ReadLease is a borrowed window onto a file's bytes. While unreleased,
+// a pinned lease holds a reference on the cache slot backing Bytes, which
+// blocks eviction and compaction of that slot (the same contract as
+// cache.View). Callers must Release every lease on every path; the
+// bulletlint pinleak pass enforces this, and handing the lease to the RPC
+// reply path (rpc.Owned) transfers the obligation there.
+type ReadLease struct {
+	data []byte
+	size int64
+	view *cache.View // nil when the lease owns data outright
+}
+
+// Bytes is the leased span. It is valid only until Release.
+func (l *ReadLease) Bytes() []byte { return l.data }
+
+// Size is the total size of the file the span was cut from.
+func (l *ReadLease) Size() int64 { return l.size }
+
+// Pinned reports whether the lease holds a cache pin (true for cache
+// hits) rather than owning its bytes outright (fault-in misses).
+func (l *ReadLease) Pinned() bool { return l.view != nil }
+
+// Release returns the lease's backing resources. Idempotent; Bytes is
+// invalid afterwards.
+func (l *ReadLease) Release() {
+	if l.view != nil {
+		l.view.Release()
+		l.view = nil
+	}
+	l.data = nil
+}
+
+// cut bounds [offset, offset+n) against data (n < 0 means to the end)
+// and returns the subslice plus the full size — no copy, unlike span.
+func cut(data []byte, offset, n int64) ([]byte, int64, error) {
+	size := int64(len(data))
+	if offset > size {
+		return nil, size, errBadSpan(offset, size)
+	}
+	end := size
+	if n >= 0 && offset+n < size {
+		end = offset + n
+	}
+	return data[offset:end], size, nil
+}
+
+// fetchLease is the lease-returning core of the read path: verify the
+// capability, pin the cached bytes (hit) or run the singleflight disk
+// fault (miss), and cut the requested span. The caller owns the returned
+// lease and must Release it on every path.
+func (s *Server) fetchLease(tc *trace.Ctx, parent *trace.Span, c capability.Capability, want capability.Rights, offset, n int64) (*ReadLease, error) {
+	s.mu.RLock()
+	vsp := tc.Begin(parent, trace.LayerEngine, trace.OpVerify)
+	inode, ino, err := s.verify(c, want)
+	if vsp != nil {
+		vsp.Inode = inode
+		if err != nil {
+			vsp.Status = 1
+		}
+	}
+	tc.End(vsp)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, err
+	}
+	if ino.CacheIndex != 0 {
+		if view, verr := s.cache.GetViewTraced(tc, parent, ino.CacheIndex, inode); verr == nil {
+			s.mu.RUnlock()
+			// The span is cut from the pinned bytes without copying; the
+			// pin rides in the lease and keeps the slot put until Release.
+			data, size, err := cut(view.Bytes(), offset, n)
+			if err != nil {
+				view.Release()
+				return nil, err
+			}
+			l := &ReadLease{data: data, size: size}
+			l.view = view
+			s.m.leasePinned.Inc()
+			return l, nil
+		}
+		// Stale index (eviction raced the lookup): clear it, unless a
+		// concurrent fault already published a fresh binding.
+		_, _ = s.table.SetCacheIndexIf(inode, ino.CacheIndex, 0)
+	} else {
+		s.cache.TraceMiss(tc, parent, inode)
+	}
+	s.mu.RUnlock()
+
+	fsp := tc.Begin(parent, trace.LayerEngine, trace.OpFault)
+	data, shared, waited, err := s.faultIn(tc, fsp, inode, ino.Random)
+	if fsp != nil {
+		fsp.Inode = inode
+		fsp.Bytes = int64(len(data))
+		fsp.Merged = waited
+		if err != nil {
+			fsp.Status = 1
+		}
+	}
+	tc.End(fsp)
+	if err != nil {
+		return nil, err
+	}
+	out, size, err := cut(data, offset, n)
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		// A shared fault result is read by every merged waiter: the lease
+		// must own its bytes.
+		out = append([]byte(nil), out...)
+		s.m.readCopies.Inc()
+	}
+	s.m.leaseOwned.Inc()
+	return &ReadLease{data: out, size: size}, nil
+}
+
+// ReadView is Read without the payload copy: the returned lease pins the
+// cached file (or owns a fresh fault buffer) and must be released by the
+// caller on every path.
+func (s *Server) ReadView(c capability.Capability) (*ReadLease, error) {
+	return s.ReadViewTraced(nil, nil, c)
+}
+
+// ReadViewTraced is ReadView with span emission.
+func (s *Server) ReadViewTraced(tc *trace.Ctx, parent *trace.Span, c capability.Capability) (*ReadLease, error) {
+	return s.ReadRangeViewTraced(tc, parent, c, 0, -1)
+}
+
+// ReadRangeView is ReadRange without the payload copy; n < 0 means "to
+// the end of the file". The returned lease must be released by the caller
+// on every path.
+func (s *Server) ReadRangeView(c capability.Capability, offset, n int64) (*ReadLease, error) {
+	return s.ReadRangeViewTraced(nil, nil, c, offset, n)
+}
+
+// ReadRangeViewTraced is ReadRangeView with span emission.
+func (s *Server) ReadRangeViewTraced(tc *trace.Ctx, parent *trace.Span, c capability.Capability, offset, n int64) (*ReadLease, error) {
+	if offset < 0 {
+		return nil, errBadSpan(offset, -1)
+	}
+	op := trace.OpRead
+	if offset != 0 || n >= 0 {
+		op = trace.OpReadRange
+	}
+	sp := tc.Begin(parent, trace.LayerEngine, op)
+	l, err := s.fetchLease(tc, sp, c, RightRead, offset, n)
+	if sp != nil {
+		sp.Inode = c.Object
+		if l != nil {
+			sp.Bytes = int64(len(l.data))
+		}
+		if err != nil {
+			sp.Status = 1
+		}
+	}
+	tc.End(sp)
+	if err != nil {
+		return nil, err
+	}
+	s.m.reads.Inc()
+	s.m.bytesOut.Add(int64(len(l.data)))
+	return l, nil
+}

@@ -67,6 +67,7 @@ func (s *Server) ScrubObject(obj uint32) ScrubResult {
 	// waits are safe under the shared lock: commits.Add needs the lock
 	// exclusively and background replica writes never take it at all.
 	s.commits.Wait()
+	s.flushCommits()
 	s.replicas.Drain()
 
 	copies := make([][]byte, s.replicas.N())
@@ -107,6 +108,7 @@ func (s *Server) ScrubObject(obj uint32) ScrubResult {
 			// Nothing verified: the reads may have raced a write-through
 			// that registered after our Drain. Settle and retry once
 			// before declaring the object unrepairable.
+			s.flushCommits()
 			s.replicas.Drain()
 			for i := range copies {
 				copies[i] = readExtent(i)

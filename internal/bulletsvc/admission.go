@@ -105,7 +105,10 @@ func (a *Admission) AttachMetrics(reg *stats.Registry) {
 // admission control.
 func admissionControlled(cmd uint32) bool {
 	switch cmd {
-	case CmdCreate, CmdSize, CmdRead, CmdDelete, CmdModify, CmdAppend, CmdReadRange:
+	case CmdCreate, CmdSize, CmdRead, CmdDelete, CmdModify, CmdAppend, CmdReadRange,
+		CmdReadStream, CmdCreateStart, CmdCreateWrite, CmdCreateCommit:
+		// CmdCreateAbort stays unthrottled: refusing a cleanup would
+		// strand session buffers on a saturated server.
 		return true
 	default:
 		return false

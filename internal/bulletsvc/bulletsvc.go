@@ -39,6 +39,15 @@ const (
 	CmdStats        uint32 = 12 // Cap (read right) -> reply payload=JSON stats.Snapshot
 	CmdTrace        uint32 = 13 // Cap (read right), Arg=selector (TraceRecent/TraceSlow) -> reply payload=JSON []trace.JSONTrace
 	CmdSalvage      uint32 = 14 // Cap, Arg=selector (SalvageHealth/SalvageScrub/SalvageRecover), Arg2=replica -> reply payload=JSON HealthReport
+
+	// Streaming extension (see docs/PROTOCOL.md): a chunked read serving
+	// large files as a sequence of ranged frames off one cache pin, and a
+	// create session accumulating chunks into one contiguous file.
+	CmdReadStream   uint32 = 15 // Cap, Arg=offset, Arg2=chunk-size hint -> frames: Arg=chunk offset, Arg2=file size, payload=chunk
+	CmdCreateStart  uint32 = 16 // Arg=size hint -> reply Arg=session id
+	CmdCreateWrite  uint32 = 17 // Arg=session id, Arg2=offset (== bytes so far), payload=chunk
+	CmdCreateCommit uint32 = 18 // Arg=session id, Arg2=p-factor -> reply Cap
+	CmdCreateAbort  uint32 = 19 // Arg=session id
 )
 
 // CmdSalvage selectors (the request header's Arg). SalvageHealth needs the
@@ -88,6 +97,16 @@ func CommandName(cmd uint32) string {
 		return "trace"
 	case CmdSalvage:
 		return "salvage"
+	case CmdReadStream:
+		return "readstream"
+	case CmdCreateStart:
+		return "createstart"
+	case CmdCreateWrite:
+		return "createwrite"
+	case CmdCreateCommit:
+		return "createcommit"
+	case CmdCreateAbort:
+		return "createabort"
 	default:
 		return ""
 	}
@@ -185,6 +204,7 @@ type Service struct {
 	rec      *trace.Recorder // optional; serves CmdTrace when non-nil
 	scrubber *scrub.Scrubber // optional; SALVAGE's scrub trigger, paused during compaction
 	adm      *Admission      // optional; bounds in-flight file operations, sheds with StatusBusy
+	sess     sessionTable    // open streaming-create sessions
 }
 
 // New wraps engine.
@@ -211,10 +231,13 @@ func (s *Service) AttachAdmission(a *Admission) { s.adm = a }
 func (s *Service) Admission() *Admission { return s.adm }
 
 // Register installs the service on mux under the engine's port. The
-// traced registration threads each request's span context through the
-// engine, so every layer hangs its spans under the RPC root span.
+// stream registration lets READ/READ_RANGE replies borrow the engine's
+// pinned cache bytes (zero-copy; see HandleStream) and serves the
+// multi-frame READSTREAM; single-frame transports see stream replies
+// assembled for them by the mux. Span contexts thread through either
+// way, so every layer hangs its spans under the RPC root span.
 func (s *Service) Register(mux *rpc.Mux) {
-	mux.RegisterTraced(s.engine.Port(), s.HandleTraced)
+	mux.RegisterStream(s.engine.Port(), s.HandleStream)
 }
 
 // Handle processes one Bullet transaction without tracing (tests and
@@ -293,6 +316,9 @@ func (s *Service) HandleTraced(tc *trace.Ctx, parent *trace.Span, req rpc.Header
 			return rpc.ReplyErr(StatusOf(err)), nil
 		}
 		return rpc.ReplyOK(), data
+
+	case CmdCreateStart, CmdCreateWrite, CmdCreateCommit, CmdCreateAbort:
+		return s.handleSession(tc, parent, req, payload)
 
 	case CmdTrace:
 		return s.handleTrace(tc, parent, req)

@@ -443,6 +443,25 @@ func (t *Table) WriteInode(dev disk.Device, n uint32) error {
 	return nil
 }
 
+// WriteInodes persists the control blocks containing the given inodes,
+// writing each distinct block exactly once however many of the inodes
+// share it. Group-committed creates use this: a batch of N small files
+// whose inodes land in the same block costs one block write, not N.
+func (t *Table) WriteInodes(dev disk.Device, ns []uint32) error {
+	written := make(map[int64]bool, len(ns))
+	for _, n := range ns {
+		blockNo := t.InodeBlock(n)
+		if written[blockNo] {
+			continue
+		}
+		written[blockNo] = true
+		if err := t.WriteInode(dev, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // UpgradeInPlace converts a loaded v1 table to v2 on dev: it carves the
 // checksum area out of the tail of the data area, zeroes it, and rewrites
 // the descriptor. The upgrade is possible only when no live file occupies

@@ -54,6 +54,15 @@ func (m *Mux) AttachMetrics(reg *stats.Registry, nameOf func(uint32) string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.metrics = &muxMetrics{reg: reg, nameOf: nameOf}
+	// Dispatch-path gauges: outbound reply bytes, the zero-copy reply
+	// path (borrowed payloads and the pins held over socket writes), and
+	// the byte-budgeted duplicate-suppression cache.
+	reg.GaugeFunc("rpc.bytes_out", m.BytesOut)
+	reg.GaugeFunc("rpc.reply_pins_held", m.PinsHeld)
+	reg.GaugeFunc("rpc.owned_replies", m.OwnedReplies)
+	reg.GaugeFunc("rpc.dedup_bytes", m.DedupBytes)
+	reg.GaugeFunc("rpc.dedup_copied_bytes", m.DedupCopiedBytes)
+	reg.GaugeFunc("rpc.dedup_evictions", m.DedupEvictions)
 }
 
 // AttachMetrics adds a retry counter ("rpc.retries") to the registry;

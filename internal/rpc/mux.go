@@ -3,6 +3,7 @@ package rpc
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bulletfs/internal/capability"
@@ -20,19 +21,31 @@ import (
 // (RegisterTraced) receive the arena and the root span so lower layers can
 // hang their spans under it.
 type Mux struct {
-	mu       sync.Mutex
-	handlers map[capability.Port]muxEntry // guarded by mu
-	dedup    map[uint64]cachedReply       // guarded by mu
-	order    *list.List                   // guarded by mu; txids in arrival order, for bounded eviction
-	maxDedup int                          // immutable after construction
-	metrics  *muxMetrics                  // guarded by mu (the pointed-to state is immutable)
-	rec      *trace.Recorder              // guarded by mu (pointer swap only)
+	mu            sync.Mutex
+	handlers      map[capability.Port]muxEntry // guarded by mu
+	dedup         map[uint64]cachedReply       // guarded by mu
+	order         *list.List                   // guarded by mu; txids in arrival order, for bounded eviction
+	maxDedup      int                          // immutable after construction
+	maxDedupBytes int64                        // immutable after construction (see SetDedupBytes)
+	dedupBytes    int64                        // guarded by mu; retained reply payload bytes
+	metrics       *muxMetrics                  // guarded by mu (the pointed-to state is immutable)
+	rec           *trace.Recorder              // guarded by mu (pointer swap only)
+
+	// Dispatch-path telemetry, atomics so the hot path takes no lock.
+	// AttachMetrics exposes them as rpc.* gauges.
+	bytesOut       atomic.Int64 // reply payload bytes handed to transports
+	pinsHeld       atomic.Int64 // owned (pin-backed) reply payloads currently over a write
+	ownedReplies   atomic.Int64 // frames written from a borrowed payload (zero-copy serves)
+	dedupCopied    atomic.Int64 // bytes copied by the dedup cache's copy-on-retain
+	dedupEvictions atomic.Int64 // entries evicted to stay within the count/byte budget
 }
 
-// muxEntry is one registered server: exactly one of plain/traced is set.
+// muxEntry is one registered server: exactly one of plain/traced/stream
+// is set.
 type muxEntry struct {
 	plain  Handler
 	traced TraceHandler
+	stream StreamHandler
 }
 
 type cachedReply struct {
@@ -41,6 +54,12 @@ type cachedReply struct {
 	elem    *list.Element
 }
 
+// DefaultDedupBytes is the default budget on total reply payload bytes
+// the duplicate-suppression cache may retain. Before the byte budget the
+// cache was bounded only by entry count, so a burst of large-read replies
+// could pin maxDedup megabyte payloads in RAM indefinitely.
+const DefaultDedupBytes = 16 << 20
+
 // NewMux returns an empty Mux. maxDedup bounds the duplicate-suppression
 // cache (0 means a sensible default).
 func NewMux(maxDedup int) *Mux {
@@ -48,11 +67,48 @@ func NewMux(maxDedup int) *Mux {
 		maxDedup = 4096
 	}
 	return &Mux{
-		handlers: make(map[capability.Port]muxEntry),
-		dedup:    make(map[uint64]cachedReply),
-		order:    list.New(),
-		maxDedup: maxDedup,
+		handlers:      make(map[capability.Port]muxEntry),
+		dedup:         make(map[uint64]cachedReply),
+		order:         list.New(),
+		maxDedup:      maxDedup,
+		maxDedupBytes: DefaultDedupBytes,
 	}
+}
+
+// SetDedupBytes overrides the duplicate-suppression cache's retained-byte
+// budget (0 restores the default). Call before serving; the budget is not
+// synchronized against in-flight dispatches.
+func (m *Mux) SetDedupBytes(n int64) {
+	if n <= 0 {
+		n = DefaultDedupBytes
+	}
+	m.maxDedupBytes = n
+}
+
+// retainLocked remembers one reply for duplicate replay, evicting oldest
+// entries until both the entry count and the byte budget hold. Replies
+// larger than the whole budget are not retained at all: a replayed
+// transaction of that size is a re-executed read, which is idempotent.
+// Caller holds m.mu.
+func (m *Mux) retainLocked(txid uint64, hdr Header, payload []byte) {
+	if _, dup := m.dedup[txid]; dup {
+		return
+	}
+	n := int64(len(payload))
+	if n > m.maxDedupBytes {
+		return
+	}
+	for m.order.Len() > 0 && (m.order.Len() >= m.maxDedup || m.dedupBytes+n > m.maxDedupBytes) {
+		oldest := m.order.Front()
+		m.order.Remove(oldest)
+		old := oldest.Value.(uint64)
+		m.dedupBytes -= int64(len(m.dedup[old].payload))
+		delete(m.dedup, old)
+		m.dedupEvictions.Add(1)
+	}
+	elem := m.order.PushBack(txid)
+	m.dedup[txid] = cachedReply{hdr: hdr, payload: payload, elem: elem}
+	m.dedupBytes += n
 }
 
 // Register installs h as the server for port. Registering a port twice
@@ -152,15 +208,7 @@ func (m *Mux) DispatchTrace(tc *trace.Ctx, port capability.Port, txid uint64, re
 	if txid != 0 {
 		if cached, dup := m.dedup[txid]; dup {
 			m.mu.Unlock()
-			if mm != nil {
-				mm.reg.Counter("rpc.dup_replays").Inc()
-			}
-			root := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
-			if root != nil {
-				root.Cmd = req.Command
-				root.Status = int32(cached.hdr.Status)
-			}
-			tc.End(root)
+			m.replayStats(mm, tc, req, cached)
 			return cached.hdr, cached.payload, nil
 		}
 	}
@@ -174,10 +222,32 @@ func (m *Mux) DispatchTrace(tc *trace.Ctx, port capability.Port, txid uint64, re
 	start := time.Now()
 	var repHdr Header
 	var repPayload []byte
-	if e.traced != nil {
+	switch {
+	case e.stream != nil:
+		// Single-reply view of a stream handler: the frames are assembled
+		// into one owned payload (each frame's bytes are copied before its
+		// backing pin is released), so non-streaming transports keep the
+		// classic Trans contract.
+		first := true
+		e.stream(tc, root, req, payload, func(h Header, p Payload, last bool) error {
+			if first {
+				repHdr = h
+				first = false
+			}
+			repPayload = append(repPayload, p.Data...)
+			m.bytesOut.Add(int64(len(p.Data)))
+			p.release()
+			return nil
+		})
+		if first {
+			repHdr = ReplyErr(StatusInternal)
+		}
+	case e.traced != nil:
 		repHdr, repPayload = e.traced(tc, root, req, payload)
-	} else {
+		m.bytesOut.Add(int64(len(repPayload)))
+	default:
 		repHdr, repPayload = e.plain(req, payload)
+		m.bytesOut.Add(int64(len(repPayload)))
 	}
 	if mm != nil {
 		mm.record(req.Command, len(payload), len(repPayload), repHdr.Status, time.Since(start))
@@ -189,15 +259,7 @@ func (m *Mux) DispatchTrace(tc *trace.Ctx, port capability.Port, txid uint64, re
 
 	if txid != 0 {
 		m.mu.Lock()
-		if _, dup := m.dedup[txid]; !dup {
-			for m.order.Len() >= m.maxDedup {
-				oldest := m.order.Front()
-				m.order.Remove(oldest)
-				delete(m.dedup, oldest.Value.(uint64))
-			}
-			elem := m.order.PushBack(txid)
-			m.dedup[txid] = cachedReply{hdr: repHdr, payload: repPayload, elem: elem}
-		}
+		m.retainLocked(txid, repHdr, repPayload)
 		m.mu.Unlock()
 	}
 	return repHdr, repPayload, nil
@@ -209,3 +271,29 @@ func (m *Mux) DedupLen() int {
 	defer m.mu.Unlock()
 	return len(m.dedup)
 }
+
+// DedupBytes reports the reply payload bytes currently retained by the
+// duplicate-suppression cache.
+func (m *Mux) DedupBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dedupBytes
+}
+
+// DedupEvictions reports entries evicted from the duplicate-suppression
+// cache to stay within its count and byte budgets.
+func (m *Mux) DedupEvictions() int64 { return m.dedupEvictions.Load() }
+
+// BytesOut reports total reply payload bytes handed to transports.
+func (m *Mux) BytesOut() int64 { return m.bytesOut.Load() }
+
+// OwnedReplies reports reply frames written from borrowed (pin-backed)
+// payloads — the zero-copy serves.
+func (m *Mux) OwnedReplies() int64 { return m.ownedReplies.Load() }
+
+// PinsHeld reports borrowed reply payloads currently held over a write.
+func (m *Mux) PinsHeld() int64 { return m.pinsHeld.Load() }
+
+// DedupCopiedBytes reports bytes the dedup cache copied on retain
+// (borrowed payloads only; reply-owned payloads are retained as-is).
+func (m *Mux) DedupCopiedBytes() int64 { return m.dedupCopied.Load() }

@@ -1,0 +1,225 @@
+package rpc
+
+import (
+	"time"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/trace"
+)
+
+// This file adds reply-payload ownership and multi-frame streaming to the
+// dispatch path. The classic Handler contract forces every reply payload
+// to be owned by the reply (the duplicate-suppression cache retains it),
+// which costs a full copy on the read hot path: the engine copies the file
+// out of its pinned cache view before handing it to the RPC layer. A
+// stream handler instead emits frames whose payloads may be *borrowed* —
+// backed by a resource (a pinned cache view lease) that the RPC layer
+// releases only after the frame's bytes have been written to the socket.
+// The dedup cache copies on retain instead, bounded by a byte budget.
+
+// Releaser is a resource backing a borrowed reply payload — typically a
+// pinned cache-view lease whose bytes the payload aliases. Release must
+// be safe to call exactly once per hand-off and idempotent implementations
+// are encouraged.
+type Releaser interface {
+	Release()
+}
+
+// Payload is one reply frame's bytes plus optional ownership. When Owner
+// is non-nil the bytes are borrowed from it: the RPC layer releases Owner
+// after the frame has been written (or the write abandoned), never before
+// — this is how a zero-copy reply keeps its cache pin alive exactly until
+// the payload has left for the kernel. When Owner is nil the bytes follow
+// the classic Handler contract (owned by the reply, retainable as-is).
+type Payload struct {
+	Data  []byte
+	Owner Releaser
+}
+
+// Plain wraps reply bytes with no backing resource attached.
+func Plain(data []byte) Payload { return Payload{Data: data} }
+
+// Owned hands data plus the resource backing it to the RPC layer. The
+// caller must not touch data (or owner) after the emit call it passes the
+// payload to returns: the resource is released inside the emitter.
+func Owned(data []byte, owner Releaser) Payload { return Payload{Data: data, Owner: owner} }
+
+// release returns the backing resource, if any.
+func (p Payload) release() {
+	if p.Owner != nil {
+		p.Owner.Release()
+	}
+}
+
+// Emitter writes one reply frame of a streamed transaction. last marks
+// the final frame; single-frame commands emit exactly once with last
+// true. The emitter assumes ownership of p's backing resource whether or
+// not it returns an error, so handlers never release a payload they have
+// emitted. A non-nil error means the client connection is gone: the
+// handler should stop emitting and return.
+type Emitter func(h Header, p Payload, last bool) error
+
+// StreamHandler serves one transaction by emitting one or more reply
+// frames. The request payload contract matches Handler: it is pooled and
+// must not be retained past the call. Errors are reported in-band, as a
+// single emitted frame whose header carries the status.
+type StreamHandler func(tc *trace.Ctx, parent *trace.Span, req Header, payload []byte, emit Emitter)
+
+// RegisterStream installs sh as the server for port. Stream handlers
+// receive every dispatch — single-frame transports see their frames
+// assembled into one reply — and may emit borrowed (Owned) payloads that
+// the dispatch layer releases after writing.
+func (m *Mux) RegisterStream(port capability.Port, sh StreamHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[port] = muxEntry{stream: sh}
+}
+
+// FrameSink receives one reply frame of a streamed dispatch. The data
+// slice is only valid during the call (it may alias a pinned cache slot
+// that is unpinned right after): the sink must write or copy it before
+// returning. The TCP server's sink hands it to a vectored socket write,
+// so the bytes travel cache -> kernel with no intermediate copy.
+type FrameSink func(h Header, data []byte, last bool) error
+
+// DispatchStream executes one transaction, delivering the reply as one or
+// more frames through sink. Ports registered with plain or traced
+// handlers produce exactly one frame. Duplicate transactions replay the
+// cached single-frame reply; multi-frame replies are never cached (the
+// only multi-frame command, READSTREAM, is idempotent). The returned
+// error is transport-level: ErrNoServer for an unserved port, or the
+// sink's own error propagated back.
+func (m *Mux) DispatchStream(tc *trace.Ctx, port capability.Port, txid uint64, req Header, payload []byte, sink FrameSink) error {
+	m.mu.Lock()
+	e, ok := m.handlers[port]
+	mm := m.metrics
+	if !ok {
+		m.mu.Unlock()
+		return ErrNoServer
+	}
+	if txid != 0 {
+		if cached, dup := m.dedup[txid]; dup {
+			m.mu.Unlock()
+			m.replayStats(mm, tc, req, cached)
+			return sink(cached.hdr, cached.payload, true)
+		}
+	}
+	m.mu.Unlock()
+
+	if e.stream == nil {
+		// Classic handler: DispatchTrace does metrics, tracing and dedup
+		// retention; the single reply becomes the only frame.
+		h, p, err := m.DispatchTrace(tc, port, txid, req, payload)
+		if err != nil {
+			return err
+		}
+		return sink(h, p, true)
+	}
+
+	root := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
+	if root != nil {
+		root.Cmd = req.Command
+		root.Bytes = int64(len(payload))
+	}
+	start := time.Now()
+	st := streamState{m: m, sink: sink, txid: txid}
+	e.stream(tc, root, req, payload, st.emit)
+	if st.frames == 0 && st.werr == nil {
+		// A handler that emitted nothing is a bug; keep the wire sane.
+		st.werr = st.emit(ReplyErr(StatusInternal), Payload{}, true)
+	}
+	if mm != nil {
+		mm.record(req.Command, len(payload), st.bytes, st.hdr.Status, time.Since(start))
+	}
+	if root != nil {
+		root.Status = int32(st.hdr.Status)
+	}
+	tc.End(root)
+
+	if txid != 0 && st.retained != nil && st.frames == 1 {
+		m.mu.Lock()
+		m.retainLocked(txid, st.hdr, st.retained)
+		m.mu.Unlock()
+	}
+	return st.werr
+}
+
+// streamState carries one streamed dispatch's bookkeeping across emits.
+type streamState struct {
+	m    *Mux
+	sink FrameSink
+	txid uint64
+
+	frames   int
+	bytes    int // payload bytes across all frames
+	hdr      Header
+	retained []byte // copy-on-retain candidate for the dedup cache
+	werr     error  // first sink error; later emits are dropped
+}
+
+// emit is the Emitter handed to stream handlers: it books the frame,
+// copies a retainable single-frame reply for the dedup cache, writes the
+// frame through the sink, and releases the payload's backing resource
+// after the write — the pin is held exactly over the write.
+func (st *streamState) emit(h Header, p Payload, last bool) error {
+	m := st.m
+	if p.Owner != nil {
+		m.pinsHeld.Add(1)
+		m.ownedReplies.Add(1)
+		defer func() {
+			p.Owner.Release()
+			m.pinsHeld.Add(-1)
+		}()
+	}
+	if st.werr != nil {
+		return st.werr
+	}
+	if st.frames == 0 {
+		st.hdr = h
+		// Copy-on-retain: a single-frame reply on a dedup-tracked
+		// transaction is remembered for replay, but the payload may be
+		// borrowed (dead after release), so the cache takes its own copy
+		// — bounded by the byte budget, oversized replies just re-execute.
+		if st.txid != 0 && last && int64(len(p.Data)) <= m.maxDedupBytes {
+			if p.Owner == nil {
+				st.retained = p.Data // already reply-owned per the Handler contract
+				if st.retained == nil {
+					st.retained = []byte{}
+				}
+			} else {
+				st.retained = append([]byte{}, p.Data...)
+				m.dedupCopied.Add(int64(len(p.Data)))
+			}
+		}
+	}
+	st.frames++
+	st.bytes += len(p.Data)
+	m.bytesOut.Add(int64(len(p.Data)))
+	st.werr = st.sink(h, p.Data, last)
+	return st.werr
+}
+
+// replayStats books a duplicate-transaction replay: counter, root span,
+// outbound bytes.
+func (m *Mux) replayStats(mm *muxMetrics, tc *trace.Ctx, req Header, cached cachedReply) {
+	if mm != nil {
+		mm.reg.Counter("rpc.dup_replays").Inc()
+	}
+	root := tc.Begin(nil, trace.LayerRPC, trace.OpRequest)
+	if root != nil {
+		root.Cmd = req.Command
+		root.Status = int32(cached.hdr.Status)
+	}
+	tc.End(root)
+	m.bytesOut.Add(int64(len(cached.payload)))
+}
+
+// StreamTransport is a Transport that can deliver a transaction whose
+// reply arrives as multiple frames, handing each to sink in order. The
+// final frame's header is returned. Transports that cannot stream simply
+// don't implement this; callers fall back to Trans and receive the frames
+// assembled into one payload.
+type StreamTransport interface {
+	Transport
+	TransStream(port capability.Port, req Header, payload []byte, sink FrameSink) (Header, error)
+}

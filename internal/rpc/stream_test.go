@@ -1,0 +1,292 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/trace"
+)
+
+// fakeLease is a Releaser tracking release count and whether the bytes
+// were still live at write time.
+type fakeLease struct {
+	mu       sync.Mutex
+	released int
+}
+
+func (f *fakeLease) Release() {
+	f.mu.Lock()
+	f.released++
+	f.mu.Unlock()
+}
+
+func (f *fakeLease) releases() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.released
+}
+
+func TestDispatchStreamMultiFrame(t *testing.T) {
+	mux := NewMux(0)
+	port := capability.PortFromString("stream")
+	payloadA, payloadB := []byte("first-"), []byte("second")
+	mux.RegisterStream(port, func(tc *trace.Ctx, parent *trace.Span, req Header, payload []byte, emit Emitter) {
+		_ = emit(Header{Status: StatusOK, Arg: 1}, Plain(payloadA), false)
+		_ = emit(Header{Status: StatusOK, Arg: 2}, Plain(payloadB), true)
+	})
+
+	var frames []Header
+	var got []byte
+	var lasts []bool
+	err := mux.DispatchStream(nil, port, 0, Header{Command: 9}, nil, func(h Header, data []byte, last bool) error {
+		frames = append(frames, h)
+		got = append(got, data...)
+		lasts = append(lasts, last)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("DispatchStream: %v", err)
+	}
+	if len(frames) != 2 || !lasts[1] || lasts[0] {
+		t.Fatalf("frames = %d, lasts = %v; want 2 frames, final last", len(frames), lasts)
+	}
+	if !bytes.Equal(got, []byte("first-second")) {
+		t.Fatalf("assembled payload = %q", got)
+	}
+	if mux.BytesOut() != int64(len(got)) {
+		t.Fatalf("BytesOut = %d, want %d", mux.BytesOut(), len(got))
+	}
+}
+
+func TestDispatchStreamOwnedPayloadReleasedAfterWrite(t *testing.T) {
+	mux := NewMux(0)
+	port := capability.PortFromString("owned")
+	lease := &fakeLease{}
+	mux.RegisterStream(port, func(tc *trace.Ctx, parent *trace.Span, req Header, payload []byte, emit Emitter) {
+		_ = emit(ReplyOK(), Owned([]byte("pinned bytes"), lease), true)
+	})
+
+	var pinsDuringWrite int64
+	err := mux.DispatchStream(nil, port, 0, Header{}, nil, func(h Header, data []byte, last bool) error {
+		// The pin must be held while the sink (the socket write) runs.
+		pinsDuringWrite = mux.PinsHeld()
+		if lease.releases() != 0 {
+			t.Error("lease released before the sink ran")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("DispatchStream: %v", err)
+	}
+	if pinsDuringWrite != 1 {
+		t.Fatalf("PinsHeld during write = %d, want 1", pinsDuringWrite)
+	}
+	if lease.releases() != 1 {
+		t.Fatalf("lease released %d times, want exactly 1", lease.releases())
+	}
+	if mux.PinsHeld() != 0 {
+		t.Fatalf("PinsHeld after dispatch = %d, want 0", mux.PinsHeld())
+	}
+	if mux.OwnedReplies() != 1 {
+		t.Fatalf("OwnedReplies = %d, want 1", mux.OwnedReplies())
+	}
+}
+
+func TestDispatchStreamOwnedReleasedEvenOnSinkError(t *testing.T) {
+	mux := NewMux(0)
+	port := capability.PortFromString("sinkerr")
+	lease := &fakeLease{}
+	mux.RegisterStream(port, func(tc *trace.Ctx, parent *trace.Span, req Header, payload []byte, emit Emitter) {
+		if err := emit(ReplyOK(), Owned([]byte("x"), lease), true); err == nil {
+			t.Error("emit should surface the sink error")
+		}
+	})
+	sinkErr := fmt.Errorf("conn gone")
+	err := mux.DispatchStream(nil, port, 0, Header{}, nil, func(Header, []byte, bool) error { return sinkErr })
+	if err != sinkErr {
+		t.Fatalf("DispatchStream err = %v, want the sink error", err)
+	}
+	if lease.releases() != 1 {
+		t.Fatalf("lease released %d times after sink error, want 1", lease.releases())
+	}
+	if mux.PinsHeld() != 0 {
+		t.Fatalf("PinsHeld = %d, want 0", mux.PinsHeld())
+	}
+}
+
+func TestDispatchStreamCopyOnRetain(t *testing.T) {
+	mux := NewMux(0)
+	port := capability.PortFromString("retain")
+	backing := []byte("live while pinned")
+	calls := 0
+	mux.RegisterStream(port, func(tc *trace.Ctx, parent *trace.Span, req Header, payload []byte, emit Emitter) {
+		calls++
+		lease := &fakeLease{}
+		_ = emit(ReplyOK(), Owned(backing, lease), true)
+	})
+
+	sink := func(h Header, data []byte, last bool) error { return nil }
+	if err := mux.DispatchStream(nil, port, 77, Header{}, nil, sink); err != nil {
+		t.Fatalf("DispatchStream: %v", err)
+	}
+	if mux.DedupCopiedBytes() != int64(len(backing)) {
+		t.Fatalf("DedupCopiedBytes = %d, want %d", mux.DedupCopiedBytes(), len(backing))
+	}
+	// Clobber the borrowed backing (simulates the cache slot being reused
+	// after release): the replay must serve its own copy.
+	for i := range backing {
+		backing[i] = 0
+	}
+	var replay []byte
+	if err := mux.DispatchStream(nil, port, 77, Header{}, nil, func(h Header, data []byte, last bool) error {
+		replay = append([]byte(nil), data...)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay DispatchStream: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("handler ran %d times, want 1 (replay must come from the dedup cache)", calls)
+	}
+	if string(replay) != "live while pinned" {
+		t.Fatalf("replayed payload = %q: the dedup cache aliased the borrowed bytes", replay)
+	}
+}
+
+func TestDispatchStreamMultiFrameNotRetained(t *testing.T) {
+	mux := NewMux(0)
+	port := capability.PortFromString("noretain")
+	calls := 0
+	mux.RegisterStream(port, func(tc *trace.Ctx, parent *trace.Span, req Header, payload []byte, emit Emitter) {
+		calls++
+		_ = emit(ReplyOK(), Plain([]byte("a")), false)
+		_ = emit(ReplyOK(), Plain([]byte("b")), true)
+	})
+	sink := func(Header, []byte, bool) error { return nil }
+	if err := mux.DispatchStream(nil, port, 42, Header{}, nil, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := mux.DispatchStream(nil, port, 42, Header{}, nil, sink); err != nil {
+		t.Fatal(err)
+	}
+	// Multi-frame replies are never cached: the retry re-executes.
+	if calls != 2 {
+		t.Fatalf("handler ran %d times, want 2 (multi-frame replies are not replayable)", calls)
+	}
+}
+
+func TestDispatchStreamEmptyEmitIsInternalError(t *testing.T) {
+	mux := NewMux(0)
+	port := capability.PortFromString("silent")
+	mux.RegisterStream(port, func(*trace.Ctx, *trace.Span, Header, []byte, Emitter) {})
+	var got Header
+	var last bool
+	if err := mux.DispatchStream(nil, port, 0, Header{}, nil, func(h Header, _ []byte, l bool) error {
+		got, last = h, l
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusInternal || !last {
+		t.Fatalf("silent handler produced %v (last=%v), want StatusInternal final frame", got, last)
+	}
+}
+
+func TestDedupByteBudgetEviction(t *testing.T) {
+	mux := NewMux(0)
+	mux.SetDedupBytes(1 << 10) // 1 KiB budget
+	port := capability.PortFromString("budget")
+	mux.Register(port, func(req Header, payload []byte) (Header, []byte) {
+		return ReplyOK(), bytes.Repeat([]byte{byte(req.Arg)}, 400)
+	})
+
+	// Three 400-byte replies against a 1 KiB budget: retaining the third
+	// must evict the first.
+	for txid := uint64(1); txid <= 3; txid++ {
+		if _, _, err := mux.Dispatch(port, txid, Header{Arg: txid}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mux.DedupBytes(); got > 1<<10 {
+		t.Fatalf("DedupBytes = %d, exceeds the 1 KiB budget", got)
+	}
+	if mux.DedupEvictions() == 0 {
+		t.Fatal("no evictions despite exceeding the byte budget")
+	}
+	if mux.DedupLen() != 2 {
+		t.Fatalf("DedupLen = %d, want 2", mux.DedupLen())
+	}
+
+	// An oversized reply is not retained at all: the retry re-executes
+	// (harmless for idempotent reads), and the budget is undisturbed.
+	big := capability.PortFromString("big")
+	execs := 0
+	mux.Register(big, func(Header, []byte) (Header, []byte) {
+		execs++
+		return ReplyOK(), make([]byte, 2<<10)
+	})
+	before := mux.DedupBytes()
+	for i := 0; i < 2; i++ {
+		if _, _, err := mux.Dispatch(big, 99, Header{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if execs != 2 {
+		t.Fatalf("oversized reply executed %d times, want 2 (never retained)", execs)
+	}
+	if mux.DedupBytes() != before {
+		t.Fatalf("DedupBytes moved from %d to %d on an unretained reply", before, mux.DedupBytes())
+	}
+}
+
+func TestTransStreamOverTCP(t *testing.T) {
+	mux := NewMux(0)
+	port := capability.PortFromString("wire-stream")
+	const chunks = 5
+	mux.RegisterStream(port, func(tc *trace.Ctx, parent *trace.Span, req Header, payload []byte, emit Emitter) {
+		for i := 0; i < chunks; i++ {
+			data := bytes.Repeat([]byte{byte('a' + i)}, 1000)
+			if emit(Header{Status: StatusOK, Arg: uint64(i)}, Plain(data), i == chunks-1) != nil {
+				return
+			}
+		}
+	})
+	echo := capability.PortFromString("wire-echo")
+	mux.Register(echo, echoHandler)
+	srv := NewTCPServer(mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close() //nolint:errcheck // test cleanup
+	tr := NewTCPTransport(StaticResolver(map[capability.Port]string{port: addr, echo: addr}), 5*time.Second)
+	defer tr.Close() //nolint:errcheck // test cleanup
+
+	var got []byte
+	var frames int
+	rep, err := tr.TransStream(port, Header{Command: 1}, nil, func(h Header, data []byte, last bool) error {
+		frames++
+		got = append(got, data...)
+		if last != (frames == chunks) {
+			t.Errorf("frame %d: last = %v", frames, last)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("TransStream: %v", err)
+	}
+	if rep.Status != StatusOK || rep.Arg != chunks-1 {
+		t.Fatalf("final header = %+v", rep)
+	}
+	if frames != chunks || len(got) != chunks*1000 {
+		t.Fatalf("got %d frames, %d bytes; want %d frames, %d bytes", frames, len(got), chunks, chunks*1000)
+	}
+
+	// The connection is reusable for a classic transaction afterwards.
+	if rep, _, err := tr.Trans(echo, Header{Command: 2}, nil); err != nil || rep.Status != StatusOK {
+		t.Fatalf("Trans after stream: %+v, %v", rep, err)
+	}
+}

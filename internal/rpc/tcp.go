@@ -34,6 +34,15 @@ const (
 	magicRequest = 0x414d5458 // "AMTX"
 	magicReply   = 0x414d5250 // "AMRP"
 
+	// magicReplyMore marks a non-final frame of a multi-frame (streamed)
+	// reply: same prologue layout as a reply, with at least one more frame
+	// following on the connection. The final frame of a stream carries the
+	// plain reply magic, so a transaction is complete exactly when an AMRP
+	// frame arrives. Only stream-aware commands (READSTREAM) ever produce
+	// these; every other command replies with a single AMRP frame, keeping
+	// old clients wire-compatible.
+	magicReplyMore = 0x414d5253 // "AMRS"
+
 	// magicRequestV2 marks a request frame carrying a prologue extension:
 	// the v1 prologue byte-for-byte (only the magic differs), then
 	// extlen (uint16) and extlen bytes of type-length-value fields, then
@@ -329,24 +338,34 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			}
 			tc.Reset(traceID)
 		}
-		repHdr, repPayload, err := s.mux.DispatchTrace(tc, port, txid, req, payload)
-		// The trace completes before the reply is written: a client that
-		// sees the reply can immediately fetch its own trace.
+		// Reply frames are written from inside the dispatch: the sink hands
+		// each frame's payload to a vectored socket write (header and
+		// payload in one writev, no intermediate copy), and a payload
+		// backed by a pinned cache view is released by the dispatch layer
+		// right after its write returns — the pin is held exactly over the
+		// write, never longer.
+		err = s.mux.DispatchStream(tc, port, txid, req, payload, func(h Header, data []byte, last bool) error {
+			magic := uint32(magicReplyMore)
+			if last {
+				magic = magicReply
+			}
+			return writeFrame(conn, magic, txid, port, h, data)
+		})
 		tc.Finish()
 		if release != nil {
 			release()
 		}
 		if err != nil {
+			// A dispatch error before any frame went out still gets a
+			// reply; a mid-stream write error means the connection is gone
+			// and the write below fails too, dropping it.
+			repHdr := ReplyErr(StatusInternal)
 			if errors.Is(err, ErrNoServer) {
-				repHdr, repPayload = ReplyErr(StatusNoSuchObject), nil
-			} else {
-				repHdr, repPayload = ReplyErr(StatusInternal), nil
+				repHdr = ReplyErr(StatusNoSuchObject)
 			}
-		}
-		// Vectored write straight to the socket: header and payload in
-		// one writev, no intermediate copy into a bufio buffer.
-		if err := writeFrame(conn, magicReply, txid, port, repHdr, repPayload); err != nil {
-			return
+			if werr := writeFrame(conn, magicReply, txid, port, repHdr, nil); werr != nil {
+				return
+			}
 		}
 	}
 }
@@ -406,6 +425,7 @@ var (
 	_ Transport                 = (*TCPTransport)(nil)
 	_ TracedTransport           = (*TCPTransport)(nil)
 	_ identifiedTracedTransport = (*TCPTransport)(nil)
+	_ StreamTransport           = (*TCPTransport)(nil)
 )
 
 // NewTCPTransport builds a client transport. timeout bounds each
@@ -493,6 +513,83 @@ func (t *TCPTransport) TransIDTraced(port capability.Port, txid, traceID uint64,
 		return Header{}, nil, fmt.Errorf("rpc: receive: %w", err)
 	}
 	return repHdr, repPayload, nil
+}
+
+// readStreamFrame reads one reply frame of a streamed transaction,
+// accepting both the non-final (AMRS) and final (AMRP) reply magics;
+// last reports which one arrived.
+func readStreamFrame(r io.Reader) (txid uint64, h Header, payload []byte, last bool, err error) {
+	var fixed [prologueLen]byte
+	if _, err = io.ReadFull(r, fixed[:]); err != nil {
+		return 0, h, nil, false, err
+	}
+	switch binary.BigEndian.Uint32(fixed[0:4]) {
+	case magicReply:
+		last = true
+	case magicReplyMore:
+	default:
+		return 0, h, nil, false, fmt.Errorf("magic %08x: %w", binary.BigEndian.Uint32(fixed[0:4]), ErrBadFrame)
+	}
+	txid = binary.BigEndian.Uint64(fixed[4:12])
+	h, _, err = DecodeHeader(fixed[12+capability.PortLen : 12+capability.PortLen+HeaderLen])
+	if err != nil {
+		return 0, h, nil, false, err
+	}
+	paylen := binary.BigEndian.Uint32(fixed[prologueLen-4:])
+	if paylen > MaxPayload {
+		return 0, h, nil, false, fmt.Errorf("%d bytes: %w", paylen, ErrPayloadTooLarge)
+	}
+	payload = make([]byte, paylen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, h, nil, false, err
+	}
+	return txid, h, payload, last, nil
+}
+
+// TransStream implements StreamTransport: the request goes out once and
+// each reply frame is handed to sink as it arrives off the wire, ending
+// with the final frame (whose header is returned). The per-transaction
+// deadline covers the whole stream. A sink error abandons the stream and
+// drops the connection — frames still in flight die with it.
+func (t *TCPTransport) TransStream(port capability.Port, req Header, payload []byte, sink FrameSink) (Header, error) {
+	addr, err := t.resolve(port)
+	if err != nil {
+		return Header{}, err
+	}
+	c, err := t.getConn(addr)
+	if err != nil {
+		t.noteTransportErr(err)
+		return Header{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(t.timeout)); err != nil {
+			t.dropConn(addr, c)
+			t.noteTransportErr(err)
+			return Header{}, fmt.Errorf("rpc: set deadline: %w", err)
+		}
+	}
+	if err := writeFrame(c.conn, magicRequest, 0, port, req, payload); err != nil {
+		t.dropConn(addr, c)
+		t.noteTransportErr(err)
+		return Header{}, fmt.Errorf("rpc: send: %w", err)
+	}
+	for {
+		_, h, data, last, err := readStreamFrame(c.br)
+		if err != nil {
+			t.dropConn(addr, c)
+			t.noteTransportErr(err)
+			return Header{}, fmt.Errorf("rpc: receive: %w", err)
+		}
+		if err := sink(h, data, last); err != nil {
+			t.dropConn(addr, c)
+			return h, err
+		}
+		if last {
+			return h, nil
+		}
+	}
 }
 
 // Close drops all pooled connections.
