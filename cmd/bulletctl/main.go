@@ -10,6 +10,7 @@
 //	bulletctl -server localhost:7001 stat
 //	bulletctl -server localhost:7001 stats [-json] <capability>
 //	bulletctl -server localhost:7001 trace [-slow] [-json] <capability>
+//	bulletctl -server localhost:7001 top [-n updates] [-json] <capability>  # live telemetry (WATCH)
 //	bulletctl -server localhost:7001 compact
 //	bulletctl -server localhost:7001 health [-json] <capability>
 //	bulletctl -server localhost:7001 scrub <admin-capability>
@@ -64,7 +65,7 @@ func exitCode(err error) int {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: bulletctl [-server addr] [-port name] [-pfactor n] <put|get|size|append|del|stat|stats|trace|compact|health|scrub|recover|restrict> args...")
+	return fmt.Errorf("usage: bulletctl [-server addr] [-port name] [-pfactor n] <put|get|size|append|del|stat|stats|trace|top|compact|health|scrub|recover|restrict> args...")
 }
 
 func run() error {
@@ -299,6 +300,45 @@ func run() error {
 		}
 		return nil
 
+	case "top":
+		// bulletctl top [-n updates] [-json] <capability>
+		var asJSON bool
+		var maxUpdates uint64
+		var capStr string
+		rest := args[1:]
+		for len(rest) > 0 {
+			switch {
+			case rest[0] == "-json" || rest[0] == "--json":
+				asJSON = true
+				rest = rest[1:]
+			case (rest[0] == "-n" || rest[0] == "--n") && len(rest) >= 2:
+				n, err := strconv.ParseUint(rest[1], 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad -n %q", rest[1])
+				}
+				maxUpdates = n
+				rest = rest[2:]
+			case capStr == "":
+				capStr = rest[0]
+				rest = rest[1:]
+			default:
+				return fmt.Errorf("usage: bulletctl top [-n updates] [-json] <capability>")
+			}
+		}
+		if capStr == "" {
+			return fmt.Errorf("usage: bulletctl top [-n updates] [-json] <capability> (any readable file's capability authorizes the watch)")
+		}
+		c, err := capability.Parse(capStr)
+		if err != nil {
+			return err
+		}
+		// The watch stream runs until interrupted; the default transport's
+		// 30s transaction deadline would kill it, so top uses its own
+		// deadline-free connection.
+		watchTr := rpc.NewTCPTransport(resolver, 0)
+		defer watchTr.Close() //nolint:errcheck // process exit
+		return runTop(client.New(watchTr, client.WithTraceIDs()), c, maxUpdates, asJSON)
+
 	case "compact":
 		if err := cl.CompactDisk(p); err != nil {
 			return err
@@ -525,8 +565,8 @@ func printSnapshot(snap stats.Snapshot) {
 		sort.Strings(keys)
 		for _, k := range keys {
 			h := snap.Histograms[k]
-			fmt.Printf("  %-40s n=%d p50=%.0f p95=%.0f p99=%.0f max=%d\n",
-				k, h.Count, h.P50, h.P95, h.P99, h.Max)
+			fmt.Printf("  %-40s n=%d p50=%.0f p95=%.0f p99=%.0f p999=%.0f max=%d\n",
+				k, h.Count, h.P50, h.P95, h.P99, h.P999, h.Max)
 		}
 	}
 }

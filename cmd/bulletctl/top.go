@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"bulletfs/internal/capability"
+	"bulletfs/internal/client"
+	"bulletfs/internal/stats"
+)
+
+// bulletctl top: a live, self-refreshing view of the server's telemetry
+// stream (the WATCH RPC). Each collector tick repaints one screen:
+// per-operation throughput and windowed tail latency, cache hit rate,
+// admission shed rate, replica health — and the slowest recent trace ID
+// per operation, ready to paste into `bulletctl trace`.
+
+// runTop drives the watch subscription and rendering. maxUpdates 0
+// streams until interrupted; asJSON emits one JSON document per update
+// instead of repainting (for scripts and tests).
+func runTop(cl *client.Client, cp capability.Capability, maxUpdates uint64, asJSON bool) error {
+	var prev *stats.Update
+	first := true
+	return cl.Watch(cp, maxUpdates, func(u stats.Update) error {
+		if asJSON {
+			body, err := json.Marshal(u)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(body))
+			return nil
+		}
+		renderTop(os.Stdout, &u, prev, first)
+		p := u
+		prev = &p
+		first = false
+		return nil
+	})
+}
+
+// opRow is one operation's line in the table.
+type opRow struct {
+	name      string
+	perSec    float64
+	errPerSec float64
+	p50, p99  float64
+	slowTrace string
+	slowNS    int64
+}
+
+// renderTop repaints one update. After the first frame the screen is
+// cleared with ANSI codes, giving the classic top(1) refresh.
+func renderTop(w *os.File, u, prev *stats.Update, first bool) {
+	if !first {
+		fmt.Fprint(w, "\x1b[H\x1b[2J")
+	}
+	at := time.Unix(0, u.UnixNano)
+	interval := time.Duration(u.IntervalNS)
+
+	// Header: totals and derived health ratios.
+	var totalOps, totalErrs float64
+	rows := make([]opRow, 0, 16)
+	for name, r := range u.Counters {
+		op, ok := strings.CutPrefix(name, "rpc.")
+		if !ok || !strings.HasSuffix(op, ".requests") {
+			continue
+		}
+		op = strings.TrimSuffix(op, ".requests")
+		totalOps += r.PerSec
+		row := opRow{name: op, perSec: r.PerSec}
+		row.errPerSec = u.Counters["rpc."+op+".errors"].PerSec
+		totalErrs += row.errPerSec
+		if win, ok := u.Histograms["rpc."+op+".latency_ns"]; ok {
+			row.p50, row.p99 = win.P50, win.P99
+			row.slowTrace, row.slowNS = win.SlowTrace, win.SlowNS
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].perSec != rows[j].perSec {
+			return rows[i].perSec > rows[j].perSec
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	fmt.Fprintf(w, "bullet top — %s  (window %s, seq %d)\n",
+		at.Format("15:04:05"), interval.Round(time.Millisecond), u.Seq)
+	fmt.Fprintf(w, "ops/s %.1f   errs/s %.1f   cache hit %s   shed %s   replicas %s   watchers %d\n\n",
+		totalOps, totalErrs,
+		ratioPct(u, prev, "cache.hits", "cache.misses"),
+		ratioPct(u, prev, "rpc.admission_shed", "rpc.admission_admitted"),
+		replicaHealth(u), u.Gauges["telemetry.watchers"])
+
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s  %s\n",
+		"OP", "OPS/S", "ERR/S", "P50", "P99", "SLOWEST TRACE")
+	for _, r := range rows {
+		if r.perSec == 0 && r.errPerSec == 0 {
+			continue
+		}
+		slow := "-"
+		if r.slowTrace != "" {
+			slow = fmt.Sprintf("%s (%s)", r.slowTrace, fmtNS(float64(r.slowNS)))
+		}
+		fmt.Fprintf(w, "%-14s %10.1f %10.1f %10s %10s  %s\n",
+			r.name, r.perSec, r.errPerSec, fmtNS(r.p50), fmtNS(r.p99), slow)
+	}
+}
+
+// ratioPct renders hits/(hits+misses) as a percentage over the current
+// window. The inputs are absolute gauges, so the window's movement is
+// the difference against the previous update; on the first update (or
+// no movement) the lifetime ratio is used.
+func ratioPct(u, prev *stats.Update, hitName, missName string) string {
+	hits := float64(u.Gauges[hitName])
+	misses := float64(u.Gauges[missName])
+	if prev != nil {
+		dh := hits - float64(prev.Gauges[hitName])
+		dm := misses - float64(prev.Gauges[missName])
+		if dh >= 0 && dm >= 0 && dh+dm > 0 {
+			return fmt.Sprintf("%.0f%%", 100*dh/(dh+dm))
+		}
+	}
+	if hits+misses == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*hits/(hits+misses))
+}
+
+// replicaHealth summarizes the replica set from the disk gauges.
+// disk.recovering is the index under online recovery, -1 when none.
+func replicaHealth(u *stats.Update) string {
+	alive, ok := u.Gauges["disk.alive_replicas"]
+	if !ok {
+		return "-"
+	}
+	s := fmt.Sprintf("%d alive", alive)
+	if rec, ok := u.Gauges["disk.recovering"]; ok && rec >= 0 {
+		s += fmt.Sprintf(" (recovering %d)", rec)
+	}
+	return s
+}
+
+// fmtNS renders nanoseconds human-readably (µs/ms/s).
+func fmtNS(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.0fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +32,7 @@ import (
 	"bulletfs/internal/locate"
 	"bulletfs/internal/rpc"
 	"bulletfs/internal/scrub"
+	"bulletfs/internal/stats"
 	"bulletfs/internal/trace"
 )
 
@@ -63,6 +63,8 @@ func run() error {
 		maxInFl   = flag.Int("max-inflight", 0, "admission limit on concurrent file operations; past it requests are shed with StatusBusy (0 disables)")
 		gcWindow  = flag.Duration("group-commit", 0, "group-commit flush window: concurrent creates batch their replica sync round-trips for up to this long (0 disables; try 500us-2ms)")
 		gcBatch   = flag.Int("group-commit-batch", 0, "max creates per group-commit batch; a full batch flushes immediately (0 = default 64)")
+		telemIvl  = flag.Duration("telemetry-interval", stats.DefaultInterval, "telemetry sampling interval: the collector snapshots all metrics and pushes one WATCH update per interval")
+		telemRing = flag.Int("telemetry-ring", stats.DefaultRingSize, "telemetry history depth: how many periodic samples each metric retains")
 	)
 	flag.Parse()
 	if *disks == "" {
@@ -124,12 +126,20 @@ func run() error {
 	scrubber.Start()
 	defer scrubber.Stop()
 
+	// The telemetry collector samples every metric on a fixed interval
+	// into fixed-size rings, deriving per-window rates and tail latencies;
+	// the WATCH RPC and /debug/telemetry stream its updates.
+	collector := stats.NewCollector(engine.Metrics(), *telemIvl, *telemRing)
+	collector.Start()
+	defer collector.Close()
+
 	mux := rpc.NewMux(0)
 	mux.AttachMetrics(engine.Metrics(), bulletsvc.CommandName)
 	mux.AttachRecorder(recorder)
 	svc := bulletsvc.New(engine)
 	svc.AttachRecorder(recorder)
 	svc.AttachScrubber(scrubber)
+	svc.AttachCollector(collector)
 	if *maxInFl > 0 {
 		adm := bulletsvc.NewAdmission(*maxInFl)
 		adm.AttachMetrics(engine.Metrics())
@@ -148,36 +158,12 @@ func run() error {
 	var httpWG sync.WaitGroup
 	var httpSrv *http.Server
 	if *httpAddr != "" {
-		hmux := http.NewServeMux()
-		hmux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
-			body, err := engine.Metrics().Snapshot().MarshalIndent()
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			w.Header().Set("Content-Type", "application/json")
-			w.Write(body) //nolint:errcheck // best-effort HTTP reply
+		hmux := bulletsvc.NewDebugMux(bulletsvc.DebugMuxConfig{
+			Registry:  engine.Metrics(),
+			Recorder:  recorder,
+			Collector: collector,
+			Pprof:     true,
 		})
-		hmux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
-			ts := recorder.Recent()
-			if r.URL.Query().Get("slow") != "" {
-				ts = recorder.Slow()
-			}
-			body, err := trace.EncodeTraces(ts)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			w.Header().Set("Content-Type", "application/json")
-			w.Write(body) //nolint:errcheck // best-effort HTTP reply
-		})
-		// net/http/pprof registers on DefaultServeMux only; wire its
-		// handlers onto this private mux explicitly.
-		hmux.HandleFunc("/debug/pprof/", pprof.Index)
-		hmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		hmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		hmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		hmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		lis, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return fmt.Errorf("http listen %s: %w", *httpAddr, err)
@@ -190,7 +176,7 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "bulletd: http:", err)
 			}
 		}()
-		fmt.Printf("stats endpoint on http://%s/debug/stats, traces on /debug/traces, pprof on /debug/pprof/\n", lis.Addr())
+		fmt.Printf("stats on http://%s/debug/stats, traces on /debug/traces, telemetry on /debug/telemetry, OpenMetrics on /metrics, pprof on /debug/pprof/\n", lis.Addr())
 	}
 	fmt.Printf("capability port: %x (service name %q)\n", engine.Port(), *port)
 	fmt.Printf("files: %d live, max file size %d bytes\n", engine.Live(), engine.MaxFileSize())
@@ -218,6 +204,10 @@ func run() error {
 		httpSrv.Close() //nolint:errcheck // shutdown path
 		httpWG.Wait()
 	}
+	// Close the collector before the RPC server: closing unblocks every
+	// WATCH stream (their subscription channels close), so the server's
+	// connection drain does not wait on open-ended watchers.
+	collector.Close()
 	if err := srv.Close(); err != nil {
 		return err
 	}

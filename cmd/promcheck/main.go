@@ -1,0 +1,99 @@
+// Command promcheck scrapes an OpenMetrics endpoint and validates the
+// exposition with the in-repo parser (internal/promtext) — no external
+// Prometheus tooling needed. CI uses it to prove a live bulletd's
+// /metrics parses cleanly and carries trace exemplars.
+//
+//	promcheck -url http://127.0.0.1:7002/metrics -min-exemplars 1
+//
+// Exit status 0 means the document parsed, every histogram family kept
+// its bucket invariants, and the floors (-min-families, -min-exemplars,
+// -min-histograms) were met. Any violation prints a diagnostic and
+// exits 1. With -require-names, each comma-separated family name must
+// be present.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"bulletfs/internal/promtext"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url          = flag.String("url", "http://127.0.0.1:7002/metrics", "OpenMetrics endpoint to scrape")
+		timeout      = flag.Duration("timeout", 10*time.Second, "total scrape timeout")
+		minFamilies  = flag.Int("min-families", 1, "fail unless at least this many metric families are exposed")
+		minHists     = flag.Int("min-histograms", 0, "fail unless at least this many histogram families are exposed")
+		minExemplars = flag.Int("min-exemplars", 0, "fail unless at least this many exemplars are exposed")
+		requireNames = flag.String("require-names", "", "comma-separated family names that must be present")
+		wantCT       = flag.Bool("check-content-type", true, "require an openmetrics-text Content-Type on the response")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(*url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read side
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", *url, resp.Status)
+	}
+	if *wantCT {
+		ct := resp.Header.Get("Content-Type")
+		if !strings.Contains(ct, "openmetrics-text") {
+			return fmt.Errorf("Content-Type %q is not an OpenMetrics exposition", ct)
+		}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+
+	st, err := promtext.Validate(strings.NewReader(string(body)))
+	if err != nil {
+		return fmt.Errorf("exposition invalid: %w", err)
+	}
+	fmt.Printf("promcheck: %d families, %d samples, %d histograms, %d exemplars\n",
+		st.Families, st.Samples, st.Histograms, st.Exemplars)
+
+	if st.Families < *minFamilies {
+		return fmt.Errorf("%d families < floor %d", st.Families, *minFamilies)
+	}
+	if st.Histograms < *minHists {
+		return fmt.Errorf("%d histogram families < floor %d", st.Histograms, *minHists)
+	}
+	if st.Exemplars < *minExemplars {
+		return fmt.Errorf("%d exemplars < floor %d", st.Exemplars, *minExemplars)
+	}
+	if *requireNames != "" {
+		names, err := promtext.FamilyNames(strings.NewReader(string(body)))
+		if err != nil {
+			return err
+		}
+		have := make(map[string]bool)
+		for _, n := range names {
+			have[n] = true
+		}
+		for _, want := range strings.Split(*requireNames, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && !have[want] {
+				return fmt.Errorf("required family %q not exposed", want)
+			}
+		}
+	}
+	return nil
+}

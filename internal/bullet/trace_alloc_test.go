@@ -3,8 +3,10 @@ package bullet
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"bulletfs/internal/disk"
+	"bulletfs/internal/stats"
 	"bulletfs/internal/trace"
 )
 
@@ -43,6 +45,59 @@ func TestTracedCachedReadAddsNoAllocs(t *testing.T) {
 
 	if traced > base {
 		t.Fatalf("traced cached read allocates %v/op vs %v/op untraced — tracing must be alloc-free on the fast path", traced, base)
+	}
+}
+
+// TestCachedReadAllocFreeWithCollector extends the gate to the
+// telemetry tentpole: a running collector (sampling the registry every
+// millisecond, with exemplars enabled on a latency histogram) must not
+// put allocations back on the warm read path — the hot path only
+// touches atomics, and exemplar recording is a seqlock slot write.
+func TestCachedReadAllocFreeWithCollector(t *testing.T) {
+	w := newWorld(t, 2, Options{})
+	payload := bytes.Repeat([]byte{0x42}, 4<<10)
+	c := mustCreate(t, w.srv, payload, 2)
+	if !bytes.Equal(mustRead(t, w.srv, c), payload) {
+		t.Fatal("warm-up read returned wrong bytes")
+	}
+
+	// Baseline: the warm read alone (it copies the payload out, so it is
+	// not absolutely zero — the gate, like the tracing one above, is that
+	// telemetry adds nothing on top).
+	base := testing.AllocsPerRun(500, func() {
+		if _, err := w.srv.Read(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Long interval: the collector is live (Start'ed, registered,
+	// subscribable) but sampling is driven by explicit Ticks bracketing
+	// the measured loop — AllocsPerRun counts process-global mallocs, so
+	// a concurrently ticking goroutine would bill its own (deliberately
+	// off-hot-path) snapshot allocations to the read loop.
+	coll := stats.NewCollector(w.srv.Metrics(), time.Hour, 16)
+	coll.Start()
+	defer coll.Close()
+	// The exemplar-enabled histogram the RPC layer would own, observed
+	// from the loop the way rpc.metrics does, with a traced ID each run.
+	lat := w.srv.Metrics().HistogramExemplars("rpc.read.latency_ns", stats.DefaultLatencyBounds, 0)
+
+	at := time.Unix(1_700_000_000, 0)
+	coll.Tick(at)
+	withTelemetry := testing.AllocsPerRun(500, func() {
+		if _, err := w.srv.Read(c); err != nil {
+			t.Fatal(err)
+		}
+		lat.ObserveTraced(12345, 0xabcdef)
+	})
+	coll.Tick(at.Add(time.Second))
+	if withTelemetry > base {
+		t.Fatalf("cached read allocates %v/op with the collector + exemplars vs %v/op bare — the telemetry path must stay off the hot path", withTelemetry, base)
+	}
+	// The bracketing ticks really sampled the loop's traffic.
+	u, ok := coll.Latest()
+	if !ok || u.Histograms["rpc.read.latency_ns"].Count == 0 {
+		t.Fatalf("collector window missed the measured reads: %+v", u)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"bulletfs/internal/disk"
 	"bulletfs/internal/rpc"
 	"bulletfs/internal/scrub"
+	"bulletfs/internal/stats"
 	"bulletfs/internal/trace"
 )
 
@@ -48,6 +49,10 @@ const (
 	CmdCreateWrite  uint32 = 17 // Arg=session id, Arg2=offset (== bytes so far), payload=chunk
 	CmdCreateCommit uint32 = 18 // Arg=session id, Arg2=p-factor -> reply Cap
 	CmdCreateAbort  uint32 = 19 // Arg=session id
+
+	// Streaming telemetry subscription: one frame per collector tick
+	// until the client disconnects or the requested count is served.
+	CmdWatch uint32 = 20 // Cap (read right), Arg=max updates (0=unbounded) -> frames: Arg=seq, payload=JSON stats.Update
 )
 
 // CmdSalvage selectors (the request header's Arg). SalvageHealth needs the
@@ -107,6 +112,8 @@ func CommandName(cmd uint32) string {
 		return "createcommit"
 	case CmdCreateAbort:
 		return "createabort"
+	case CmdWatch:
+		return "watch"
 	default:
 		return ""
 	}
@@ -201,10 +208,11 @@ type HealthReport struct {
 // Service adapts a Bullet engine to an rpc.Handler.
 type Service struct {
 	engine   *bullet.Server
-	rec      *trace.Recorder // optional; serves CmdTrace when non-nil
-	scrubber *scrub.Scrubber // optional; SALVAGE's scrub trigger, paused during compaction
-	adm      *Admission      // optional; bounds in-flight file operations, sheds with StatusBusy
-	sess     sessionTable    // open streaming-create sessions
+	rec      *trace.Recorder  // optional; serves CmdTrace when non-nil
+	scrubber *scrub.Scrubber  // optional; SALVAGE's scrub trigger, paused during compaction
+	adm      *Admission       // optional; bounds in-flight file operations, sheds with StatusBusy
+	coll     *stats.Collector // optional; serves CmdWatch when non-nil
+	sess     sessionTable     // open streaming-create sessions
 }
 
 // New wraps engine.
@@ -229,6 +237,11 @@ func (s *Service) AttachAdmission(a *Admission) { s.adm = a }
 
 // Admission returns the attached limiter (nil if none).
 func (s *Service) Admission() *Admission { return s.adm }
+
+// AttachCollector wires the telemetry collector the service serves over
+// CmdWatch. Call before Register; nil leaves CmdWatch answering
+// StatusBadCommand (streaming telemetry not enabled).
+func (s *Service) AttachCollector(c *stats.Collector) { s.coll = c }
 
 // Register installs the service on mux under the engine's port. The
 // stream registration lets READ/READ_RANGE replies borrow the engine's

@@ -1,0 +1,101 @@
+package bulletsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"bulletfs/internal/stats"
+	"bulletfs/internal/trace"
+)
+
+// This file is bulletd's HTTP observability surface, factored out of the
+// daemon so handler behaviour (routes, Content-Types, exposition format)
+// is unit-testable without a TCP listener. The surface is unauthenticated
+// like expvar — bind it to a loopback or otherwise protected address.
+
+// DebugMuxConfig wires the observability sources into NewDebugMux. Any
+// nil field disables its routes.
+type DebugMuxConfig struct {
+	// Registry backs GET /debug/stats (indented JSON snapshot) and
+	// GET /metrics (OpenMetrics text exposition).
+	Registry *stats.Registry
+	// Recorder backs GET /debug/traces (?slow=1 for the slow ring).
+	Recorder *trace.Recorder
+	// Collector backs GET /debug/telemetry: the retained Update ring as
+	// JSON, newest last (?n=K limits to the K most recent).
+	Collector *stats.Collector
+	// Pprof additionally mounts the net/http/pprof handlers under
+	// /debug/pprof/ (they register on DefaultServeMux only, so a private
+	// mux must mount them explicitly).
+	Pprof bool
+}
+
+// NewDebugMux builds the HTTP mux bulletd serves on -http.
+func NewDebugMux(cfg DebugMuxConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	if cfg.Registry != nil {
+		mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
+			body, err := cfg.Registry.Snapshot().MarshalIndent()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body) //nolint:errcheck // best-effort HTTP reply
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			// Snapshot first; only a marshalling-free render follows, so
+			// the header and body stay consistent.
+			snap := cfg.Registry.Snapshot()
+			w.Header().Set("Content-Type", stats.OpenMetricsContentType)
+			_ = snap.WriteOpenMetrics(w) // best-effort HTTP reply
+		})
+	}
+	if cfg.Recorder != nil {
+		rec := cfg.Recorder
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			ts := rec.Recent()
+			if r.URL.Query().Get("slow") != "" {
+				ts = rec.Slow()
+			}
+			body, err := trace.EncodeTraces(ts)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body) //nolint:errcheck // best-effort HTTP reply
+		})
+	}
+	if cfg.Collector != nil {
+		coll := cfg.Collector
+		mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
+			n := 0
+			if q := r.URL.Query().Get("n"); q != "" {
+				v, err := strconv.Atoi(q)
+				if err != nil || v < 0 {
+					http.Error(w, "bad n", http.StatusBadRequest)
+					return
+				}
+				n = v
+			}
+			body, err := json.MarshalIndent(coll.History(n), "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body) //nolint:errcheck // best-effort HTTP reply
+		})
+	}
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -1,0 +1,141 @@
+package bulletsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bulletfs/internal/promtext"
+	"bulletfs/internal/stats"
+	"bulletfs/internal/trace"
+)
+
+func newDebugWorld(t *testing.T) (*stats.Registry, *stats.Collector, *http.ServeMux) {
+	t.Helper()
+	reg := stats.NewRegistry()
+	reg.Counter("rpc.read.requests").Add(7)
+	reg.Gauge("cache.bytes").Set(512)
+	h := reg.HistogramExemplars("rpc.read.latency_ns", nil, 0)
+	h.ObserveTraced(int64(3*time.Millisecond), 0xbeef)
+	coll := stats.NewCollector(reg, time.Hour, 8)
+	t.Cleanup(coll.Close)
+	rec := trace.NewRecorder()
+	t.Cleanup(rec.Close)
+	mux := NewDebugMux(DebugMuxConfig{Registry: reg, Recorder: rec, Collector: coll, Pprof: true})
+	return reg, coll, mux
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr
+}
+
+func TestDebugStatsHandler(t *testing.T) {
+	_, _, mux := newDebugWorld(t)
+	rr := get(t, mux, "/debug/stats")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var snap stats.Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("body not a snapshot: %v", err)
+	}
+	if snap.Counters["rpc.read.requests"] != 7 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	// Satellite: the snapshot JSON must surface p999 and the exemplars.
+	hs, ok := snap.Histograms["rpc.read.latency_ns"]
+	if !ok {
+		t.Fatal("latency histogram missing")
+	}
+	if hs.P999 == 0 {
+		t.Fatal("p999 missing from histogram JSON")
+	}
+	if !strings.Contains(rr.Body.String(), `"p999"`) {
+		t.Fatal(`literal "p999" key missing from /debug/stats body`)
+	}
+	if len(hs.Exemplars) == 0 || hs.Exemplars[0].TraceID != "000000000000beef" {
+		t.Fatalf("exemplars = %+v", hs.Exemplars)
+	}
+}
+
+func TestDebugTracesHandler(t *testing.T) {
+	_, _, mux := newDebugWorld(t)
+	for _, path := range []string{"/debug/traces", "/debug/traces?slow=1"} {
+		rr := get(t, mux, path)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d", path, rr.Code)
+		}
+		if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s: Content-Type = %q, want application/json", path, ct)
+		}
+		if !json.Valid(rr.Body.Bytes()) {
+			t.Fatalf("%s: body not JSON", path)
+		}
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	_, _, mux := newDebugWorld(t)
+	rr := get(t, mux, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != stats.OpenMetricsContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, stats.OpenMetricsContentType)
+	}
+	st, err := promtext.Validate(strings.NewReader(rr.Body.String()))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, rr.Body.String())
+	}
+	if st.Histograms == 0 || st.Exemplars == 0 {
+		t.Fatalf("stats = %+v, want a histogram with an exemplar", st)
+	}
+	if !strings.Contains(rr.Body.String(), "bullet_rpc_read_requests_total 7") {
+		t.Fatal("counter missing from exposition")
+	}
+}
+
+func TestDebugTelemetryHandler(t *testing.T) {
+	reg, coll, mux := newDebugWorld(t)
+	base := time.Unix(1_700_000_000, 0)
+	coll.Tick(base)
+	reg.Counter("rpc.read.requests").Add(3)
+	coll.Tick(base.Add(time.Second))
+	coll.Tick(base.Add(2 * time.Second))
+
+	rr := get(t, mux, "/debug/telemetry?n=1")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var updates []stats.Update
+	if err := json.Unmarshal(rr.Body.Bytes(), &updates); err != nil {
+		t.Fatalf("body: %v", err)
+	}
+	if len(updates) != 1 || updates[0].Seq != 2 {
+		t.Fatalf("updates = %+v, want the single newest (seq 2)", updates)
+	}
+
+	if rr := get(t, mux, "/debug/telemetry?n=bogus"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad n: status = %d, want 400", rr.Code)
+	}
+}
+
+func TestDebugPprofMounted(t *testing.T) {
+	_, _, mux := newDebugWorld(t)
+	rr := get(t, mux, "/debug/pprof/cmdline")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", rr.Code)
+	}
+}

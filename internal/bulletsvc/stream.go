@@ -52,6 +52,9 @@ func (s *Service) HandleStream(tc *trace.Ctx, parent *trace.Span, req rpc.Header
 	case CmdReadStream:
 		s.handleReadStream(tc, parent, req, emit)
 
+	case CmdWatch:
+		s.handleWatch(tc, parent, req, emit)
+
 	default:
 		h, p := s.HandleTraced(tc, parent, req, payload)
 		_ = emit(h, rpc.Plain(p), true)

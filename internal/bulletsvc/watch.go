@@ -1,0 +1,65 @@
+package bulletsvc
+
+import (
+	"encoding/json"
+
+	"bulletfs/internal/rpc"
+	"bulletfs/internal/trace"
+)
+
+// This file serves CmdWatch: a capability-checked streaming subscription
+// to the telemetry collector. Each collector tick becomes one AMRS reply
+// frame whose payload is the tick's stats.Update as JSON and whose
+// header Arg is the update's sequence number, so a client can detect
+// drops (a gap in seq means its subscription buffer overflowed). The
+// stream runs until the client disconnects, the collector shuts down, or
+// the requested update count (request Arg; 0 = unbounded) is served.
+//
+// Like STATS and TRACE, any valid capability with the read right admits
+// the watcher: telemetry is read-only observability.
+
+// handleWatch streams collector updates over emit.
+func (s *Service) handleWatch(tc *trace.Ctx, parent *trace.Span, req rpc.Header, emit rpc.Emitter) {
+	if s.coll == nil {
+		_ = emit(rpc.ReplyErr(rpc.StatusBadCommand), rpc.Plain(nil), true)
+		return
+	}
+	sp := tc.Begin(parent, trace.LayerEngine, trace.OpWatch)
+	if err := s.engine.AuthorizeRead(req.Cap); err != nil {
+		if sp != nil {
+			sp.Status = 1
+		}
+		tc.End(sp)
+		_ = emit(rpc.ReplyErr(StatusOf(err)), rpc.Plain(nil), true)
+		return
+	}
+	// The span covers subscription setup only; the stream itself can
+	// outlive any reasonable trace (and the connection's span arena is
+	// reused per request).
+	tc.End(sp)
+
+	max := req.Arg
+	sub := s.coll.Subscribe()
+	defer sub.Close()
+
+	sent := uint64(0)
+	for u := range sub.C {
+		body, err := json.Marshal(u)
+		if err != nil {
+			_ = emit(rpc.ReplyErr(rpc.StatusInternal), rpc.Plain(nil), true)
+			return
+		}
+		sent++
+		last := max != 0 && sent >= max
+		h := rpc.Header{Status: rpc.StatusOK, Arg: u.Seq, Arg2: uint64(s.coll.Interval())}
+		if emit(h, rpc.Plain(body), last) != nil {
+			return // client gone; Subscribe's defer tears down the feed
+		}
+		if last {
+			return
+		}
+	}
+	// Collector shut down mid-stream: end the stream cleanly with an
+	// empty final frame so the client sees an orderly close, not a hang.
+	_ = emit(rpc.Header{Status: rpc.StatusOK}, rpc.Plain(nil), true)
+}

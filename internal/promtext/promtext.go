@@ -1,0 +1,410 @@
+// Package promtext validates the OpenMetrics text exposition format the
+// server's /metrics endpoint emits. It is a deliberately small,
+// dependency-free checker — enough to gate CI on "the scrape parses and
+// the histograms are sane" without importing a Prometheus client.
+//
+// Checked invariants:
+//   - every sample belongs to a family declared by a preceding # TYPE
+//     line, with a legal metric name and a known type
+//   - family names are unique and samples are grouped under their family
+//   - counter samples use the _total suffix and are non-negative
+//   - histogram families carry _bucket/_sum/_count samples only; bucket
+//     counts are cumulative (non-decreasing by le), the le label parses,
+//     the last bucket is le="+Inf" and equals _count
+//   - exemplars ({...} after #) appear only on bucket or counter samples
+//     and parse as a labelset plus value plus optional timestamp
+//   - the document ends with exactly one # EOF marker
+package promtext
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrInvalid is wrapped by every structural validation failure, so
+// callers can errors.Is-classify "the document is malformed" apart from
+// I/O errors on the reader.
+var ErrInvalid = errors.New("invalid OpenMetrics document")
+
+// Stats summarizes a validated document.
+type Stats struct {
+	Families   int
+	Samples    int
+	Exemplars  int
+	Histograms int
+}
+
+// family is one metric family mid-validation.
+type family struct {
+	typ string
+
+	// histogram state
+	buckets   []bucket
+	sum       float64
+	haveSum   bool
+	count     float64
+	haveCount bool
+}
+
+type bucket struct {
+	le    float64
+	count float64
+}
+
+// Validate reads one exposition document and returns its summary, or the
+// first format error (tagged with its line number).
+func Validate(r io.Reader) (Stats, error) {
+	var st Stats
+	fams := make(map[string]*family)
+	var cur *family
+	var curName string
+	sawEOF := false
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if sawEOF {
+			return st, fmt.Errorf("%w: line %d: content after # EOF", ErrInvalid, line)
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if text == "# EOF" {
+				sawEOF = true
+				continue
+			}
+			rest, ok := strings.CutPrefix(text, "# TYPE ")
+			if !ok {
+				// Other comments (# HELP, # UNIT, free-form) are legal; skip.
+				continue
+			}
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !legalName(name) {
+				return st, fmt.Errorf("%w: line %d: malformed TYPE line %q", ErrInvalid, line, text)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return st, fmt.Errorf("%w: line %d: unsupported metric type %q", ErrInvalid, line, typ)
+			}
+			if _, dup := fams[name]; dup {
+				return st, fmt.Errorf("%w: line %d: duplicate family %q", ErrInvalid, line, name)
+			}
+			if cur != nil {
+				if err := closeFamily(curName, cur); err != nil {
+					return st, fmt.Errorf("%w: line %d: %s", ErrInvalid, line, err)
+				}
+			}
+			cur = &family{typ: typ}
+			curName = name
+			fams[name] = cur
+			st.Families++
+			if typ == "histogram" {
+				st.Histograms++
+			}
+			continue
+		}
+
+		ex, err := parseSample(text, cur, curName)
+		if err != nil {
+			return st, fmt.Errorf("%w: line %d: %s", ErrInvalid, line, err)
+		}
+		st.Samples++
+		st.Exemplars += ex
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	if cur != nil {
+		if err := closeFamily(curName, cur); err != nil {
+			return st, fmt.Errorf("%w: %s", ErrInvalid, err)
+		}
+	}
+	if !sawEOF {
+		return st, fmt.Errorf("%w: missing # EOF marker", ErrInvalid)
+	}
+	return st, nil
+}
+
+// parseSample validates one sample line against the open family,
+// returning how many exemplars it carried (0 or 1).
+func parseSample(text string, fam *family, famName string) (int, error) {
+	if fam == nil {
+		return 0, fmt.Errorf("sample %q before any # TYPE line", text)
+	}
+	name, labels, rest, err := splitSample(text)
+	if err != nil {
+		return 0, err
+	}
+	val, exemplar, err := splitValue(rest)
+	if err != nil {
+		return 0, err
+	}
+
+	switch fam.typ {
+	case "counter":
+		if name != famName+"_total" {
+			return 0, fmt.Errorf("counter sample %q must be %s_total", name, famName)
+		}
+		if val < 0 {
+			return 0, fmt.Errorf("counter %s is negative (%v)", name, val)
+		}
+	case "gauge":
+		if name != famName {
+			return 0, fmt.Errorf("gauge sample %q outside family %s", name, famName)
+		}
+		if exemplar != "" {
+			return 0, fmt.Errorf("exemplar on gauge %s", name)
+		}
+	case "histogram":
+		switch name {
+		case famName + "_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				return 0, fmt.Errorf("bucket of %s without le label", famName)
+			}
+			le, err := parseLE(leStr)
+			if err != nil {
+				return 0, fmt.Errorf("bucket of %s: %w", famName, err)
+			}
+			if n := len(fam.buckets); n > 0 {
+				last := fam.buckets[n-1]
+				if le <= last.le {
+					return 0, fmt.Errorf("buckets of %s out of le order (%v after %v)", famName, le, last.le)
+				}
+				if val < last.count {
+					return 0, fmt.Errorf("bucket counts of %s not cumulative (%v after %v)", famName, val, last.count)
+				}
+			}
+			if val < 0 {
+				return 0, fmt.Errorf("bucket of %s is negative", famName)
+			}
+			fam.buckets = append(fam.buckets, bucket{le: le, count: val})
+		case famName + "_sum":
+			if fam.haveSum {
+				return 0, fmt.Errorf("duplicate %s_sum", famName)
+			}
+			fam.sum, fam.haveSum = val, true
+			if exemplar != "" {
+				return 0, fmt.Errorf("exemplar on %s_sum", famName)
+			}
+		case famName + "_count":
+			if fam.haveCount {
+				return 0, fmt.Errorf("duplicate %s_count", famName)
+			}
+			fam.count, fam.haveCount = val, true
+			if exemplar != "" {
+				return 0, fmt.Errorf("exemplar on %s_count", famName)
+			}
+		default:
+			return 0, fmt.Errorf("sample %q outside histogram family %s", name, famName)
+		}
+	}
+
+	if exemplar != "" {
+		if err := validateExemplar(exemplar); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// closeFamily runs the whole-family invariants once its samples end.
+func closeFamily(name string, fam *family) error {
+	if fam.typ != "histogram" {
+		return nil
+	}
+	if len(fam.buckets) == 0 {
+		return fmt.Errorf("histogram %s has no buckets", name)
+	}
+	last := fam.buckets[len(fam.buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		return fmt.Errorf("histogram %s: last bucket le=%v, want +Inf", name, last.le)
+	}
+	if !fam.haveSum || !fam.haveCount {
+		return fmt.Errorf("histogram %s missing _sum or _count", name)
+	}
+	if last.count != fam.count {
+		return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", name, last.count, fam.count)
+	}
+	return nil
+}
+
+// splitSample cuts "name{labels} rest" into its parts. Labels are
+// optional.
+func splitSample(text string) (name string, labels map[string]string, rest string, err error) {
+	i := strings.IndexAny(text, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("malformed sample %q", text)
+	}
+	name = text[:i]
+	if !legalName(name) {
+		return "", nil, "", fmt.Errorf("illegal metric name %q", name)
+	}
+	if text[i] == '{' {
+		end := strings.IndexByte(text[i:], '}')
+		if end < 0 {
+			return "", nil, "", fmt.Errorf("unterminated labelset in %q", text)
+		}
+		labels, err = parseLabels(text[i+1 : i+end])
+		if err != nil {
+			return "", nil, "", err
+		}
+		rest = strings.TrimPrefix(text[i+end+1:], " ")
+	} else {
+		rest = text[i+1:]
+	}
+	return name, labels, rest, nil
+}
+
+// splitValue cuts "value [timestamp] [# exemplar]" returning the value
+// and the raw exemplar text ("" if none).
+func splitValue(rest string) (val float64, exemplar string, err error) {
+	if h := strings.Index(rest, " # "); h >= 0 {
+		exemplar = rest[h+3:]
+		rest = rest[:h]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return 0, "", fmt.Errorf("malformed value %q", rest)
+	}
+	val, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return 0, "", fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return val, exemplar, nil
+}
+
+// validateExemplar checks "{labels} value [timestamp]".
+func validateExemplar(ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("malformed exemplar %q", ex)
+	}
+	end := strings.IndexByte(ex, '}')
+	if end < 0 {
+		return fmt.Errorf("unterminated exemplar labelset %q", ex)
+	}
+	if _, err := parseLabels(ex[1:end]); err != nil {
+		return fmt.Errorf("exemplar labels: %w", err)
+	}
+	fields := strings.Fields(ex[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("malformed exemplar value in %q", ex)
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return fmt.Errorf("bad exemplar number %q", f)
+		}
+	}
+	return nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` (no escapes beyond \" \\ \n —
+// the subset our exporter emits).
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		key := s[:eq]
+		if !legalName(key) {
+			return nil, fmt.Errorf("illegal label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted label value after %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			ch := s[i]
+			if ch == '\\' && i+1 < len(s) {
+				i++
+				val.WriteByte(s[i])
+				continue
+			}
+			if ch == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(ch)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val.String()
+		s = strings.TrimPrefix(s, ",")
+	}
+	return labels, nil
+}
+
+// parseLE parses a bucket bound: a float or the literal +Inf.
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	le, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q", s)
+	}
+	return le, nil
+}
+
+// legalName reports whether s is a legal metric or label name.
+func legalName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		ok := ch == '_' || ch == ':' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' ||
+			i > 0 && ch >= '0' && ch <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FamilyNames returns the sorted family names of a validated document —
+// a convenience for golden tests. It re-reads the document.
+func FamilyNames(r io.Reader) ([]string, error) {
+	names := []string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "# TYPE "); ok {
+			if name, _, ok := strings.Cut(rest, " "); ok {
+				names = append(names, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,112 @@
+package promtext
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const goodDoc = `# TYPE bullet_rpc_read_requests counter
+bullet_rpc_read_requests_total 42
+# TYPE bullet_cache_bytes gauge
+bullet_cache_bytes 1024
+# TYPE bullet_rpc_read_latency_ns histogram
+bullet_rpc_read_latency_ns_bucket{le="1000"} 1
+bullet_rpc_read_latency_ns_bucket{le="2000000"} 5 # {trace_id="00000000deadbeef"} 1500000 1754600000.123456789
+bullet_rpc_read_latency_ns_bucket{le="+Inf"} 6
+bullet_rpc_read_latency_ns_sum 9000000
+bullet_rpc_read_latency_ns_count 6
+# EOF
+`
+
+func TestValidateGood(t *testing.T) {
+	st, err := Validate(strings.NewReader(goodDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Families != 3 || st.Histograms != 1 {
+		t.Fatalf("stats = %+v, want 3 families 1 histogram", st)
+	}
+	if st.Samples != 7 {
+		t.Fatalf("samples = %d, want 7", st.Samples)
+	}
+	if st.Exemplars != 1 {
+		t.Fatalf("exemplars = %d, want 1", st.Exemplars)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"missing EOF", "# TYPE a counter\na_total 1\n", "EOF"},
+		{"content after EOF", "# EOF\nstray 1\n", "after # EOF"},
+		{"sample before TYPE", "orphan 1\n# EOF\n", "before any # TYPE"},
+		{"duplicate family", "# TYPE a counter\na_total 1\n# TYPE a counter\na_total 2\n# EOF\n", "duplicate family"},
+		{"counter without _total", "# TYPE a counter\na 1\n# EOF\n", "_total"},
+		{"negative counter", "# TYPE a counter\na_total -1\n# EOF\n", "negative"},
+		{"bad type", "# TYPE a summary\n# EOF\n", "unsupported metric type"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{x=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n# EOF\n", "without le"},
+		{"buckets out of order", "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_bucket{le=\"5\"} 2\n# EOF\n", "out of le order"},
+		{"non-cumulative buckets", "# TYPE h histogram\nh_bucket{le=\"10\"} 5\nh_bucket{le=\"20\"} 3\n# EOF\n", "not cumulative"},
+		{"no +Inf bucket", "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 1\nh_count 1\n# EOF\n", "+Inf"},
+		{"Inf mismatch with count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n# EOF\n", "!= _count"},
+		{"missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n# EOF\n", "missing _sum"},
+		{"exemplar on gauge", "# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n# EOF\n", "exemplar on gauge"},
+		{"malformed exemplar", "# TYPE a counter\na_total 1 # not-a-labelset\n# EOF\n", "malformed exemplar"},
+		{"bad value", "# TYPE a counter\na_total squid\n# EOF\n", "bad sample value"},
+		{"illegal name", "# TYPE 9lives counter\n# EOF\n", "malformed TYPE"},
+		{"unterminated labels", "# TYPE h histogram\nh_bucket{le=\"1 1\n# EOF\n", "unterminated"},
+		{"duplicate label", "# TYPE h histogram\nh_bucket{le=\"1\",le=\"2\"} 1\n# EOF\n", "duplicate label"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Validate(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("accepted invalid doc:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("err = %v does not wrap ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestValidateEscapedLabelValue(t *testing.T) {
+	doc := "# TYPE a counter\na_total{path=\"a\\\"b\\\\c\"} 1\n# EOF\n"
+	if _, err := Validate(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateTimestampedSamples(t *testing.T) {
+	doc := "# TYPE a counter\na_total 1 1754600000.5\n# EOF\n"
+	st, err := Validate(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 1 {
+		t.Fatalf("samples = %d, want 1", st.Samples)
+	}
+}
+
+func TestFamilyNames(t *testing.T) {
+	names, err := FamilyNames(strings.NewReader(goodDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"bullet_cache_bytes", "bullet_rpc_read_latency_ns", "bullet_rpc_read_requests"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package promtext_test
+
+import (
+	"strings"
+	"testing"
+
+	"bulletfs/internal/promtext"
+	"bulletfs/internal/stats"
+)
+
+// TestRoundTrip pins the contract between the exporter and the checker:
+// whatever stats.WriteOpenMetrics emits, promtext.Validate accepts —
+// including exemplars.
+func TestRoundTrip(t *testing.T) {
+	r := stats.NewRegistry()
+	r.Counter("rpc.read.requests").Add(9)
+	r.Gauge("cache.bytes").Set(4096)
+	r.GaugeFunc("cache.hit_ratio_pct", func() int64 { return 87 })
+	h := r.HistogramExemplars("rpc.read.latency_ns", nil, 0)
+	h.ObserveTraced(1500, 0xfeed)
+	h.Observe(250)
+	sizes := r.Histogram("rpc.read.rep_bytes", stats.DefaultSizeBounds)
+	sizes.Observe(4096)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	st, err := promtext.Validate(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exporter output rejected: %v\n%s", err, b.String())
+	}
+	if st.Histograms != 2 {
+		t.Fatalf("histograms = %d, want 2", st.Histograms)
+	}
+	if st.Exemplars < 1 {
+		t.Fatalf("exemplars = %d, want >= 1", st.Exemplars)
+	}
+}

@@ -33,14 +33,20 @@ func (mm *muxMetrics) opName(cmd uint32) string {
 	return "cmd" + strconv.FormatUint(uint64(cmd), 10)
 }
 
-// record books one dispatched transaction under rpc.<op>.*.
-func (mm *muxMetrics) record(cmd uint32, reqBytes, repBytes int, st Status, elapsed time.Duration) {
+// record books one dispatched transaction under rpc.<op>.*. traceID (0
+// for untraced requests) feeds the latency histogram's per-bucket
+// exemplars, so a tail-latency bucket names a trace the flight recorder
+// can expand.
+func (mm *muxMetrics) record(cmd uint32, reqBytes, repBytes int, st Status, elapsed time.Duration, traceID uint64) {
 	op := mm.opName(cmd)
 	mm.reg.Counter("rpc." + op + ".requests").Inc()
 	if st != StatusOK {
 		mm.reg.Counter("rpc." + op + ".errors").Inc()
 	}
-	mm.reg.Histogram("rpc."+op+".latency_ns", stats.DefaultLatencyBounds).ObserveDuration(elapsed)
+	// Exemplar threshold 0: every traced observation is eligible, so the
+	// slowest recent trace per bucket is always on record.
+	mm.reg.HistogramExemplars("rpc."+op+".latency_ns", stats.DefaultLatencyBounds, 0).
+		ObserveTraced(int64(elapsed), traceID)
 	mm.reg.Histogram("rpc."+op+".req_bytes", stats.DefaultSizeBounds).Observe(int64(reqBytes))
 	mm.reg.Histogram("rpc."+op+".rep_bytes", stats.DefaultSizeBounds).Observe(int64(repBytes))
 }

@@ -250,7 +250,7 @@ func (m *Mux) DispatchTrace(tc *trace.Ctx, port capability.Port, txid uint64, re
 		m.bytesOut.Add(int64(len(repPayload)))
 	}
 	if mm != nil {
-		mm.record(req.Command, len(payload), len(repPayload), repHdr.Status, time.Since(start))
+		mm.record(req.Command, len(payload), len(repPayload), repHdr.Status, time.Since(start), tc.TraceID())
 	}
 	if root != nil {
 		root.Status = int32(repHdr.Status)

@@ -129,7 +129,7 @@ func (m *Mux) DispatchStream(tc *trace.Ctx, port capability.Port, txid uint64, r
 		st.werr = st.emit(ReplyErr(StatusInternal), Payload{}, true)
 	}
 	if mm != nil {
-		mm.record(req.Command, len(payload), st.bytes, st.hdr.Status, time.Since(start))
+		mm.record(req.Command, len(payload), st.bytes, st.hdr.Status, time.Since(start), tc.TraceID())
 	}
 	if root != nil {
 		root.Status = int32(st.hdr.Status)

@@ -48,6 +48,12 @@ var DefaultSizeBounds = []int64{
 // safe for concurrent use; a snapshot taken during concurrent observes is
 // internally consistent enough for monitoring (counts may trail sum by a
 // few in-flight observations).
+//
+// A histogram may additionally carry per-bucket trace exemplars (see
+// EnableExemplars): each bucket remembers the most recent traced
+// observation that landed in it, closing the metrics→trace loop — a p99
+// spike in a latency histogram names a trace ID the flight recorder can
+// expand into a span tree.
 type Histogram struct {
 	bounds []int64        // immutable after construction; ascending upper bounds
 	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf overflow
@@ -55,6 +61,58 @@ type Histogram struct {
 	sum    atomic.Int64
 	min    atomic.Int64
 	max    atomic.Int64
+	ex     atomic.Pointer[exemplarSet] // nil until EnableExemplars
+}
+
+// exemplarSet is a histogram's per-bucket exemplar table. min gates
+// recording: observations below it never claim a slot, so ultra-hot cheap
+// operations cannot thrash the slots that matter (the slow buckets).
+type exemplarSet struct {
+	min   int64
+	slots []exemplarSlot // len(counts): one per bucket, overflow included
+}
+
+// exemplarSlot holds one bucket's most recent exemplar under a seqlock:
+// seq odd = a writer owns the slot, even = stable. Writers CAS to claim
+// and never block; a losing writer simply drops its exemplar (the slot
+// already holds a fresher or concurrent one). Readers retry a few times
+// and skip the slot rather than spin.
+type exemplarSlot struct {
+	seq     atomic.Uint64
+	traceID atomic.Uint64
+	value   atomic.Int64
+	at      atomic.Int64 // wall clock, Unix nanoseconds
+}
+
+// record stores one exemplar, non-blocking and allocation-free.
+func (s *exemplarSlot) record(traceID uint64, v, at int64) {
+	seq := s.seq.Load()
+	if seq&1 != 0 || !s.seq.CompareAndSwap(seq, seq+1) {
+		return // a concurrent writer owns the slot; drop this exemplar
+	}
+	s.traceID.Store(traceID)
+	s.value.Store(v)
+	s.at.Store(at)
+	s.seq.Store(seq + 2)
+}
+
+// load returns a consistent copy of the slot (ok false when empty or
+// contended past the retry budget).
+func (s *exemplarSlot) load() (traceID uint64, v, at int64, ok bool) {
+	for try := 0; try < 3; try++ {
+		seq := s.seq.Load()
+		if seq == 0 {
+			return 0, 0, 0, false // never written
+		}
+		if seq&1 != 0 {
+			continue
+		}
+		traceID, v, at = s.traceID.Load(), s.value.Load(), s.at.Load()
+		if s.seq.Load() == seq {
+			return traceID, v, at, true
+		}
+	}
+	return 0, 0, 0, false
 }
 
 // NewHistogram builds a histogram over ascending upper bounds (nil means
@@ -76,7 +134,30 @@ func NewHistogram(bounds []int64) *Histogram {
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v int64) {
+func (h *Histogram) Observe(v int64) { h.ObserveTraced(v, 0) }
+
+// ObserveDuration records a latency in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// EnableExemplars arms per-bucket exemplar recording: every traced
+// observation of at least min lands its trace ID in its bucket's slot
+// (most recent wins). Idempotent and safe to race with Observe — the
+// table is installed with a single atomic pointer swap and never
+// replaced once set, so concurrent observers see either "off" or the
+// final table. Memory is fixed: one slot per bucket.
+func (h *Histogram) EnableExemplars(min int64) {
+	if h.ex.Load() != nil {
+		return
+	}
+	es := &exemplarSet{min: min, slots: make([]exemplarSlot, len(h.counts))}
+	h.ex.CompareAndSwap(nil, es)
+}
+
+// ObserveTraced records one value carrying the trace ID of the request
+// that produced it. With exemplars enabled (and traceID non-zero, v at or
+// above the exemplar threshold) the value's bucket remembers the ID as
+// its exemplar. Allocation-free either way.
+func (h *Histogram) ObserveTraced(v int64, traceID uint64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
@@ -96,10 +177,13 @@ func (h *Histogram) Observe(v int64) {
 			break
 		}
 	}
+	if traceID == 0 {
+		return
+	}
+	if es := h.ex.Load(); es != nil && v >= es.min {
+		es.slots[i].record(traceID, v, time.Now().UnixNano())
+	}
 }
-
-// ObserveDuration records a latency in nanoseconds.
-func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
 // HistogramSnapshot is the JSON form of a histogram: totals, observed
 // extremes, the standard percentile summary, and the raw buckets so a
@@ -115,6 +199,21 @@ type HistogramSnapshot struct {
 	P999   float64 `json:"p999"`
 	Bounds []int64 `json:"bounds,omitempty"`
 	Counts []int64 `json:"counts,omitempty"`
+	// Exemplars are the per-bucket trace exemplars, ascending by bucket
+	// index; present only on histograms with EnableExemplars and only for
+	// buckets that have recorded one.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Exemplar names the most recent traced observation in one bucket. The
+// trace ID is 16 lowercase hex digits (matching the TRACE RPC's JSON:
+// JSON numbers are lossy past 2^53), ready to correlate against the
+// flight recorder.
+type Exemplar struct {
+	Bucket   int    `json:"bucket"` // index into Counts; len(Bounds) = the overflow bucket
+	TraceID  string `json:"trace_id"`
+	Value    int64  `json:"value"`
+	UnixNano int64  `json:"unix_nano"`
 }
 
 // Snapshot copies the histogram's current state.
@@ -136,7 +235,31 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P95 = quantile(s, 0.95)
 	s.P99 = quantile(s, 0.99)
 	s.P999 = quantile(s, 0.999)
+	if es := h.ex.Load(); es != nil {
+		for i := range es.slots {
+			if id, v, at, ok := es.slots[i].load(); ok {
+				s.Exemplars = append(s.Exemplars, Exemplar{
+					Bucket:   i,
+					TraceID:  formatTraceID(id),
+					Value:    v,
+					UnixNano: at,
+				})
+			}
+		}
+	}
 	return s
+}
+
+// formatTraceID renders a trace ID as 16 lowercase hex digits, the same
+// form the TRACE RPC uses.
+func formatTraceID(id uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) from a snapshot.

@@ -164,3 +164,71 @@ func TestHistogramNegativeValues(t *testing.T) {
 		t.Fatalf("buckets = %v, want [1 1 0]", s.Counts)
 	}
 }
+
+func TestExemplarRecording(t *testing.T) {
+	h := NewHistogram([]int64{100, 1000})
+	h.ObserveTraced(50, 0x1) // before enabling: dropped silently
+	h.EnableExemplars(0)
+	h.EnableExemplars(999) // idempotent; first threshold wins
+	h.ObserveTraced(50, 0x2)
+	h.ObserveTraced(500, 0x3)
+	h.ObserveTraced(5000, 0x4)
+	h.ObserveTraced(60, 0x5) // same bucket as 0x2: most recent wins
+	h.ObserveTraced(70, 0)   // untraced: never claims a slot
+	s := h.Snapshot()
+	if len(s.Exemplars) != 3 {
+		t.Fatalf("exemplars = %+v, want 3 buckets", s.Exemplars)
+	}
+	byBucket := map[int]Exemplar{}
+	for _, e := range s.Exemplars {
+		byBucket[e.Bucket] = e
+	}
+	if e := byBucket[0]; e.TraceID != formatTraceID(0x5) || e.Value != 60 {
+		t.Fatalf("bucket 0 exemplar = %+v, want trace 5 value 60", e)
+	}
+	if e := byBucket[1]; e.TraceID != formatTraceID(0x3) || e.Value != 500 {
+		t.Fatalf("bucket 1 exemplar = %+v, want trace 3 value 500", e)
+	}
+	if e := byBucket[2]; e.TraceID != formatTraceID(0x4) || e.Value != 5000 {
+		t.Fatalf("overflow exemplar = %+v, want trace 4 value 5000", e)
+	}
+	if byBucket[0].UnixNano == 0 {
+		t.Fatal("exemplar missing wall-clock timestamp")
+	}
+}
+
+func TestExemplarThreshold(t *testing.T) {
+	h := NewHistogram([]int64{100, 1000})
+	h.EnableExemplars(400)
+	h.ObserveTraced(50, 0x1)  // below threshold: counted but no exemplar
+	h.ObserveTraced(500, 0x2) // at/above threshold
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if len(s.Exemplars) != 1 || s.Exemplars[0].Bucket != 1 {
+		t.Fatalf("exemplars = %+v, want only bucket 1", s.Exemplars)
+	}
+}
+
+func TestFormatTraceID(t *testing.T) {
+	if got := formatTraceID(0xdeadbeef); got != "00000000deadbeef" {
+		t.Fatalf("formatTraceID = %q", got)
+	}
+	if got := formatTraceID(0); got != "0000000000000000" {
+		t.Fatalf("formatTraceID(0) = %q", got)
+	}
+}
+
+// TestObserveTracedAllocFree is part of the zero-alloc acceptance: the
+// hot path must not allocate even with exemplars armed and recording.
+func TestObserveTracedAllocFree(t *testing.T) {
+	h := NewHistogram(nil)
+	h.EnableExemplars(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveTraced(int64(3*time.Microsecond), 0xabcdef)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveTraced allocates %v per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the OpenMetrics text exposition format
+// (the superset of the classic Prometheus text format that can carry
+// exemplars), dependency-free. Metric names are mangled from the
+// registry's dotted namespace into Prometheus convention:
+//
+//	rpc.read.latency_ns  ->  bullet_rpc_read_latency_ns
+//
+// Counters gain the mandated `_total` sample suffix; histograms expand
+// into cumulative `_bucket{le="..."}` series plus `_sum` and `_count`,
+// with `le` values in the histogram's native unit (nanoseconds for
+// latency ladders — the `_ns` name suffix carries the unit). Buckets
+// holding a trace exemplar emit it OpenMetrics-style:
+//
+//	bullet_rpc_read_latency_ns_bucket{le="2000000"} 5 # {trace_id="00..ab"} 1500000 1754600000.123456789
+//
+// The output ends with the mandatory `# EOF` marker.
+
+// OpenMetricsContentType is the Content-Type of WriteOpenMetrics output.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// PromName mangles a registry metric name into a Prometheus-legal one:
+// every run of characters outside [a-zA-Z0-9_] becomes one underscore,
+// and the stable exporter prefix "bullet_" is prepended (metric names
+// must not start with a digit; the prefix also namespaces the exporter).
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 7)
+	b.WriteString("bullet_")
+	lastUnder := false
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		ok := ch == '_' || ch >= '0' && ch <= '9' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z'
+		if ok {
+			b.WriteByte(ch)
+			lastUnder = ch == '_'
+			continue
+		}
+		if !lastUnder {
+			b.WriteByte('_')
+			lastUnder = true
+		}
+	}
+	return b.String()
+}
+
+// WriteOpenMetrics renders the snapshot. The output is deterministic
+// (names sort) so two snapshots of one registry diff cleanly.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	bw := &errWriter{w: w}
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		bw.printf("# TYPE %s counter\n", pn)
+		bw.printf("%s_total %d\n", pn, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		bw.printf("# TYPE %s gauge\n", pn)
+		bw.printf("%s %d\n", pn, s.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeHistogram(bw, PromName(name), s.Histograms[name])
+	}
+
+	bw.printf("# EOF\n")
+	return bw.err
+}
+
+// writeHistogram renders one histogram family: cumulative buckets with
+// exemplars, then _sum and _count.
+func writeHistogram(bw *errWriter, pn string, h HistogramSnapshot) {
+	bw.printf("# TYPE %s histogram\n", pn)
+	ex := make(map[int]Exemplar, len(h.Exemplars))
+	for _, e := range h.Exemplars {
+		ex[e.Bucket] = e
+	}
+	cum := int64(0)
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = strconv.FormatInt(h.Bounds[i], 10)
+		}
+		bw.printf("%s_bucket{le=%q} %d", pn, le, cum)
+		if e, ok := ex[i]; ok {
+			// Exemplar: labelset, value, then the timestamp in seconds.
+			bw.printf(" # {trace_id=%q} %d %d.%09d", e.TraceID, e.Value,
+				e.UnixNano/1e9, e.UnixNano%1e9)
+		}
+		bw.printf("\n")
+	}
+	bw.printf("%s_sum %d\n", pn, h.Sum)
+	bw.printf("%s_count %d\n", pn, h.Count)
+}
+
+// errWriter latches the first write error so the exposition loop reads
+// straight through without per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

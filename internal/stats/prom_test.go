@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"rpc.read.latency_ns":  "bullet_rpc_read_latency_ns",
+		"cache.hits":           "bullet_cache_hits",
+		"disk-0/free bytes":    "bullet_disk_0_free_bytes",
+		"weird..name":          "bullet_weird_name",
+		"already_under_scored": "bullet_already_under_scored",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rpc.read.requests").Add(42)
+	r.Gauge("cache.bytes").Set(1024)
+	h := r.Histogram("rpc.read.latency_ns", []int64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE bullet_rpc_read_requests counter\n",
+		"bullet_rpc_read_requests_total 42\n",
+		"# TYPE bullet_cache_bytes gauge\n",
+		"bullet_cache_bytes 1024\n",
+		"# TYPE bullet_rpc_read_latency_ns histogram\n",
+		`bullet_rpc_read_latency_ns_bucket{le="100"} 1` + "\n",
+		`bullet_rpc_read_latency_ns_bucket{le="1000"} 2` + "\n",
+		`bullet_rpc_read_latency_ns_bucket{le="+Inf"} 3` + "\n",
+		"bullet_rpc_read_latency_ns_sum 5550\n",
+		"bullet_rpc_read_latency_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition does not end with # EOF:\n%s", out)
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramExemplars("lat", []int64{100, 1000}, 0)
+	h.ObserveTraced(500, 0xdeadbeef)
+
+	var b strings.Builder
+	if err := r.Snapshot().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantID := formatTraceID(0xdeadbeef)
+	want := `bullet_lat_bucket{le="1000"} 1 # {trace_id="` + wantID + `"} 500 `
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar %q\n%s", want, out)
+	}
+	// The exemplar timestamp is seconds.nanoseconds.
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "trace_id") {
+			line = l
+		}
+	}
+	fields := strings.Fields(line)
+	ts := fields[len(fields)-1]
+	if !strings.Contains(ts, ".") || len(strings.SplitN(ts, ".", 2)[1]) != 9 {
+		t.Fatalf("exemplar timestamp %q not seconds.nanos", ts)
+	}
+}
+
+func TestWriteOpenMetricsDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z.last", "a.first", "m.middle"} {
+		r.Counter(n).Inc()
+	}
+	var b1, b2 strings.Builder
+	snap := r.Snapshot()
+	if err := snap.WriteOpenMetrics(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteOpenMetrics(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("two renderings of one snapshot differ")
+	}
+	first := strings.Index(b1.String(), "bullet_a_first")
+	last := strings.Index(b1.String(), "bullet_z_last")
+	if first < 0 || last < 0 || first > last {
+		t.Fatal("counter families not in sorted order")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errShortPipe
+	}
+	return len(p), nil
+}
+
+var errShortPipe = errors.New("pipe closed")
+
+func TestWriteOpenMetricsPropagatesWriteError(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("b").Inc()
+	if err := r.Snapshot().WriteOpenMetrics(&failWriter{}); err != errShortPipe {
+		t.Fatalf("err = %v, want %v", err, errShortPipe)
+	}
+}

@@ -131,6 +131,17 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// HistogramExemplars returns the named histogram (creating it like
+// Histogram) with per-bucket trace exemplars enabled at the given
+// threshold. Enabling is idempotent and race-safe against concurrent
+// observers; an existing histogram keeps its bounds and its original
+// exemplar threshold.
+func (r *Registry) HistogramExemplars(name string, bounds []int64, min int64) *Histogram {
+	h := r.Histogram(name, bounds)
+	h.EnableExemplars(min)
+	return h
+}
+
 // Snapshot copies every metric's current value. Gauge functions are
 // called outside the registry lock so they may take their own locks.
 func (r *Registry) Snapshot() Snapshot {

@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// tickAt drives a collector with a fabricated clock so rate math is
+// exact and deterministic.
+func tickAt(c *Collector, base time.Time, offset time.Duration) {
+	c.Tick(base.Add(offset))
+}
+
+func TestCollectorDerivesRates(t *testing.T) {
+	r := NewRegistry()
+	ops := r.Counter("ops")
+	depth := r.Gauge("depth")
+	c := NewCollector(r, time.Hour, 8) // never ticks on its own
+	base := time.Unix(1_700_000_000, 0)
+
+	ops.Add(10)
+	depth.Set(3)
+	tickAt(c, base, 0) // baseline
+	if _, ok := c.Latest(); ok {
+		t.Fatal("Latest reported an update after a single sample")
+	}
+
+	ops.Add(20)
+	depth.Set(5)
+	tickAt(c, base, 2*time.Second)
+	u, ok := c.Latest()
+	if !ok {
+		t.Fatal("no update after two samples")
+	}
+	if u.Seq != 1 {
+		t.Fatalf("seq = %d, want 1", u.Seq)
+	}
+	if u.IntervalNS != int64(2*time.Second) {
+		t.Fatalf("interval = %d, want 2s", u.IntervalNS)
+	}
+	got := u.Counters["ops"]
+	if got.Total != 30 || got.Delta != 20 || got.PerSec != 10 {
+		t.Fatalf("ops rate = %+v, want total 30 delta 20 per_sec 10", got)
+	}
+	if u.Gauges["depth"] != 5 {
+		t.Fatalf("depth gauge = %d, want 5", u.Gauges["depth"])
+	}
+	// The collector's own health metrics ride in the same registry.
+	if u.Counters["telemetry.samples"].Total == 0 {
+		t.Fatal("telemetry.samples missing from update")
+	}
+}
+
+func TestCollectorWindowQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil)
+	c := NewCollector(r, time.Hour, 8)
+	base := time.Unix(1_700_000_000, 0)
+
+	// First window: a slow population that must NOT leak into the second.
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(400 * time.Millisecond))
+	}
+	tickAt(c, base, 0)
+	tickAt(c, base, time.Second)
+	u, _ := c.Latest()
+	w := u.Histograms["lat"]
+	if w.Count != 0 {
+		// Baseline tick already saw the slow population; window 1 is empty.
+		t.Fatalf("window 1 count = %d, want 0", w.Count)
+	}
+
+	// Second window: fast ops only. Windowed p99 must reflect the fast
+	// population even though the cumulative histogram is dominated by the
+	// slow one.
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(30 * time.Microsecond))
+	}
+	tickAt(c, base, 2*time.Second)
+	u, _ = c.Latest()
+	w = u.Histograms["lat"]
+	if w.Count != 1000 {
+		t.Fatalf("window 2 count = %d, want 1000", w.Count)
+	}
+	if w.PerSec != 1000 {
+		t.Fatalf("window 2 per_sec = %v, want 1000", w.PerSec)
+	}
+	if w.P99 > float64(100*time.Microsecond) {
+		t.Fatalf("windowed p99 = %v ns, want <= 100µs (cumulative leaked in)", w.P99)
+	}
+	// 100 of 1100 cumulative observations are 400ms, so the cumulative
+	// p95 still sits in the slow tail — the contrast the window removes.
+	cumulative := h.Snapshot()
+	if cumulative.P95 < float64(time.Millisecond) {
+		t.Fatalf("cumulative p95 = %v, expected slow-dominated tail", cumulative.P95)
+	}
+}
+
+func TestCollectorRingWraparound(t *testing.T) {
+	r := NewRegistry()
+	ops := r.Counter("ops")
+	c := NewCollector(r, time.Hour, 4)
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i <= 10; i++ {
+		ops.Add(1)
+		tickAt(c, base, time.Duration(i)*time.Second)
+	}
+	hist := c.History(0)
+	if len(hist) != 4 {
+		t.Fatalf("history length = %d, want ring size 4", len(hist))
+	}
+	for i, u := range hist {
+		want := uint64(7 + i) // updates 1..10 total; ring keeps 7,8,9,10
+		if u.Seq != want {
+			t.Fatalf("history[%d].Seq = %d, want %d", i, u.Seq, want)
+		}
+	}
+	samples := c.Samples(2)
+	if len(samples) != 2 {
+		t.Fatalf("samples length = %d, want 2", len(samples))
+	}
+	if !samples[1].At.After(samples[0].At) {
+		t.Fatal("samples not in oldest-first order")
+	}
+}
+
+func TestCollectorSubscribeAndDrop(t *testing.T) {
+	r := NewRegistry()
+	ops := r.Counter("ops")
+	c := NewCollector(r, time.Hour, 8)
+	base := time.Unix(1_700_000_000, 0)
+	tickAt(c, base, 0)
+
+	sub := c.Subscribe()
+	if got := c.Watchers(); got != 1 {
+		t.Fatalf("watchers = %d, want 1", got)
+	}
+	ops.Add(5)
+	tickAt(c, base, time.Second)
+	select {
+	case u := <-sub.C:
+		if u.Counters["ops"].Delta != 5 {
+			t.Fatalf("subscriber update delta = %d, want 5", u.Counters["ops"].Delta)
+		}
+	default:
+		t.Fatal("no update delivered to subscriber")
+	}
+
+	// Fill the buffer past capacity without draining: overflow must be
+	// dropped (never block the collector) and counted.
+	for i := 0; i < 10; i++ {
+		tickAt(c, base, time.Duration(2+i)*time.Second)
+	}
+	if got := r.Counter("telemetry.dropped_updates").Load(); got == 0 {
+		t.Fatal("expected dropped updates with a stalled subscriber")
+	}
+
+	sub.Close()
+	sub.Close() // idempotent
+	if got := c.Watchers(); got != 0 {
+		t.Fatalf("watchers after close = %d, want 0", got)
+	}
+	if _, open := <-sub.C; open {
+		// Drain buffered updates until close.
+		for range sub.C {
+		}
+	}
+}
+
+func TestCollectorCloseClosesSubscribers(t *testing.T) {
+	r := NewRegistry()
+	c := NewCollector(r, time.Hour, 8)
+	c.Start()
+	sub := c.Subscribe()
+	c.Close()
+	c.Close() // idempotent
+	for range sub.C {
+		// Drain whatever was buffered; the loop must terminate because
+		// Close closed the channel.
+	}
+	// Subscribing after close yields an already-closed channel.
+	late := c.Subscribe()
+	if _, open := <-late.C; open {
+		t.Fatal("subscription on a closed collector delivered an update")
+	}
+	late.Close()
+}
+
+// TestCollectorConcurrentWithHotPath races the collector's sampling loop
+// against hot-path metric updates and a churning subscriber; under -race
+// this is the telemetry data-race check (satellite d).
+func TestCollectorConcurrentWithHotPath(t *testing.T) {
+	r := NewRegistry()
+	ops := r.Counter("ops")
+	depth := r.Gauge("depth")
+	h := r.HistogramExemplars("lat", nil, 0)
+	c := NewCollector(r, 100*time.Microsecond, 16)
+	c.Start()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ops.Inc()
+				depth.Set(int64(i))
+				h.ObserveTraced(int64(i%1000+1), uint64(g*1_000_000+i+1))
+			}
+		}(g)
+	}
+	// A subscriber that consumes concurrently with fanout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sub := c.Subscribe()
+		defer sub.Close()
+		n := 0
+		for range sub.C {
+			n++
+			if n >= 20 {
+				return
+			}
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	c.Close()
+	if got := r.Counter("telemetry.samples").Load(); got < 2 {
+		t.Fatalf("collector took %d samples, want >= 2", got)
+	}
+	u, ok := c.Latest()
+	if !ok {
+		t.Fatal("no update derived during concurrent run")
+	}
+	if u.Counters["ops"].Total == 0 {
+		t.Fatal("ops counter missing from final update")
+	}
+}
+
+func TestDeriveWindowSlowTrace(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramExemplars("lat", nil, 0)
+	c := NewCollector(r, time.Hour, 8)
+	// Baseline in the past so the exemplar's wall-clock (real now) is
+	// inside the window.
+	base := time.Now().Add(-time.Minute)
+	tickAt(c, base, 0)
+	h.ObserveTraced(int64(70*time.Millisecond), 0xabc)
+	h.ObserveTraced(int64(9*time.Millisecond), 0xdef)
+	tickAt(c, base, 30*time.Second)
+	u, _ := c.Latest()
+	w := u.Histograms["lat"]
+	if w.SlowTrace != formatTraceID(0xabc) {
+		t.Fatalf("slow trace = %q, want %q", w.SlowTrace, formatTraceID(0xabc))
+	}
+	if w.SlowNS != int64(70*time.Millisecond) {
+		t.Fatalf("slow ns = %d, want 70ms", w.SlowNS)
+	}
+
+	// A window that STARTS after the exemplar was recorded must not name
+	// it again: both samples in the future, so sinceNS postdates the
+	// exemplar's wall clock.
+	future := time.Now().Add(time.Hour)
+	tickAt(c, future, 0)
+	tickAt(c, future, time.Second)
+	u, _ = c.Latest()
+	if got := u.Histograms["lat"].SlowTrace; got != "" {
+		t.Fatalf("stale exemplar leaked into later window: %q", got)
+	}
+}
+
+func TestCollectorStartTicksOnItsOwn(t *testing.T) {
+	r := NewRegistry()
+	ops := r.Counter("ops")
+	c := NewCollector(r, time.Millisecond, 8)
+	sub := c.Subscribe()
+	c.Start()
+	defer c.Close()
+	ops.Add(7)
+	select {
+	case u, open := <-sub.C:
+		if !open {
+			t.Fatal("subscription closed before any update")
+		}
+		if u.Seq == 0 {
+			t.Fatal("update with zero seq")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update within 5s from a 1ms collector")
+	}
+	sub.Close()
+}

@@ -66,6 +66,7 @@ const (
 	OpSalvage       // SALVAGE RPC serving itself
 	OpRecover       // online replica recovery (catch-up copy)
 	OpAdmit         // admission-control decision (Status busy when shed)
+	OpWatch         // WATCH RPC streaming telemetry updates
 	opCount
 )
 
@@ -74,6 +75,7 @@ var opNames = [opCount]string{
 	"modify", "append", "verify", "cache-lookup", "cache-insert",
 	"fault", "disk-read", "replica-commit", "trace",
 	"disk-repair", "promote", "scrub", "salvage", "recover", "admit",
+	"watch",
 }
 
 // String returns the op's lowercase name ("read", "fault", ...).
@@ -181,6 +183,15 @@ func (c *Ctx) Reset(id uint64) {
 // Active reports whether the arena is armed (nil-safe). Layers can use it
 // to skip attribute computation that only feeds spans.
 func (c *Ctx) Active() bool { return c != nil }
+
+// TraceID returns the armed trace ID (0 when c is nil or unarmed) —
+// what metric exemplars record so a histogram outlier names its trace.
+func (c *Ctx) TraceID() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.t.ID
+}
 
 // Begin opens a span under parent (nil parent makes a root span) and
 // returns it for attribute writes. Returns nil if c is nil or the arena
