@@ -86,8 +86,10 @@ func run(experiment string, asJSON bool, stdout io.Writer) error {
 		}
 		results.AddTable("slo.steady", &slo.Steady)
 		results.AddTable("slo.chaos", &slo.Chaos)
+		results.AddTable("slo.brownout", &slo.Brownout)
 		emit(slo.Steady.Format())
 		emit(slo.Chaos.Format())
+		emit(slo.Brownout.Format())
 		note(slo.Checks)
 		if asJSON {
 			if err := results.WriteJSON(stdout); err != nil {

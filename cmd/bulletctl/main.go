@@ -510,8 +510,16 @@ func printHealth(h bulletsvc.HealthReport) {
 		if r.Main {
 			main = "*"
 		}
-		fmt.Printf("replica %d%s: %-10s reads=%d writes=%d errors=%d checksum_errors=%d repairs=%d\n",
-			r.Index, main, state, r.Reads, r.Writes, r.Errors, r.ChecksumErrors, r.Repairs)
+		breaker := ""
+		if r.Breaker != "" && r.Breaker != "closed" {
+			breaker = fmt.Sprintf(" breaker=%s", strings.ToUpper(r.Breaker))
+		}
+		ewma := ""
+		if r.LatencyEwmaUs > 0 {
+			ewma = fmt.Sprintf(" ewma=%dus", r.LatencyEwmaUs)
+		}
+		fmt.Printf("replica %d%s: %-10s reads=%d writes=%d errors=%d checksum_errors=%d repairs=%d%s%s\n",
+			r.Index, main, state, r.Reads, r.Writes, r.Errors, r.ChecksumErrors, r.Repairs, breaker, ewma)
 	}
 	if h.LastRecover != nil {
 		status := "done"

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -35,6 +36,11 @@ import (
 	"bulletfs/internal/stats"
 	"bulletfs/internal/trace"
 )
+
+// httpGrace bounds the graceful drain of the observability endpoint on
+// shutdown: in-flight scrapes get this long to finish before their
+// connections are closed hard.
+const httpGrace = 5 * time.Second
 
 func main() {
 	if err := run(); err != nil {
@@ -201,7 +207,20 @@ func run() error {
 	<-sig
 	fmt.Println("shutting down")
 	if httpSrv != nil {
-		httpSrv.Close() //nolint:errcheck // shutdown path
+		// Graceful drain: let in-flight scrapes and debug requests finish
+		// under a grace window instead of snapping their connections; only
+		// if the window expires is the listener closed hard. A second
+		// SIGTERM during the window is the operator's "now means now".
+		ctx, cancel := context.WithTimeout(context.Background(), httpGrace)
+		done := make(chan error, 1)
+		go func() { done <- httpSrv.Shutdown(ctx) }()
+		select {
+		case <-done:
+		case <-sig:
+			cancel()
+		}
+		cancel()
+		httpSrv.Close() //nolint:errcheck // idempotent after Shutdown; hard-stops stragglers
 		httpWG.Wait()
 	}
 	// Close the collector before the RPC server: closing unblocks every

@@ -41,6 +41,12 @@ var sloLoads = []float64{20, 80, 320}
 // server has headroom to absorb failover and repair work.
 const chaosLoad = 60
 
+// brownoutLoad runs the gray-failure regime. Same moderate point as the
+// chaos cell: the interesting question is not throughput but whether a
+// replica that slows down (without ever failing) stays invisible to
+// clients.
+const brownoutLoad = 60
+
 // sloColumns are the per-cell metrics. Latency quantiles cover admitted
 // requests end to end (arrival to reply, queueing included); shed_pct is
 // the fraction of arrivals refused with StatusBusy; errors counts admitted
@@ -79,9 +85,10 @@ func sloWorkload() workload.Config {
 
 // SLOResult holds the SLO tables and their shape checks.
 type SLOResult struct {
-	Steady Table
-	Chaos  Table
-	Checks []Check
+	Steady   Table
+	Chaos    Table
+	Brownout Table
+	Checks   []Check
 }
 
 // RunSLO measures the steady and chaos SLO tables.
@@ -95,6 +102,12 @@ func RunSLO() (*SLOResult, error) {
 		},
 		Chaos: Table{
 			Title:     "Open-loop SLO under chaos (bit flips, replica kill/revive)",
+			Unit:      "mixed",
+			Columns:   sloColumns,
+			RowHeader: "Load",
+		},
+		Brownout: Table{
+			Title:     "Open-loop SLO under brownout (main replica slows, never fails)",
 			Unit:      "mixed",
 			Columns:   sloColumns,
 			RowHeader: "Load",
@@ -134,6 +147,12 @@ func RunSLO() (*SLOResult, error) {
 	}
 	out.Chaos.Rows = append(out.Chaos.Rows, sloRow(fmt.Sprintf("%.0f ops", float64(chaosLoad)), chaos))
 
+	brown, set, err := runBrownoutSLO()
+	if err != nil {
+		return nil, err
+	}
+	out.Brownout.Rows = append(out.Brownout.Rows, sloRow(fmt.Sprintf("%.0f ops", float64(brownoutLoad)), brown))
+
 	out.Checks = []Check{
 		{
 			ID:    "S1",
@@ -163,6 +182,30 @@ func RunSLO() (*SLOResult, error) {
 			Detail: fmt.Sprintf("%d arrivals through bit flips and kill/revive: %d errors, %d shed",
 				chaos.Arrivals, chaos.Errors, chaos.Shed),
 			Pass: chaos.Errors == 0,
+		},
+		{
+			ID:    "B1",
+			Claim: "a browned-out replica trips its breaker, recovers, and clients never see an error",
+			Detail: fmt.Sprintf("%d arrivals through the brownout: %d errors, breaker opened %dx, replica 0 ends %q",
+				brown.Arrivals, brown.Errors, set.BreakerOpens(), set.BreakerState(0)),
+			Pass: brown.Errors == 0 && set.BreakerOpens() >= 1 && set.BreakerState(0) == "closed",
+		},
+		{
+			ID:    "B2",
+			Claim: "the brownout's blast radius is the streak that trips the breaker, not the whole run",
+			Detail: fmt.Sprintf("p50 %.2f ms, p99 %.2f ms, max %.2f ms against a %.0f ms injected stall",
+				msec(brown.Latency.QuantileDuration(0.5)), msec(brown.Latency.QuantileDuration(0.99)),
+				msec(time.Duration(brown.Latency.Max())), msec(brownoutHeavy)),
+			Pass: brown.Latency.QuantileDuration(0.5) < brownoutHeavy &&
+				time.Duration(brown.Latency.Max()) < 8*brownoutHeavy,
+		},
+		{
+			ID:    "B3",
+			Claim: "hedged reads fire under the brownout and respect the rate cap",
+			Detail: fmt.Sprintf("%d hedges across %d laddered reads (cap %d%%)",
+				set.HedgedReads(), set.GrayLadderReads(), disk.DefaultHedgeRatePct),
+			Pass: set.HedgedReads() > 0 &&
+				set.HedgedReads()*100 <= set.GrayLadderReads()*disk.DefaultHedgeRatePct,
 		},
 	}
 	return out, nil
@@ -243,4 +286,104 @@ func runChaosSLO() (*loadgen.Result, error) {
 		return nil, fmt.Errorf("slo: chaos: recovering replica 1: %w", recErr)
 	}
 	return res, nil
+}
+
+// Brownout script parameters: the heavy phase models a replica that still
+// answers but takes 2 virtual seconds per I/O (a dying disk, a saturated
+// controller); the mild phase sits below the breaker's MinSlow floor, so
+// it must be absorbed by EWMA-ranked hedging, not by tripping the breaker.
+const (
+	brownoutHeavy = 2 * time.Second
+	brownoutMild  = 200 * time.Millisecond
+)
+
+// runBrownoutSLO drives a read-only open-loop workload through a gray
+// failure — the paper's fail-stop model (§3: a replica is either correct
+// or dead) has no word for a disk that merely becomes 100x slower, so
+// this cell measures the machinery added for it. The main replica's
+// latency is scripted on the virtual clock: a heavy phase (breaker must
+// open, reads must fail over to the healthy mirror with zero
+// client-visible errors), a quiet phase (cooldown elapses, a half-open
+// probe closes the breaker), and a mild phase below the slowness floor
+// (predictive hedging absorbs it under the hard rate cap). The injected
+// latency is delivered to the virtual clock, never to the wall clock, and
+// the hedge timer is disabled (nil-channel After), so the cell is exactly
+// as deterministic as the steady regime.
+func runBrownoutSLO() (*loadgen.Result, *disk.ReplicaSet, error) {
+	profile := hwmodel.AmoebaProfile()
+	clock := &hwmodel.Clock{}
+	faulty := make([]*disk.FaultyDisk, 2)
+	devs := make([]disk.Device, 2)
+	for i := range devs {
+		mem, err := disk.NewMem(512, 64*1024)
+		if err != nil {
+			return nil, nil, err
+		}
+		faulty[i] = disk.NewFaulty(mem)
+		devs[i] = disk.NewSim(faulty[i], profile.Disk, clock)
+	}
+	set, err := disk.NewReplicaSet(devs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := bullet.Format(set, 2000); err != nil {
+		return nil, nil, err
+	}
+	set.EnableBreakers(disk.BreakerConfig{
+		MinSlow:       500 * time.Millisecond,
+		Cooldown:      2 * time.Second,
+		HedgeDelayMin: 50 * time.Millisecond,
+		HedgeDelayMax: 250 * time.Millisecond,
+		Now:           func() int64 { return int64(clock.Now()) },
+		After:         func(time.Duration) <-chan time.Time { return nil },
+	})
+	// The small cache forces read misses so the ladder actually runs.
+	eng, err := bullet.New(set, bullet.Options{CacheBytes: 256 << 10})
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := rpc.NewMux(0)
+	svc := bulletsvc.New(eng)
+	adm := bulletsvc.NewAdmission(sloLimit)
+	adm.AttachMetrics(eng.Metrics())
+	svc.AttachAdmission(adm)
+	svc.Register(mux)
+	net := simnet.New(mux, clock, profile.Net, profile.CPU)
+
+	// Read-only measured mix: creates would fan writes out to the slowed
+	// replica from background goroutines, whose virtual-clock charges
+	// would race the runner's. Reads ladder synchronously, so the run
+	// stays deterministic.
+	w := sloWorkload()
+	w.ReadFrac = 1.0
+	res, err := loadgen.Run(
+		loadgen.Target{Net: net, Port: eng.Port(), Admission: adm},
+		loadgen.Config{
+			Arrivals: loadgen.NewPoisson(brownoutLoad, sloSeed),
+			Ops:      sloOps,
+			Workload: w,
+			OnArrival: func(i int) {
+				switch i {
+				case 100:
+					// Heavy brownout on the main replica: the breaker
+					// must open and reads must drain to the mirror.
+					faulty[0].SetLatency(brownoutHeavy, brownoutHeavy, sloSeed, clock.Advance)
+				case 250:
+					// Quiet: the cooldown elapses, a half-open probe
+					// finds the replica fast again and closes the breaker.
+					faulty[0].SetLatency(0, 0, 0, nil)
+				case 350:
+					// Mild brownout below the MinSlow floor: no breaker
+					// trip allowed, hedging absorbs the tail instead.
+					faulty[0].SetLatency(brownoutMild, brownoutMild, sloSeed, clock.Advance)
+				case 500:
+					faulty[0].SetLatency(0, 0, 0, nil)
+				}
+			},
+		},
+	)
+	if err != nil {
+		return nil, nil, fmt.Errorf("slo: brownout: %w", err)
+	}
+	return res, set, nil
 }

@@ -538,6 +538,23 @@ func (s *Server) create(tc *trace.Ctx, sp *trace.Span, data []byte, pfactor int)
 			pfactor = 1
 		}
 	}
+	// Deadline checkpoint: the last point where abandoning this create is
+	// free. Past here the replica fan-out launches and its background
+	// writes land in the allocated extent, so the budget is never checked
+	// again — cancelling mid-commit would let this rollback free blocks
+	// that in-flight writes still touch (internal/trace/deadline.go).
+	if tc.DeadlineExceeded() {
+		if pin != nil {
+			pin.Release()
+		}
+		if idx != 0 {
+			_ = s.cache.Remove(idx, inode)
+		}
+		_ = s.table.Free(inode)
+		s.dalloc.Free(start, blocks) //nolint:errcheck // rollback
+		s.mu.Unlock()
+		return capability.Capability{}, fmt.Errorf("bullet: create abandoned before commit: %w", trace.ErrDeadlineExceeded)
+	}
 	s.commits.Add(1)
 	s.mu.Unlock()
 
@@ -696,6 +713,13 @@ func (s *Server) faultIn(tc *trace.Ctx, parent *trace.Span, inode uint32, random
 			<-fc.done
 			if merged {
 				s.m.faultMerges.Inc()
+				// Deadline checkpoint: a waiter that outlived its budget in
+				// the merge queue sheds now — its caller has already given
+				// up, and handing back the data would only be thrown away.
+				// The leader's load is unaffected (the data is cached).
+				if tc.DeadlineExceeded() {
+					return nil, true, true, fmt.Errorf("bullet: fault wait outlived the caller's budget: %w", trace.ErrDeadlineExceeded)
+				}
 				return fc.data, true, true, fc.err
 			}
 			// The in-flight fault served a previous incarnation of this
@@ -745,6 +769,14 @@ func (s *Server) loadFile(tc *trace.Ctx, parent *trace.Span, inode uint32, rando
 			}
 			_, _ = s.table.SetCacheIndexIf(inode, ino.CacheIndex, 0)
 			continue
+		}
+
+		// Deadline checkpoint: the cache fault is about to commit to a
+		// whole-file disk read (plus a drain of in-flight writes); a
+		// caller whose budget is already spent sheds here instead. Reads
+		// mutate nothing, so unlike create there is no rollback to guard.
+		if tc.DeadlineExceeded() {
+			return nil, fmt.Errorf("bullet: cache fault abandoned, budget spent: %w", trace.ErrDeadlineExceeded)
 		}
 
 		// In-flight background write-throughs (an uncached create, or

@@ -12,6 +12,7 @@ package bulletsvc
 import (
 	"encoding/json"
 	"errors"
+	"time"
 
 	"bulletfs/internal/alloc"
 	"bulletfs/internal/bullet"
@@ -165,6 +166,8 @@ func StatusOf(err error) rpc.Status {
 		return rpc.StatusBusy
 	case errors.Is(err, bullet.ErrBadReplica):
 		return rpc.StatusBadRequest
+	case errors.Is(err, trace.ErrDeadlineExceeded):
+		return rpc.StatusDeadlineExceeded
 	default:
 		return rpc.StatusInternal
 	}
@@ -193,6 +196,8 @@ func ErrorOf(st rpc.Status) error {
 		return bullet.ErrBadOffset
 	case rpc.StatusBusy:
 		return disk.ErrRecovering
+	case rpc.StatusDeadlineExceeded:
+		return trace.ErrDeadlineExceeded
 	default:
 		return rpc.Errf(st, "server error")
 	}
@@ -213,10 +218,41 @@ type Service struct {
 	adm      *Admission       // optional; bounds in-flight file operations, sheds with StatusBusy
 	coll     *stats.Collector // optional; serves CmdWatch when non-nil
 	sess     sessionTable     // open streaming-create sessions
+
+	// deadlineSheds counts requests refused at the door because their
+	// deadline budget was already spent on arrival (queueing, transport).
+	// Distinct from admission sheds: the server had room, the caller had
+	// no time left to use it.
+	deadlineSheds stats.Counter
 }
 
 // New wraps engine.
-func New(engine *bullet.Server) *Service { return &Service{engine: engine} }
+func New(engine *bullet.Server) *Service {
+	s := &Service{engine: engine}
+	engine.Metrics().GaugeFunc("rpc.deadline_sheds", s.deadlineSheds.Load)
+	return s
+}
+
+// DeadlineSheds returns how many requests were refused with
+// StatusDeadlineExceeded before any work was done on them.
+func (s *Service) DeadlineSheds() int64 { return s.deadlineSheds.Load() }
+
+// shedExpired reports whether the request arrived with its deadline
+// budget already spent and must be refused with StatusDeadlineExceeded.
+// Only admission-controlled (file) operations shed: control-plane
+// queries are cheap and answering them late still helps. The check sits
+// before any engine work — a deadline never cancels a mutation midway
+// (see internal/trace/deadline.go on why).
+func (s *Service) shedExpired(tc *trace.Ctx, parent *trace.Span, cmd uint32) bool {
+	if !admissionControlled(cmd) || !tc.DeadlineExceeded() {
+		return false
+	}
+	s.deadlineSheds.Inc()
+	if sp := tc.Add(parent, trace.LayerRPC, trace.OpAdmit, time.Now(), 0); sp != nil {
+		sp.Status = int32(rpc.StatusDeadlineExceeded)
+	}
+	return true
+}
 
 // AttachRecorder wires the flight recorder the service serves over
 // CmdTrace. Call before Register; nil leaves CmdTrace answering
@@ -262,6 +298,9 @@ func (s *Service) Handle(req rpc.Header, payload []byte) (rpc.Header, []byte) {
 // HandleTraced processes one Bullet transaction, hanging engine spans
 // under parent. tc may be nil (untraced).
 func (s *Service) HandleTraced(tc *trace.Ctx, parent *trace.Span, req rpc.Header, payload []byte) (rpc.Header, []byte) {
+	if s.shedExpired(tc, parent, req.Command) {
+		return rpc.ReplyErr(rpc.StatusDeadlineExceeded), nil
+	}
 	if s.adm != nil && admissionControlled(req.Command) {
 		sp := tc.Begin(parent, trace.LayerRPC, trace.OpAdmit)
 		ok := s.adm.TryEnter()

@@ -28,6 +28,10 @@ const (
 func (s *Service) HandleStream(tc *trace.Ctx, parent *trace.Span, req rpc.Header, payload []byte, emit rpc.Emitter) {
 	switch req.Command {
 	case CmdRead, CmdReadRange:
+		if s.shedExpired(tc, parent, req.Command) {
+			_ = emit(rpc.ReplyErr(rpc.StatusDeadlineExceeded), rpc.Plain(nil), true)
+			return
+		}
 		release, ok := s.admit(tc, parent, req.Command)
 		if !ok {
 			_ = emit(rpc.ReplyErr(rpc.StatusBusy), rpc.Plain(nil), true)
@@ -67,6 +71,10 @@ func (s *Service) HandleStream(tc *trace.Ctx, parent *trace.Span, req rpc.Header
 // write. Each frame's header carries the chunk's file offset (Arg) and
 // the file's total size (Arg2), so clients can preallocate and verify.
 func (s *Service) handleReadStream(tc *trace.Ctx, parent *trace.Span, req rpc.Header, emit rpc.Emitter) {
+	if s.shedExpired(tc, parent, req.Command) {
+		_ = emit(rpc.ReplyErr(rpc.StatusDeadlineExceeded), rpc.Plain(nil), true)
+		return
+	}
 	release, ok := s.admit(tc, parent, req.Command)
 	if !ok {
 		_ = emit(rpc.ReplyErr(rpc.StatusBusy), rpc.Plain(nil), true)

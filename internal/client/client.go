@@ -13,11 +13,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"bulletfs/internal/bulletsvc"
 	"bulletfs/internal/capability"
 	"bulletfs/internal/rpc"
 	"bulletfs/internal/stats"
+	"bulletfs/internal/trace"
 )
 
 // ErrTransport marks failures that happened before a reply arrived — dial,
@@ -32,7 +34,8 @@ var ErrTransport = errors.New("bullet client: transport failure")
 type Client struct {
 	tr       rpc.Transport
 	cache    *fileCache
-	traceIDs bool // stamp each transaction with a trace ID (see WithTraceIDs)
+	traceIDs bool          // stamp each transaction with a trace ID (see WithTraceIDs)
+	budget   time.Duration // per-operation deadline budget (see WithBudget)
 }
 
 // Option configures a Client.
@@ -44,6 +47,20 @@ func WithCache(maxBytes int64) Option {
 	return func(c *Client) {
 		if maxBytes > 0 {
 			c.cache = newFileCache(maxBytes)
+		}
+	}
+}
+
+// WithBudget attaches a deadline budget to every operation: the call
+// carries the remaining time on the wire (the v2 deadline TLV), a
+// retrying transport refreshes it per attempt, and the server sheds the
+// request with StatusDeadlineExceeded — surfaced here as
+// trace.ErrDeadlineExceeded, never as a transport failure — when the
+// budget cannot cover the work. d <= 0 leaves calls unbounded.
+func WithBudget(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.budget = d
 		}
 	}
 }
@@ -61,12 +78,23 @@ func (c *Client) call(port capability.Port, req rpc.Header, payload []byte) (rpc
 	var rep rpc.Header
 	var body []byte
 	var err error
-	if tt, ok := c.tr.(rpc.TracedTransport); ok && c.traceIDs {
-		rep, body, err = tt.TransTraced(port, newTraceID(), req, payload)
+	var tid uint64
+	if c.traceIDs {
+		tid = newTraceID()
+	}
+	if ot, ok := c.tr.(rpc.OptsTransport); ok && c.budget > 0 {
+		rep, body, err = ot.TransOpts(port, rpc.CallOpts{TraceID: tid, Budget: c.budget}, req, payload)
+	} else if tt, ok := c.tr.(rpc.TracedTransport); ok && tid != 0 {
+		rep, body, err = tt.TransTraced(port, tid, req, payload)
 	} else {
 		rep, body, err = c.tr.Trans(port, req, payload)
 	}
 	if err != nil {
+		// A spent budget is a deadline outcome, not a transport failure:
+		// callers asked for bounded time and got exactly that.
+		if errors.Is(err, trace.ErrDeadlineExceeded) {
+			return rpc.Header{}, nil, fmt.Errorf("bullet client: budget spent: %w", err)
+		}
 		return rpc.Header{}, nil, fmt.Errorf("%w: %w", ErrTransport, err)
 	}
 	if rep.Status != rpc.StatusOK {

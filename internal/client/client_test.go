@@ -3,6 +3,7 @@ package client
 import (
 	"bytes"
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"bulletfs/internal/capability"
 	"bulletfs/internal/disk"
 	"bulletfs/internal/rpc"
+	"bulletfs/internal/trace"
 )
 
 // newEngine builds a two-disk Bullet engine for service tests.
@@ -360,5 +362,50 @@ func TestPackUnpackModifyArg2(t *testing.T) {
 		if size != c.size || pf != c.pf {
 			t.Fatalf("round trip (%d,%d) -> (%d,%d)", c.size, c.pf, size, pf)
 		}
+	}
+}
+
+// TestClientBudgetShedsAsDeadline pins the deadline budget's client-side
+// contract: a spent budget surfaces as trace.ErrDeadlineExceeded — never
+// as a generic transport failure — and a budget with headroom changes
+// nothing. The mux's clock is injected, so the shed is deterministic.
+func TestClientBudgetShedsAsDeadline(t *testing.T) {
+	eng := newEngine(t)
+	mux := rpc.NewMux(0)
+	svc := bulletsvc.New(eng)
+	svc.Register(mux)
+
+	// Seed the file with an unbudgeted client on a sane clock.
+	data := []byte("pay the toll before the bridge")
+	c, err := New(&rpc.LocalID{Mux: mux}).Create(eng.Port(), data, 2)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	// Every look at the clock now jumps an hour, so the millisecond
+	// budget is spent by the service's first shed check.
+	var ticks atomic.Int64
+	mux.SetNow(func() int64 { return ticks.Add(int64(time.Hour)) })
+	cl := New(&rpc.LocalID{Mux: mux}, WithBudget(time.Millisecond))
+	_, err = cl.Read(c)
+	if !errors.Is(err, trace.ErrDeadlineExceeded) {
+		t.Fatalf("Read with spent budget err = %v, want trace.ErrDeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrTransport) {
+		t.Fatalf("deadline shed classified as a transport failure: %v", err)
+	}
+	if got := svc.DeadlineSheds(); got != 1 {
+		t.Fatalf("DeadlineSheds = %d, want 1", got)
+	}
+
+	// Freeze the clock: the same budget can never expire, and the
+	// budgeted read behaves exactly like an unbudgeted one.
+	mux.SetNow(func() int64 { return 1 })
+	got, err := cl.Read(c)
+	if err != nil {
+		t.Fatalf("Read with frozen clock: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Read = %q, want %q", got, data)
 	}
 }

@@ -1,0 +1,354 @@
+package disk
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// vclock is a virtual timeline for breaker tests: FaultyDisk latency
+// sinks Advance it, BreakerConfig.Now reads it. No test here sleeps.
+type vclock struct {
+	mu  sync.Mutex
+	now int64
+}
+
+func (c *vclock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *vclock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += int64(d)
+	c.mu.Unlock()
+}
+
+// noTimerHedge disables in-flight timer hedging: a nil channel never
+// fires, so the ladder stays sequential and deterministic.
+func noTimerHedge(time.Duration) <-chan time.Time { return nil }
+
+// TestBreakerBrownoutOpensAndRecovers is the deterministic brownout
+// test: one replica answers 100x slower than healthy, every read still
+// completes with zero client-visible errors, the slow replica's breaker
+// opens after the configured streak, and once the slowness clears the
+// cooldown half-opens it, a probe read succeeds, and the breaker closes
+// again — all on a virtual clock.
+func TestBreakerBrownoutOpensAndRecovers(t *testing.T) {
+	s, faulty := newSet(t, 2)
+	clk := &vclock{}
+	s.EnableBreakers(BreakerConfig{
+		MinSlow:  500 * time.Millisecond,
+		Cooldown: 5 * time.Second,
+		Now:      clk.Now,
+		After:    noTimerHedge,
+	})
+	in := []byte("gray failure: answering, just two seconds late")
+	writeAll(t, s, in, 512)
+
+	// Brownout: replica 0 (the main) serves every read, 2s each.
+	faulty[0].SetLatency(2*time.Second, 2*time.Second, 1, clk.Advance)
+	out := make([]byte, len(in))
+	for i := 0; i < DefaultSlowStreak; i++ {
+		if err := s.ReadAt(out, 512); err != nil {
+			t.Fatalf("read %d during brownout: %v", i, err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatalf("read %d returned wrong bytes", i)
+		}
+	}
+	if got := s.BreakerState(0); got != "open" {
+		t.Fatalf("after %d slow reads, breaker(0) = %s, want open", DefaultSlowStreak, got)
+	}
+	if got := s.BreakerOpens(); got != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", got)
+	}
+
+	// With the breaker open, reads route to replica 1 — no errors, no
+	// 2s stalls (the virtual clock only advances through the injector).
+	before := clk.Now()
+	r1 := s.Reads(1)
+	for i := 0; i < 5; i++ {
+		if err := s.ReadAt(out, 512); err != nil {
+			t.Fatalf("read %d with open breaker: %v", i, err)
+		}
+	}
+	if clk.Now() != before {
+		t.Fatalf("reads with an open breaker advanced the clock %v; they hit the slow replica", time.Duration(clk.Now()-before))
+	}
+	if got := s.Reads(1) - r1; got != 5 {
+		t.Fatalf("healthy replica served %d of 5 reads", got)
+	}
+	if s.BreakerState(0) != "open" {
+		t.Fatal("breaker re-closed without a probe")
+	}
+
+	// Slowness ends; after the cooldown the next read half-opens the
+	// breaker, probes replica 0 first, and the fast probe closes it.
+	faulty[0].SetLatency(0, 0, 0, nil)
+	clk.Advance(5 * time.Second)
+	r0 := s.Reads(0)
+	if err := s.ReadAt(out, 512); err != nil {
+		t.Fatalf("probe read: %v", err)
+	}
+	if got := s.Reads(0) - r0; got != 1 {
+		t.Fatalf("probe read went to replica %v, want the half-open replica 0", got)
+	}
+	if got := s.BreakerState(0); got != "closed" {
+		t.Fatalf("after a fast probe, breaker(0) = %s, want closed", got)
+	}
+	if !bytes.Equal(out, in) {
+		t.Fatal("probe read returned wrong bytes")
+	}
+	if s.BreakerOpens() != 1 {
+		t.Fatalf("BreakerOpens = %d after recovery, want still 1", s.BreakerOpens())
+	}
+}
+
+// TestBreakerReopensOnSlowProbe pins the half-open → open edge: a probe
+// that is still slow sends the breaker straight back to open.
+func TestBreakerReopensOnSlowProbe(t *testing.T) {
+	s, faulty := newSet(t, 2)
+	clk := &vclock{}
+	s.EnableBreakers(BreakerConfig{
+		MinSlow:  500 * time.Millisecond,
+		Cooldown: time.Second,
+		Now:      clk.Now,
+		After:    noTimerHedge,
+	})
+	in := []byte("still gray")
+	writeAll(t, s, in, 0)
+	faulty[0].SetLatency(2*time.Second, 2*time.Second, 1, clk.Advance)
+
+	out := make([]byte, len(in))
+	for i := 0; i < DefaultSlowStreak; i++ {
+		if err := s.ReadAt(out, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Second) // cooldown passes, injection does not
+	if err := s.ReadAt(out, 0); err != nil {
+		t.Fatalf("slow probe read: %v", err)
+	}
+	if got := s.BreakerState(0); got != "open" {
+		t.Fatalf("after a slow probe, breaker(0) = %s, want open again", got)
+	}
+	if got := s.BreakerOpens(); got != 2 {
+		t.Fatalf("BreakerOpens = %d, want 2 (initial + re-open)", got)
+	}
+}
+
+// TestHedgeTimerLaunchesSecondReplica pins the in-flight hedge: with the
+// first attempt stuck on a never-completing read, the hedge timer fires
+// (injected channel, no wall clock) and the second replica's response
+// wins; the stuck loser is released and drained afterwards.
+func TestHedgeTimerLaunchesSecondReplica(t *testing.T) {
+	s, faulty := newSet(t, 2)
+	clk := &vclock{}
+	s.EnableBreakers(BreakerConfig{
+		MinSlow:      500 * time.Millisecond,
+		HedgeRatePct: 50,
+		Now:          clk.Now,
+		After:        noTimerHedge,
+	})
+	in := []byte("first response wins")
+	writeAll(t, s, in, 1024)
+	out := make([]byte, len(in))
+
+	// Warm the cap: at 50% one hedge needs two prior laddered reads.
+	for i := 0; i < 2; i++ {
+		if err := s.ReadAt(out, 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Now arm a timer that "fires" the moment it is consulted, and a
+	// first attempt that never completes.
+	fire := make(chan time.Time, 1)
+	fire <- time.Time{}
+	s.EnableBreakers(BreakerConfig{
+		MinSlow:      500 * time.Millisecond,
+		HedgeRatePct: 50,
+		Now:          clk.Now,
+		After:        func(time.Duration) <-chan time.Time { return fire },
+	})
+	faulty[0].StallNextReads(1)
+	if err := s.ReadAt(out, 1024); err != nil {
+		t.Fatalf("hedged read: %v", err)
+	}
+	if !bytes.Equal(out, in) {
+		t.Fatal("hedged read returned wrong bytes")
+	}
+	if got := s.HedgedReads(); got != 1 {
+		t.Fatalf("HedgedReads = %d, want 1", got)
+	}
+	if got := s.Reads(1); got != 1 {
+		t.Fatalf("replica 1 served %d reads, want the 1 hedge win", got)
+	}
+
+	// The loser is still parked on the stall gate; release and drain it.
+	faulty[0].ReleaseStalled()
+	s.DrainReads()
+}
+
+// TestHedgeRateCapEnforced pins the hard cap: with the EWMA ranking
+// wanting a hedge on every read, only HedgeRatePct percent are granted;
+// the rest go to the main as usual.
+func TestHedgeRateCapEnforced(t *testing.T) {
+	s, _ := newSet(t, 2)
+	clk := &vclock{}
+	s.EnableBreakers(BreakerConfig{
+		MinSlow: 500 * time.Millisecond, // EWMAs below this never open the breaker
+		Now:     clk.Now,
+		After:   noTimerHedge,
+	})
+	in := []byte("capped")
+	writeAll(t, s, in, 0)
+	out := make([]byte, len(in))
+
+	const reads = 200
+	for i := 0; i < reads; i++ {
+		// Pin the scores each round: the main looks 400x slower, so the
+		// ladder wants to hedge to replica 1 on every single read.
+		s.brk[0].ewmaNs.Store(int64(400 * time.Millisecond))
+		s.brk[1].ewmaNs.Store(int64(time.Millisecond))
+		if err := s.ReadAt(out, 0); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	// At the default 5%: hedge h is granted once (h+1)*100 <= reads*5,
+	// so 200 reads admit exactly 10 hedges.
+	if got := s.HedgedReads(); got != reads*DefaultHedgeRatePct/100 {
+		t.Fatalf("HedgedReads = %d over %d reads, want exactly %d (the %d%% cap)",
+			got, reads, reads*DefaultHedgeRatePct/100, DefaultHedgeRatePct)
+	}
+	if got := s.Reads(0); got != reads-reads*DefaultHedgeRatePct/100 {
+		t.Fatalf("main served %d reads, want %d (everything the cap refused)", got, reads-reads*DefaultHedgeRatePct/100)
+	}
+}
+
+// TestBreakerOpenExcludedFromQuorum pins the commit-side rule: an open
+// breaker's replica still receives every write but the P-FACTOR quorum
+// is satisfied without it, so a full-sync Apply does not wait for (or
+// get failed by) the gray disk.
+func TestBreakerOpenExcludedFromQuorum(t *testing.T) {
+	s, faulty := newSet(t, 2)
+	clk := &vclock{}
+	s.EnableBreakers(BreakerConfig{
+		MinSlow:  500 * time.Millisecond,
+		Cooldown: time.Hour,
+		Now:      clk.Now,
+		After:    noTimerHedge,
+	})
+	in := []byte("quorum without the gray disk")
+	writeAll(t, s, in, 0)
+	faulty[0].SetLatency(2*time.Second, 2*time.Second, 1, clk.Advance)
+	out := make([]byte, len(in))
+	for i := 0; i < DefaultSlowStreak; i++ {
+		if err := s.ReadAt(out, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.BreakerState(0) != "open" {
+		t.Fatal("setup: breaker(0) did not open")
+	}
+
+	// Full-sync write: quorum clamps to the one eligible replica, the
+	// open-breaker replica gets the write in the background.
+	p := []byte("written during brownout")
+	if err := s.WriteAt(p, 2048); err != nil {
+		t.Fatalf("WriteAt with open breaker: %v", err)
+	}
+	s.Drain()
+	got := make([]byte, len(p))
+	for i := 0; i < 2; i++ {
+		if err := s.Device(i).ReadAt(got, 2048); err != nil {
+			t.Fatalf("replica %d readback: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("replica %d missed the brownout write", i)
+		}
+	}
+}
+
+// TestFaultyLatencySeededAndSunk pins the injector itself: the delays
+// are drawn from a seeded range and delivered to the sink, never slept.
+func TestFaultyLatencySeededAndSunk(t *testing.T) {
+	mem := newMem(t, 512, 8)
+	d := NewFaulty(mem)
+	var got []time.Duration
+	d.SetLatency(10*time.Millisecond, 20*time.Millisecond, 42, func(lat time.Duration) { got = append(got, lat) })
+	buf := make([]byte, 512)
+	for i := 0; i < 4; i++ {
+		if err := d.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("sink saw %d delays, want 4", len(got))
+	}
+	for i, lat := range got {
+		if lat < 10*time.Millisecond || lat > 20*time.Millisecond {
+			t.Fatalf("delay %d = %v, outside [10ms, 20ms]", i, lat)
+		}
+	}
+	// Same seed, same sequence.
+	var again []time.Duration
+	d.SetLatency(10*time.Millisecond, 20*time.Millisecond, 42, func(lat time.Duration) { again = append(again, lat) })
+	for i := 0; i < 4; i++ {
+		if err := d.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("re-seeded sequence diverged at %d: %v vs %v", i, got[i], again[i])
+		}
+	}
+	// Disarm: the sink stops seeing ops.
+	d.SetLatency(0, 0, 0, nil)
+	n := len(again)
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != n {
+		t.Fatal("disarmed injector still delivered a delay")
+	}
+}
+
+// TestFaultyStallGate pins the stuck-op mode: a stalled read parks until
+// released, WaitStalled observes it parked, and Heal also releases.
+func TestFaultyStallGate(t *testing.T) {
+	mem := newMem(t, 512, 8)
+	d := NewFaulty(mem)
+	d.StallNextReads(1)
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 512)
+		done <- d.ReadAt(buf, 0)
+	}()
+	d.WaitStalled(1)
+	select {
+	case err := <-done:
+		t.Fatalf("stalled read returned early: %v", err)
+	default:
+	}
+	d.ReleaseStalled()
+	if err := <-done; err != nil {
+		t.Fatalf("released read: %v", err)
+	}
+
+	// Heal releases too, so a stuck disk can always be un-stuck.
+	d.StallNextReads(1)
+	go func() {
+		buf := make([]byte, 512)
+		done <- d.ReadAt(buf, 0)
+	}()
+	d.WaitStalled(1)
+	d.Heal()
+	if err := <-done; err != nil {
+		t.Fatalf("read released by Heal: %v", err)
+	}
+}

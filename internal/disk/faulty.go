@@ -1,8 +1,10 @@
 package disk
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // FaultyDisk wraps a Device with failure injection for recovery and
@@ -19,6 +21,21 @@ type FaultyDisk struct {
 	tornNext     bool  // guarded by mu; next write stores only the first half, then faults
 	corruptReads int64 // guarded by mu; silently flip a byte in this many more reads
 	corruptWrite int64 // guarded by mu; silently flip a byte in this many more writes
+
+	// Seeded per-op latency (gray failure: the disk answers, just slowly).
+	// All guarded by mu; latency is off while latSink is nil. The sink is
+	// explicit — virtual-clock worlds pass clock.Advance, unit tests pass a
+	// recorder — so no test ever sleeps on the wall clock.
+	latMin  time.Duration
+	latMax  time.Duration
+	latRng  *rand.Rand
+	latSink func(time.Duration)
+
+	// Stuck-op gate (gray failure: the disk never answers). Guarded by mu.
+	stallReads int64         // this many more reads park on stallGate
+	stallGate  chan struct{} // parked reads block here until it closes
+	stalledNow int           // reads currently parked; stallCond signals changes
+	stallCond  *sync.Cond    // lazily bound to mu
 }
 
 var _ Device = (*FaultyDisk)(nil)
@@ -30,7 +47,9 @@ func NewFaulty(dev Device) *FaultyDisk { return &FaultyDisk{dev: dev} }
 func (d *FaultyDisk) Fault() { d.faulted.Store(true) }
 
 // Heal revives the device (for repair-and-recover tests). The underlying
-// contents are whatever they were when it faulted.
+// contents are whatever they were when it faulted. Any injected latency
+// is cleared and stalled operations are released, so Heal is always
+// enough to let Drain or Close finish.
 func (d *FaultyDisk) Heal() {
 	d.faulted.Store(false)
 	d.mu.Lock()
@@ -39,6 +58,111 @@ func (d *FaultyDisk) Heal() {
 	d.tornNext = false
 	d.corruptReads = 0
 	d.corruptWrite = 0
+	d.latSink = nil
+	d.releaseStalledLocked()
+}
+
+// SetLatency injects a seeded uniform per-op latency in [min, max] on
+// every read and write. The delay is delivered to sink rather than slept:
+// simulated worlds pass their virtual clock's Advance, unit tests pass a
+// recorder. A nil sink (or max <= 0) turns injection off — there is
+// deliberately no wall-clock default.
+func (d *FaultyDisk) SetLatency(min, max time.Duration, seed int64, sink func(time.Duration)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if sink == nil || max <= 0 {
+		d.latSink = nil
+		return
+	}
+	if min < 0 {
+		min = 0
+	}
+	if max < min {
+		max = min
+	}
+	d.latMin, d.latMax = min, max
+	d.latRng = rand.New(rand.NewSource(seed))
+	d.latSink = sink
+}
+
+// nextLatency draws the next injected delay (0 when injection is off)
+// and the sink to deliver it to. Drawn under mu so concurrent ops see a
+// deterministic sequence for a given seed and arrival order.
+func (d *FaultyDisk) nextLatency() (time.Duration, func(time.Duration)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.latSink == nil {
+		return 0, nil
+	}
+	lat := d.latMin
+	if span := d.latMax - d.latMin; span > 0 {
+		lat += time.Duration(d.latRng.Int63n(int64(span) + 1))
+	}
+	return lat, d.latSink
+}
+
+// StallNextReads makes the next n reads park indefinitely — the
+// never-completes gray failure. Parked reads hold no locks; they resume
+// (and then run normally) when ReleaseStalled or Heal is called, so a
+// stuck disk can always be un-stuck before shutdown.
+func (d *FaultyDisk) StallNextReads(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stallReads = n
+	if d.stallGate == nil {
+		d.stallGate = make(chan struct{})
+	}
+}
+
+// ReleaseStalled wakes every currently-parked read and stops capturing
+// new ones.
+func (d *FaultyDisk) ReleaseStalled() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.releaseStalledLocked()
+}
+
+func (d *FaultyDisk) releaseStalledLocked() {
+	d.stallReads = 0
+	if d.stallGate != nil {
+		close(d.stallGate)
+		d.stallGate = nil
+	}
+}
+
+// WaitStalled blocks until at least n reads are parked on the stall
+// gate. Tests use it to know the victim operation is truly stuck before
+// asserting what happens around it.
+func (d *FaultyDisk) WaitStalled(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stallCond == nil {
+		d.stallCond = sync.NewCond(&d.mu)
+	}
+	for d.stalledNow < n {
+		d.stallCond.Wait()
+	}
+}
+
+// maybeStall parks the calling read if a stall is armed. Returns after
+// the gate opens (or immediately if no stall applies).
+func (d *FaultyDisk) maybeStall() {
+	d.mu.Lock()
+	if d.stallReads <= 0 {
+		d.mu.Unlock()
+		return
+	}
+	d.stallReads--
+	gate := d.stallGate
+	d.stalledNow++
+	if d.stallCond != nil {
+		d.stallCond.Broadcast()
+	}
+	d.mu.Unlock()
+	<-gate
+	d.mu.Lock()
+	d.stalledNow--
+	d.mu.Unlock()
 }
 
 // CorruptNextReads makes the next n reads succeed but return data with one
@@ -94,8 +218,12 @@ func (d *FaultyDisk) Blocks() int64 { return d.dev.Blocks() }
 
 // ReadAt implements Device.
 func (d *FaultyDisk) ReadAt(p []byte, off int64) error {
+	d.maybeStall()
 	if d.faulted.Load() {
 		return ErrFaulted
+	}
+	if lat, sink := d.nextLatency(); sink != nil {
+		sink(lat)
 	}
 	if err := d.dev.ReadAt(p, off); err != nil {
 		return err
@@ -116,6 +244,9 @@ func (d *FaultyDisk) ReadAt(p []byte, off int64) error {
 func (d *FaultyDisk) WriteAt(p []byte, off int64) error {
 	if d.faulted.Load() {
 		return ErrFaulted
+	}
+	if lat, sink := d.nextLatency(); sink != nil {
+		sink(lat)
 	}
 	d.mu.Lock()
 	torn := d.tornNext

@@ -90,6 +90,28 @@ type ReplicaSet struct {
 	promotions    stats.Counter // times a new main was promoted
 	recoveries    stats.Counter // completed online recoveries
 
+	// Gray-failure state (see breaker.go). gray is nil until
+	// EnableBreakers; the read path branches on that one load, so the
+	// disabled set behaves exactly like the fail-stop original. brk and
+	// readHist are always allocated so health reports and metrics are
+	// uniform either way.
+	gray     atomic.Pointer[grayConfig]
+	brk      []breaker
+	readHist *stats.Histogram
+
+	grayLadderReads stats.Counter // reads that went through the gray ladder
+	hedgedReads     stats.Counter // predictive + timer hedges granted
+	breakerOpens    stats.Counter
+	breakerCloses   stats.Counter
+	breakerProbes   stats.Counter
+
+	// In-flight hedged-read attempts, for DrainReads. Separate from the
+	// write tracker: Close waits on writes but never on reads, so a read
+	// stuck on a gray device cannot hang shutdown.
+	readMu       sync.Mutex
+	readCond     *sync.Cond // lazily initialized under readMu
+	pendingReads int        // guarded by readMu
+
 	// Parallel-commit observability: commits with a synchronous phase, and
 	// the total replica fanout of those synchronous phases. fanout/commits
 	// is the mean number of disks a caller's reply waited on in parallel.
@@ -130,6 +152,8 @@ func NewReplicaSet(devs ...Device) (*ReplicaSet, error) {
 		checksumErrs: make([]stats.Counter, len(devs)),
 		selfheals:    make([]stats.Counter, len(devs)),
 		faults:       make([]atomic.Int64, len(devs)),
+		brk:          make([]breaker, len(devs)),
+		readHist:     stats.NewHistogram(nil),
 	}
 	s.errBudget.Store(DefaultErrorBudget)
 	s.recovering.Store(-1)
@@ -260,6 +284,9 @@ func (s *ReplicaSet) ReadVerifiedTraced(tc *trace.Ctx, parent *trace.Span, p []b
 }
 
 func (s *ReplicaSet) readVerified(tc *trace.Ctx, parent *trace.Span, p []byte, off int64, verify func([]byte) bool) error {
+	if g := s.gray.Load(); g != nil {
+		return s.readGray(g, tc, parent, p, off, verify)
+	}
 	main, aliveMask := s.readSnapshot()
 
 	var lastErr error
@@ -327,6 +354,178 @@ func (s *ReplicaSet) readVerified(tc *trace.Ctx, parent *trace.Span, p []byte, o
 		return fmt.Errorf("all replicas failed (last: %w): %w", lastErr, ErrNoReplica)
 	}
 	return ErrNoReplica
+}
+
+// grayAttempt is one in-flight read attempt under the gray ladder. The
+// worker goroutine owns buf and err; start/dur are atomics so the
+// ladder goroutine can stamp spans for attempts still in flight
+// (trace.Ctx is single-goroutine — same pattern as commitClock).
+type grayAttempt struct {
+	idx   int
+	buf   []byte
+	err   error        // written by the worker before its results send
+	start atomic.Int64 // wall nanos; 0 = worker not yet scheduled
+	dur   atomic.Int64 // observed nanos; 0 = in flight; negative = failed
+}
+
+// readGray is the verified-read ladder with gray-failure handling: the
+// rung order comes from grayOrder (health-ranked, breaker-aware), each
+// rung runs in a goroutine with a private buffer, and while a rung is
+// in flight a hedge timer may launch the next rung early — first good
+// response wins, losers are abandoned (they finish against their
+// private buffers and report their latency to the health score). The
+// verify/self-heal/quarantine semantics are exactly readVerified's.
+func (s *ReplicaSet) readGray(g *grayConfig, tc *trace.Ctx, parent *trace.Span, p []byte, off int64, verify func([]byte) bool) error {
+	main, aliveMask := s.readSnapshot()
+	order := s.grayOrder(g, main, aliveMask)
+	if len(order) == 0 {
+		return ErrNoReplica
+	}
+	s.grayLadderReads.Inc()
+
+	// Predictive hedge accounting: grayOrder demotes a closed main only
+	// when a peer's EWMA is measurably better. That demotion is a hedge
+	// away from a slow-but-unbroken replica, so it pays from the same
+	// cap as timer hedges; with the cap spent, the main goes back first.
+	if k := indexOf(order, main); k > 0 &&
+		s.brk[main].state.Load() == breakerClosed &&
+		s.brk[order[0]].state.Load() == breakerClosed {
+		if s.allowHedge(g) {
+			s.hedgedReads.Inc()
+			if sp := tc.Add(parent, trace.LayerDisk, trace.OpHedge, time.Now(), 0); sp != nil {
+				sp.Replica = int8(order[0])
+			}
+		} else {
+			copy(order[1:k+1], order[:k])
+			order[0] = main
+		}
+	}
+
+	results := make(chan *grayAttempt, len(order))
+	attempts := make([]*grayAttempt, 0, len(order))
+	next := 0
+	launch := func() {
+		idx := order[next]
+		next++
+		at := &grayAttempt{idx: idx, buf: make([]byte, len(p))}
+		attempts = append(attempts, at)
+		s.beginRead()
+		//lint:ignore goroutinestop accounted by the set's pending-read counter: endRead signals DrainReads, and an abandoned attempt only ever touches its private buffer
+		go func() {
+			at.start.Store(time.Now().UnixNano())
+			t0 := g.now()
+			err := s.devs[idx].ReadAt(at.buf, off)
+			d := g.now() - t0
+			if d < 1 {
+				d = 1 // 0 is the in-flight sentinel
+			}
+			s.observeRead(g, idx, time.Duration(d), err != nil)
+			at.err = err
+			if err != nil {
+				d = -d
+			}
+			at.dur.Store(d)
+			results <- at
+			s.endRead()
+		}()
+	}
+	launch()
+	outstanding := 1
+
+	var bad []int // replicas that answered with corrupt bytes this call
+	var lastErr error
+	tried := 0
+	var winner *grayAttempt
+	for winner == nil && outstanding > 0 {
+		// Arm the hedge timer only when there is a rung left worth
+		// hedging to (an open breaker is not) and the cap allows it. A
+		// nil After channel (discrete-event worlds) never fires.
+		var timerC <-chan time.Time
+		if next < len(order) && s.brk[order[next]].state.Load() != breakerOpen && s.allowHedge(g) {
+			timerC = g.after(s.hedgeDelay(g))
+		}
+		select {
+		case at := <-results:
+			outstanding--
+			d := at.dur.Load()
+			if d < 0 {
+				d = -d
+			}
+			sp := tc.Add(parent, trace.LayerDisk, trace.OpDiskRead, time.Unix(0, at.start.Load()), d)
+			if sp != nil {
+				sp.Replica = int8(at.idx)
+				sp.Bytes = int64(len(p))
+				if at.err != nil {
+					sp.Status = 1
+				}
+			}
+			if at.err == nil && verify != nil && !verify(at.buf) {
+				if sp != nil {
+					sp.Status = 2
+				}
+				s.checksumErrs[at.idx].Inc()
+				tried++
+				lastErr = fmt.Errorf("replica %d at offset %d: %w", at.idx, off, ErrChecksum)
+				bad = append(bad, at.idx)
+				if s.faults[at.idx].Add(1) >= s.errBudget.Load() {
+					s.notePromotion(tc, parent, s.markDead(at.idx))
+				}
+			} else if at.err == nil {
+				winner = at
+			} else if errors.Is(at.err, ErrOutOfRange) {
+				return at.err // caller bug, not a media failure
+			} else {
+				tried++
+				lastErr = at.err
+				s.notePromotion(tc, parent, s.markDead(at.idx))
+			}
+			if winner == nil && outstanding == 0 && next < len(order) {
+				launch()
+				outstanding++
+			}
+		case <-timerC:
+			s.hedgedReads.Inc()
+			if sp := tc.Add(parent, trace.LayerDisk, trace.OpHedge, time.Now(), 0); sp != nil {
+				sp.Replica = int8(order[next])
+			}
+			launch()
+			outstanding++
+		}
+	}
+	if winner == nil {
+		if lastErr != nil {
+			return fmt.Errorf("all replicas failed (last: %w): %w", lastErr, ErrNoReplica)
+		}
+		return ErrNoReplica
+	}
+	// Abandoned losers: stamp a pending-duration span for anything still
+	// in flight so the trace shows what the reply did not wait for.
+	for _, at := range attempts {
+		if at != winner && at.dur.Load() == 0 && at.start.Load() != 0 {
+			if sp := tc.Add(parent, trace.LayerDisk, trace.OpDiskRead, time.Unix(0, at.start.Load()), trace.DurPending); sp != nil {
+				sp.Replica = int8(at.idx)
+			}
+		}
+	}
+	copy(p, winner.buf)
+	s.reads[winner.idx].Inc()
+	if tried > 0 {
+		s.failovers.Inc()
+	}
+	for _, j := range bad {
+		s.selfHeal(tc, parent, j, winner.buf, off)
+	}
+	return nil
+}
+
+// indexOf returns i's position in order, or -1.
+func indexOf(order []int, i int) int {
+	for k, v := range order {
+		if v == i {
+			return k
+		}
+	}
+	return -1
 }
 
 // selfHeal rewrites one corrupt extent of replica i with verified bytes.
@@ -457,12 +656,39 @@ func (s *ReplicaSet) ApplyNotify(syncN int, op func(i int, dev Device) error, on
 	// to wait for. Registering the fanout before the goroutines launch
 	// keeps Drain exact: a Drain entered after Apply returns sees every
 	// write this call started.
+	// Quorum eligibility: with gray-failure handling on, a replica whose
+	// breaker is open still receives the write (it must stay convergent
+	// for the moment its breaker closes) but does not count toward the
+	// P-FACTOR quorum — a commit must not wait on a disk known to be
+	// answering at gray latency. At least one replica always stays
+	// eligible so a fully-gray set degrades to the fail-stop behavior.
+	eligible := make([]bool, len(s.devs))
+	nEligible := 0
+	if g := s.gray.Load(); g != nil {
+		for _, i := range live {
+			if s.brk[i].state.Load() != breakerOpen {
+				eligible[i] = true
+				nEligible++
+			}
+		}
+	}
+	if nEligible == 0 {
+		for _, i := range live {
+			eligible[i] = true
+		}
+		nEligible = len(live)
+	}
+	if syncN > nEligible {
+		syncN = nEligible
+	}
+
 	fanout := len(live)
 	if mirror >= 0 {
 		fanout++
 	}
 	s.beginWrites(fanout)
-	results := make(chan bool, len(live))
+	type applyResult struct{ ok, quorum bool }
+	results := make(chan applyResult, len(live))
 	var remaining atomic.Int32
 	remaining.Store(int32(fanout))
 	// onSettled must complete before the write is retired from the drain
@@ -485,7 +711,7 @@ func (s *ReplicaSet) ApplyNotify(syncN int, op func(i int, dev Device) error, on
 			} else {
 				s.markDead(i)
 			}
-			results <- ok
+			results <- applyResult{ok: ok, quorum: eligible[i]}
 			settle()
 		}()
 	}
@@ -508,14 +734,18 @@ func (s *ReplicaSet) ApplyNotify(syncN int, op func(i int, dev Device) error, on
 
 	s.parallelCommits.Inc()
 	s.commitFanout.Add(int64(syncN))
-	done, succeeded := 0, 0
+	done, succeeded, anyOK := 0, 0, false
 	for done < len(live) && succeeded < syncN {
-		if <-results {
-			succeeded++
+		r := <-results
+		if r.ok {
+			anyOK = true
+			if r.quorum {
+				succeeded++
+			}
 		}
 		done++
 	}
-	if succeeded == 0 {
+	if !anyOK {
 		return fmt.Errorf("no replica accepted the write: %w", ErrNoReplica)
 	}
 	return nil
@@ -779,6 +1009,11 @@ type ReplicaHealth struct {
 	Errors         int64 `json:"errors"`
 	ChecksumErrors int64 `json:"checksum_errors"`
 	Repairs        int64 `json:"repairs"`
+	// Gray-failure view: the circuit-breaker state ("closed", "open",
+	// "half-open") and the smoothed observed read latency. A set without
+	// EnableBreakers reports "closed" and zero.
+	Breaker       string `json:"breaker"`
+	LatencyEwmaUs int64  `json:"latency_ewma_us"`
 }
 
 // Health returns a per-replica health snapshot.
@@ -797,10 +1032,28 @@ func (s *ReplicaSet) Health() []ReplicaHealth {
 			Errors:         s.errs[i].Load(),
 			ChecksumErrors: s.checksumErrs[i].Load(),
 			Repairs:        s.selfheals[i].Load(),
+			Breaker:        breakerStateName(s.brk[i].state.Load()),
+			LatencyEwmaUs:  s.brk[i].ewmaNs.Load() / int64(time.Microsecond),
 		}
 	}
 	return out
 }
+
+// BreakerState returns replica i's circuit-breaker state name (tests
+// and the health report use it).
+func (s *ReplicaSet) BreakerState(i int) string {
+	return breakerStateName(s.brk[i].state.Load())
+}
+
+// HedgedReads returns how many reads were hedged (predictive or timer).
+func (s *ReplicaSet) HedgedReads() int64 { return s.hedgedReads.Load() }
+
+// BreakerOpens returns how many times any replica's breaker opened.
+func (s *ReplicaSet) BreakerOpens() int64 { return s.breakerOpens.Load() }
+
+// GrayLadderReads returns how many reads went through the health-ranked
+// ladder — the denominator of the hedge-rate cap.
+func (s *ReplicaSet) GrayLadderReads() int64 { return s.grayLadderReads.Load() }
 
 // WriteAt writes p to every live replica synchronously, making ReplicaSet
 // itself a Device (used when formatting and by layout.Load/WriteInode).
@@ -873,6 +1126,9 @@ func (s *ReplicaSet) AttachMetrics(r *stats.Registry) {
 			}
 			return 0
 		})
+		r.GaugeFunc(fmt.Sprintf("disk.replica%d.breaker_state", i), func() int64 {
+			return int64(s.brk[i].state.Load())
+		})
 		if sim, ok := s.devs[i].(*SimDisk); ok {
 			sim.AttachMetrics(r, fmt.Sprintf("disk.replica%d", i))
 		}
@@ -893,6 +1149,10 @@ func (s *ReplicaSet) AttachMetrics(r *stats.Registry) {
 	r.GaugeFunc("disk.recovering", func() int64 { return int64(s.Recovering()) })
 	r.GaugeFunc("disk.parallel_commits", s.parallelCommits.Load)
 	r.GaugeFunc("disk.parallel_commit_fanout", s.commitFanout.Load)
+	r.GaugeFunc("disk.hedged_reads", s.hedgedReads.Load)
+	r.GaugeFunc("disk.breaker_opens", s.breakerOpens.Load)
+	r.GaugeFunc("disk.breaker_closes", s.breakerCloses.Load)
+	r.GaugeFunc("disk.breaker_probes", s.breakerProbes.Load)
 	r.GaugeFunc("disk.pending_writes", func() int64 {
 		s.pendMu.Lock()
 		defer s.pendMu.Unlock()

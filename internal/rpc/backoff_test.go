@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bulletfs/internal/capability"
+	"bulletfs/internal/trace"
 )
 
 // failingTransport always drops, counting attempts.
@@ -102,15 +103,19 @@ func TestRetrierBudgetStopsRetrying(t *testing.T) {
 	withFakeClock(r, clk)
 
 	_, _, err := r.Trans(capability.Port{}, Header{}, nil)
+	if !errors.Is(err, trace.ErrDeadlineExceeded) {
+		t.Fatalf("Trans error = %v, want the budget error (trace.ErrDeadlineExceeded)", err)
+	}
 	if !errors.Is(err, ErrDropped) {
-		t.Fatalf("Trans error = %v, want ErrDropped", err)
+		t.Fatalf("Trans error = %v, want the last transport error (ErrDropped) wrapped alongside", err)
 	}
-	// Virtual schedule: attempt, sleep 10ms, attempt, sleep 10ms, attempt,
-	// sleep 5ms (truncated to the deadline), attempt, budget spent — stop.
-	if ft.calls != 4 {
-		t.Fatalf("attempts = %d, want 4 (sleeps: %v)", ft.calls, clk.sleeps)
+	// Virtual schedule: attempt, sleep 10ms, attempt, sleep 10ms, attempt —
+	// the next 10ms backoff would land past the 25ms deadline, so the
+	// retrier stops with the budget error instead of sleeping into it.
+	if ft.calls != 3 {
+		t.Fatalf("attempts = %d, want 3 (sleeps: %v)", ft.calls, clk.sleeps)
 	}
-	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 5 * time.Millisecond}
+	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond}
 	if len(clk.sleeps) != len(want) {
 		t.Fatalf("sleeps = %v, want %v", clk.sleeps, want)
 	}

@@ -2,12 +2,15 @@ package rpc
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
 	"bulletfs/internal/capability"
 	"bulletfs/internal/stats"
+	"bulletfs/internal/trace"
 )
 
 // Flaky wraps a Transport with deterministic fault injection for testing
@@ -23,8 +26,13 @@ type Flaky struct {
 	dropReq float64    // guarded by mu; probability a request is lost before dispatch
 	dropRep float64    // guarded by mu; probability a reply is lost after dispatch
 
-	scriptReq []bool // guarded by mu; if non-nil, consumed one per Trans: true = drop request
-	scriptRep []bool // guarded by mu
+	scriptReq   []bool          // guarded by mu; if non-nil, consumed one per Trans: true = drop request
+	scriptRep   []bool          // guarded by mu
+	delay       time.Duration   // guarded by mu; fixed injected delay before every dispatch
+	scriptDelay []time.Duration // guarded by mu; per-transaction delays (overrides delay while entries last)
+	sched       []string        // guarded by mu; per-transaction fate log, see Schedule
+
+	sleep func(time.Duration) // injected delay sink; nil = time.Sleep
 
 	Requests int // transactions attempted
 	Dropped  int // transactions that returned ErrDropped
@@ -52,38 +60,101 @@ func (f *Flaky) ScriptDrops(req, rep []bool) {
 	f.dropReq, f.dropRep = 0, 0
 }
 
-func (f *Flaky) decide() (dropReq, dropRep bool) {
+// SetDelay injects a fixed delay before every subsequent dispatch — the
+// gray-failure counterpart of a drop: the message arrives, just late.
+// 0 clears it.
+func (f *Flaky) SetDelay(d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// ScriptDelays arranges exact per-transaction delays: the i-th
+// transaction waits delays[i] before dispatch. Past the end of the
+// script the fixed SetDelay value (if any) applies again.
+func (f *Flaky) ScriptDelays(delays []time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.scriptDelay = delays
+}
+
+// SetSleep replaces the delay sink (nil restores time.Sleep). Tests
+// inject a virtual-clock advance so injected delays cost no wall time.
+func (f *Flaky) SetSleep(sleep func(time.Duration)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sleep = sleep
+}
+
+// Schedule reports what the injector did to each transaction so far,
+// e.g. "#0 ok; #1 drop-req; #2 delay(5ms); #3 drop-rep". Retry tests
+// include it in failure messages: a bare "err = dropped, want ok" says
+// nothing about WHICH attempt the injector ate.
+func (f *Flaky) Schedule() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.sched) == 0 {
+		return "(no transactions)"
+	}
+	return strings.Join(f.sched, "; ")
+}
+
+func (f *Flaky) decide() (dropReq, dropRep bool, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i := f.Requests
 	f.Requests++
-	if f.scriptReq != nil || f.scriptRep != nil {
-		i := f.Requests - 1
+	scripted := f.scriptReq != nil || f.scriptRep != nil
+	if scripted {
 		if i < len(f.scriptReq) {
 			dropReq = f.scriptReq[i]
 		}
 		if i < len(f.scriptRep) {
 			dropRep = f.scriptRep[i]
 		}
-		return dropReq, dropRep
+	} else {
+		dropReq = f.rng.Float64() < f.dropReq
+		dropRep = f.rng.Float64() < f.dropRep
 	}
-	return f.rng.Float64() < f.dropReq, f.rng.Float64() < f.dropRep
+	delay = f.delay
+	if i < len(f.scriptDelay) {
+		delay = f.scriptDelay[i]
+	}
+	fate := "ok"
+	switch {
+	case dropReq:
+		fate = "drop-req"
+	case dropRep:
+		fate = "drop-rep"
+	}
+	if delay > 0 {
+		fate = fmt.Sprintf("delay(%v)+%s", delay, fate)
+	}
+	f.sched = append(f.sched, fmt.Sprintf("#%d %s", i, fate))
+	return dropReq, dropRep, delay
 }
 
-// Trans implements Transport with injected loss.
-func (f *Flaky) Trans(port capability.Port, req Header, payload []byte) (Header, []byte, error) {
-	return f.TransID(port, 0, req, payload)
-}
-
-// TransID implements the identified form used by Retrier.
-func (f *Flaky) TransID(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
-	dropReq, dropRep := f.decide()
+// run applies one transaction's scripted fate around send: the injected
+// delay first (late messages, the gray-failure mode), then request loss
+// before dispatch or reply loss after it.
+func (f *Flaky) run(send func() (Header, []byte, error)) (Header, []byte, error) {
+	dropReq, dropRep, delay := f.decide()
+	if delay > 0 {
+		f.mu.Lock()
+		sleep := f.sleep
+		f.mu.Unlock()
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		sleep(delay)
+	}
 	if dropReq {
 		f.mu.Lock()
 		f.Dropped++
 		f.mu.Unlock()
 		return Header{}, nil, ErrDropped
 	}
-	h, p, err := transID(f.inner, port, txid, req, payload)
+	h, p, err := send()
 	if err != nil {
 		return h, p, err
 	}
@@ -94,6 +165,26 @@ func (f *Flaky) TransID(port capability.Port, txid uint64, req Header, payload [
 		return Header{}, nil, ErrDropped
 	}
 	return h, p, nil
+}
+
+// Trans implements Transport with injected loss.
+func (f *Flaky) Trans(port capability.Port, req Header, payload []byte) (Header, []byte, error) {
+	return f.TransID(port, 0, req, payload)
+}
+
+// TransID implements the identified form used by Retrier.
+func (f *Flaky) TransID(port capability.Port, txid uint64, req Header, payload []byte) (Header, []byte, error) {
+	return f.run(func() (Header, []byte, error) {
+		return transID(f.inner, port, txid, req, payload)
+	})
+}
+
+// TransOpts implements OptsTransport: the full option set passes
+// through to the inner transport, under the same injected faults.
+func (f *Flaky) TransOpts(port capability.Port, opts CallOpts, req Header, payload []byte) (Header, []byte, error) {
+	return f.run(func() (Header, []byte, error) {
+		return transOpts(f.inner, port, opts, req, payload)
+	})
 }
 
 // IdentifiedTransport is a Transport that can carry an at-most-once
@@ -192,10 +283,14 @@ func (r *Retrier) SetBackoff(base, max time.Duration) {
 }
 
 // SetBudget bounds the total wall-clock time a transaction may spend
-// across attempts: once the budget is exhausted no further attempt is
-// made and the last error is returned. Sleeps are truncated so the
-// retrier never sleeps past the deadline. 0 (the default) means no
-// budget.
+// across attempts: once the budget cannot cover the next backoff no
+// further attempt is made and the caller gets an error wrapping
+// trace.ErrDeadlineExceeded (with the last transport error wrapped
+// alongside, so errors.Is still matches it) — a deadline miss must
+// never masquerade as a transport fault. Each attempt carries the
+// remaining budget to the server (when the transport can: see
+// OptsTransport), so the server's own deadline shedding sees the
+// refreshed, not the original, budget. 0 (the default) means no budget.
 func (r *Retrier) SetBudget(d time.Duration) { r.budget = d }
 
 // SetRetryBusy makes the retrier treat a StatusBusy reply as retryable
@@ -227,30 +322,63 @@ func (r *Retrier) backoffFor(retry int) time.Duration {
 
 // Trans implements Transport with retries.
 func (r *Retrier) Trans(port capability.Port, req Header, payload []byte) (Header, []byte, error) {
-	return r.trans(port, 0, req, payload)
+	return r.trans(port, 0, 0, req, payload)
+}
+
+// TransOpts implements OptsTransport: the caller's budget (when set)
+// overrides the retrier's own, the caller's transaction ID is ignored —
+// the retrier pins its own so at-most-once holds across its attempts.
+func (r *Retrier) TransOpts(port capability.Port, opts CallOpts, req Header, payload []byte) (Header, []byte, error) {
+	return r.trans(port, opts.TraceID, opts.Budget, req, payload)
 }
 
 // trans is the shared retry loop: one transaction ID pinned across all
 // attempts, the trace ID (0 = none) propagated on each, jittered backoff
 // between attempts, the whole thing bounded by the budget deadline.
-func (r *Retrier) trans(port capability.Port, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
+// Every attempt carries the budget that REMAINS at that point (not the
+// original), so the server's deadline shedding and the client agree on
+// how much time is actually left.
+func (r *Retrier) trans(port capability.Port, traceID uint64, budget time.Duration, req Header, payload []byte) (Header, []byte, error) {
 	txid, err := NewTxID()
 	if err != nil {
 		return Header{}, nil, err
 	}
+	if budget <= 0 {
+		budget = r.budget
+	}
 	var deadline time.Time
-	if r.budget > 0 {
-		deadline = r.now().Add(r.budget)
+	if budget > 0 {
+		deadline = r.now().Add(budget)
 	}
 	var lastErr error
 	var lastHdr Header
 	var lastPayload []byte
 	var gotBusy bool
+	budgetSpent := func(attempts int) (Header, []byte, error) {
+		if gotBusy {
+			return lastHdr, lastPayload, nil
+		}
+		if lastErr == nil {
+			return Header{}, nil, fmt.Errorf("rpc: retry budget %v spent before any attempt: %w",
+				budget, trace.ErrDeadlineExceeded)
+		}
+		// Both sentinels wrapped: the caller's errors.Is sees the
+		// deadline first-class, without losing what the transport said.
+		return Header{}, nil, fmt.Errorf("rpc: retry budget %v spent after %d attempts: %w (last attempt: %w)",
+			budget, attempts, trace.ErrDeadlineExceeded, lastErr)
+	}
 	for i := 0; i < r.attempts; i++ {
+		rem := time.Duration(0)
+		if !deadline.IsZero() {
+			rem = deadline.Sub(r.now())
+			if rem <= 0 {
+				return budgetSpent(i)
+			}
+		}
 		if i > 0 && r.retries != nil {
 			r.retries.Inc()
 		}
-		h, p, err := transIDTraced(r.inner, port, txid, traceID, req, payload)
+		h, p, err := transOpts(r.inner, port, CallOpts{TxID: txid, TraceID: traceID, Budget: rem}, req, payload)
 		if err == nil {
 			if !r.retryBusy || h.Status != StatusBusy {
 				return h, p, nil
@@ -272,12 +400,10 @@ func (r *Retrier) trans(port capability.Port, traceID uint64, req Header, payloa
 		}
 		d := r.backoffFor(i + 1)
 		if !deadline.IsZero() {
-			rem := deadline.Sub(r.now())
-			if rem <= 0 {
-				break // budget spent: surface the last error now
-			}
-			if d > rem {
-				d = rem
+			if rem := deadline.Sub(r.now()); d >= rem {
+				// The backoff alone would outlive the budget: stop now
+				// with the budget error, not the last transport error.
+				return budgetSpent(i + 1)
 			}
 		}
 		if d > 0 {

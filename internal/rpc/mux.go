@@ -30,6 +30,7 @@ type Mux struct {
 	dedupBytes    int64                        // guarded by mu; retained reply payload bytes
 	metrics       *muxMetrics                  // guarded by mu (the pointed-to state is immutable)
 	rec           *trace.Recorder              // guarded by mu (pointer swap only)
+	timeNow       func() int64                 // guarded by mu (pointer swap only; see SetNow)
 
 	// Dispatch-path telemetry, atomics so the hot path takes no lock.
 	// AttachMetrics exposes them as rpc.* gauges.
@@ -163,6 +164,27 @@ func (m *Mux) Recorder() *trace.Recorder {
 	return m.rec
 }
 
+// SetNow overrides the time source deadline budgets are measured
+// against (nil restores the wall clock). Virtual-clock worlds inject
+// their clock here so deadline sheds are deterministic under test.
+func (m *Mux) SetNow(now func() int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.timeNow = now
+}
+
+// nowNanos is the deadline time source handed to trace.Ctx.ArmDeadline:
+// the injected clock when set, otherwise the wall clock.
+func (m *Mux) nowNanos() int64 {
+	m.mu.Lock()
+	now := m.timeNow
+	m.mu.Unlock()
+	if now != nil {
+		return now()
+	}
+	return time.Now().UnixNano()
+}
+
 // Dispatch executes one transaction. txid 0 disables duplicate
 // suppression; any other value is remembered and replays the cached reply.
 // If a recorder is attached the dispatch records a trace under a
@@ -191,6 +213,38 @@ func (m *Mux) DispatchTraceID(traceID uint64, port capability.Port, txid uint64,
 	h, p, err := m.DispatchTrace(tc, port, txid, req, payload)
 	tc.Finish()
 	rec.ReleaseCtx(tc)
+	return h, p, err
+}
+
+// DispatchOpts is DispatchTraceID with the full per-call option set: a
+// deadline budget (when present) is armed on the span arena before
+// dispatch, exactly as the TCP server arms budgets carried by the wire
+// TLV. With no recorder attached a budgeted call still gets a bare
+// arena, because budgets ride on the trace Ctx.
+func (m *Mux) DispatchOpts(opts CallOpts, port capability.Port, req Header, payload []byte) (Header, []byte, error) {
+	if opts.Budget <= 0 {
+		return m.DispatchTraceID(opts.TraceID, port, opts.TxID, req, payload)
+	}
+	m.mu.Lock()
+	rec := m.rec
+	m.mu.Unlock()
+	var tc *trace.Ctx
+	traceID := opts.TraceID
+	if rec != nil {
+		tc = rec.AcquireCtx()
+		if traceID == 0 {
+			traceID = rec.NextLocalID()
+		}
+	} else {
+		tc = new(trace.Ctx)
+	}
+	tc.Reset(traceID)
+	tc.ArmDeadline(opts.Budget, m.nowNanos)
+	h, p, err := m.DispatchTrace(tc, port, opts.TxID, req, payload)
+	tc.Finish()
+	if rec != nil {
+		rec.ReleaseCtx(tc)
+	}
 	return h, p, err
 }
 

@@ -27,13 +27,13 @@ func TestRetrierExhaustionTagsMetrics(t *testing.T) {
 	r.AttachMetrics(reg)
 
 	if _, _, err := r.Trans(port, Header{Command: 9}, nil); !errors.Is(err, ErrDropped) {
-		t.Fatalf("err = %v, want ErrDropped after exhausting retries", err)
+		t.Fatalf("err = %v, want ErrDropped after exhausting retries (schedule: %s)", err, flaky.Schedule())
 	}
 	if n := reg.Snapshot().Counters["rpc.retries"]; n != 3 {
-		t.Errorf("rpc.retries = %d, want 3 (4 attempts, first is not a retry)", n)
+		t.Errorf("rpc.retries = %d, want 3 (4 attempts, first is not a retry; schedule: %s)", n, flaky.Schedule())
 	}
 	if flaky.Requests != 4 || flaky.Dropped != 4 {
-		t.Errorf("flaky requests/dropped = %d/%d, want 4/4", flaky.Requests, flaky.Dropped)
+		t.Errorf("flaky requests/dropped = %d/%d, want 4/4 (schedule: %s)", flaky.Requests, flaky.Dropped, flaky.Schedule())
 	}
 }
 
@@ -53,13 +53,13 @@ func TestFlakyReplyLossExecutesHandler(t *testing.T) {
 	flaky.ScriptDrops(nil, []bool{true}) // reply of the first transaction lost
 
 	if _, _, err := flaky.Trans(port, Header{}, nil); !errors.Is(err, ErrDropped) {
-		t.Fatalf("err = %v, want ErrDropped", err)
+		t.Fatalf("err = %v, want ErrDropped (schedule: %s)", err, flaky.Schedule())
 	}
 	if calls.Load() != 1 {
-		t.Fatalf("handler ran %d times, want 1 — reply loss must happen after dispatch", calls.Load())
+		t.Fatalf("handler ran %d times, want 1 — reply loss must happen after dispatch (schedule: %s)", calls.Load(), flaky.Schedule())
 	}
 	if flaky.Requests != 1 || flaky.Dropped != 1 {
-		t.Errorf("flaky requests/dropped = %d/%d, want 1/1", flaky.Requests, flaky.Dropped)
+		t.Errorf("flaky requests/dropped = %d/%d, want 1/1 (schedule: %s)", flaky.Requests, flaky.Dropped, flaky.Schedule())
 	}
 }
 

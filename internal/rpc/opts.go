@@ -1,0 +1,48 @@
+package rpc
+
+import (
+	"time"
+
+	"bulletfs/internal/capability"
+)
+
+// CallOpts is the full per-call option set a transport can carry beyond
+// the fixed header: the at-most-once transaction ID, the wire trace ID,
+// and a remaining-time deadline budget. Zero values mean "absent" —
+// CallOpts{} is exactly a plain Trans.
+type CallOpts struct {
+	// TxID pins the transaction for at-most-once duplicate suppression
+	// (0 = none).
+	TxID uint64
+	// TraceID propagates the client's trace (0 = server assigns one).
+	TraceID uint64
+	// Budget is how much time the caller is still willing to wait. It
+	// rides the wire as the deadline TLV; the server sheds with
+	// StatusDeadlineExceeded when the budget can't cover the op. 0 means
+	// no deadline.
+	Budget time.Duration
+}
+
+// OptsTransport is a Transport that can carry the full option set.
+// Transports that predate a given option simply don't implement this;
+// transOpts degrades the call to the richest form the transport
+// supports (dropping the budget, then the trace ID).
+type OptsTransport interface {
+	Transport
+	TransOpts(port capability.Port, opts CallOpts, req Header, payload []byte) (Header, []byte, error)
+}
+
+// transOpts dispatches with the richest form the transport supports.
+// A budget on a transport that cannot carry one is dropped — the
+// caller's own clock still bounds the call — rather than failing.
+func transOpts(t Transport, port capability.Port, opts CallOpts, req Header, payload []byte) (Header, []byte, error) {
+	if ot, ok := t.(OptsTransport); ok {
+		return ot.TransOpts(port, opts, req, payload)
+	}
+	return transIDTraced(t, port, opts.TxID, opts.TraceID, req, payload)
+}
+
+// TransOpts implements OptsTransport in-process.
+func (l *LocalID) TransOpts(port capability.Port, opts CallOpts, req Header, payload []byte) (Header, []byte, error) {
+	return l.Mux.DispatchOpts(opts, port, req, payload)
+}

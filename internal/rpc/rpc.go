@@ -40,6 +40,7 @@ const (
 	StatusBadRequest
 	StatusInternal
 	StatusBusy
+	StatusDeadlineExceeded
 )
 
 var statusText = map[Status]string{
@@ -57,6 +58,8 @@ var statusText = map[Status]string{
 	StatusBadRequest:   "bad request",
 	StatusInternal:     "internal error",
 	StatusBusy:         "busy",
+
+	StatusDeadlineExceeded: "deadline exceeded",
 }
 
 func (s Status) String() string {

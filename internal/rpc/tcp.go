@@ -12,6 +12,7 @@ import (
 
 	"bulletfs/internal/capability"
 	"bulletfs/internal/stats"
+	"bulletfs/internal/trace"
 )
 
 // Wire format of one TCP frame, both directions:
@@ -57,11 +58,12 @@ const (
 
 	// Extension TLV types. A field is type (uint8), length (uint8),
 	// value (length bytes).
-	extTypeTraceID = 0x01 // value: 8-byte big-endian trace ID
+	extTypeTraceID  = 0x01 // value: 8-byte big-endian trace ID
+	extTypeDeadline = 0x02 // value: 8-byte big-endian remaining budget, nanoseconds
 
 	// extMax bounds the extension this implementation emits: extlen plus
-	// one trace-ID TLV.
-	extMax = 2 + 2 + 8
+	// one trace-ID TLV and one deadline TLV.
+	extMax = 2 + (2 + 8) + (2 + 8)
 
 	// extScratchLen is how much inbound-extension scratch serveConn
 	// appends to its prologue buffer; larger (future) extensions fall
@@ -113,15 +115,22 @@ func writeFrame(w io.Writer, magic uint32, txid uint64, port capability.Port, h 
 // and a trace-ID TLV extension is inserted between prologue and payload.
 // (Replies never carry the extension: the trace lives on the server.)
 func writeFrameTraced(w io.Writer, magic uint32, txid, traceID uint64, port capability.Port, h Header, payload []byte) error {
+	return writeFrameExt(w, magic, txid, traceID, 0, port, h, payload)
+}
+
+// writeFrameExt is the full sender: trace ID and deadline budget both
+// optional (zero means absent). Either one upgrades a request frame to
+// v2; replies never carry the extension.
+func writeFrameExt(w io.Writer, magic uint32, txid, traceID uint64, budget time.Duration, port capability.Port, h Header, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("%d bytes: %w", len(payload), ErrPayloadTooLarge)
 	}
 	pb := prologuePool.Get().(*[prologueLen + extMax]byte)
 	defer prologuePool.Put(pb)
 	n := prologueLen
-	if traceID != 0 && magic == magicRequest {
+	if (traceID != 0 || budget > 0) && magic == magicRequest {
 		magic = magicRequestV2
-		n += encodeExt(pb[prologueLen:], traceID)
+		n += encodeExt(pb[prologueLen:], traceID, budget)
 	}
 	encodePrologue(pb[:prologueLen], magic, txid, port, h, len(payload))
 	if conn, ok := w.(net.Conn); ok {
@@ -139,21 +148,31 @@ func writeFrameTraced(w io.Writer, magic uint32, txid, traceID uint64, port capa
 	return err
 }
 
-// encodeExt writes the extension block (extlen + trace-ID TLV) into dst
-// and returns its length.
-func encodeExt(dst []byte, traceID uint64) int {
-	binary.BigEndian.PutUint16(dst[0:2], 2+8)
-	dst[2] = extTypeTraceID
-	dst[3] = 8
-	binary.BigEndian.PutUint64(dst[4:12], traceID)
-	return extMax
+// encodeExt writes the extension block (extlen + the TLVs whose values
+// are present) into dst and returns its length.
+func encodeExt(dst []byte, traceID uint64, budget time.Duration) int {
+	n := 2
+	if traceID != 0 {
+		dst[n] = extTypeTraceID
+		dst[n+1] = 8
+		binary.BigEndian.PutUint64(dst[n+2:n+10], traceID)
+		n += 10
+	}
+	if budget > 0 {
+		dst[n] = extTypeDeadline
+		dst[n+1] = 8
+		binary.BigEndian.PutUint64(dst[n+2:n+10], uint64(budget))
+		n += 10
+	}
+	binary.BigEndian.PutUint16(dst[0:2], uint16(n-2))
+	return n
 }
 
 // readFrame reads one frame, allocating a fresh payload the caller owns.
-// A request frame may be v1 or v2; the trace ID (if any) is dropped.
+// A request frame may be v1 or v2; any extension fields are dropped.
 func readFrame(r io.Reader, wantMagic uint32) (txid uint64, port capability.Port, h Header, payload []byte, err error) {
 	var fixed [prologueLen + extScratchLen]byte
-	txid, _, port, h, payload, _, err = readFrameScratch(r, wantMagic, fixed[:], false)
+	txid, _, _, port, h, payload, _, err = readFrameScratch(r, wantMagic, fixed[:], false)
 	return txid, port, h, payload, err
 }
 
@@ -167,33 +186,34 @@ func readFrame(r io.Reader, wantMagic uint32) (txid uint64, port capability.Port
 //
 // When wantMagic is magicRequest, v2 request frames are accepted too:
 // their extension is parsed for a trace ID (traceID 0 = none carried)
-// and unknown extension fields are skipped.
-func readFrameScratch(r io.Reader, wantMagic uint32, fixed []byte, pooled bool) (txid, traceID uint64, port capability.Port, h Header, payload []byte, release func(), err error) {
+// and a deadline budget (0 = none), and unknown extension fields are
+// skipped.
+func readFrameScratch(r io.Reader, wantMagic uint32, fixed []byte, pooled bool) (txid, traceID uint64, budget time.Duration, port capability.Port, h Header, payload []byte, release func(), err error) {
 	pro := fixed[:prologueLen]
 	if _, err = io.ReadFull(r, pro); err != nil {
-		return 0, 0, port, h, nil, nil, err
+		return 0, 0, 0, port, h, nil, nil, err
 	}
 	got := binary.BigEndian.Uint32(pro[0:4])
 	v2 := wantMagic == magicRequest && got == magicRequestV2
 	if got != wantMagic && !v2 {
-		return 0, 0, port, h, nil, nil, fmt.Errorf("magic %08x: %w", got, ErrBadFrame)
+		return 0, 0, 0, port, h, nil, nil, fmt.Errorf("magic %08x: %w", got, ErrBadFrame)
 	}
 	txid = binary.BigEndian.Uint64(pro[4:12])
 	copy(port[:], pro[12:12+capability.PortLen])
 	h, _, err = DecodeHeader(pro[12+capability.PortLen : 12+capability.PortLen+HeaderLen])
 	if err != nil {
-		return 0, 0, port, h, nil, nil, err
+		return 0, 0, 0, port, h, nil, nil, err
 	}
 	paylen := binary.BigEndian.Uint32(pro[len(pro)-4:])
 	if paylen > MaxPayload {
-		return 0, 0, port, h, nil, nil, fmt.Errorf("%d bytes: %w", paylen, ErrPayloadTooLarge)
+		return 0, 0, 0, port, h, nil, nil, fmt.Errorf("%d bytes: %w", paylen, ErrPayloadTooLarge)
 	}
 	if v2 {
 		// pro is fully decoded by now, so its first bytes double as the
 		// extlen scratch.
-		traceID, err = readExt(r, pro[0:2], fixed[prologueLen:])
+		traceID, budget, err = readExt(r, pro[0:2], fixed[prologueLen:])
 		if err != nil {
-			return 0, 0, port, h, nil, nil, err
+			return 0, 0, 0, port, h, nil, nil, err
 		}
 	}
 	if pooled && paylen <= pooledPayloadCap {
@@ -210,22 +230,22 @@ func readFrameScratch(r io.Reader, wantMagic uint32, fixed []byte, pooled bool) 
 		if release != nil {
 			release()
 		}
-		return 0, 0, port, h, nil, nil, err
+		return 0, 0, 0, port, h, nil, nil, err
 	}
-	return txid, traceID, port, h, payload, release, nil
+	return txid, traceID, budget, port, h, payload, release, nil
 }
 
 // readExt consumes a v2 prologue extension: extlen, then TLV fields.
 // Known fields are extracted, unknown types (and known types with an
 // unexpected length) are skipped — senders may add fields without
 // breaking this receiver. Truncated TLVs are a framing error.
-func readExt(r io.Reader, two, scratch []byte) (traceID uint64, err error) {
+func readExt(r io.Reader, two, scratch []byte) (traceID uint64, budget time.Duration, err error) {
 	if _, err = io.ReadFull(r, two[:2]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	extlen := int(binary.BigEndian.Uint16(two[:2]))
 	if extlen == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	ext := scratch
 	if extlen > len(ext) {
@@ -233,23 +253,26 @@ func readExt(r io.Reader, two, scratch []byte) (traceID uint64, err error) {
 	}
 	ext = ext[:extlen]
 	if _, err = io.ReadFull(r, ext); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	for i := 0; i < len(ext); {
 		if i+2 > len(ext) {
-			return 0, fmt.Errorf("extension tlv truncated: %w", ErrBadFrame)
+			return 0, 0, fmt.Errorf("extension tlv truncated: %w", ErrBadFrame)
 		}
 		typ, l := ext[i], int(ext[i+1])
 		i += 2
 		if i+l > len(ext) {
-			return 0, fmt.Errorf("extension tlv overruns: %w", ErrBadFrame)
+			return 0, 0, fmt.Errorf("extension tlv overruns: %w", ErrBadFrame)
 		}
-		if typ == extTypeTraceID && l == 8 {
+		switch {
+		case typ == extTypeTraceID && l == 8:
 			traceID = binary.BigEndian.Uint64(ext[i : i+8])
+		case typ == extTypeDeadline && l == 8:
+			budget = time.Duration(binary.BigEndian.Uint64(ext[i : i+8]))
 		}
 		i += l
 	}
-	return traceID, nil
+	return traceID, budget, nil
 }
 
 // TCPServer serves a Mux over a TCP listener, one goroutine per
@@ -323,20 +346,35 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	rec := s.mux.Recorder()
 	tc := rec.AcquireCtx()
 	defer rec.ReleaseCtx(tc)
+	// spare carries deadline budgets when no recorder (and hence no
+	// pooled Ctx) is attached: budgets ride on the trace Ctx, so a
+	// budgeted request always needs one. Allocated once per connection,
+	// on demand.
+	var spare *trace.Ctx
 	for {
 		// Request payloads come from a pool: Dispatch (and the Handlers
 		// under it) must not retain them, so the buffer is recycled as
 		// soon as the reply is built. Reply payloads are never pooled —
 		// the duplicate-suppression cache retains them.
-		txid, traceID, port, req, payload, release, err := readFrameScratch(br, magicRequest, fixed[:], true)
+		txid, traceID, budget, port, req, payload, release, err := readFrameScratch(br, magicRequest, fixed[:], true)
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		if tc != nil {
-			if traceID == 0 {
+		cur := tc
+		if cur == nil && budget > 0 {
+			if spare == nil {
+				spare = new(trace.Ctx)
+			}
+			cur = spare
+		}
+		if cur != nil {
+			if traceID == 0 && tc != nil {
 				traceID = rec.NextLocalID()
 			}
-			tc.Reset(traceID)
+			cur.Reset(traceID)
+			if budget > 0 {
+				cur.ArmDeadline(budget, s.mux.nowNanos)
+			}
 		}
 		// Reply frames are written from inside the dispatch: the sink hands
 		// each frame's payload to a vectored socket write (header and
@@ -344,14 +382,14 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		// backed by a pinned cache view is released by the dispatch layer
 		// right after its write returns — the pin is held exactly over the
 		// write, never longer.
-		err = s.mux.DispatchStream(tc, port, txid, req, payload, func(h Header, data []byte, last bool) error {
+		err = s.mux.DispatchStream(cur, port, txid, req, payload, func(h Header, data []byte, last bool) error {
 			magic := uint32(magicReplyMore)
 			if last {
 				magic = magicReply
 			}
 			return writeFrame(conn, magic, txid, port, h, data)
 		})
-		tc.Finish()
+		cur.Finish()
 		if release != nil {
 			release()
 		}
@@ -426,6 +464,7 @@ var (
 	_ TracedTransport           = (*TCPTransport)(nil)
 	_ identifiedTracedTransport = (*TCPTransport)(nil)
 	_ StreamTransport           = (*TCPTransport)(nil)
+	_ OptsTransport             = (*TCPTransport)(nil)
 )
 
 // NewTCPTransport builds a client transport. timeout bounds each
@@ -482,6 +521,13 @@ func (t *TCPTransport) TransID(port capability.Port, txid uint64, req Header, pa
 // trace ID (0 for either means "none"). traceID 0 emits a v1 frame, so
 // untraced clients stay wire-compatible with pre-extension servers.
 func (t *TCPTransport) TransIDTraced(port capability.Port, txid, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
+	return t.TransOpts(port, CallOpts{TxID: txid, TraceID: traceID}, req, payload)
+}
+
+// TransOpts implements OptsTransport: the full per-call option set —
+// at-most-once txid, trace ID, and deadline budget. Any non-zero
+// extension field upgrades the request frame to v2.
+func (t *TCPTransport) TransOpts(port capability.Port, opts CallOpts, req Header, payload []byte) (Header, []byte, error) {
 	addr, err := t.resolve(port)
 	if err != nil {
 		return Header{}, nil, err
@@ -501,7 +547,7 @@ func (t *TCPTransport) TransIDTraced(port capability.Port, txid, traceID uint64,
 		}
 	}
 	// One vectored write per request (see writeFrame): nothing to flush.
-	if err := writeFrameTraced(c.conn, magicRequest, txid, traceID, port, req, payload); err != nil {
+	if err := writeFrameExt(c.conn, magicRequest, opts.TxID, opts.TraceID, opts.Budget, port, req, payload); err != nil {
 		t.dropConn(addr, c)
 		t.noteTransportErr(err)
 		return Header{}, nil, fmt.Errorf("rpc: send: %w", err)

@@ -45,29 +45,14 @@ func transIDTraced(t Transport, port capability.Port, txid, traceID uint64, req 
 // per call, and the trace ID rides along on every retry attempt so the
 // server's flight recorder sees each attempt under the same trace.
 func (r *Retrier) TransTraced(port capability.Port, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
-	return r.trans(port, traceID, req, payload)
+	return r.trans(port, traceID, 0, req, payload)
 }
 
 // TransIDTraced implements identifiedTracedTransport with injected loss.
 func (f *Flaky) TransIDTraced(port capability.Port, txid, traceID uint64, req Header, payload []byte) (Header, []byte, error) {
-	dropReq, dropRep := f.decide()
-	if dropReq {
-		f.mu.Lock()
-		f.Dropped++
-		f.mu.Unlock()
-		return Header{}, nil, ErrDropped
-	}
-	h, p, err := transIDTraced(f.inner, port, txid, traceID, req, payload)
-	if err != nil {
-		return h, p, err
-	}
-	if dropRep {
-		f.mu.Lock()
-		f.Dropped++
-		f.mu.Unlock()
-		return Header{}, nil, ErrDropped
-	}
-	return h, p, nil
+	return f.run(func() (Header, []byte, error) {
+		return transIDTraced(f.inner, port, txid, traceID, req, payload)
+	})
 }
 
 // TransIDTraced implements identifiedTracedTransport in-process.

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"errors"
+	"time"
+)
+
+// Deadline budgets ride on the Ctx because the Ctx is the one value that
+// already travels with a request through every layer — rpc dispatch,
+// service, engine, cache, disk — without this package importing any of
+// them. A budget is armed once at dispatch (from the wire TLV) and
+// checked at the points where a request is about to commit to expensive
+// work: the cache-fault disk read and the replica-commit write-through.
+//
+// The check points are deliberately *before* the work, never inside a
+// wait: cancelling a commit after its writes have launched would let the
+// caller roll back an allocation that background writes still land in.
+// A request that beats its deadline mid-flight completes normally — the
+// budget sheds work, it does not corrupt it.
+
+// ErrDeadlineExceeded is the sentinel for a request abandoned because
+// its deadline budget ran out. The RPC layer maps it to and from
+// StatusDeadlineExceeded, so errors.Is(err, trace.ErrDeadlineExceeded)
+// holds on both sides of the wire.
+var ErrDeadlineExceeded = errors.New("deadline budget exceeded")
+
+// ArmDeadline gives the request a remaining-time budget. now supplies
+// the timeline (nil means the wall clock); virtual-clock worlds inject
+// their own so deadline behavior is deterministic under test. A budget
+// <= 0 disarms. Nil-safe.
+func (c *Ctx) ArmDeadline(budget time.Duration, now func() int64) {
+	if c == nil {
+		return
+	}
+	if budget <= 0 {
+		c.deadlineAt = 0
+		c.deadlineNow = nil
+		return
+	}
+	if now == nil {
+		now = wallNanos
+	}
+	c.deadlineNow = now
+	c.deadlineAt = now() + int64(budget)
+}
+
+// DeadlineArmed reports whether the request carries a budget. Nil-safe.
+func (c *Ctx) DeadlineArmed() bool { return c != nil && c.deadlineAt != 0 }
+
+// DeadlineRemaining returns the budget left. ok is false when no
+// deadline is armed (the remaining value is then meaningless); a
+// remaining <= 0 with ok true means the budget is spent. Nil-safe.
+func (c *Ctx) DeadlineRemaining() (remaining time.Duration, ok bool) {
+	if c == nil || c.deadlineAt == 0 {
+		return 0, false
+	}
+	return time.Duration(c.deadlineAt - c.deadlineNow()), true
+}
+
+// DeadlineExceeded reports whether an armed budget has run out. An
+// unarmed (or nil) Ctx never exceeds.
+func (c *Ctx) DeadlineExceeded() bool {
+	if c == nil || c.deadlineAt == 0 {
+		return false
+	}
+	return c.deadlineNow() >= c.deadlineAt
+}
+
+func wallNanos() int64 { return time.Now().UnixNano() }

@@ -67,6 +67,7 @@ const (
 	OpRecover       // online replica recovery (catch-up copy)
 	OpAdmit         // admission-control decision (Status busy when shed)
 	OpWatch         // WATCH RPC streaming telemetry updates
+	OpHedge         // hedged read launched against a backup replica
 	opCount
 )
 
@@ -75,7 +76,7 @@ var opNames = [opCount]string{
 	"modify", "append", "verify", "cache-lookup", "cache-insert",
 	"fault", "disk-read", "replica-commit", "trace",
 	"disk-repair", "promote", "scrub", "salvage", "recover", "admit",
-	"watch",
+	"watch", "hedge",
 }
 
 // String returns the op's lowercase name ("read", "fault", ...).
@@ -167,9 +168,16 @@ type Ctx struct {
 	// Span itself stores only wall-clock nanos; durations must come from
 	// the monotonic clock).
 	starts [MaxSpans]time.Time
+
+	// Deadline budget (see deadline.go). deadlineAt is the absolute
+	// instant, in nanoseconds of deadlineNow's timeline, past which the
+	// request should be abandoned; 0 means no deadline is armed.
+	deadlineAt  int64
+	deadlineNow func() int64
 }
 
 // Reset arms the arena for a new request with the given wire trace ID.
+// Any deadline armed for the previous request is cleared.
 func (c *Ctx) Reset(id uint64) {
 	if c == nil {
 		return
@@ -178,6 +186,8 @@ func (c *Ctx) Reset(id uint64) {
 	c.t.Start = 0
 	c.t.Dropped = false
 	c.t.N = 0
+	c.deadlineAt = 0
+	c.deadlineNow = nil
 }
 
 // Active reports whether the arena is armed (nil-safe). Layers can use it
